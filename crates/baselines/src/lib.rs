@@ -1,0 +1,20 @@
+//! Baselines the paper compares WiTrack against.
+//!
+//! * [`rti`] — variance-based **radio tomographic imaging** (Wilson &
+//!   Patwari), the device-free localization state of the art the paper
+//!   cites: "its 2D accuracy is more than 5× higher than the state of the
+//!   art radio tomographic networks" (§2). A perimeter network of RSSI
+//!   nodes images link-shadowing variance on a pixel grid.
+//! * [`peak_tracker`] — the §4.3 design ablation: track the *strongest*
+//!   moving return instead of the *nearest strong* one (the bottom contour).
+//!   Under dynamic multipath the strongest return can be a wall bounce,
+//!   which is why the paper rejects this approach.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod peak_tracker;
+pub mod rti;
+
+pub use peak_tracker::StrongestReturnTracker;
+pub use rti::{RtiConfig, RtiNetwork};

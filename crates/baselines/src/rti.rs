@@ -1,0 +1,429 @@
+//! Variance-based radio tomographic imaging (VRTI).
+//!
+//! The comparison baseline for WiTrack's 2D accuracy claim (§2). A dense
+//! network of `4·nodes_per_side` RSSI sensors rings the monitored area;
+//! every node pair is a link. A person near a link's line of sight shadows
+//! it, raising the link's RSSI *variance*. Stacking all link variances into
+//! a measurement vector `y`, VRTI reconstructs an attenuation image `x` on a
+//! pixel grid through the standard ellipse weight model
+//!
+//! ```text
+//! W[l][p] = 1/√(link length)  if  d(p, tx_l) + d(p, rx_l) < len_l + λ
+//! y ≈ W x      →      x̂ = argmin ‖Wx − y‖² + α‖x‖²
+//! ```
+//!
+//! solved matrix-free with conjugate gradients; the location estimate is the
+//! power-weighted centroid of the brightest region.
+//!
+//! Key structural difference from WiTrack, and the reason for the accuracy
+//! gap: RTI senses *proximity to lines between nodes* at pixel granularity,
+//! with tens of sensors; WiTrack measures *time of flight* with centimeter
+//! FMCW resolution using 4 antennas.
+
+use rand::Rng;
+
+/// Configuration of the RTI network and reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtiConfig {
+    /// Sensors per side of the rectangular perimeter (total = 4×this).
+    pub nodes_per_side: usize,
+    /// Pixel edge length (m). Standard deployments use 0.2–0.5 m.
+    pub pixel_size: f64,
+    /// Ellipse excess-path width λ (m): how far from the link line a person
+    /// still shadows it.
+    pub ellipse_lambda: f64,
+    /// Tikhonov regularization weight α.
+    pub regularization: f64,
+    /// Std-dev of per-link variance measurement noise.
+    pub noise_std: f64,
+    /// Shadowing response width (m): a link responds when the person is
+    /// within this distance of its segment.
+    pub shadow_sigma: f64,
+    /// Probability that an unrelated link shows spurious variance (indoor
+    /// multipath flicker — the dominant error source in deployed VRTI).
+    pub multipath_prob: f64,
+    /// Probability that a crossed link fails to register the person (deep
+    /// fade: the direct path is already weak, so shadowing it changes
+    /// nothing measurable).
+    pub miss_prob: f64,
+}
+
+impl Default for RtiConfig {
+    fn default() -> Self {
+        RtiConfig {
+            nodes_per_side: 5,
+            pixel_size: 0.3,
+            ellipse_lambda: 0.05,
+            regularization: 3.0,
+            noise_std: 0.15,
+            shadow_sigma: 0.35,
+            multipath_prob: 0.12,
+            miss_prob: 0.35,
+        }
+    }
+}
+
+/// A deployed RTI network over a rectangular area.
+#[derive(Debug, Clone)]
+pub struct RtiNetwork {
+    cfg: RtiConfig,
+    x0: f64,
+    y0: f64,
+    nx: usize,
+    ny: usize,
+    nodes: Vec<(f64, f64)>,
+    links: Vec<(usize, usize)>,
+    /// Sparse weight rows: per link, the (pixel, weight) pairs inside its
+    /// ellipse.
+    weights: Vec<Vec<(usize, f64)>>,
+}
+
+impl RtiNetwork {
+    /// Deploys sensors around the rectangle `[x0, x1] × [y0, y1]` and builds
+    /// the weight model.
+    ///
+    /// # Panics
+    /// Panics on a degenerate rectangle or zero nodes.
+    pub fn new(x0: f64, x1: f64, y0: f64, y1: f64, cfg: RtiConfig) -> RtiNetwork {
+        assert!(x1 > x0 && y1 > y0, "degenerate region");
+        assert!(cfg.nodes_per_side >= 2, "need at least 2 nodes per side");
+        let nx = ((x1 - x0) / cfg.pixel_size).ceil() as usize;
+        let ny = ((y1 - y0) / cfg.pixel_size).ceil() as usize;
+
+        // Sensors evenly spaced along each side.
+        let mut nodes = Vec::new();
+        let n = cfg.nodes_per_side;
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            nodes.push((x0 + f * (x1 - x0), y0)); // bottom
+            nodes.push((x1, y0 + f * (y1 - y0))); // right
+            nodes.push((x1 - f * (x1 - x0), y1)); // top
+            nodes.push((x0, y1 - f * (y1 - y0))); // left
+        }
+
+        let mut links = Vec::new();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                links.push((i, j));
+            }
+        }
+
+        let mut net = RtiNetwork { cfg, x0, y0, nx, ny, nodes, links, weights: Vec::new() };
+        net.build_weights();
+        net
+    }
+
+    /// Number of sensors deployed.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links (n·(n−1)/2 — the O(n²) cost the paper contrasts with
+    /// its 4 antennas).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Pixel grid dimensions `(nx, ny)`.
+    pub fn grid_size(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    fn pixel_center(&self, p: usize) -> (f64, f64) {
+        let ix = p % self.nx;
+        let iy = p / self.nx;
+        (
+            self.x0 + (ix as f64 + 0.5) * self.cfg.pixel_size,
+            self.y0 + (iy as f64 + 0.5) * self.cfg.pixel_size,
+        )
+    }
+
+    fn build_weights(&mut self) {
+        let n_pix = self.nx * self.ny;
+        self.weights = self
+            .links
+            .iter()
+            .map(|&(i, j)| {
+                let (ax, ay) = self.nodes[i];
+                let (bx, by) = self.nodes[j];
+                let len = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt().max(1e-6);
+                let w = 1.0 / len.sqrt();
+                let mut row = Vec::new();
+                for p in 0..n_pix {
+                    let (px, py) = self.pixel_center(p);
+                    let d1 = ((px - ax).powi(2) + (py - ay).powi(2)).sqrt();
+                    let d2 = ((px - bx).powi(2) + (py - by).powi(2)).sqrt();
+                    if d1 + d2 < len + self.cfg.ellipse_lambda {
+                        row.push((p, w));
+                    }
+                }
+                row
+            })
+            .collect();
+    }
+
+    /// Distance from point `(px, py)` to the segment between nodes `i`, `j`.
+    fn distance_to_link(&self, link: usize, px: f64, py: f64) -> f64 {
+        let (i, j) = self.links[link];
+        let (ax, ay) = self.nodes[i];
+        let (bx, by) = self.nodes[j];
+        let (dx, dy) = (bx - ax, by - ay);
+        let len_sq = dx * dx + dy * dy;
+        let t = (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0);
+        let (cx, cy) = (ax + t * dx, ay + t * dy);
+        ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+    }
+
+    /// Simulates one measurement vector (per-link RSSI variance) for a
+    /// person standing at `(px, py)`.
+    ///
+    /// Links whose segment passes within `shadow_sigma` of the person show
+    /// elevated variance — an effectively *binary* response, which is what
+    /// limits VRTI's resolution to the link-crossing geometry (a smooth
+    /// graded response would allow unrealistic super-resolution by
+    /// interpolation). All links carry measurement noise, and a fraction
+    /// flicker spuriously from indoor multipath.
+    pub fn simulate_measurements<R: Rng + ?Sized>(
+        &self,
+        px: f64,
+        py: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        (0..self.links.len())
+            .map(|l| {
+                let d = self.distance_to_link(l, px, py);
+                let crossed = d < self.cfg.shadow_sigma;
+                let registered = crossed && rng.random::<f64>() >= self.cfg.miss_prob;
+                let shadow = if registered { 0.6 + 0.4 * rng.random::<f64>() } else { 0.0 };
+                let spurious = if rng.random::<f64>() < self.cfg.multipath_prob {
+                    0.8 * rng.random::<f64>()
+                } else {
+                    0.0
+                };
+                (shadow + spurious + self.cfg.noise_std * crate::rti::gaussian(rng)).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Reconstructs the attenuation image from link measurements by solving
+    /// `(WᵀW + αI) x = Wᵀ y` with conjugate gradients.
+    pub fn reconstruct(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.links.len(), "one measurement per link");
+        let n_pix = self.nx * self.ny;
+        // b = Wᵀ y
+        let mut b = vec![0.0; n_pix];
+        for (row, &yl) in self.weights.iter().zip(y) {
+            for &(p, w) in row {
+                b[p] += w * yl;
+            }
+        }
+        // Matrix-free A·x = WᵀW x + αx.
+        let apply = |x: &[f64], out: &mut [f64]| {
+            out.iter_mut().zip(x).for_each(|(o, &xi)| *o = self.cfg.regularization * xi);
+            for row in &self.weights {
+                let mut dot = 0.0;
+                for &(p, w) in row {
+                    dot += w * x[p];
+                }
+                for &(p, w) in row {
+                    out[p] += w * dot;
+                }
+            }
+        };
+        conjugate_gradient(apply, &b, 60, 1e-8)
+    }
+
+    /// Localizes a person from link measurements: reconstruct, then take the
+    /// intensity-weighted centroid of pixels within 50% of the peak.
+    pub fn localize(&self, y: &[f64]) -> (f64, f64) {
+        let image = self.reconstruct(y);
+        let peak = image.iter().cloned().fold(f64::MIN, f64::max);
+        let thresh = 0.5 * peak;
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sw = 0.0;
+        for (p, &v) in image.iter().enumerate() {
+            if v >= thresh && v > 0.0 {
+                let (px, py) = self.pixel_center(p);
+                sx += v * px;
+                sy += v * py;
+                sw += v;
+            }
+        }
+        if sw <= 0.0 {
+            // Pathological: return the grid center.
+            return (
+                self.x0 + self.nx as f64 * self.cfg.pixel_size / 2.0,
+                self.y0 + self.ny as f64 * self.cfg.pixel_size / 2.0,
+            );
+        }
+        (sx / sw, sy / sw)
+    }
+}
+
+/// Standard normal via Box–Muller (local copy to keep this crate's
+/// dependencies minimal).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Conjugate gradients for a symmetric positive-definite operator.
+fn conjugate_gradient<F>(apply: F, b: &[f64], max_iters: usize, tol: f64) -> Vec<f64>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+    for _ in 0..max_iters {
+        if rs_old.sqrt() < tol {
+            break;
+        }
+        apply(&p, &mut ap);
+        let denom: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if denom.abs() < 1e-300 {
+            break;
+        }
+        let alpha = rs_old / denom;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_net() -> RtiNetwork {
+        RtiNetwork::new(-2.5, 2.5, 3.0, 9.0, RtiConfig::default())
+    }
+
+    #[test]
+    fn deployment_counts() {
+        let net = demo_net();
+        assert_eq!(net.num_nodes(), 20);
+        assert_eq!(net.num_links(), 20 * 19 / 2);
+        let (nx, ny) = net.grid_size();
+        assert!(nx >= 16 && ny >= 20);
+    }
+
+    #[test]
+    fn cg_solves_identity_like_system() {
+        // A = I: solution = b.
+        let b = vec![1.0, -2.0, 3.0];
+        let x = conjugate_gradient(
+            |v, out| out.copy_from_slice(v),
+            &b,
+            50,
+            1e-12,
+        );
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cg_solves_diagonal_system() {
+        // A = diag(2, 4, 8).
+        let b = vec![2.0, 4.0, 8.0];
+        let x = conjugate_gradient(
+            |v, out| {
+                out[0] = 2.0 * v[0];
+                out[1] = 4.0 * v[1];
+                out[2] = 8.0 * v[2];
+            },
+            &b,
+            50,
+            1e-12,
+        );
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn localizes_a_person_to_sub_meter_in_the_median() {
+        // Individual snapshots can be thrown multiple meters by spurious
+        // links (that is the point of the baseline); the *median* over
+        // repeated snapshots must still be sub-meter.
+        let net = demo_net();
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(px, py) in &[(0.0, 6.0), (-1.5, 4.0), (2.0, 8.0), (1.0, 5.5)] {
+            let mut errs = Vec::new();
+            for _ in 0..9 {
+                let y = net.simulate_measurements(px, py, &mut rng);
+                let (ex, ey) = net.localize(&y);
+                errs.push(((ex - px).powi(2) + (ey - py).powi(2)).sqrt());
+            }
+            let med = witrack_dsp::stats::median(&errs);
+            assert!(med < 1.0, "median error {med} at ({px},{py})");
+        }
+    }
+
+    #[test]
+    fn rti_is_coarser_than_a_pixel() {
+        // RTI should NOT be centimeter-accurate — that is the entire point
+        // of the comparison. Median error over a grid of positions must
+        // exceed 15 cm (WiTrack's 2D accuracy regime).
+        let net = demo_net();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut errs = Vec::new();
+        for i in 0..20 {
+            let px = -2.0 + 4.0 * (i as f64 / 19.0);
+            let py = 3.5 + 5.0 * ((i * 7 % 20) as f64 / 19.0);
+            let y = net.simulate_measurements(px, py, &mut rng);
+            let (ex, ey) = net.localize(&y);
+            errs.push(((ex - px).powi(2) + (ey - py).powi(2)).sqrt());
+        }
+        let median = witrack_dsp::stats::median(&errs);
+        assert!(median > 0.15, "median {median} suspiciously small");
+        assert!(median < 1.2, "median {median} suspiciously large");
+    }
+
+    #[test]
+    fn measurements_respond_to_proximity() {
+        let net = demo_net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = net.simulate_measurements(0.0, 6.0, &mut rng);
+        // Links far from the person should have near-noise variance; links
+        // through the person should be strongly elevated.
+        let max = y.iter().cloned().fold(f64::MIN, f64::max);
+        let med = witrack_dsp::stats::median(&y);
+        assert!(max > 0.8, "max {max}");
+        assert!(med < 0.3, "median {med}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_measurement_count_panics() {
+        let net = demo_net();
+        net.reconstruct(&[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_region_panics() {
+        let _ = RtiNetwork::new(1.0, 1.0, 0.0, 1.0, RtiConfig::default());
+    }
+}

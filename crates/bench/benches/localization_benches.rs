@@ -1,0 +1,60 @@
+//! Localization solver benchmarks: the closed-form T-array solution (the
+//! paper's precomputed symbolic solve) vs iterative least squares, plus the
+//! RTI baseline's image reconstruction for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use witrack_baselines::{RtiConfig, RtiNetwork};
+use witrack_geom::multilateration::{solve_least_squares, GaussNewtonConfig};
+use witrack_geom::{AntennaArray, TArray, Vec3};
+
+fn bench_solvers(c: &mut Criterion) {
+    let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), 1.0);
+    let p = Vec3::new(0.7, 5.0, 1.2);
+    let rts3 = t.round_trips(p);
+    c.bench_function("closed_form_t_array", |b| {
+        b.iter(|| black_box(t.solve(black_box(rts3))))
+    });
+
+    let arr3 = t.antenna_array();
+    let v3 = rts3.to_vec();
+    c.bench_function("gauss_newton_3rx", |b| {
+        b.iter(|| {
+            black_box(solve_least_squares(
+                black_box(&arr3),
+                black_box(&v3),
+                &GaussNewtonConfig::default(),
+            ))
+        })
+    });
+
+    let arr6 = AntennaArray::t_shape_extended(Vec3::new(0.0, 0.0, 1.0), 1.0, 3);
+    let v6 = arr6.round_trips(p);
+    c.bench_function("gauss_newton_6rx", |b| {
+        b.iter(|| {
+            black_box(solve_least_squares(
+                black_box(&arr6),
+                black_box(&v6),
+                &GaussNewtonConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_rti(c: &mut Criterion) {
+    let net = RtiNetwork::new(-2.5, 2.5, 3.0, 9.0, RtiConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let y = net.simulate_measurements(0.5, 6.0, &mut rng);
+    c.bench_function("rti_localize_20nodes", |b| {
+        b.iter(|| black_box(net.localize(black_box(&y))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_solvers, bench_rti
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! End-to-end pipeline benchmarks against the paper's real-time claims:
+//! the full §4+§5 processing of one 12.5 ms frame (5 sweeps × 3 antennas +
+//! 3D solve) must finish well inside the frame period, and inside the
+//! paper's 75 ms output bound.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use witrack_core::{WiTrack, WiTrackConfig};
+use witrack_fmcw::TofEstimator;
+use witrack_geom::Vec3;
+use witrack_sim::motion::{RandomWalk, Rect};
+use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
+
+/// Pre-generates one experiment's sweeps at the paper configuration.
+fn record_sweeps(seconds: f64) -> Vec<Vec<Vec<f64>>> {
+    let sweep = witrack_fmcw::SweepConfig::witrack();
+    let array = witrack_geom::AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0);
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array,
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, seconds, 0.0, 5);
+    let mut sim = Simulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed: 5 },
+        channel,
+        Box::new(motion),
+    );
+    let mut out = Vec::new();
+    while let Some(set) = sim.next_sweeps() {
+        out.push(set.per_rx);
+    }
+    out
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    let sweeps = record_sweeps(1.0);
+    let cfg = WiTrackConfig::witrack_default();
+    c.bench_function("witrack_frame_3ant_full_config", |b| {
+        let mut wt = WiTrack::new(cfg).expect("valid config");
+        let mut idx = 0usize;
+        b.iter(|| {
+            // One full frame = 5 sweep intervals.
+            for _ in 0..cfg.sweep.sweeps_per_frame {
+                let per_rx = &sweeps[idx % sweeps.len()];
+                idx += 1;
+                let refs: Vec<&[f64]> = per_rx.iter().map(|v| v.as_slice()).collect();
+                black_box(wt.push_sweeps(&refs));
+            }
+        })
+    });
+}
+
+fn bench_single_antenna_frame(c: &mut Criterion) {
+    let sweeps = record_sweeps(1.0);
+    let sweep = witrack_fmcw::SweepConfig::witrack();
+    c.bench_function("tof_estimator_frame_1ant", |b| {
+        let mut est = TofEstimator::new(sweep, 30.0);
+        let mut idx = 0usize;
+        b.iter(|| {
+            for _ in 0..sweep.sweeps_per_frame {
+                let s = &sweeps[idx % sweeps.len()][0];
+                idx += 1;
+                black_box(est.push_sweep(s));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_full_frame, bench_single_antenna_frame
+}
+criterion_main!(benches);

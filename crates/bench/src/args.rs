@@ -1,0 +1,107 @@
+//! Minimal CLI parsing for the harness binaries (no external CLI crate —
+//! the approved dependency list is fixed, and two flags don't justify one).
+
+/// Common harness options.
+///
+/// * `--paper` — run at the paper's full scale (100 × 1-minute experiments
+///   where applicable) instead of the quick default sized for a laptop.
+/// * `--seed N` — base seed (default 1).
+/// * `--experiments N` — override the experiment count.
+/// * `--duration S` — override the per-experiment duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessArgs {
+    /// Full paper scale.
+    pub paper_scale: bool,
+    /// Base seed.
+    pub seed: u64,
+    /// Experiment-count override.
+    pub experiments: Option<usize>,
+    /// Duration override (s).
+    pub duration: Option<f64>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { paper_scale: false, seed: 1, experiments: None, duration: None }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses from the process arguments, ignoring unknown flags.
+    pub fn parse() -> HarnessArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--paper" => out.paper_scale = true,
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                "--experiments" => {
+                    out.experiments = it.next().and_then(|s| s.parse().ok());
+                }
+                "--duration" => {
+                    out.duration = it.next().and_then(|s| s.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Picks an experiment count: override > paper scale > quick default.
+    pub fn experiment_count(&self, quick: usize, paper: usize) -> usize {
+        self.experiments.unwrap_or(if self.paper_scale { paper } else { quick })
+    }
+
+    /// Picks a duration: override > paper scale > quick default.
+    pub fn duration_s(&self, quick: f64, paper: f64) -> f64 {
+        self.duration.unwrap_or(if self.paper_scale { paper } else { quick })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let a = parse(&[]);
+        assert!(!a.paper_scale);
+        assert_eq!(a.seed, 1);
+        assert_eq!(a.experiment_count(10, 100), 10);
+        assert_eq!(a.duration_s(12.0, 60.0), 12.0);
+    }
+
+    #[test]
+    fn paper_flag_scales_up() {
+        let a = parse(&["--paper"]);
+        assert_eq!(a.experiment_count(10, 100), 100);
+        assert_eq!(a.duration_s(12.0, 60.0), 60.0);
+    }
+
+    #[test]
+    fn overrides_win() {
+        let a = parse(&["--paper", "--experiments", "7", "--duration", "3.5", "--seed", "99"]);
+        assert_eq!(a.experiment_count(10, 100), 7);
+        assert_eq!(a.duration_s(12.0, 60.0), 3.5);
+        assert_eq!(a.seed, 99);
+    }
+
+    #[test]
+    fn junk_is_ignored() {
+        let a = parse(&["--whatever", "--seed", "not-a-number"]);
+        assert_eq!(a.seed, 1);
+    }
+}

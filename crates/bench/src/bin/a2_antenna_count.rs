@@ -1,0 +1,49 @@
+//! A2 (§5 ablation) — does over-constraining with extra receive antennas
+//! add robustness?
+//!
+//! Paper design claim: "adding more antennas would result in more
+//! constraints … and hence add extra robustness to noise." We compare the
+//! 3-antenna closed form against 4/5-antenna least squares at an elevated
+//! noise level.
+
+use witrack_bench::printing::{banner, cm};
+use witrack_bench::{run_parallel, run_tracking, HarnessArgs, TrackingSpec};
+use witrack_core::metrics::AxisErrors;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "A2",
+        "3D error vs number of receive antennas (noisy regime)",
+        "more antennas -> lower error via least-squares averaging",
+    );
+    let n = args.experiment_count(4, 20);
+    let dur = args.duration_s(10.0, 60.0);
+    println!("\nrx-antennas  median-3D-error  90th-3D-error");
+    for extra in [0usize, 1, 2] {
+        let specs: Vec<TrackingSpec> = (0..n)
+            .map(|i| TrackingSpec {
+                duration_s: dur,
+                seed: args.seed + i as u64 * 53,
+                extra_rx: extra,
+                noise_std: 0.4, // elevated noise to expose the difference
+                ..TrackingSpec::default()
+            })
+            .collect();
+        let results = run_parallel(&specs, run_tracking);
+        let mut errors = AxisErrors::new();
+        let mut e3d = Vec::new();
+        for r in &results {
+            errors.merge(&r.errors);
+            for s in &r.samples {
+                e3d.push(s.estimate.distance(s.truth));
+            }
+        }
+        println!(
+            "{:<12} {:<16} {}",
+            3 + extra,
+            cm(witrack_dsp::stats::percentile(&e3d, 50.0)),
+            cm(witrack_dsp::stats::percentile(&e3d, 90.0))
+        );
+    }
+}

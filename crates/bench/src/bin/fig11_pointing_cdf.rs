@@ -1,0 +1,52 @@
+//! Fig. 11 — CDF of the pointing-direction error.
+//!
+//! Paper result: median orientation error 11.2°, 90th percentile 37.9°.
+
+use witrack_bench::printing::{banner, print_cdf};
+use witrack_bench::runner::{run_pointing, PointingSpec};
+use witrack_bench::HarnessArgs;
+use witrack_dsp::stats::EmpiricalCdf;
+use witrack_geom::Vec3;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "F11",
+        "pointing-direction error CDF",
+        "median 11.2 degrees, 90th percentile 37.9 degrees",
+    );
+    let n = args.experiment_count(12, 40);
+    let mut errors = Vec::new();
+    let mut failures = 0;
+    for i in 0..n {
+        // Random stances and directions across the room, like the §9.4
+        // protocol ("stand in random different locations … point in a
+        // direction of their choice").
+        let golden = 0.618_033_988_749_895_f64;
+        let u = (i as f64 * golden) % 1.0;
+        let v = (i as f64 * golden * golden) % 1.0;
+        let stance = Vec3::new(-1.5 + 3.0 * u, 3.5 + 3.0 * v, 1.0);
+        let az = (u - 0.5) * 2.2; // ±63° azimuth
+        let el = (v - 0.3) * 0.9;
+        let direction = Vec3::new(az.sin(), az.cos(), el).normalized().expect("unit");
+        let spec = PointingSpec {
+            seed: args.seed + i as u64 * 37,
+            stance,
+            direction,
+            ..PointingSpec::default()
+        };
+        let out = run_pointing(&spec);
+        match out.error_deg {
+            Some(e) => errors.push(e),
+            None => failures += 1,
+        }
+    }
+    println!("\ngestures: {n}, estimated: {}, failed to segment: {failures}", errors.len());
+    let cdf = EmpiricalCdf::new(errors);
+    print_cdf("pointing_error_deg", &cdf, 21);
+    println!(
+        "summary: median {:.1} deg (paper 11.2), 90th {:.1} deg (paper 37.9)",
+        cdf.median(),
+        cdf.percentile(90.0)
+    );
+}

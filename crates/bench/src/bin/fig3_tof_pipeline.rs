@@ -1,0 +1,95 @@
+//! Fig. 3 — the §4 TOF pipeline stage by stage.
+//!
+//! (a) raw spectrogram: horizontal stripes from static reflectors (the
+//!     Flash Effect) dwarf the body echo;
+//! (b) after background subtraction only the moving body (and its dynamic
+//!     multipath) remains;
+//! (c) the raw bottom contour is noisy; the denoised contour is smooth.
+//!
+//! Emits gnuplot-ready CSV blocks plus terminal heat maps.
+
+use witrack_bench::printing::banner;
+use witrack_bench::HarnessArgs;
+use witrack_dsp::window::WindowKind;
+use witrack_fmcw::{
+    BackgroundSubtractor, ContourConfig, ContourTracker, DistanceDenoiser, RangeProfiler,
+    Spectrogram, SweepConfig,
+};
+use witrack_geom::{AntennaArray, Vec3};
+use witrack_sim::motion::{RandomWalk, Rect};
+use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "F3",
+        "spectrogram -> background subtraction -> contour -> denoised contour",
+        "static stripes vanish after subtraction; bottom contour tracks the walker",
+    );
+    let sweep = SweepConfig::witrack();
+    let dur = args.duration_s(20.0, 20.0);
+    let array = AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0);
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array,
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, dur, 0.25, args.seed);
+    let mut sim = Simulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed: args.seed },
+        channel,
+        Box::new(motion),
+    );
+
+    // Antenna 0 only, stage by stage (matches the paper's single-antenna
+    // figure).
+    let mut profiler = RangeProfiler::new(&sweep, WindowKind::Hann, 30.0);
+    let mut background = BackgroundSubtractor::new();
+    let tracker = ContourTracker::new(sweep, ContourConfig::default());
+    let mut denoiser = DistanceDenoiser::new(Default::default());
+    let bins = profiler.keep_bins();
+    let mut raw_spec = Spectrogram::new(&sweep, bins);
+    let mut sub_spec = Spectrogram::new(&sweep, bins);
+    let mut contour_rows = Vec::new();
+
+    while let Some(set) = sim.next_sweeps() {
+        if let Some(profile) = profiler.push_sweep(&set.per_rx[0]) {
+            let mags: Vec<f64> = profile.iter().map(|z| z.abs()).collect();
+            raw_spec.push_row(&mags);
+            if let Some(sub) = background.push(&profile) {
+                let detection = tracker.detect(&sub);
+                let denoised =
+                    denoiser.push(detection.map(|d| d.round_trip_m), sweep.frame_duration_s());
+                contour_rows.push((
+                    set.time_s,
+                    detection.map(|d| d.round_trip_m),
+                    denoised.map(|d| d.round_trip_m),
+                ));
+                sub_spec.push_row(&sub);
+            }
+        }
+    }
+
+    println!("\n# Fig 3(a) raw spectrogram heat map (time down, 0-30 m round trip across)");
+    print!("{}", raw_spec.ascii(80, 24));
+    println!("\n# Fig 3(b) after background subtraction");
+    print!("{}", sub_spec.ascii(80, 24));
+    println!("\n# Fig 3(c) contour tracking: time_s raw_round_trip_m denoised_round_trip_m");
+    let stride = (contour_rows.len() / 120).max(1);
+    for (t, raw, den) in contour_rows.iter().step_by(stride) {
+        println!(
+            "{t:.3} {} {}",
+            raw.map(|v| format!("{v:.3}")).unwrap_or_else(|| "nan".into()),
+            den.map(|v| format!("{v:.3}")).unwrap_or_else(|| "nan".into()),
+        );
+    }
+    // Quantify the flash-effect removal: the strongest static stripe vs the
+    // strongest surviving magnitude.
+    let peak_raw = raw_spec.rows().iter().flatten().cloned().fold(0.0_f64, f64::max);
+    let peak_sub = sub_spec.rows().iter().flatten().cloned().fold(0.0_f64, f64::max);
+    println!(
+        "\n# flash effect: peak raw magnitude {peak_raw:.1}, peak after subtraction {peak_sub:.1} ({:.1} dB removed)",
+        20.0 * (peak_raw / peak_sub).log10()
+    );
+}

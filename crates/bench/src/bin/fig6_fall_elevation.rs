@@ -1,0 +1,48 @@
+//! Fig. 6 — tracked elevation vs time for the four §9.5 activities.
+//!
+//! Paper result: walking stays high; sitting on a chair settles ~0.6 m;
+//! sitting on the floor and falling both end near the ground, but the fall's
+//! descent is much faster — the separation the §6.2 detector exploits.
+
+use witrack_bench::printing::banner;
+use witrack_bench::runner::{run_activity, ActivitySpec};
+use witrack_bench::HarnessArgs;
+use witrack_sim::motion::Activity;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "F6",
+        "elevation vs time per activity",
+        "walk ~constant; sit-chair ~0.6 m; sit-floor low & slow; fall low & fast",
+    );
+    let dur = args.duration_s(18.0, 30.0);
+    for activity in Activity::all() {
+        let spec = ActivitySpec {
+            activity,
+            seed: args.seed + 11,
+            duration_s: dur,
+            ..ActivitySpec::default()
+        };
+        let track = run_activity(&spec);
+        println!("\n# {} ({} samples)", activity.label(), track.len());
+        println!("# time_s elevation_m");
+        // Subsample to ~100 rows per activity for readable output.
+        let stride = (track.len() / 100).max(1);
+        for (t, z) in track.iter().step_by(stride) {
+            println!("{t:.3} {z:.3}");
+        }
+        if let (Some(first), Some(last)) = (track.first(), track.last()) {
+            let head: Vec<f64> = track.iter().take(40).map(|&(_, z)| z).collect();
+            let tail: Vec<f64> = track.iter().rev().take(40).map(|&(_, z)| z).collect();
+            println!(
+                "# {}: span {:.1}-{:.1} s, early median z {:.2} m, final median z {:.2} m",
+                activity.label(),
+                first.0,
+                last.0,
+                witrack_dsp::stats::median(&head),
+                witrack_dsp::stats::median(&tail)
+            );
+        }
+    }
+}

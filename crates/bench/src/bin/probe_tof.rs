@@ -1,0 +1,44 @@
+//! TOF-stage diagnostic: per-antenna raw detection and denoised errors.
+use witrack_core::{WiTrack, WiTrackConfig};
+use witrack_sim::motion::{RandomWalk, Rect};
+use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
+
+fn main() {
+    let sweep = witrack_fmcw::SweepConfig::witrack();
+    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let mut wt = WiTrack::new(cfg).unwrap();
+    let array = wt.array().clone();
+    let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 10.0, 0.25, 3);
+    let channel = Channel { scene: Scene::witrack_lab(true), array: array.clone(), body: BodyModel::adult(), reference_amplitude: 100.0 };
+    let mut sim = Simulator::new(SimConfig { sweep, noise_std: 0.05, seed: 3 }, channel, Box::new(motion));
+    let mut raw_errs: Vec<Vec<f64>> = vec![vec![]; 3];
+    let mut den_errs: Vec<Vec<f64>> = vec![vec![]; 3];
+    let mut miss = [0usize; 3];
+    let mut frames = 0usize;
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(u) = wt.push_sweeps(&refs) {
+            if u.time_s < 2.0 { continue; }
+            frames += 1;
+            let truth = sim.surface_truth(u.time_s);
+            for k in 0..3 {
+                let rt_true = array.round_trip(truth, k);
+                match u.frames[k].detection {
+                    Some(d) => raw_errs[k].push((d.round_trip_m - rt_true).abs()),
+                    None => miss[k] += 1,
+                }
+                if let Some(d) = u.round_trips[k] {
+                    den_errs[k].push((d - rt_true).abs());
+                }
+            }
+        }
+    }
+    for k in 0..3 {
+        let med = witrack_dsp::stats::median(&raw_errs[k]);
+        let p90 = witrack_dsp::stats::percentile(&raw_errs[k], 90.0);
+        let dmed = witrack_dsp::stats::median(&den_errs[k]);
+        let dp90 = witrack_dsp::stats::percentile(&den_errs[k], 90.0);
+        let gross = raw_errs[k].iter().filter(|&&e| e > 0.5).count();
+        println!("rx{k}: raw med {med:.3} p90 {p90:.3} | denoised med {dmed:.3} p90 {dp90:.3} | miss {}/{frames} gross {gross}", miss[k]);
+    }
+}

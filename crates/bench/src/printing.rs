@@ -1,0 +1,58 @@
+//! Figure-style terminal output shared by the harness binaries.
+
+use witrack_dsp::stats::EmpiricalCdf;
+
+/// Prints a figure/table banner with the paper reference.
+pub fn banner(id: &str, title: &str, paper_says: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_says}");
+    println!("==================================================================");
+}
+
+/// Prints an empirical CDF as `value fraction` rows (gnuplot-ready), plus
+/// the median and 90th percentile the paper quotes.
+pub fn print_cdf(label: &str, cdf: &EmpiricalCdf, points: usize) {
+    println!("# CDF: {label} (n = {})", cdf.len());
+    println!("# {label}_value fraction");
+    for (v, f) in cdf.plot_points(points) {
+        println!("{v:.4} {f:.3}");
+    }
+    println!(
+        "# {label}: median = {:.4}, 90th percentile = {:.4}",
+        cdf.median(),
+        cdf.percentile(90.0)
+    );
+}
+
+/// Prints a `x median p90` series (the Fig. 9/10 format).
+pub fn print_median_p90_series(header: &str, rows: &[(f64, f64, f64)]) {
+    println!("# {header}");
+    for &(x, med, p90) in rows {
+        println!("{x:.2} {med:.4} {p90:.4}");
+    }
+}
+
+/// Formats meters as centimeters for summary lines.
+pub fn cm(meters: f64) -> String {
+    format!("{:.1} cm", meters * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_formats() {
+        assert_eq!(cm(0.131), "13.1 cm");
+        assert_eq!(cm(0.0), "0.0 cm");
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        banner("F8", "demo", "medians 10/9/18 cm");
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0]);
+        print_cdf("x", &cdf, 5);
+        print_median_p90_series("dist median p90", &[(3.0, 0.1, 0.3)]);
+    }
+}

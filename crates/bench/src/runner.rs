@@ -1,0 +1,481 @@
+//! End-to-end tracking experiments: simulator in, error statistics out.
+
+use crossbeam::thread;
+use witrack_core::metrics::AxisErrors;
+use witrack_core::pointing::{PointingConfig, PointingEstimate, PointingEstimator};
+use witrack_core::{SolverChoice, WiTrack, WiTrackConfig};
+use witrack_fmcw::{SweepConfig, TofFrame};
+use witrack_geom::{AntennaArray, TArray, Vec3};
+use witrack_sim::motion::{Activity, ActivityScript, PointingScript, RandomWalk, Rect};
+use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
+
+/// Parameters of one randomized tracking experiment (§9.1–9.3 workloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingSpec {
+    /// Through-wall (array behind the sheetrock wall) vs line-of-sight.
+    pub through_wall: bool,
+    /// Experiment length (s). The paper runs 1-minute experiments.
+    pub duration_s: f64,
+    /// Tx–Rx antenna separation (m). 1 m default; Fig. 10 sweeps it.
+    pub separation: f64,
+    /// Trial seed: drives the walk, the noise, and the specular wander.
+    pub seed: u64,
+    /// Direct-path occlusion amplitude (1.0 = clear; A1 lowers it).
+    pub occlusion_amp: f64,
+    /// Subject build scale (≈0.8–1.15 across the paper's 11 subjects).
+    pub subject_scale: f64,
+    /// Receiver noise std-dev.
+    pub noise_std: f64,
+    /// Sweep configuration (the paper's by default; tests pass reduced ones).
+    pub sweep: SweepConfig,
+    /// Extra receive antennas beyond the T's three (A2 ablation; forces the
+    /// least-squares solver).
+    pub extra_rx: usize,
+    /// Walking speed (m/s).
+    pub walk_speed: f64,
+    /// Walking region override (defaults to the paper's 6 × 5 m VICON area).
+    pub region: Option<Rect>,
+    /// Back-wall depth override (m; default 10.0). Fig. 9 pushes the subject
+    /// out to 11 m, which needs a deeper room.
+    pub room_depth_y: f64,
+}
+
+impl Default for TrackingSpec {
+    fn default() -> Self {
+        TrackingSpec {
+            through_wall: true,
+            duration_s: 15.0,
+            separation: 1.0,
+            seed: 1,
+            occlusion_amp: 1.0,
+            subject_scale: 1.0,
+            noise_std: 0.05,
+            sweep: SweepConfig::witrack(),
+            extra_rx: 0,
+            walk_speed: 1.0,
+            region: None,
+            room_depth_y: 10.0,
+        }
+    }
+}
+
+/// One evaluated frame of a tracking experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackSample {
+    /// Frame time (s).
+    pub time_s: f64,
+    /// WiTrack's position estimate.
+    pub estimate: Vec3,
+    /// The §8(a)-compensated ground truth (mean body-surface point).
+    pub truth: Vec3,
+    /// Distance from the transmit antenna to the truth (for Fig. 9 binning).
+    pub distance_from_tx: f64,
+    /// Whether this frame's estimate was held/interpolated.
+    pub held: bool,
+}
+
+/// Everything one experiment produced.
+#[derive(Debug, Clone)]
+pub struct TrackingResult {
+    /// Per-axis absolute errors over all evaluated frames.
+    pub errors: AxisErrors,
+    /// The raw evaluated frames.
+    pub samples: Vec<TrackSample>,
+    /// Fraction of frames where the pipeline had no position solution.
+    pub dropout_fraction: f64,
+}
+
+/// Warm-up trimmed from the start of every experiment (background baseline,
+/// Kalman seeding), in seconds.
+const WARMUP_S: f64 = 2.0;
+
+/// Runs one tracking experiment end-to-end.
+pub fn run_tracking(spec: &TrackingSpec) -> TrackingResult {
+    let origin = Vec3::new(0.0, 0.0, 1.0);
+    let mut scene = Scene::witrack_lab(spec.through_wall).with_occlusion(spec.occlusion_amp);
+    if spec.room_depth_y != 10.0 {
+        // Move the back wall so deeper walking regions stay indoors.
+        if let Some(back) = scene.bounce_walls.last_mut() {
+            back.plane = witrack_geom::Plane::wall_at_y(spec.room_depth_y);
+        }
+    }
+    let body = BodyModel::scaled(spec.subject_scale);
+    let center_z = spec.subject_scale; // body center ≈ 1 m for scale 1
+
+    let wt_cfg = WiTrackConfig {
+        sweep: spec.sweep,
+        array_origin: origin,
+        antenna_separation: spec.separation,
+        solver: if spec.extra_rx == 0 {
+            SolverChoice::ClosedForm
+        } else {
+            SolverChoice::LeastSquares
+        },
+        ..WiTrackConfig::witrack_default()
+    };
+    let (mut wt, array) = if spec.extra_rx == 0 {
+        let wt = WiTrack::new(wt_cfg).expect("valid config");
+        let array = wt.array().clone();
+        (wt, array)
+    } else {
+        let array = AntennaArray::t_shape_extended(origin, spec.separation, spec.extra_rx);
+        let wt = WiTrack::with_array(wt_cfg, array.clone()).expect("valid config");
+        (wt, array)
+    };
+
+    let motion = RandomWalk::new(
+        spec.region.unwrap_or_else(Rect::vicon_area),
+        center_z,
+        spec.walk_speed,
+        spec.duration_s,
+        0.25,
+        spec.seed,
+    );
+    let channel = Channel { scene, array, body, reference_amplitude: 100.0 };
+    let mut sim = Simulator::new(
+        SimConfig { sweep: spec.sweep, noise_std: spec.noise_std, seed: spec.seed },
+        channel,
+        Box::new(motion),
+    );
+
+    let mut errors = AxisErrors::new();
+    let mut samples = Vec::new();
+    let mut frames_total = 0u64;
+    let mut frames_missing = 0u64;
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(update) = wt.push_sweeps(&refs) {
+            if update.time_s < WARMUP_S {
+                continue;
+            }
+            frames_total += 1;
+            match update.position {
+                Some(est) => {
+                    let truth = sim.surface_truth(update.time_s);
+                    errors.push(est, truth);
+                    samples.push(TrackSample {
+                        time_s: update.time_s,
+                        estimate: est,
+                        truth,
+                        distance_from_tx: truth.distance(Vec3::new(0.0, 0.0, 1.0)),
+                        held: update.held,
+                    });
+                }
+                None => frames_missing += 1,
+            }
+        }
+    }
+    let dropout_fraction = if frames_total == 0 {
+        1.0
+    } else {
+        frames_missing as f64 / frames_total as f64
+    };
+    TrackingResult { errors, samples, dropout_fraction }
+}
+
+/// Runs `f` over every spec on a scoped thread pool sized to the machine
+/// (on a single-core box this degrades to sequential execution). Results
+/// come back in spec order.
+pub fn run_parallel<T, F>(specs: &[TrackingSpec], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&TrackingSpec) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = workers.min(specs.len()).max(1);
+    let mut out: Vec<Option<T>> = specs.iter().map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out_cells: Vec<std::sync::Mutex<&mut Option<T>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let r = f(&specs[i]);
+                **out_cells[i].lock().expect("unpoisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(out_cells);
+    out.into_iter().map(|o| o.expect("all specs processed")).collect()
+}
+
+/// Parameters of one pointing-gesture experiment (§9.4 workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointingSpec {
+    /// Trial seed.
+    pub seed: u64,
+    /// Where the subject stands (body center).
+    pub stance: Vec3,
+    /// Scripted pointing direction (shoulder-anchored).
+    pub direction: Vec3,
+    /// Sweep configuration.
+    pub sweep: SweepConfig,
+    /// Receiver noise std-dev.
+    pub noise_std: f64,
+    /// Through-wall or line-of-sight.
+    pub through_wall: bool,
+}
+
+impl Default for PointingSpec {
+    fn default() -> Self {
+        PointingSpec {
+            seed: 1,
+            stance: Vec3::new(0.0, 5.0, 1.0),
+            direction: Vec3::new(0.0, 1.0, 0.2),
+            sweep: SweepConfig::witrack(),
+            noise_std: 0.05,
+            through_wall: true,
+        }
+    }
+}
+
+/// Result of one pointing trial.
+#[derive(Debug, Clone)]
+pub struct PointingOutcome {
+    /// Angular error (degrees) when an estimate was produced.
+    pub error_deg: Option<f64>,
+    /// The full estimate, when produced.
+    pub estimate: Option<PointingEstimate>,
+    /// The truth the error is measured against: the unit hand displacement
+    /// rest → extended (what the VICON glove markers measure in §9.4).
+    pub truth_direction: Vec3,
+}
+
+/// Runs one pointing-gesture experiment end-to-end.
+pub fn run_pointing(spec: &PointingSpec) -> PointingOutcome {
+    let origin = Vec3::new(0.0, 0.0, 1.0);
+    let tarray = TArray::symmetric(origin, 1.0);
+    let script = PointingScript::new(spec.stance, spec.direction, spec.seed);
+    let truth_direction = (script.hand_extended() - script.hand_rest())
+        .normalized()
+        .expect("non-degenerate gesture");
+
+    let wt_cfg = WiTrackConfig { sweep: spec.sweep, ..WiTrackConfig::witrack_default() };
+    let mut wt = WiTrack::new(wt_cfg).expect("valid config");
+    let array = wt.array().clone();
+    let channel = Channel {
+        scene: Scene::witrack_lab(spec.through_wall),
+        array,
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let mut sim = Simulator::new(
+        SimConfig { sweep: spec.sweep, noise_std: spec.noise_std, seed: spec.seed },
+        channel,
+        Box::new(script),
+    );
+
+    let mut frames: Vec<Vec<TofFrame>> = vec![Vec::new(); 3];
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(update) = wt.push_sweeps(&refs) {
+            for (k, f) in update.frames.into_iter().enumerate() {
+                frames[k].push(f);
+            }
+        }
+    }
+    let estimator = PointingEstimator::new(
+        PointingConfig::default(),
+        tarray,
+        spec.sweep.frame_duration_s(),
+    );
+    match estimator.estimate(&frames) {
+        Ok(est) => PointingOutcome {
+            error_deg: Some(witrack_core::pointing::angular_error_deg(
+                est.direction,
+                truth_direction,
+            )),
+            estimate: Some(est),
+            truth_direction,
+        },
+        Err(_) => PointingOutcome { error_deg: None, estimate: None, truth_direction },
+    }
+}
+
+/// Parameters of one fall-study activity trial (§9.5 workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivitySpec {
+    /// Which of the four activities to perform.
+    pub activity: Activity,
+    /// Trial seed (randomizes transition speed, final elevation, anchor).
+    pub seed: u64,
+    /// Trial duration (s).
+    pub duration_s: f64,
+    /// Sweep configuration.
+    pub sweep: SweepConfig,
+    /// Receiver noise std-dev.
+    pub noise_std: f64,
+    /// Through-wall or line-of-sight.
+    pub through_wall: bool,
+}
+
+impl Default for ActivitySpec {
+    fn default() -> Self {
+        ActivitySpec {
+            activity: Activity::Fall,
+            seed: 1,
+            duration_s: 18.0,
+            sweep: SweepConfig::witrack(),
+            noise_std: 0.05,
+            through_wall: true,
+        }
+    }
+}
+
+/// Runs one activity trial and returns the tracked elevation series
+/// `(t, z)` — the input to the §6.2 fall classifier.
+pub fn run_activity(spec: &ActivitySpec) -> Vec<(f64, f64)> {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed.wrapping_mul(31).wrapping_add(7));
+    let anchor = Vec3::new(
+        -1.0 + 2.0 * rng.random::<f64>(),
+        4.0 + 3.0 * rng.random::<f64>(),
+        1.0,
+    );
+    let script = ActivityScript::generate(spec.activity, anchor, spec.duration_s, spec.seed);
+
+    let wt_cfg = WiTrackConfig { sweep: spec.sweep, ..WiTrackConfig::witrack_default() };
+    let mut wt = WiTrack::new(wt_cfg).expect("valid config");
+    let array = wt.array().clone();
+    let channel = Channel {
+        scene: Scene::witrack_lab(spec.through_wall),
+        array,
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let mut sim = Simulator::new(
+        SimConfig { sweep: spec.sweep, noise_std: spec.noise_std, seed: spec.seed },
+        channel,
+        Box::new(script),
+    );
+
+    let mut track = Vec::new();
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(update) = wt.push_sweeps(&refs) {
+            if update.time_s < WARMUP_S {
+                continue;
+            }
+            if let Some(p) = update.position {
+                track.push((update.time_s, p.z));
+            }
+        }
+    }
+    track
+}
+
+/// The ground-truth transition parameters of an activity trial, for harness
+/// reporting (regenerates the same script the runner used).
+pub fn activity_script_for(spec: &ActivitySpec) -> ActivityScript {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed.wrapping_mul(31).wrapping_add(7));
+    let anchor = Vec3::new(
+        -1.0 + 2.0 * rng.random::<f64>(),
+        4.0 + 3.0 * rng.random::<f64>(),
+        1.0,
+    );
+    ActivityScript::generate(spec.activity, anchor, spec.duration_s, spec.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reduced sweep so tests run quickly in debug builds.
+    pub fn quick_sweep() -> SweepConfig {
+        SweepConfig {
+            start_freq_hz: 5.56e8,
+            bandwidth_hz: 1.69e8,
+            sweep_duration_s: 1e-3,
+            sample_rate_hz: 100e3,
+            sweeps_per_frame: 5,
+            transmit_power_w: 1e-3,
+        }
+    }
+
+    #[test]
+    fn tracking_experiment_produces_bounded_errors() {
+        let spec = TrackingSpec {
+            duration_s: 8.0,
+            sweep: quick_sweep(),
+            seed: 42,
+            ..TrackingSpec::default()
+        };
+        let r = run_tracking(&spec);
+        assert!(r.errors.len() > 200, "only {} samples", r.errors.len());
+        assert!(r.dropout_fraction < 0.5, "dropout {}", r.dropout_fraction);
+        // This test runs a 10×-reduced bandwidth (1.77 m range bins) so it
+        // stays fast in debug builds. Per-antenna TOF errors at that bin
+        // width get amplified ~(range/separation)× when projected onto x
+        // (the paper's §9.1 geometry argument), so only y — where errors
+        // from the bar antennas are common-mode — stays tight. The paper-
+        // config accuracy claims are validated by the fig8 harness.
+        let (mx, _) = r.errors.summary(0);
+        let (my, _) = r.errors.summary(1);
+        assert!(my < 2.0, "y median {my}");
+        assert!(mx < 5.0, "x median {mx}");
+        // The y-beats-x geometric ordering is asserted at this bandwidth in
+        // tests/end_to_end.rs and at full bandwidth by the fig8 harness;
+        // this particular seed's pause pattern can flip it here.
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let specs: Vec<TrackingSpec> = (0..5)
+            .map(|i| TrackingSpec { seed: i, ..TrackingSpec::default() })
+            .collect();
+        let out = run_parallel(&specs, |s| s.seed * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn extra_antennas_run_through_least_squares() {
+        let spec = TrackingSpec {
+            duration_s: 5.0,
+            sweep: quick_sweep(),
+            extra_rx: 2,
+            seed: 7,
+            ..TrackingSpec::default()
+        };
+        let r = run_tracking(&spec);
+        assert!(r.errors.len() > 50);
+    }
+
+    #[test]
+    fn activity_runner_tracks_elevation_descent() {
+        let spec = ActivitySpec {
+            activity: Activity::Fall,
+            duration_s: 12.0,
+            sweep: quick_sweep(),
+            seed: 3,
+            ..ActivitySpec::default()
+        };
+        let track = run_activity(&spec);
+        // Structural checks only: the reduced test bandwidth (1.77 m bins,
+        // amplified ~5× into z by the stem geometry) cannot resolve the
+        // ~0.9 m descent; the full-bandwidth descent is validated by the
+        // fig6/t1 harnesses and the integration tests.
+        assert!(track.len() > 100, "only {} samples", track.len());
+        assert!(track.windows(2).all(|w| w[1].0 > w[0].0), "times not monotone");
+        assert!(track.iter().all(|&(_, z)| z.is_finite()));
+        // The regenerated script matches the spec.
+        let script = activity_script_for(&spec);
+        assert_eq!(script.activity(), Activity::Fall);
+    }
+
+    #[test]
+    fn pointing_runner_executes_with_reduced_config() {
+        // The reduced bandwidth cannot resolve an arm stroke accurately, so
+        // only check the experiment runs and reports a sane truth vector.
+        let spec = PointingSpec { sweep: quick_sweep(), seed: 5, ..PointingSpec::default() };
+        let out = run_pointing(&spec);
+        assert!((out.truth_direction.norm() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Point-to-control: selecting and toggling instrumented appliances.
+//!
+//! The paper demos pointing-based control of "a small set of appliances that
+//! we instrumented (lamp, computer screen, automatic shades)" via Insteon
+//! home drivers (§6.1). The drivers are hardware; this registry is the
+//! software side: given the user's hand position and pointing direction,
+//! select the appliance nearest the pointing ray (within an angular
+//! tolerance) and toggle its mode.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+use witrack_geom::Vec3;
+
+/// An instrumented device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Appliance {
+    /// Display name ("lamp", "screen", "shades", …).
+    pub name: String,
+    /// Location in the room (m).
+    pub position: Vec3,
+    /// Current mode (on/off).
+    pub on: bool,
+}
+
+/// A thread-safe registry of appliances (the pointing demo runs the tracker
+/// and the UI on different threads).
+#[derive(Debug, Clone, Default)]
+pub struct ApplianceRegistry {
+    inner: Arc<RwLock<Vec<Appliance>>>,
+}
+
+impl ApplianceRegistry {
+    /// An empty registry.
+    pub fn new() -> ApplianceRegistry {
+        ApplianceRegistry::default()
+    }
+
+    /// Registers a device (initially off). Returns the registry for
+    /// chaining.
+    pub fn register(&self, name: &str, position: Vec3) -> &ApplianceRegistry {
+        self.inner.write().push(Appliance { name: name.to_string(), position, on: false });
+        self
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot of all devices.
+    pub fn snapshot(&self) -> Vec<Appliance> {
+        self.inner.read().clone()
+    }
+
+    /// The device best aligned with a pointing ray from `origin` along
+    /// `direction`, if any falls within `max_angle_deg` of the ray.
+    pub fn select(&self, origin: Vec3, direction: Vec3, max_angle_deg: f64) -> Option<Appliance> {
+        let dir = direction.normalized()?;
+        let guard = self.inner.read();
+        let mut best: Option<(f64, &Appliance)> = None;
+        for a in guard.iter() {
+            let Some(angle) = (a.position - origin).angle_to(dir) else {
+                continue;
+            };
+            let deg = angle.to_degrees();
+            if deg <= max_angle_deg && best.map(|(b, _)| deg < b).unwrap_or(true) {
+                best = Some((deg, a));
+            }
+        }
+        best.map(|(_, a)| a.clone())
+    }
+
+    /// Toggles the named device; returns its new state, or `None` if absent.
+    pub fn toggle(&self, name: &str) -> Option<bool> {
+        let mut guard = self.inner.write();
+        let dev = guard.iter_mut().find(|a| a.name == name)?;
+        dev.on = !dev.on;
+        Some(dev.on)
+    }
+
+    /// Convenience for the demo: select by pointing ray and toggle in one
+    /// step. Returns the toggled device.
+    pub fn point_and_toggle(
+        &self,
+        origin: Vec3,
+        direction: Vec3,
+        max_angle_deg: f64,
+    ) -> Option<Appliance> {
+        let target = self.select(origin, direction, max_angle_deg)?;
+        self.toggle(&target.name);
+        self.snapshot().into_iter().find(|a| a.name == target.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_registry() -> ApplianceRegistry {
+        let reg = ApplianceRegistry::new();
+        reg.register("lamp", Vec3::new(2.0, 6.0, 1.2));
+        reg.register("screen", Vec3::new(-2.0, 5.0, 1.0));
+        reg.register("shades", Vec3::new(0.0, 9.0, 1.5));
+        reg
+    }
+
+    #[test]
+    fn selects_best_aligned_device() {
+        let reg = demo_registry();
+        let origin = Vec3::new(0.0, 4.0, 1.0);
+        let toward_lamp = Vec3::new(2.0, 2.0, 0.2);
+        let hit = reg.select(origin, toward_lamp, 25.0).unwrap();
+        assert_eq!(hit.name, "lamp");
+    }
+
+    #[test]
+    fn angular_tolerance_rejects_far_pointing() {
+        let reg = demo_registry();
+        let origin = Vec3::new(0.0, 4.0, 1.0);
+        // Pointing straight up: nothing within 25°.
+        assert!(reg.select(origin, Vec3::Z, 25.0).is_none());
+        // Degenerate direction.
+        assert!(reg.select(origin, Vec3::ZERO, 25.0).is_none());
+    }
+
+    #[test]
+    fn toggle_flips_state() {
+        let reg = demo_registry();
+        assert_eq!(reg.toggle("lamp"), Some(true));
+        assert_eq!(reg.toggle("lamp"), Some(false));
+        assert_eq!(reg.toggle("fridge"), None);
+    }
+
+    #[test]
+    fn point_and_toggle_round_trip() {
+        let reg = demo_registry();
+        let origin = Vec3::new(0.0, 4.0, 1.0);
+        let toward_shades = Vec3::new(0.0, 5.0, 0.5);
+        let dev = reg.point_and_toggle(origin, toward_shades, 25.0).unwrap();
+        assert_eq!(dev.name, "shades");
+        assert!(dev.on);
+        // Registry state actually changed.
+        let snap = reg.snapshot();
+        assert!(snap.iter().find(|a| a.name == "shades").unwrap().on);
+        assert!(!snap.iter().find(|a| a.name == "lamp").unwrap().on);
+    }
+
+    #[test]
+    fn registry_is_shared_between_clones() {
+        let reg = demo_registry();
+        let clone = reg.clone();
+        clone.toggle("screen");
+        assert!(reg.snapshot().iter().find(|a| a.name == "screen").unwrap().on);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+}

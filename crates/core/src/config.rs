@@ -1,0 +1,95 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+use witrack_fmcw::{ContourConfig, DenoiseConfig, SweepConfig};
+use witrack_geom::Vec3;
+
+/// Which 3D solver turns round trips into positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverChoice {
+    /// The closed-form T-array solution (the paper's precomputed symbolic
+    /// solve, §7). Only valid for the exact T geometry with 3 receivers.
+    ClosedForm,
+    /// Damped Gauss–Newton least squares; required for ≥4 receivers or
+    /// non-T geometries (§5's over-constrained extension).
+    LeastSquares,
+}
+
+/// Full configuration of a [`crate::WiTrack`] pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WiTrackConfig {
+    /// FMCW sweep parameters.
+    pub sweep: SweepConfig,
+    /// World position of the transmit antenna (crossing of the "T").
+    pub array_origin: Vec3,
+    /// Tx–Rx separation on the T (1 m in the paper's default setup, varied
+    /// 0.25–2 m in Fig. 10).
+    pub antenna_separation: f64,
+    /// Range bins beyond this round-trip distance are discarded (the paper's
+    /// plots stop at 30 m round trip).
+    pub max_round_trip_m: f64,
+    /// Contour-tracking thresholds (§4.3).
+    pub contour: ContourConfig,
+    /// Denoising parameters (§4.4).
+    pub denoise: DenoiseConfig,
+    /// 3D solver selection.
+    pub solver: SolverChoice,
+}
+
+impl Default for WiTrackConfig {
+    fn default() -> Self {
+        WiTrackConfig {
+            sweep: SweepConfig::witrack(),
+            array_origin: Vec3::new(0.0, 0.0, 1.0),
+            antenna_separation: 1.0,
+            max_round_trip_m: 30.0,
+            contour: ContourConfig::default(),
+            denoise: DenoiseConfig::default(),
+            solver: SolverChoice::ClosedForm,
+        }
+    }
+}
+
+impl WiTrackConfig {
+    /// The paper's default deployment: T-array at 1 m height with 1 m
+    /// separation, prototype sweep parameters.
+    pub fn witrack_default() -> WiTrackConfig {
+        WiTrackConfig::default()
+    }
+
+    /// Returns a copy with a different antenna separation (Fig. 10 sweeps).
+    pub fn with_separation(mut self, sep: f64) -> WiTrackConfig {
+        self.antenna_separation = sep;
+        self
+    }
+
+    /// Returns a copy with a different sweep configuration (reduced configs
+    /// for tests).
+    pub fn with_sweep(mut self, sweep: SweepConfig) -> WiTrackConfig {
+        self.sweep = sweep;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = WiTrackConfig::witrack_default();
+        assert_eq!(c.antenna_separation, 1.0);
+        assert_eq!(c.solver, SolverChoice::ClosedForm);
+        assert_eq!(c.sweep.samples_per_sweep(), 2500);
+        assert_eq!(c.max_round_trip_m, 30.0);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = WiTrackConfig::witrack_default().with_separation(0.25);
+        assert_eq!(c.antenna_separation, 0.25);
+        let s = SweepConfig { sweeps_per_frame: 3, ..SweepConfig::witrack() };
+        let c = c.with_sweep(s);
+        assert_eq!(c.sweep.sweeps_per_frame, 3);
+    }
+}

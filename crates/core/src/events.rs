@@ -1,0 +1,268 @@
+//! A streaming event layer over the pipeline: presence, motion state, and
+//! fall alarms as discrete events.
+//!
+//! [`WiTrack`](crate::WiTrack) emits one [`TrackUpdate`](crate::TrackUpdate)
+//! per frame — 80 per second. Applications (home automation, elderly-care
+//! alerting, the gaming demo) want *edges*, not frames: "a person appeared",
+//! "they stopped moving", "they fell". [`EventDetector`] turns the frame
+//! stream into exactly those edges, debounced against single-frame flicker.
+
+use crate::fall::{FallConfig, FallDetector, FallEvent};
+use crate::pipeline::TrackUpdate;
+use witrack_geom::Vec3;
+
+/// A discrete event derived from the tracking stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A moving person entered the monitored space (first stable fix).
+    PersonDetected {
+        /// Time of the first stable fix (s).
+        time_s: f64,
+        /// Where they appeared.
+        position: Vec3,
+    },
+    /// The person stopped moving (the pipeline is now interpolating).
+    BecameStill {
+        /// Time the stillness was confirmed (s).
+        time_s: f64,
+        /// The held position.
+        position: Vec3,
+    },
+    /// The person resumed moving after a still period.
+    ResumedMoving {
+        /// Time motion resumed (s).
+        time_s: f64,
+        /// Where motion resumed.
+        position: Vec3,
+    },
+    /// A fall was detected (§6.2).
+    Fall(FallEvent),
+}
+
+impl Event {
+    /// The event timestamp (s).
+    pub fn time_s(&self) -> f64 {
+        match *self {
+            Event::PersonDetected { time_s, .. }
+            | Event::BecameStill { time_s, .. }
+            | Event::ResumedMoving { time_s, .. } => time_s,
+            Event::Fall(e) => e.time_s,
+        }
+    }
+}
+
+/// Debounce/tuning for [`EventDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// Consecutive measured (non-held) frames required to declare presence
+    /// or resumed motion.
+    pub presence_frames: usize,
+    /// Consecutive held frames required to declare stillness (~0.5 s at the
+    /// paper's 80 fps).
+    pub still_frames: usize,
+    /// Fall-rule tuning.
+    pub fall: FallConfig,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig { presence_frames: 8, still_frames: 40, fall: FallConfig::default() }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MotionState {
+    NoPerson,
+    Moving,
+    Still,
+}
+
+/// Converts the per-frame stream into debounced events.
+#[derive(Debug, Clone)]
+pub struct EventDetector {
+    cfg: EventConfig,
+    state: MotionState,
+    measured_run: usize,
+    held_run: usize,
+    falls: FallDetector,
+}
+
+impl EventDetector {
+    /// Creates a detector in the "no person" state.
+    pub fn new(cfg: EventConfig) -> EventDetector {
+        EventDetector {
+            falls: FallDetector::new(cfg.fall),
+            cfg,
+            state: MotionState::NoPerson,
+            measured_run: 0,
+            held_run: 0,
+        }
+    }
+
+    /// Current high-level state as a string (for UIs/logs).
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            MotionState::NoPerson => "no person",
+            MotionState::Moving => "moving",
+            MotionState::Still => "still",
+        }
+    }
+
+    /// Feeds one frame; returns the events it triggered (usually none).
+    pub fn push(&mut self, update: &TrackUpdate) -> Vec<Event> {
+        let mut events = Vec::new();
+        let Some(position) = update.position else {
+            // No solution at all: nothing to say yet (pre-seed phase).
+            self.measured_run = 0;
+            return events;
+        };
+        if update.held {
+            self.held_run += 1;
+            self.measured_run = 0;
+        } else {
+            self.measured_run += 1;
+            self.held_run = 0;
+        }
+
+        match self.state {
+            MotionState::NoPerson => {
+                if self.measured_run >= self.cfg.presence_frames {
+                    self.state = MotionState::Moving;
+                    events.push(Event::PersonDetected { time_s: update.time_s, position });
+                }
+            }
+            MotionState::Moving => {
+                if self.held_run >= self.cfg.still_frames {
+                    self.state = MotionState::Still;
+                    events.push(Event::BecameStill { time_s: update.time_s, position });
+                }
+            }
+            MotionState::Still => {
+                if self.measured_run >= self.cfg.presence_frames {
+                    self.state = MotionState::Moving;
+                    events.push(Event::ResumedMoving { time_s: update.time_s, position });
+                }
+            }
+        }
+
+        // Fall detection runs on every positioned frame regardless of state.
+        if self.state != MotionState::NoPerson {
+            if let Some(fall) = self.falls.push(update.time_s, position.z) {
+                events.push(Event::Fall(fall));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(i: u64, pos: Option<Vec3>, held: bool) -> TrackUpdate {
+        TrackUpdate {
+            frame_index: i,
+            time_s: i as f64 * 0.0125,
+            round_trips: vec![],
+            position: pos,
+            held,
+            frames: vec![],
+        }
+    }
+
+    #[test]
+    fn presence_requires_stable_fixes() {
+        let mut det = EventDetector::new(EventConfig::default());
+        assert_eq!(det.state_label(), "no person");
+        // 7 measured frames: not yet.
+        for i in 0..7 {
+            let ev = det.push(&update(i, Some(Vec3::new(0.0, 5.0, 1.0)), false));
+            assert!(ev.is_empty(), "frame {i} fired early");
+        }
+        // 8th: detected.
+        let ev = det.push(&update(7, Some(Vec3::new(0.0, 5.0, 1.0)), false));
+        assert!(matches!(ev.as_slice(), [Event::PersonDetected { .. }]));
+        assert_eq!(det.state_label(), "moving");
+    }
+
+    #[test]
+    fn flicker_does_not_declare_presence() {
+        let mut det = EventDetector::new(EventConfig::default());
+        for i in 0..100 {
+            // Alternating one fix, one dropout.
+            let pos = (i % 2 == 0).then_some(Vec3::new(0.0, 5.0, 1.0));
+            let ev = det.push(&update(i, pos, false));
+            assert!(ev.is_empty());
+        }
+        assert_eq!(det.state_label(), "no person");
+    }
+
+    #[test]
+    fn still_and_resume_cycle() {
+        let mut det = EventDetector::new(EventConfig::default());
+        let p = Vec3::new(1.0, 4.0, 1.0);
+        let mut i = 0;
+        let mut all = Vec::new();
+        for _ in 0..10 {
+            all.extend(det.push(&update(i, Some(p), false)));
+            i += 1;
+        }
+        for _ in 0..45 {
+            all.extend(det.push(&update(i, Some(p), true)));
+            i += 1;
+        }
+        for _ in 0..10 {
+            all.extend(det.push(&update(i, Some(p), false)));
+            i += 1;
+        }
+        let kinds: Vec<&'static str> = all
+            .iter()
+            .map(|e| match e {
+                Event::PersonDetected { .. } => "detected",
+                Event::BecameStill { .. } => "still",
+                Event::ResumedMoving { .. } => "resumed",
+                Event::Fall(_) => "fall",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["detected", "still", "resumed"]);
+        // Events carry monotonically increasing times.
+        let times: Vec<f64> = all.iter().map(|e| e.time_s()).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn fall_event_is_forwarded() {
+        let mut det = EventDetector::new(EventConfig::default());
+        let mut i = 0;
+        let mut saw_fall = false;
+        // Walk at 1 m elevation for 6 s.
+        for _ in 0..480 {
+            det.push(&update(i, Some(Vec3::new(0.0, 5.0, 1.0)), false));
+            i += 1;
+        }
+        // Fast drop to the floor over 0.4 s, then settle.
+        for k in 0..32 {
+            let s = k as f64 / 32.0;
+            let z = 1.0 + (0.1 - 1.0) * (s * s * (3.0 - 2.0 * s));
+            det.push(&update(i, Some(Vec3::new(0.0, 5.0, z)), false));
+            i += 1;
+        }
+        for _ in 0..80 {
+            let ev = det.push(&update(i, Some(Vec3::new(0.0, 5.0, 0.1)), true));
+            i += 1;
+            if ev.iter().any(|e| matches!(e, Event::Fall(_))) {
+                saw_fall = true;
+            }
+        }
+        assert!(saw_fall, "fall not forwarded through the event layer");
+    }
+
+    #[test]
+    fn no_position_frames_are_inert() {
+        let mut det = EventDetector::new(EventConfig::default());
+        for i in 0..50 {
+            assert!(det.push(&update(i, None, false)).is_empty());
+        }
+        assert_eq!(det.state_label(), "no person");
+    }
+}

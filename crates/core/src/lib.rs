@@ -1,0 +1,37 @@
+//! WiTrack: 3D motion tracking from body radio reflections.
+//!
+//! This crate is the paper's primary contribution assembled end-to-end
+//! ("3D Tracking via Body Radio Reflections", NSDI 2014):
+//!
+//! * [`WiTrack`] — the full pipeline: per-antenna FMCW time-of-flight
+//!   estimation (§4) feeding the geometric 3D localization (§5), emitting a
+//!   [`TrackUpdate`] every 12.5 ms frame.
+//! * [`fall`] — the §6.2 fall detector: a fall is a *fast* elevation change
+//!   larger than ⅓ of its prior value that ends near the ground.
+//! * [`pointing`] — the §6.1 pointing-direction estimator: distinguish arm
+//!   strokes from whole-body motion by spectral spread, segment the lift and
+//!   drop strokes, robust-regress each, localize the hand endpoints, and
+//!   average the two stroke directions.
+//! * [`appliance`] — the point-to-control demo registry (the paper drives
+//!   Insteon home devices; we drive an in-memory registry).
+//! * [`metrics`] — evaluation helpers (per-axis errors, confusion counts)
+//!   used by the experiment harnesses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod appliance;
+pub mod config;
+pub mod events;
+pub mod fall;
+pub mod metrics;
+pub mod pipeline;
+pub mod pointing;
+pub mod track;
+
+pub use config::{SolverChoice, WiTrackConfig};
+pub use events::{Event, EventConfig, EventDetector};
+pub use fall::{FallConfig, FallDetector, FallEvent};
+pub use pipeline::{TrackUpdate, WiTrack};
+pub use pointing::{PointingConfig, PointingEstimate, PointingError, PointingEstimator};
+pub use track::Track;

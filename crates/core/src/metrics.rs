@@ -1,0 +1,210 @@
+//! Evaluation metrics shared by the experiment harnesses.
+//!
+//! The paper reports per-axis localization error CDFs/medians/90th
+//! percentiles (Figs. 8–10), pointing-angle CDFs (Fig. 11), and fall
+//! detection precision/recall/F-measure (§9.5). These helpers compute those
+//! quantities from (estimate, truth) pairs.
+
+use witrack_dsp::stats::EmpiricalCdf;
+use witrack_geom::Vec3;
+
+/// Per-axis absolute error samples accumulated over an experiment.
+#[derive(Debug, Clone, Default)]
+pub struct AxisErrors {
+    /// |x̂ − x| samples (m).
+    pub x: Vec<f64>,
+    /// |ŷ − y| samples (m).
+    pub y: Vec<f64>,
+    /// |ẑ − z| samples (m).
+    pub z: Vec<f64>,
+}
+
+impl AxisErrors {
+    /// An empty accumulator.
+    pub fn new() -> AxisErrors {
+        AxisErrors::default()
+    }
+
+    /// Adds one (estimate, truth) pair.
+    pub fn push(&mut self, estimate: Vec3, truth: Vec3) {
+        self.x.push((estimate.x - truth.x).abs());
+        self.y.push((estimate.y - truth.y).abs());
+        self.z.push((estimate.z - truth.z).abs());
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &AxisErrors) {
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        self.z.extend_from_slice(&other.z);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether no samples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// `(median, 90th percentile)` for one axis (0 = x, 1 = y, 2 = z), in
+    /// meters.
+    pub fn summary(&self, axis: usize) -> (f64, f64) {
+        let v = match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis out of range: {axis}"),
+        };
+        (
+            witrack_dsp::stats::percentile(v, 50.0),
+            witrack_dsp::stats::percentile(v, 90.0),
+        )
+    }
+
+    /// Empirical CDF for one axis.
+    pub fn cdf(&self, axis: usize) -> EmpiricalCdf {
+        let v = match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis out of range: {axis}"),
+        };
+        EmpiricalCdf::new(v.clone())
+    }
+}
+
+/// Binary detection counts for the fall study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// Falls detected as falls.
+    pub true_positives: usize,
+    /// Non-falls detected as falls.
+    pub false_positives: usize,
+    /// Non-falls correctly passed.
+    pub true_negatives: usize,
+    /// Falls missed.
+    pub false_negatives: usize,
+}
+
+impl BinaryConfusion {
+    /// An empty table.
+    pub fn new() -> BinaryConfusion {
+        BinaryConfusion::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, actual_fall: bool, detected_fall: bool) {
+        match (actual_fall, detected_fall) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Total trials recorded.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Precision: TP / (TP + FP). NaN when no detections.
+    pub fn precision(&self) -> f64 {
+        let det = self.true_positives + self.false_positives;
+        if det == 0 {
+            f64::NAN
+        } else {
+            self.true_positives as f64 / det as f64
+        }
+    }
+
+    /// Recall: TP / (TP + FN). NaN when no actual positives.
+    pub fn recall(&self) -> f64 {
+        let act = self.true_positives + self.false_negatives;
+        if act == 0 {
+            f64::NAN
+        } else {
+            self.true_positives as f64 / act as f64
+        }
+    }
+
+    /// F-measure (harmonic mean of precision and recall).
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            f64::NAN
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_errors_accumulate_and_summarize() {
+        let mut e = AxisErrors::new();
+        for i in 0..100 {
+            let d = i as f64 * 0.001;
+            e.push(Vec3::new(d, 2.0 * d, 3.0 * d), Vec3::ZERO);
+        }
+        assert_eq!(e.len(), 100);
+        let (mx, px) = e.summary(0);
+        let (my, _) = e.summary(1);
+        let (mz, _) = e.summary(2);
+        assert!(my > mx && mz > my);
+        assert!(px > mx);
+        assert!((e.cdf(0).median() - mx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = AxisErrors::new();
+        a.push(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+        let mut b = AxisErrors::new();
+        b.push(Vec3::new(3.0, 0.0, 0.0), Vec3::ZERO);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let (median, _) = a.summary(0);
+        assert!((median - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_axis_panics() {
+        AxisErrors::new().summary(3);
+    }
+
+    #[test]
+    fn confusion_reproduces_paper_arithmetic() {
+        // §9.5: 33 falls, 31 detected; 99 non-falls, 1 false alarm.
+        let mut c = BinaryConfusion::new();
+        for _ in 0..31 {
+            c.record(true, true);
+        }
+        for _ in 0..2 {
+            c.record(true, false);
+        }
+        for _ in 0..98 {
+            c.record(false, false);
+        }
+        c.record(false, true);
+        assert_eq!(c.total(), 132);
+        assert!((c.precision() - 31.0 / 32.0).abs() < 1e-12); // 96.9 %
+        assert!((c.recall() - 31.0 / 33.0).abs() < 1e-12); // 93.9 %
+        assert!((c.f_measure() - 0.9538).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_confusions_are_nan() {
+        let c = BinaryConfusion::new();
+        assert!(c.precision().is_nan());
+        assert!(c.recall().is_nan());
+        assert!(c.f_measure().is_nan());
+    }
+}

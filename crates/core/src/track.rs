@@ -1,0 +1,139 @@
+//! A collected trajectory with evaluation helpers.
+
+use crate::pipeline::TrackUpdate;
+use witrack_geom::Vec3;
+
+/// A time-ordered sequence of (time, position) samples — what the pipeline
+/// produced over one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct Track {
+    samples: Vec<(f64, Vec3)>,
+    held_flags: Vec<bool>,
+}
+
+impl Track {
+    /// An empty track.
+    pub fn new() -> Track {
+        Track::default()
+    }
+
+    /// Appends the position (if solved) from a pipeline update.
+    pub fn push_update(&mut self, u: &TrackUpdate) {
+        if let Some(p) = u.position {
+            self.samples.push((u.time_s, p));
+            self.held_flags.push(u.held);
+        }
+    }
+
+    /// Appends a raw (time, position) sample.
+    pub fn push(&mut self, time_s: f64, position: Vec3) {
+        self.samples.push((time_s, position));
+        self.held_flags.push(false);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the track is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(f64, Vec3)] {
+        &self.samples
+    }
+
+    /// The elevation series `(t, z)` — input to the fall detector.
+    pub fn elevations(&self) -> Vec<(f64, f64)> {
+        self.samples.iter().map(|&(t, p)| (t, p.z)).collect()
+    }
+
+    /// Position at time `t` by nearest-sample lookup (`None` when empty).
+    pub fn at(&self, t: f64) -> Option<Vec3> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let idx = self.samples.partition_point(|&(ts, _)| ts < t);
+        let candidates = [idx.checked_sub(1), Some(idx)];
+        candidates
+            .iter()
+            .flatten()
+            .filter_map(|&i| self.samples.get(i))
+            .min_by(|a, b| {
+                let da = (a.0 - t).abs();
+                let db = (b.0 - t).abs();
+                da.partial_cmp(&db).expect("finite times")
+            })
+            .map(|&(_, p)| p)
+    }
+
+    /// Fraction of samples that were held/interpolated rather than measured.
+    pub fn held_fraction(&self) -> f64 {
+        if self.held_flags.is_empty() {
+            return 0.0;
+        }
+        self.held_flags.iter().filter(|&&h| h).count() as f64 / self.held_flags.len() as f64
+    }
+
+    /// Total distance traveled along the track (m).
+    pub fn path_length(&self) -> f64 {
+        self.samples.windows(2).map(|w| w[0].1.distance(w[1].1)).sum()
+    }
+
+    /// Time span `(first, last)` covered, or `None` when empty.
+    pub fn time_span(&self) -> Option<(f64, f64)> {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(&(a, _)), Some(&(b, _))) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Track {
+        let mut t = Track::new();
+        t.push(0.0, Vec3::new(0.0, 0.0, 1.0));
+        t.push(1.0, Vec3::new(1.0, 0.0, 1.0));
+        t.push(2.0, Vec3::new(1.0, 1.0, 0.5));
+        t
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = demo();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.time_span(), Some((0.0, 2.0)));
+        assert!((t.path_length() - (1.0 + (1.0f64 + 0.25).sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elevations_extract_z() {
+        let zs = demo().elevations();
+        assert_eq!(zs, vec![(0.0, 1.0), (1.0, 1.0), (2.0, 0.5)]);
+    }
+
+    #[test]
+    fn nearest_sample_lookup() {
+        let t = demo();
+        assert_eq!(t.at(0.1).unwrap(), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(t.at(0.9).unwrap(), Vec3::new(1.0, 0.0, 1.0));
+        assert_eq!(t.at(5.0).unwrap(), Vec3::new(1.0, 1.0, 0.5));
+        assert_eq!(t.at(-1.0).unwrap(), Vec3::new(0.0, 0.0, 1.0));
+        assert!(Track::new().at(0.0).is_none());
+    }
+
+    #[test]
+    fn held_fraction_counts() {
+        let mut t = Track::new();
+        assert_eq!(t.held_fraction(), 0.0);
+        t.push(0.0, Vec3::ZERO);
+        assert_eq!(t.held_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! Fast Fourier transforms at any length.
+//!
+//! The FMCW receiver "takes an FFT of the received signal in baseband over
+//! every sweep period" (paper §4.1, §7). A sweep is 2.5 ms sampled at
+//! 1 MS/s = **2500 samples** — not a power of two. Zero-padding to 4096
+//! would change the bin spacing away from the paper's 1/T_sweep = 400 Hz
+//! (and thus away from the C/2B = 8.87 cm range bins of Eq. 3), so this
+//! module implements:
+//!
+//! * an iterative, in-place **radix-2** Cooley–Tukey FFT for power-of-two
+//!   lengths, and
+//! * **Bluestein's chirp-Z algorithm** for everything else, which rewrites an
+//!   arbitrary-length DFT as a circular convolution evaluated with the
+//!   radix-2 core.
+//!
+//! A [`Fft`] value is a *plan*: twiddles, bit-reversal tables, and (for
+//! Bluestein) the pre-transformed chirp are all precomputed so per-sweep work
+//! is allocation-free after plan creation.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed length `n ≥ 1`.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// `n` is a power of two: direct radix-2.
+    Radix2(Radix2Plan),
+    /// Arbitrary `n`: Bluestein on top of a radix-2 plan of length `m`.
+    Bluestein(Box<BluesteinPlan>),
+}
+
+#[derive(Debug, Clone)]
+struct Radix2Plan {
+    /// Twiddle factors e^{-2πik/n} for k < n/2 (forward direction).
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation.
+    bitrev: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct BluesteinPlan {
+    /// Chirp w[k] = e^{-iπk²/n} (forward direction).
+    chirp: Vec<Complex>,
+    /// Forward FFT (length m) of the symmetric extension of conj(chirp).
+    kernel_fft: Vec<Complex>,
+    /// Inner power-of-two plan of length m ≥ 2n−1.
+    inner: Radix2Plan,
+    /// Inner length.
+    m: usize,
+    /// Scratch buffer reused across calls (cloned plans get their own).
+    scratch: Vec<Complex>,
+}
+
+impl Radix2Plan {
+    fn new(n: usize) -> Radix2Plan {
+        debug_assert!(n.is_power_of_two());
+        let twiddles =
+            (0..n / 2).map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64)).collect();
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        Radix2Plan { twiddles, bitrev }
+    }
+
+    /// In-place transform. `dir` selects conjugated twiddles for the inverse;
+    /// the caller applies 1/n scaling for inverse transforms.
+    fn transform(&self, data: &mut [Complex], dir: Direction) {
+        let n = data.len();
+        debug_assert_eq!(n, self.bitrev.len());
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let tw = match dir {
+                        Direction::Forward => tw,
+                        Direction::Inverse => tw.conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+impl BluesteinPlan {
+    fn new(n: usize) -> BluesteinPlan {
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m);
+        // w[k] = e^{-iπ k²/n}; compute k² mod 2n to avoid precision loss for
+        // large k (e^{-iπ j/n} has period 2n in j).
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                let j = (k * k) % (2 * n);
+                Complex::cis(-PI * j as f64 / n as f64)
+            })
+            .collect();
+        // Kernel b[j] = conj(w[j]) for j in (−n, n), laid out circularly.
+        let mut kernel = vec![Complex::ZERO; m];
+        for (j, c) in chirp.iter().enumerate() {
+            kernel[j] = c.conj();
+            if j > 0 {
+                kernel[m - j] = c.conj();
+            }
+        }
+        inner.transform(&mut kernel, Direction::Forward);
+        BluesteinPlan { chirp, kernel_fft: kernel, inner, m, scratch: vec![Complex::ZERO; m] }
+    }
+
+    fn transform(&mut self, data: &mut [Complex], dir: Direction) {
+        let n = data.len();
+        let m = self.m;
+        self.scratch.clear();
+        self.scratch.resize(m, Complex::ZERO);
+        // a[k] = x[k] · w[k]   (conjugate chirp for the inverse direction)
+        for k in 0..n {
+            let w = match dir {
+                Direction::Forward => self.chirp[k],
+                Direction::Inverse => self.chirp[k].conj(),
+            };
+            self.scratch[k] = data[k] * w;
+        }
+        // Circular convolution with the kernel via the inner FFT.
+        self.inner.transform(&mut self.scratch, Direction::Forward);
+        match dir {
+            Direction::Forward => {
+                for (s, k) in self.scratch.iter_mut().zip(&self.kernel_fft) {
+                    *s = *s * *k;
+                }
+            }
+            Direction::Inverse => {
+                // The inverse kernel is the conjugate of the forward kernel;
+                // conj(FFT(b))[j] = FFT(conj(b))[−j], and our kernel is
+                // symmetric (b[j] = b[−j]), so conjugating the *transformed*
+                // kernel is exact.
+                for (s, k) in self.scratch.iter_mut().zip(&self.kernel_fft) {
+                    *s = *s * k.conj();
+                }
+            }
+        }
+        self.inner.transform(&mut self.scratch, Direction::Inverse);
+        let inv_m = 1.0 / m as f64;
+        for k in 0..n {
+            let w = match dir {
+                Direction::Forward => self.chirp[k],
+                Direction::Inverse => self.chirp[k].conj(),
+            };
+            data[k] = self.scratch[k] * w * inv_m;
+        }
+    }
+}
+
+impl Fft {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Fft {
+        assert!(n > 0, "FFT length must be positive");
+        let kind = if n.is_power_of_two() {
+            PlanKind::Radix2(Radix2Plan::new(n))
+        } else {
+            PlanKind::Bluestein(Box::new(BluesteinPlan::new(n)))
+        };
+        Fft { n, kind }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_n x[n] e^{-2πikn/N}`.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward(&mut self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        match &mut self.kind {
+            PlanKind::Radix2(p) => p.transform(data, Direction::Forward),
+            PlanKind::Bluestein(p) => p.transform(data, Direction::Forward),
+        }
+    }
+
+    /// In-place inverse DFT (with 1/N normalization), the exact inverse of
+    /// [`Fft::forward`].
+    pub fn inverse(&mut self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan");
+        match &mut self.kind {
+            PlanKind::Radix2(p) => p.transform(data, Direction::Inverse),
+            PlanKind::Bluestein(p) => p.transform(data, Direction::Inverse),
+        }
+        let inv = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+
+    /// Convenience: forward-transforms a real signal, allocating the output.
+    pub fn forward_real(&mut self, signal: &[f64]) -> Vec<Complex> {
+        assert_eq!(signal.len(), self.n, "buffer length must match plan");
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+        self.forward(&mut buf);
+        buf
+    }
+}
+
+/// Reference quadratic-time DFT, used by tests to validate the fast paths.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|j| data[j] * Complex::cis(-2.0 * PI * (k * j) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() <= tol, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    fn impulse(n: usize, at: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; n];
+        v[at] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut fast = data.clone();
+            Fft::new(n).forward(&mut fast);
+            spectrum_close(&fast, &dft_naive(&data), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for n in [3usize, 5, 6, 7, 12, 100, 250, 625] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).cos(), (i as f64 * 0.11).sin()))
+                .collect();
+            let mut fast = data.clone();
+            Fft::new(n).forward(&mut fast);
+            spectrum_close(&fast, &dft_naive(&data), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn sweep_length_2500_matches_naive() {
+        // The exact WiTrack sweep length.
+        let n = 2500;
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::real((2.0 * PI * 40.0 * i as f64 / n as f64).cos())).collect();
+        let mut fast = data.clone();
+        Fft::new(n).forward(&mut fast);
+        let slow = dft_naive(&data);
+        spectrum_close(&fast, &slow, 1e-6 * n as f64);
+        // Real tone at cycle 40 → peaks at bins 40 and n−40; check the
+        // positive-frequency half only.
+        let peak = fast[..n / 2].iter().map(|z| z.abs()).enumerate().fold(
+            (0usize, 0.0f64),
+            |acc, (i, m)| if m > acc.1 { (i, m) } else { acc },
+        );
+        assert_eq!(peak.0, 40);
+        assert!((peak.1 - n as f64 / 2.0).abs() < 1e-6 * n as f64);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [8usize, 100, 625, 1024] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+                .collect();
+            let mut buf = data.clone();
+            let mut plan = Fft::new(n);
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            spectrum_close(&buf, &data, 1e-10 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        for n in [16usize, 30] {
+            let mut buf = impulse(n, 0);
+            Fft::new(n).forward(&mut buf);
+            for z in &buf {
+                assert!((z.abs() - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_impulse_has_linear_phase() {
+        let n = 32;
+        let shift = 3;
+        let mut buf = impulse(n, shift);
+        Fft::new(n).forward(&mut buf);
+        for (k, z) in buf.iter().enumerate() {
+            let expected = Complex::cis(-2.0 * PI * (k * shift) as f64 / n as f64);
+            assert!((*z - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn linearity_holds() {
+        let n = 50;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.2).sin())).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.9).cos())).collect();
+        let mut plan = Fft::new(n);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        let mut fab: Vec<Complex> =
+            a.iter().zip(&b).map(|(x, y)| *x * 2.0 + *y * -0.5).collect();
+        plan.forward(&mut fab);
+        let combined: Vec<Complex> =
+            fa.iter().zip(&fb).map(|(x, y)| *x * 2.0 + *y * -0.5).collect();
+        spectrum_close(&fab, &combined, 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 2500;
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::real(((i * i) as f64 * 0.001).sin())).collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sq()).sum();
+        let mut buf = data;
+        Fft::new(n).forward(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sq()).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0),
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn forward_real_helper() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).sin()).collect();
+        let spec = Fft::new(n).forward_real(&signal);
+        // Real sine at cycle 5: peaks at bins 5 and n−5.
+        let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
+        assert!(mags[5] > 0.45 * n as f64);
+        assert!(mags[n - 5] > 0.45 * n as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_panics() {
+        let _ = Fft::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_buffer_length_panics() {
+        let mut plan = Fft::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+}

@@ -1,0 +1,284 @@
+//! Outlier rejection and hold-last interpolation (paper §4.4).
+//!
+//! Two of the three de-noising stages WiTrack applies to the raw contour:
+//!
+//! * **Outlier rejection** — "WiTrack rejects impractical jumps in distance
+//!   estimates that correspond to unnatural human motion over a very short
+//!   period of time" (§4.4). Implemented as a speed gate: a new distance that
+//!   implies a speed above a physical bound is discarded.
+//! * **Interpolation** — "if a person … remains static, the background-
+//!   subtracted signal would not register any strong reflector. In such
+//!   scenarios, we assume the person is still in the same position" (§4.4).
+//!   Implemented as hold-last-value with an age counter so callers can
+//!   distinguish fresh detections from held ones.
+
+/// Speed-gate outlier rejector for a scalar distance stream.
+#[derive(Debug, Clone)]
+pub struct OutlierGate {
+    /// Maximum plausible speed of the tracked quantity (m/s). Round-trip
+    /// distances change at up to twice the body speed, so the pipeline uses
+    /// ~2 × 3 m/s for walking humans.
+    max_speed: f64,
+    /// Number of consecutive rejections after which the gate re-seeds on the
+    /// next sample (the person may genuinely have "jumped" — e.g. the contour
+    /// locked onto a different person or limb).
+    max_consecutive_rejects: usize,
+    last: Option<f64>,
+    rejects: usize,
+}
+
+/// Outcome of pushing one sample through [`OutlierGate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateDecision {
+    /// The sample is physically plausible and was accepted.
+    Accepted(f64),
+    /// The sample implied an impossible speed and was rejected; the carried
+    /// value is the previous accepted sample.
+    Rejected {
+        /// The last accepted value, which callers should keep using.
+        held: f64,
+        /// Speed (m/s) the rejected sample would have implied.
+        implied_speed: f64,
+    },
+    /// The gate re-seeded on this sample after too many rejections.
+    Reseeded(f64),
+}
+
+impl GateDecision {
+    /// The value a consumer should use after this decision.
+    pub fn value(&self) -> f64 {
+        match *self {
+            GateDecision::Accepted(v) | GateDecision::Reseeded(v) => v,
+            GateDecision::Rejected { held, .. } => held,
+        }
+    }
+
+    /// Whether the incoming sample was kept (accepted or reseeded).
+    pub fn kept(&self) -> bool {
+        !matches!(self, GateDecision::Rejected { .. })
+    }
+}
+
+impl OutlierGate {
+    /// Creates a gate with the given maximum plausible speed (m/s).
+    pub fn new(max_speed: f64, max_consecutive_rejects: usize) -> OutlierGate {
+        OutlierGate { max_speed, max_consecutive_rejects, last: None, rejects: 0 }
+    }
+
+    /// Pushes a sample observed `dt` seconds after the previous one.
+    ///
+    /// While rejecting, the reference value ages: the allowed jump grows by
+    /// one `max_speed·dt` budget per rejected frame, because a genuinely
+    /// moving target keeps receding from the stale reference. Without this,
+    /// one rejection cascades — every subsequent good sample is compared
+    /// against an ever-more-stale value and rejected too.
+    pub fn push(&mut self, value: f64, dt: f64) -> GateDecision {
+        let Some(last) = self.last else {
+            self.last = Some(value);
+            return GateDecision::Accepted(value);
+        };
+        let implied_speed = if dt > 0.0 {
+            (value - last).abs() / (dt * (self.rejects + 1) as f64)
+        } else {
+            f64::INFINITY
+        };
+        if implied_speed <= self.max_speed {
+            self.last = Some(value);
+            self.rejects = 0;
+            GateDecision::Accepted(value)
+        } else if self.rejects + 1 >= self.max_consecutive_rejects {
+            // The stream has moved on; trust it again.
+            self.last = Some(value);
+            self.rejects = 0;
+            GateDecision::Reseeded(value)
+        } else {
+            self.rejects += 1;
+            GateDecision::Rejected { held: last, implied_speed }
+        }
+    }
+
+    /// Last accepted value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.last
+    }
+
+    /// Clears history.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.rejects = 0;
+    }
+}
+
+/// Hold-last-value interpolator for gaps in a detection stream.
+#[derive(Debug, Clone, Default)]
+pub struct HoldInterpolator {
+    last: Option<f64>,
+    held_frames: usize,
+}
+
+impl HoldInterpolator {
+    /// Creates an empty interpolator.
+    pub fn new() -> HoldInterpolator {
+        HoldInterpolator::default()
+    }
+
+    /// Pushes a frame. `Some(v)` is a fresh detection; `None` is a missing
+    /// frame which returns the held value (if any).
+    pub fn push(&mut self, sample: Option<f64>) -> Option<f64> {
+        match sample {
+            Some(v) => {
+                self.last = Some(v);
+                self.held_frames = 0;
+                Some(v)
+            }
+            None => {
+                if self.last.is_some() {
+                    self.held_frames += 1;
+                }
+                self.last
+            }
+        }
+    }
+
+    /// How many consecutive frames the current output has been held for
+    /// (0 when the last frame was a fresh detection).
+    pub fn held_frames(&self) -> usize {
+        self.held_frames
+    }
+
+    /// Whether the current output is held rather than fresh.
+    pub fn is_holding(&self) -> bool {
+        self.held_frames > 0
+    }
+
+    /// Clears history.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.held_frames = 0;
+    }
+}
+
+/// Moving-average smoother over a fixed window (used by the simulator and the
+/// gesture segmenter for envelope estimates).
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    buf: Vec<f64>,
+    head: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average with window length `len ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> MovingAverage {
+        assert!(len > 0, "window length must be positive");
+        MovingAverage { buf: vec![0.0; len], head: 0, filled: 0, sum: 0.0 }
+    }
+
+    /// Pushes a sample and returns the average over the (possibly partial)
+    /// window.
+    pub fn push(&mut self, v: f64) -> f64 {
+        if self.filled == self.buf.len() {
+            self.sum -= self.buf[self.head];
+        } else {
+            self.filled += 1;
+        }
+        self.buf[self.head] = v;
+        self.sum += v;
+        self.head = (self.head + 1) % self.buf.len();
+        self.sum / self.filled as f64
+    }
+
+    /// Current average without pushing (None when empty).
+    pub fn current(&self) -> Option<f64> {
+        if self.filled == 0 {
+            None
+        } else {
+            Some(self.sum / self.filled as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_accepts_plausible_motion() {
+        let mut g = OutlierGate::new(6.0, 10);
+        assert_eq!(g.push(10.0, 0.0125), GateDecision::Accepted(10.0));
+        // 5 cm in 12.5 ms = 4 m/s: plausible.
+        assert!(g.push(10.05, 0.0125).kept());
+    }
+
+    #[test]
+    fn gate_rejects_teleport() {
+        // Paper §4.4: "the distance repeatedly jumps by more than 5 meters
+        // over a span of few milliseconds … WiTrack rejects such outliers."
+        let mut g = OutlierGate::new(6.0, 10);
+        g.push(10.0, 0.0125);
+        let d = g.push(15.0, 0.0125);
+        assert!(!d.kept());
+        assert_eq!(d.value(), 10.0);
+        match d {
+            GateDecision::Rejected { implied_speed, .. } => assert!(implied_speed > 100.0),
+            _ => panic!("expected rejection"),
+        }
+    }
+
+    #[test]
+    fn gate_reseeds_after_persistent_disagreement() {
+        let mut g = OutlierGate::new(6.0, 3);
+        g.push(10.0, 0.0125);
+        assert!(!g.push(20.0, 0.0125).kept());
+        assert!(!g.push(20.0, 0.0125).kept());
+        // Third consecutive reject hits the limit → reseed.
+        let d = g.push(20.0, 0.0125);
+        assert_eq!(d, GateDecision::Reseeded(20.0));
+        assert_eq!(g.last(), Some(20.0));
+    }
+
+    #[test]
+    fn gate_zero_dt_rejects() {
+        let mut g = OutlierGate::new(6.0, 10);
+        g.push(1.0, 0.0125);
+        assert!(!g.push(1.5, 0.0).kept());
+    }
+
+    #[test]
+    fn hold_interpolator_bridges_gaps() {
+        let mut h = HoldInterpolator::new();
+        assert_eq!(h.push(None), None);
+        assert_eq!(h.push(Some(4.0)), Some(4.0));
+        assert!(!h.is_holding());
+        assert_eq!(h.push(None), Some(4.0));
+        assert_eq!(h.push(None), Some(4.0));
+        assert_eq!(h.held_frames(), 2);
+        assert!(h.is_holding());
+        assert_eq!(h.push(Some(4.1)), Some(4.1));
+        assert_eq!(h.held_frames(), 0);
+    }
+
+    #[test]
+    fn moving_average_over_partial_and_full_window() {
+        let mut m = MovingAverage::new(4);
+        assert_eq!(m.current(), None);
+        assert!((m.push(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.push(3.0) - 2.0).abs() < 1e-12);
+        m.push(5.0);
+        m.push(7.0);
+        // Window full: average of 1,3,5,7 = 4.
+        assert!((m.current().unwrap() - 4.0).abs() < 1e-12);
+        // Push evicts the 1.
+        assert!((m.push(9.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn moving_average_zero_len_panics() {
+        let _ = MovingAverage::new(0);
+    }
+}

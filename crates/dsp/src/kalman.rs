@@ -1,0 +1,259 @@
+//! A 1-D constant-velocity Kalman filter.
+//!
+//! Paper §4.4 "Filtering": *"Because human motion is continuous, the
+//! variation in a reflector's distance to each receive antenna should stay
+//! smooth over time. Thus, WiTrack uses a Kalman Filter to smooth the
+//! distance estimates."*
+//!
+//! The state is `[distance, velocity]` with a constant-velocity process
+//! model; the measurement is the (noisy) contour distance of one frame. All
+//! matrices are 2×2, hand-expanded — no linear-algebra crate required.
+
+/// Configuration for [`Kalman1D`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanConfig {
+    /// Standard deviation of the white process acceleration (m/s²). Human
+    /// gait accelerations are a few m/s²; the default is deliberately loose
+    /// so the filter tracks direction changes.
+    pub process_accel_std: f64,
+    /// Standard deviation of the measurement noise (m). Roughly one range
+    /// bin (≈ 0.1 m one-way) for the FMCW contour.
+    pub measurement_std: f64,
+    /// Initial variance on the distance state (m²).
+    pub initial_pos_var: f64,
+    /// Initial variance on the velocity state (m²/s²).
+    pub initial_vel_var: f64,
+}
+
+impl Default for KalmanConfig {
+    fn default() -> Self {
+        KalmanConfig {
+            process_accel_std: 2.0,
+            measurement_std: 0.1,
+            initial_pos_var: 1.0,
+            initial_vel_var: 4.0,
+        }
+    }
+}
+
+/// Constant-velocity Kalman filter over scalar measurements.
+#[derive(Debug, Clone)]
+pub struct Kalman1D {
+    cfg: KalmanConfig,
+    /// State mean [position, velocity]; `None` until the first measurement.
+    state: Option<[f64; 2]>,
+    /// State covariance, row-major [[p00, p01], [p10, p11]].
+    cov: [[f64; 2]; 2],
+}
+
+impl Kalman1D {
+    /// Creates an uninitialized filter; the first `update` seeds the state.
+    pub fn new(cfg: KalmanConfig) -> Kalman1D {
+        Kalman1D {
+            cfg,
+            state: None,
+            cov: [[cfg.initial_pos_var, 0.0], [0.0, cfg.initial_vel_var]],
+        }
+    }
+
+    /// Resets to the uninitialized state.
+    pub fn reset(&mut self) {
+        self.state = None;
+        self.cov = [[self.cfg.initial_pos_var, 0.0], [0.0, self.cfg.initial_vel_var]];
+    }
+
+    /// Whether the filter has been seeded by at least one measurement.
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Current position estimate (None before the first measurement).
+    pub fn position(&self) -> Option<f64> {
+        self.state.map(|s| s[0])
+    }
+
+    /// Current velocity estimate (None before the first measurement).
+    pub fn velocity(&self) -> Option<f64> {
+        self.state.map(|s| s[1])
+    }
+
+    /// Pins the state to `pos` with zero velocity, keeping the covariance.
+    ///
+    /// Used while the tracked quantity is held/interpolated (the target
+    /// stopped moving): the stale velocity must not keep integrating, but
+    /// the filter should resume smoothly from the held position when
+    /// measurements return.
+    pub fn hold_at(&mut self, pos: f64) {
+        self.state = Some([pos, 0.0]);
+    }
+
+    /// Time-advances the state by `dt` seconds without a measurement
+    /// (used while the person is static / occluded and the contour is
+    /// interpolated). Returns the predicted position.
+    pub fn predict(&mut self, dt: f64) -> Option<f64> {
+        let [x, v] = self.state?;
+        let q = self.cfg.process_accel_std * self.cfg.process_accel_std;
+        // State transition F = [[1, dt], [0, 1]].
+        let nx = x + v * dt;
+        // P ← F P Fᵀ + Q(dt)
+        let [[p00, p01], [p10, p11]] = self.cov;
+        let f00 = p00 + dt * (p10 + p01) + dt * dt * p11;
+        let f01 = p01 + dt * p11;
+        let f10 = p10 + dt * p11;
+        let f11 = p11;
+        let dt2 = dt * dt;
+        self.cov = [
+            [f00 + q * dt2 * dt2 / 4.0, f01 + q * dt2 * dt / 2.0],
+            [f10 + q * dt2 * dt / 2.0, f11 + q * dt2],
+        ];
+        self.state = Some([nx, v]);
+        Some(nx)
+    }
+
+    /// Predict + correct with measurement `z` after `dt` seconds. Returns the
+    /// filtered position.
+    pub fn update(&mut self, z: f64, dt: f64) -> f64 {
+        if self.state.is_none() {
+            self.state = Some([z, 0.0]);
+            return z;
+        }
+        self.predict(dt);
+        let [x, v] = self.state.expect("state seeded above");
+        let [[p00, p01], [p10, p11]] = self.cov;
+        let r = self.cfg.measurement_std * self.cfg.measurement_std;
+        // Innovation with H = [1, 0].
+        let y = z - x;
+        let s = p00 + r;
+        let k0 = p00 / s;
+        let k1 = p10 / s;
+        self.state = Some([x + k0 * y, v + k1 * y]);
+        // Joseph-free covariance update: P ← (I − K H) P.
+        self.cov = [
+            [(1.0 - k0) * p00, (1.0 - k0) * p01],
+            [p10 - k1 * p00, p11 - k1 * p01],
+        ];
+        self.state.expect("just set")[0]
+    }
+
+    /// Variance of the position estimate.
+    pub fn position_variance(&self) -> f64 {
+        self.cov[0][0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_seeds_state() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        assert!(!kf.is_initialized());
+        assert_eq!(kf.update(5.0, 0.0125), 5.0);
+        assert!(kf.is_initialized());
+        assert_eq!(kf.position(), Some(5.0));
+        assert_eq!(kf.velocity(), Some(0.0));
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = kf.update(3.0, 0.0125);
+        }
+        assert!((last - 3.0).abs() < 1e-6);
+        assert!(kf.velocity().unwrap().abs() < 1e-3);
+    }
+
+    #[test]
+    fn tracks_linear_motion_and_learns_velocity() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        let dt = 0.0125;
+        let speed = 1.0; // m/s
+        for i in 0..400 {
+            kf.update(2.0 + speed * dt * i as f64, dt);
+        }
+        assert!((kf.velocity().unwrap() - speed).abs() < 0.05);
+        let true_pos = 2.0 + speed * dt * 399.0;
+        assert!((kf.position().unwrap() - true_pos).abs() < 0.02);
+    }
+
+    #[test]
+    fn smooths_noise() {
+        // Deterministic pseudo-noise; the filtered variance must be well
+        // below the raw measurement variance.
+        let mut kf = Kalman1D::new(KalmanConfig {
+            measurement_std: 0.2,
+            process_accel_std: 0.5,
+            ..KalmanConfig::default()
+        });
+        let dt = 0.0125;
+        let mut raw_sq = 0.0;
+        let mut filt_sq = 0.0;
+        let mut n = 0.0;
+        let mut rng_state = 42u64;
+        let mut noise = || {
+            // xorshift, mapped to roughly N(0, 1) via sum of uniforms
+            let mut s = 0.0;
+            for _ in 0..12 {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                s += (rng_state % 10_000) as f64 / 10_000.0;
+            }
+            s - 6.0
+        };
+        for i in 0..1500 {
+            let truth = 4.0;
+            let z = truth + 0.2 * noise();
+            let f = kf.update(z, dt);
+            if i > 300 {
+                raw_sq += (z - truth) * (z - truth);
+                filt_sq += (f - truth) * (f - truth);
+                n += 1.0;
+            }
+        }
+        assert!(filt_sq / n < 0.25 * raw_sq / n, "filtered {} raw {}", filt_sq / n, raw_sq / n);
+    }
+
+    #[test]
+    fn predict_extrapolates_with_velocity() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        let dt = 0.0125;
+        for i in 0..400 {
+            kf.update(1.0 * dt * i as f64, dt);
+        }
+        let p0 = kf.position().unwrap();
+        let p1 = kf.predict(1.0).unwrap();
+        assert!((p1 - p0 - 1.0).abs() < 0.1, "predicted step {}", p1 - p0);
+        // Prediction inflates uncertainty.
+        assert!(kf.position_variance() > 0.0);
+    }
+
+    #[test]
+    fn predict_before_init_returns_none() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        assert!(kf.predict(0.1).is_none());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        kf.update(2.0, 0.01);
+        kf.reset();
+        assert!(!kf.is_initialized());
+        assert!(kf.position().is_none());
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_measurements() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        kf.update(1.0, 0.0125);
+        let v1 = kf.position_variance();
+        for _ in 0..50 {
+            kf.update(1.0, 0.0125);
+        }
+        assert!(kf.position_variance() < v1);
+    }
+}

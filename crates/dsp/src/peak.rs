@@ -1,0 +1,249 @@
+//! Peak detection primitives for contour tracking.
+//!
+//! Paper §4.3: *"The spectrogram is processed for contour tracking by
+//! identifying for each time instance the smallest local frequency maximum
+//! that is significantly higher than the noise level."* This module holds
+//! the generic pieces — robust noise-floor estimation, local-maximum search,
+//! and parabolic sub-bin refinement — which `witrack-fmcw` assembles into the
+//! bottom-contour tracker.
+
+use crate::stats;
+
+/// Robust noise-floor estimate of a magnitude spectrum: median + `k`·MAD·1.4826
+/// (a Gaussian-consistent robust z-threshold). The median ignores the few
+/// strong target bins, unlike a mean.
+pub fn noise_floor(magnitudes: &[f64], k: f64) -> f64 {
+    if magnitudes.is_empty() {
+        return f64::NAN;
+    }
+    let med = stats::median(magnitudes);
+    let sigma = stats::mad(magnitudes) * 1.4826;
+    med + k * sigma
+}
+
+/// Indices of strict local maxima (`m[i−1] < m[i] ≥ m[i+1]`) with value above
+/// `threshold`. Endpoints qualify when they exceed their single neighbor.
+pub fn local_maxima_above(magnitudes: &[f64], threshold: f64) -> Vec<usize> {
+    let n = magnitudes.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let m = magnitudes[i];
+        if m <= threshold {
+            continue;
+        }
+        let left_ok = i == 0 || magnitudes[i - 1] < m;
+        let right_ok = i + 1 >= n || magnitudes[i + 1] <= m;
+        if left_ok && right_ok {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// The first (lowest-index) local maximum above `threshold` — the
+/// bottom-contour primitive: the closest strong reflector to the array.
+pub fn first_maximum_above(magnitudes: &[f64], threshold: f64) -> Option<usize> {
+    let n = magnitudes.len();
+    for i in 0..n {
+        let m = magnitudes[i];
+        if m <= threshold {
+            continue;
+        }
+        let left_ok = i == 0 || magnitudes[i - 1] < m;
+        let right_ok = i + 1 >= n || magnitudes[i + 1] <= m;
+        if left_ok && right_ok {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Index of the global maximum (the "dominant frequency" the paper's §4.3
+/// argues *against* tracking; we keep it as the ablation baseline).
+pub fn global_maximum(magnitudes: &[f64]) -> Option<usize> {
+    if magnitudes.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &m) in magnitudes.iter().enumerate() {
+        if m > magnitudes[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Parabolic (three-point) interpolation around a peak at `i`, on the log of
+/// the magnitudes (a Gaussian main lobe is a parabola in log-magnitude).
+/// Returns the refined fractional index, clamped to `i ± 0.5`.
+///
+/// Falls back to `i` at the spectrum edges or when the neighborhood is not
+/// locally concave.
+pub fn parabolic_refine(magnitudes: &[f64], i: usize) -> f64 {
+    let n = magnitudes.len();
+    if i == 0 || i + 1 >= n {
+        return i as f64;
+    }
+    let eps = 1e-300;
+    let l = (magnitudes[i - 1].max(eps)).ln();
+    let c = (magnitudes[i].max(eps)).ln();
+    let r = (magnitudes[i + 1].max(eps)).ln();
+    let denom = l - 2.0 * c + r;
+    if denom >= 0.0 {
+        // Not concave: no reliable vertex.
+        return i as f64;
+    }
+    let delta = 0.5 * (l - r) / denom;
+    i as f64 + delta.clamp(-0.5, 0.5)
+}
+
+/// Sum of squared magnitudes in a band `[lo, hi)` — spectral power used by
+/// the gesture detector's variance features (§6.1).
+pub fn band_power(magnitudes: &[f64], lo: usize, hi: usize) -> f64 {
+    let hi = hi.min(magnitudes.len());
+    if lo >= hi {
+        return 0.0;
+    }
+    magnitudes[lo..hi].iter().map(|&m| m * m).sum()
+}
+
+/// Power-weighted mean index of a magnitude spectrum (spectral centroid),
+/// `None` if total power is zero.
+pub fn centroid(magnitudes: &[f64]) -> Option<f64> {
+    let total: f64 = magnitudes.iter().map(|&m| m * m).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let weighted: f64 =
+        magnitudes.iter().enumerate().map(|(i, &m)| i as f64 * m * m).sum();
+    Some(weighted / total)
+}
+
+/// Power-weighted index variance (spread) around the centroid — the
+/// "variance of the signal along the y-axis" feature the paper uses to
+/// separate whole-body motion from arm motion (§6.1, Fig. 5).
+pub fn spread(magnitudes: &[f64]) -> Option<f64> {
+    let c = centroid(magnitudes)?;
+    let total: f64 = magnitudes.iter().map(|&m| m * m).sum();
+    let weighted: f64 = magnitudes
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (i as f64 - c) * (i as f64 - c) * m * m)
+        .sum();
+    Some(weighted / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone_spectrum(n: usize, peaks: &[(usize, f64)], noise: f64) -> Vec<f64> {
+        let mut m = vec![noise; n];
+        for &(i, a) in peaks {
+            // Small triangular main lobe.
+            m[i] = a;
+            if i > 0 {
+                m[i - 1] = m[i - 1].max(a * 0.5);
+            }
+            if i + 1 < n {
+                m[i + 1] = m[i + 1].max(a * 0.5);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn noise_floor_tracks_median_not_peaks() {
+        let m = tone_spectrum(100, &[(50, 1000.0)], 1.0);
+        let nf = noise_floor(&m, 5.0);
+        assert!(nf < 10.0, "floor {nf} should ignore the single huge peak");
+    }
+
+    #[test]
+    fn first_maximum_is_the_nearest_strong_peak() {
+        let m = tone_spectrum(200, &[(40, 10.0), (90, 50.0), (150, 30.0)], 0.5);
+        // Bottom contour picks bin 40 even though 90 is stronger.
+        assert_eq!(first_maximum_above(&m, 5.0), Some(40));
+        // Peak tracker picks the strongest.
+        assert_eq!(global_maximum(&m), Some(90));
+        // With a higher threshold, the weak nearest peak is skipped.
+        assert_eq!(first_maximum_above(&m, 20.0), Some(90));
+    }
+
+    #[test]
+    fn local_maxima_finds_all_peaks() {
+        let m = tone_spectrum(200, &[(40, 10.0), (90, 50.0), (150, 30.0)], 0.5);
+        assert_eq!(local_maxima_above(&m, 5.0), vec![40, 90, 150]);
+        assert!(local_maxima_above(&m, 100.0).is_empty());
+    }
+
+    #[test]
+    fn plateaus_do_not_double_count() {
+        let m = vec![0.0, 1.0, 5.0, 5.0, 1.0, 0.0];
+        // Left edge of the plateau qualifies (`<` on left, `<=` on right),
+        // the right edge does not.
+        assert_eq!(local_maxima_above(&m, 0.5), vec![2]);
+    }
+
+    #[test]
+    fn endpoints_can_be_maxima() {
+        // Index 3 rises from 0.5 but keeps rising into index 4, so only the
+        // two endpoints are maxima.
+        let m = vec![9.0, 1.0, 0.5, 1.0, 8.0];
+        assert_eq!(local_maxima_above(&m, 0.6), vec![0, 4]);
+        assert_eq!(first_maximum_above(&m, 0.6), Some(0));
+    }
+
+    #[test]
+    fn parabolic_refinement_recovers_fractional_peak() {
+        // Sample a Gaussian lobe centered at 50.3.
+        let center = 50.3;
+        let m: Vec<f64> =
+            (0..100).map(|i| (-((i as f64 - center) / 2.0).powi(2)).exp()).collect();
+        let i = global_maximum(&m).unwrap();
+        let refined = parabolic_refine(&m, i);
+        assert!((refined - center).abs() < 0.01, "refined {refined}");
+    }
+
+    #[test]
+    fn parabolic_refinement_clamps_and_handles_edges() {
+        let m = vec![1.0, 5.0, 1.0];
+        let r = parabolic_refine(&m, 1);
+        assert!((r - 1.0).abs() <= 0.5);
+        assert_eq!(parabolic_refine(&m, 0), 0.0);
+        assert_eq!(parabolic_refine(&m, 2), 2.0);
+        // Flat (non-concave) neighborhood falls back to integer index.
+        let flat = vec![2.0, 2.0, 2.0];
+        assert_eq!(parabolic_refine(&flat, 1), 1.0);
+    }
+
+    #[test]
+    fn spread_separates_wide_from_narrow_reflectors() {
+        // Wide lobe (whole body) vs narrow lobe (arm) at the same center.
+        let wide: Vec<f64> =
+            (0..200).map(|i| (-((i as f64 - 100.0) / 15.0).powi(2)).exp()).collect();
+        let narrow: Vec<f64> =
+            (0..200).map(|i| (-((i as f64 - 100.0) / 3.0).powi(2)).exp()).collect();
+        let sw = spread(&wide).unwrap();
+        let sn = spread(&narrow).unwrap();
+        assert!(sw > 5.0 * sn, "wide {sw} narrow {sn}");
+    }
+
+    #[test]
+    fn centroid_of_symmetric_spectrum_is_center() {
+        let m: Vec<f64> =
+            (0..101).map(|i| (-((i as f64 - 50.0) / 8.0).powi(2)).exp()).collect();
+        assert!((centroid(&m).unwrap() - 50.0).abs() < 1e-9);
+        assert!(centroid(&vec![0.0; 16]).is_none());
+        assert!(spread(&vec![0.0; 16]).is_none());
+    }
+
+    #[test]
+    fn band_power_sums_squares() {
+        let m = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(band_power(&m, 1, 3), 4.0 + 9.0);
+        assert_eq!(band_power(&m, 2, 10), 9.0 + 16.0);
+        assert_eq!(band_power(&m, 3, 3), 0.0);
+        assert_eq!(band_power(&m, 5, 2), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Line fitting: ordinary least squares, Theil–Sen, and Tukey-bisquare IRLS.
+//!
+//! Paper §6.1 step 3: *"We perform robust regression on the location
+//! estimates of the moving hand, and we use the start and end points of the
+//! regression from all of the antennas to solve for the initial and final
+//! position of the hand."* Contour estimates of a small reflector (an arm)
+//! are heavy-tailed — a plain least-squares fit is dragged by the residual
+//! multipath spikes, hence the robust variants.
+
+/// A fitted line `y(t) = intercept + slope · t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Value at `t = 0`.
+    pub intercept: f64,
+    /// Change per unit `t`.
+    pub slope: f64,
+}
+
+impl Line {
+    /// Evaluates the line at `t`.
+    #[inline]
+    pub fn at(&self, t: f64) -> f64 {
+        self.intercept + self.slope * t
+    }
+}
+
+/// Errors from the fitting routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two points, or `ts`/`ys` length mismatch.
+    NotEnoughData,
+    /// All abscissae identical — the slope is undefined.
+    DegenerateAbscissae,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughData => write!(f, "need at least two (t, y) points"),
+            FitError::DegenerateAbscissae => write!(f, "all t values identical"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn validate(ts: &[f64], ys: &[f64]) -> Result<(), FitError> {
+    if ts.len() != ys.len() || ts.len() < 2 {
+        return Err(FitError::NotEnoughData);
+    }
+    let t0 = ts[0];
+    if ts.iter().all(|&t| (t - t0).abs() < 1e-15) {
+        return Err(FitError::DegenerateAbscissae);
+    }
+    Ok(())
+}
+
+/// Ordinary least-squares line fit.
+pub fn least_squares(ts: &[f64], ys: &[f64]) -> Result<Line, FitError> {
+    validate(ts, ys)?;
+    let n = ts.len() as f64;
+    let mean_t = ts.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut stt = 0.0;
+    let mut sty = 0.0;
+    for (&t, &y) in ts.iter().zip(ys) {
+        stt += (t - mean_t) * (t - mean_t);
+        sty += (t - mean_t) * (y - mean_y);
+    }
+    let slope = sty / stt;
+    Ok(Line { intercept: mean_y - slope * mean_t, slope })
+}
+
+/// Weighted least-squares line fit (helper for IRLS).
+fn weighted_least_squares(ts: &[f64], ys: &[f64], ws: &[f64]) -> Option<Line> {
+    let sw: f64 = ws.iter().sum();
+    if sw <= 0.0 {
+        return None;
+    }
+    let mean_t = ts.iter().zip(ws).map(|(&t, &w)| w * t).sum::<f64>() / sw;
+    let mean_y = ys.iter().zip(ws).map(|(&y, &w)| w * y).sum::<f64>() / sw;
+    let mut stt = 0.0;
+    let mut sty = 0.0;
+    for ((&t, &y), &w) in ts.iter().zip(ys).zip(ws) {
+        stt += w * (t - mean_t) * (t - mean_t);
+        sty += w * (t - mean_t) * (y - mean_y);
+    }
+    if stt.abs() < 1e-15 {
+        return None;
+    }
+    let slope = sty / stt;
+    Some(Line { intercept: mean_y - slope * mean_t, slope })
+}
+
+/// Theil–Sen estimator: slope = median of pairwise slopes, intercept =
+/// median of `y − slope·t`. Breakdown point ≈ 29 %.
+pub fn theil_sen(ts: &[f64], ys: &[f64]) -> Result<Line, FitError> {
+    validate(ts, ys)?;
+    let n = ts.len();
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dt = ts[j] - ts[i];
+            if dt.abs() > 1e-15 {
+                slopes.push((ys[j] - ys[i]) / dt);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return Err(FitError::DegenerateAbscissae);
+    }
+    let slope = crate::stats::median_in_place(&mut slopes);
+    let mut residuals: Vec<f64> = ts.iter().zip(ys).map(|(&t, &y)| y - slope * t).collect();
+    let intercept = crate::stats::median_in_place(&mut residuals);
+    Ok(Line { intercept, slope })
+}
+
+/// Iteratively-reweighted least squares with the Tukey bisquare loss.
+///
+/// `tuning` is the bisquare cutoff in robust-σ units (4.685 gives 95 %
+/// Gaussian efficiency). Residual scale is re-estimated each iteration with
+/// the normalized MAD.
+pub fn tukey_irls(ts: &[f64], ys: &[f64], tuning: f64, iterations: usize) -> Result<Line, FitError> {
+    validate(ts, ys)?;
+    let mut line = least_squares(ts, ys)?;
+    let mut ws = vec![1.0; ts.len()];
+    for _ in 0..iterations {
+        let mut resid: Vec<f64> =
+            ts.iter().zip(ys).map(|(&t, &y)| (y - line.at(t)).abs()).collect();
+        let mad = crate::stats::median_in_place(&mut resid);
+        let scale = (mad * 1.4826).max(1e-9);
+        for ((&t, &y), w) in ts.iter().zip(ys).zip(ws.iter_mut()) {
+            let u = (y - line.at(t)) / (tuning * scale);
+            *w = if u.abs() >= 1.0 {
+                0.0
+            } else {
+                let f = 1.0 - u * u;
+                f * f
+            };
+        }
+        match weighted_least_squares(ts, ys, &ws) {
+            Some(next) => line = next,
+            // All points down-weighted to zero: keep the previous fit.
+            None => break,
+        }
+    }
+    Ok(line)
+}
+
+/// Default robust fit used by the pointing estimator: Tukey IRLS with the
+/// standard 4.685 tuning constant and 10 iterations.
+pub fn robust_line(ts: &[f64], ys: &[f64]) -> Result<Line, FitError> {
+    tukey_irls(ts, ys, 4.685, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize, a: f64, b: f64) -> (Vec<f64>, Vec<f64>) {
+        let ts: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = ts.iter().map(|&t| a + b * t).collect();
+        (ts, ys)
+    }
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let (ts, ys) = line_data(50, 2.0, -0.7);
+        let l = least_squares(&ts, &ys).unwrap();
+        assert!((l.intercept - 2.0).abs() < 1e-10);
+        assert!((l.slope + 0.7).abs() < 1e-10);
+        assert!((l.at(1.0) - 1.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn theil_sen_recovers_exact_line() {
+        let (ts, ys) = line_data(30, -1.0, 2.5);
+        let l = theil_sen(&ts, &ys).unwrap();
+        assert!((l.intercept + 1.0).abs() < 1e-10);
+        assert!((l.slope - 2.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn robust_fits_shrug_off_outliers() {
+        let (ts, mut ys) = line_data(40, 1.0, 0.5);
+        // Corrupt 20% of points with huge spikes (multipath-style).
+        for i in [3usize, 11, 19, 24, 27, 31, 35, 38] {
+            ys[i] += 25.0;
+        }
+        let ols = least_squares(&ts, &ys).unwrap();
+        let ts_fit = theil_sen(&ts, &ys).unwrap();
+        let irls = robust_line(&ts, &ys).unwrap();
+        // OLS is dragged far off; both robust fits stay near the truth.
+        assert!((ols.intercept - 1.0).abs() > 0.5);
+        assert!((ts_fit.slope - 0.5).abs() < 0.05, "theil-sen slope {}", ts_fit.slope);
+        assert!((irls.slope - 0.5).abs() < 0.05, "irls slope {}", irls.slope);
+        assert!((irls.intercept - 1.0).abs() < 0.1, "irls intercept {}", irls.intercept);
+    }
+
+    #[test]
+    fn irls_on_clean_data_matches_ols() {
+        let (ts, ys) = line_data(25, 0.3, 1.1);
+        let a = least_squares(&ts, &ys).unwrap();
+        let b = robust_line(&ts, &ys).unwrap();
+        assert!((a.slope - b.slope).abs() < 1e-8);
+        assert!((a.intercept - b.intercept).abs() < 1e-8);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert_eq!(least_squares(&[1.0], &[2.0]), Err(FitError::NotEnoughData));
+        assert_eq!(least_squares(&[1.0, 2.0], &[2.0]), Err(FitError::NotEnoughData));
+        assert_eq!(
+            least_squares(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::DegenerateAbscissae)
+        );
+        assert_eq!(
+            theil_sen(&[3.0, 3.0], &[1.0, 2.0]),
+            Err(FitError::DegenerateAbscissae)
+        );
+    }
+
+    #[test]
+    fn unsorted_abscissae_are_fine() {
+        let ts = vec![0.5, 0.1, 0.9, 0.3, 0.7];
+        let ys: Vec<f64> = ts.iter().map(|&t| 4.0 - 2.0 * t).collect();
+        let l = theil_sen(&ts, &ys).unwrap();
+        assert!((l.slope + 2.0).abs() < 1e-10);
+        assert!((l.intercept - 4.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,275 @@
+//! Order statistics, dispersion measures, and empirical CDFs.
+//!
+//! The paper's evaluation reports medians, 90th percentiles, and CDFs of the
+//! localization error (Figs. 8–11); the contour tracker needs robust scale
+//! (median/MAD) for its noise floor; the gesture detector thresholds on
+//! spectral variance (§6.1). This module is the shared home for all of it.
+
+/// Median of a slice, reordering it in place. Returns NaN for empty input.
+pub fn median_in_place(xs: &mut [f64]) -> f64 {
+    percentile_in_place(xs, 50.0)
+}
+
+/// Median without mutating the input (allocates a copy).
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    median_in_place(&mut v)
+}
+
+/// Percentile `p` in `[0, 100]` with linear interpolation between order
+/// statistics, reordering the slice in place. NaN for empty input.
+pub fn percentile_in_place(xs: &mut [f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted_percentile(xs, p)
+}
+
+/// Percentile of an already-sorted slice (linear interpolation).
+pub fn sorted_percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile without mutating the input (allocates a copy).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut v = xs.to_vec();
+    percentile_in_place(&mut v, p)
+}
+
+/// Arithmetic mean. NaN for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. NaN for empty input.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median absolute deviation (unscaled). Multiply by 1.4826 for a Gaussian-
+/// consistent σ estimate.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let med = median(xs);
+    let mut dev: Vec<f64> = xs.iter().map(|&x| (x - med).abs()).collect();
+    median_in_place(&mut dev)
+}
+
+/// An empirical CDF over a sample, ready to print as figure series.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a sample (NaNs are dropped).
+    pub fn new(mut xs: Vec<f64>) -> EmpiricalCdf {
+        xs.retain(|x| !x.is_nan());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        EmpiricalCdf { sorted: xs }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at percentile `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        sorted_percentile(&self.sorted, p)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Evenly-spaced `(value, fraction)` points for plotting, `n ≥ 2` points.
+    pub fn plot_points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n < 2 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let p = 100.0 * i as f64 / (n - 1) as f64;
+                (self.percentile(p), p / 100.0)
+            })
+            .collect()
+    }
+
+    /// The raw sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Running mean/variance accumulator (Welford), for streaming statistics in
+/// the real-time pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (NaN when empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+        assert_eq!(percentile(&xs, 50.0), 30.0);
+        assert_eq!(percentile(&xs, 25.0), 20.0);
+        assert!((percentile(&xs, 90.0) - 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut with_outlier = xs.to_vec();
+        with_outlier.push(1000.0);
+        assert!((mad(&xs) - 1.0).abs() < 1e-12);
+        assert!(mad(&with_outlier) < 3.0);
+    }
+
+    #[test]
+    fn cdf_fraction_and_percentiles_agree() {
+        let cdf = EmpiricalCdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf.fraction_below(50.0) - 0.5).abs() < 0.01);
+        assert!((cdf.median() - 50.5).abs() < 0.01);
+        assert!((cdf.percentile(90.0) - 90.1).abs() < 0.01);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_below(1000.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_drops_nans_and_plots() {
+        let cdf = EmpiricalCdf::new(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        let pts = cdf.plot_points(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], (1.0, 0.0));
+        assert_eq!(pts[4], (3.0, 1.0));
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.variance() - variance(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_welford_is_nan() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.variance().is_nan());
+    }
+}

@@ -1,0 +1,120 @@
+//! Window functions (tapers) for spectral analysis.
+//!
+//! The FMCW range profile is an FFT over one sweep; windowing trades main-lobe
+//! width (range resolution) against side-lobe level (leakage from the strong
+//! static "flash" reflectors into neighboring range bins, paper §4.2). The
+//! pipeline defaults to a Hann window, which keeps leakage from wall
+//! reflections from masking the much weaker body reflection in nearby bins.
+
+use std::f64::consts::PI;
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowKind {
+    /// No taper (all ones).
+    Rectangular,
+    /// Hann (raised cosine): −31 dB first side lobe.
+    Hann,
+    /// Hamming: −43 dB first side lobe, wider main lobe.
+    Hamming,
+    /// Blackman: −58 dB first side lobe, widest main lobe of the set.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Sample `i` of an `n`-point window.
+    pub fn sample(self, i: usize, n: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+        match self {
+            WindowKind::Rectangular => 1.0,
+            WindowKind::Hann => 0.5 * (1.0 - x.cos()),
+            WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
+            WindowKind::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Generates the full window.
+    pub fn generate(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.sample(i, n)).collect()
+    }
+
+    /// Coherent gain (mean of the window): the factor by which a windowed
+    /// tone's FFT peak is scaled relative to a rectangular window.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        self.generate(n).iter().sum::<f64>() / n as f64
+    }
+}
+
+/// Multiplies a signal by a window in place.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn apply(signal: &mut [f64], window: &[f64]) {
+    assert_eq!(signal.len(), window.len(), "window length mismatch");
+    for (s, w) in signal.iter_mut().zip(window) {
+        *s *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.generate(101);
+            for i in 0..101 {
+                assert!((w[i] - w[100 - i]).abs() < 1e-12, "{kind:?} asymmetric at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hann_peaks_at_one_and_ends_at_zero() {
+        let w = WindowKind::Hann.generate(101);
+        assert!((w[50] - 1.0).abs() < 1e-12);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[100].abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular.generate(17).iter().all(|&x| x == 1.0));
+        assert!((WindowKind::Rectangular.coherent_gain(17) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherent_gains_match_textbook() {
+        // Hann: 0.5, Hamming: 0.54, Blackman: 0.42 (asymptotic).
+        assert!((WindowKind::Hann.coherent_gain(4096) - 0.5).abs() < 1e-3);
+        assert!((WindowKind::Hamming.coherent_gain(4096) - 0.54).abs() < 1e-3);
+        assert!((WindowKind::Blackman.coherent_gain(4096) - 0.42).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_multiplies_in_place() {
+        let mut s = vec![2.0; 8];
+        let w = WindowKind::Hann.generate(8);
+        apply(&mut s, &w);
+        for i in 0..8 {
+            assert!((s[i] - 2.0 * w[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(WindowKind::Hann.generate(1), vec![1.0]);
+        assert!(WindowKind::Blackman.generate(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_length_mismatch_panics() {
+        let mut s = vec![1.0; 4];
+        apply(&mut s, &[1.0; 5]);
+    }
+}

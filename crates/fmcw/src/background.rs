@@ -1,0 +1,158 @@
+//! Static multipath removal by consecutive-frame subtraction (paper §4.2).
+//!
+//! Reflections from walls and furniture are far stronger than the body echo
+//! — the "Flash Effect" — but their round-trip distance, and therefore both
+//! the frequency *and phase* of their baseband tone, is constant across
+//! frames. Subtracting each complex range profile from its predecessor
+//! cancels them exactly, while a moving person's tone survives: even
+//! sub-bin motion between frames rotates the tone's carrier phase by
+//! `2π·Δd/λ` (λ ≈ 5 cm at these carriers), so the complex difference keeps
+//! most of the body's energy.
+
+use witrack_dsp::Complex;
+
+/// Subtracts the previous frame's complex range profile from the current one.
+#[derive(Debug, Clone, Default)]
+pub struct BackgroundSubtractor {
+    prev: Option<Vec<Complex>>,
+}
+
+impl BackgroundSubtractor {
+    /// Creates a subtractor with no history.
+    pub fn new() -> BackgroundSubtractor {
+        BackgroundSubtractor::default()
+    }
+
+    /// Pushes a frame; returns the background-subtracted *magnitudes*
+    /// (what the contour tracker consumes), or `None` for the very first
+    /// frame (no baseline yet).
+    ///
+    /// # Panics
+    /// Panics if the profile length changes between frames.
+    pub fn push(&mut self, profile: &[Complex]) -> Option<Vec<f64>> {
+        let out = match &self.prev {
+            None => None,
+            Some(prev) => {
+                assert_eq!(prev.len(), profile.len(), "profile length changed between frames");
+                Some(
+                    profile
+                        .iter()
+                        .zip(prev)
+                        .map(|(cur, old)| (*cur - *old).abs())
+                        .collect(),
+                )
+            }
+        };
+        self.prev = Some(profile.to_vec());
+        out
+    }
+
+    /// Like [`BackgroundSubtractor::push`] but returns the complex
+    /// difference (used by tests and by coherent downstream processing).
+    pub fn push_complex(&mut self, profile: &[Complex]) -> Option<Vec<Complex>> {
+        let out = match &self.prev {
+            None => None,
+            Some(prev) => {
+                assert_eq!(prev.len(), profile.len(), "profile length changed between frames");
+                Some(profile.iter().zip(prev).map(|(cur, old)| *cur - *old).collect())
+            }
+        };
+        self.prev = Some(profile.to_vec());
+        out
+    }
+
+    /// Whether a baseline frame has been captured.
+    pub fn has_baseline(&self) -> bool {
+        self.prev.is_some()
+    }
+
+    /// Drops the baseline (e.g. after a pipeline reset).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, bin: usize, amp: f64, phase: f64) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; n];
+        v[bin] = Complex::from_polar(amp, phase);
+        v
+    }
+
+    #[test]
+    fn first_frame_yields_none() {
+        let mut bs = BackgroundSubtractor::new();
+        assert!(bs.push(&tone(32, 5, 100.0, 0.0)).is_none());
+        assert!(bs.has_baseline());
+    }
+
+    #[test]
+    fn static_reflector_cancels_exactly() {
+        let mut bs = BackgroundSubtractor::new();
+        let frame = tone(32, 5, 1000.0, 0.7);
+        bs.push(&frame);
+        let diff = bs.push(&frame).unwrap();
+        assert!(diff.iter().all(|&m| m < 1e-9));
+    }
+
+    #[test]
+    fn moving_reflector_survives_subtraction() {
+        // Same bin, phase rotated by ~1.5 rad (≈ 1 cm of motion at 6 GHz):
+        // the complex difference keeps most of the amplitude.
+        let mut bs = BackgroundSubtractor::new();
+        bs.push(&tone(32, 7, 100.0, 0.0));
+        let diff = bs.push(&tone(32, 7, 100.0, 1.5)).unwrap();
+        // |1 − e^{i·1.5}| = 2·sin(0.75) ≈ 1.36 of the original amplitude.
+        assert!(diff[7] > 100.0, "residual {}", diff[7]);
+    }
+
+    #[test]
+    fn mixed_scene_keeps_only_the_mover() {
+        let n = 64;
+        let mut bs = BackgroundSubtractor::new();
+        // Static wall at bin 3 (huge), body at bin 20 (small, phase varies).
+        let mut f1 = tone(n, 3, 5000.0, 1.0);
+        f1[20] = Complex::from_polar(10.0, 0.0);
+        let mut f2 = tone(n, 3, 5000.0, 1.0);
+        f2[20] = Complex::from_polar(10.0, 2.0);
+        bs.push(&f1);
+        let diff = bs.push(&f2).unwrap();
+        assert!(diff[3] < 1e-9, "wall must cancel");
+        assert!(diff[20] > 5.0, "body must survive");
+    }
+
+    #[test]
+    fn complex_and_magnitude_variants_agree() {
+        let mut a = BackgroundSubtractor::new();
+        let mut b = BackgroundSubtractor::new();
+        let f1 = tone(16, 2, 10.0, 0.1);
+        let f2 = tone(16, 2, 12.0, 0.4);
+        a.push(&f1);
+        b.push_complex(&f1);
+        let mags = a.push(&f2).unwrap();
+        let cplx = b.push_complex(&f2).unwrap();
+        for (m, z) in mags.iter().zip(&cplx) {
+            assert!((m - z.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_forgets_baseline() {
+        let mut bs = BackgroundSubtractor::new();
+        bs.push(&tone(8, 1, 1.0, 0.0));
+        bs.reset();
+        assert!(!bs.has_baseline());
+        assert!(bs.push(&tone(8, 1, 1.0, 0.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_change_panics() {
+        let mut bs = BackgroundSubtractor::new();
+        bs.push(&tone(8, 1, 1.0, 0.0));
+        bs.push(&tone(16, 1, 1.0, 0.0));
+    }
+}

@@ -1,0 +1,265 @@
+//! FMCW sweep parameters and the paper's resolution identities (Eqs. 1–4).
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light (m/s), the paper's `C`.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Parameters of the frequency sweep and its digitization.
+///
+/// The defaults are the prototype's (paper §4.1, §7): a 1.69 GHz sweep from
+/// 5.56 GHz at 0.75 mW, 2.5 ms per sweep, baseband sampled at 1 MS/s by the
+/// USRP LFRX-LF, and 5 sweeps coherently averaged per processing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Sweep start carrier frequency (Hz).
+    pub start_freq_hz: f64,
+    /// Total swept bandwidth `B` (Hz).
+    pub bandwidth_hz: f64,
+    /// Sweep duration `T_sweep` (seconds).
+    pub sweep_duration_s: f64,
+    /// Baseband sampling rate (Hz).
+    pub sample_rate_hz: f64,
+    /// Sweeps coherently averaged into one processing frame (paper: 5).
+    pub sweeps_per_frame: usize,
+    /// Transmit power (Watts). Informational; the paper transmits 0.75 mW.
+    pub transmit_power_w: f64,
+}
+
+/// Validation failures for [`SweepConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field that must be positive is zero/negative/non-finite.
+    NonPositiveField(&'static str),
+    /// `sample_rate_hz · sweep_duration_s` is not (close to) an integer
+    /// number of samples.
+    NonIntegralSamplesPerSweep,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositiveField(name) => write!(f, "{name} must be positive"),
+            ConfigError::NonIntegralSamplesPerSweep => {
+                write!(f, "sample rate times sweep duration must be an integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig::witrack()
+    }
+}
+
+impl SweepConfig {
+    /// The prototype configuration from the paper.
+    pub fn witrack() -> SweepConfig {
+        SweepConfig {
+            start_freq_hz: 5.56e9,
+            bandwidth_hz: 1.69e9,
+            sweep_duration_s: 2.5e-3,
+            sample_rate_hz: 1.0e6,
+            sweeps_per_frame: 5,
+            transmit_power_w: 0.75e-3,
+        }
+    }
+
+    /// Checks all fields. Returns `self` for chaining.
+    pub fn validate(&self) -> Result<&SweepConfig, ConfigError> {
+        for (v, name) in [
+            (self.start_freq_hz, "start_freq_hz"),
+            (self.bandwidth_hz, "bandwidth_hz"),
+            (self.sweep_duration_s, "sweep_duration_s"),
+            (self.sample_rate_hz, "sample_rate_hz"),
+            (self.sweeps_per_frame as f64, "sweeps_per_frame"),
+            (self.transmit_power_w, "transmit_power_w"),
+        ] {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(ConfigError::NonPositiveField(name));
+            }
+        }
+        let n = self.sample_rate_hz * self.sweep_duration_s;
+        if (n - n.round()).abs() > 1e-6 {
+            return Err(ConfigError::NonIntegralSamplesPerSweep);
+        }
+        Ok(self)
+    }
+
+    /// Samples captured per sweep (2500 for the prototype).
+    pub fn samples_per_sweep(&self) -> usize {
+        (self.sample_rate_hz * self.sweep_duration_s).round() as usize
+    }
+
+    /// Sweep slope `B / T_sweep` (Hz/s) — the proportionality between beat
+    /// frequency and TOF in Eq. 1.
+    pub fn slope(&self) -> f64 {
+        self.bandwidth_hz / self.sweep_duration_s
+    }
+
+    /// Eq. 1: TOF (s) for a measured frequency shift `Δf` (Hz).
+    pub fn tof_for_beat(&self, beat_hz: f64) -> f64 {
+        beat_hz / self.slope()
+    }
+
+    /// Inverse of Eq. 1: beat frequency (Hz) for a round-trip TOF (s).
+    pub fn beat_for_tof(&self, tof_s: f64) -> f64 {
+        tof_s * self.slope()
+    }
+
+    /// Beat frequency (Hz) for a round-trip *distance* (m), via Eq. 4.
+    pub fn beat_for_round_trip(&self, round_trip_m: f64) -> f64 {
+        self.beat_for_tof(round_trip_m / SPEED_OF_LIGHT)
+    }
+
+    /// Eq. 4: round-trip distance (m) for a beat frequency (Hz).
+    pub fn round_trip_for_beat(&self, beat_hz: f64) -> f64 {
+        SPEED_OF_LIGHT * self.tof_for_beat(beat_hz)
+    }
+
+    /// FFT bin spacing `1/T_sweep` (Hz) — the minimum measurable frequency
+    /// shift (§4.1).
+    pub fn bin_spacing_hz(&self) -> f64 {
+        1.0 / self.sweep_duration_s
+    }
+
+    /// Round-trip distance covered by one FFT bin: `C / B` (m). Half of this
+    /// is the paper's one-way resolution.
+    pub fn round_trip_per_bin(&self) -> f64 {
+        SPEED_OF_LIGHT / self.bandwidth_hz
+    }
+
+    /// Eq. 3: one-way range resolution `C / 2B` (m). 8.87 cm for the
+    /// prototype ("8.8 cm" in the paper).
+    pub fn range_resolution(&self) -> f64 {
+        SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+    }
+
+    /// Maximum unambiguous round-trip distance (m): beat frequencies are
+    /// identifiable up to Nyquist (`sample_rate / 2`).
+    pub fn max_round_trip(&self) -> f64 {
+        self.round_trip_for_beat(self.sample_rate_hz / 2.0)
+    }
+
+    /// Round-trip distance (m) for a (fractional) FFT bin index.
+    pub fn round_trip_for_bin(&self, bin: f64) -> f64 {
+        self.round_trip_for_beat(bin * self.bin_spacing_hz())
+    }
+
+    /// Fractional FFT bin index for a round-trip distance (m).
+    pub fn bin_for_round_trip(&self, round_trip_m: f64) -> f64 {
+        self.beat_for_round_trip(round_trip_m) / self.bin_spacing_hz()
+    }
+
+    /// Duration of one processing frame: `sweeps_per_frame · T_sweep`
+    /// (12.5 ms for the prototype — §4.3's human-quasi-static window).
+    pub fn frame_duration_s(&self) -> f64 {
+        self.sweeps_per_frame as f64 * self.sweep_duration_s
+    }
+
+    /// Frames per second emitted by the pipeline (80 Hz for the prototype).
+    pub fn frame_rate_hz(&self) -> f64 {
+        1.0 / self.frame_duration_s()
+    }
+
+    /// End of the swept band (Hz). 7.25 GHz for the prototype.
+    pub fn end_freq_hz(&self) -> f64 {
+        self.start_freq_hz + self.bandwidth_hz
+    }
+
+    /// Carrier at the sweep midpoint (Hz), used for phase modeling.
+    pub fn center_freq_hz(&self) -> f64 {
+        self.start_freq_hz + self.bandwidth_hz / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) {
+        assert!((a - b).abs() <= rel * b.abs().max(1e-12), "{a} vs {b}");
+    }
+
+    #[test]
+    fn paper_constants_hold() {
+        let c = SweepConfig::witrack();
+        c.validate().unwrap();
+        assert_eq!(c.samples_per_sweep(), 2500);
+        // §4.1: "our sweep bandwidth allows us to obtain a distance
+        // resolution of 8.8 cm".
+        close(c.range_resolution(), 0.0887, 0.01);
+        // Slope = 1.69 GHz / 2.5 ms = 6.76e11 Hz/s.
+        close(c.slope(), 6.76e11, 1e-9);
+        // Bin spacing = 400 Hz.
+        close(c.bin_spacing_hz(), 400.0, 1e-12);
+        // Frame duration 12.5 ms → 80 fps.
+        close(c.frame_duration_s(), 0.0125, 1e-12);
+        close(c.frame_rate_hz(), 80.0, 1e-12);
+        // Sweep ends at 7.25 GHz.
+        close(c.end_freq_hz(), 7.25e9, 1e-12);
+    }
+
+    #[test]
+    fn eq1_round_trips_through_eq4() {
+        let c = SweepConfig::witrack();
+        for d in [1.0, 5.0, 12.5, 30.0] {
+            let beat = c.beat_for_round_trip(d);
+            close(c.round_trip_for_beat(beat), d, 1e-12);
+            let tof = c.tof_for_beat(beat);
+            close(tof, d / SPEED_OF_LIGHT, 1e-12);
+        }
+    }
+
+    #[test]
+    fn bin_mapping_is_consistent() {
+        let c = SweepConfig::witrack();
+        // One bin = C/B round trip ≈ 0.1774 m.
+        close(c.round_trip_per_bin(), 2.0 * c.range_resolution(), 1e-12);
+        close(c.round_trip_for_bin(1.0), c.round_trip_per_bin(), 1e-12);
+        for bin in [0.0, 1.0, 56.4, 169.0] {
+            close(c.bin_for_round_trip(c.round_trip_for_bin(bin)), bin, 1e-9);
+        }
+    }
+
+    #[test]
+    fn nyquist_range_exceeds_room_scale() {
+        let c = SweepConfig::witrack();
+        // 500 kHz beat → ~222 m round trip; far beyond any indoor scene.
+        assert!(c.max_round_trip() > 200.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = SweepConfig::witrack();
+        c.bandwidth_hz = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveField("bandwidth_hz")));
+        let mut c = SweepConfig::witrack();
+        c.sweep_duration_s = 2.00000049e-3; // 2000.00049 samples
+        assert_eq!(c.validate(), Err(ConfigError::NonIntegralSamplesPerSweep));
+        let mut c = SweepConfig::witrack();
+        c.sweeps_per_frame = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_configs_keep_identities() {
+        // A reduced config used by fast tests: identities must be intrinsic,
+        // not tied to the paper's numbers.
+        let c = SweepConfig {
+            start_freq_hz: 5.56e6,
+            bandwidth_hz: 1.69e6,
+            sweep_duration_s: 1e-3,
+            sample_rate_hz: 250e3,
+            sweeps_per_frame: 3,
+            transmit_power_w: 1e-3,
+        };
+        c.validate().unwrap();
+        assert_eq!(c.samples_per_sweep(), 250);
+        close(c.range_resolution(), SPEED_OF_LIGHT / (2.0 * 1.69e6), 1e-12);
+        close(c.frame_duration_s(), 3e-3, 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Bottom-contour tracking (paper §4.3).
+//!
+//! After background subtraction only *moving* reflectors remain: the direct
+//! body echo plus dynamic multipath (body → wall → antenna). The direct echo
+//! always travels the shortest path, so WiTrack tracks "the smallest local
+//! frequency maximum that is substantially above the noise floor" rather
+//! than the globally strongest return — indirect bounces can be stronger
+//! than a through-wall direct path, but they can never be *shorter*.
+
+use crate::config::SweepConfig;
+use serde::{Deserialize, Serialize};
+use witrack_dsp::peak;
+
+/// Tuning for [`ContourTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContourConfig {
+    /// Robust z-score a bin must exceed over the median noise to count as
+    /// "substantially above the noise floor".
+    pub noise_floor_k: f64,
+    /// Bins below this round-trip distance (m) are ignored: the Tx→Rx direct
+    /// leak and antenna coupling live there, not targets.
+    pub min_round_trip_m: f64,
+    /// Absolute floor on detection magnitude, guarding the all-noise case
+    /// where median + k·MAD is still tiny.
+    pub min_magnitude: f64,
+}
+
+impl Default for ContourConfig {
+    fn default() -> Self {
+        ContourConfig { noise_floor_k: 5.0, min_round_trip_m: 0.5, min_magnitude: 1e-9 }
+    }
+}
+
+/// A per-frame contour detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Sub-bin-refined FFT bin index of the first strong local maximum.
+    pub bin: f64,
+    /// The corresponding round-trip distance (m).
+    pub round_trip_m: f64,
+    /// Magnitude of the detected peak (background-subtracted units).
+    pub magnitude: f64,
+    /// Noise floor the detection was compared against.
+    pub noise_floor: f64,
+}
+
+/// Extracts the bottom contour from background-subtracted magnitude frames.
+#[derive(Debug, Clone)]
+pub struct ContourTracker {
+    cfg: ContourConfig,
+    sweep: SweepConfig,
+    min_bin: usize,
+}
+
+impl ContourTracker {
+    /// Creates a tracker for the given sweep configuration.
+    pub fn new(sweep: SweepConfig, cfg: ContourConfig) -> ContourTracker {
+        let min_bin = sweep.bin_for_round_trip(cfg.min_round_trip_m).floor().max(0.0) as usize;
+        ContourTracker { cfg, sweep, min_bin }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &ContourConfig {
+        &self.cfg
+    }
+
+    /// Finds the bottom contour in one frame of background-subtracted
+    /// magnitudes. Returns `None` when no bin rises substantially above the
+    /// noise floor (a static scene).
+    pub fn detect(&self, magnitudes: &[f64]) -> Option<Detection> {
+        if magnitudes.len() <= self.min_bin + 2 {
+            return None;
+        }
+        let usable = &magnitudes[self.min_bin..];
+        let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
+        let rel = peak::first_maximum_above(usable, floor)?;
+        let idx = self.min_bin + rel;
+        let refined = peak::parabolic_refine(magnitudes, idx);
+        Some(Detection {
+            bin: refined,
+            round_trip_m: self.sweep.round_trip_for_bin(refined),
+            magnitude: magnitudes[idx],
+            noise_floor: floor,
+        })
+    }
+
+    /// The §4.3 ablation: track the *strongest* return instead of the
+    /// nearest strong one. Kept here so the baseline crate and the contour
+    /// share identical thresholds.
+    pub fn detect_strongest(&self, magnitudes: &[f64]) -> Option<Detection> {
+        if magnitudes.len() <= self.min_bin + 2 {
+            return None;
+        }
+        let usable = &magnitudes[self.min_bin..];
+        let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
+        let rel = peak::global_maximum(usable)?;
+        if usable[rel] <= floor {
+            return None;
+        }
+        let idx = self.min_bin + rel;
+        let refined = peak::parabolic_refine(magnitudes, idx);
+        Some(Detection {
+            bin: refined,
+            round_trip_m: self.sweep.round_trip_for_bin(refined),
+            magnitude: magnitudes[idx],
+            noise_floor: floor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SweepConfig {
+        SweepConfig::witrack()
+    }
+
+    /// Builds a frame with Gaussian lobes at given (bin, amplitude) pairs on
+    /// a pseudo-noise floor.
+    fn frame(n: usize, lobes: &[(f64, f64)], noise_amp: f64) -> Vec<f64> {
+        let mut m: Vec<f64> = (0..n)
+            .map(|i| {
+                // Deterministic pseudo-noise.
+                let x = (i as f64 * 12.9898).sin() * 43758.5453;
+                noise_amp * (x - x.floor())
+            })
+            .collect();
+        for &(c, a) in lobes {
+            for i in 0..n {
+                m[i] += a * (-((i as f64 - c) / 1.2).powi(2)).exp();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn picks_nearest_strong_peak_not_strongest() {
+        let sweep = cfg();
+        let t = ContourTracker::new(sweep, ContourConfig::default());
+        // Direct body echo at bin 40 (weak), wall bounce at bin 70 (strong).
+        let m = frame(200, &[(40.0, 5.0), (70.0, 20.0)], 0.1);
+        let d = t.detect(&m).unwrap();
+        assert!((d.bin - 40.0).abs() < 0.5, "bin {}", d.bin);
+        let s = t.detect_strongest(&m).unwrap();
+        assert!((s.bin - 70.0).abs() < 0.5, "bin {}", s.bin);
+        // Round-trip mapping matches the sweep config.
+        assert!((d.round_trip_m - sweep.round_trip_for_bin(d.bin)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_noise_frame_detects_nothing() {
+        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let m = frame(200, &[], 0.1);
+        assert!(t.detect(&m).is_none());
+    }
+
+    #[test]
+    fn zero_frame_detects_nothing() {
+        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        assert!(t.detect(&vec![0.0; 200]).is_none());
+        assert!(t.detect_strongest(&vec![0.0; 200]).is_none());
+    }
+
+    #[test]
+    fn self_interference_region_is_ignored() {
+        let sweep = cfg();
+        let t = ContourTracker::new(
+            sweep,
+            ContourConfig { min_round_trip_m: 2.0, ..ContourConfig::default() },
+        );
+        let leak_bin = sweep.bin_for_round_trip(0.3);
+        let body_bin = sweep.bin_for_round_trip(8.0);
+        let m = frame(200, &[(leak_bin, 100.0), (body_bin, 5.0)], 0.1);
+        let d = t.detect(&m).unwrap();
+        assert!((d.bin - body_bin).abs() < 0.5, "bin {} body {}", d.bin, body_bin);
+    }
+
+    #[test]
+    fn subbin_refinement_beats_integer_bins() {
+        let sweep = cfg();
+        let t = ContourTracker::new(sweep, ContourConfig::default());
+        let true_bin = 45.4;
+        let m = frame(200, &[(true_bin, 10.0)], 0.05);
+        let d = t.detect(&m).unwrap();
+        assert!((d.bin - true_bin).abs() < 0.1, "refined {} true {}", d.bin, true_bin);
+    }
+
+    #[test]
+    fn short_frames_are_rejected() {
+        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        assert!(t.detect(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn detection_reports_floor_below_peak() {
+        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let m = frame(200, &[(50.0, 8.0)], 0.1);
+        let d = t.detect(&m).unwrap();
+        assert!(d.magnitude > d.noise_floor);
+    }
+}

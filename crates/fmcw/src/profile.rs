@@ -1,0 +1,221 @@
+//! Sweep → range profile conversion.
+//!
+//! Paper §7: *"The signal from each receiving antenna is transformed to the
+//! Frequency domain using an FFT whose size matches the FMCW sweep period of
+//! 2.5 ms. To improve resilience to noise, every five consecutive sweeps are
+//! averaged creating one FFT frame."*
+//!
+//! Averaging five raw sweeps and transforming once is mathematically
+//! identical to averaging five FFTs (the DFT is linear) and 5× cheaper, so
+//! [`RangeProfiler`] accumulates sweeps in the time domain. The human is
+//! quasi-static over the 12.5 ms window (§4.3), so the body tone adds
+//! coherently while noise adds incoherently — the paper's stated reason for
+//! averaging.
+
+use crate::config::SweepConfig;
+use witrack_dsp::window::WindowKind;
+use witrack_dsp::{Complex, Fft};
+
+/// Converts accumulated sweeps into complex range profiles.
+#[derive(Debug, Clone)]
+pub struct RangeProfiler {
+    samples_per_sweep: usize,
+    sweeps_per_frame: usize,
+    window: Vec<f64>,
+    fft: Fft,
+    /// Time-domain accumulator for the current frame.
+    accum: Vec<f64>,
+    sweeps_accumulated: usize,
+    /// Range profiles are truncated to this many bins (positive beat
+    /// frequencies only; indoor scenes need ~200 of the 2500).
+    keep_bins: usize,
+}
+
+impl RangeProfiler {
+    /// Creates a profiler for the given sweep configuration, keeping range
+    /// bins up to `max_round_trip_m` of round-trip distance.
+    pub fn new(cfg: &SweepConfig, window: WindowKind, max_round_trip_m: f64) -> RangeProfiler {
+        let n = cfg.samples_per_sweep();
+        let keep = (cfg.bin_for_round_trip(max_round_trip_m).ceil() as usize + 1).min(n / 2);
+        RangeProfiler {
+            samples_per_sweep: n,
+            sweeps_per_frame: cfg.sweeps_per_frame,
+            window: window.generate(n),
+            fft: Fft::new(n),
+            accum: vec![0.0; n],
+            sweeps_accumulated: 0,
+            keep_bins: keep.max(2),
+        }
+    }
+
+    /// Number of range bins kept in each profile.
+    pub fn keep_bins(&self) -> usize {
+        self.keep_bins
+    }
+
+    /// Sweeps accumulated toward the next frame.
+    pub fn pending_sweeps(&self) -> usize {
+        self.sweeps_accumulated
+    }
+
+    /// Pushes one sweep of baseband samples. Returns the complex range
+    /// profile when this sweep completes a frame, `None` otherwise.
+    ///
+    /// # Panics
+    /// Panics if `samples` is not exactly one sweep long.
+    pub fn push_sweep(&mut self, samples: &[f64]) -> Option<Vec<Complex>> {
+        assert_eq!(
+            samples.len(),
+            self.samples_per_sweep,
+            "sweep must contain exactly samples_per_sweep samples"
+        );
+        for (a, &s) in self.accum.iter_mut().zip(samples) {
+            *a += s;
+        }
+        self.sweeps_accumulated += 1;
+        if self.sweeps_accumulated < self.sweeps_per_frame {
+            return None;
+        }
+        // Frame complete: window, transform, truncate, reset accumulator.
+        let inv = 1.0 / self.sweeps_per_frame as f64;
+        let mut buf: Vec<Complex> = self
+            .accum
+            .iter()
+            .zip(&self.window)
+            .map(|(&a, &w)| Complex::real(a * inv * w))
+            .collect();
+        self.fft.forward(&mut buf);
+        buf.truncate(self.keep_bins);
+        self.accum.iter_mut().for_each(|a| *a = 0.0);
+        self.sweeps_accumulated = 0;
+        Some(buf)
+    }
+
+    /// Clears any partially accumulated frame.
+    pub fn reset(&mut self) {
+        self.accum.iter_mut().for_each(|a| *a = 0.0);
+        self.sweeps_accumulated = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig {
+            start_freq_hz: 5.56e6,
+            bandwidth_hz: 1.69e6,
+            sweep_duration_s: 1e-3,
+            sample_rate_hz: 256e3,
+            sweeps_per_frame: 4,
+            transmit_power_w: 1e-3,
+        }
+    }
+
+    fn tone_sweep(cfg: &SweepConfig, beat_hz: f64, phase: f64) -> Vec<f64> {
+        let n = cfg.samples_per_sweep();
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / cfg.sample_rate_hz;
+                (2.0 * PI * beat_hz * t + phase).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_emitted_every_n_sweeps() {
+        let cfg = small_cfg();
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
+        let sweep = tone_sweep(&cfg, 10e3, 0.0);
+        for k in 0..3 {
+            assert!(p.push_sweep(&sweep).is_none(), "sweep {k} should not complete a frame");
+            assert_eq!(p.pending_sweeps(), k + 1);
+        }
+        assert!(p.push_sweep(&sweep).is_some());
+        assert_eq!(p.pending_sweeps(), 0);
+    }
+
+    #[test]
+    fn tone_lands_in_the_right_bin() {
+        let cfg = small_cfg();
+        // Choose a beat exactly on a bin: bin spacing = 1 kHz.
+        let bin = 12.0;
+        let beat = bin * cfg.bin_spacing_hz();
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
+        let sweep = tone_sweep(&cfg, beat, 0.3);
+        let mut out = None;
+        for _ in 0..cfg.sweeps_per_frame {
+            out = p.push_sweep(&sweep);
+        }
+        let profile = out.unwrap();
+        let mags: Vec<f64> = profile.iter().map(|z| z.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, bin as usize);
+    }
+
+    #[test]
+    fn coherent_averaging_boosts_snr() {
+        let cfg = small_cfg();
+        let bin = 9.0;
+        let beat = bin * cfg.bin_spacing_hz();
+        // Identical tone in all sweeps + per-sweep alternating-sign "noise"
+        // at another bin. Coherent tone stays; alternating noise cancels.
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Rectangular, cfg.round_trip_for_bin(40.0));
+        let tone = tone_sweep(&cfg, beat, 0.0);
+        let noise_tone = tone_sweep(&cfg, 20.0 * cfg.bin_spacing_hz(), 0.0);
+        let mut out = None;
+        for k in 0..cfg.sweeps_per_frame {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            let sweep: Vec<f64> =
+                tone.iter().zip(&noise_tone).map(|(&t, &n)| t + sign * n).collect();
+            out = p.push_sweep(&sweep);
+        }
+        let profile = out.unwrap();
+        let mags: Vec<f64> = profile.iter().map(|z| z.abs()).collect();
+        assert!(mags[9] > 50.0 * mags[20], "coherent {} incoherent {}", mags[9], mags[20]);
+    }
+
+    #[test]
+    fn profiles_are_truncated_to_keep_bins() {
+        let cfg = small_cfg();
+        let max_rt = cfg.round_trip_for_bin(25.0);
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, max_rt);
+        assert!(p.keep_bins() <= 27);
+        let sweep = tone_sweep(&cfg, 5e3, 0.0);
+        let mut out = None;
+        for _ in 0..cfg.sweeps_per_frame {
+            out = p.push_sweep(&sweep);
+        }
+        assert_eq!(out.unwrap().len(), p.keep_bins());
+    }
+
+    #[test]
+    fn reset_discards_partial_frame() {
+        let cfg = small_cfg();
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
+        let sweep = tone_sweep(&cfg, 10e3, 0.0);
+        p.push_sweep(&sweep);
+        p.push_sweep(&sweep);
+        p.reset();
+        assert_eq!(p.pending_sweeps(), 0);
+        for k in 0..cfg.sweeps_per_frame - 1 {
+            assert!(p.push_sweep(&sweep).is_none(), "sweep {k}");
+        }
+        assert!(p.push_sweep(&sweep).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_sweep_length_panics() {
+        let cfg = small_cfg();
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
+        p.push_sweep(&[0.0; 10]);
+    }
+}

@@ -1,0 +1,185 @@
+//! A time × range magnitude matrix with axes, for the figure harnesses.
+//!
+//! Fig. 3 and Fig. 5 of the paper are spectrograms (power per round-trip
+//! distance per time). The pipeline itself streams; this container exists so
+//! harnesses and examples can collect frames and emit gnuplot-ready CSV or a
+//! terminal heat map.
+
+use crate::config::SweepConfig;
+
+/// A collected spectrogram: one magnitude row per processing frame.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    frame_duration_s: f64,
+    round_trip_per_bin: f64,
+    bins: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Spectrogram {
+    /// Creates an empty spectrogram for profiles of `bins` range bins.
+    pub fn new(cfg: &SweepConfig, bins: usize) -> Spectrogram {
+        Spectrogram {
+            frame_duration_s: cfg.frame_duration_s(),
+            round_trip_per_bin: cfg.round_trip_per_bin(),
+            bins,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one frame of magnitudes.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the configured bin count.
+    pub fn push_row(&mut self, magnitudes: &[f64]) {
+        assert_eq!(magnitudes.len(), self.bins, "row width mismatch");
+        self.rows.push(magnitudes.to_vec());
+    }
+
+    /// Number of frames collected.
+    pub fn num_frames(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of range bins per frame.
+    pub fn num_bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Whether any frames have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Time (s) of frame `i`.
+    pub fn time_of(&self, i: usize) -> f64 {
+        i as f64 * self.frame_duration_s
+    }
+
+    /// Round-trip distance (m) of bin `j`.
+    pub fn round_trip_of(&self, j: usize) -> f64 {
+        j as f64 * self.round_trip_per_bin
+    }
+
+    /// The raw rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Writes `time_s,round_trip_m,magnitude` CSV rows (with header) into a
+    /// string — one line per (frame, bin) cell, subsampled by `time_stride`
+    /// frames to keep files manageable.
+    pub fn to_csv(&self, time_stride: usize) -> String {
+        let stride = time_stride.max(1);
+        let mut out = String::from("time_s,round_trip_m,magnitude\n");
+        for (i, row) in self.rows.iter().enumerate().step_by(stride) {
+            for (j, &m) in row.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:.4},{:.3},{:.6e}\n",
+                    self.time_of(i),
+                    self.round_trip_of(j),
+                    m
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders a coarse ASCII heat map (time down, range across), for the
+    /// examples. `width`/`height` bound the output size.
+    pub fn ascii(&self, width: usize, height: usize) -> String {
+        if self.rows.is_empty() || width == 0 || height == 0 {
+            return String::new();
+        }
+        let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .fold(0.0_f64, |a, &b| a.max(b))
+            .max(1e-300);
+        let h = height.min(self.rows.len());
+        let w = width.min(self.bins);
+        let mut out = String::new();
+        for oy in 0..h {
+            let iy = oy * self.rows.len() / h;
+            for ox in 0..w {
+                let ix = ox * self.bins / w;
+                // Log scale over 40 dB of dynamic range.
+                let v = self.rows[iy][ix] / max;
+                let db = 10.0 * v.max(1e-30).log10();
+                let norm = ((db + 40.0) / 40.0).clamp(0.0, 1.0);
+                let idx = (norm * (shades.len() - 1) as f64).round() as usize;
+                out.push(shades[idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spectrogram {
+        let cfg = SweepConfig::witrack();
+        let mut s = Spectrogram::new(&cfg, 4);
+        s.push_row(&[0.0, 1.0, 0.0, 0.0]);
+        s.push_row(&[0.0, 0.0, 2.0, 0.0]);
+        s
+    }
+
+    #[test]
+    fn axes_follow_config() {
+        let s = spec();
+        assert_eq!(s.num_frames(), 2);
+        assert_eq!(s.num_bins(), 4);
+        assert!((s.time_of(1) - 0.0125).abs() < 1e-12);
+        let cfg = SweepConfig::witrack();
+        assert!((s.round_trip_of(2) - 2.0 * cfg.round_trip_per_bin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_cells() {
+        let s = spec();
+        let csv = s.to_csv(1);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,round_trip_m,magnitude");
+        assert_eq!(lines.len(), 1 + 2 * 4);
+    }
+
+    #[test]
+    fn csv_stride_subsamples_frames() {
+        let s = spec();
+        let csv = s.to_csv(2);
+        assert_eq!(csv.lines().count(), 1 + 4);
+    }
+
+    #[test]
+    fn ascii_renders_requested_size() {
+        let s = spec();
+        let art = s.ascii(4, 2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // The brightest cell should use a darker shade than empty cells.
+        assert_ne!(art.chars().next().unwrap(), '@');
+    }
+
+    #[test]
+    fn empty_spectrogram_renders_empty() {
+        let cfg = SweepConfig::witrack();
+        let s = Spectrogram::new(&cfg, 8);
+        assert!(s.is_empty());
+        assert!(s.ascii(10, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let cfg = SweepConfig::witrack();
+        let mut s = Spectrogram::new(&cfg, 8);
+        s.push_row(&[1.0; 4]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Directional antennas and the WiTrack array geometry.
+//!
+//! The prototype uses WA5VJB directional antennas (paper §7): one transmit
+//! antenna at the crossing of a "T", two receive antennas on the horizontal
+//! bar, and one receive antenna below (Fig. 1(a)). Directionality matters
+//! twice in the system:
+//!
+//! * it suppresses people *behind* the array (paper §3's single-person
+//!   operating assumption), and
+//! * it disambiguates the two ellipse/ellipsoid intersection points — only
+//!   the one inside every beam is feasible (paper §5, Fig. 4(a)).
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A simple rotationally-symmetric directional beam: power gain
+/// `cos(θ)^order` for `θ` within the front half-space, zero behind.
+///
+/// `order = 0` is an isotropic front hemisphere; larger orders narrow the
+/// beam. WA5VJB log-periodic antennas have roughly 60–70° half-power
+/// beamwidth, which `order ≈ 2` approximates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeamPattern {
+    /// Cosine exponent controlling beam width.
+    pub order: f64,
+}
+
+impl BeamPattern {
+    /// An isotropic (hemispherical) pattern.
+    pub const HEMISPHERE: BeamPattern = BeamPattern { order: 0.0 };
+
+    /// Default pattern approximating the prototype's WA5VJB antennas.
+    pub const WA5VJB: BeamPattern = BeamPattern { order: 2.0 };
+
+    /// Creates a pattern with the given cosine exponent (clamped to `>= 0`).
+    pub fn new(order: f64) -> BeamPattern {
+        BeamPattern { order: order.max(0.0) }
+    }
+
+    /// Linear power gain for a ray at angle `theta` (radians) off boresight.
+    /// Zero for `|theta| >= π/2` (back half-space).
+    pub fn gain(&self, theta: f64) -> f64 {
+        let c = theta.cos();
+        // Treat the numerical fuzz of cos(π/2) as "behind".
+        if c <= 1e-12 {
+            0.0
+        } else if self.order == 0.0 {
+            1.0
+        } else {
+            c.powf(self.order)
+        }
+    }
+
+    /// Half-power beamwidth in radians (full width): the angle span where
+    /// gain ≥ 0.5.
+    pub fn half_power_beamwidth(&self) -> f64 {
+        if self.order == 0.0 {
+            std::f64::consts::PI
+        } else {
+            2.0 * (0.5_f64.powf(1.0 / self.order)).acos()
+        }
+    }
+}
+
+/// A directional antenna: a position, a boresight direction, and a beam.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// Phase-center position (meters, world frame).
+    pub position: Vec3,
+    /// Unit boresight direction.
+    pub boresight: Vec3,
+    /// Beam pattern.
+    pub beam: BeamPattern,
+}
+
+impl Antenna {
+    /// Creates an antenna; the boresight is normalized.
+    ///
+    /// Returns `None` if the boresight direction is degenerate.
+    pub fn new(position: Vec3, boresight: Vec3, beam: BeamPattern) -> Option<Antenna> {
+        Some(Antenna { position, boresight: boresight.normalized()?, beam })
+    }
+
+    /// An antenna facing the room (+y boresight) with the default beam.
+    pub fn facing_room(position: Vec3) -> Antenna {
+        Antenna { position, boresight: Vec3::Y, beam: BeamPattern::WA5VJB }
+    }
+
+    /// Linear power gain toward point `p` (zero if `p` is behind the antenna).
+    pub fn gain_toward(&self, p: Vec3) -> f64 {
+        match (p - self.position).angle_to(self.boresight) {
+            Some(theta) => self.beam.gain(theta),
+            None => 1.0, // p coincides with the antenna: boresight by convention
+        }
+    }
+
+    /// Whether point `p` is inside the antenna's front half-space.
+    pub fn sees(&self, p: Vec3) -> bool {
+        (p - self.position).dot(self.boresight) > 0.0
+    }
+}
+
+/// A transmit antenna plus `N ≥ 3` receive antennas, the full sensing array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AntennaArray {
+    /// The single transmit antenna.
+    pub tx: Antenna,
+    /// Receive antennas, in a fixed order that the TOF streams follow.
+    pub rx: Vec<Antenna>,
+}
+
+/// Errors constructing an [`AntennaArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayError {
+    /// Fewer than three receive antennas cannot resolve a 3D location (§5).
+    TooFewReceivers,
+}
+
+impl std::fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayError::TooFewReceivers => {
+                write!(f, "3D localization requires at least three receive antennas")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+impl AntennaArray {
+    /// Builds an array, enforcing the three-receiver minimum.
+    pub fn new(tx: Antenna, rx: Vec<Antenna>) -> Result<AntennaArray, ArrayError> {
+        if rx.len() < 3 {
+            return Err(ArrayError::TooFewReceivers);
+        }
+        Ok(AntennaArray { tx, rx })
+    }
+
+    /// The paper's default "T" arrangement facing +y:
+    ///
+    /// * Tx at `origin` (the crossing point of the T),
+    /// * Rx0 at `origin - (sep, 0, 0)` and Rx1 at `origin + (sep, 0, 0)`
+    ///   (the horizontal bar),
+    /// * Rx2 at `origin - (0, 0, sep)` (below, for elevation).
+    ///
+    /// `sep` is the Tx–Rx separation (1 m by default in the paper, varied
+    /// from 0.25 m to 2 m in Fig. 10).
+    pub fn t_shape(origin: Vec3, sep: f64) -> AntennaArray {
+        let mk = Antenna::facing_room;
+        AntennaArray {
+            tx: mk(origin),
+            rx: vec![
+                mk(origin - Vec3::new(sep, 0.0, 0.0)),
+                mk(origin + Vec3::new(sep, 0.0, 0.0)),
+                mk(origin - Vec3::new(0.0, 0.0, sep)),
+            ],
+        }
+    }
+
+    /// A T-shape with `extra` additional receive antennas interleaved on the
+    /// bar and the stem, for the §5 over-constrained configuration (ablation
+    /// A2 in DESIGN.md).
+    pub fn t_shape_extended(origin: Vec3, sep: f64, extra: usize) -> AntennaArray {
+        let mut array = AntennaArray::t_shape(origin, sep);
+        for i in 0..extra {
+            // Alternate: above the crossing, then half-separation points.
+            let offset = match i % 4 {
+                0 => Vec3::new(0.0, 0.0, sep),
+                1 => Vec3::new(-sep / 2.0, 0.0, 0.0),
+                2 => Vec3::new(sep / 2.0, 0.0, 0.0),
+                _ => Vec3::new(0.0, 0.0, -sep / 2.0),
+            };
+            array.rx.push(Antenna::facing_room(origin + offset));
+        }
+        array
+    }
+
+    /// Number of receive antennas.
+    pub fn num_rx(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Exact round-trip distance from the transmitter to a reflector at `p`
+    /// and back to receive antenna `k`. This is the quantity the FMCW
+    /// front end measures (paper Eq. 4).
+    pub fn round_trip(&self, p: Vec3, k: usize) -> f64 {
+        self.tx.position.distance(p) + p.distance(self.rx[k].position)
+    }
+
+    /// Round-trip distances to every receive antenna.
+    pub fn round_trips(&self, p: Vec3) -> Vec<f64> {
+        (0..self.rx.len()).map(|k| self.round_trip(p, k)).collect()
+    }
+
+    /// Whether `p` is within the front half-space of *all* antennas —
+    /// the feasibility condition used to pick among ellipsoid intersections.
+    pub fn in_all_beams(&self, p: Vec3) -> bool {
+        self.tx.sees(p) && self.rx.iter().all(|a| a.sees(p))
+    }
+
+    /// The centroid of all antenna positions (used as a solver seed).
+    pub fn centroid(&self) -> Vec3 {
+        let sum: Vec3 =
+            std::iter::once(self.tx.position).chain(self.rx.iter().map(|a| a.position)).sum();
+        sum / (1.0 + self.rx.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn beam_gain_boundaries() {
+        let b = BeamPattern::WA5VJB;
+        assert_close(b.gain(0.0), 1.0, 1e-12);
+        assert_eq!(b.gain(std::f64::consts::FRAC_PI_2), 0.0);
+        assert_eq!(b.gain(2.0), 0.0); // behind
+        assert!(b.gain(0.5) > b.gain(1.0)); // monotone fall-off
+    }
+
+    #[test]
+    fn hemisphere_is_flat() {
+        let b = BeamPattern::HEMISPHERE;
+        assert_close(b.gain(0.1), 1.0, 1e-12);
+        assert_close(b.gain(1.4), 1.0, 1e-12);
+        assert_eq!(b.gain(1.7), 0.0);
+    }
+
+    #[test]
+    fn half_power_beamwidth_narrows_with_order() {
+        let wide = BeamPattern::new(1.0).half_power_beamwidth();
+        let narrow = BeamPattern::new(8.0).half_power_beamwidth();
+        assert!(narrow < wide);
+        // order 2: gain(θ)=cos²θ = 0.5 at θ = 45°, so HPBW = 90°.
+        assert_close(
+            BeamPattern::WA5VJB.half_power_beamwidth(),
+            std::f64::consts::FRAC_PI_2,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn antenna_sees_front_not_back() {
+        let a = Antenna::facing_room(Vec3::ZERO);
+        assert!(a.sees(Vec3::new(0.0, 3.0, 0.0)));
+        assert!(!a.sees(Vec3::new(0.0, -3.0, 0.0)));
+        assert!(a.gain_toward(Vec3::new(0.0, -3.0, 0.0)) == 0.0);
+        assert!(a.gain_toward(Vec3::new(0.0, 3.0, 0.0)) > 0.9);
+    }
+
+    #[test]
+    fn t_shape_matches_paper_layout() {
+        let arr = AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0);
+        assert_eq!(arr.num_rx(), 3);
+        assert_eq!(arr.tx.position, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(arr.rx[0].position, Vec3::new(-1.0, 0.0, 1.0));
+        assert_eq!(arr.rx[1].position, Vec3::new(1.0, 0.0, 1.0));
+        assert_eq!(arr.rx[2].position, Vec3::new(0.0, 0.0, 0.0));
+        // Every Tx–Rx distance equals the separation (paper §9.3 setup).
+        for k in 0..3 {
+            assert_close(arr.tx.position.distance(arr.rx[k].position), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_legs() {
+        let arr = AntennaArray::t_shape(Vec3::ZERO, 1.0);
+        let p = Vec3::new(0.5, 4.0, 0.2);
+        let r = arr.round_trip(p, 1);
+        assert_close(r, p.distance(arr.tx.position) + p.distance(arr.rx[1].position), 1e-12);
+        assert_eq!(arr.round_trips(p).len(), 3);
+    }
+
+    #[test]
+    fn in_all_beams_requires_positive_y() {
+        let arr = AntennaArray::t_shape(Vec3::ZERO, 1.0);
+        assert!(arr.in_all_beams(Vec3::new(0.0, 2.0, 0.5)));
+        assert!(!arr.in_all_beams(Vec3::new(0.0, -2.0, 0.5)));
+    }
+
+    #[test]
+    fn array_requires_three_receivers() {
+        let tx = Antenna::facing_room(Vec3::ZERO);
+        let rx = vec![Antenna::facing_room(Vec3::X), Antenna::facing_room(-Vec3::X)];
+        assert_eq!(AntennaArray::new(tx, rx, ).unwrap_err(), ArrayError::TooFewReceivers);
+    }
+
+    #[test]
+    fn extended_array_adds_receivers() {
+        let arr = AntennaArray::t_shape_extended(Vec3::ZERO, 1.0, 2);
+        assert_eq!(arr.num_rx(), 5);
+        // All added antennas still face the room.
+        assert!(arr.rx.iter().all(|a| a.boresight == Vec3::Y));
+    }
+
+    #[test]
+    fn centroid_of_t_is_on_the_stem() {
+        let arr = AntennaArray::t_shape(Vec3::ZERO, 1.0);
+        let c = arr.centroid();
+        assert_close(c.x, 0.0, 1e-12);
+        assert_close(c.y, 0.0, 1e-12);
+        assert_close(c.z, -0.25, 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Prolate spheroids defined by two foci and a constant path-length sum.
+//!
+//! A round-trip distance measurement `r = |Tx→P| + |P→Rx|` constrains the
+//! reflector `P` to the surface `{ p : |p - f1| + |p - f2| = r }` — an
+//! ellipsoid of revolution (prolate spheroid) with foci at the transmit and
+//! receive antennas and major axis `r` (paper §5, Fig. 4). This module gives
+//! that surface a first-class type used by both the localization solvers and
+//! the property-based tests.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An ellipsoid of revolution defined by its two foci and the constant sum of
+/// distances (the round-trip distance, also the major-axis length `2a`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ellipsoid {
+    /// First focus (the transmit antenna, by convention).
+    pub focus_a: Vec3,
+    /// Second focus (a receive antenna, by convention).
+    pub focus_b: Vec3,
+    /// Constant sum of distances to the two foci (meters).
+    pub path_sum: f64,
+}
+
+/// Why an [`Ellipsoid`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EllipsoidError {
+    /// `path_sum` is not finite or not positive.
+    InvalidPathSum,
+    /// `path_sum` is smaller than the focal distance, so the surface is empty.
+    DegeneratePathSum,
+}
+
+impl std::fmt::Display for EllipsoidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EllipsoidError::InvalidPathSum => write!(f, "path sum must be finite and positive"),
+            EllipsoidError::DegeneratePathSum => {
+                write!(f, "path sum is smaller than the distance between foci")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EllipsoidError {}
+
+impl Ellipsoid {
+    /// Creates an ellipsoid, validating that the surface is non-empty.
+    pub fn new(focus_a: Vec3, focus_b: Vec3, path_sum: f64) -> Result<Ellipsoid, EllipsoidError> {
+        if !path_sum.is_finite() || path_sum <= 0.0 {
+            return Err(EllipsoidError::InvalidPathSum);
+        }
+        if path_sum < focus_a.distance(focus_b) {
+            return Err(EllipsoidError::DegeneratePathSum);
+        }
+        Ok(Ellipsoid { focus_a, focus_b, path_sum })
+    }
+
+    /// The center (midpoint of the foci).
+    pub fn center(&self) -> Vec3 {
+        (self.focus_a + self.focus_b) * 0.5
+    }
+
+    /// Semi-major axis `a = path_sum / 2`.
+    pub fn semi_major(&self) -> f64 {
+        self.path_sum * 0.5
+    }
+
+    /// Half the focal distance, `c`.
+    pub fn focal_half_distance(&self) -> f64 {
+        self.focus_a.distance(self.focus_b) * 0.5
+    }
+
+    /// Semi-minor axis `b = sqrt(a² − c²)`.
+    ///
+    /// The paper's §9.3 geometric argument: for a fixed round-trip distance,
+    /// increasing the antenna separation (focal distance) *squashes* the
+    /// ellipsoid (smaller `b`), shrinking the solution region and improving
+    /// accuracy.
+    pub fn semi_minor(&self) -> f64 {
+        let a = self.semi_major();
+        let c = self.focal_half_distance();
+        (a * a - c * c).max(0.0).sqrt()
+    }
+
+    /// Eccentricity `e = c / a` in `[0, 1)` for non-degenerate surfaces.
+    pub fn eccentricity(&self) -> f64 {
+        self.focal_half_distance() / self.semi_major()
+    }
+
+    /// Sum of distances from `p` to the two foci.
+    #[inline]
+    pub fn path_sum_at(&self, p: Vec3) -> f64 {
+        p.distance(self.focus_a) + p.distance(self.focus_b)
+    }
+
+    /// Signed residual `(|p−f1| + |p−f2|) − path_sum`: zero on the surface,
+    /// positive outside, negative inside.
+    #[inline]
+    pub fn residual(&self, p: Vec3) -> f64 {
+        self.path_sum_at(p) - self.path_sum
+    }
+
+    /// `true` when `p` lies on the surface within `tol` meters of path sum.
+    pub fn contains(&self, p: Vec3, tol: f64) -> bool {
+        self.residual(p).abs() <= tol
+    }
+
+    /// Gradient of the path-sum field at `p`: the sum of unit vectors from
+    /// each focus to `p`. This is the row of the Gauss–Newton Jacobian for
+    /// one round-trip measurement.
+    pub fn gradient(&self, p: Vec3) -> Vec3 {
+        let ga = (p - self.focus_a).normalized_or_zero();
+        let gb = (p - self.focus_b).normalized_or_zero();
+        ga + gb
+    }
+
+    /// A point on the surface in direction `dir` from the center, found by
+    /// bisection along the ray (used by tests and by the simulator to place
+    /// synthetic reflectors at exact round-trip distances).
+    ///
+    /// Returns `None` for degenerate direction.
+    pub fn surface_point(&self, dir: Vec3) -> Option<Vec3> {
+        let d = dir.normalized()?;
+        let c = self.center();
+        // The surface lies between t = semi_minor and t = semi_major from the
+        // center along any ray.
+        let mut lo = 0.0_f64;
+        let mut hi = self.semi_major() + 1.0;
+        // `residual` is monotone increasing along the ray from the center.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.residual(c + d * mid) > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(c + d * (0.5 * (lo + hi)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    fn demo() -> Ellipsoid {
+        Ellipsoid::new(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 6.0).unwrap()
+    }
+
+    #[test]
+    fn axes_match_textbook_values() {
+        let e = demo();
+        assert_close(e.semi_major(), 3.0, 1e-12);
+        assert_close(e.focal_half_distance(), 1.0, 1e-12);
+        assert_close(e.semi_minor(), (8.0_f64).sqrt(), 1e-12);
+        assert_close(e.eccentricity(), 1.0 / 3.0, 1e-12);
+        assert_eq!(e.center(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn vertices_lie_on_surface() {
+        let e = demo();
+        // Major-axis vertices at (±a, 0, 0), minor at (0, ±b, 0) and (0, 0, ±b).
+        assert!(e.contains(Vec3::new(3.0, 0.0, 0.0), 1e-9));
+        assert!(e.contains(Vec3::new(-3.0, 0.0, 0.0), 1e-9));
+        let b = e.semi_minor();
+        assert!(e.contains(Vec3::new(0.0, b, 0.0), 1e-9));
+        assert!(e.contains(Vec3::new(0.0, 0.0, -b), 1e-9));
+    }
+
+    #[test]
+    fn residual_sign_inside_outside() {
+        let e = demo();
+        assert!(e.residual(Vec3::ZERO) < 0.0);
+        assert!(e.residual(Vec3::new(10.0, 10.0, 10.0)) > 0.0);
+    }
+
+    #[test]
+    fn surface_point_has_exact_path_sum() {
+        let e = demo();
+        for dir in [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-1.0, 0.5, 0.0),
+            Vec3::Z,
+            Vec3::new(0.3, -0.7, 0.648),
+        ] {
+            let p = e.surface_point(dir).unwrap();
+            assert_close(e.path_sum_at(p), e.path_sum, 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_is_outward_normal_direction() {
+        let e = demo();
+        let p = e.surface_point(Vec3::new(0.2, 1.0, 0.4)).unwrap();
+        let g = e.gradient(p);
+        // Moving along the gradient increases the residual.
+        let step = g.normalized().unwrap() * 1e-6;
+        assert!(e.residual(p + step) > e.residual(p));
+    }
+
+    #[test]
+    fn separation_squashes_ellipsoid() {
+        // Paper §9.3: fixed round-trip distance, growing antenna separation
+        // => smaller semi-minor axis.
+        let r = 8.0;
+        let mut last = f64::INFINITY;
+        for sep in [0.25, 0.5, 1.0, 1.5, 2.0] {
+            let e = Ellipsoid::new(
+                Vec3::new(-sep / 2.0, 0.0, 0.0),
+                Vec3::new(sep / 2.0, 0.0, 0.0),
+                r,
+            )
+            .unwrap();
+            assert!(e.semi_minor() < last);
+            last = e.semi_minor();
+        }
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let f1 = Vec3::ZERO;
+        let f2 = Vec3::new(4.0, 0.0, 0.0);
+        assert_eq!(Ellipsoid::new(f1, f2, 2.0), Err(EllipsoidError::DegeneratePathSum));
+        assert_eq!(Ellipsoid::new(f1, f2, -1.0), Err(EllipsoidError::InvalidPathSum));
+        assert_eq!(Ellipsoid::new(f1, f2, f64::NAN), Err(EllipsoidError::InvalidPathSum));
+        assert!(Ellipsoid::new(f1, f2, 4.0).is_ok()); // degenerate segment allowed
+    }
+}

@@ -1,0 +1,40 @@
+//! Geometric substrate for the WiTrack reproduction.
+//!
+//! WiTrack ("3D Tracking via Body Radio Reflections", NSDI 2014) localizes a
+//! person by intersecting ellipsoids: each receive antenna's round-trip
+//! distance constrains the reflector to an ellipsoid whose foci are the
+//! transmit antenna and that receive antenna (paper §5). This crate provides
+//! everything geometric the system needs:
+//!
+//! * [`Vec3`] — plain 3D vector/point algebra.
+//! * [`Plane`] — wall planes with mirror images (used by the simulator's
+//!   dynamic-multipath model) and ray intersection.
+//! * [`Ellipsoid`] — prolate spheroids defined by two foci and a round-trip
+//!   (major-axis) distance.
+//! * [`Antenna`] / [`AntennaArray`] — directional antennas with a cosine-power
+//!   beam model, plus the paper's default "T" arrangement.
+//! * [`tarray`] — the closed-form 3D solution for the exact T geometry
+//!   (the paper solved this symbolically offline; we derive it in code).
+//! * [`multilateration`] — a Gauss–Newton least-squares solver for arbitrary
+//!   and over-constrained arrays (the paper's "more antennas add robustness"
+//!   extension in §5).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod antenna;
+pub mod ellipsoid;
+pub mod multilateration;
+pub mod plane;
+pub mod tarray;
+pub mod vec3;
+
+pub use antenna::{Antenna, AntennaArray, BeamPattern};
+pub use ellipsoid::Ellipsoid;
+pub use multilateration::{solve_least_squares, GaussNewtonConfig, SolveError};
+pub use plane::{Plane, Ray};
+pub use tarray::{TArray, TArrayError};
+pub use vec3::Vec3;
+
+/// Speed of light in vacuum (m/s). The paper's Eq. 2–4 constant `C`.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;

@@ -1,0 +1,242 @@
+//! Infinite planes and rays.
+//!
+//! Walls in the simulator are planes: a static wall reflection is a mirror
+//! image of the transmitter in the wall, and *dynamic multipath* — a signal
+//! that bounces off the person and then off a wall before reaching a receive
+//! antenna (paper §4.3) — is computed by mirroring the receive antenna across
+//! the wall plane. The mirror construction guarantees the indirect path is
+//! geometrically valid and strictly longer than the direct path, which is
+//! exactly the property WiTrack's bottom-contour tracker relies on.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An infinite plane in Hessian normal form: points `p` with
+/// `normal · p = offset`, where `normal` is unit length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plane {
+    normal: Vec3,
+    offset: f64,
+}
+
+impl Plane {
+    /// Builds a plane from a (not necessarily unit) normal and a point on it.
+    ///
+    /// Returns `None` if the normal is degenerate (near zero).
+    pub fn from_point_normal(point: Vec3, normal: Vec3) -> Option<Plane> {
+        let n = normal.normalized()?;
+        Some(Plane { normal: n, offset: n.dot(point) })
+    }
+
+    /// A vertical wall parallel to the `xz` plane at depth `y`.
+    ///
+    /// This is the geometry of the paper's through-wall experiments: the
+    /// antennas face the wall, the person moves behind it (larger `y`).
+    pub fn wall_at_y(y: f64) -> Plane {
+        Plane { normal: Vec3::Y, offset: y }
+    }
+
+    /// A vertical wall parallel to the `yz` plane at `x`.
+    pub fn wall_at_x(x: f64) -> Plane {
+        Plane { normal: Vec3::X, offset: x }
+    }
+
+    /// A horizontal plane (floor/ceiling) at elevation `z`.
+    pub fn floor_at_z(z: f64) -> Plane {
+        Plane { normal: Vec3::Z, offset: z }
+    }
+
+    /// The unit normal of the plane.
+    pub fn normal(&self) -> Vec3 {
+        self.normal
+    }
+
+    /// The signed distance from `p` to the plane (positive on the normal's
+    /// side).
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        self.normal.dot(p) - self.offset
+    }
+
+    /// The absolute distance from `p` to the plane.
+    #[inline]
+    pub fn distance(&self, p: Vec3) -> f64 {
+        self.signed_distance(p).abs()
+    }
+
+    /// The orthogonal projection of `p` onto the plane.
+    pub fn project(&self, p: Vec3) -> Vec3 {
+        p - self.normal * self.signed_distance(p)
+    }
+
+    /// The mirror image of `p` across the plane.
+    ///
+    /// Mirroring a receive antenna across a wall turns the person→wall→antenna
+    /// bounce into a straight person→mirror-antenna segment, so the bounce
+    /// path length is `|person - mirror(antenna)|`.
+    pub fn mirror(&self, p: Vec3) -> Vec3 {
+        p - self.normal * (2.0 * self.signed_distance(p))
+    }
+
+    /// Length of the specular bounce path `a → plane → b`.
+    ///
+    /// Returns `None` when `a` and `b` lie on opposite sides of the plane
+    /// (no specular bounce exists between them).
+    pub fn bounce_path_length(&self, a: Vec3, b: Vec3) -> Option<f64> {
+        let da = self.signed_distance(a);
+        let db = self.signed_distance(b);
+        if da * db < 0.0 {
+            return None;
+        }
+        Some(a.distance(self.mirror(b)))
+    }
+
+    /// The specular reflection point on the plane for the bounce `a → b`.
+    ///
+    /// Returns `None` when no bounce exists (opposite sides) or the geometry
+    /// is degenerate (both points on the plane).
+    pub fn bounce_point(&self, a: Vec3, b: Vec3) -> Option<Vec3> {
+        let da = self.signed_distance(a);
+        let db = self.signed_distance(b);
+        if da * db < 0.0 {
+            return None;
+        }
+        let bm = self.mirror(b);
+        let ray = Ray::through(a, bm)?;
+        self.intersect_ray(&ray)
+    }
+
+    /// Intersects a ray with the plane; returns the intersection point if the
+    /// ray (with `t >= 0`) hits it.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<Vec3> {
+        let denom = self.normal.dot(ray.direction);
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let t = (self.offset - self.normal.dot(ray.origin)) / denom;
+        if t < 0.0 {
+            return None;
+        }
+        Some(ray.at(t))
+    }
+}
+
+/// A half-line: `origin + t * direction`, `t >= 0`, with unit `direction`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Start of the ray.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Builds a ray given an origin and (not necessarily unit) direction.
+    pub fn new(origin: Vec3, direction: Vec3) -> Option<Ray> {
+        Some(Ray { origin, direction: direction.normalized()? })
+    }
+
+    /// Builds the ray from `a` through `b`.
+    pub fn through(a: Vec3, b: Vec3) -> Option<Ray> {
+        Ray::new(a, b - a)
+    }
+
+    /// The point at parameter `t` along the ray.
+    #[inline]
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Distance from a point to the ray's supporting line.
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        let v = p - self.origin;
+        let along = v.dot(self.direction);
+        (v - self.direction * along).norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn wall_distance_and_projection() {
+        let wall = Plane::wall_at_y(3.0);
+        let p = Vec3::new(1.0, 5.0, 2.0);
+        assert_close(wall.signed_distance(p), 2.0, 1e-12);
+        assert_eq!(wall.project(p), Vec3::new(1.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let wall = Plane::from_point_normal(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(1.0, 1.0, -0.5),
+        )
+        .unwrap();
+        let p = Vec3::new(-2.0, 0.5, 4.0);
+        let m = wall.mirror(p);
+        assert!(wall.mirror(m).distance(p) < 1e-12);
+        // Mirror is equidistant on the other side.
+        assert_close(wall.signed_distance(m), -wall.signed_distance(p), 1e-12);
+    }
+
+    #[test]
+    fn bounce_path_is_longer_than_direct() {
+        // Side wall at x = 5; two points well inside x < 5.
+        let wall = Plane::wall_at_x(5.0);
+        let a = Vec3::new(0.0, 0.0, 1.0);
+        let b = Vec3::new(1.0, 6.0, 1.0);
+        let bounce = wall.bounce_path_length(a, b).unwrap();
+        assert!(bounce > a.distance(b), "bounce {bounce} direct {}", a.distance(b));
+    }
+
+    #[test]
+    fn bounce_point_lies_on_plane_and_path_lengths_agree() {
+        let wall = Plane::wall_at_x(4.0);
+        let a = Vec3::new(0.0, 1.0, 0.5);
+        let b = Vec3::new(2.0, 7.0, 1.5);
+        let q = wall.bounce_point(a, b).unwrap();
+        assert_close(wall.distance(q), 0.0, 1e-9);
+        let via = a.distance(q) + q.distance(b);
+        assert_close(via, wall.bounce_path_length(a, b).unwrap(), 1e-9);
+    }
+
+    #[test]
+    fn bounce_rejects_opposite_sides() {
+        let wall = Plane::wall_at_y(3.0);
+        let a = Vec3::new(0.0, 1.0, 0.0); // y < 3
+        let b = Vec3::new(0.0, 5.0, 0.0); // y > 3
+        assert!(wall.bounce_path_length(a, b).is_none());
+    }
+
+    #[test]
+    fn ray_plane_intersection() {
+        let floor = Plane::floor_at_z(0.0);
+        let r = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::new(1.0, 0.0, -1.0)).unwrap();
+        let hit = floor.intersect_ray(&r).unwrap();
+        assert!(hit.distance(Vec3::new(2.0, 0.0, 0.0)) < 1e-12);
+        // Parallel ray misses.
+        let r2 = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::X).unwrap();
+        assert!(floor.intersect_ray(&r2).is_none());
+        // Ray pointing away misses.
+        let r3 = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::Z).unwrap();
+        assert!(floor.intersect_ray(&r3).is_none());
+    }
+
+    #[test]
+    fn ray_point_distance() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X).unwrap();
+        assert_close(r.distance_to_point(Vec3::new(5.0, 3.0, 4.0)), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_normal_rejected() {
+        assert!(Plane::from_point_normal(Vec3::ZERO, Vec3::ZERO).is_none());
+        assert!(Ray::new(Vec3::ZERO, Vec3::ZERO).is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Closed-form 3D localization for the "T" antenna geometry.
+//!
+//! The paper solves the three-ellipsoid intersection offline with MATLAB's
+//! symbolic library, "so the ellipsoid equations need to be solved only once
+//! for any fixed antenna positioning" (§7). For the T geometry the symbolic
+//! solution is simple enough to derive by hand; this module is that
+//! derivation, and doubles as the real-time fast path.
+//!
+//! # Derivation
+//!
+//! Work in the array-local frame: Tx at the origin, receive antennas at
+//! `A₀ = (−d, 0, 0)`, `A₁ = (+d, 0, 0)` (the bar) and `A₂ = (0, 0, −h)`
+//! (the stem), beams facing `+y`. A reflector at `P` with `R = |P|` produces
+//! round-trip distances `rₖ = |P| + |P − Aₖ|`. Squaring
+//! `|P − Aₖ| = rₖ − R` gives the linear relations
+//!
+//! ```text
+//! Aₖ·P = (|Aₖ|² − rₖ²)/2 + rₖ R           (k = 0, 1, 2)
+//! ```
+//!
+//! Adding the `k = 0` and `k = 1` relations (their `Aₖ` cancel) eliminates
+//! `P` entirely and yields the range:
+//!
+//! ```text
+//! R = ((r₀² + r₁²)/2 − d²) / (r₀ + r₁)
+//! ```
+//!
+//! after which the `k = 1` relation gives `x`, the `k = 2` relation gives
+//! `z`, and `y = +√(R² − x² − z²)` — the positive branch, because the
+//! directional antennas only see the front half-space (paper §5, Fig. 4).
+
+use crate::antenna::AntennaArray;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form solver for the T antenna arrangement.
+///
+/// `origin` is the transmit antenna's world position; `bar_sep` is the Tx–Rx
+/// distance along the bar; `stem_sep` the distance to the lower antenna. The
+/// paper uses `bar_sep == stem_sep` (1 m default, 0.25–2 m in Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TArray {
+    /// World position of the transmit antenna (crossing point of the T).
+    pub origin: Vec3,
+    /// Separation between Tx and each bar receive antenna (meters).
+    pub bar_sep: f64,
+    /// Separation between Tx and the lower (stem) receive antenna (meters).
+    pub stem_sep: f64,
+}
+
+/// Failure modes of the closed-form solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TArrayError {
+    /// A round-trip distance is non-finite or non-positive.
+    InvalidMeasurement,
+    /// The implied range `R` is not positive — the measurements are shorter
+    /// than physically possible for this array.
+    RangeNotPositive,
+    /// A round-trip distance is smaller than the implied range `R`
+    /// (`|P − Aₖ|` would be negative).
+    InconsistentRoundTrip,
+    /// `R² − x² − z²` is significantly negative: no real intersection point.
+    /// Carries the magnitude of the violation (m²).
+    NoRealSolution(f64),
+}
+
+impl std::fmt::Display for TArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TArrayError::InvalidMeasurement => write!(f, "round-trip distance is not finite/positive"),
+            TArrayError::RangeNotPositive => write!(f, "implied range is not positive"),
+            TArrayError::InconsistentRoundTrip => {
+                write!(f, "round-trip distance smaller than implied range")
+            }
+            TArrayError::NoRealSolution(v) => {
+                write!(f, "ellipsoids do not intersect in front of the array (deficit {v:.4} m^2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TArrayError {}
+
+/// Fraction of `R²` by which `y²` may go negative before we refuse to clamp.
+/// Small violations are measurement noise; large ones are inconsistent data.
+const CLAMP_TOLERANCE: f64 = 0.05;
+
+impl TArray {
+    /// A T-array with equal bar and stem separations (the paper's setup).
+    pub fn symmetric(origin: Vec3, sep: f64) -> TArray {
+        TArray { origin, bar_sep: sep, stem_sep: sep }
+    }
+
+    /// The matching [`AntennaArray`] (for the simulator and the generic
+    /// solver). Receive-antenna order: bar-left, bar-right, stem.
+    pub fn antenna_array(&self) -> AntennaArray {
+        let mut arr = AntennaArray::t_shape(self.origin, self.bar_sep);
+        arr.rx[2].position = self.origin - Vec3::new(0.0, 0.0, self.stem_sep);
+        arr
+    }
+
+    /// Solves for the 3D position from the three round-trip distances
+    /// `[r_bar_left, r_bar_right, r_stem]` (meters), in the world frame.
+    pub fn solve(&self, round_trips: [f64; 3]) -> Result<Vec3, TArrayError> {
+        let [r0, r1, r2] = round_trips;
+        for r in round_trips {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(TArrayError::InvalidMeasurement);
+            }
+        }
+        let d = self.bar_sep;
+        let h = self.stem_sep;
+
+        // Range from the bar pair.
+        let range = ((r0 * r0 + r1 * r1) / 2.0 - d * d) / (r0 + r1);
+        if !(range > 0.0) {
+            return Err(TArrayError::RangeNotPositive);
+        }
+        if r0 < range || r1 < range || r2 < range {
+            return Err(TArrayError::InconsistentRoundTrip);
+        }
+
+        // x from the bar-right relation A₁ = (d, 0, 0):
+        //   d·x = (d² − r₁²)/2 + r₁ R
+        let x = ((d * d - r1 * r1) / 2.0 + r1 * range) / d;
+
+        // z from the stem relation A₂ = (0, 0, −h):
+        //   −h·z = (h² − r₂²)/2 + r₂ R
+        let z = -((h * h - r2 * r2) / 2.0 + r2 * range) / h;
+
+        let y_sq = range * range - x * x - z * z;
+        let y = if y_sq >= 0.0 {
+            y_sq.sqrt()
+        } else if -y_sq <= CLAMP_TOLERANCE * range * range {
+            // Mild violation: the true point is near the array plane and
+            // noise pushed y² negative. Clamp to the plane.
+            0.0
+        } else {
+            return Err(TArrayError::NoRealSolution(-y_sq));
+        };
+
+        Ok(self.origin + Vec3::new(x, y, z))
+    }
+
+    /// Forward model: exact round-trip distances for a reflector at world
+    /// position `p`, in the same order [`TArray::solve`] consumes.
+    pub fn round_trips(&self, p: Vec3) -> [f64; 3] {
+        let arr = self.antenna_array();
+        [arr.round_trip(p, 0), arr.round_trip(p, 1), arr.round_trip(p, 2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec_close(a: Vec3, b: Vec3, tol: f64) {
+        assert!(a.distance(b) <= tol, "{a} vs {b} (dist {})", a.distance(b));
+    }
+
+    #[test]
+    fn solve_inverts_forward_model() {
+        let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), 1.0);
+        for p in [
+            Vec3::new(0.5, 4.0, 1.2),
+            Vec3::new(-2.0, 3.0, 0.4),
+            Vec3::new(3.0, 9.0, 1.8),
+            Vec3::new(0.0, 2.5, 1.0),
+            Vec3::new(1.0, 11.0, 0.1),
+        ] {
+            let r = t.round_trips(p);
+            let hat = t.solve(r).unwrap();
+            assert_vec_close(hat, p, 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_handles_asymmetric_stem() {
+        let t = TArray { origin: Vec3::new(0.0, 0.0, 1.5), bar_sep: 0.8, stem_sep: 1.2 };
+        let p = Vec3::new(-1.0, 5.0, 0.9);
+        let hat = t.solve(t.round_trips(p)).unwrap();
+        assert_vec_close(hat, p, 1e-8);
+    }
+
+    #[test]
+    fn world_frame_translation_respected() {
+        let t = TArray::symmetric(Vec3::new(10.0, -3.0, 2.0), 1.0);
+        let p = Vec3::new(10.5, 1.0, 1.5); // y > -3 so in front of array
+        let hat = t.solve(t.round_trips(p)).unwrap();
+        assert_vec_close(hat, p, 1e-8);
+    }
+
+    #[test]
+    fn rejects_garbage_measurements() {
+        let t = TArray::symmetric(Vec3::ZERO, 1.0);
+        assert_eq!(t.solve([f64::NAN, 5.0, 5.0]), Err(TArrayError::InvalidMeasurement));
+        assert_eq!(t.solve([-1.0, 5.0, 5.0]), Err(TArrayError::InvalidMeasurement));
+        // All round trips ≈ 0 → range not positive.
+        assert!(matches!(
+            t.solve([0.1, 0.1, 0.1]),
+            Err(TArrayError::RangeNotPositive | TArrayError::InconsistentRoundTrip)
+        ));
+    }
+
+    #[test]
+    fn rejects_wildly_inconsistent_round_trips() {
+        let t = TArray::symmetric(Vec3::ZERO, 1.0);
+        let p = Vec3::new(0.0, 4.0, 0.0);
+        let mut r = t.round_trips(p);
+        // Stem antenna claims the reflector is much closer than the range —
+        // impossible geometry.
+        r[2] = 2.0;
+        assert!(t.solve(r).is_err());
+    }
+
+    #[test]
+    fn near_plane_point_is_clamped_not_rejected() {
+        let t = TArray::symmetric(Vec3::ZERO, 1.0);
+        // A point exactly on the array plane (y = 0) with a tiny perturbation
+        // of the measurements should clamp to y = 0 rather than error.
+        let p = Vec3::new(0.7, 0.0, 0.9);
+        let mut r = t.round_trips(p);
+        r[0] += 1e-4;
+        let hat = t.solve(r).unwrap();
+        assert!(hat.y.abs() < 0.2);
+    }
+
+    #[test]
+    fn noise_in_measurements_produces_bounded_error() {
+        // ±1 cm of round-trip noise should perturb the solution by at most a
+        // few tens of centimeters at 4 m range with 1 m separation.
+        let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), 1.0);
+        let p = Vec3::new(0.5, 4.0, 1.3);
+        let mut r = t.round_trips(p);
+        r[0] += 0.01;
+        r[1] -= 0.01;
+        r[2] += 0.01;
+        let hat = t.solve(r).unwrap();
+        assert!(hat.distance(p) < 0.5, "error {}", hat.distance(p));
+    }
+
+    #[test]
+    fn antenna_array_matches_geometry() {
+        let t = TArray { origin: Vec3::new(1.0, 2.0, 3.0), bar_sep: 0.5, stem_sep: 0.75 };
+        let arr = t.antenna_array();
+        assert_eq!(arr.tx.position, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(arr.rx[0].position, Vec3::new(0.5, 2.0, 3.0));
+        assert_eq!(arr.rx[1].position, Vec3::new(1.5, 2.0, 3.0));
+        assert_eq!(arr.rx[2].position, Vec3::new(1.0, 2.0, 2.25));
+    }
+}

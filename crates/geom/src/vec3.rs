@@ -1,0 +1,351 @@
+//! Plain 3D vector/point type.
+//!
+//! The coordinate convention throughout the workspace follows the paper's
+//! Fig. 1/§5: the antenna "T" lies in the `xz` plane (`x` horizontal along
+//! the bar, `z` vertical), and `y` points away from the array into the room
+//! (the beam direction). All distances are in meters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3D vector (or point) with `f64` components, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Horizontal axis along the antenna bar.
+    pub x: f64,
+    /// Depth axis: positive `y` points into the room (antenna boresight).
+    pub y: f64,
+    /// Vertical axis (elevation).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `x`.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `y`.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along `z`.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn distance_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Distance in the horizontal `xy` plane only (ignores elevation).
+    #[inline]
+    pub fn distance_xy(self, other: Vec3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// Returns `None` when the norm is too small to normalize reliably.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Like [`Vec3::normalized`] but returns the zero vector for degenerate
+    /// input, for call sites where "no direction" is acceptable.
+    #[inline]
+    pub fn normalized_or_zero(self) -> Vec3 {
+        self.normalized().unwrap_or(Vec3::ZERO)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Angle between two vectors in radians, in `[0, π]`.
+    ///
+    /// Returns `None` if either vector is (near) zero.
+    pub fn angle_to(self, other: Vec3) -> Option<f64> {
+        let na = self.norm();
+        let nb = other.norm();
+        if na < 1e-12 || nb < 1e-12 {
+            return None;
+        }
+        let c = (self.dot(other) / (na * nb)).clamp(-1.0, 1.0);
+        Some(c.acos())
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Projection of this point onto the horizontal plane (`z = 0`).
+    #[inline]
+    pub fn xy(self) -> Vec3 {
+        Vec3::new(self.x, self.y, 0.0)
+    }
+
+    /// Returns the component along axis `i` (`0 → x`, `1 → y`, `2 → z`).
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    #[inline]
+    pub fn component(self, i: usize) -> f64 {
+        match i {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3 component index out of range: {i}"),
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 component index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dot_and_cross_are_consistent() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 5.0, 0.5);
+        // a·(a×b) = 0 and b·(a×b) = 0
+        let c = a.cross(b);
+        assert_close(a.dot(c), 0.0, 1e-12);
+        assert_close(b.dot(c), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cross_of_axes_follows_right_hand_rule() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert_close(Vec3::new(3.0, 4.0, 0.0).norm(), 5.0, 1e-12);
+        assert_close(Vec3::new(2.0, 3.0, 6.0).norm(), 7.0, 1e-12);
+    }
+
+    #[test]
+    fn normalized_rejects_zero() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let v = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+        assert_close(v.norm(), 1.0, 1e-12);
+        assert_eq!(v, Vec3::Z);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(3.0, 5.0, -1.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(2.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn angle_between_orthogonal_vectors_is_right() {
+        let th = Vec3::X.angle_to(Vec3::Y).unwrap();
+        assert_close(th, std::f64::consts::FRAC_PI_2, 1e-12);
+        let th = Vec3::X.angle_to(Vec3::X * 7.0).unwrap();
+        assert_close(th, 0.0, 1e-7);
+        assert!(Vec3::ZERO.angle_to(Vec3::X).is_none());
+    }
+
+    #[test]
+    fn distance_xy_ignores_elevation() {
+        let a = Vec3::new(0.0, 0.0, 10.0);
+        let b = Vec3::new(3.0, 4.0, -10.0);
+        assert_close(a.distance_xy(b), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn indexing_matches_components() {
+        let v = Vec3::new(1.5, -2.5, 3.5);
+        assert_eq!(v[0], 1.5);
+        assert_eq!(v[1], -2.5);
+        assert_eq!(v[2], 3.5);
+        assert_eq!(v.component(2), 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn indexing_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let pts = [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 1.0, 1.0)];
+        let s: Vec3 = pts.iter().copied().sum();
+        assert_eq!(s, Vec3::new(2.0, 2.0, 2.0));
+    }
+}

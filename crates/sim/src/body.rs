@@ -1,0 +1,185 @@
+//! The human reflector model.
+//!
+//! WiTrack sees the body *surface*, not its center: the paper's evaluation
+//! explicitly measures "the average depth of the center with respect to the
+//! body surface" per subject and compensates for it (§8(a)). The torso is
+//! also tall — the specular point wanders vertically between hip and chest
+//! as the person moves, which the paper identifies as the reason the z-error
+//! is roughly twice the x/y error (§9.1: "the result of the human body being
+//! larger along the z dimension than along x or y").
+//!
+//! [`BodyModel`] captures exactly that: a vertical-cylinder torso whose
+//! per-frame reflection point is the surface point facing the array, with
+//! vertical wander over the torso extent and a small horizontal wander.
+
+use serde::{Deserialize, Serialize};
+use witrack_geom::Vec3;
+
+/// Geometric/reflective parameters of a tracked person.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodyModel {
+    /// Torso radius (m): the center→surface depth the paper compensates.
+    pub torso_radius: f64,
+    /// Half-extent of the torso along z (m); the specular point wanders
+    /// within ±this around the body-center height.
+    pub torso_half_height: f64,
+    /// Torso radar cross-section (relative units; the body is a weak
+    /// reflector compared to walls/furniture).
+    pub torso_rcs: f64,
+    /// Arm/hand radar cross-section — "the reflection surface of an arm is
+    /// much smaller than the reflection surface of an entire human body"
+    /// (§6.1).
+    pub arm_rcs: f64,
+    /// Std-dev of the per-frame vertical wander of the specular point (m).
+    pub z_wander_std: f64,
+    /// Std-dev of the per-frame horizontal wander (m).
+    pub xy_wander_std: f64,
+    /// Std-dev of the *per-antenna* differential wander (m): each receive
+    /// antenna's bistatic geometry selects a slightly different specular
+    /// patch, so their TOF errors are not perfectly common-mode. This is
+    /// the differential noise the §5 geometry amplifies into x/z error.
+    pub differential_wander_std: f64,
+}
+
+impl Default for BodyModel {
+    fn default() -> Self {
+        BodyModel::adult()
+    }
+}
+
+impl BodyModel {
+    /// A typical adult: 18 cm torso radius, ±35 cm torso half-height.
+    pub fn adult() -> BodyModel {
+        BodyModel {
+            torso_radius: 0.18,
+            torso_half_height: 0.35,
+            torso_rcs: 1.0,
+            arm_rcs: 0.12,
+            z_wander_std: 0.12,
+            xy_wander_std: 0.06,
+            differential_wander_std: 0.035,
+        }
+    }
+
+    /// A smaller build (used to vary subjects across trials, §8(c)).
+    pub fn small_adult() -> BodyModel {
+        BodyModel {
+            torso_radius: 0.14,
+            torso_half_height: 0.30,
+            torso_rcs: 0.7,
+            arm_rcs: 0.09,
+            z_wander_std: 0.10,
+            xy_wander_std: 0.03,
+            differential_wander_std: 0.03,
+        }
+    }
+
+    /// Scales RCS and size smoothly between builds; `s = 1` is [`adult`](BodyModel::adult).
+    pub fn scaled(s: f64) -> BodyModel {
+        let a = BodyModel::adult();
+        BodyModel {
+            torso_radius: a.torso_radius * s,
+            torso_half_height: a.torso_half_height * s,
+            torso_rcs: a.torso_rcs * s * s,
+            arm_rcs: a.arm_rcs * s * s,
+            z_wander_std: a.z_wander_std * s,
+            xy_wander_std: a.xy_wander_std * s,
+            differential_wander_std: a.differential_wander_std * s,
+        }
+    }
+
+    /// The specular reflection point on the torso surface for a body whose
+    /// *center* is at `center`, as seen from `observer` (the array), with a
+    /// per-frame wander sample `(dx, dy, dz)` (already scaled by the wander
+    /// std-devs; pass zeros for the mean point).
+    ///
+    /// The point sits one torso radius from the center toward the observer
+    /// (horizontally) and wanders over the torso extent vertically.
+    pub fn reflection_point(&self, center: Vec3, observer: Vec3, wander: Vec3) -> Vec3 {
+        let toward = (observer - center).xy().normalized_or_zero();
+        let z = (center.z + wander.z).clamp(
+            center.z - self.torso_half_height,
+            center.z + self.torso_half_height,
+        );
+        Vec3::new(
+            center.x + toward.x * self.torso_radius + wander.x,
+            center.y + toward.y * self.torso_radius + wander.y,
+            z,
+        )
+    }
+
+    /// The *mean* reflection point (zero wander) — what the evaluation
+    /// compares estimates against after the paper's §8(a) depth
+    /// compensation.
+    pub fn mean_reflection_point(&self, center: Vec3, observer: Vec3) -> Vec3 {
+        self.reflection_point(center, observer, Vec3::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflection_point_faces_the_observer() {
+        let b = BodyModel::adult();
+        let center = Vec3::new(0.0, 5.0, 1.0);
+        let observer = Vec3::new(0.0, 0.0, 1.0);
+        let p = b.reflection_point(center, observer, Vec3::ZERO);
+        // Offset toward -y by one radius, same z.
+        assert!((p.y - (5.0 - b.torso_radius)).abs() < 1e-12);
+        assert_eq!(p.x, 0.0);
+        assert_eq!(p.z, 1.0);
+        // Distance to observer is shorter than from the center.
+        assert!(p.distance(observer) < center.distance(observer));
+    }
+
+    #[test]
+    fn oblique_observer_shifts_point_horizontally() {
+        let b = BodyModel::adult();
+        let center = Vec3::new(2.0, 4.0, 1.0);
+        let observer = Vec3::new(0.0, 0.0, 1.3);
+        let p = b.reflection_point(center, observer, Vec3::ZERO);
+        // The offset is purely horizontal (xy) with magnitude = radius.
+        assert!((p.distance_xy(center) - b.torso_radius).abs() < 1e-9);
+        assert_eq!(p.z, center.z);
+        // And points toward the observer.
+        assert!(p.distance(observer) < center.distance(observer));
+    }
+
+    #[test]
+    fn z_wander_is_clamped_to_torso() {
+        let b = BodyModel::adult();
+        let center = Vec3::new(0.0, 5.0, 1.0);
+        let obs = Vec3::ZERO;
+        let p = b.reflection_point(center, obs, Vec3::new(0.0, 0.0, 5.0));
+        assert!((p.z - (1.0 + b.torso_half_height)).abs() < 1e-12);
+        let p = b.reflection_point(center, obs, Vec3::new(0.0, 0.0, -5.0));
+        assert!((p.z - (1.0 - b.torso_half_height)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arm_is_much_smaller_than_torso() {
+        let b = BodyModel::adult();
+        assert!(b.torso_rcs > 5.0 * b.arm_rcs);
+    }
+
+    #[test]
+    fn scaled_body_shrinks_consistently() {
+        let s = BodyModel::scaled(0.8);
+        let a = BodyModel::adult();
+        assert!((s.torso_radius - 0.8 * a.torso_radius).abs() < 1e-12);
+        assert!((s.torso_rcs - 0.64 * a.torso_rcs).abs() < 1e-12);
+        assert_eq!(BodyModel::scaled(1.0), a);
+    }
+
+    #[test]
+    fn degenerate_observer_at_center_is_safe() {
+        let b = BodyModel::adult();
+        let center = Vec3::new(0.0, 5.0, 1.0);
+        // Observer directly above: xy direction degenerates to zero.
+        let p = b.reflection_point(center, Vec3::new(0.0, 5.0, 3.0), Vec3::ZERO);
+        assert!(p.is_finite());
+        assert_eq!(p.xy(), center.xy());
+    }
+}

@@ -1,0 +1,606 @@
+//! Motion scripts: where the body (and hand) is at any instant.
+//!
+//! These generators play the role of the paper's human subjects (§8(c)):
+//! free random walking for the 3D-tracking experiments (§9.1–9.3), the four
+//! scripted activities of the fall study (§9.5, Fig. 6), and the stand-
+//! still-then-point gesture of the pointing study (§6.1, §9.4, Fig. 5).
+//! Every script is deterministic given its seed, so experiments regenerate
+//! identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use witrack_geom::Vec3;
+
+/// The body at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyState {
+    /// Body-center position (m). z is the center height (~1 m standing).
+    pub center: Vec3,
+    /// Hand position when the script models the arm explicitly.
+    pub hand: Option<Vec3>,
+    /// Whether any body part is in motion at this instant (ground-truth
+    /// bookkeeping; the channel does not consult this).
+    pub moving: bool,
+}
+
+/// A deterministic motion script.
+pub trait MotionModel: Send + Sync {
+    /// Body state at time `t` seconds from the script start. Implementations
+    /// must be pure (same `t` → same state).
+    fn state(&self, t: f64) -> BodyState;
+
+    /// Total scripted duration (s).
+    fn duration(&self) -> f64;
+}
+
+/// Axis-aligned horizontal rectangle the subject walks within.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum x (m).
+    pub x_min: f64,
+    /// Maximum x (m).
+    pub x_max: f64,
+    /// Minimum y (m).
+    pub y_min: f64,
+    /// Maximum y (m).
+    pub y_max: f64,
+}
+
+impl Rect {
+    /// The paper's 6 × 5 m VICON capture area, 2.5 m past the front wall
+    /// (subject stays 3–9 m from the array, §9.1).
+    pub fn vicon_area() -> Rect {
+        Rect { x_min: -2.5, x_max: 2.5, y_min: 3.0, y_max: 9.0 }
+    }
+
+    /// Whether `(x, y)` lies inside.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x_min && x <= self.x_max && y >= self.y_min && y <= self.y_max
+    }
+
+    /// Uniform random point inside.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
+        (
+            self.x_min + rng.random::<f64>() * (self.x_max - self.x_min),
+            self.y_min + rng.random::<f64>() * (self.y_max - self.y_min),
+        )
+    }
+
+    /// Center of the rectangle.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+    }
+}
+
+/// Standing perfectly still (tests; also the §10 static-user limitation —
+/// the pipeline must *lose* this person after background subtraction).
+#[derive(Debug, Clone, Copy)]
+pub struct Stand {
+    /// Where the person stands.
+    pub position: Vec3,
+    /// For how long (s).
+    pub time: f64,
+}
+
+impl MotionModel for Stand {
+    fn state(&self, _t: f64) -> BodyState {
+        BodyState { center: self.position, hand: None, moving: false }
+    }
+
+    fn duration(&self) -> f64 {
+        self.time
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    t0: f64,
+    t1: f64,
+    from: Vec3,
+    to: Vec3,
+}
+
+/// Waypoint-to-waypoint random walking with occasional pauses — the
+/// "move at will" workload of the tracking experiments (§9.1).
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    segments: Vec<Segment>,
+    duration: f64,
+}
+
+impl RandomWalk {
+    /// Builds a walk inside `region` at body-center height `center_z`,
+    /// walking speed `speed` (m/s), pausing with probability `pause_prob`
+    /// (for 0.5–2 s) at each waypoint. Deterministic in `seed`.
+    pub fn new(
+        region: Rect,
+        center_z: f64,
+        speed: f64,
+        duration: f64,
+        pause_prob: f64,
+        seed: u64,
+    ) -> RandomWalk {
+        assert!(speed > 0.0, "walking speed must be positive");
+        assert!(duration > 0.0, "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut segments = Vec::new();
+        let (x0, y0) = region.sample(&mut rng);
+        let mut here = Vec3::new(x0, y0, center_z);
+        let mut t = 0.0;
+        while t < duration {
+            let (x, y) = region.sample(&mut rng);
+            let next = Vec3::new(x, y, center_z);
+            let travel = (next.distance(here) / speed).max(1e-3);
+            segments.push(Segment { t0: t, t1: t + travel, from: here, to: next });
+            t += travel;
+            here = next;
+            if rng.random::<f64>() < pause_prob {
+                let pause = 0.5 + 1.5 * rng.random::<f64>();
+                segments.push(Segment { t0: t, t1: t + pause, from: here, to: here });
+                t += pause;
+            }
+        }
+        RandomWalk { segments, duration }
+    }
+
+    fn segment_at(&self, t: f64) -> &Segment {
+        let idx = self
+            .segments
+            .partition_point(|s| s.t1 <= t)
+            .min(self.segments.len() - 1);
+        &self.segments[idx]
+    }
+}
+
+impl MotionModel for RandomWalk {
+    fn state(&self, t: f64) -> BodyState {
+        let t = t.clamp(0.0, self.duration);
+        let seg = self.segment_at(t);
+        let moving = seg.from != seg.to;
+        let frac = if seg.t1 > seg.t0 { ((t - seg.t0) / (seg.t1 - seg.t0)).clamp(0.0, 1.0) } else { 0.0 };
+        let mut center = seg.from.lerp(seg.to, frac);
+        if moving {
+            // Gait bob: a small vertical oscillation at step rate.
+            center.z += 0.03 * (2.0 * std::f64::consts::PI * 1.8 * t).sin();
+        }
+        BodyState { center, hand: None, moving }
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+/// The four §9.5 activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// Continuous walking; elevation never drops.
+    Walk,
+    /// Sitting down on a chair (final elevation well above the floor).
+    SitChair,
+    /// Sitting down on the floor (low final elevation, *slow* descent).
+    SitFloor,
+    /// A (simulated) fall: low final elevation, *fast* descent with a lurch.
+    Fall,
+}
+
+impl Activity {
+    /// Display name matching the paper's Fig. 6 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Activity::Walk => "Walk",
+            Activity::SitChair => "Sit on Chair",
+            Activity::SitFloor => "Sit on Ground",
+            Activity::Fall => "Fall",
+        }
+    }
+
+    /// All four activities, in the paper's order.
+    pub fn all() -> [Activity; 4] {
+        [Activity::Walk, Activity::SitChair, Activity::SitFloor, Activity::Fall]
+    }
+}
+
+/// A randomized single-activity trial: pace around, then (for the
+/// non-walking activities) transition to the final elevation and stay still.
+#[derive(Debug, Clone)]
+pub struct ActivityScript {
+    activity: Activity,
+    anchor: Vec3,
+    pace_amp: f64,
+    pace_omega: f64,
+    walk_until: f64,
+    transition: f64,
+    standing_z: f64,
+    final_z: f64,
+    lurch: Vec3,
+    duration: f64,
+}
+
+impl ActivityScript {
+    /// Generates a randomized trial of `activity` anchored at `anchor`
+    /// (body-center position; `anchor.z` is the standing center height).
+    /// The randomization widths are chosen so that, as in the paper, the
+    /// fastest floor-sits overlap the slowest falls.
+    pub fn generate(activity: Activity, anchor: Vec3, duration: f64, seed: u64) -> ActivityScript {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = || crate::gaussian(&mut rng);
+        let standing_z = anchor.z;
+        let (walk_until, transition, final_z, lurch) = match activity {
+            Activity::Walk => (duration, 0.0, standing_z, Vec3::ZERO),
+            Activity::SitChair => (
+                duration * 0.4,
+                (1.1 + 0.25 * n()).clamp(0.6, 1.8),
+                (0.62 + 0.04 * n()).max(0.5),
+                Vec3::ZERO,
+            ),
+            Activity::SitFloor => (
+                duration * 0.4,
+                (1.35 + 0.45 * n()).clamp(0.5, 2.5),
+                (0.26 + 0.04 * n()).max(0.15),
+                Vec3::ZERO,
+            ),
+            Activity::Fall => (
+                duration * 0.4,
+                (0.38 + 0.13 * n()).clamp(0.2, 0.85),
+                (0.12 + 0.03 * n()).max(0.05),
+                Vec3::new(0.15 * n(), (0.5 + 0.1 * n()).clamp(0.2, 0.8), 0.0),
+            ),
+        };
+        ActivityScript {
+            activity,
+            anchor,
+            pace_amp: 0.8,
+            pace_omega: 1.0, // peak pacing speed = amp·omega = 0.8 m/s
+            walk_until,
+            transition,
+            standing_z,
+            final_z,
+            lurch,
+            duration,
+        }
+    }
+
+    /// Which activity this trial performs.
+    pub fn activity(&self) -> Activity {
+        self.activity
+    }
+
+    /// Scripted transition duration (0 for walking).
+    pub fn transition_s(&self) -> f64 {
+        self.transition
+    }
+
+    /// Scripted final body-center elevation.
+    pub fn final_z(&self) -> f64 {
+        self.final_z
+    }
+
+    fn smoothstep(x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        x * x * (3.0 - 2.0 * x)
+    }
+}
+
+impl MotionModel for ActivityScript {
+    fn state(&self, t: f64) -> BodyState {
+        let t = t.clamp(0.0, self.duration);
+        let pace = |tt: f64| {
+            Vec3::new(
+                self.anchor.x + self.pace_amp * (self.pace_omega * tt).sin(),
+                self.anchor.y,
+                self.standing_z + 0.03 * (2.0 * std::f64::consts::PI * 1.8 * tt).sin(),
+            )
+        };
+        if t < self.walk_until {
+            return BodyState { center: pace(t), hand: None, moving: true };
+        }
+        let start = pace(self.walk_until);
+        let start = Vec3::new(start.x, start.y, self.standing_z);
+        if self.transition > 0.0 && t < self.walk_until + self.transition {
+            let s = Self::smoothstep((t - self.walk_until) / self.transition);
+            let center = Vec3::new(
+                start.x + self.lurch.x * s,
+                start.y + self.lurch.y * s,
+                self.standing_z + (self.final_z - self.standing_z) * s,
+            );
+            return BodyState { center, hand: None, moving: true };
+        }
+        // Settled: perfectly static (the §10 static-user regime; the tracker
+        // holds the last position by interpolation).
+        let center = Vec3::new(
+            start.x + self.lurch.x,
+            start.y + self.lurch.y,
+            self.final_z,
+        );
+        BodyState { center, hand: None, moving: false }
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+/// The §6.1 pointing gesture: optional walk-in, stand still, lift the arm
+/// toward a chosen direction, hold, drop it back, stand still.
+#[derive(Debug, Clone)]
+pub struct PointingScript {
+    stance: Vec3,
+    direction: Vec3,
+    arm_length: f64,
+    shoulder_rise: f64,
+    rest_offset: Vec3,
+    approach: Option<(Vec3, f64)>, // (entry point, arrival time)
+    t_lift: f64,
+    lift_duration: f64,
+    hold_duration: f64,
+    drop_duration: f64,
+    duration: f64,
+}
+
+impl PointingScript {
+    /// A gesture at `stance` (body center) pointing along `direction`
+    /// (normalized internally; must not be zero). Timings are randomized
+    /// slightly around the paper's protocol (≈1 s of stillness before and
+    /// after each stroke).
+    ///
+    /// # Panics
+    /// Panics if `direction` is degenerate.
+    pub fn new(stance: Vec3, direction: Vec3, seed: u64) -> PointingScript {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = direction.normalized().expect("pointing direction must be non-zero");
+        let lift = 0.55 + 0.2 * rng.random::<f64>();
+        let hold = 1.0 + 0.3 * rng.random::<f64>();
+        let drop = 0.55 + 0.2 * rng.random::<f64>();
+        let t_lift = 1.5;
+        let tail = 1.5;
+        PointingScript {
+            stance,
+            direction: dir,
+            arm_length: 0.68,
+            shoulder_rise: 0.45,
+            rest_offset: Vec3::new(0.15, 0.0, -0.35),
+            approach: None,
+            t_lift,
+            lift_duration: lift,
+            hold_duration: hold,
+            drop_duration: drop,
+            duration: t_lift + lift + hold + drop + tail,
+        }
+    }
+
+    /// Adds a walk-in phase from `entry` before the stillness that precedes
+    /// the gesture (the Fig. 5 scenario: "a human moving then stopping and
+    /// pointing").
+    pub fn with_approach(mut self, entry: Vec3, speed: f64) -> PointingScript {
+        let arrive = (entry.distance(self.stance) / speed.max(0.1)).max(0.5);
+        self.approach = Some((entry, arrive));
+        // Shift the whole schedule by the walk + settle time.
+        let settle = 1.0;
+        self.t_lift += arrive + settle;
+        self.duration += arrive + settle;
+        self
+    }
+
+    /// The scripted pointing direction (unit).
+    pub fn true_direction(&self) -> Vec3 {
+        self.direction
+    }
+
+    /// Hand rest position.
+    pub fn hand_rest(&self) -> Vec3 {
+        self.stance + self.rest_offset
+    }
+
+    /// Hand position at full extension.
+    pub fn hand_extended(&self) -> Vec3 {
+        self.stance + Vec3::new(0.0, 0.0, self.shoulder_rise) + self.direction * self.arm_length
+    }
+
+    /// `(start, end)` of the lift stroke.
+    pub fn lift_window(&self) -> (f64, f64) {
+        (self.t_lift, self.t_lift + self.lift_duration)
+    }
+
+    /// `(start, end)` of the drop stroke.
+    pub fn drop_window(&self) -> (f64, f64) {
+        let start = self.t_lift + self.lift_duration + self.hold_duration;
+        (start, start + self.drop_duration)
+    }
+
+    fn smoothstep(x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        x * x * (3.0 - 2.0 * x)
+    }
+}
+
+impl MotionModel for PointingScript {
+    fn state(&self, t: f64) -> BodyState {
+        let t = t.clamp(0.0, self.duration);
+        // Walk-in phase: whole body moves, hand swings with it.
+        if let Some((entry, arrive)) = self.approach {
+            if t < arrive {
+                let center = entry.lerp(self.stance, t / arrive);
+                return BodyState { center, hand: Some(center + self.rest_offset), moving: true };
+            }
+        }
+        let rest = self.hand_rest();
+        let ext = self.hand_extended();
+        let (lift0, lift1) = self.lift_window();
+        let (drop0, drop1) = self.drop_window();
+        let (hand, arm_moving) = if t < lift0 {
+            (rest, false)
+        } else if t < lift1 {
+            (rest.lerp(ext, Self::smoothstep((t - lift0) / self.lift_duration)), true)
+        } else if t < drop0 {
+            (ext, false)
+        } else if t < drop1 {
+            (ext.lerp(rest, Self::smoothstep((t - drop0) / self.drop_duration)), true)
+        } else {
+            (rest, false)
+        };
+        BodyState { center: self.stance, hand: Some(hand), moving: arm_moving }
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_sampling_stays_inside() {
+        let r = Rect::vicon_area();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (x, y) = r.sample(&mut rng);
+            assert!(r.contains(x, y));
+        }
+        assert!(!r.contains(0.0, 0.0)); // the array is outside the area
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_bounded() {
+        let r = Rect::vicon_area();
+        let a = RandomWalk::new(r, 1.0, 1.0, 30.0, 0.3, 42);
+        let b = RandomWalk::new(r, 1.0, 1.0, 30.0, 0.3, 42);
+        for i in 0..300 {
+            let t = i as f64 * 0.1;
+            let sa = a.state(t);
+            assert_eq!(sa.center, b.state(t).center);
+            assert!(r.contains(sa.center.x, sa.center.y), "escaped at t={t}: {}", sa.center);
+            // Body-center height stays near 1 m (gait bob only).
+            assert!((sa.center.z - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn random_walk_speed_is_physical() {
+        let walk = RandomWalk::new(Rect::vicon_area(), 1.0, 1.2, 30.0, 0.2, 7);
+        let dt = 0.0125;
+        for i in 1..2000 {
+            let p0 = walk.state((i - 1) as f64 * dt).center;
+            let p1 = walk.state(i as f64 * dt).center;
+            let v = p0.distance_xy(p1) / dt;
+            assert!(v < 1.3 + 1e-6, "speed {v} at frame {i}");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_pauses() {
+        let walk = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 60.0, 0.5, 3);
+        let any_pause = (0..6000)
+            .map(|i| walk.state(i as f64 * 0.01))
+            .any(|s| !s.moving);
+        assert!(any_pause, "a 50% pause probability walk should pause");
+    }
+
+    #[test]
+    fn activity_profiles_match_fig6_shapes() {
+        let anchor = Vec3::new(0.0, 5.0, 1.0);
+        let dur = 20.0;
+        let walk = ActivityScript::generate(Activity::Walk, anchor, dur, 1);
+        let chair = ActivityScript::generate(Activity::SitChair, anchor, dur, 2);
+        let floor = ActivityScript::generate(Activity::SitFloor, anchor, dur, 3);
+        let fall = ActivityScript::generate(Activity::Fall, anchor, dur, 4);
+        let final_z = |s: &ActivityScript| s.state(dur - 0.1).center.z;
+        // Walking never descends; chair ends mid-height; floor and fall end low.
+        assert!((final_z(&walk) - 1.0).abs() < 0.1);
+        assert!((final_z(&chair) - 0.62).abs() < 0.2);
+        assert!(final_z(&floor) < 0.45);
+        assert!(final_z(&fall) < 0.3);
+        // The fall transition is much faster than the floor-sit on average.
+        assert!(fall.transition_s() < floor.transition_s());
+        // After settling, the person is static.
+        assert!(!fall.state(dur - 0.1).moving);
+        assert!(walk.state(dur - 0.1).moving);
+    }
+
+    #[test]
+    fn fall_descends_within_its_scripted_window() {
+        let anchor = Vec3::new(0.0, 5.0, 1.0);
+        let s = ActivityScript::generate(Activity::Fall, anchor, 20.0, 9);
+        let t0 = 20.0 * 0.4;
+        let z_before = s.state(t0 - 0.01).center.z;
+        let z_after = s.state(t0 + s.transition_s() + 0.01).center.z;
+        assert!(z_before > 0.9);
+        assert!(z_after < 0.3);
+    }
+
+    #[test]
+    fn activity_randomization_varies_with_seed() {
+        let anchor = Vec3::new(0.0, 5.0, 1.0);
+        let a = ActivityScript::generate(Activity::Fall, anchor, 20.0, 1);
+        let b = ActivityScript::generate(Activity::Fall, anchor, 20.0, 2);
+        assert_ne!(a.transition_s(), b.transition_s());
+    }
+
+    #[test]
+    fn pointing_geometry_is_consistent() {
+        let stance = Vec3::new(0.5, 5.0, 1.0);
+        let dir = Vec3::new(0.3, 0.8, 0.2);
+        let p = PointingScript::new(stance, dir, 11);
+        let d = p.true_direction();
+        assert!((d.norm() - 1.0).abs() < 1e-12);
+        // Extended hand minus shoulder is along the direction, arm length away.
+        let shoulder = stance + Vec3::new(0.0, 0.0, 0.45);
+        let v = p.hand_extended() - shoulder;
+        assert!((v.norm() - 0.68).abs() < 1e-12);
+        assert!(v.angle_to(d).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn pointing_phases_move_only_the_arm() {
+        let stance = Vec3::new(0.0, 4.0, 1.0);
+        let p = PointingScript::new(stance, Vec3::new(0.0, 1.0, 0.3), 5);
+        let (l0, l1) = p.lift_window();
+        let (d0, d1) = p.drop_window();
+        assert!(l1 <= d0 && d1 <= p.duration());
+        // Body center never moves.
+        for i in 0..100 {
+            let t = p.duration() * i as f64 / 100.0;
+            assert_eq!(p.state(t).center, stance);
+        }
+        // Before lift: static; mid-lift: moving; hold: static; mid-drop: moving.
+        assert!(!p.state(l0 - 0.2).moving);
+        assert!(p.state((l0 + l1) / 2.0).moving);
+        assert!(!p.state((l1 + d0) / 2.0).moving);
+        assert!(p.state((d0 + d1) / 2.0).moving);
+        // Hand ends back at rest.
+        let end = p.state(p.duration()).hand.unwrap();
+        assert!(end.distance(p.hand_rest()) < 1e-9);
+    }
+
+    #[test]
+    fn approach_shifts_schedule_and_walks_in() {
+        let stance = Vec3::new(0.0, 5.0, 1.0);
+        let entry = Vec3::new(-2.0, 8.0, 1.0);
+        let p = PointingScript::new(stance, Vec3::Y, 8).with_approach(entry, 1.0);
+        let s0 = p.state(0.0);
+        assert!(s0.moving);
+        assert!(s0.center.distance(entry) < 1e-9);
+        // Mid-approach the body is between entry and stance.
+        let mid = p.state(1.0).center;
+        assert!(mid.distance(entry) > 0.1 && mid.distance(stance) > 0.1);
+        // Lift still happens and the body is at the stance by then.
+        let (l0, _) = p.lift_window();
+        assert_eq!(p.state(l0 + 0.01).center, stance);
+    }
+
+    #[test]
+    fn stand_is_static() {
+        let s = Stand { position: Vec3::new(1.0, 4.0, 1.0), time: 10.0 };
+        assert!(!s.state(5.0).moving);
+        assert_eq!(s.state(9.9).center, s.position);
+        assert_eq!(s.duration(), 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pointing_direction_panics() {
+        let _ = PointingScript::new(Vec3::ZERO, Vec3::ZERO, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Scene geometry: walls, clutter, and occlusion.
+//!
+//! The default scene mirrors the paper's evaluation setup (§8–§9): the
+//! antenna array at the origin facing +y, a sheetrock wall at y = 2.5 m
+//! (removed for line-of-sight runs), the subject moving in a 6 × 5 m area
+//! beyond it, side and back walls that generate dynamic multipath, and a few
+//! pieces of strongly-reflecting static furniture that produce the §4.2
+//! "Flash Effect".
+
+use crate::material::Material;
+use serde::Serialize;
+use witrack_geom::{Plane, Vec3};
+
+/// A wall: an infinite plane with a material.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Wall {
+    /// Geometry of the wall.
+    pub plane: Plane,
+    /// Loss model of the wall.
+    pub material: Material,
+}
+
+/// A static point reflector (furniture, equipment racks, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StaticReflector {
+    /// Position of the reflector (m).
+    pub position: Vec3,
+    /// Radar cross-section (m², relative units).
+    pub rcs: f64,
+}
+
+/// The simulated environment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Scene {
+    /// Wall between the array and the subject, if any (through-wall mode).
+    /// Signals crossing it are attenuated; it also produces a strong static
+    /// flash.
+    pub front_wall: Option<Wall>,
+    /// Walls that generate specular *dynamic multipath* bounces of the body
+    /// echo (§4.3) and their own static flashes.
+    pub bounce_walls: Vec<Wall>,
+    /// Static point clutter.
+    pub clutter: Vec<StaticReflector>,
+    /// Extra amplitude factor on the *direct* body path only, modeling an
+    /// occluding obstacle between array and subject (1.0 = unobstructed).
+    /// Lowering this makes wall bounces dominate the direct echo — the §4.3
+    /// scenario where "the strongest signal is not the one directly bouncing
+    /// off the human body".
+    pub direct_occlusion_amp: f64,
+}
+
+impl Scene {
+    /// An empty free-space scene (no walls, no clutter).
+    pub fn free_space() -> Scene {
+        Scene {
+            front_wall: None,
+            bounce_walls: Vec::new(),
+            clutter: Vec::new(),
+            direct_occlusion_amp: 1.0,
+        }
+    }
+
+    /// The paper's lab setup. `through_wall` inserts the sheetrock wall at
+    /// y = 2.5 m between the array (at y = 0) and the subject.
+    ///
+    /// Room footprint: x ∈ [−3, 3.5] m, y ∈ [2.5, 10] m; side and back walls
+    /// bounce; two clutter reflectors play the role of furniture.
+    pub fn witrack_lab(through_wall: bool) -> Scene {
+        let front = Wall { plane: Plane::wall_at_y(2.5), material: Material::SHEETROCK };
+        Scene {
+            front_wall: through_wall.then_some(front),
+            bounce_walls: vec![
+                Wall { plane: Plane::wall_at_x(-3.0), material: Material::SHEETROCK },
+                Wall { plane: Plane::wall_at_x(3.5), material: Material::SHEETROCK },
+                Wall { plane: Plane::wall_at_y(10.0), material: Material::SHEETROCK },
+            ],
+            clutter: vec![
+                StaticReflector { position: Vec3::new(-2.0, 4.0, 0.8), rcs: 30.0 },
+                StaticReflector { position: Vec3::new(2.5, 7.0, 1.1), rcs: 50.0 },
+                StaticReflector { position: Vec3::new(0.5, 9.0, 0.5), rcs: 20.0 },
+            ],
+            direct_occlusion_amp: 1.0,
+        }
+    }
+
+    /// Returns a copy with an occluder on the direct body path (amplitude
+    /// factor < 1).
+    pub fn with_occlusion(mut self, amp: f64) -> Scene {
+        self.direct_occlusion_amp = amp.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with an extra clutter reflector.
+    pub fn with_clutter(mut self, r: StaticReflector) -> Scene {
+        self.clutter.push(r);
+        self
+    }
+
+    /// Amplitude factor for a straight segment `a → b` crossing (or not) the
+    /// front wall.
+    pub fn crossing_amp(&self, a: Vec3, b: Vec3) -> f64 {
+        match &self.front_wall {
+            None => 1.0,
+            Some(w) => {
+                let da = w.plane.signed_distance(a);
+                let db = w.plane.signed_distance(b);
+                if da * db < 0.0 {
+                    w.material.transmission_amp
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// All walls (front + bounce), for static flash computation.
+    pub fn all_walls(&self) -> impl Iterator<Item = &Wall> {
+        self.front_wall.iter().chain(self.bounce_walls.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_scene_has_expected_structure() {
+        let tw = Scene::witrack_lab(true);
+        assert!(tw.front_wall.is_some());
+        assert_eq!(tw.bounce_walls.len(), 3);
+        assert_eq!(tw.clutter.len(), 3);
+        assert_eq!(tw.all_walls().count(), 4);
+        let los = Scene::witrack_lab(false);
+        assert!(los.front_wall.is_none());
+        assert_eq!(los.all_walls().count(), 3);
+    }
+
+    #[test]
+    fn crossing_amp_attenuates_only_through_wall() {
+        let s = Scene::witrack_lab(true);
+        let array = Vec3::new(0.0, 0.0, 1.0);
+        let person = Vec3::new(0.0, 5.0, 1.0);
+        let inside = Vec3::new(1.0, 6.0, 1.0);
+        // Array → person crosses the y=2.5 wall.
+        assert!((s.crossing_amp(array, person) - 0.5).abs() < 1e-12);
+        // Person → other point inside the room does not.
+        assert_eq!(s.crossing_amp(person, inside), 1.0);
+        // Line-of-sight scene never attenuates.
+        let los = Scene::witrack_lab(false);
+        assert_eq!(los.crossing_amp(array, person), 1.0);
+    }
+
+    #[test]
+    fn occlusion_clamps() {
+        let s = Scene::free_space().with_occlusion(2.0);
+        assert_eq!(s.direct_occlusion_amp, 1.0);
+        let s = Scene::free_space().with_occlusion(-0.5);
+        assert_eq!(s.direct_occlusion_amp, 0.0);
+        let s = Scene::free_space().with_occlusion(0.15);
+        assert_eq!(s.direct_occlusion_amp, 0.15);
+    }
+
+    #[test]
+    fn with_clutter_appends() {
+        let s = Scene::free_space()
+            .with_clutter(StaticReflector { position: Vec3::new(1.0, 2.0, 0.5), rcs: 5.0 });
+        assert_eq!(s.clutter.len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! The experiment driver: motion + channel + front end + ground truth.
+//!
+//! A [`Simulator`] plays a [`MotionModel`](crate::motion::MotionModel)
+//! through the [`Channel`] and [`FrontEnd`], producing the per-antenna
+//! baseband sweeps the real prototype's USRP would deliver — and, like the
+//! paper's VICON rig (§8(a)), it knows the exact body trajectory, including
+//! the mean body-surface point that the paper's depth compensation reduces
+//! evaluation to.
+
+use crate::channel::{Channel, PathEcho};
+use crate::frontend::FrontEnd;
+use crate::motion::{BodyState, MotionModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use witrack_fmcw::SweepConfig;
+use witrack_geom::Vec3;
+
+/// Top-level simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// FMCW sweep parameters (defaults to the paper's prototype).
+    pub sweep: SweepConfig,
+    /// Per-sample AWGN std-dev at the receiver.
+    pub noise_std: f64,
+    /// Master seed: derives the front-end noise and specular-wander streams.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { sweep: SweepConfig::witrack(), noise_std: 0.05, seed: 0 }
+    }
+}
+
+/// One sweep interval's worth of baseband, for all receive antennas.
+#[derive(Debug, Clone)]
+pub struct SweepSet {
+    /// Index of this sweep since the experiment started.
+    pub sweep_index: u64,
+    /// Time (s) at the *start* of this sweep.
+    pub time_s: f64,
+    /// Baseband samples per receive antenna, `per_rx[k][sample]`.
+    pub per_rx: Vec<Vec<f64>>,
+}
+
+/// Plays a motion script through the RF channel, emitting baseband sweeps.
+pub struct Simulator {
+    cfg: SimConfig,
+    channel: Channel,
+    motion: Box<dyn MotionModel>,
+    frontends: Vec<FrontEnd>,
+    static_paths: Vec<Vec<PathEcho>>,
+    wander_rng: StdRng,
+    current_wander: Vec3,
+    /// Per-antenna differential wander, redrawn each frame.
+    current_diff_wander: Vec<Vec3>,
+    sweep_index: u64,
+    total_sweeps: u64,
+    scratch: Vec<PathEcho>,
+}
+
+impl Simulator {
+    /// Creates a simulator. Each receive antenna gets an independent noise
+    /// stream; the specular-wander stream is shared (the body is one object
+    /// seen by all antennas).
+    pub fn new(cfg: SimConfig, channel: Channel, motion: Box<dyn MotionModel>) -> Simulator {
+        let n_rx = channel.array.num_rx();
+        let frontends = (0..n_rx)
+            .map(|k| FrontEnd::new(cfg.sweep, cfg.noise_std, cfg.seed.wrapping_add(k as u64 + 1)))
+            .collect();
+        let static_paths = (0..n_rx).map(|k| channel.static_paths(k)).collect();
+        let total_sweeps =
+            (motion.duration() / cfg.sweep.sweep_duration_s).floor() as u64;
+        Simulator {
+            cfg,
+            channel,
+            motion,
+            frontends,
+            static_paths,
+            wander_rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17)),
+            current_wander: Vec3::ZERO,
+            current_diff_wander: vec![Vec3::ZERO; n_rx],
+            sweep_index: 0,
+            total_sweeps,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The simulation config.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The channel (scene/array/body) being simulated.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Total sweeps this experiment will emit.
+    pub fn total_sweeps(&self) -> u64 {
+        self.total_sweeps
+    }
+
+    /// Experiment duration (s).
+    pub fn duration(&self) -> f64 {
+        self.motion.duration()
+    }
+
+    /// True body state at time `t` (the "VICON" feed).
+    pub fn true_state(&self, t: f64) -> BodyState {
+        self.motion.state(t)
+    }
+
+    /// The §8(a)-compensated ground truth at time `t`: the *mean body
+    /// surface point facing the array*, which is what an unbiased WiTrack
+    /// estimate converges to after the paper subtracts each subject's
+    /// average center-to-surface depth.
+    pub fn surface_truth(&self, t: f64) -> Vec3 {
+        let state = self.motion.state(t);
+        self.channel
+            .body
+            .mean_reflection_point(state.center, self.channel.array.tx.position)
+    }
+
+    /// Generates the next sweep for every antenna, or `None` when the
+    /// scripted motion has ended.
+    pub fn next_sweeps(&mut self) -> Option<SweepSet> {
+        if self.sweep_index >= self.total_sweeps {
+            return None;
+        }
+        let sweeps_per_frame = self.cfg.sweep.sweeps_per_frame as u64;
+        let t = self.sweep_index as f64 * self.cfg.sweep.sweep_duration_s;
+        let state = self.motion.state(t);
+        // Redraw the specular wander once per processing frame: the wander
+        // is the slowly-varying "which patch of torso reflects" state, not
+        // per-sweep noise (per-sweep redraws would be averaged away). A
+        // motionless body keeps its wander frozen — its reflections must be
+        // *identical* across frames so background subtraction cancels them,
+        // the behavior the paper's interpolation stage exists for (§4.4,
+        // §10's static-user limitation).
+        if self.sweep_index % sweeps_per_frame == 0 && state.moving {
+            let b = &self.channel.body;
+            self.current_wander = Vec3::new(
+                b.xy_wander_std * crate::gaussian(&mut self.wander_rng),
+                b.xy_wander_std * crate::gaussian(&mut self.wander_rng),
+                b.z_wander_std * crate::gaussian(&mut self.wander_rng),
+            );
+            let d = b.differential_wander_std;
+            for w in &mut self.current_diff_wander {
+                *w = Vec3::new(
+                    d * crate::gaussian(&mut self.wander_rng),
+                    d * crate::gaussian(&mut self.wander_rng),
+                    d * crate::gaussian(&mut self.wander_rng),
+                );
+            }
+        }
+        let tx = self.channel.array.tx.position;
+
+        let mut per_rx = Vec::with_capacity(self.frontends.len());
+        for k in 0..self.frontends.len() {
+            // The bistatic specular point for antenna k faces the midpoint
+            // of the Tx/Rx_k pair and carries its own wander component.
+            let observer = (tx + self.channel.array.rx[k].position) * 0.5;
+            let torso_point = self.channel.body.reflection_point(
+                state.center,
+                observer,
+                self.current_wander + self.current_diff_wander[k],
+            );
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&self.static_paths[k]);
+            self.scratch.extend(self.channel.moving_paths(
+                torso_point,
+                self.channel.body.torso_rcs,
+                k,
+            ));
+            if let Some(hand) = state.hand {
+                // The hand is small: direct echo only (its wall bounces are
+                // below the noise floor).
+                self.scratch.extend(
+                    self.channel
+                        .moving_paths(hand, self.channel.body.arm_rcs, k)
+                        .into_iter()
+                        .take(1),
+                );
+            }
+            let mut sweep = Vec::new();
+            self.frontends[k].synthesize_sweep(&self.scratch, &mut sweep);
+            per_rx.push(sweep);
+        }
+        let set = SweepSet { sweep_index: self.sweep_index, time_s: t, per_rx };
+        self.sweep_index += 1;
+        Some(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyModel;
+    use crate::motion::{RandomWalk, Rect, Stand};
+    use crate::scene::Scene;
+    use witrack_geom::AntennaArray;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            sweep: SweepConfig {
+                start_freq_hz: 5.56e8,
+                bandwidth_hz: 1.69e8,
+                sweep_duration_s: 1e-3,
+                sample_rate_hz: 100e3,
+                sweeps_per_frame: 5,
+                transmit_power_w: 1e-3,
+            },
+            noise_std: 0.02,
+            seed: 3,
+        }
+    }
+
+    fn quick_sim(duration: f64) -> Simulator {
+        let cfg = quick_cfg();
+        let channel = Channel::new(
+            Scene::witrack_lab(true),
+            AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0),
+            BodyModel::adult(),
+        );
+        let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, duration, 0.2, 5);
+        Simulator::new(cfg, channel, Box::new(motion))
+    }
+
+    #[test]
+    fn emits_expected_sweep_count_and_shapes() {
+        let mut sim = quick_sim(0.5);
+        assert_eq!(sim.total_sweeps(), 500);
+        let mut count = 0;
+        while let Some(set) = sim.next_sweeps() {
+            assert_eq!(set.per_rx.len(), 3);
+            for s in &set.per_rx {
+                assert_eq!(s.len(), 100);
+            }
+            assert_eq!(set.sweep_index, count);
+            count += 1;
+        }
+        assert_eq!(count, 500);
+        assert!(sim.next_sweeps().is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = quick_sim(0.1);
+        let mut b = quick_sim(0.1);
+        while let (Some(sa), Some(sb)) = (a.next_sweeps(), b.next_sweeps()) {
+            assert_eq!(sa.per_rx, sb.per_rx);
+        }
+    }
+
+    #[test]
+    fn antennas_get_independent_noise() {
+        let mut sim = quick_sim(0.1);
+        let set = sim.next_sweeps().unwrap();
+        // Same scene, different noise: antenna streams must differ.
+        assert_ne!(set.per_rx[0], set.per_rx[1]);
+    }
+
+    #[test]
+    fn surface_truth_sits_between_center_and_array() {
+        let sim = quick_sim(1.0);
+        let t = 0.4;
+        let center = sim.true_state(t).center;
+        let surface = sim.surface_truth(t);
+        let tx = Vec3::new(0.0, 0.0, 1.0);
+        assert!(surface.distance(tx) < center.distance(tx));
+        assert!((surface.distance_xy(center) - sim.channel().body.torso_radius).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_person_produces_frame_identical_signals() {
+        // A perfectly still person + static scene ⇒ consecutive *frames*
+        // carry identical deterministic content (only noise differs); with
+        // noise disabled the sweeps repeat exactly.
+        let mut cfg = quick_cfg();
+        cfg.noise_std = 0.0;
+        let channel = Channel::new(
+            Scene::witrack_lab(true),
+            AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0),
+            BodyModel {
+                // Disable specular wander so the body is truly frozen.
+                z_wander_std: 0.0,
+                xy_wander_std: 0.0,
+                differential_wander_std: 0.0,
+                ..BodyModel::adult()
+            },
+        );
+        let motion = Stand { position: Vec3::new(0.5, 5.0, 1.0), time: 0.05 };
+        let mut sim = Simulator::new(cfg, channel, Box::new(motion));
+        let first = sim.next_sweeps().unwrap();
+        let mut last = None;
+        while let Some(s) = sim.next_sweeps() {
+            last = Some(s);
+        }
+        assert_eq!(first.per_rx, last.unwrap().per_rx);
+    }
+
+    #[test]
+    fn wander_held_constant_within_a_frame() {
+        // With a noiseless front end and a static person, sweeps *within*
+        // one frame are identical even with wander enabled (it redraws only
+        // at frame boundaries).
+        let mut cfg = quick_cfg();
+        cfg.noise_std = 0.0;
+        let channel = Channel::new(
+            Scene::witrack_lab(false),
+            AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0),
+            BodyModel::adult(),
+        );
+        let motion = Stand { position: Vec3::new(0.0, 4.0, 1.0), time: 0.02 };
+        let mut sim = Simulator::new(cfg, channel, Box::new(motion));
+        let s0 = sim.next_sweeps().unwrap();
+        let s1 = sim.next_sweeps().unwrap();
+        assert_eq!(s0.per_rx, s1.per_rx, "sweeps 0 and 1 share a frame");
+    }
+}

@@ -1,0 +1,97 @@
+//! Facade crate for the WiTrack reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests (and downstream users who want everything) can depend
+//! on a single crate:
+//!
+//! * [`geom`] — vectors, ellipsoids, antenna arrays, localization solvers.
+//! * [`dsp`] — FFT, Kalman, robust regression, statistics.
+//! * [`fmcw`] — FMCW sweep processing: range profiles → clean round trips.
+//! * [`sim`] — the RF environment + front-end simulator (the hardware
+//!   substitute; see DESIGN.md §2).
+//! * [`core`] — the WiTrack pipeline, fall detection, pointing estimation.
+//! * [`baselines`] — radio tomographic imaging and strongest-return
+//!   tracking, the systems WiTrack is compared against.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use witrack_repro::core::{WiTrack, WiTrackConfig};
+//! use witrack_repro::fmcw::SweepConfig;
+//!
+//! // A reduced sweep keeps this doc test fast; the default config is the
+//! // paper's 5.56–7.25 GHz prototype.
+//! let sweep = SweepConfig {
+//!     start_freq_hz: 5.56e8,
+//!     bandwidth_hz: 1.69e8,
+//!     sweep_duration_s: 1e-3,
+//!     sample_rate_hz: 100e3,
+//!     sweeps_per_frame: 5,
+//!     transmit_power_w: 1e-3,
+//! };
+//! let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+//! let mut witrack = WiTrack::new(cfg).unwrap();
+//! // Feed one baseband sweep per receive antenna per sweep interval:
+//! let silent = vec![0.0; sweep.samples_per_sweep()];
+//! for _ in 0..sweep.sweeps_per_frame {
+//!     let update = witrack.push_sweeps(&[&silent, &silent, &silent]);
+//!     if let Some(u) = update {
+//!         assert!(u.position.is_none()); // nothing moving yet
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use witrack_baselines as baselines;
+pub use witrack_core as core;
+pub use witrack_dsp as dsp;
+pub use witrack_fmcw as fmcw;
+pub use witrack_geom as geom;
+pub use witrack_sim as sim;
+
+/// Helpers shared by the runnable examples.
+pub mod demo {
+    use witrack_fmcw::SweepConfig;
+
+    /// A 10×-reduced sweep (169 MHz bandwidth, 100 kS/s) that runs fast
+    /// even in debug builds. Range bins are 1.77 m instead of 17.7 cm, so
+    /// accuracy is smoke-test-grade only; the examples default to the real
+    /// prototype configuration and accept `--quick` to select this one.
+    pub fn reduced_sweep() -> SweepConfig {
+        SweepConfig {
+            start_freq_hz: 5.56e8,
+            bandwidth_hz: 1.69e8,
+            sweep_duration_s: 1e-3,
+            sample_rate_hz: 100e3,
+            sweeps_per_frame: 5,
+            transmit_power_w: 1e-3,
+        }
+    }
+
+    /// Picks the sweep configuration from the process arguments: the paper's
+    /// 5.56–7.25 GHz prototype sweep by default, the reduced smoke-test
+    /// sweep with `--quick`.
+    pub fn sweep_from_args() -> SweepConfig {
+        if std::env::args().any(|a| a == "--quick") {
+            reduced_sweep()
+        } else {
+            SweepConfig::witrack()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn reduced_sweep_is_valid_and_fast() {
+            let s = reduced_sweep();
+            s.validate().unwrap();
+            assert_eq!(s.samples_per_sweep(), 100);
+            // Same frame cadence structure as the paper config.
+            assert_eq!(s.sweeps_per_frame, SweepConfig::witrack().sweeps_per_frame);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: simulator → FMCW pipeline → geometry →
+//! applications, exercised together the way the paper's experiments do.
+//!
+//! These run the *reduced* sweep (fast in debug builds) except where noted;
+//! paper-configuration behavior is validated by `paper_config.rs` and the
+//! release-mode harnesses.
+
+use witrack_repro::core::fall::{classify_elevation_track, FallConfig};
+use witrack_repro::core::{Track, WiTrack, WiTrackConfig};
+use witrack_repro::fmcw::SweepConfig;
+use witrack_repro::geom::Vec3;
+use witrack_repro::sim::motion::{Activity, ActivityScript, RandomWalk, Rect, Stand};
+use witrack_repro::sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
+
+fn quick_sweep() -> SweepConfig {
+    witrack_repro::demo::reduced_sweep()
+}
+
+fn run_pipeline(
+    sweep: SweepConfig,
+    through_wall: bool,
+    motion: Box<dyn witrack_repro::sim::MotionModel>,
+    seed: u64,
+) -> (Track, Simulator) {
+    let cfg = WiTrackConfig { sweep, max_round_trip_m: 40.0, ..WiTrackConfig::witrack_default() };
+    let mut wt = WiTrack::new(cfg).expect("valid config");
+    let channel = Channel {
+        scene: Scene::witrack_lab(through_wall),
+        array: wt.array().clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let mut sim =
+        Simulator::new(SimConfig { sweep, noise_std: 0.05, seed }, channel, motion);
+    let mut track = Track::new();
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(update) = wt.push_sweeps(&refs) {
+            if update.time_s >= 2.0 {
+                track.push_update(&update);
+            }
+        }
+    }
+    // Re-create the sim for ground-truth queries (same seeds ⇒ same world).
+    let cfg2 = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let wt2 = WiTrack::new(cfg2).expect("valid config");
+    let channel = Channel {
+        scene: Scene::witrack_lab(through_wall),
+        array: wt2.array().clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let sim = Simulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed },
+        channel,
+        Box::new(RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 1.0, 0.0, seed)),
+    );
+    (track, sim)
+}
+
+#[test]
+fn through_wall_walk_produces_continuous_track() {
+    let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 8.0, 0.2, 11);
+    let (track, _) = run_pipeline(quick_sweep(), true, Box::new(motion), 11);
+    assert!(track.len() > 300, "only {} track points", track.len());
+    // Positions are inside a sane envelope around the room.
+    for &(_, p) in track.samples() {
+        assert!(p.y > -1.0 && p.y < 14.0, "wild y: {p}");
+        assert!(p.x.abs() < 6.0, "wild x: {p}");
+    }
+    // Time is monotone.
+    let times: Vec<f64> = track.samples().iter().map(|&(t, _)| t).collect();
+    assert!(times.windows(2).all(|w| w[1] > w[0]));
+}
+
+#[test]
+fn y_accuracy_beats_x_accuracy_by_geometry() {
+    // The paper's §9.1 observation, reproducible even at reduced bandwidth.
+    let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 10.0, 0.2, 23);
+    let sweep = quick_sweep();
+    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let mut wt = WiTrack::new(cfg).expect("valid config");
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array: wt.array().clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let mut sim = Simulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed: 23 },
+        channel,
+        Box::new(motion),
+    );
+    let mut ex = Vec::new();
+    let mut ey = Vec::new();
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(u) = wt.push_sweeps(&refs) {
+            if u.time_s < 2.0 {
+                continue;
+            }
+            if let Some(p) = u.position {
+                let truth = sim.surface_truth(u.time_s);
+                ex.push((p.x - truth.x).abs());
+                ey.push((p.y - truth.y).abs());
+            }
+        }
+    }
+    let mx = witrack_repro::dsp::stats::median(&ex);
+    let my = witrack_repro::dsp::stats::median(&ey);
+    assert!(my < mx, "y median {my} should beat x median {mx}");
+}
+
+#[test]
+fn static_person_is_invisible_then_held() {
+    // §10: a person who never moves cannot be separated from furniture.
+    let stand = Stand { position: Vec3::new(0.5, 5.0, 1.0), time: 4.0 };
+    let (track, _) = run_pipeline(quick_sweep(), true, Box::new(stand), 31);
+    assert!(track.is_empty(), "a never-moving person must never be detected");
+}
+
+#[test]
+fn fall_and_sit_classify_differently_end_to_end() {
+    // Tracked (not scripted) elevation series must separate a fall from a
+    // chair sit even at reduced bandwidth via the elevation conditions.
+    let anchor = Vec3::new(0.0, 5.0, 1.0);
+    let fall = ActivityScript::generate(Activity::Fall, anchor, 14.0, 5);
+    let (fall_track, _) = run_pipeline(quick_sweep(), true, Box::new(fall), 5);
+    let chair = ActivityScript::generate(Activity::Walk, anchor, 14.0, 6);
+    let (walk_track, _) = run_pipeline(quick_sweep(), true, Box::new(chair), 6);
+
+    let cfg = FallConfig::default();
+    let walk_verdict = classify_elevation_track(&walk_track.elevations(), &cfg);
+    assert!(!walk_verdict.is_fall(), "walking misclassified: {walk_verdict:?}");
+    // The fall's *descent* must register in the tracked z (the absolute
+    // values are coarse at this bandwidth).
+    let zs = fall_track.elevations();
+    let early: Vec<f64> = zs.iter().take(50).map(|&(_, z)| z).collect();
+    let late: Vec<f64> = zs.iter().rev().take(50).map(|&(_, z)| z).collect();
+    assert!(
+        witrack_repro::dsp::stats::median(&early) > witrack_repro::dsp::stats::median(&late),
+        "fall descent not visible in tracked elevation"
+    );
+}
+
+#[test]
+fn line_of_sight_beats_through_wall() {
+    let sweep = quick_sweep();
+    let mut med3d = Vec::new();
+    for through_wall in [false, true] {
+        let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 8.0, 0.2, 47);
+        let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+        let mut wt = WiTrack::new(cfg).expect("valid config");
+        let channel = Channel {
+            scene: Scene::witrack_lab(through_wall),
+            array: wt.array().clone(),
+            body: BodyModel::adult(),
+            reference_amplitude: 100.0,
+        };
+        let mut sim = Simulator::new(
+            SimConfig { sweep, noise_std: 0.15, seed: 47 },
+            channel,
+            Box::new(motion),
+        );
+        let mut errs = Vec::new();
+        while let Some(set) = sim.next_sweeps() {
+            let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+            if let Some(u) = wt.push_sweeps(&refs) {
+                if u.time_s < 2.0 {
+                    continue;
+                }
+                if let Some(p) = u.position {
+                    errs.push(p.distance(sim.surface_truth(u.time_s)));
+                }
+            }
+        }
+        med3d.push(witrack_repro::dsp::stats::median(&errs));
+    }
+    // Through-wall (index 1) should not be better than LOS (index 0) by any
+    // meaningful margin.
+    assert!(
+        med3d[1] > 0.8 * med3d[0],
+        "through-wall {} vs LOS {} — wall made things better?",
+        med3d[1],
+        med3d[0]
+    );
+}

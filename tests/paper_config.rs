@@ -1,0 +1,136 @@
+//! Integration tests at the paper's full configuration (2500-sample sweeps,
+//! 1.69 GHz bandwidth). Kept short — one to three seconds of simulated time
+//! each — so they stay tractable in debug builds; the full-length accuracy
+//! claims are validated by the release-mode harness binaries.
+
+use witrack_repro::core::{WiTrack, WiTrackConfig};
+use witrack_repro::fmcw::SweepConfig;
+use witrack_repro::geom::Vec3;
+use witrack_repro::sim::motion::{RandomWalk, Rect};
+use witrack_repro::sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
+
+#[test]
+fn paper_config_identities() {
+    let sweep = SweepConfig::witrack();
+    sweep.validate().expect("the paper's configuration must validate");
+    assert_eq!(sweep.samples_per_sweep(), 2500);
+    assert!((sweep.range_resolution() - 0.0887).abs() < 0.001);
+    assert!((sweep.frame_rate_hz() - 80.0).abs() < 1e-9);
+}
+
+#[test]
+fn paper_config_tracks_a_walker_to_decimeters() {
+    let sweep = SweepConfig::witrack();
+    let cfg = WiTrackConfig::witrack_default();
+    let mut wt = WiTrack::new(cfg).expect("valid config");
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array: wt.array().clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    // 3 s straight-line walk (post-warmup window is ~1 s).
+    let motion = RandomWalk::new(
+        Rect { x_min: -1.0, x_max: 1.0, y_min: 4.0, y_max: 6.0 },
+        1.0,
+        1.0,
+        3.0,
+        0.0,
+        13,
+    );
+    let mut sim = Simulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed: 13 },
+        channel,
+        Box::new(motion),
+    );
+    let mut errs = Vec::new();
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(u) = wt.push_sweeps(&refs) {
+            if u.time_s < 2.0 {
+                continue;
+            }
+            if let Some(p) = u.position {
+                errs.push(p.distance(sim.surface_truth(u.time_s)));
+            }
+        }
+    }
+    assert!(errs.len() > 40, "only {} evaluated frames", errs.len());
+    let med = witrack_repro::dsp::stats::median(&errs);
+    assert!(med < 0.6, "median 3D error {med} m at paper config");
+}
+
+#[test]
+fn paper_config_round_trips_are_centimeter_grade() {
+    // The per-antenna §4 output, before geometry: raw contour detections at
+    // full bandwidth must sit within ~1.5 range bins of the truth.
+    let sweep = SweepConfig::witrack();
+    let cfg = WiTrackConfig::witrack_default();
+    let mut wt = WiTrack::new(cfg).expect("valid config");
+    let array = wt.array().clone();
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array: array.clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let motion = RandomWalk::new(
+        Rect { x_min: -0.5, x_max: 0.5, y_min: 4.5, y_max: 5.5 },
+        1.0,
+        0.8,
+        2.5,
+        0.0,
+        29,
+    );
+    let mut sim = Simulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed: 29 },
+        channel,
+        Box::new(motion),
+    );
+    let mut errs = Vec::new();
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        if let Some(u) = wt.push_sweeps(&refs) {
+            if u.time_s < 1.5 {
+                continue;
+            }
+            let truth = sim.surface_truth(u.time_s);
+            for (k, f) in u.frames.iter().enumerate() {
+                if let Some(d) = f.detection {
+                    errs.push((d.round_trip_m - array.round_trip(truth, k)).abs());
+                }
+            }
+        }
+    }
+    assert!(errs.len() > 100, "only {} detections", errs.len());
+    let med = witrack_repro::dsp::stats::median(&errs);
+    assert!(med < 0.27, "median raw TOF error {med} m (1.5 bins = 0.27 m)");
+}
+
+#[test]
+fn solvers_agree_at_paper_config() {
+    // Closed form vs Gauss–Newton on the same (noisy) round trips.
+    use witrack_repro::geom::multilateration::{solve_least_squares, GaussNewtonConfig};
+    use witrack_repro::geom::TArray;
+    let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), 1.0);
+    let arr = t.antenna_array();
+    for (i, p) in [
+        Vec3::new(0.5, 4.0, 1.2),
+        Vec3::new(-2.0, 7.0, 0.6),
+        Vec3::new(2.2, 8.5, 1.6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut rts = t.round_trips(*p);
+        // Perturb by ±2 cm (a realistic TOF error at full bandwidth).
+        for (j, r) in rts.iter_mut().enumerate() {
+            *r += 0.02 * if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let closed = t.solve(rts).expect("solvable");
+        let gn = solve_least_squares(&arr, &rts, &GaussNewtonConfig::default())
+            .expect("solvable")
+            .position;
+        assert!(closed.distance(gn) < 0.05, "solvers disagree: {closed} vs {gn}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use witrack_repro::dsp::{fft::dft_naive, Complex, Fft};
+use witrack_repro::fmcw::SweepConfig;
+use witrack_repro::geom::multilateration::{solve_least_squares, GaussNewtonConfig};
+use witrack_repro::geom::{Ellipsoid, Plane, TArray, Vec3};
+
+fn in_room() -> impl Strategy<Value = Vec3> {
+    (-2.5f64..2.5, 3.0f64..9.0, 0.2f64..2.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The closed-form T-array solver inverts its own forward model
+    /// everywhere in the room, for any plausible geometry.
+    #[test]
+    fn tarray_solve_inverts_forward(
+        p in in_room(),
+        sep in 0.25f64..2.0,
+        origin_z in 0.5f64..1.5,
+    ) {
+        let t = TArray::symmetric(Vec3::new(0.0, 0.0, origin_z), sep);
+        let hat = t.solve(t.round_trips(p)).expect("exact inputs must solve");
+        prop_assert!(hat.distance(p) < 1e-6, "{} vs {}", hat, p);
+    }
+
+    /// Gauss–Newton agrees with the closed form on exact inputs.
+    #[test]
+    fn gauss_newton_matches_closed_form(p in in_room(), sep in 0.3f64..2.0) {
+        let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), sep);
+        let arr = t.antenna_array();
+        let rts = t.round_trips(p).to_vec();
+        let gn = solve_least_squares(&arr, &rts, &GaussNewtonConfig::default())
+            .expect("solvable");
+        prop_assert!(gn.position.distance(p) < 1e-4);
+        prop_assert!(gn.residual_rms < 1e-6);
+    }
+
+    /// Round-trip distances always define valid (non-degenerate) ellipsoids
+    /// whose surface contains the reflector.
+    #[test]
+    fn round_trips_define_containing_ellipsoids(p in in_room(), sep in 0.25f64..2.0) {
+        let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), sep);
+        let arr = t.antenna_array();
+        for k in 0..3 {
+            let e = Ellipsoid::new(
+                arr.tx.position,
+                arr.rx[k].position,
+                arr.round_trip(p, k),
+            ).expect("physical round trip");
+            prop_assert!(e.contains(p, 1e-9));
+        }
+    }
+
+    /// A wall bounce is never shorter than the direct path — the invariant
+    /// the bottom-contour tracker relies on (§4.3).
+    #[test]
+    fn bounce_paths_never_shorter(
+        a in in_room(),
+        b in in_room(),
+        wall_x in 3.0f64..6.0,
+    ) {
+        let wall = Plane::wall_at_x(wall_x);
+        if let Some(len) = wall.bounce_path_length(a, b) {
+            prop_assert!(len >= a.distance(b) - 1e-9);
+        }
+    }
+
+    /// FFT/inverse round trip is the identity for arbitrary signals and
+    /// lengths (both radix-2 and Bluestein paths).
+    #[test]
+    fn fft_round_trips(
+        n in 2usize..200,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let x = ((i as u64 + 1) * (seed + 3)) as f64;
+                Complex::new((x * 0.01).sin(), (x * 0.007).cos())
+            })
+            .collect();
+        let mut buf = data.clone();
+        let mut plan = Fft::new(n);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (x, y) in buf.iter().zip(&data) {
+            prop_assert!((*x - *y).abs() < 1e-8 * n as f64);
+        }
+    }
+
+    /// Fast FFT matches the quadratic reference DFT at awkward lengths.
+    #[test]
+    fn fft_matches_naive(n in 2usize..64, seed in 0u64..100) {
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i as u64 * 7 + seed) % 13) as f64 - 6.0, 0.0))
+            .collect();
+        let mut fast = data.clone();
+        Fft::new(n).forward(&mut fast);
+        let slow = dft_naive(&data);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-7 * n as f64);
+        }
+    }
+
+    /// Beat-frequency ↔ distance mappings invert each other for any
+    /// physical sweep configuration.
+    #[test]
+    fn sweep_mappings_invert(
+        bw_ghz in 0.1f64..4.0,
+        dur_ms in 0.5f64..10.0,
+        dist in 0.5f64..100.0,
+    ) {
+        let cfg = SweepConfig {
+            start_freq_hz: 5.56e9,
+            bandwidth_hz: bw_ghz * 1e9,
+            sweep_duration_s: dur_ms * 1e-3,
+            sample_rate_hz: 1e6,
+            sweeps_per_frame: 5,
+            transmit_power_w: 1e-3,
+        };
+        let beat = cfg.beat_for_round_trip(dist);
+        prop_assert!((cfg.round_trip_for_beat(beat) - dist).abs() < 1e-9 * dist);
+        let bin = cfg.bin_for_round_trip(dist);
+        prop_assert!((cfg.round_trip_for_bin(bin) - dist).abs() < 1e-9 * dist);
+    }
+
+    /// The empirical CDF's percentile and fraction_below are consistent
+    /// inverses on random samples.
+    #[test]
+    fn cdf_consistency(mut xs in proptest::collection::vec(-100.0f64..100.0, 2..200)) {
+        use witrack_repro::dsp::stats::EmpiricalCdf;
+        xs.dedup();
+        let cdf = EmpiricalCdf::new(xs);
+        let n = cdf.len() as f64;
+        for p in [10.0, 50.0, 90.0] {
+            let v = cdf.percentile(p);
+            let f = cdf.fraction_below(v);
+            // Percentiles interpolate between order statistics, so the
+            // empirical fraction below can undershoot by up to one sample.
+            prop_assert!(f >= p / 100.0 - 1.0 / n - 0.02, "p{p}: value {v} fraction {f} n {n}");
+        }
+    }
+}
