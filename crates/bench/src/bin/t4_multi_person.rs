@@ -1,0 +1,166 @@
+//! T4 (beyond the paper) — multi-person tracking with `witrack-mtt`.
+//!
+//! The paper's §10 names multi-person tracking as future work; this harness
+//! measures what the `witrack-mtt` subsystem delivers on three scripted
+//! scenarios: two walkers whose floor paths cross (radially separated),
+//! two walkers passing each other radially (contours merge and the tracker
+//! must coast through), and three concurrent walkers. Reported per
+//! scenario: confirmed-track coverage of each true person, median 3D error
+//! over covered frames, and identity swaps while people are ≥ 1 m apart.
+//!
+//! Quick mode runs the mid sweep (0.44 m bins); `--paper` runs the
+//! prototype sweep (0.177 m bins, ~10× slower).
+
+use witrack_bench::printing::{banner, cm};
+use witrack_bench::HarnessArgs;
+use witrack_dsp::stats::median;
+use witrack_fmcw::SweepConfig;
+use witrack_geom::Vec3;
+use witrack_mtt::{MttConfig, MultiWiTrack, TrackId};
+use witrack_sim::multi::{scenario, MultiSimulator, PersonSpec};
+use witrack_sim::{Scene, SimConfig};
+
+struct ScenarioReport {
+    name: &'static str,
+    num_people: usize,
+    /// Per-person: fraction of post-warmup frames covered by a confirmed
+    /// track within 1 m, and the 3D errors over covered frames.
+    coverage: Vec<f64>,
+    errors: Vec<Vec<f64>>,
+    identity_swaps: usize,
+    mean_established: f64,
+}
+
+const WARMUP_S: f64 = 2.0;
+/// A person is "covered" when a confirmed/coasting track is within this.
+const COVER_RADIUS_M: f64 = 1.0;
+
+fn run_scenario(
+    name: &'static str,
+    people: Vec<PersonSpec>,
+    sweep: SweepConfig,
+    seed: u64,
+    through_wall: bool,
+) -> ScenarioReport {
+    let base = witrack_core::WiTrackConfig {
+        sweep,
+        max_round_trip_m: 40.0,
+        ..witrack_core::WiTrackConfig::witrack_default()
+    };
+    let cfg = MttConfig::with_base(base);
+    let mut wt = MultiWiTrack::new(cfg).expect("valid config");
+    let n_people = people.len();
+    let mut sim = MultiSimulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed },
+        Scene::witrack_lab(through_wall),
+        wt.array().clone(),
+        people,
+    );
+
+    let mut covered = vec![0usize; n_people];
+    let mut frames = 0usize;
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); n_people];
+    // Last track id covering each person while everyone was ≥ 1 m apart.
+    let mut last_id: Vec<Option<TrackId>> = vec![None; n_people];
+    let mut swaps = 0usize;
+    let mut established_sum = 0usize;
+
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        let Some(update) = wt.push_sweeps(&refs) else { continue };
+        if update.time_s < WARMUP_S {
+            continue;
+        }
+        frames += 1;
+        let truths: Vec<Vec3> =
+            (0..n_people).map(|i| sim.surface_truth(i, update.time_s)).collect();
+        let est: Vec<_> = update.established().collect();
+        established_sum += est.len();
+        let separated = (0..n_people).all(|i| {
+            (0..n_people).all(|j| i == j || truths[i].distance(truths[j]) >= 1.0)
+        });
+        for (i, truth) in truths.iter().enumerate() {
+            let nearest = est
+                .iter()
+                .min_by(|a, b| {
+                    let da = a.position.distance(*truth);
+                    let db = b.position.distance(*truth);
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .filter(|t| t.position.distance(*truth) < COVER_RADIUS_M);
+            if let Some(t) = nearest {
+                covered[i] += 1;
+                errors[i].push(t.position.distance(*truth));
+                if separated {
+                    if let Some(prev) = last_id[i] {
+                        if prev != t.id {
+                            swaps += 1;
+                        }
+                    }
+                    last_id[i] = Some(t.id);
+                }
+            }
+        }
+    }
+
+    ScenarioReport {
+        name,
+        num_people: n_people,
+        coverage: covered.iter().map(|&c| c as f64 / frames.max(1) as f64).collect(),
+        errors,
+        identity_swaps: swaps,
+        mean_established: established_sum as f64 / frames.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner(
+        "T4",
+        "multi-person tracking (witrack-mtt over scripted walker scenes)",
+        "beyond the paper: section 10 names multi-person as future work",
+    );
+    let sweep =
+        if args.paper_scale { SweepConfig::witrack() } else { SweepConfig::witrack_mid() };
+    let dur = args.duration_s(10.0, 20.0);
+
+    let scenarios: Vec<(&'static str, Vec<PersonSpec>, bool)> = vec![
+        ("two_crossing_los", scenario::two_walker_crossing(dur), false),
+        ("two_crossing_wall", scenario::two_walker_crossing(dur), true),
+        ("two_radial_pass", scenario::two_walker_radial_pass(dur), false),
+        ("three_walkers", scenario::three_walkers(dur), false),
+    ];
+
+    println!(
+        "\nsweep: {:.0} MHz bandwidth ({:.2} m bins), {} s per scenario\n",
+        sweep.bandwidth_hz / 1e6,
+        sweep.round_trip_per_bin(),
+        dur
+    );
+    println!("scenario             person  coverage  median-3D-err  swaps  mean-tracks");
+    for (name, people, through_wall) in scenarios {
+        let r = run_scenario(name, people, sweep, args.seed, through_wall);
+        for i in 0..r.num_people {
+            let med = if r.errors[i].is_empty() {
+                "     -".to_string()
+            } else {
+                format!("{:>9}", cm(median(&r.errors[i])))
+            };
+            let tail = if i == 0 {
+                format!("  {:>5}  {:>11.2}", r.identity_swaps, r.mean_established)
+            } else {
+                String::new()
+            };
+            println!(
+                "{:<20} {:>6}  {:>7.1}%  {:>12}{}",
+                if i == 0 { r.name } else { "" },
+                i,
+                r.coverage[i] * 100.0,
+                med,
+                tail,
+            );
+        }
+    }
+    println!("\ncoverage: fraction of frames a confirmed track is within 1 m of the person");
+    println!("swaps: identity changes while all people are >= 1 m apart (target: 0)");
+}

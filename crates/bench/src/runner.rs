@@ -1,6 +1,5 @@
 //! End-to-end tracking experiments: simulator in, error statistics out.
 
-use crossbeam::thread;
 use witrack_core::metrics::AxisErrors;
 use witrack_core::pointing::{PointingConfig, PointingEstimate, PointingEstimator};
 use witrack_core::{SolverChoice, WiTrack, WiTrackConfig};
@@ -187,9 +186,9 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out_cells: Vec<std::sync::Mutex<&mut Option<T>>> =
         out.iter_mut().map(std::sync::Mutex::new).collect();
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= specs.len() {
                     break;
@@ -198,8 +197,7 @@ where
                 **out_cells[i].lock().expect("unpoisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     drop(out_cells);
     out.into_iter().map(|o| o.expect("all specs processed")).collect()
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion` (see `crates/compat/README.md`).
+//!
+//! A small wall-clock benchmark runner with criterion's API shape:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros. No statistics engine — each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! fixed measurement window, and the mean time per iteration is printed as
+//! `name ... <time>/iter`. Honors `--bench` (ignored) and filters by any
+//! bare CLI argument, like the real harness.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the workspace already uses directly).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(per_iter: f64) -> String {
+    if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+    warmup_window: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion {
+            measurement_window: Duration::from_millis(400),
+            warmup_window: Duration::from_millis(100),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Criterion's sample-count knob; the stand-in scales its measurement
+    /// window with it so heavier suites still complete quickly.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.measurement_window = Duration::from_millis(10 * n.max(10) as u64);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in has no statistics to tune.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_window = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        self.run(name.into(), f);
+        self
+    }
+
+    /// Opens a named group; the stand-in just prefixes benchmark names.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.into() }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm up with single iterations to estimate the per-iter cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warmup_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_time = Duration::ZERO;
+        while warmup_start.elapsed() < self.warmup_window && warm_iters < 1_000_000 {
+            f(&mut b);
+            warm_time += b.elapsed;
+            warm_iters += b.iters;
+        }
+        let per_iter = (warm_time.as_secs_f64() / warm_iters.max(1) as f64).max(1e-9);
+        // One measured batch sized to fill the window.
+        let iters = (self.measurement_window.as_secs_f64() / per_iter).clamp(1.0, 1e7) as u64;
+        b.iters = iters;
+        f(&mut b);
+        let mean = b.elapsed.as_secs_f64() / iters as f64;
+        println!("{name:<50} {:>12}/iter ({iters} iters)", format_time(mean));
+    }
+}
+
+/// A named group of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.run(full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, in both criterion syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

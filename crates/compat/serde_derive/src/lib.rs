@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde_derive` (see `crates/compat/README.md`).
+//!
+//! Emits empty impls of the marker traits in the stand-in `serde` crate.
+//! Supports plain (non-generic) structs and enums, which is all the
+//! workspace derives on; a type with generic parameters gets no impl (the
+//! derive is then a no-op, which still compiles as long as no bound
+//! requires it).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name in a `struct`/`enum` item and whether it has
+/// generic parameters.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        let generic = matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        );
+                        return Some((name.to_string(), generic));
+                    }
+                    return None;
+                }
+                // `pub`, `pub(crate)`, doc idents, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the stand-in `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize")
+}
+
+/// Derives the stand-in `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize<'_>")
+}

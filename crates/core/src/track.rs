@@ -27,8 +27,15 @@ impl Track {
 
     /// Appends a raw (time, position) sample.
     pub fn push(&mut self, time_s: f64, position: Vec3) {
+        self.push_with_held(time_s, position, false);
+    }
+
+    /// Appends a sample with an explicit held/interpolated flag — used by
+    /// the multi-target tracker, whose coasting phases are the per-track
+    /// analogue of the single-target §4.4 hold.
+    pub fn push_with_held(&mut self, time_s: f64, position: Vec3, held: bool) {
         self.samples.push((time_s, position));
-        self.held_flags.push(false);
+        self.held_flags.push(held);
     }
 
     /// Number of samples.

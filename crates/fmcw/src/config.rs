@@ -68,6 +68,24 @@ impl SweepConfig {
         }
     }
 
+    /// A 10×-reduced variant of [`witrack`](SweepConfig::witrack) with 4×
+    /// the bandwidth of the coarsest test sweep: 676 MHz over 1 ms at
+    /// 250 kS/s (250 samples, 0.44 m round-trip bins). Fine enough to
+    /// resolve elevation changes and separate two people, ~10× cheaper
+    /// than the prototype sweep — the standard choice for integration
+    /// tests and multi-target demos that need real resolution in debug
+    /// builds.
+    pub fn witrack_mid() -> SweepConfig {
+        SweepConfig {
+            start_freq_hz: 5.56e8,
+            bandwidth_hz: 6.76e8,
+            sweep_duration_s: 1e-3,
+            sample_rate_hz: 250e3,
+            sweeps_per_frame: 5,
+            transmit_power_w: 1e-3,
+        }
+    }
+
     /// Checks all fields. Returns `self` for chaining.
     pub fn validate(&self) -> Result<&SweepConfig, ConfigError> {
         for (v, name) in [

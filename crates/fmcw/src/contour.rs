@@ -84,6 +84,56 @@ impl ContourTracker {
         })
     }
 
+    /// Multi-target extension of [`detect`](ContourTracker::detect): the
+    /// `k` *nearest* local maxima substantially above the noise floor,
+    /// nearest first.
+    ///
+    /// The §4.3 bottom-contour argument generalizes: with N moving bodies,
+    /// each body's direct echo is the shortest path *among its own*
+    /// echoes, so the N nearest strong maxima are the N direct echoes
+    /// whenever the bodies are radially separated (dynamic-multipath
+    /// bounces of a nearer body can outrange a farther body's direct echo,
+    /// in which case a bounce is reported — the caller's association gates
+    /// reject it). Maxima within `min_separation_bins` of an
+    /// already-accepted nearer peak are treated as the same reflector's
+    /// spectral lobe and skipped.
+    ///
+    /// `detect(m)` is exactly `detect_top_k(m, 1, 0.0).first()`.
+    pub fn detect_top_k(
+        &self,
+        magnitudes: &[f64],
+        k: usize,
+        min_separation_bins: f64,
+    ) -> Vec<Detection> {
+        if k == 0 || magnitudes.len() <= self.min_bin + 2 {
+            return Vec::new();
+        }
+        let usable = &magnitudes[self.min_bin..];
+        let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
+        let mut out: Vec<Detection> = Vec::new();
+        let mut last_accepted: Option<f64> = None;
+        for rel in peak::local_maxima_above(usable, floor) {
+            let idx = self.min_bin + rel;
+            if let Some(prev) = last_accepted {
+                if (idx as f64 - prev) < min_separation_bins {
+                    continue;
+                }
+            }
+            last_accepted = Some(idx as f64);
+            let refined = peak::parabolic_refine(magnitudes, idx);
+            out.push(Detection {
+                bin: refined,
+                round_trip_m: self.sweep.round_trip_for_bin(refined),
+                magnitude: magnitudes[idx],
+                noise_floor: floor,
+            });
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+
     /// The §4.3 ablation: track the *strongest* return instead of the
     /// nearest strong one. Kept here so the baseline crate and the contour
     /// share identical thresholds.
@@ -146,6 +196,49 @@ mod tests {
         assert!((s.bin - 70.0).abs() < 0.5, "bin {}", s.bin);
         // Round-trip mapping matches the sweep config.
         assert!((d.round_trip_m - sweep.round_trip_for_bin(d.bin)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_returns_nearest_first_and_matches_detect() {
+        let sweep = cfg();
+        let t = ContourTracker::new(sweep, ContourConfig::default());
+        let m = frame(200, &[(40.0, 5.0), (70.0, 20.0), (120.0, 8.0)], 0.1);
+        let dets = t.detect_top_k(&m, 3, 2.0);
+        assert_eq!(dets.len(), 3);
+        assert!((dets[0].bin - 40.0).abs() < 0.5);
+        assert!((dets[1].bin - 70.0).abs() < 0.5);
+        assert!((dets[2].bin - 120.0).abs() < 0.5);
+        // Nearest-first ordering and agreement with the single-target path.
+        assert!(dets.windows(2).all(|w| w[0].bin < w[1].bin));
+        let single = t.detect(&m).unwrap();
+        assert_eq!(dets[0], single);
+        // k truncates nearest-first.
+        assert_eq!(t.detect_top_k(&m, 2, 2.0).len(), 2);
+        assert!((t.detect_top_k(&m, 1, 2.0)[0].bin - 40.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn top_k_merges_lobes_within_min_separation() {
+        let sweep = cfg();
+        let t = ContourTracker::new(sweep, ContourConfig::default());
+        // Two ripples of one wide reflector at bins 50/52, a real second
+        // target at 90.
+        let m = frame(200, &[(50.0, 10.0), (52.3, 9.0), (90.0, 8.0)], 0.05);
+        let dets = t.detect_top_k(&m, 3, 4.0);
+        assert_eq!(dets.len(), 2, "{dets:?}");
+        assert!((dets[0].bin - 50.0).abs() < 0.6);
+        assert!((dets[1].bin - 90.0).abs() < 0.5);
+        // With no separation requirement all three maxima surface.
+        assert_eq!(t.detect_top_k(&m, 3, 0.0).len(), 3);
+    }
+
+    #[test]
+    fn top_k_empty_cases() {
+        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let m = frame(200, &[(40.0, 5.0)], 0.1);
+        assert!(t.detect_top_k(&m, 0, 2.0).is_empty());
+        assert!(t.detect_top_k(&[1.0, 2.0], 3, 2.0).is_empty());
+        assert!(t.detect_top_k(&vec![0.0; 200], 3, 2.0).is_empty());
     }
 
     #[test]

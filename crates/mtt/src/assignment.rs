@@ -1,0 +1,324 @@
+//! Detection-to-track data association: min-cost bipartite assignment.
+//!
+//! Each frame the tracker must decide which contour detection belongs to
+//! which live track. That is a rectangular assignment problem: rows are
+//! tracks, columns are detections, and each cell holds a gating-aware cost
+//! (distance between the track's prediction and the detection). This module
+//! solves it exactly with the Hungarian algorithm (Jonker–Volgenant style
+//! shortest augmenting paths, O(n³)) and provides a greedy O(n² log n)
+//! fallback used automatically for very large problems.
+//!
+//! ## Objective
+//!
+//! The solver returns the matching that, among all matchings of **maximum
+//! feasible cardinality**, has **minimum total cost** — the standard MTT
+//! association objective. A pair is *feasible* when its cost was set (via
+//! [`CostMatrix::set`]) and is below the gate; cells never set are
+//! forbidden and are never matched. The guarantee is exact provided every
+//! finite cost is below [`CostMatrix::MAX_COST`], which the tracker's
+//! meter-scale gates satisfy by orders of magnitude.
+
+/// A rectangular cost matrix (rows = tracks, columns = detections).
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Upper bound on a feasible cost. `set` rejects anything at or above
+    /// this; it is what makes "max cardinality first" exact.
+    pub const MAX_COST: f64 = 1e4;
+
+    /// Creates a matrix with every pair forbidden.
+    pub fn new(rows: usize, cols: usize) -> CostMatrix {
+        CostMatrix { rows, cols, data: vec![f64::INFINITY; rows * cols] }
+    }
+
+    /// Number of rows (tracks).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (detections).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Marks `(row, col)` feasible with the given cost.
+    ///
+    /// # Panics
+    /// Panics when out of bounds, or when `cost` is not in
+    /// `[0, MAX_COST)` — gate before setting, don't encode gates as huge
+    /// costs.
+    pub fn set(&mut self, row: usize, col: usize, cost: f64) {
+        assert!(row < self.rows && col < self.cols, "cost index out of bounds");
+        assert!(
+            cost >= 0.0 && cost < Self::MAX_COST,
+            "cost {cost} outside [0, {})",
+            Self::MAX_COST
+        );
+        self.data[row * self.cols + col] = cost;
+    }
+
+    /// The cost at `(row, col)` (`f64::INFINITY` when forbidden).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Whether `(row, col)` is feasible.
+    pub fn is_feasible(&self, row: usize, col: usize) -> bool {
+        self.get(row, col).is_finite()
+    }
+}
+
+/// The result of an association solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// For each row, the matched column (None = unassigned).
+    pub row_to_col: Vec<Option<usize>>,
+    /// For each column, the matched row (None = unassigned).
+    pub col_to_row: Vec<Option<usize>>,
+    /// Sum of the matched pairs' costs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Number of matched pairs.
+    pub fn matches(&self) -> usize {
+        self.row_to_col.iter().flatten().count()
+    }
+
+    fn from_row_to_col(row_to_col: Vec<Option<usize>>, cost: &CostMatrix) -> Assignment {
+        let mut col_to_row = vec![None; cost.cols()];
+        let mut total = 0.0;
+        for (r, c) in row_to_col.iter().enumerate() {
+            if let Some(c) = *c {
+                col_to_row[c] = Some(r);
+                total += cost.get(r, c);
+            }
+        }
+        Assignment { row_to_col, col_to_row, total_cost: total }
+    }
+}
+
+/// Problem sizes above which [`solve_assignment`] switches from the exact
+/// Hungarian algorithm to the greedy fallback. Far beyond any per-frame
+/// association this tracker produces (tracks × detections ≤ tens).
+pub const HUNGARIAN_SIZE_LIMIT: usize = 256;
+
+/// Cost of leaving a row or column unmatched in the padded square problem.
+/// Must dwarf `n · MAX_COST` so cardinality dominates cost.
+const UNMATCHED: f64 = 1e8;
+/// Padded stand-in for a forbidden pair: worse than unmatching both sides.
+const FORBIDDEN: f64 = 3e8;
+
+/// Solves the association exactly (Hungarian) when the padded size is at
+/// most [`HUNGARIAN_SIZE_LIMIT`], greedily otherwise.
+pub fn solve_assignment(cost: &CostMatrix) -> Assignment {
+    if cost.rows().max(cost.cols()) <= HUNGARIAN_SIZE_LIMIT {
+        solve_assignment_hungarian(cost)
+    } else {
+        solve_assignment_greedy(cost)
+    }
+}
+
+/// Exact solve: Hungarian algorithm with potentials on the square matrix
+/// padded with [`UNMATCHED`]-cost dummy rows/columns.
+pub fn solve_assignment_hungarian(cost: &CostMatrix) -> Assignment {
+    let (r, c) = (cost.rows(), cost.cols());
+    let n = r.max(c);
+    if n == 0 {
+        return Assignment { row_to_col: Vec::new(), col_to_row: Vec::new(), total_cost: 0.0 };
+    }
+    let padded = |i: usize, j: usize| -> f64 {
+        if i < r && j < c {
+            let x = cost.get(i, j);
+            if x.is_finite() {
+                x
+            } else {
+                FORBIDDEN
+            }
+        } else {
+            UNMATCHED
+        }
+    };
+
+    // Shortest-augmenting-path Hungarian with row/column potentials
+    // (the classic 1-indexed formulation; p[j] = row matched to column j).
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; n + 1];
+    let mut p = vec![0_usize; n + 1];
+    let mut way = vec![0_usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0_usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0_usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = padded(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; r];
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i - 1 < r && j - 1 < c && cost.is_feasible(i - 1, j - 1) {
+            row_to_col[i - 1] = Some(j - 1);
+        }
+    }
+    Assignment::from_row_to_col(row_to_col, cost)
+}
+
+/// Greedy fallback: repeatedly match the globally cheapest feasible pair.
+/// Not optimal (a cheap pair can block two slightly dearer ones) but
+/// O(n² log n) and good enough when the exact solver would be too slow.
+pub fn solve_assignment_greedy(cost: &CostMatrix) -> Assignment {
+    let (r, c) = (cost.rows(), cost.cols());
+    let mut cells: Vec<(usize, usize)> = (0..r)
+        .flat_map(|i| (0..c).map(move |j| (i, j)))
+        .filter(|&(i, j)| cost.is_feasible(i, j))
+        .collect();
+    cells.sort_by(|&a, &b| {
+        cost.get(a.0, a.1).partial_cmp(&cost.get(b.0, b.1)).expect("finite costs")
+    });
+    let mut row_to_col = vec![None; r];
+    let mut col_taken = vec![false; c];
+    for (i, j) in cells {
+        if row_to_col[i].is_none() && !col_taken[j] {
+            row_to_col[i] = Some(j);
+            col_taken[j] = true;
+        }
+    }
+    Assignment::from_row_to_col(row_to_col, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: usize, cols: usize, cells: &[(usize, usize, f64)]) -> CostMatrix {
+        let mut m = CostMatrix::new(rows, cols);
+        for &(i, j, x) in cells {
+            m.set(i, j, x);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_problem_solves_trivially() {
+        let a = solve_assignment(&CostMatrix::new(0, 0));
+        assert_eq!(a.matches(), 0);
+        assert_eq!(a.total_cost, 0.0);
+        let a = solve_assignment(&CostMatrix::new(3, 0));
+        assert_eq!(a.row_to_col, vec![None, None, None]);
+    }
+
+    #[test]
+    fn identity_is_found() {
+        let m = matrix(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let a = solve_assignment(&m);
+        assert_eq!(a.row_to_col, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(a.total_cost, 3.0);
+    }
+
+    #[test]
+    fn avoids_greedy_trap() {
+        // Greedy takes (0,0)=1 and is forced into (1,1)=100 (total 101);
+        // optimal is (0,1)=2 + (1,0)=2 (total 4).
+        let m = matrix(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 100.0)],
+        );
+        let a = solve_assignment_hungarian(&m);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+        assert_eq!(a.total_cost, 4.0);
+        let g = solve_assignment_greedy(&m);
+        assert_eq!(g.total_cost, 101.0);
+    }
+
+    #[test]
+    fn cardinality_beats_cost() {
+        // Matching both rows costs 1000+1000; matching only row 0 costs 1.
+        // Max cardinality wins.
+        let m = matrix(2, 2, &[(0, 0, 1.0), (0, 1, 1000.0), (1, 0, 1000.0)]);
+        let a = solve_assignment_hungarian(&m);
+        assert_eq!(a.matches(), 2);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn forbidden_pairs_are_never_matched() {
+        let m = matrix(2, 2, &[(0, 0, 5.0)]);
+        let a = solve_assignment_hungarian(&m);
+        assert_eq!(a.row_to_col, vec![Some(0), None]);
+        assert_eq!(a.col_to_row, vec![Some(0), None]);
+        assert_eq!(a.total_cost, 5.0);
+    }
+
+    #[test]
+    fn rectangular_wide_and_tall() {
+        // 2 tracks, 4 detections.
+        let m = matrix(2, 4, &[(0, 2, 0.5), (1, 0, 0.25), (1, 2, 0.1)]);
+        let a = solve_assignment_hungarian(&m);
+        assert_eq!(a.row_to_col, vec![Some(2), Some(0)]);
+        // 4 tracks, 2 detections.
+        let m = matrix(4, 2, &[(2, 0, 0.5), (0, 1, 0.25), (2, 1, 0.1)]);
+        let a = solve_assignment_hungarian(&m);
+        assert_eq!(a.row_to_col, vec![Some(1), None, Some(0), None]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_cost_rejected() {
+        let mut m = CostMatrix::new(1, 1);
+        m.set(0, 0, CostMatrix::MAX_COST);
+    }
+
+    #[test]
+    fn greedy_matches_hungarian_on_easy_problems() {
+        // Well-separated costs: greedy is optimal too.
+        let m = matrix(3, 3, &[(0, 1, 0.1), (1, 0, 0.2), (2, 2, 0.3), (0, 0, 5.0)]);
+        let h = solve_assignment_hungarian(&m);
+        let g = solve_assignment_greedy(&m);
+        assert_eq!(h.row_to_col, g.row_to_col);
+    }
+}

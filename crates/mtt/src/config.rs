@@ -1,0 +1,157 @@
+//! Multi-target tracker configuration, layered on the single-target
+//! [`WiTrackConfig`].
+
+use serde::{Deserialize, Serialize};
+use witrack_core::WiTrackConfig;
+use witrack_dsp::kalman::KalmanConfig;
+
+/// Axis-aligned bounds a candidate 3D position must satisfy before it can
+/// seed a new track. Candidate tuples that solve to positions behind the
+/// array or outside the deployment volume are ghosts by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionGate {
+    /// Allowed x range (m).
+    pub x: (f64, f64),
+    /// Allowed y range (m); y > 0 is in front of the array.
+    pub y: (f64, f64),
+    /// Allowed z range (m).
+    pub z: (f64, f64),
+}
+
+impl Default for PositionGate {
+    fn default() -> Self {
+        // Envelope of the paper's deployment: the lab room spans
+        // x ∈ [−3, 3.5] m between its side walls and 10 m of depth. The z
+        // band is deliberately tight — body centers live between the floor
+        // (a fallen person, ~0.1 m) and ~2 m. Dynamic-multipath ghosts
+        // solve to systematically wrong positions (the stem antenna maps a
+        // bounce's extra path length into z; wall bounces pull x and y
+        // toward and past the walls), so this envelope — ending just
+        // inside each wall — is the main ghost filter. Widen it for larger
+        // deployments.
+        PositionGate { x: (-2.9, 3.4), y: (0.5, 9.8), z: (0.0, 2.0) }
+    }
+}
+
+impl PositionGate {
+    /// Whether `p` lies inside the gate.
+    pub fn contains(&self, p: witrack_geom::Vec3) -> bool {
+        p.x >= self.x.0
+            && p.x <= self.x.1
+            && p.y >= self.y.0
+            && p.y <= self.y.1
+            && p.z >= self.z.0
+            && p.z <= self.z.1
+    }
+}
+
+/// Full configuration of a [`crate::MultiWiTrack`] pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MttConfig {
+    /// The underlying single-target pipeline configuration (sweep, array
+    /// geometry, contour thresholds) — reused verbatim.
+    pub base: WiTrackConfig,
+    /// Maximum simultaneous targets the tracker reports.
+    pub max_targets: usize,
+    /// Minimum separation between per-antenna contour peaks, in FFT bins.
+    /// Peaks closer than this to an already-accepted (nearer) peak are
+    /// treated as the same reflector's lobe.
+    pub min_peak_separation_bins: f64,
+    /// Per-antenna association gate (m of round trip): a detection can only
+    /// be assigned to a track whose predicted round trip is within this.
+    pub gate_round_trip_m: f64,
+    /// 3D gate (m) for suppressing new-track candidates near live tracks.
+    pub min_new_track_separation_m: f64,
+    /// Hits needed before a tentative track is confirmed.
+    pub confirm_hits: usize,
+    /// Consecutive misses that kill a *tentative* track.
+    pub tentative_max_misses: usize,
+    /// Consecutive misses a *confirmed* track may coast through before it
+    /// is dropped. Sized to ride out a radial crossing, where one body
+    /// occludes the other in round trip for more than a second, while
+    /// staying well short of the §4.4 static-person hold (a person who
+    /// stops moving should eventually drop, not linger forever).
+    pub max_coast_frames: usize,
+    /// Tracks whose smoothed speed exceeds this are dropped: indoor human
+    /// motion stays under ~3 m/s, while multipath ghosts (whose apparent
+    /// motion is a geometric amplification of a real body's) routinely
+    /// exceed it.
+    pub max_speed_mps: f64,
+    /// Per-axis Kalman tuning for track smoothing (reuses
+    /// [`witrack_dsp::kalman`] exactly as the single-target §4.4 stage does,
+    /// but in the 3D output domain rather than per-antenna round trips).
+    pub kalman: KalmanConfig,
+    /// Spatial envelope a candidate position must satisfy to seed a track.
+    pub position_gate: PositionGate,
+}
+
+impl Default for MttConfig {
+    fn default() -> Self {
+        MttConfig {
+            base: WiTrackConfig::witrack_default(),
+            max_targets: 3,
+            min_peak_separation_bins: 2.0,
+            gate_round_trip_m: 1.2,
+            min_new_track_separation_m: 1.0,
+            confirm_hits: 8,
+            tentative_max_misses: 3,
+            max_coast_frames: 280,
+            max_speed_mps: 6.0,
+            kalman: KalmanConfig {
+                // Raw per-frame 3D solves are noisier than the §4.4
+                // denoised single-target stream (no per-antenna Kalman
+                // underneath), so measurement noise is set higher; process
+                // noise matches walking dynamics.
+                measurement_std: 0.15,
+                process_accel_std: 4.0,
+                initial_pos_var: 1.0,
+                initial_vel_var: 4.0,
+            },
+            position_gate: PositionGate::default(),
+        }
+    }
+}
+
+impl MttConfig {
+    /// Default tracker over an explicit base pipeline config.
+    pub fn with_base(base: WiTrackConfig) -> MttConfig {
+        MttConfig { base, ..MttConfig::default() }
+    }
+
+    /// Returns a copy with a different target capacity.
+    pub fn with_max_targets(mut self, k: usize) -> MttConfig {
+        self.max_targets = k;
+        self
+    }
+
+    /// Per-antenna contour peaks to extract each frame. Deliberately larger
+    /// than `max_targets`: a near person's dynamic-multipath bounces are
+    /// often *stronger and nearer* than a far person's direct echo, so the
+    /// far person's contour only surfaces when the top-K budget has room
+    /// for the bounces too. The surplus detections are shed downstream by
+    /// gating and association.
+    pub fn detection_budget(&self) -> usize {
+        2 * self.max_targets + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use witrack_geom::Vec3;
+
+    #[test]
+    fn default_gate_accepts_room_rejects_behind_array() {
+        let g = PositionGate::default();
+        assert!(g.contains(Vec3::new(0.0, 5.0, 1.0)));
+        assert!(!g.contains(Vec3::new(0.0, -2.0, 1.0)));
+        assert!(!g.contains(Vec3::new(0.0, 5.0, 4.0)));
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = MttConfig::default().with_max_targets(5);
+        assert_eq!(c.max_targets, 5);
+        assert_eq!(c.base.antenna_separation, 1.0);
+    }
+}

@@ -1,0 +1,551 @@
+//! The multi-target pipeline: sweeps in, N concurrent tracks out.
+//!
+//! [`MultiWiTrack`] mirrors [`witrack_core::WiTrack`]'s streaming interface
+//! (one baseband sweep per receive antenna per sweep interval, one output
+//! per frame) but lifts the §10 single-person assumption:
+//!
+//! 1. **Top-K contours** — each antenna's background-subtracted range
+//!    profile yields up to `max_targets` contour detections
+//!    ([`witrack_fmcw::ContourTracker::detect_top_k`]) instead of one.
+//! 2. **Gated per-antenna association** — live tracks predict their
+//!    per-antenna round trips; a Hungarian assignment
+//!    ([`crate::assignment`]) matches detections to tracks within
+//!    `gate_round_trip_m`.
+//! 3. **Per-track 3D solve + Kalman** — a track whose every antenna found a
+//!    detection gets a least-squares 3D fix, smoothed by the per-axis
+//!    constant-velocity filters in [`crate::track`].
+//! 4. **Rank-consistent initiation** — detections no track claimed are
+//!    matched across antennas by round-trip rank (the direct echo is the
+//!    *shortest* path, so the k-th nearest contour on each antenna belongs
+//!    to the k-th nearest person except during radial crossings — exactly
+//!    when tracks already exist and initiation is not needed). Candidate
+//!    tuples must solve inside the position gate, away from live tracks.
+//! 5. **Lifecycle** — tentative → confirmed → coasting → dead, so one-frame
+//!    noise peaks never become reported targets and brief occlusions (or a
+//!    radial crossing, where two bodies share one contour) don't kill a
+//!    track.
+//!
+//! Remaining §10 limitations this subsystem inherits: a person who stops
+//! moving vanishes from the background-subtracted stream (their track
+//! coasts, then drops), and targets closer than about a range bin in round
+//! trip on every antenna are one detection until they separate.
+
+use crate::assignment::{solve_assignment, CostMatrix};
+use crate::config::MttConfig;
+use crate::track::{MttTrack, TrackId, TrackPhase};
+use witrack_core::pipeline::BuildError;
+use witrack_fmcw::contour::Detection;
+use witrack_fmcw::{BackgroundSubtractor, ContourTracker, RangeProfiler};
+use witrack_dsp::window::WindowKind;
+use witrack_geom::multilateration::{solve_least_squares, GaussNewtonConfig};
+use witrack_geom::{AntennaArray, TArray, Vec3};
+
+/// Snapshot of one track at a frame boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackSnapshot {
+    /// Stable track identifier.
+    pub id: TrackId,
+    /// Lifecycle phase (never `Dead`; dead tracks are dropped, not
+    /// reported).
+    pub phase: TrackPhase,
+    /// Smoothed (confirmed) or predicted (coasting) 3D position.
+    pub position: Vec3,
+    /// Velocity estimate (m/s).
+    pub velocity: Vec3,
+    /// Total measurements accepted.
+    pub hits: usize,
+    /// Consecutive frames without a measurement.
+    pub consecutive_misses: usize,
+}
+
+impl TrackSnapshot {
+    /// Whether this track is reportable (confirmed or coasting).
+    pub fn is_established(&self) -> bool {
+        matches!(self.phase, TrackPhase::Confirmed | TrackPhase::Coasting)
+    }
+
+    /// The tracked elevation (z).
+    pub fn elevation(&self) -> f64 {
+        self.position.z
+    }
+}
+
+/// One frame's multi-target output.
+#[derive(Debug, Clone)]
+pub struct MttUpdate {
+    /// Frame counter since the stream began.
+    pub frame_index: u64,
+    /// Time (s) at the end of the frame.
+    pub time_s: f64,
+    /// Number of contour detections per receive antenna this frame.
+    pub detections_per_antenna: Vec<usize>,
+    /// All live tracks (tentative included — filter with
+    /// [`TrackSnapshot::is_established`] for reportable targets).
+    pub tracks: Vec<TrackSnapshot>,
+}
+
+impl MttUpdate {
+    /// Established (confirmed or coasting) tracks only.
+    pub fn established(&self) -> impl Iterator<Item = &TrackSnapshot> {
+        self.tracks.iter().filter(|t| t.is_established())
+    }
+}
+
+/// The multi-target WiTrack system.
+pub struct MultiWiTrack {
+    cfg: MttConfig,
+    array: AntennaArray,
+    profilers: Vec<RangeProfiler>,
+    backgrounds: Vec<BackgroundSubtractor>,
+    contour: ContourTracker,
+    gn: GaussNewtonConfig,
+    tracks: Vec<MttTrack>,
+    next_id: u64,
+    frame_index: u64,
+    sweeps_seen: u64,
+}
+
+impl MultiWiTrack {
+    /// Builds the tracker with the paper's T-array geometry from the base
+    /// config's origin and separation.
+    pub fn new(cfg: MttConfig) -> Result<MultiWiTrack, BuildError> {
+        let array =
+            TArray::symmetric(cfg.base.array_origin, cfg.base.antenna_separation).antenna_array();
+        Self::with_array(cfg, array)
+    }
+
+    /// Builds the tracker around an arbitrary array (≥ 3 receivers); always
+    /// uses the least-squares solver, which over-constrained arrays need
+    /// and which also hardens initiation (nonzero residuals reject
+    /// rank-mismatched tuples).
+    pub fn with_array(cfg: MttConfig, array: AntennaArray) -> Result<MultiWiTrack, BuildError> {
+        cfg.base.sweep.validate().map_err(BuildError::BadSweep)?;
+        let n_rx = array.num_rx();
+        Ok(MultiWiTrack {
+            profilers: (0..n_rx)
+                .map(|_| RangeProfiler::new(&cfg.base.sweep, WindowKind::Hann, cfg.base.max_round_trip_m))
+                .collect(),
+            backgrounds: (0..n_rx).map(|_| BackgroundSubtractor::new()).collect(),
+            contour: ContourTracker::new(cfg.base.sweep, cfg.base.contour),
+            gn: GaussNewtonConfig::default(),
+            tracks: Vec::new(),
+            next_id: 0,
+            frame_index: 0,
+            sweeps_seen: 0,
+            array,
+            cfg,
+        })
+    }
+
+    /// The antenna array in use.
+    pub fn array(&self) -> &AntennaArray {
+        &self.array
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MttConfig {
+        &self.cfg
+    }
+
+    /// Number of live (non-dead) tracks, tentative included.
+    pub fn live_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Pushes one sweep interval's baseband, one slice per receive antenna.
+    /// Returns an [`MttUpdate`] on frame boundaries.
+    ///
+    /// # Panics
+    /// Panics if `per_rx.len()` differs from the number of receive antennas
+    /// or any sweep has the wrong length.
+    pub fn push_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<MttUpdate> {
+        assert_eq!(per_rx.len(), self.profilers.len(), "one sweep per receive antenna");
+        self.sweeps_seen += 1;
+        let mut profiles = Vec::with_capacity(per_rx.len());
+        for (prof, sweep) in self.profilers.iter_mut().zip(per_rx) {
+            profiles.push(prof.push_sweep(sweep));
+        }
+        if profiles.iter().any(|p| p.is_none()) {
+            debug_assert!(profiles.iter().all(|p| p.is_none()), "profilers desynchronized");
+            return None;
+        }
+
+        // Per-antenna top-K contour extraction.
+        let detections: Vec<Vec<Detection>> = profiles
+            .into_iter()
+            .zip(self.backgrounds.iter_mut())
+            .map(|(profile, bg)| match bg.push(&profile.expect("checked above")) {
+                None => Vec::new(),
+                Some(mags) => self.contour.detect_top_k(
+                    &mags,
+                    self.cfg.detection_budget(),
+                    self.cfg.min_peak_separation_bins,
+                ),
+            })
+            .collect();
+
+        let dt = self.cfg.base.sweep.frame_duration_s();
+        let time_s = self.sweeps_seen as f64 * self.cfg.base.sweep.sweep_duration_s;
+
+        let claimed = self.associate_and_update(&detections, dt);
+        self.initiate_tracks(&detections, &claimed);
+        self.tracks.retain(|t| !t.is_dead());
+
+        let update = MttUpdate {
+            frame_index: self.frame_index,
+            time_s,
+            detections_per_antenna: detections.iter().map(|d| d.len()).collect(),
+            tracks: self
+                .tracks
+                .iter()
+                .map(|t| TrackSnapshot {
+                    id: t.id,
+                    phase: t.phase,
+                    position: t.position(),
+                    velocity: t.velocity(),
+                    hits: t.hits,
+                    consecutive_misses: t.consecutive_misses,
+                })
+                .collect(),
+        };
+        self.frame_index += 1;
+        Some(update)
+    }
+
+    /// Stage 2 + 3: per-antenna gated Hungarian association, then a 3D
+    /// solve + Kalman update for every fully-matched track. Returns the
+    /// per-antenna claimed-detection masks.
+    ///
+    /// Runs in two passes — established tracks first, tentative tracks on
+    /// the leftovers — so a freshly-spawned ghost can never outbid a
+    /// confirmed track for its own detections.
+    fn associate_and_update(&mut self, detections: &[Vec<Detection>], dt: f64) -> Vec<Vec<bool>> {
+        let mut claimed: Vec<Vec<bool>> =
+            detections.iter().map(|d| vec![false; d.len()]).collect();
+        let established: Vec<usize> =
+            (0..self.tracks.len()).filter(|&i| self.tracks[i].is_established()).collect();
+        let tentative: Vec<usize> =
+            (0..self.tracks.len()).filter(|&i| !self.tracks[i].is_established()).collect();
+        for pass in [established, tentative] {
+            self.associate_pass(&pass, detections, dt, &mut claimed);
+        }
+        claimed
+    }
+
+    /// Associates the detections not yet claimed to the tracks in `pass`,
+    /// then updates each of those tracks (measurement or miss).
+    fn associate_pass(
+        &mut self,
+        pass: &[usize],
+        detections: &[Vec<Detection>],
+        dt: f64,
+        claimed: &mut [Vec<bool>],
+    ) {
+        if pass.is_empty() {
+            return;
+        }
+        let n_rx = detections.len();
+        let predicted: Vec<Vec3> =
+            pass.iter().map(|&t| self.tracks[t].predicted_position(dt)).collect();
+
+        // assigned[p][k] = round trip matched to pass-track p on antenna k.
+        let mut assigned: Vec<Vec<Option<f64>>> = vec![vec![None; n_rx]; pass.len()];
+        for k in 0..n_rx {
+            let available: Vec<usize> =
+                (0..detections[k].len()).filter(|&d| !claimed[k][d]).collect();
+            let mut cost = CostMatrix::new(pass.len(), available.len());
+            for (pi, pred) in predicted.iter().enumerate() {
+                let pred_rt = self.array.round_trip(*pred, k);
+                for (ci, &di) in available.iter().enumerate() {
+                    let err = (detections[k][di].round_trip_m - pred_rt).abs();
+                    if err < self.cfg.gate_round_trip_m {
+                        cost.set(pi, ci, err);
+                    }
+                }
+            }
+            let assignment = solve_assignment(&cost);
+            for (pi, ci) in assignment.row_to_col.iter().enumerate() {
+                if let Some(ci) = *ci {
+                    let di = available[ci];
+                    assigned[pi][k] = Some(detections[k][di].round_trip_m);
+                    claimed[k][di] = true;
+                }
+            }
+        }
+
+        for (pi, rts) in assigned.iter().enumerate() {
+            let ti = pass[pi];
+            let full: Option<Vec<f64>> = rts.iter().copied().collect();
+            let measured = full
+                .and_then(|rts| {
+                    solve_least_squares(&self.array, &rts, &self.gn).ok().map(|s| s.position)
+                })
+                // A "measurement" outside the deployment envelope is a
+                // multipath artifact, not a person — coast instead of
+                // letting it drag the track out of the room.
+                .filter(|p| self.cfg.position_gate.contains(*p));
+            match measured {
+                Some(p) => self.tracks[ti].update(p, dt, &self.cfg),
+                None => self.tracks[ti].miss(dt, &self.cfg),
+            }
+        }
+    }
+
+    /// Stage 4: initiate tentative tracks from cross-antenna tuples of
+    /// unclaimed detections. Each unclaimed detection on antenna 0 anchors
+    /// a tuple completed by the *nearest-in-round-trip* unclaimed detection
+    /// on every other antenna (a single reflector's round trips differ
+    /// across antennas by at most the antenna-separation geometry allows,
+    /// so nearest-rt matching recovers the per-person tuple even when the
+    /// antennas saw different subsets of bounces).
+    fn initiate_tracks(&mut self, detections: &[Vec<Detection>], claimed: &[Vec<bool>]) {
+        // Unclaimed detections per antenna, already nearest-first.
+        let unclaimed: Vec<Vec<&Detection>> = detections
+            .iter()
+            .zip(claimed)
+            .map(|(dets, mask)| {
+                dets.iter().zip(mask).filter(|(_, &c)| !c).map(|(d, _)| d).collect()
+            })
+            .collect();
+        if unclaimed.iter().any(|u| u.is_empty()) {
+            return;
+        }
+        let max_spread = 2.0 * self.cfg.base.antenna_separation + 0.5;
+        let mut born: Vec<Vec3> = Vec::new();
+        for anchor in &unclaimed[0] {
+            let mut rts = vec![anchor.round_trip_m];
+            for other in &unclaimed[1..] {
+                let nearest = other
+                    .iter()
+                    .map(|d| d.round_trip_m)
+                    .min_by(|a, b| {
+                        let da = (a - anchor.round_trip_m).abs();
+                        let db = (b - anchor.round_trip_m).abs();
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                    .expect("non-empty checked above");
+                rts.push(nearest);
+            }
+            let spread = rts.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - rts.iter().cloned().fold(f64::INFINITY, f64::min);
+            if spread > max_spread {
+                continue;
+            }
+            let Ok(solved) = solve_least_squares(&self.array, &rts, &self.gn) else {
+                continue;
+            };
+            // For over-constrained arrays the residual exposes mismatched
+            // tuples; with 3 receivers it is ~0 and the gates do the work.
+            if solved.residual_rms > 0.25 {
+                continue;
+            }
+            let p = solved.position;
+            if !self.cfg.position_gate.contains(p) {
+                continue;
+            }
+            let too_close = self
+                .tracks
+                .iter()
+                .map(|t| t.position())
+                .chain(born.iter().copied())
+                .any(|q| q.distance(p) < self.cfg.min_new_track_separation_m);
+            if too_close {
+                continue;
+            }
+            let id = TrackId(self.next_id);
+            self.next_id += 1;
+            self.tracks.push(MttTrack::new(id, p, &self.cfg));
+            born.push(p);
+        }
+    }
+
+    /// Clears all stream and track state.
+    pub fn reset(&mut self) {
+        for p in &mut self.profilers {
+            p.reset();
+        }
+        for b in &mut self.backgrounds {
+            b.reset();
+        }
+        self.tracks.clear();
+        self.frame_index = 0;
+        self.sweeps_seen = 0;
+        // Track ids keep counting up: a reset mid-run must not recycle ids.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use witrack_fmcw::SweepConfig;
+
+    /// A sweep fine enough to separate two people (0.44 m bins) but cheap
+    /// enough for debug-mode tests.
+    fn mtt_sweep() -> SweepConfig {
+        SweepConfig::witrack_mid()
+    }
+
+    fn mtt_cfg() -> MttConfig {
+        let base = witrack_core::WiTrackConfig {
+            sweep: mtt_sweep(),
+            max_round_trip_m: 40.0,
+            ..witrack_core::WiTrackConfig::witrack_default()
+        };
+        MttConfig::with_base(base)
+    }
+
+    /// Dechirped sweeps for point reflectors at `points`, one per antenna.
+    fn sweeps_for(cfg: &MttConfig, array: &AntennaArray, points: &[Vec3]) -> Vec<Vec<f64>> {
+        let sw = &cfg.base.sweep;
+        let n = sw.samples_per_sweep();
+        (0..array.num_rx())
+            .map(|k| {
+                let mut out = vec![0.0; n];
+                for &p in points {
+                    let rt = array.round_trip(p, k);
+                    let tau = rt / 299_792_458.0;
+                    let beat = sw.beat_for_tof(tau);
+                    let phase = 2.0 * PI * sw.start_freq_hz * tau;
+                    for (i, o) in out.iter_mut().enumerate() {
+                        let t = i as f64 / sw.sample_rate_hz;
+                        *o += (2.0 * PI * beat * t + phase).cos();
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn push_frame(wt: &mut MultiWiTrack, sweeps: &[Vec<f64>]) -> Option<MttUpdate> {
+        let refs: Vec<&[f64]> = sweeps.iter().map(|v| v.as_slice()).collect();
+        let mut out = None;
+        for _ in 0..wt.config().base.sweep.sweeps_per_frame {
+            if let Some(u) = wt.push_sweeps(&refs) {
+                out = Some(u);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_scene_produces_no_tracks() {
+        let cfg = mtt_cfg();
+        let mut wt = MultiWiTrack::new(cfg).unwrap();
+        let n = cfg.base.sweep.samples_per_sweep();
+        let silent = vec![vec![0.0; n]; 3];
+        for _ in 0..20 {
+            if let Some(u) = push_frame(&mut wt, &silent) {
+                assert!(u.tracks.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn two_separated_walkers_become_two_confirmed_tracks() {
+        let cfg = mtt_cfg();
+        let mut wt = MultiWiTrack::new(cfg).unwrap();
+        let array = wt.array().clone();
+        let mut last = None;
+        for f in 0..120 {
+            let s = f as f64 / 120.0;
+            let a = Vec3::new(-1.5 + 1.0 * s, 4.0 + 0.5 * s, 1.1);
+            let b = Vec3::new(1.5 - 1.0 * s, 7.0 - 0.5 * s, 0.9);
+            let sweeps = sweeps_for(&cfg, &array, &[a, b]);
+            if let Some(u) = push_frame(&mut wt, &sweeps) {
+                last = Some((u, a, b));
+            }
+        }
+        let (u, a, b) = last.expect("frames emitted");
+        let confirmed: Vec<&TrackSnapshot> =
+            u.tracks.iter().filter(|t| t.phase == TrackPhase::Confirmed).collect();
+        assert_eq!(confirmed.len(), 2, "tracks: {:?}", u.tracks);
+        // Each true position is matched by exactly one confirmed track.
+        for truth in [a, b] {
+            let nearest = confirmed
+                .iter()
+                .map(|t| t.position.distance(truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.6, "no track near {truth}: {:?}", u.tracks);
+        }
+    }
+
+    #[test]
+    fn single_walker_matches_single_target_semantics() {
+        let cfg = mtt_cfg();
+        let mut wt = MultiWiTrack::new(cfg).unwrap();
+        let array = wt.array().clone();
+        let mut errs = Vec::new();
+        for f in 0..120 {
+            let s = f as f64 / 120.0;
+            let p = Vec3::new(-1.0 + 2.0 * s, 4.0 + 2.0 * s, 1.2);
+            let sweeps = sweeps_for(&cfg, &array, &[p]);
+            if let Some(u) = push_frame(&mut wt, &sweeps) {
+                if f > 20 {
+                    let est: Vec<&TrackSnapshot> = u.established().collect();
+                    assert_eq!(est.len(), 1, "frame {f}: {:?}", u.tracks);
+                    errs.push(est[0].position.distance(p));
+                }
+            }
+        }
+        assert!(errs.len() > 80);
+        let med = witrack_dsp::stats::median(&errs);
+        assert!(med < 0.4, "median 3D error {med}");
+    }
+
+    #[test]
+    fn vanished_target_coasts_then_dies() {
+        let cfg = mtt_cfg();
+        let mut wt = MultiWiTrack::new(cfg).unwrap();
+        let array = wt.array().clone();
+        for f in 0..40 {
+            let p = Vec3::new(0.0, 4.0 + 0.02 * f as f64, 1.0);
+            let sweeps = sweeps_for(&cfg, &array, &[p]);
+            push_frame(&mut wt, &sweeps);
+        }
+        assert_eq!(wt.live_tracks(), 1);
+        // Target vanishes (static scene): the track coasts...
+        let n = cfg.base.sweep.samples_per_sweep();
+        let silent = vec![vec![0.0; n]; 3];
+        let mut phases = Vec::new();
+        for _ in 0..(cfg.max_coast_frames + 10) {
+            if let Some(u) = push_frame(&mut wt, &silent) {
+                phases.extend(u.tracks.iter().map(|t| t.phase));
+            }
+        }
+        assert!(phases.contains(&TrackPhase::Coasting), "never coasted");
+        // ...and is eventually dropped.
+        assert_eq!(wt.live_tracks(), 0);
+    }
+
+    #[test]
+    fn reset_clears_tracks_but_not_ids() {
+        let cfg = mtt_cfg();
+        let mut wt = MultiWiTrack::new(cfg).unwrap();
+        let array = wt.array().clone();
+        for f in 0..20 {
+            let p = Vec3::new(0.0, 4.0 + 0.05 * f as f64, 1.0);
+            let sweeps = sweeps_for(&cfg, &array, &[p]);
+            push_frame(&mut wt, &sweeps);
+        }
+        let first_ids: Vec<TrackId> = wt.tracks.iter().map(|t| t.id).collect();
+        assert!(!first_ids.is_empty());
+        wt.reset();
+        assert_eq!(wt.live_tracks(), 0);
+        for f in 0..20 {
+            let p = Vec3::new(0.0, 4.0 + 0.05 * f as f64, 1.0);
+            let sweeps = sweeps_for(&cfg, &array, &[p]);
+            push_frame(&mut wt, &sweeps);
+        }
+        assert!(wt.tracks.iter().all(|t| !first_ids.contains(&t.id)), "ids recycled");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_antenna_count_panics() {
+        let cfg = mtt_cfg();
+        let mut wt = MultiWiTrack::new(cfg).unwrap();
+        let sweep = vec![0.0; cfg.base.sweep.samples_per_sweep()];
+        let _ = wt.push_sweeps(&[&sweep, &sweep]);
+    }
+}

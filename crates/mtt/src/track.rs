@@ -1,0 +1,248 @@
+//! Track state: per-target 3D Kalman smoothing and lifecycle management.
+//!
+//! Each target is one [`MttTrack`]: three independent constant-velocity
+//! [`Kalman1D`] filters (one per axis — exactly the filter the §4.4
+//! single-target denoiser uses on round trips, reused here in the 3D output
+//! domain) plus an M-hits confirmation / coast / drop lifecycle:
+//!
+//! ```text
+//! Tentative ──confirm_hits──► Confirmed ◄──hit── Coasting
+//!     │                           │                 │
+//!     └─ tentative_max_misses     └── miss ─────────┘──max_coast_frames──► Dead
+//! ```
+
+use crate::config::MttConfig;
+use witrack_dsp::kalman::Kalman1D;
+use witrack_geom::Vec3;
+
+/// Stable identifier of a track, unique within one `MultiWiTrack` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u64);
+
+impl std::fmt::Display for TrackId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Lifecycle phase of a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackPhase {
+    /// Newly initiated; not yet reported with confidence.
+    Tentative,
+    /// Enough consistent hits; reported as a real target.
+    Confirmed,
+    /// Confirmed but currently missing detections; position is predicted.
+    Coasting,
+    /// Dropped; removed from the tracker at the end of the frame.
+    Dead,
+}
+
+/// One tracked target.
+#[derive(Debug, Clone)]
+pub struct MttTrack {
+    /// Stable id.
+    pub id: TrackId,
+    /// Current lifecycle phase.
+    pub phase: TrackPhase,
+    kx: Kalman1D,
+    ky: Kalman1D,
+    kz: Kalman1D,
+    /// Total accepted measurements.
+    pub hits: usize,
+    /// Consecutive frames without a measurement.
+    pub consecutive_misses: usize,
+    /// Frames since initiation.
+    pub age_frames: usize,
+}
+
+impl MttTrack {
+    /// Starts a tentative track at `position`.
+    pub fn new(id: TrackId, position: Vec3, cfg: &MttConfig) -> MttTrack {
+        let mut t = MttTrack {
+            id,
+            phase: TrackPhase::Tentative,
+            kx: Kalman1D::new(cfg.kalman),
+            ky: Kalman1D::new(cfg.kalman),
+            kz: Kalman1D::new(cfg.kalman),
+            hits: 0,
+            consecutive_misses: 0,
+            age_frames: 0,
+        };
+        // Seed the filters (first update pins the state to the measurement).
+        t.kx.update(position.x, 0.0);
+        t.ky.update(position.y, 0.0);
+        t.kz.update(position.z, 0.0);
+        t.hits = 1;
+        t
+    }
+
+    /// Current (smoothed or predicted) position.
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(
+            self.kx.position().expect("seeded at construction"),
+            self.ky.position().expect("seeded at construction"),
+            self.kz.position().expect("seeded at construction"),
+        )
+    }
+
+    /// Current velocity estimate.
+    pub fn velocity(&self) -> Vec3 {
+        Vec3::new(
+            self.kx.velocity().expect("seeded at construction"),
+            self.ky.velocity().expect("seeded at construction"),
+            self.kz.velocity().expect("seeded at construction"),
+        )
+    }
+
+    /// Position the track predicts for a point `dt` seconds ahead, without
+    /// mutating the filters (used to build association costs).
+    pub fn predicted_position(&self, dt: f64) -> Vec3 {
+        self.position() + self.velocity() * dt
+    }
+
+    /// Accepts a measured position for this frame (`dt` since last frame)
+    /// and advances the lifecycle with a hit.
+    pub fn update(&mut self, measured: Vec3, dt: f64, cfg: &MttConfig) {
+        self.kx.update(measured.x, dt);
+        self.ky.update(measured.y, dt);
+        self.kz.update(measured.z, dt);
+        self.hits += 1;
+        self.consecutive_misses = 0;
+        self.age_frames += 1;
+        match self.phase {
+            TrackPhase::Tentative if self.hits >= cfg.confirm_hits => {
+                self.phase = TrackPhase::Confirmed;
+            }
+            TrackPhase::Coasting => self.phase = TrackPhase::Confirmed,
+            _ => {}
+        }
+        self.prune_implausible(cfg);
+    }
+
+    /// Kills the track when its kinematics stop being human: smoothed
+    /// speed beyond `max_speed_mps` (ghosts' apparent motion is a geometric
+    /// amplification of a real body's), or a position outside the
+    /// deployment envelope (updates outside it are rejected anyway, so the
+    /// track could never recover).
+    fn prune_implausible(&mut self, cfg: &MttConfig) {
+        if self.velocity().norm() > cfg.max_speed_mps
+            || !cfg.position_gate.contains(self.position())
+        {
+            self.phase = TrackPhase::Dead;
+        }
+    }
+
+    /// Records a frame with no accepted measurement: time-advances the
+    /// filters and advances the lifecycle with a miss.
+    pub fn miss(&mut self, dt: f64, cfg: &MttConfig) {
+        self.kx.predict(dt);
+        self.ky.predict(dt);
+        self.kz.predict(dt);
+        self.consecutive_misses += 1;
+        self.age_frames += 1;
+        match self.phase {
+            TrackPhase::Tentative => {
+                if self.consecutive_misses > cfg.tentative_max_misses {
+                    self.phase = TrackPhase::Dead;
+                }
+            }
+            TrackPhase::Confirmed | TrackPhase::Coasting => {
+                self.phase = if self.consecutive_misses > cfg.max_coast_frames {
+                    TrackPhase::Dead
+                } else {
+                    TrackPhase::Coasting
+                };
+            }
+            TrackPhase::Dead => {}
+        }
+        self.prune_implausible(cfg);
+    }
+
+    /// Whether the track should be removed.
+    pub fn is_dead(&self) -> bool {
+        self.phase == TrackPhase::Dead
+    }
+
+    /// Whether the track is confirmed or coasting (i.e. reportable).
+    pub fn is_established(&self) -> bool {
+        matches!(self.phase, TrackPhase::Confirmed | TrackPhase::Coasting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MttConfig {
+        MttConfig::default()
+    }
+
+    #[test]
+    fn confirmation_after_m_hits() {
+        let c = cfg();
+        let mut t = MttTrack::new(TrackId(1), Vec3::new(0.0, 5.0, 1.0), &c);
+        assert_eq!(t.phase, TrackPhase::Tentative);
+        for i in 1..c.confirm_hits {
+            assert_eq!(t.phase, TrackPhase::Tentative, "hit {i}");
+            t.update(Vec3::new(0.0, 5.0 + 0.01 * i as f64, 1.0), 0.0125, &c);
+        }
+        assert_eq!(t.phase, TrackPhase::Confirmed);
+    }
+
+    #[test]
+    fn tentative_dies_fast_confirmed_coasts() {
+        let c = cfg();
+        let mut t = MttTrack::new(TrackId(1), Vec3::new(0.0, 5.0, 1.0), &c);
+        for _ in 0..=c.tentative_max_misses {
+            t.miss(0.0125, &c);
+        }
+        assert!(t.is_dead());
+
+        let mut t = MttTrack::new(TrackId(2), Vec3::new(0.0, 5.0, 1.0), &c);
+        for _ in 0..c.confirm_hits {
+            t.update(Vec3::new(0.0, 5.0, 1.0), 0.0125, &c);
+        }
+        t.miss(0.0125, &c);
+        assert_eq!(t.phase, TrackPhase::Coasting);
+        t.update(Vec3::new(0.0, 5.0, 1.0), 0.0125, &c);
+        assert_eq!(t.phase, TrackPhase::Confirmed);
+        for _ in 0..=c.max_coast_frames {
+            t.miss(0.0125, &c);
+        }
+        assert!(t.is_dead());
+    }
+
+    #[test]
+    fn kalman_learns_velocity_and_coasts_along_it() {
+        let c = cfg();
+        let mut t = MttTrack::new(TrackId(1), Vec3::new(0.0, 4.0, 1.0), &c);
+        let dt = 0.0125;
+        // Walk +x at 1 m/s for 2 s.
+        for i in 1..=160 {
+            t.update(Vec3::new(1.0 * dt * i as f64, 4.0, 1.0), dt, &c);
+        }
+        let v = t.velocity();
+        assert!((v.x - 1.0).abs() < 0.1, "vx {}", v.x);
+        // Coast 0.5 s: position should continue along +x.
+        let before = t.position();
+        for _ in 0..40 {
+            t.miss(dt, &c);
+        }
+        let after = t.position();
+        assert!((after.x - before.x - 0.5).abs() < 0.1, "coasted {}", after.x - before.x);
+    }
+
+    #[test]
+    fn predicted_position_extrapolates_without_mutation() {
+        let c = cfg();
+        let mut t = MttTrack::new(TrackId(1), Vec3::new(0.0, 4.0, 1.0), &c);
+        for i in 1..=80 {
+            t.update(Vec3::new(0.0, 4.0 + 0.0125 * i as f64, 1.0), 0.0125, &c);
+        }
+        let p0 = t.position();
+        let pred = t.predicted_position(1.0);
+        assert!((pred.y - p0.y - 1.0).abs() < 0.15, "pred {} p0 {}", pred.y, p0.y);
+        assert_eq!(t.position(), p0, "prediction must not mutate");
+    }
+}

@@ -30,6 +30,7 @@ pub mod channel;
 pub mod frontend;
 pub mod material;
 pub mod motion;
+pub mod multi;
 pub mod scene;
 pub mod simulator;
 
@@ -38,6 +39,7 @@ pub use channel::{Channel, PathEcho};
 pub use frontend::FrontEnd;
 pub use material::Material;
 pub use motion::{BodyState, MotionModel};
+pub use multi::{scenario, MultiSimulator, PersonSpec};
 pub use scene::{Scene, StaticReflector, Wall};
 pub use simulator::{SimConfig, Simulator, SweepSet};
 

@@ -171,6 +171,53 @@ impl MotionModel for RandomWalk {
     }
 }
 
+/// Straight-line walking from `from` to `to` at constant speed, with the
+/// same gait bob as [`RandomWalk`] — the deterministic building block of
+/// the multi-person scenarios (crossing paths need *scripted*, not random,
+/// trajectories so tests can assert which track is which).
+#[derive(Debug, Clone, Copy)]
+pub struct LinePath {
+    /// Start of the walk (body center).
+    pub from: Vec3,
+    /// End of the walk.
+    pub to: Vec3,
+    /// Walking speed (m/s).
+    pub speed: f64,
+}
+
+impl LinePath {
+    /// A walk covering `from → to` at `speed` m/s.
+    ///
+    /// # Panics
+    /// Panics unless `speed > 0`.
+    pub fn new(from: Vec3, to: Vec3, speed: f64) -> LinePath {
+        assert!(speed > 0.0, "walking speed must be positive");
+        LinePath { from, to, speed }
+    }
+
+    /// Time (s) at which the walker reaches `to` (then stands still).
+    pub fn travel_time(&self) -> f64 {
+        (self.from.distance(self.to) / self.speed).max(1e-3)
+    }
+}
+
+impl MotionModel for LinePath {
+    fn state(&self, t: f64) -> BodyState {
+        let travel = self.travel_time();
+        let frac = (t / travel).clamp(0.0, 1.0);
+        let moving = t < travel;
+        let mut center = self.from.lerp(self.to, frac);
+        if moving {
+            center.z += 0.03 * (2.0 * std::f64::consts::PI * 1.8 * t).sin();
+        }
+        BodyState { center, hand: None, moving }
+    }
+
+    fn duration(&self) -> f64 {
+        self.travel_time()
+    }
+}
+
 /// The four §9.5 activities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activity {

@@ -10,6 +10,8 @@
 //! * [`sim`] — the RF environment + front-end simulator (the hardware
 //!   substitute; see DESIGN.md §2).
 //! * [`core`] — the WiTrack pipeline, fall detection, pointing estimation.
+//! * [`mtt`] — the multi-target extension: top-K contours, Hungarian
+//!   data association, per-track Kalman smoothing, track lifecycle.
 //! * [`baselines`] — radio tomographic imaging and strongest-return
 //!   tracking, the systems WiTrack is compared against.
 //!
@@ -49,6 +51,7 @@ pub use witrack_core as core;
 pub use witrack_dsp as dsp;
 pub use witrack_fmcw as fmcw;
 pub use witrack_geom as geom;
+pub use witrack_mtt as mtt;
 pub use witrack_sim as sim;
 
 /// Helpers shared by the runnable examples.
@@ -68,6 +71,15 @@ pub mod demo {
             sweeps_per_frame: 5,
             transmit_power_w: 1e-3,
         }
+    }
+
+    /// A 4×-finer variant of [`reduced_sweep`] (676 MHz bandwidth, 250 kS/s;
+    /// 0.44 m round-trip bins): [`SweepConfig::witrack_mid`]. Fine enough to
+    /// resolve elevation changes and to separate two people, while staying
+    /// ~10× cheaper than the paper configuration — the sweet spot for
+    /// integration tests that need real resolution in debug builds.
+    pub fn mid_sweep() -> SweepConfig {
+        SweepConfig::witrack_mid()
     }
 
     /// Picks the sweep configuration from the process arguments: the paper's
@@ -92,6 +104,14 @@ pub mod demo {
             assert_eq!(s.samples_per_sweep(), 100);
             // Same frame cadence structure as the paper config.
             assert_eq!(s.sweeps_per_frame, SweepConfig::witrack().sweeps_per_frame);
+        }
+
+        #[test]
+        fn mid_sweep_is_valid_and_finer() {
+            let s = mid_sweep();
+            s.validate().unwrap();
+            assert_eq!(s.samples_per_sweep(), 250);
+            assert!(s.round_trip_per_bin() < 0.5, "bin {}", s.round_trip_per_bin());
         }
     }
 }

