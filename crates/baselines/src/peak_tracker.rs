@@ -48,7 +48,7 @@ impl StrongestReturnTracker {
         let profile = self.profiler.push_sweep(samples)?;
         let dt = self.cfg.frame_duration_s();
         let time_s = self.sweeps_seen as f64 * self.cfg.sweep_duration_s;
-        let frame = match self.background.push(&profile) {
+        let frame = match self.background.push(profile) {
             None => TofFrame {
                 frame_index: self.frame_index,
                 time_s,
@@ -57,12 +57,12 @@ impl StrongestReturnTracker {
                 denoised: None,
             },
             Some(mags) => {
-                let detection: Option<Detection> = self.contour.detect_strongest(&mags);
+                let detection: Option<Detection> = self.contour.detect_strongest(mags);
                 let denoised = self.denoiser.push(detection.map(|d| d.round_trip_m), dt);
                 TofFrame {
                     frame_index: self.frame_index,
                     time_s,
-                    magnitudes: mags,
+                    magnitudes: mags.to_vec(),
                     detection,
                     denoised,
                 }

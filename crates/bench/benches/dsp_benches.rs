@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use witrack_dsp::kalman::{Kalman1D, KalmanConfig};
-use witrack_dsp::{Complex, Fft};
+use witrack_dsp::{Complex, Czt, Fft};
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
@@ -19,6 +19,23 @@ fn bench_fft(c: &mut Criterion) {
                 buf.copy_from_slice(&data);
                 plan.forward(black_box(&mut buf));
             })
+        });
+    }
+    group.finish();
+}
+
+fn bench_czt(c: &mut Criterion) {
+    // The zoomed range transform at the paper shape: 2500 real samples in,
+    // 200 range bins out (vs the 2500-bin full Bluestein above).
+    let mut group = c.benchmark_group("czt");
+    let n = 2500;
+    let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    for keep in [100usize, 200, 400] {
+        let czt = Czt::new(n, keep);
+        let mut scratch = czt.make_scratch();
+        let mut out = vec![Complex::ZERO; keep];
+        group.bench_function(format!("zoom_{n}_keep{keep}"), |b| {
+            b.iter(|| czt.transform_into(black_box(&signal), &mut out, &mut scratch))
         });
     }
     group.finish();
@@ -44,5 +61,5 @@ fn bench_regression(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fft, bench_kalman, bench_regression);
+criterion_group!(benches, bench_fft, bench_czt, bench_kalman, bench_regression);
 criterion_main!(benches);

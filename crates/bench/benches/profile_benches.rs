@@ -1,0 +1,91 @@
+//! The §4.1 profile stage in isolation, old path vs new: windowing one
+//! frame's averaged sweep, transforming it, and keeping the indoor range
+//! band, for all three receive antennas at the paper configuration
+//! (n = 2500 samples, ~200 kept bins).
+//!
+//! * `bluestein_full_3ant` reproduces the pre-CZT production path: a full
+//!   2500-point Bluestein FFT (inner radix-2 length 8192) followed by
+//!   truncation.
+//! * `czt_zoom_3ant` is the current path: the pruned, real-input-packed
+//!   chirp-Z zoom transform (inner length 2048) computing only the kept
+//!   bins.
+//!
+//! The acceptance bar for the zoom transform is ≥ 2× over the Bluestein
+//! path on this stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use witrack_dsp::window::WindowKind;
+use witrack_dsp::{Complex, Czt, Fft};
+use witrack_fmcw::{RangeProfiler, SweepConfig};
+
+/// One synthetic dechirped sweep per antenna (distinct tones so the work
+/// is not degenerate).
+fn antenna_sweeps(n: usize) -> Vec<Vec<f64>> {
+    (0..3)
+        .map(|k| {
+            (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    (0.05 * (k + 3) as f64 * t).cos() + 0.2 * (0.011 * t).sin()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_profile_stage(c: &mut Criterion) {
+    let cfg = SweepConfig::witrack();
+    let n = cfg.samples_per_sweep();
+    let keep = RangeProfiler::new(&cfg, WindowKind::Hann, 30.0).keep_bins();
+    let window = WindowKind::Hann.generate(n);
+    let sweeps = antenna_sweeps(n);
+
+    let mut group = c.benchmark_group("profile_stage");
+
+    // Pre-PR path: window → full-length Bluestein FFT → truncate.
+    {
+        let mut plan = Fft::new(n);
+        let mut buf = vec![Complex::ZERO; n];
+        let mut out = vec![Complex::ZERO; keep];
+        group.bench_function(format!("bluestein_full_3ant_n{n}_keep{keep}"), |b| {
+            b.iter(|| {
+                for sweep in &sweeps {
+                    for ((z, &x), &w) in buf.iter_mut().zip(sweep).zip(&window) {
+                        *z = Complex::real(x * w);
+                    }
+                    plan.forward(&mut buf);
+                    out.copy_from_slice(&buf[..keep]);
+                    black_box(&out);
+                }
+            })
+        });
+    }
+
+    // Current path: window → pruned zoom CZT straight into the kept band.
+    {
+        let czt = Czt::new(n, keep);
+        let mut scratch = czt.make_scratch();
+        let mut windowed = vec![0.0; n];
+        let mut out = vec![Complex::ZERO; keep];
+        group.bench_function(
+            format!("czt_zoom_3ant_n{n}_keep{keep}_inner{}", czt.inner_len()),
+            |b| {
+                b.iter(|| {
+                    for sweep in &sweeps {
+                        for ((y, &x), &w) in windowed.iter_mut().zip(sweep).zip(&window) {
+                            *y = x * w;
+                        }
+                        czt.transform_into(&windowed, &mut out, &mut scratch);
+                        black_box(&out);
+                    }
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_stage);
+criterion_main!(benches);

@@ -86,8 +86,8 @@ fn main() {
     }
     // Quantify the flash-effect removal: the strongest static stripe vs the
     // strongest surviving magnitude.
-    let peak_raw = raw_spec.rows().iter().flatten().cloned().fold(0.0_f64, f64::max);
-    let peak_sub = sub_spec.rows().iter().flatten().cloned().fold(0.0_f64, f64::max);
+    let peak_raw = raw_spec.rows().flatten().cloned().fold(0.0_f64, f64::max);
+    let peak_sub = sub_spec.rows().flatten().cloned().fold(0.0_f64, f64::max);
     println!(
         "\n# flash effect: peak raw magnitude {peak_raw:.1}, peak after subtraction {peak_sub:.1} ({:.1} dB removed)",
         20.0 * (peak_raw / peak_sub).log10()

@@ -6,6 +6,12 @@
 //! [`TrackUpdate`] carrying the per-antenna round trips, the solved 3D
 //! position, and the per-antenna spectral features the §6 applications
 //! consume.
+//!
+//! The per-antenna stages are independent until the §5 solve, so on
+//! frame-completing sweeps (where the heavy zoom transform + contour work
+//! happens) they fan out across OS threads with [`std::thread::scope`] when
+//! the host has cores to spare; accumulate-only sweeps and single-core
+//! hosts stay serial, where thread spawning would only add overhead.
 
 use crate::config::{SolverChoice, WiTrackConfig};
 use witrack_fmcw::{TofEstimator, TofFrame};
@@ -44,12 +50,31 @@ impl TrackUpdate {
     }
 }
 
+/// Whether per-antenna frame work should fan out across threads: only when
+/// there is more than one antenna *and* more than one core (on a single
+/// core, scoped spawning is pure overhead). Checked once at pipeline
+/// construction.
+///
+/// The fan-out spawns scoped threads per frame (the caller's thread takes
+/// the last antenna). At the paper config each spawned stage is tens of
+/// microseconds against a spawn cost of the same order, so the win is
+/// real but thin; heavier configs (longer sweeps, more antennas, larger
+/// kept bands) amortize the spawns better. A persistent worker pool would
+/// remove the per-frame spawn entirely and is the natural next step if
+/// profiling on a multi-core deployment shows the spawn dominating.
+pub fn antenna_parallelism(n_rx: usize) -> bool {
+    n_rx > 1
+        && std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false)
+}
+
 /// The WiTrack system: N per-antenna TOF estimators + the 3D solver.
 pub struct WiTrack {
     cfg: WiTrackConfig,
     array: AntennaArray,
     tarray: Option<TArray>,
     estimators: Vec<TofEstimator>,
+    /// Fan frame work out across antenna threads (see [`antenna_parallelism`]).
+    parallel: bool,
     gn: GaussNewtonConfig,
     /// Recent positions solved from all-live (non-held) round trips. While
     /// any antenna interpolates, the component-wise median of these is
@@ -89,6 +114,7 @@ impl WiTrack {
         let array = tarray.antenna_array();
         Ok(WiTrack {
             estimators: Self::make_estimators(&cfg, array.num_rx()),
+            parallel: antenna_parallelism(array.num_rx()),
             tarray: Some(tarray),
             array,
             gn: GaussNewtonConfig::default(),
@@ -107,6 +133,7 @@ impl WiTrack {
         }
         Ok(WiTrack {
             estimators: Self::make_estimators(&cfg, array.num_rx()),
+            parallel: antenna_parallelism(array.num_rx()),
             tarray: None,
             array,
             gn: GaussNewtonConfig::default(),
@@ -141,10 +168,32 @@ impl WiTrack {
     /// or any sweep has the wrong length.
     pub fn push_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<TrackUpdate> {
         assert_eq!(per_rx.len(), self.estimators.len(), "one sweep per receive antenna");
-        let mut frames: Vec<Option<TofFrame>> = Vec::with_capacity(per_rx.len());
-        for (est, sweep) in self.estimators.iter_mut().zip(per_rx) {
-            frames.push(est.push_sweep(sweep));
-        }
+        // Sweeps that only accumulate are microseconds of work; spawning
+        // threads for them would dominate. Fan out only when this sweep
+        // completes a frame (zoom transform + contour + denoise per
+        // antenna) and the host is multi-core.
+        let completes =
+            self.estimators.first().map(|e| e.next_sweep_completes_frame()).unwrap_or(false);
+        let frames: Vec<Option<TofFrame>> = if self.parallel && completes {
+            std::thread::scope(|s| {
+                // The caller's thread takes the last antenna itself instead
+                // of blocking in join — one fewer spawn per frame.
+                let mut stages = self.estimators.iter_mut().zip(per_rx);
+                let last = stages.next_back();
+                let handles: Vec<_> = stages
+                    .map(|(est, sweep)| s.spawn(move || est.push_sweep(sweep)))
+                    .collect();
+                let inline = last.map(|(est, sweep)| est.push_sweep(sweep));
+                let mut frames: Vec<Option<TofFrame>> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("antenna stage panicked"))
+                    .collect();
+                frames.extend(inline);
+                frames
+            })
+        } else {
+            self.estimators.iter_mut().zip(per_rx).map(|(est, sweep)| est.push_sweep(sweep)).collect()
+        };
         // All estimators share the sweep clock, so they emit frames together.
         if frames.iter().any(|f| f.is_none()) {
             debug_assert!(frames.iter().all(|f| f.is_none()), "estimators desynchronized");

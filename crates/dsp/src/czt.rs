@@ -1,0 +1,435 @@
+//! Zoomed chirp-Z range transform: the first `keep` bins of an `n`-point
+//! DFT, without computing the other `n − keep`.
+//!
+//! The FMCW receiver needs only the range bins an indoor scene can occupy —
+//! roughly 200 of the sweep's 2500 (paper §4.1: beat frequencies map to
+//! round-trip distance, and the profiler truncates at `max_round_trip_m`).
+//! Computing the full 2500-point DFT and discarding 92% of it is wasted
+//! work: Bluestein's identity turns *any* contiguous band of DFT bins into
+//! a linear convolution, and the convolution length only has to cover
+//! `input + band − 1` points, not `2n − 1`.
+//!
+//! Two structural savings stack on top of each other:
+//!
+//! 1. **Pruning** — the inner radix-2 convolution length drops from
+//!    `next_pow2(2n − 1)` (8192 for n = 2500) to
+//!    `next_pow2(n + keep − 1)`, and the pointwise product shrinks with it.
+//! 2. **Real-input two-for-one packing** — a real sweep of even length `n`
+//!    is packed into `n/2` complex points `z[t] = x[2t] + i·x[2t+1]`. The
+//!    kept band of the `n`-point spectrum unpacks from a *band* of the
+//!    `n/2`-point spectrum of `z` (bins `−(keep−1) … keep−1`, i.e.
+//!    `2·keep − 1` bins), so the chirp-Z convolution runs over `n/2` input
+//!    points. For the paper config (n = 2500, keep ≈ 200) the inner length
+//!    falls to `next_pow2(1250 + 399 − 1) = 2048` — a quarter of the full
+//!    Bluestein path's butterflies.
+//!
+//! A [`Czt`] value is a *plan* (chirps, kernel spectrum, twiddles — all
+//! precomputed); per-call work happens in a caller-owned [`CztScratch`], so
+//! one shared `&Czt` plan can serve several antenna threads, and the hot
+//! path never allocates.
+
+use crate::complex::Complex;
+use crate::fft::{Direction, Radix2Plan};
+use std::f64::consts::PI;
+
+/// `e^{-iπ t²/den}` with `t²` reduced mod `2·den` so large `t` keeps full
+/// precision (the exponential has period `2·den` in `t²`).
+fn chirp(t: usize, den: usize) -> Complex {
+    let j = (t * t) % (2 * den);
+    Complex::cis(-PI * j as f64 / den as f64)
+}
+
+/// Evaluates bins `k0 … k0+bins−1` of the `dft_len`-point DFT of `n_in`
+/// complex samples, as one pre-chirp multiply, a circular convolution of
+/// length `m = next_pow2(n_in + bins − 1)`, and a post-chirp multiply.
+///
+/// This is also the engine behind [`crate::fft::Fft`]'s Bluestein path:
+/// an arbitrary-length full DFT is the `n_in = dft_len = bins`, `k0 = 0`
+/// special case (with the chirps and kernel conjugated for the inverse
+/// direction), so the subtle numerics — the mod-2N chirp reduction and the
+/// two-arc circular kernel layout — live in exactly one place.
+#[derive(Debug, Clone)]
+pub(crate) struct CztCore {
+    n_in: usize,
+    bins: usize,
+    /// Inner power-of-two convolution length.
+    m: usize,
+    inner: Radix2Plan,
+    /// `pre[j] = w^{j·k0} · e^{-iπj²/dft_len}` — folded input chirp.
+    pre: Vec<Complex>,
+    /// `post[s] = e^{-iπs²/dft_len} / m` — output chirp with the inverse
+    /// transform's 1/m normalization folded in.
+    post: Vec<Complex>,
+    /// Forward transform of the circularly-laid-out kernel
+    /// `b[u] = e^{+iπu²/dft_len}`, `u ∈ (−n_in, bins)`.
+    kernel_fft: Vec<Complex>,
+}
+
+impl CztCore {
+    /// `k0` is the (possibly negative) index of the first evaluated bin.
+    pub(crate) fn new(n_in: usize, dft_len: usize, bins: usize, k0: i64) -> CztCore {
+        debug_assert!(n_in >= 1 && bins >= 1);
+        let m = (n_in + bins - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m);
+        let pre: Vec<Complex> = (0..n_in)
+            .map(|j| {
+                // w^{j·k0} = e^{-2πi·(j·k0 mod dft_len)/dft_len}.
+                let jk = (j as i64 * k0).rem_euclid(dft_len as i64);
+                Complex::cis(-2.0 * PI * jk as f64 / dft_len as f64) * chirp(j, dft_len)
+            })
+            .collect();
+        let inv_m = 1.0 / m as f64;
+        let post: Vec<Complex> = (0..bins).map(|s| chirp(s, dft_len).scale(inv_m)).collect();
+        // Kernel b[u] = conj(chirp(u)); b is even in u, laid out circularly
+        // over [0, bins) ∪ (m − n_in, m). m ≥ n_in + bins − 1 keeps the two
+        // arcs disjoint, so the linear convolution is exact.
+        let mut kernel = vec![Complex::ZERO; m];
+        for (u, k) in kernel.iter_mut().enumerate().take(bins) {
+            *k = chirp(u, dft_len).conj();
+        }
+        for t in 1..n_in {
+            kernel[m - t] = chirp(t, dft_len).conj();
+        }
+        inner.transform(&mut kernel, Direction::Forward);
+        CztCore { n_in, bins, m, inner, pre, post, kernel_fft: kernel }
+    }
+
+    /// The inner convolution length (the scratch size a caller must
+    /// provide).
+    pub(crate) fn inner_len(&self) -> usize {
+        self.m
+    }
+
+    /// Runs the convolution over `buf` (length `m`; caller has already
+    /// written `input[j]·pre[j]` into `buf[..n_in]` and zeroed the rest)
+    /// and writes the `bins` outputs into `out`. `dir` conjugates the
+    /// kernel and output chirp, turning the evaluated band of the forward
+    /// DFT into the same band of the inverse (un-normalized) DFT.
+    fn convolve(&self, buf: &mut [Complex], out: &mut [Complex], dir: Direction) {
+        debug_assert_eq!(buf.len(), self.m);
+        debug_assert_eq!(out.len(), self.bins);
+        self.inner.transform(buf, Direction::Forward);
+        match dir {
+            Direction::Forward => {
+                for (b, k) in buf.iter_mut().zip(&self.kernel_fft) {
+                    *b = *b * *k;
+                }
+            }
+            // The kernel is even (b[u] = b[−u]), so conjugating its
+            // *transform* is exactly the transform of the conjugated
+            // kernel.
+            Direction::Inverse => {
+                for (b, k) in buf.iter_mut().zip(&self.kernel_fft) {
+                    *b = *b * k.conj();
+                }
+            }
+        }
+        self.inner.transform(buf, Direction::Inverse);
+        for (s, (o, p)) in out.iter_mut().zip(&self.post).enumerate() {
+            let p = match dir {
+                Direction::Forward => *p,
+                Direction::Inverse => p.conj(),
+            };
+            *o = buf[s] * p;
+        }
+    }
+
+    /// Full-spectrum transform with `data` serving as both input and
+    /// output — the Bluestein entry point ([`crate::fft::Fft`] wraps this
+    /// for non-power-of-two lengths). Requires a plan built with
+    /// `bins == n_in` and `k0 == 0`; the caller applies any 1/N
+    /// normalization for the inverse direction.
+    pub(crate) fn transform_in_place(
+        &self,
+        data: &mut [Complex],
+        buf: &mut [Complex],
+        dir: Direction,
+    ) {
+        debug_assert_eq!(data.len(), self.n_in);
+        debug_assert_eq!(self.bins, self.n_in, "in-place needs a full-band plan");
+        for (b, (d, p)) in buf[..self.n_in].iter_mut().zip(data.iter().zip(&self.pre)) {
+            let p = match dir {
+                Direction::Forward => *p,
+                Direction::Inverse => p.conj(),
+            };
+            *b = *d * p;
+        }
+        buf[self.n_in..].fill(Complex::ZERO);
+        self.convolve(buf, data, dir);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CztKind {
+    /// Even `n`, `keep ≤ n/2`: two-for-one packing. The core evaluates
+    /// `2·keep − 1` bins of the `n/2`-point DFT starting at bin `−(keep−1)`;
+    /// `unpack[k] = e^{-2πik/n}/2` recombines them into the kept band.
+    Packed { core: CztCore, unpack: Vec<Complex> },
+    /// General fallback (odd `n`, or `keep > n/2`): chirp-Z straight off the
+    /// `n` real samples.
+    Direct { core: CztCore },
+}
+
+/// A reusable plan computing bins `0 … keep−1` of the `n`-point DFT of a
+/// real signal. See the module docs for the algorithm.
+#[derive(Debug, Clone)]
+pub struct Czt {
+    n: usize,
+    keep: usize,
+    kind: CztKind,
+}
+
+/// Caller-owned working memory for [`Czt::transform_into`]. Create one per
+/// worker thread with [`Czt::make_scratch`]; the plan itself stays shared
+/// and immutable, and repeated transforms never allocate.
+#[derive(Debug, Clone)]
+pub struct CztScratch {
+    /// Inner convolution buffer (length `m`).
+    buf: Vec<Complex>,
+    /// Band of the packed half-length spectrum (empty for the direct path).
+    band: Vec<Complex>,
+}
+
+impl CztScratch {
+    /// Base pointer of the convolution buffer — lets tests assert the
+    /// buffer is never reallocated across transforms.
+    pub fn buf_ptr(&self) -> *const Complex {
+        self.buf.as_ptr()
+    }
+
+    /// Capacity of the convolution buffer, for the same purpose.
+    pub fn buf_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Base pointer of the packed-spectrum band buffer (empty and unused —
+    /// though still a dangling non-null pointer — when the plan takes the
+    /// direct path; check [`CztScratch::band_capacity`] for emptiness).
+    pub fn band_ptr(&self) -> *const Complex {
+        self.band.as_ptr()
+    }
+
+    /// Capacity of the band buffer.
+    pub fn band_capacity(&self) -> usize {
+        self.band.capacity()
+    }
+}
+
+impl Czt {
+    /// Builds a plan for `keep` output bins over real inputs of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `keep == 0`, or `keep > n`.
+    pub fn new(n: usize, keep: usize) -> Czt {
+        assert!(n > 0, "CZT input length must be positive");
+        assert!(keep > 0, "CZT must keep at least one bin");
+        assert!(keep <= n, "cannot keep more bins than the DFT has");
+        let kind = if n % 2 == 0 && keep <= n / 2 {
+            let h = n / 2;
+            let band = 2 * keep - 1;
+            let core = CztCore::new(h, h, band, -((keep as i64) - 1));
+            let unpack =
+                (0..keep).map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64).scale(0.5)).collect();
+            CztKind::Packed { core, unpack }
+        } else {
+            CztKind::Direct { core: CztCore::new(n, n, keep, 0) }
+        };
+        Czt { n, keep, kind }
+    }
+
+    /// The real input length the plan expects.
+    pub fn input_len(&self) -> usize {
+        self.n
+    }
+
+    /// The number of DFT bins the plan produces.
+    pub fn output_len(&self) -> usize {
+        self.keep
+    }
+
+    /// Inner convolution length (the size of the radix-2 transforms each
+    /// call performs) — exposed for benchmarks and diagnostics.
+    pub fn inner_len(&self) -> usize {
+        match &self.kind {
+            CztKind::Packed { core, .. } | CztKind::Direct { core } => core.m,
+        }
+    }
+
+    /// Allocates working memory sized for this plan.
+    pub fn make_scratch(&self) -> CztScratch {
+        match &self.kind {
+            CztKind::Packed { core, .. } => CztScratch {
+                buf: vec![Complex::ZERO; core.m],
+                band: vec![Complex::ZERO; core.bins],
+            },
+            CztKind::Direct { core } => {
+                CztScratch { buf: vec![Complex::ZERO; core.m], band: Vec::new() }
+            }
+        }
+    }
+
+    /// Computes `out[k] = Σ_j signal[j]·e^{-2πijk/n}` for `k < keep`,
+    /// allocation-free: all working state lives in `scratch`.
+    ///
+    /// # Panics
+    /// Panics if `signal.len() != n`, `out.len() != keep`, or `scratch` was
+    /// made for a different plan shape.
+    pub fn transform_into(&self, signal: &[f64], out: &mut [Complex], scratch: &mut CztScratch) {
+        assert_eq!(signal.len(), self.n, "signal length must match plan");
+        assert_eq!(out.len(), self.keep, "output length must match plan");
+        match &self.kind {
+            CztKind::Packed { core, unpack } => {
+                assert_eq!(scratch.buf.len(), core.m, "scratch built for a different plan");
+                assert_eq!(scratch.band.len(), core.bins, "scratch built for a different plan");
+                let h = core.n_in;
+                for (t, (b, p)) in scratch.buf[..h].iter_mut().zip(&core.pre).enumerate() {
+                    *b = Complex::new(signal[2 * t], signal[2 * t + 1]) * *p;
+                }
+                scratch.buf[h..].fill(Complex::ZERO);
+                core.convolve(&mut scratch.buf, &mut scratch.band, Direction::Forward);
+                // band[s] = Z[s − (keep−1)] of the h-point packed spectrum.
+                // Even/odd split: E[k] = (Z[k] + conj(Z[−k]))/2,
+                // O[k] = −i(Z[k] − conj(Z[−k]))/2, X[k] = E[k] + W_n^k·O[k].
+                let kc = self.keep - 1;
+                for (k, (o, w)) in out.iter_mut().zip(unpack).enumerate() {
+                    let z = scratch.band[kc + k];
+                    let zr = scratch.band[kc - k].conj();
+                    let e = (z + zr).scale(0.5);
+                    let od = Complex::new(0.0, -1.0) * (z - zr); // 2·O[k]
+                    // unpack[k] already carries the /2 for the odd term.
+                    *o = e + *w * od;
+                }
+            }
+            CztKind::Direct { core } => {
+                assert_eq!(scratch.buf.len(), core.m, "scratch built for a different plan");
+                for (j, (b, p)) in scratch.buf[..core.n_in].iter_mut().zip(&core.pre).enumerate() {
+                    *b = p.scale(signal[j]);
+                }
+                scratch.buf[core.n_in..].fill(Complex::ZERO);
+                core.convolve(&mut scratch.buf, out, Direction::Forward);
+            }
+        }
+    }
+
+    /// Convenience wrapper that allocates the output and scratch — for
+    /// tests and one-shot callers, not hot paths.
+    pub fn transform(&self, signal: &[f64]) -> Vec<Complex> {
+        let mut scratch = self.make_scratch();
+        let mut out = vec![Complex::ZERO; self.keep];
+        self.transform_into(signal, &mut out, &mut scratch);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{dft_naive, Fft};
+
+    fn naive_band(signal: &[f64], keep: usize) -> Vec<Complex> {
+        let data: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
+        let mut full = dft_naive(&data);
+        full.truncate(keep);
+        full
+    }
+
+    fn band_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() <= tol, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.9).cos()).collect()
+    }
+
+    #[test]
+    fn packed_path_matches_naive_dft() {
+        for (n, keep) in [(16usize, 5usize), (30, 7), (100, 50), (250, 20), (2500, 13)] {
+            let signal = test_signal(n);
+            let czt = Czt::new(n, keep);
+            assert!(matches!(czt.kind, CztKind::Packed { .. }), "n={n} keep={keep}");
+            band_close(&czt.transform(&signal), &naive_band(&signal, keep), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn direct_path_matches_naive_dft() {
+        // Odd lengths and keep > n/2 take the unpacked chirp-Z route.
+        for (n, keep) in [(25usize, 5usize), (99, 40), (625, 11), (30, 29), (16, 16)] {
+            let signal = test_signal(n);
+            let czt = Czt::new(n, keep);
+            band_close(&czt.transform(&signal), &naive_band(&signal, keep), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_naive_and_bluestein() {
+        // The exact WiTrack shape: 2500 samples, ~200 kept range bins.
+        let (n, keep) = (2500, 200);
+        let signal = test_signal(n);
+        let czt = Czt::new(n, keep);
+        let zoom = czt.transform(&signal);
+        band_close(&zoom, &naive_band(&signal, keep), 1e-9 * n as f64);
+        // And against the full-Bluestein-then-truncate production path.
+        let mut full = Fft::new(n).forward_real(&signal);
+        full.truncate(keep);
+        band_close(&zoom, &full, 1e-9 * n as f64);
+    }
+
+    #[test]
+    fn inner_length_is_pruned() {
+        let czt = Czt::new(2500, 200);
+        // Packed: next_pow2(1250 + 399 − 1) = 2048, vs Bluestein's 8192.
+        assert_eq!(czt.inner_len(), 2048);
+        assert_eq!(Czt::new(2500, 1024).inner_len(), 4096);
+    }
+
+    #[test]
+    fn single_bin_and_tiny_lengths() {
+        for (n, keep) in [(1usize, 1usize), (2, 1), (3, 1), (4, 2), (5, 5)] {
+            let signal = test_signal(n);
+            let czt = Czt::new(n, keep);
+            band_close(&czt.transform(&signal), &naive_band(&signal, keep), 1e-10 * (n + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn shared_plan_multiple_scratches_agree() {
+        // One immutable plan, two scratches (as antenna threads would use).
+        let czt = Czt::new(128, 30);
+        let a = test_signal(128);
+        let b: Vec<f64> = a.iter().map(|x| x * 2.0 - 0.1).collect();
+        let mut s1 = czt.make_scratch();
+        let mut s2 = czt.make_scratch();
+        let mut o1 = vec![Complex::ZERO; 30];
+        let mut o2 = vec![Complex::ZERO; 30];
+        czt.transform_into(&a, &mut o1, &mut s1);
+        czt.transform_into(&b, &mut o2, &mut s2);
+        band_close(&o1, &naive_band(&a, 30), 1e-9 * 128.0);
+        band_close(&o2, &naive_band(&b, 30), 1e-9 * 128.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_keep_panics() {
+        let _ = Czt::new(8, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn keep_beyond_n_panics() {
+        let _ = Czt::new(8, 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_scratch_panics() {
+        let a = Czt::new(64, 10);
+        let b = Czt::new(2500, 200);
+        let mut scratch = a.make_scratch();
+        let mut out = vec![Complex::ZERO; 200];
+        b.transform_into(&test_signal(2500), &mut out, &mut scratch);
+    }
+}

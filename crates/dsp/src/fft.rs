@@ -22,7 +22,7 @@ use std::f64::consts::PI;
 
 /// Transform direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Direction {
+pub(crate) enum Direction {
     Forward,
     Inverse,
 }
@@ -43,29 +43,25 @@ enum PlanKind {
 }
 
 #[derive(Debug, Clone)]
-struct Radix2Plan {
+pub(crate) struct Radix2Plan {
     /// Twiddle factors e^{-2πik/n} for k < n/2 (forward direction).
     twiddles: Vec<Complex>,
     /// Bit-reversal permutation.
     bitrev: Vec<u32>,
 }
 
+/// Bluestein is the full-band (`bins = n`, `k0 = 0`) special case of the
+/// chirp-Z machinery in [`crate::czt`]; the chirp tables, kernel layout,
+/// and convolution all live there.
 #[derive(Debug, Clone)]
 struct BluesteinPlan {
-    /// Chirp w[k] = e^{-iπk²/n} (forward direction).
-    chirp: Vec<Complex>,
-    /// Forward FFT (length m) of the symmetric extension of conj(chirp).
-    kernel_fft: Vec<Complex>,
-    /// Inner power-of-two plan of length m ≥ 2n−1.
-    inner: Radix2Plan,
-    /// Inner length.
-    m: usize,
+    core: crate::czt::CztCore,
     /// Scratch buffer reused across calls (cloned plans get their own).
     scratch: Vec<Complex>,
 }
 
 impl Radix2Plan {
-    fn new(n: usize) -> Radix2Plan {
+    pub(crate) fn new(n: usize) -> Radix2Plan {
         debug_assert!(n.is_power_of_two());
         let twiddles =
             (0..n / 2).map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64)).collect();
@@ -78,7 +74,7 @@ impl Radix2Plan {
 
     /// In-place transform. `dir` selects conjugated twiddles for the inverse;
     /// the caller applies 1/n scaling for inverse transforms.
-    fn transform(&self, data: &mut [Complex], dir: Direction) {
+    pub(crate) fn transform(&self, data: &mut [Complex], dir: Direction) {
         let n = data.len();
         debug_assert_eq!(n, self.bitrev.len());
         if n <= 1 {
@@ -116,68 +112,13 @@ impl Radix2Plan {
 
 impl BluesteinPlan {
     fn new(n: usize) -> BluesteinPlan {
-        let m = (2 * n - 1).next_power_of_two();
-        let inner = Radix2Plan::new(m);
-        // w[k] = e^{-iπ k²/n}; compute k² mod 2n to avoid precision loss for
-        // large k (e^{-iπ j/n} has period 2n in j).
-        let chirp: Vec<Complex> = (0..n)
-            .map(|k| {
-                let j = (k * k) % (2 * n);
-                Complex::cis(-PI * j as f64 / n as f64)
-            })
-            .collect();
-        // Kernel b[j] = conj(w[j]) for j in (−n, n), laid out circularly.
-        let mut kernel = vec![Complex::ZERO; m];
-        for (j, c) in chirp.iter().enumerate() {
-            kernel[j] = c.conj();
-            if j > 0 {
-                kernel[m - j] = c.conj();
-            }
-        }
-        inner.transform(&mut kernel, Direction::Forward);
-        BluesteinPlan { chirp, kernel_fft: kernel, inner, m, scratch: vec![Complex::ZERO; m] }
+        let core = crate::czt::CztCore::new(n, n, n, 0);
+        let scratch = vec![Complex::ZERO; core.inner_len()];
+        BluesteinPlan { core, scratch }
     }
 
     fn transform(&mut self, data: &mut [Complex], dir: Direction) {
-        let n = data.len();
-        let m = self.m;
-        self.scratch.clear();
-        self.scratch.resize(m, Complex::ZERO);
-        // a[k] = x[k] · w[k]   (conjugate chirp for the inverse direction)
-        for k in 0..n {
-            let w = match dir {
-                Direction::Forward => self.chirp[k],
-                Direction::Inverse => self.chirp[k].conj(),
-            };
-            self.scratch[k] = data[k] * w;
-        }
-        // Circular convolution with the kernel via the inner FFT.
-        self.inner.transform(&mut self.scratch, Direction::Forward);
-        match dir {
-            Direction::Forward => {
-                for (s, k) in self.scratch.iter_mut().zip(&self.kernel_fft) {
-                    *s = *s * *k;
-                }
-            }
-            Direction::Inverse => {
-                // The inverse kernel is the conjugate of the forward kernel;
-                // conj(FFT(b))[j] = FFT(conj(b))[−j], and our kernel is
-                // symmetric (b[j] = b[−j]), so conjugating the *transformed*
-                // kernel is exact.
-                for (s, k) in self.scratch.iter_mut().zip(&self.kernel_fft) {
-                    *s = *s * k.conj();
-                }
-            }
-        }
-        self.inner.transform(&mut self.scratch, Direction::Inverse);
-        let inv_m = 1.0 / m as f64;
-        for k in 0..n {
-            let w = match dir {
-                Direction::Forward => self.chirp[k],
-                Direction::Inverse => self.chirp[k].conj(),
-            };
-            data[k] = self.scratch[k] * w * inv_m;
-        }
+        self.core.transform_in_place(data, &mut self.scratch, dir);
     }
 }
 
@@ -232,12 +173,41 @@ impl Fft {
         }
     }
 
+    /// Forward DFT of `input` written into `out` (the in-place equivalent of
+    /// [`Fft::forward`] for callers that must keep the input intact). Never
+    /// allocates after plan creation.
+    ///
+    /// # Panics
+    /// Panics if either slice length differs from the plan length.
+    pub fn forward_into(&mut self, input: &[Complex], out: &mut [Complex]) {
+        assert_eq!(input.len(), self.n, "input length must match plan");
+        assert_eq!(out.len(), self.n, "output length must match plan");
+        out.copy_from_slice(input);
+        self.forward(out);
+    }
+
+    /// Forward DFT of a real signal written into caller-owned `out`. This is
+    /// the allocation-free form of [`Fft::forward_real`]: after plan
+    /// creation, repeated calls never touch the heap.
+    ///
+    /// # Panics
+    /// Panics if either slice length differs from the plan length.
+    pub fn forward_real_into(&mut self, signal: &[f64], out: &mut [Complex]) {
+        assert_eq!(signal.len(), self.n, "signal length must match plan");
+        assert_eq!(out.len(), self.n, "output length must match plan");
+        for (o, &x) in out.iter_mut().zip(signal) {
+            *o = Complex::real(x);
+        }
+        self.forward(out);
+    }
+
     /// Convenience: forward-transforms a real signal, allocating the output.
+    /// Hot paths should prefer [`Fft::forward_real_into`].
     pub fn forward_real(&mut self, signal: &[f64]) -> Vec<Complex> {
         assert_eq!(signal.len(), self.n, "buffer length must match plan");
-        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::real(x)).collect();
-        self.forward(&mut buf);
-        buf
+        let mut out = vec![Complex::ZERO; self.n];
+        self.forward_real_into(signal, &mut out);
+        out
     }
 }
 
@@ -393,6 +363,33 @@ mod tests {
         let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
         assert!(mags[5] > 0.45 * n as f64);
         assert!(mags[n - 5] > 0.45 * n as f64);
+    }
+
+    #[test]
+    fn forward_real_into_matches_forward_real() {
+        for n in [64usize, 100] {
+            let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let mut plan = Fft::new(n);
+            let alloc = plan.forward_real(&signal);
+            let mut out = vec![Complex::ZERO; n];
+            plan.forward_real_into(&signal, &mut out);
+            spectrum_close(&alloc, &out, 0.0);
+        }
+    }
+
+    #[test]
+    fn forward_into_preserves_input() {
+        let n = 32;
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).cos(), (i as f64).sin())).collect();
+        let snapshot = input.clone();
+        let mut out = vec![Complex::ZERO; n];
+        let mut plan = Fft::new(n);
+        plan.forward_into(&input, &mut out);
+        spectrum_close(&input, &snapshot, 0.0);
+        let mut in_place = input.clone();
+        plan.forward(&mut in_place);
+        spectrum_close(&out, &in_place, 0.0);
     }
 
     #[test]

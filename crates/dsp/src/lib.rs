@@ -9,6 +9,10 @@
 //!   *exact* non-power-of-two lengths work. WiTrack's sweep is 2500 samples
 //!   (2.5 ms at 1 MS/s); transforming at the exact length keeps the paper's
 //!   400 Hz bins = 8.87 cm one-way range resolution (Eq. 3).
+//! * [`czt`] — the zoomed chirp-Z transform: exactly the `keep_bins` range
+//!   bins an indoor scene occupies, computed from the real sweep via
+//!   two-for-one packing and a pruned convolution (the per-frame hot path;
+//!   see the module docs for the cost accounting).
 //! * [`window`] — tapers for spectral analysis.
 //! * [`kalman`] — the 1-D constant-velocity Kalman filter used to smooth
 //!   per-antenna distance estimates (paper §4.4 "Filtering").
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod complex;
+pub mod czt;
 pub mod fft;
 pub mod filters;
 pub mod kalman;
@@ -34,5 +39,6 @@ pub mod stats;
 pub mod window;
 
 pub use complex::Complex;
+pub use czt::{Czt, CztScratch};
 pub use fft::Fft;
 pub use kalman::Kalman1D;

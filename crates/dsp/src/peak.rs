@@ -24,20 +24,21 @@ pub fn noise_floor(magnitudes: &[f64], k: f64) -> f64 {
 /// Indices of strict local maxima (`m[i−1] < m[i] ≥ m[i+1]`) with value above
 /// `threshold`. Endpoints qualify when they exceed their single neighbor.
 pub fn local_maxima_above(magnitudes: &[f64], threshold: f64) -> Vec<usize> {
+    local_maxima_above_iter(magnitudes, threshold).collect()
+}
+
+/// Iterator form of [`local_maxima_above`], for allocation-free hot paths.
+pub fn local_maxima_above_iter(
+    magnitudes: &[f64],
+    threshold: f64,
+) -> impl Iterator<Item = usize> + '_ {
     let n = magnitudes.len();
-    let mut out = Vec::new();
-    for i in 0..n {
+    (0..n).filter(move |&i| {
         let m = magnitudes[i];
-        if m <= threshold {
-            continue;
-        }
-        let left_ok = i == 0 || magnitudes[i - 1] < m;
-        let right_ok = i + 1 >= n || magnitudes[i + 1] <= m;
-        if left_ok && right_ok {
-            out.push(i);
-        }
-    }
-    out
+        m > threshold
+            && (i == 0 || magnitudes[i - 1] < m)
+            && (i + 1 >= n || magnitudes[i + 1] <= m)
+    })
 }
 
 /// The first (lowest-index) local maximum above `threshold` — the

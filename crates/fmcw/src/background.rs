@@ -11,10 +11,19 @@
 
 use witrack_dsp::Complex;
 
-/// Subtracts the previous frame's complex range profile from the current one.
+/// Subtracts the previous frame's complex range profile from the current
+/// one. All buffers (the baseline and both difference outputs) are owned by
+/// the subtractor and reused, so steady-state frames never allocate; the
+/// returned slices borrow those buffers and stay valid until the next push.
 #[derive(Debug, Clone, Default)]
 pub struct BackgroundSubtractor {
-    prev: Option<Vec<Complex>>,
+    /// Previous frame's profile (the baseline), reused in place.
+    prev: Vec<Complex>,
+    has_baseline: bool,
+    /// Reusable magnitude-difference output.
+    diff_mags: Vec<f64>,
+    /// Reusable complex-difference output.
+    diff_complex: Vec<Complex>,
 }
 
 impl BackgroundSubtractor {
@@ -23,52 +32,65 @@ impl BackgroundSubtractor {
         BackgroundSubtractor::default()
     }
 
+    /// Swaps `profile` in as the new baseline. The caller has already
+    /// verified the length.
+    fn swap_baseline(&mut self, profile: &[Complex]) {
+        if self.has_baseline {
+            self.prev.copy_from_slice(profile);
+        } else {
+            // First frame of the stream: size the baseline buffer once.
+            self.prev.clear();
+            self.prev.extend_from_slice(profile);
+            self.has_baseline = true;
+        }
+    }
+
     /// Pushes a frame; returns the background-subtracted *magnitudes*
     /// (what the contour tracker consumes), or `None` for the very first
     /// frame (no baseline yet).
     ///
     /// # Panics
     /// Panics if the profile length changes between frames.
-    pub fn push(&mut self, profile: &[Complex]) -> Option<Vec<f64>> {
-        let out = match &self.prev {
-            None => None,
-            Some(prev) => {
-                assert_eq!(prev.len(), profile.len(), "profile length changed between frames");
-                Some(
-                    profile
-                        .iter()
-                        .zip(prev)
-                        .map(|(cur, old)| (*cur - *old).abs())
-                        .collect(),
-                )
-            }
-        };
-        self.prev = Some(profile.to_vec());
-        out
+    pub fn push(&mut self, profile: &[Complex]) -> Option<&[f64]> {
+        if !self.has_baseline {
+            self.swap_baseline(profile);
+            return None;
+        }
+        assert_eq!(self.prev.len(), profile.len(), "profile length changed between frames");
+        self.diff_mags.resize(profile.len(), 0.0);
+        for (d, (cur, old)) in self.diff_mags.iter_mut().zip(profile.iter().zip(&self.prev)) {
+            *d = (*cur - *old).abs();
+        }
+        self.swap_baseline(profile);
+        Some(&self.diff_mags)
     }
 
     /// Like [`BackgroundSubtractor::push`] but returns the complex
     /// difference (used by tests and by coherent downstream processing).
-    pub fn push_complex(&mut self, profile: &[Complex]) -> Option<Vec<Complex>> {
-        let out = match &self.prev {
-            None => None,
-            Some(prev) => {
-                assert_eq!(prev.len(), profile.len(), "profile length changed between frames");
-                Some(profile.iter().zip(prev).map(|(cur, old)| *cur - *old).collect())
-            }
-        };
-        self.prev = Some(profile.to_vec());
-        out
+    pub fn push_complex(&mut self, profile: &[Complex]) -> Option<&[Complex]> {
+        if !self.has_baseline {
+            self.swap_baseline(profile);
+            return None;
+        }
+        assert_eq!(self.prev.len(), profile.len(), "profile length changed between frames");
+        self.diff_complex.resize(profile.len(), Complex::ZERO);
+        for (d, (cur, old)) in self.diff_complex.iter_mut().zip(profile.iter().zip(&self.prev)) {
+            *d = *cur - *old;
+        }
+        self.swap_baseline(profile);
+        Some(&self.diff_complex)
     }
 
     /// Whether a baseline frame has been captured.
     pub fn has_baseline(&self) -> bool {
-        self.prev.is_some()
+        self.has_baseline
     }
 
-    /// Drops the baseline (e.g. after a pipeline reset).
+    /// Drops the baseline (e.g. after a pipeline reset). Buffers are kept
+    /// for reuse.
     pub fn reset(&mut self) {
-        self.prev = None;
+        self.has_baseline = false;
+        self.prev.clear();
     }
 }
 
@@ -134,7 +156,7 @@ mod tests {
         b.push_complex(&f1);
         let mags = a.push(&f2).unwrap();
         let cplx = b.push_complex(&f2).unwrap();
-        for (m, z) in mags.iter().zip(&cplx) {
+        for (m, z) in mags.iter().zip(cplx) {
             assert!((m - z.abs()).abs() < 1e-12);
         }
     }
@@ -146,6 +168,18 @@ mod tests {
         bs.reset();
         assert!(!bs.has_baseline());
         assert!(bs.push(&tone(8, 1, 1.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn steady_state_reuses_buffers() {
+        let mut bs = BackgroundSubtractor::new();
+        bs.push(&tone(32, 5, 10.0, 0.0));
+        let mut ptrs = Vec::new();
+        for k in 0..4 {
+            let diff = bs.push(&tone(32, 5, 10.0, 0.1 * k as f64)).unwrap();
+            ptrs.push(diff.as_ptr());
+        }
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "difference buffer reallocated");
     }
 
     #[test]

@@ -105,14 +105,28 @@ impl ContourTracker {
         k: usize,
         min_separation_bins: f64,
     ) -> Vec<Detection> {
+        let mut out = Vec::new();
+        self.detect_top_k_into(magnitudes, k, min_separation_bins, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`ContourTracker::detect_top_k`]: clears
+    /// `out` and refills it, reusing its capacity across frames.
+    pub fn detect_top_k_into(
+        &self,
+        magnitudes: &[f64],
+        k: usize,
+        min_separation_bins: f64,
+        out: &mut Vec<Detection>,
+    ) {
+        out.clear();
         if k == 0 || magnitudes.len() <= self.min_bin + 2 {
-            return Vec::new();
+            return;
         }
         let usable = &magnitudes[self.min_bin..];
         let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
-        let mut out: Vec<Detection> = Vec::new();
         let mut last_accepted: Option<f64> = None;
-        for rel in peak::local_maxima_above(usable, floor) {
+        for rel in peak::local_maxima_above_iter(usable, floor) {
             let idx = self.min_bin + rel;
             if let Some(prev) = last_accepted {
                 if (idx as f64 - prev) < min_separation_bins {
@@ -131,7 +145,6 @@ impl ContourTracker {
                 break;
             }
         }
-        out
     }
 
     /// The §4.3 ablation: track the *strongest* return instead of the

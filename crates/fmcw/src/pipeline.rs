@@ -87,6 +87,14 @@ impl TofEstimator {
         self.profiler.keep_bins()
     }
 
+    /// Whether the next [`TofEstimator::push_sweep`] completes a frame (and
+    /// therefore runs the heavy transform/contour stage). Multi-antenna
+    /// drivers use this to fan frame work out across threads only when
+    /// there is frame work to do.
+    pub fn next_sweep_completes_frame(&self) -> bool {
+        self.profiler.next_sweep_completes_frame()
+    }
+
     /// Pushes one sweep of baseband samples; returns a frame every
     /// `sweeps_per_frame` sweeps.
     ///
@@ -98,7 +106,7 @@ impl TofEstimator {
         let dt = self.cfg.frame_duration_s();
         let time_s = self.sweeps_seen as f64 * self.cfg.sweep_duration_s;
 
-        let frame = match self.background.push(&profile) {
+        let frame = match self.background.push(profile) {
             None => TofFrame {
                 frame_index: self.frame_index,
                 time_s,
@@ -107,12 +115,12 @@ impl TofEstimator {
                 denoised: None,
             },
             Some(mags) => {
-                let detection = self.contour.detect(&mags);
+                let detection = self.contour.detect(mags);
                 let denoised = self.denoiser.push(detection.map(|d| d.round_trip_m), dt);
                 TofFrame {
                     frame_index: self.frame_index,
                     time_s,
-                    magnitudes: mags,
+                    magnitudes: mags.to_vec(),
                     detection,
                     denoised,
                 }

@@ -11,23 +11,37 @@
 //! quasi-static over the 12.5 ms window (§4.3), so the body tone adds
 //! coherently while noise adds incoherently — the paper's stated reason for
 //! averaging.
+//!
+//! Only `keep_bins` of the sweep's beat-frequency bins can hold an indoor
+//! target, so the transform is a zoomed chirp-Z ([`witrack_dsp::Czt`]) that
+//! computes exactly those bins — never the full spectrum — and every buffer
+//! (accumulator, windowed frame, CZT scratch, output profile) is owned by
+//! the profiler and reused, so the steady-state per-frame path performs no
+//! heap allocation.
 
 use crate::config::SweepConfig;
 use witrack_dsp::window::WindowKind;
-use witrack_dsp::{Complex, Fft};
+use witrack_dsp::{Complex, Czt, CztScratch};
 
 /// Converts accumulated sweeps into complex range profiles.
 #[derive(Debug, Clone)]
 pub struct RangeProfiler {
     samples_per_sweep: usize,
     sweeps_per_frame: usize,
+    /// Analysis window pre-scaled by 1/sweeps_per_frame (the frame average).
     window: Vec<f64>,
-    fft: Fft,
+    /// Zoom transform producing exactly `keep_bins` bins.
+    czt: Czt,
+    scratch: CztScratch,
     /// Time-domain accumulator for the current frame.
     accum: Vec<f64>,
+    /// Windowed average of the accumulated sweeps (CZT input), reused.
+    windowed: Vec<f64>,
+    /// The emitted range profile, reused across frames.
+    profile: Vec<Complex>,
     sweeps_accumulated: usize,
-    /// Range profiles are truncated to this many bins (positive beat
-    /// frequencies only; indoor scenes need ~200 of the 2500).
+    /// Range profiles hold this many bins (positive beat frequencies only;
+    /// indoor scenes need ~200 of the 2500).
     keep_bins: usize,
 }
 
@@ -37,14 +51,25 @@ impl RangeProfiler {
     pub fn new(cfg: &SweepConfig, window: WindowKind, max_round_trip_m: f64) -> RangeProfiler {
         let n = cfg.samples_per_sweep();
         let keep = (cfg.bin_for_round_trip(max_round_trip_m).ceil() as usize + 1).min(n / 2);
+        let keep = keep.max(2).min(n);
+        let inv = 1.0 / cfg.sweeps_per_frame as f64;
+        let mut window = window.generate(n);
+        for w in &mut window {
+            *w *= inv;
+        }
+        let czt = Czt::new(n, keep);
+        let scratch = czt.make_scratch();
         RangeProfiler {
             samples_per_sweep: n,
             sweeps_per_frame: cfg.sweeps_per_frame,
-            window: window.generate(n),
-            fft: Fft::new(n),
+            window,
+            czt,
+            scratch,
             accum: vec![0.0; n],
+            windowed: vec![0.0; n],
+            profile: vec![Complex::ZERO; keep],
             sweeps_accumulated: 0,
-            keep_bins: keep.max(2),
+            keep_bins: keep,
         }
     }
 
@@ -58,12 +83,21 @@ impl RangeProfiler {
         self.sweeps_accumulated
     }
 
+    /// Whether the *next* [`RangeProfiler::push_sweep`] will complete a
+    /// frame — lets multi-antenna drivers fan the heavy frame work out to
+    /// threads only when there is frame work to do.
+    pub fn next_sweep_completes_frame(&self) -> bool {
+        self.sweeps_accumulated + 1 == self.sweeps_per_frame
+    }
+
     /// Pushes one sweep of baseband samples. Returns the complex range
-    /// profile when this sweep completes a frame, `None` otherwise.
+    /// profile when this sweep completes a frame, `None` otherwise. The
+    /// returned slice borrows the profiler's reusable output buffer (valid
+    /// until the next call); steady-state calls never allocate.
     ///
     /// # Panics
     /// Panics if `samples` is not exactly one sweep long.
-    pub fn push_sweep(&mut self, samples: &[f64]) -> Option<Vec<Complex>> {
+    pub fn push_sweep(&mut self, samples: &[f64]) -> Option<&[Complex]> {
         assert_eq!(
             samples.len(),
             self.samples_per_sweep,
@@ -76,24 +110,21 @@ impl RangeProfiler {
         if self.sweeps_accumulated < self.sweeps_per_frame {
             return None;
         }
-        // Frame complete: window, transform, truncate, reset accumulator.
-        let inv = 1.0 / self.sweeps_per_frame as f64;
-        let mut buf: Vec<Complex> = self
-            .accum
-            .iter()
-            .zip(&self.window)
-            .map(|(&a, &w)| Complex::real(a * inv * w))
-            .collect();
-        self.fft.forward(&mut buf);
-        buf.truncate(self.keep_bins);
-        self.accum.iter_mut().for_each(|a| *a = 0.0);
+        // Frame complete: window the averaged sweeps, zoom-transform the
+        // kept band, reset the accumulator. (The 1/sweeps_per_frame average
+        // is pre-folded into the window.)
+        for ((w, &a), &win) in self.windowed.iter_mut().zip(&self.accum).zip(&self.window) {
+            *w = a * win;
+        }
+        self.czt.transform_into(&self.windowed, &mut self.profile, &mut self.scratch);
+        self.accum.fill(0.0);
         self.sweeps_accumulated = 0;
-        Some(buf)
+        Some(&self.profile)
     }
 
     /// Clears any partially accumulated frame.
     pub fn reset(&mut self) {
-        self.accum.iter_mut().for_each(|a| *a = 0.0);
+        self.accum.fill(0.0);
         self.sweeps_accumulated = 0;
     }
 }
@@ -145,11 +176,10 @@ mod tests {
         let beat = bin * cfg.bin_spacing_hz();
         let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
         let sweep = tone_sweep(&cfg, beat, 0.3);
-        let mut out = None;
-        for _ in 0..cfg.sweeps_per_frame {
-            out = p.push_sweep(&sweep);
+        for _ in 0..cfg.sweeps_per_frame - 1 {
+            assert!(p.push_sweep(&sweep).is_none());
         }
-        let profile = out.unwrap();
+        let profile = p.push_sweep(&sweep).unwrap();
         let mags: Vec<f64> = profile.iter().map(|z| z.abs()).collect();
         let peak = mags
             .iter()
@@ -170,15 +200,16 @@ mod tests {
         let mut p = RangeProfiler::new(&cfg, WindowKind::Rectangular, cfg.round_trip_for_bin(40.0));
         let tone = tone_sweep(&cfg, beat, 0.0);
         let noise_tone = tone_sweep(&cfg, 20.0 * cfg.bin_spacing_hz(), 0.0);
-        let mut out = None;
+        let mut mags = Vec::new();
         for k in 0..cfg.sweeps_per_frame {
             let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
             let sweep: Vec<f64> =
                 tone.iter().zip(&noise_tone).map(|(&t, &n)| t + sign * n).collect();
-            out = p.push_sweep(&sweep);
+            if let Some(profile) = p.push_sweep(&sweep) {
+                mags = profile.iter().map(|z| z.abs()).collect();
+            }
         }
-        let profile = out.unwrap();
-        let mags: Vec<f64> = profile.iter().map(|z| z.abs()).collect();
+        assert!(!mags.is_empty(), "frame never completed");
         assert!(mags[9] > 50.0 * mags[20], "coherent {} incoherent {}", mags[9], mags[20]);
     }
 
@@ -189,11 +220,46 @@ mod tests {
         let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, max_rt);
         assert!(p.keep_bins() <= 27);
         let sweep = tone_sweep(&cfg, 5e3, 0.0);
-        let mut out = None;
-        for _ in 0..cfg.sweeps_per_frame {
-            out = p.push_sweep(&sweep);
+        for _ in 0..cfg.sweeps_per_frame - 1 {
+            assert!(p.push_sweep(&sweep).is_none());
         }
-        assert_eq!(out.unwrap().len(), p.keep_bins());
+        let keep = p.keep_bins();
+        assert_eq!(p.push_sweep(&sweep).unwrap().len(), keep);
+    }
+
+    #[test]
+    fn zoom_transform_matches_full_fft_then_truncate() {
+        // The pre-CZT production path: full-length FFT, truncate to keep.
+        let cfg = small_cfg();
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
+        let n = cfg.samples_per_sweep();
+        let sweep = tone_sweep(&cfg, 7.3 * cfg.bin_spacing_hz(), 0.9);
+        let window = WindowKind::Hann.generate(n);
+        let windowed: Vec<f64> = sweep.iter().zip(&window).map(|(&s, &w)| s * w).collect();
+        let mut reference = witrack_dsp::Fft::new(n).forward_real(&windowed);
+        reference.truncate(p.keep_bins());
+        for _ in 0..cfg.sweeps_per_frame - 1 {
+            p.push_sweep(&sweep);
+        }
+        let profile = p.push_sweep(&sweep).unwrap();
+        for (i, (a, b)) in profile.iter().zip(&reference).enumerate() {
+            assert!((*a - *b).abs() < 1e-9 * n as f64, "bin {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn steady_state_reuses_output_buffer() {
+        let cfg = small_cfg();
+        let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
+        let sweep = tone_sweep(&cfg, 10e3, 0.0);
+        let mut ptrs = Vec::new();
+        for _ in 0..3 * cfg.sweeps_per_frame {
+            if let Some(profile) = p.push_sweep(&sweep) {
+                ptrs.push(profile.as_ptr());
+            }
+        }
+        assert_eq!(ptrs.len(), 3);
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "profile buffer reallocated");
     }
 
     #[test]

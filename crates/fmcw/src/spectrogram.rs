@@ -8,32 +8,105 @@
 use crate::config::SweepConfig;
 
 /// A collected spectrogram: one magnitude row per processing frame.
+///
+/// By default every frame is kept (the figure harnesses collect a whole
+/// bounded experiment). Long-running monitors should cap the window with
+/// [`Spectrogram::with_max_frames`]: once full, the oldest row is recycled
+/// for each new frame (a ring), so memory stays bounded and the steady
+/// state allocates nothing.
 #[derive(Debug, Clone)]
 pub struct Spectrogram {
     frame_duration_s: f64,
     round_trip_per_bin: f64,
     bins: usize,
+    /// Row storage. Until the cap is reached this is a plain append-only
+    /// vector; once full it becomes a ring and `head` marks the oldest
+    /// retained frame, so eviction is an O(bins) overwrite — never a
+    /// front-removal memmove.
     rows: Vec<Vec<f64>>,
+    /// Ring start: index in `rows` of the oldest retained frame.
+    head: usize,
+    /// Retention cap in frames (`None` = unbounded).
+    max_frames: Option<usize>,
+    /// Frames dropped off the front of the window so far.
+    dropped: u64,
 }
 
 impl Spectrogram {
-    /// Creates an empty spectrogram for profiles of `bins` range bins.
+    /// Creates an empty, unbounded spectrogram for profiles of `bins`
+    /// range bins.
     pub fn new(cfg: &SweepConfig, bins: usize) -> Spectrogram {
         Spectrogram {
             frame_duration_s: cfg.frame_duration_s(),
             round_trip_per_bin: cfg.round_trip_per_bin(),
             bins,
             rows: Vec::new(),
+            head: 0,
+            max_frames: None,
+            dropped: 0,
         }
     }
 
-    /// Appends one frame of magnitudes.
+    /// Caps retention at `max_frames` rows (a sliding window).
+    ///
+    /// # Panics
+    /// Panics if `max_frames == 0`.
+    pub fn with_max_frames(mut self, max_frames: usize) -> Spectrogram {
+        assert!(max_frames > 0, "spectrogram capacity must be positive");
+        self.max_frames = Some(max_frames);
+        // Re-linearize the storage (oldest first, head = 0) so both a
+        // shrink below the current fill and a later grow past a wrapped
+        // ring leave rows in time order, then trim any excess.
+        let len = self.rows.len();
+        let excess = len.saturating_sub(max_frames);
+        if len > 0 {
+            let shift = (self.head + excess) % len;
+            if shift != 0 {
+                self.rows.rotate_left(shift);
+            }
+        }
+        self.head = 0;
+        self.rows.truncate(max_frames);
+        self.dropped += excess as u64;
+        self
+    }
+
+    /// The retention cap, if any.
+    pub fn max_frames(&self) -> Option<usize> {
+        self.max_frames
+    }
+
+    /// Frames that have been dropped off the front of the window.
+    pub fn frames_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends one frame of magnitudes. When the retention cap is reached,
+    /// the oldest row's buffer is overwritten in place (O(bins), no
+    /// allocation, no shifting).
     ///
     /// # Panics
     /// Panics if the row width differs from the configured bin count.
     pub fn push_row(&mut self, magnitudes: &[f64]) {
         assert_eq!(magnitudes.len(), self.bins, "row width mismatch");
+        if let Some(cap) = self.max_frames {
+            if self.rows.len() >= cap {
+                self.rows[self.head].copy_from_slice(magnitudes);
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+                return;
+            }
+        }
         self.rows.push(magnitudes.to_vec());
+    }
+
+    /// The `i`-th retained frame, oldest first.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_frames()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows.len(), "frame index out of range");
+        &self.rows[(self.head + i) % self.rows.len()]
     }
 
     /// Number of frames collected.
@@ -51,9 +124,10 @@ impl Spectrogram {
         self.rows.is_empty()
     }
 
-    /// Time (s) of frame `i`.
+    /// Time (s) of the `i`-th *retained* frame, accounting for any frames
+    /// the ring has dropped.
     pub fn time_of(&self, i: usize) -> f64 {
-        i as f64 * self.frame_duration_s
+        (self.dropped + i as u64) as f64 * self.frame_duration_s
     }
 
     /// Round-trip distance (m) of bin `j`.
@@ -61,9 +135,9 @@ impl Spectrogram {
         j as f64 * self.round_trip_per_bin
     }
 
-    /// The raw rows.
-    pub fn rows(&self) -> &[Vec<f64>] {
-        &self.rows
+    /// The retained rows, oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.rows.len()).map(|i| self.row(i))
     }
 
     /// Writes `time_s,round_trip_m,magnitude` CSV rows (with header) into a
@@ -72,8 +146,8 @@ impl Spectrogram {
     pub fn to_csv(&self, time_stride: usize) -> String {
         let stride = time_stride.max(1);
         let mut out = String::from("time_s,round_trip_m,magnitude\n");
-        for (i, row) in self.rows.iter().enumerate().step_by(stride) {
-            for (j, &m) in row.iter().enumerate() {
+        for i in (0..self.rows.len()).step_by(stride) {
+            for (j, &m) in self.row(i).iter().enumerate() {
                 out.push_str(&format!(
                     "{:.4},{:.3},{:.6e}\n",
                     self.time_of(i),
@@ -93,8 +167,7 @@ impl Spectrogram {
         }
         let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
         let max = self
-            .rows
-            .iter()
+            .rows()
             .flat_map(|r| r.iter())
             .fold(0.0_f64, |a, &b| a.max(b))
             .max(1e-300);
@@ -106,7 +179,7 @@ impl Spectrogram {
             for ox in 0..w {
                 let ix = ox * self.bins / w;
                 // Log scale over 40 dB of dynamic range.
-                let v = self.rows[iy][ix] / max;
+                let v = self.row(iy)[ix] / max;
                 let db = 10.0 * v.max(1e-30).log10();
                 let norm = ((db + 40.0) / 40.0).clamp(0.0, 1.0);
                 let idx = (norm * (shades.len() - 1) as f64).round() as usize;
@@ -173,6 +246,71 @@ mod tests {
         let s = Spectrogram::new(&cfg, 8);
         assert!(s.is_empty());
         assert!(s.ascii(10, 10).is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_bounds_rows_and_advances_time() {
+        let cfg = SweepConfig::witrack();
+        let mut s = Spectrogram::new(&cfg, 2).with_max_frames(3);
+        for k in 0..7 {
+            s.push_row(&[k as f64, 0.0]);
+        }
+        assert_eq!(s.num_frames(), 3, "window must stay capped");
+        assert_eq!(s.frames_dropped(), 4);
+        // Oldest retained row is frame 4; its time axis reflects that.
+        assert_eq!(s.row(0)[0], 4.0);
+        let ordered: Vec<f64> = s.rows().map(|r| r[0]).collect();
+        assert_eq!(ordered, vec![4.0, 5.0, 6.0]);
+        assert!((s.time_of(0) - 4.0 * cfg.frame_duration_s()).abs() < 1e-12);
+        assert!((s.time_of(2) - 6.0 * cfg.frame_duration_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_recycles_row_buffers() {
+        let cfg = SweepConfig::witrack();
+        let mut s = Spectrogram::new(&cfg, 4).with_max_frames(2);
+        s.push_row(&[1.0; 4]);
+        s.push_row(&[2.0; 4]);
+        let oldest_ptr = s.row(0).as_ptr();
+        s.push_row(&[3.0; 4]);
+        // The evicted row's allocation carries the newest frame.
+        assert_eq!(s.row(1).as_ptr(), oldest_ptr);
+        assert_eq!(s.row(1)[0], 3.0);
+        assert_eq!(s.row(0)[0], 2.0, "retained order must stay oldest-first");
+    }
+
+    #[test]
+    fn capping_an_overfull_spectrogram_trims_front() {
+        let cfg = SweepConfig::witrack();
+        let mut s = Spectrogram::new(&cfg, 1);
+        for k in 0..5 {
+            s.push_row(&[k as f64]);
+        }
+        let s = s.with_max_frames(2);
+        assert_eq!(s.num_frames(), 2);
+        assert_eq!(s.row(0)[0], 3.0);
+        assert_eq!(s.frames_dropped(), 3);
+    }
+
+    #[test]
+    fn growing_the_cap_of_a_wrapped_ring_keeps_time_order() {
+        let cfg = SweepConfig::witrack();
+        let mut s = Spectrogram::new(&cfg, 1).with_max_frames(2);
+        for k in 0..3 {
+            s.push_row(&[k as f64]); // ring wraps: head = 1, rows [2, 1]
+        }
+        let mut s = s.with_max_frames(4);
+        s.push_row(&[3.0]);
+        let ordered: Vec<f64> = s.rows().map(|r| r[0]).collect();
+        assert_eq!(ordered, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.frames_dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let cfg = SweepConfig::witrack();
+        let _ = Spectrogram::new(&cfg, 1).with_max_frames(0);
     }
 
     #[test]

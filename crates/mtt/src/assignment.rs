@@ -36,6 +36,16 @@ impl CostMatrix {
         CostMatrix { rows, cols, data: vec![f64::INFINITY; rows * cols] }
     }
 
+    /// Reshapes the matrix in place to `rows × cols` with every pair
+    /// forbidden again, reusing the existing allocation — the per-frame
+    /// entry point for trackers that keep one matrix across frames.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, f64::INFINITY);
+    }
+
     /// Number of rows (tracks).
     pub fn rows(&self) -> usize {
         self.rows
@@ -74,7 +84,7 @@ impl CostMatrix {
 }
 
 /// The result of an association solve.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Assignment {
     /// For each row, the matched column (None = unassigned).
     pub row_to_col: Vec<Option<usize>>,
@@ -89,18 +99,6 @@ impl Assignment {
     pub fn matches(&self) -> usize {
         self.row_to_col.iter().flatten().count()
     }
-
-    fn from_row_to_col(row_to_col: Vec<Option<usize>>, cost: &CostMatrix) -> Assignment {
-        let mut col_to_row = vec![None; cost.cols()];
-        let mut total = 0.0;
-        for (r, c) in row_to_col.iter().enumerate() {
-            if let Some(c) = *c {
-                col_to_row[c] = Some(r);
-                total += cost.get(r, c);
-            }
-        }
-        Assignment { row_to_col, col_to_row, total_cost: total }
-    }
 }
 
 /// Problem sizes above which [`solve_assignment`] switches from the exact
@@ -114,120 +112,196 @@ const UNMATCHED: f64 = 1e8;
 /// Padded stand-in for a forbidden pair: worse than unmatching both sides.
 const FORBIDDEN: f64 = 3e8;
 
-/// Solves the association exactly (Hungarian) when the padded size is at
-/// most [`HUNGARIAN_SIZE_LIMIT`], greedily otherwise.
-pub fn solve_assignment(cost: &CostMatrix) -> Assignment {
-    if cost.rows().max(cost.cols()) <= HUNGARIAN_SIZE_LIMIT {
-        solve_assignment_hungarian(cost)
-    } else {
-        solve_assignment_greedy(cost)
-    }
+/// A reusable association solver: all Hungarian/greedy working arrays and
+/// the result itself live in the solver and are recycled across calls, so a
+/// tracker solving one association per antenna per frame performs no
+/// steady-state allocation here.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentSolver {
+    // Hungarian state (1-indexed; p[j] = row matched to column j).
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    // Greedy state.
+    cells: Vec<(usize, usize)>,
+    col_taken: Vec<bool>,
+    /// Reused result; borrow it via the `solve*` return value.
+    result: Assignment,
 }
 
-/// Exact solve: Hungarian algorithm with potentials on the square matrix
-/// padded with [`UNMATCHED`]-cost dummy rows/columns.
-pub fn solve_assignment_hungarian(cost: &CostMatrix) -> Assignment {
-    let (r, c) = (cost.rows(), cost.cols());
-    let n = r.max(c);
-    if n == 0 {
-        return Assignment { row_to_col: Vec::new(), col_to_row: Vec::new(), total_cost: 0.0 };
+impl AssignmentSolver {
+    /// Creates an empty solver (buffers grow to the first problem's size).
+    pub fn new() -> AssignmentSolver {
+        AssignmentSolver::default()
     }
-    let padded = |i: usize, j: usize| -> f64 {
-        if i < r && j < c {
-            let x = cost.get(i, j);
-            if x.is_finite() {
-                x
-            } else {
-                FORBIDDEN
-            }
+
+    /// Solves the association exactly (Hungarian) when the padded size is
+    /// at most [`HUNGARIAN_SIZE_LIMIT`], greedily otherwise. The returned
+    /// reference is valid until the next solve.
+    pub fn solve(&mut self, cost: &CostMatrix) -> &Assignment {
+        if cost.rows().max(cost.cols()) <= HUNGARIAN_SIZE_LIMIT {
+            self.solve_hungarian(cost)
         } else {
-            UNMATCHED
+            self.solve_greedy(cost)
         }
-    };
+    }
 
-    // Shortest-augmenting-path Hungarian with row/column potentials
-    // (the classic 1-indexed formulation; p[j] = row matched to column j).
-    let mut u = vec![0.0_f64; n + 1];
-    let mut v = vec![0.0_f64; n + 1];
-    let mut p = vec![0_usize; n + 1];
-    let mut way = vec![0_usize; n + 1];
-    for i in 1..=n {
-        p[0] = i;
-        let mut j0 = 0_usize;
-        let mut minv = vec![f64::INFINITY; n + 1];
-        let mut used = vec![false; n + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = f64::INFINITY;
-            let mut j1 = 0_usize;
-            for j in 1..=n {
-                if !used[j] {
-                    let cur = padded(i0 - 1, j - 1) - u[i0] - v[j];
-                    if cur < minv[j] {
-                        minv[j] = cur;
-                        way[j] = j0;
-                    }
-                    if minv[j] < delta {
-                        delta = minv[j];
-                        j1 = j;
-                    }
-                }
-            }
-            for j in 0..=n {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
+    /// Exact solve: Hungarian algorithm with potentials on the square
+    /// matrix padded with [`UNMATCHED`]-cost dummy rows/columns.
+    pub fn solve_hungarian(&mut self, cost: &CostMatrix) -> &Assignment {
+        let (r, c) = (cost.rows(), cost.cols());
+        let n = r.max(c);
+        self.result.row_to_col.clear();
+        self.result.row_to_col.resize(r, None);
+        if n == 0 {
+            return self.finish(cost);
+        }
+        let padded = |i: usize, j: usize| -> f64 {
+            if i < r && j < c {
+                let x = cost.get(i, j);
+                if x.is_finite() {
+                    x
                 } else {
-                    minv[j] -= delta;
+                    FORBIDDEN
+                }
+            } else {
+                UNMATCHED
+            }
+        };
+
+        self.u.clear();
+        self.u.resize(n + 1, 0.0);
+        self.v.clear();
+        self.v.resize(n + 1, 0.0);
+        self.p.clear();
+        self.p.resize(n + 1, 0);
+        self.way.clear();
+        self.way.resize(n + 1, 0);
+        self.minv.resize(n + 1, f64::INFINITY);
+        self.used.resize(n + 1, false);
+        for i in 1..=n {
+            self.p[0] = i;
+            let mut j0 = 0_usize;
+            self.minv.fill(f64::INFINITY);
+            self.used.fill(false);
+            loop {
+                self.used[j0] = true;
+                let i0 = self.p[j0];
+                let mut delta = f64::INFINITY;
+                let mut j1 = 0_usize;
+                for j in 1..=n {
+                    if !self.used[j] {
+                        let cur = padded(i0 - 1, j - 1) - self.u[i0] - self.v[j];
+                        if cur < self.minv[j] {
+                            self.minv[j] = cur;
+                            self.way[j] = j0;
+                        }
+                        if self.minv[j] < delta {
+                            delta = self.minv[j];
+                            j1 = j;
+                        }
+                    }
+                }
+                for j in 0..=n {
+                    if self.used[j] {
+                        self.u[self.p[j]] += delta;
+                        self.v[j] -= delta;
+                    } else {
+                        self.minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if self.p[j0] == 0 {
+                    break;
                 }
             }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
+            loop {
+                let j1 = self.way[j0];
+                self.p[j0] = self.p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
             }
         }
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
+
+        for j in 1..=n {
+            let i = self.p[j];
+            if i >= 1 && i - 1 < r && j - 1 < c && cost.is_feasible(i - 1, j - 1) {
+                self.result.row_to_col[i - 1] = Some(j - 1);
             }
         }
+        self.finish(cost)
     }
 
-    let mut row_to_col = vec![None; r];
-    for j in 1..=n {
-        let i = p[j];
-        if i >= 1 && i - 1 < r && j - 1 < c && cost.is_feasible(i - 1, j - 1) {
-            row_to_col[i - 1] = Some(j - 1);
+    /// Greedy fallback: repeatedly match the globally cheapest feasible
+    /// pair. Not optimal (a cheap pair can block two slightly dearer ones)
+    /// but O(n² log n) and good enough when the exact solver would be too
+    /// slow.
+    pub fn solve_greedy(&mut self, cost: &CostMatrix) -> &Assignment {
+        let (r, c) = (cost.rows(), cost.cols());
+        self.cells.clear();
+        self.cells.extend(
+            (0..r)
+                .flat_map(|i| (0..c).map(move |j| (i, j)))
+                .filter(|&(i, j)| cost.is_feasible(i, j)),
+        );
+        // Unstable: allocation-free, and cost ties need no defined order.
+        self.cells.sort_unstable_by(|&a, &b| {
+            cost.get(a.0, a.1).partial_cmp(&cost.get(b.0, b.1)).expect("finite costs")
+        });
+        self.result.row_to_col.clear();
+        self.result.row_to_col.resize(r, None);
+        self.col_taken.clear();
+        self.col_taken.resize(c, false);
+        for &(i, j) in &self.cells {
+            if self.result.row_to_col[i].is_none() && !self.col_taken[j] {
+                self.result.row_to_col[i] = Some(j);
+                self.col_taken[j] = true;
+            }
         }
+        self.finish(cost)
     }
-    Assignment::from_row_to_col(row_to_col, cost)
+
+    /// Rebuilds the column map and total cost from `result.row_to_col`.
+    fn finish(&mut self, cost: &CostMatrix) -> &Assignment {
+        self.result.col_to_row.clear();
+        self.result.col_to_row.resize(cost.cols(), None);
+        let mut total = 0.0;
+        for (row, col) in self.result.row_to_col.iter().enumerate() {
+            if let Some(col) = *col {
+                self.result.col_to_row[col] = Some(row);
+                total += cost.get(row, col);
+            }
+        }
+        self.result.total_cost = total;
+        &self.result
+    }
 }
 
-/// Greedy fallback: repeatedly match the globally cheapest feasible pair.
-/// Not optimal (a cheap pair can block two slightly dearer ones) but
-/// O(n² log n) and good enough when the exact solver would be too slow.
+/// One-shot form of [`AssignmentSolver::solve`], for callers without a
+/// solver to reuse.
+pub fn solve_assignment(cost: &CostMatrix) -> Assignment {
+    let mut solver = AssignmentSolver::new();
+    solver.solve(cost);
+    solver.result
+}
+
+/// One-shot form of [`AssignmentSolver::solve_hungarian`].
+pub fn solve_assignment_hungarian(cost: &CostMatrix) -> Assignment {
+    let mut solver = AssignmentSolver::new();
+    solver.solve_hungarian(cost);
+    solver.result
+}
+
+/// One-shot form of [`AssignmentSolver::solve_greedy`].
 pub fn solve_assignment_greedy(cost: &CostMatrix) -> Assignment {
-    let (r, c) = (cost.rows(), cost.cols());
-    let mut cells: Vec<(usize, usize)> = (0..r)
-        .flat_map(|i| (0..c).map(move |j| (i, j)))
-        .filter(|&(i, j)| cost.is_feasible(i, j))
-        .collect();
-    cells.sort_by(|&a, &b| {
-        cost.get(a.0, a.1).partial_cmp(&cost.get(b.0, b.1)).expect("finite costs")
-    });
-    let mut row_to_col = vec![None; r];
-    let mut col_taken = vec![false; c];
-    for (i, j) in cells {
-        if row_to_col[i].is_none() && !col_taken[j] {
-            row_to_col[i] = Some(j);
-            col_taken[j] = true;
-        }
-    }
-    Assignment::from_row_to_col(row_to_col, cost)
+    let mut solver = AssignmentSolver::new();
+    solver.solve_greedy(cost);
+    solver.result
 }
 
 #[cfg(test)]
@@ -311,6 +385,56 @@ mod tests {
     fn oversized_cost_rejected() {
         let mut m = CostMatrix::new(1, 1);
         m.set(0, 0, CostMatrix::MAX_COST);
+    }
+
+    #[test]
+    fn reused_solver_matches_one_shot_solves() {
+        let problems = [
+            matrix(3, 3, &[(0, 1, 0.1), (1, 0, 0.2), (2, 2, 0.3), (0, 0, 5.0)]),
+            matrix(2, 4, &[(0, 2, 0.5), (1, 0, 0.25), (1, 2, 0.1)]),
+            matrix(4, 2, &[(2, 0, 0.5), (0, 1, 0.25), (2, 1, 0.1)]),
+            matrix(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 100.0)]),
+            CostMatrix::new(0, 0),
+        ];
+        let mut solver = AssignmentSolver::new();
+        for m in &problems {
+            assert_eq!(solver.solve(m), &solve_assignment(m));
+        }
+    }
+
+    #[test]
+    fn solver_scratch_is_reused_across_frames() {
+        // Same-shaped problems frame after frame (the tracker's steady
+        // state): after the first solve, no buffer is ever reallocated.
+        let mut solver = AssignmentSolver::new();
+        let mut cost = CostMatrix::new(3, 3);
+        for i in 0..3 {
+            cost.set(i, (i + 1) % 3, 1.0 + i as f64);
+        }
+        solver.solve(&cost);
+        let ptr = solver.result.row_to_col.as_ptr();
+        let minv_cap = solver.minv.capacity();
+        for frame in 0..5 {
+            cost.reset(3, 3);
+            for i in 0..3 {
+                cost.set(i, (i + frame) % 3, 0.5 + i as f64);
+            }
+            let a = solver.solve(&cost);
+            assert_eq!(a.matches(), 3);
+            assert_eq!(solver.result.row_to_col.as_ptr(), ptr, "result buffer reallocated");
+            assert_eq!(solver.minv.capacity(), minv_cap, "scratch reallocated");
+        }
+    }
+
+    #[test]
+    fn cost_matrix_reset_reuses_allocation() {
+        let mut m = CostMatrix::new(4, 4);
+        m.set(0, 0, 1.0);
+        let cap = m.data.capacity();
+        m.reset(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert!(!m.is_feasible(0, 0), "reset must forbid all pairs");
+        assert_eq!(m.data.capacity(), cap, "reset reallocated");
     }
 
     #[test]

@@ -8,7 +8,9 @@ pub mod config;
 pub mod pipeline;
 pub mod track;
 
-pub use assignment::{solve_assignment, solve_assignment_greedy, Assignment, CostMatrix};
+pub use assignment::{
+    solve_assignment, solve_assignment_greedy, Assignment, AssignmentSolver, CostMatrix,
+};
 pub use config::MttConfig;
 pub use pipeline::{MttUpdate, MultiWiTrack, TrackSnapshot};
 pub use track::{TrackId, TrackPhase};

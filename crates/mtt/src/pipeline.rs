@@ -7,6 +7,13 @@
 //! 1. **Top-K contours** — each antenna's background-subtracted range
 //!    profile yields up to `max_targets` contour detections
 //!    ([`witrack_fmcw::ContourTracker::detect_top_k`]) instead of one.
+//!    On frame-completing sweeps this per-antenna stage fans out across
+//!    scoped threads (multi-core hosts only), and its buffers — profile,
+//!    CZT scratch, baseline, magnitudes, detections, association cost
+//!    matrix and solver scratch — are reused across frames: the
+//!    profile→background path performs no steady-state heap allocation
+//!    (the noise-floor order statistics inside contour detection and the
+//!    track bookkeeping still make small per-frame allocations).
 //! 2. **Gated per-antenna association** — live tracks predict their
 //!    per-antenna round trips; a Hungarian assignment
 //!    ([`crate::assignment`]) matches detections to tracks within
@@ -30,10 +37,10 @@
 //! coasts, then drops), and targets closer than about a range bin in round
 //! trip on every antenna are one detection until they separate.
 
-use crate::assignment::{solve_assignment, CostMatrix};
+use crate::assignment::{AssignmentSolver, CostMatrix};
 use crate::config::MttConfig;
 use crate::track::{MttTrack, TrackId, TrackPhase};
-use witrack_core::pipeline::BuildError;
+use witrack_core::pipeline::{antenna_parallelism, BuildError};
 use witrack_fmcw::contour::Detection;
 use witrack_fmcw::{BackgroundSubtractor, ContourTracker, RangeProfiler};
 use witrack_dsp::window::WindowKind;
@@ -97,8 +104,17 @@ pub struct MultiWiTrack {
     array: AntennaArray,
     profilers: Vec<RangeProfiler>,
     backgrounds: Vec<BackgroundSubtractor>,
+    /// Per-antenna detection buffers, reused across frames.
+    detections: Vec<Vec<Detection>>,
     contour: ContourTracker,
+    /// Fan per-antenna frame work out across threads (multi-core hosts
+    /// only; see [`antenna_parallelism`]).
+    parallel: bool,
     gn: GaussNewtonConfig,
+    /// Association cost matrix, reused across frames.
+    cost: CostMatrix,
+    /// Association solver scratch, reused across frames.
+    solver: AssignmentSolver,
     tracks: Vec<MttTrack>,
     next_id: u64,
     frame_index: u64,
@@ -126,8 +142,12 @@ impl MultiWiTrack {
                 .map(|_| RangeProfiler::new(&cfg.base.sweep, WindowKind::Hann, cfg.base.max_round_trip_m))
                 .collect(),
             backgrounds: (0..n_rx).map(|_| BackgroundSubtractor::new()).collect(),
+            detections: (0..n_rx).map(|_| Vec::new()).collect(),
             contour: ContourTracker::new(cfg.base.sweep, cfg.base.contour),
+            parallel: antenna_parallelism(n_rx),
             gn: GaussNewtonConfig::default(),
+            cost: CostMatrix::new(0, 0),
+            solver: AssignmentSolver::new(),
             tracks: Vec::new(),
             next_id: 0,
             frame_index: 0,
@@ -161,32 +181,67 @@ impl MultiWiTrack {
     pub fn push_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<MttUpdate> {
         assert_eq!(per_rx.len(), self.profilers.len(), "one sweep per receive antenna");
         self.sweeps_seen += 1;
-        let mut profiles = Vec::with_capacity(per_rx.len());
-        for (prof, sweep) in self.profilers.iter_mut().zip(per_rx) {
-            profiles.push(prof.push_sweep(sweep));
-        }
-        if profiles.iter().any(|p| p.is_none()) {
-            debug_assert!(profiles.iter().all(|p| p.is_none()), "profilers desynchronized");
+        // All profilers share the sweep clock; accumulate-only sweeps are
+        // microseconds of serial work.
+        let completes =
+            self.profilers.first().map(|p| p.next_sweep_completes_frame()).unwrap_or(false);
+        if !completes {
+            for (prof, sweep) in self.profilers.iter_mut().zip(per_rx) {
+                let emitted = prof.push_sweep(sweep);
+                debug_assert!(emitted.is_none(), "profilers desynchronized");
+            }
             return None;
         }
 
-        // Per-antenna top-K contour extraction.
-        let detections: Vec<Vec<Detection>> = profiles
-            .into_iter()
+        // Frame-completing sweep: the per-antenna profile → background →
+        // top-K contour stage, fanned out with scoped threads on
+        // multi-core hosts. Each thread gets disjoint &mut state; the
+        // contour tracker and tuning are shared read-only.
+        let contour = &self.contour;
+        let budget = self.cfg.detection_budget();
+        let min_sep = self.cfg.min_peak_separation_bins;
+        let stage = |prof: &mut RangeProfiler,
+                     bg: &mut BackgroundSubtractor,
+                     dets: &mut Vec<Detection>,
+                     sweep: &[f64]| {
+            let profile = prof.push_sweep(sweep).expect("frame-completing sweep");
+            match bg.push(profile) {
+                None => dets.clear(),
+                Some(mags) => contour.detect_top_k_into(mags, budget, min_sep, dets),
+            }
+        };
+        let stages = self
+            .profilers
+            .iter_mut()
             .zip(self.backgrounds.iter_mut())
-            .map(|(profile, bg)| match bg.push(&profile.expect("checked above")) {
-                None => Vec::new(),
-                Some(mags) => self.contour.detect_top_k(
-                    &mags,
-                    self.cfg.detection_budget(),
-                    self.cfg.min_peak_separation_bins,
-                ),
-            })
-            .collect();
+            .zip(self.detections.iter_mut())
+            .zip(per_rx);
+        if self.parallel {
+            let stage = &stage;
+            std::thread::scope(|s| {
+                // The caller's thread takes the last antenna itself instead
+                // of blocking at the scope barrier — one fewer spawn.
+                let mut stages = stages;
+                let last = stages.next_back();
+                for (((prof, bg), dets), sweep) in stages {
+                    s.spawn(move || stage(prof, bg, dets, sweep));
+                }
+                if let Some((((prof, bg), dets), sweep)) = last {
+                    stage(prof, bg, dets, sweep);
+                }
+            });
+        } else {
+            for (((prof, bg), dets), sweep) in stages {
+                stage(prof, bg, dets, sweep);
+            }
+        }
 
         let dt = self.cfg.base.sweep.frame_duration_s();
         let time_s = self.sweeps_seen as f64 * self.cfg.base.sweep.sweep_duration_s;
 
+        // Take the detection buffers so &mut self methods can run; the
+        // buffers (and their capacity) are returned afterwards.
+        let detections = std::mem::take(&mut self.detections);
         let claimed = self.associate_and_update(&detections, dt);
         self.initiate_tracks(&detections, &claimed);
         self.tracks.retain(|t| !t.is_dead());
@@ -208,6 +263,7 @@ impl MultiWiTrack {
                 })
                 .collect(),
         };
+        self.detections = detections;
         self.frame_index += 1;
         Some(update)
     }
@@ -253,17 +309,17 @@ impl MultiWiTrack {
         for k in 0..n_rx {
             let available: Vec<usize> =
                 (0..detections[k].len()).filter(|&d| !claimed[k][d]).collect();
-            let mut cost = CostMatrix::new(pass.len(), available.len());
+            self.cost.reset(pass.len(), available.len());
             for (pi, pred) in predicted.iter().enumerate() {
                 let pred_rt = self.array.round_trip(*pred, k);
                 for (ci, &di) in available.iter().enumerate() {
                     let err = (detections[k][di].round_trip_m - pred_rt).abs();
                     if err < self.cfg.gate_round_trip_m {
-                        cost.set(pi, ci, err);
+                        self.cost.set(pi, ci, err);
                     }
                 }
             }
-            let assignment = solve_assignment(&cost);
+            let assignment = self.solver.solve(&self.cost);
             for (pi, ci) in assignment.row_to_col.iter().enumerate() {
                 if let Some(ci) = *ci {
                     let di = available[ci];
@@ -366,6 +422,9 @@ impl MultiWiTrack {
         }
         for b in &mut self.backgrounds {
             b.reset();
+        }
+        for d in &mut self.detections {
+            d.clear();
         }
         self.tracks.clear();
         self.frame_index = 0;
