@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_*.json against the
+checked-in baseline and fail on a throughput drop beyond tolerance.
+
+Usage:
+    ci/perf_gate.py BASELINE FRESH [--tolerance 0.30]
+
+Understands both artifact shapes this repo emits:
+
+* ``t_throughput``: top-level ``scenarios``, keyed by ``name``, metric
+  ``frames_per_sec``;
+* ``t_serve``: top-level ``results``, keyed by ``(shards, sensors)``,
+  metric ``per_sensor_fps``.
+
+Only entries present in BOTH files are compared (CI smoke runs a subset
+of the baseline matrix). Improvements never fail; a fresh value below
+``baseline * (1 - tolerance)`` does. Exits 0 on pass, 1 on regression,
+2 on a malformed or incomparable pair.
+"""
+
+import argparse
+import json
+import sys
+
+
+def entries(doc):
+    """Yield (key, metric_value) pairs for either artifact shape."""
+    if "scenarios" in doc:
+        for s in doc["scenarios"]:
+            yield s["name"], float(s["frames_per_sec"])
+    elif "results" in doc:
+        for r in doc["results"]:
+            yield (r["shards"], r["sensors"]), float(r["per_sensor_fps"])
+    else:
+        raise KeyError("neither 'scenarios' nor 'results' present")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop (default 0.30)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = dict(entries(json.load(f)))
+        with open(args.fresh) as f:
+            fresh = dict(entries(json.load(f)))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"perf gate: cannot read artifacts: {e}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(base) & set(fresh), key=str)
+    if not common:
+        print("perf gate: no comparable entries between baseline and fresh run",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for key in common:
+        floor = base[key] * (1.0 - args.tolerance)
+        ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+        verdict = "ok" if fresh[key] >= floor else "REGRESSION"
+        failed |= verdict != "ok"
+        print(f"  {key!s:>24}: baseline {base[key]:10.1f}  fresh {fresh[key]:10.1f}"
+              f"  ({ratio:6.1%})  {verdict}")
+    skipped = (set(base) | set(fresh)) - set(common)
+    if skipped:
+        print(f"  (skipped {len(skipped)} entries present in only one file)")
+
+    if failed:
+        print(f"perf gate: FAIL — fresh throughput fell more than "
+              f"{args.tolerance:.0%} below baseline", file=sys.stderr)
+        return 1
+    print(f"perf gate: pass ({len(common)} entries within {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,7 +108,16 @@ impl RtiNetwork {
             }
         }
 
-        let mut net = RtiNetwork { cfg, x0, y0, nx, ny, nodes, links, weights: Vec::new() };
+        let mut net = RtiNetwork {
+            cfg,
+            x0,
+            y0,
+            nx,
+            ny,
+            nodes,
+            links,
+            weights: Vec::new(),
+        };
         net.build_weights();
         net
     }
@@ -194,7 +203,11 @@ impl RtiNetwork {
                 let d = self.distance_to_link(l, px, py);
                 let crossed = d < self.cfg.shadow_sigma;
                 let registered = crossed && rng.random::<f64>() >= self.cfg.miss_prob;
-                let shadow = if registered { 0.6 + 0.4 * rng.random::<f64>() } else { 0.0 };
+                let shadow = if registered {
+                    0.6 + 0.4 * rng.random::<f64>()
+                } else {
+                    0.0
+                };
                 let spurious = if rng.random::<f64>() < self.cfg.multipath_prob {
                     0.8 * rng.random::<f64>()
                 } else {
@@ -219,7 +232,9 @@ impl RtiNetwork {
         }
         // Matrix-free A·x = WᵀW x + αx.
         let apply = |x: &[f64], out: &mut [f64]| {
-            out.iter_mut().zip(x).for_each(|(o, &xi)| *o = self.cfg.regularization * xi);
+            out.iter_mut()
+                .zip(x)
+                .for_each(|(o, &xi)| *o = self.cfg.regularization * xi);
             for row in &self.weights {
                 let mut dot = 0.0;
                 for &(p, w) in row {
@@ -332,12 +347,7 @@ mod tests {
     fn cg_solves_identity_like_system() {
         // A = I: solution = b.
         let b = vec![1.0, -2.0, 3.0];
-        let x = conjugate_gradient(
-            |v, out| out.copy_from_slice(v),
-            &b,
-            50,
-            1e-12,
-        );
+        let x = conjugate_gradient(|v, out| out.copy_from_slice(v), &b, 50, 1e-12);
         for (xi, bi) in x.iter().zip(&b) {
             assert!((xi - bi).abs() < 1e-9);
         }

@@ -10,8 +10,9 @@ use witrack_dsp::{Complex, Czt, Fft};
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for n in [2048usize, 2500, 4096] {
-        let data: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
         let mut plan = Fft::new(n);
         let mut buf = data.clone();
         group.bench_function(format!("forward_{n}"), |b| {
@@ -55,11 +56,20 @@ fn bench_kalman(c: &mut Criterion) {
 
 fn bench_regression(c: &mut Criterion) {
     let ts: Vec<f64> = (0..64).map(|i| i as f64 * 0.0125).collect();
-    let ys: Vec<f64> = ts.iter().map(|&t| 4.0 + 2.0 * t + (t * 50.0).sin() * 0.01).collect();
+    let ys: Vec<f64> = ts
+        .iter()
+        .map(|&t| 4.0 + 2.0 * t + (t * 50.0).sin() * 0.01)
+        .collect();
     c.bench_function("robust_line_64pts", |b| {
         b.iter(|| witrack_dsp::regression::robust_line(black_box(&ts), black_box(&ys)))
     });
 }
 
-criterion_group!(benches, bench_fft, bench_czt, bench_kalman, bench_regression);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_czt,
+    bench_kalman,
+    bench_regression
+);
 criterion_main!(benches);

@@ -6,10 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use witrack_geom::Vec3;
 use witrack_mtt::assignment::{solve_assignment_greedy, solve_assignment_hungarian};
 use witrack_mtt::track::{MttTrack, TrackId};
 use witrack_mtt::{CostMatrix, MttConfig};
-use witrack_geom::Vec3;
 
 /// A dense association problem shaped like a busy frame: `n` tracks × `n`
 /// detections, costs from a deterministic hash, ~half the pairs gated out.
@@ -77,7 +77,11 @@ fn bench_frame_association_and_update(c: &mut Criterion) {
     c.bench_function("frame_assoc_plus_update_3tracks", |b| {
         let mut tracks: Vec<MttTrack> = (0..n_tracks)
             .map(|i| {
-                MttTrack::new(TrackId(i as u64), Vec3::new(i as f64, 4.0 + i as f64, 1.0), &cfg)
+                MttTrack::new(
+                    TrackId(i as u64),
+                    Vec3::new(i as f64, 4.0 + i as f64, 1.0),
+                    &cfg,
+                )
             })
             .collect();
         b.iter(|| {

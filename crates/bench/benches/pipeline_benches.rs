@@ -23,7 +23,11 @@ fn record_sweeps(seconds: f64) -> Vec<Vec<Vec<f64>>> {
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, seconds, 0.0, 5);
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 5 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 5,
+        },
         channel,
         Box::new(motion),
     );

@@ -22,7 +22,12 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { paper_scale: false, seed: 1, experiments: None, duration: None }
+        HarnessArgs {
+            paper_scale: false,
+            seed: 1,
+            experiments: None,
+            duration: None,
+        }
     }
 }
 
@@ -58,12 +63,14 @@ impl HarnessArgs {
 
     /// Picks an experiment count: override > paper scale > quick default.
     pub fn experiment_count(&self, quick: usize, paper: usize) -> usize {
-        self.experiments.unwrap_or(if self.paper_scale { paper } else { quick })
+        self.experiments
+            .unwrap_or(if self.paper_scale { paper } else { quick })
     }
 
     /// Picks a duration: override > paper scale > quick default.
     pub fn duration_s(&self, quick: f64, paper: f64) -> f64 {
-        self.duration.unwrap_or(if self.paper_scale { paper } else { quick })
+        self.duration
+            .unwrap_or(if self.paper_scale { paper } else { quick })
     }
 }
 
@@ -93,7 +100,15 @@ mod tests {
 
     #[test]
     fn overrides_win() {
-        let a = parse(&["--paper", "--experiments", "7", "--duration", "3.5", "--seed", "99"]);
+        let a = parse(&[
+            "--paper",
+            "--experiments",
+            "7",
+            "--duration",
+            "3.5",
+            "--seed",
+            "99",
+        ]);
         assert_eq!(a.experiment_count(10, 100), 7);
         assert_eq!(a.duration_s(12.0, 60.0), 3.5);
         assert_eq!(a.seed, 99);

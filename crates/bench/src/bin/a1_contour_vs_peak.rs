@@ -24,7 +24,11 @@ fn run(occlusion_amp: f64, seed: u64, dur: f64) -> (f64, f64) {
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, dur, 0.25, seed);
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed,
+        },
         channel,
         Box::new(motion),
     );
@@ -49,7 +53,10 @@ fn run(occlusion_amp: f64, seed: u64, dur: f64) -> (f64, f64) {
             }
         }
     }
-    (witrack_dsp::stats::median(&contour_errs), witrack_dsp::stats::median(&peak_errs))
+    (
+        witrack_dsp::stats::median(&contour_errs),
+        witrack_dsp::stats::median(&peak_errs),
+    )
 }
 
 fn main() {

@@ -35,9 +35,9 @@ fn main() {
         for r in &results {
             errors.merge(&r.errors);
         }
-        for axis in 0..3 {
+        for (axis, rows) in per_axis_rows.iter_mut().enumerate() {
             let (med, p90) = errors.summary(axis);
-            per_axis_rows[axis].push((sep, med, p90));
+            rows.push((sep, med, p90));
         }
     }
     for (axis, label) in [(0usize, "x"), (1, "y"), (2, "z")] {

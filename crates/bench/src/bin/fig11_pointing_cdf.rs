@@ -28,7 +28,9 @@ fn main() {
         let stance = Vec3::new(-1.5 + 3.0 * u, 3.5 + 3.0 * v, 1.0);
         let az = (u - 0.5) * 2.2; // ±63° azimuth
         let el = (v - 0.3) * 0.9;
-        let direction = Vec3::new(az.sin(), az.cos(), el).normalized().expect("unit");
+        let direction = Vec3::new(az.sin(), az.cos(), el)
+            .normalized()
+            .expect("unit");
         let spec = PointingSpec {
             seed: args.seed + i as u64 * 37,
             stance,
@@ -41,7 +43,10 @@ fn main() {
             None => failures += 1,
         }
     }
-    println!("\ngestures: {n}, estimated: {}, failed to segment: {failures}", errors.len());
+    println!(
+        "\ngestures: {n}, estimated: {}, failed to segment: {failures}",
+        errors.len()
+    );
     let cdf = EmpiricalCdf::new(errors);
     print_cdf("pointing_error_deg", &cdf, 21);
     println!(

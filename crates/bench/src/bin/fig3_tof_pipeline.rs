@@ -37,7 +37,11 @@ fn main() {
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, dur, 0.25, args.seed);
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: args.seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: args.seed,
+        },
         channel,
         Box::new(motion),
     );
@@ -57,8 +61,8 @@ fn main() {
         if let Some(profile) = profiler.push_sweep(&set.per_rx[0]) {
             let mags: Vec<f64> = profile.iter().map(|z| z.abs()).collect();
             raw_spec.push_row(&mags);
-            if let Some(sub) = background.push(&profile) {
-                let detection = tracker.detect(&sub);
+            if let Some(sub) = background.push(profile) {
+                let detection = tracker.detect(sub);
                 let denoised =
                     denoiser.push(detection.map(|d| d.round_trip_m), sweep.frame_duration_s());
                 contour_rows.push((
@@ -66,7 +70,7 @@ fn main() {
                     detection.map(|d| d.round_trip_m),
                     denoised.map(|d| d.round_trip_m),
                 ));
-                sub_spec.push_row(&sub);
+                sub_spec.push_row(sub);
             }
         }
     }
@@ -80,8 +84,10 @@ fn main() {
     for (t, raw, den) in contour_rows.iter().step_by(stride) {
         println!(
             "{t:.3} {} {}",
-            raw.map(|v| format!("{v:.3}")).unwrap_or_else(|| "nan".into()),
-            den.map(|v| format!("{v:.3}")).unwrap_or_else(|| "nan".into()),
+            raw.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "nan".into()),
+            den.map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "nan".into()),
         );
     }
     // Quantify the flash-effect removal: the strongest static stripe vs the

@@ -8,11 +8,11 @@
 use witrack_bench::printing::banner;
 use witrack_bench::HarnessArgs;
 use witrack_dsp::peak;
+use witrack_fmcw::Spectrogram;
 use witrack_fmcw::{SweepConfig, TofEstimator};
 use witrack_geom::Vec3;
 use witrack_sim::motion::PointingScript;
 use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
-use witrack_fmcw::Spectrogram;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -35,7 +35,11 @@ fn main() {
         reference_amplitude: 100.0,
     };
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: args.seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: args.seed,
+        },
         channel,
         Box::new(script),
     );

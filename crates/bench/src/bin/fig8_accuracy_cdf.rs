@@ -28,7 +28,10 @@ fn condition(name: &str, through_wall: bool, args: &HarnessArgs) {
     for r in &results {
         errors.merge(&r.errors);
     }
-    println!("\n--- {name}: {n} experiments x {dur} s, {} samples ---", errors.len());
+    println!(
+        "\n--- {name}: {n} experiments x {dur} s, {} samples ---",
+        errors.len()
+    );
     for (axis, label) in [(0, "x"), (1, "y"), (2, "z")] {
         print_cdf(label, &errors.cdf(axis), 21);
     }
@@ -37,7 +40,12 @@ fn condition(name: &str, through_wall: bool, args: &HarnessArgs) {
     let (mz, pz) = errors.summary(2);
     println!(
         "summary {name}: median x {} y {} z {} | 90th x {} y {} z {}",
-        cm(mx), cm(my), cm(mz), cm(px), cm(py), cm(pz)
+        cm(mx),
+        cm(my),
+        cm(mz),
+        cm(px),
+        cm(py),
+        cm(pz)
     );
 }
 

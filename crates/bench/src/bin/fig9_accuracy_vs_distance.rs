@@ -22,7 +22,12 @@ fn main() {
         .map(|i| TrackingSpec {
             duration_s: dur,
             seed: args.seed + i as u64 * 97,
-            region: Some(Rect { x_min: -2.5, x_max: 2.5, y_min: 3.0, y_max: 11.0 }),
+            region: Some(Rect {
+                x_min: -2.5,
+                x_max: 2.5,
+                y_min: 3.0,
+                y_max: 11.0,
+            }),
             room_depth_y: 12.0,
             subject_scale: 0.85 + 0.3 * ((i % 11) as f64 / 10.0),
             ..TrackingSpec::default()

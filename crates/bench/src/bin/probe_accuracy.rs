@@ -4,12 +4,20 @@ use witrack_bench::{run_tracking, TrackingSpec};
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let spec = TrackingSpec { duration_s: 10.0, seed: 3, ..TrackingSpec::default() };
+    let spec = TrackingSpec {
+        duration_s: 10.0,
+        seed: 3,
+        ..TrackingSpec::default()
+    };
     let r = run_tracking(&spec);
     let (mx, px) = r.errors.summary(0);
     let (my, py) = r.errors.summary(1);
     let (mz, pz) = r.errors.summary(2);
-    println!("samples {} dropout {:.3}", r.errors.len(), r.dropout_fraction);
+    println!(
+        "samples {} dropout {:.3}",
+        r.errors.len(),
+        r.dropout_fraction
+    );
     println!("x median {:.3} p90 {:.3}", mx, px);
     println!("y median {:.3} p90 {:.3}", my, py);
     println!("z median {:.3} p90 {:.3}", mz, pz);

@@ -5,17 +5,35 @@ use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
 
 fn main() {
     let sweep = witrack_fmcw::SweepConfig::witrack();
-    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut wt = WiTrack::new(cfg).unwrap();
     let array = wt.array().clone();
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 10.0, 0.25, 3);
-    let channel = Channel { scene: Scene::witrack_lab(true), array: array.clone(), body: BodyModel::adult(), reference_amplitude: 100.0 };
-    let mut sim = Simulator::new(SimConfig { sweep, noise_std: 0.05, seed: 3 }, channel, Box::new(motion));
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array: array.clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let mut sim = Simulator::new(
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 3,
+        },
+        channel,
+        Box::new(motion),
+    );
     let mut rows = Vec::new();
     while let Some(set) = sim.next_sweeps() {
         let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
         if let Some(u) = wt.push_sweeps(&refs) {
-            if u.time_s < 2.0 { continue; }
+            if u.time_s < 2.0 {
+                continue;
+            }
             let truth = sim.surface_truth(u.time_s);
             let moving = sim.true_state(u.time_s).moving;
             let rt_true = array.round_trip(truth, 0);
@@ -26,14 +44,28 @@ fn main() {
         }
     }
     // Find worst denoised error and print surrounding frames.
-    let mut worst_i = 0; let mut worst = 0.0;
+    let mut worst_i = 0;
+    let mut worst = 0.0;
     for (i, r) in rows.iter().enumerate() {
-        if let Some(d) = r.3 { let e = (d - r.1).abs(); if e > worst { worst = e; worst_i = i; } }
+        if let Some(d) = r.3 {
+            let e = (d - r.1).abs();
+            if e > worst {
+                worst = e;
+                worst_i = i;
+            }
+        }
     }
     println!("worst denoised err {worst:.3} at t={:.3}", rows[worst_i].0);
     let lo = worst_i.saturating_sub(15);
     for r in &rows[lo..(worst_i + 10).min(rows.len())] {
-        println!("t={:.3} true={:.3} raw={:?} den={:?} held={} moving={}",
-            r.0, r.1, r.2.map(|v| (v*1000.0).round()/1000.0), r.3.map(|v| (v*1000.0).round()/1000.0), r.4, r.5);
+        println!(
+            "t={:.3} true={:.3} raw={:?} den={:?} held={} moving={}",
+            r.0,
+            r.1,
+            r.2.map(|v| (v * 1000.0).round() / 1000.0),
+            r.3.map(|v| (v * 1000.0).round() / 1000.0),
+            r.4,
+            r.5
+        );
     }
 }

@@ -1,5 +1,5 @@
 //! Per-trial fall-classifier diagnostics.
-use witrack_bench::runner::{run_activity, activity_script_for, ActivitySpec};
+use witrack_bench::runner::{activity_script_for, run_activity, ActivitySpec};
 use witrack_core::fall::{classify_elevation_track, FallConfig, Verdict};
 use witrack_sim::motion::Activity;
 
@@ -7,17 +7,31 @@ fn main() {
     let cfg = FallConfig::default();
     for activity in Activity::all() {
         for i in 0..8u64 {
-            let spec = ActivitySpec { activity, seed: 1 + i * 131 + activity.label().len() as u64, duration_s: 15.0, ..ActivitySpec::default() };
+            let spec = ActivitySpec {
+                activity,
+                seed: 1 + i * 131 + activity.label().len() as u64,
+                duration_s: 15.0,
+                ..ActivitySpec::default()
+            };
             let track = run_activity(&spec);
             let script = activity_script_for(&spec);
             let v = classify_elevation_track(&track, &cfg);
             let detail = match v {
-                Verdict::Fall(e) | Verdict::TooSlow(e) => format!("from {:.2} to {:.2} trans {:.2}", e.from_z, e.to_z, e.transition_s),
+                Verdict::Fall(e) | Verdict::TooSlow(e) => format!(
+                    "from {:.2} to {:.2} trans {:.2}",
+                    e.from_z, e.to_z, e.transition_s
+                ),
                 _ => String::new(),
             };
-            println!("{:<14} seed{} scripted(trans {:.2} final {:.2}) -> {:?} {}",
-                activity.label(), spec.seed, script.transition_s(), script.final_z(),
-                std::mem::discriminant(&v), detail);
+            println!(
+                "{:<14} seed{} scripted(trans {:.2} final {:.2}) -> {:?} {}",
+                activity.label(),
+                spec.seed,
+                script.transition_s(),
+                script.final_z(),
+                std::mem::discriminant(&v),
+                detail
+            );
         }
     }
 }

@@ -7,22 +7,45 @@ use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
 fn main() {
     let sweep = witrack_fmcw::SweepConfig::witrack();
     for (i, activity) in Activity::all().into_iter().enumerate() {
-        let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+        let cfg = WiTrackConfig {
+            sweep,
+            ..WiTrackConfig::witrack_default()
+        };
         let mut wt = WiTrack::new(cfg).unwrap();
-        let channel = Channel { scene: Scene::witrack_lab(true), array: wt.array().clone(), body: BodyModel::adult(), reference_amplitude: 100.0 };
-        let script = ActivityScript::generate(activity, Vec3::new(0.0, 5.0, 1.0), 15.0, 40 + i as u64);
-        let mut sim = Simulator::new(SimConfig { sweep, noise_std: 0.05, seed: 40 + i as u64 }, channel, Box::new(script));
+        let channel = Channel {
+            scene: Scene::witrack_lab(true),
+            array: wt.array().clone(),
+            body: BodyModel::adult(),
+            reference_amplitude: 100.0,
+        };
+        let script =
+            ActivityScript::generate(activity, Vec3::new(0.0, 5.0, 1.0), 15.0, 40 + i as u64);
+        let mut sim = Simulator::new(
+            SimConfig {
+                sweep,
+                noise_std: 0.05,
+                seed: 40 + i as u64,
+            },
+            channel,
+            Box::new(script),
+        );
         let mut zs = Vec::new();
         while let Some(set) = sim.next_sweeps() {
             let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
             if let Some(u) = wt.push_sweeps(&refs) {
-                if u.time_s < 2.0 { continue; }
-                if let Some(p) = u.position { zs.push((u.time_s, p.z)); }
+                if u.time_s < 2.0 {
+                    continue;
+                }
+                if let Some(p) = u.position {
+                    zs.push((u.time_s, p.z));
+                }
             }
         }
         println!("== {} ==", activity.label());
-        let stride = (zs.len()/30).max(1);
-        for (t, z) in zs.iter().step_by(stride) { print!("({t:.1},{z:.2}) "); }
+        let stride = (zs.len() / 30).max(1);
+        for (t, z) in zs.iter().step_by(stride) {
+            print!("({t:.1},{z:.2}) ");
+        }
         println!();
     }
 }

@@ -5,12 +5,28 @@ use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
 
 fn main() {
     let sweep = witrack_fmcw::SweepConfig::witrack();
-    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut wt = WiTrack::new(cfg).unwrap();
     let array = wt.array().clone();
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 10.0, 0.25, 3);
-    let channel = Channel { scene: Scene::witrack_lab(true), array: array.clone(), body: BodyModel::adult(), reference_amplitude: 100.0 };
-    let mut sim = Simulator::new(SimConfig { sweep, noise_std: 0.05, seed: 3 }, channel, Box::new(motion));
+    let channel = Channel {
+        scene: Scene::witrack_lab(true),
+        array: array.clone(),
+        body: BodyModel::adult(),
+        reference_amplitude: 100.0,
+    };
+    let mut sim = Simulator::new(
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 3,
+        },
+        channel,
+        Box::new(motion),
+    );
     let mut raw_errs: Vec<Vec<f64>> = vec![vec![]; 3];
     let mut den_errs: Vec<Vec<f64>> = vec![vec![]; 3];
     let mut miss = [0usize; 3];
@@ -18,7 +34,9 @@ fn main() {
     while let Some(set) = sim.next_sweeps() {
         let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
         if let Some(u) = wt.push_sweeps(&refs) {
-            if u.time_s < 2.0 { continue; }
+            if u.time_s < 2.0 {
+                continue;
+            }
             frames += 1;
             let truth = sim.surface_truth(u.time_s);
             for k in 0..3 {

@@ -51,7 +51,16 @@ fn main() {
         println!("{:<20} {d} / {n}", a.label());
     }
     println!("\ntrials      {}", confusion.total());
-    println!("precision   {:.1} %  (paper: 96.9 %)", confusion.precision() * 100.0);
-    println!("recall      {:.1} %  (paper: 93.9 %)", confusion.recall() * 100.0);
-    println!("F-measure   {:.1} %  (paper: 94.4 %)", confusion.f_measure() * 100.0);
+    println!(
+        "precision   {:.1} %  (paper: 96.9 %)",
+        confusion.precision() * 100.0
+    );
+    println!(
+        "recall      {:.1} %  (paper: 93.9 %)",
+        confusion.recall() * 100.0
+    );
+    println!(
+        "F-measure   {:.1} %  (paper: 94.4 %)",
+        confusion.f_measure() * 100.0
+    );
 }

@@ -20,13 +20,29 @@ fn main() {
     );
     let cfg = WiTrackConfig::witrack_default();
     let sweep = cfg.sweep;
-    println!("sweep duration        {:.1} ms", sweep.sweep_duration_s * 1e3);
-    println!("swept bandwidth       {:.2} GHz ({:.2} -> {:.2} GHz)",
-        sweep.bandwidth_hz / 1e9, sweep.start_freq_hz / 1e9, sweep.end_freq_hz() / 1e9);
-    println!("transmit power        {:.2} mW", sweep.transmit_power_w * 1e3);
-    println!("range resolution      {:.1} cm (paper: 8.8 cm)", sweep.range_resolution() * 100.0);
-    println!("frame period          {:.1} ms ({} sweeps)",
-        sweep.frame_duration_s() * 1e3, sweep.sweeps_per_frame);
+    println!(
+        "sweep duration        {:.1} ms",
+        sweep.sweep_duration_s * 1e3
+    );
+    println!(
+        "swept bandwidth       {:.2} GHz ({:.2} -> {:.2} GHz)",
+        sweep.bandwidth_hz / 1e9,
+        sweep.start_freq_hz / 1e9,
+        sweep.end_freq_hz() / 1e9
+    );
+    println!(
+        "transmit power        {:.2} mW",
+        sweep.transmit_power_w * 1e3
+    );
+    println!(
+        "range resolution      {:.1} cm (paper: 8.8 cm)",
+        sweep.range_resolution() * 100.0
+    );
+    println!(
+        "frame period          {:.1} ms ({} sweeps)",
+        sweep.frame_duration_s() * 1e3,
+        sweep.sweeps_per_frame
+    );
 
     // Pre-generate 2 s of sweeps, then time the processing alone.
     let mut wt = WiTrack::new(cfg).expect("valid config");
@@ -39,7 +55,11 @@ fn main() {
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 2.0, 0.0, 7);
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 7 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 7,
+        },
         channel,
         Box::new(motion),
     );
@@ -66,6 +86,16 @@ fn main() {
     let max = frame_latencies.iter().cloned().fold(0.0_f64, f64::max);
     println!("\nper-frame processing latency over {} frames (3 antennas, FFT->contour->denoise->3D solve):", frame_latencies.len());
     println!("  median {med:.3} ms | p99 {p99:.3} ms | max {max:.3} ms");
-    println!("  frame budget 12.5 ms: {}", if p99 < 12.5 { "MET (real-time)" } else { "MISSED" });
-    println!("  paper's 75 ms output bound: {}", if max < 75.0 { "MET" } else { "MISSED" });
+    println!(
+        "  frame budget 12.5 ms: {}",
+        if p99 < 12.5 {
+            "MET (real-time)"
+        } else {
+            "MISSED"
+        }
+    );
+    println!(
+        "  paper's 75 ms output bound: {}",
+        if max < 75.0 { "MET" } else { "MISSED" }
+    );
 }

@@ -53,9 +53,27 @@ fn main() {
     }
     let rti_med = witrack_dsp::stats::median(&rti_errors);
 
-    println!("\nWiTrack : 1 Tx + 3 Rx antennas, {} tracked frames", wt_errors.len());
-    println!("  2D error: median {} | 90th {}", cm(wt_med), cm(witrack_dsp::stats::percentile(&wt_errors, 90.0)));
-    println!("RTI     : {} nodes, {} links, {snapshots} snapshots", net.num_nodes(), net.num_links());
-    println!("  2D error: median {} | 90th {}", cm(rti_med), cm(witrack_dsp::stats::percentile(&rti_errors, 90.0)));
-    println!("\nimprovement factor (median): {:.1}x (paper: > 5x)", rti_med / wt_med);
+    println!(
+        "\nWiTrack : 1 Tx + 3 Rx antennas, {} tracked frames",
+        wt_errors.len()
+    );
+    println!(
+        "  2D error: median {} | 90th {}",
+        cm(wt_med),
+        cm(witrack_dsp::stats::percentile(&wt_errors, 90.0))
+    );
+    println!(
+        "RTI     : {} nodes, {} links, {snapshots} snapshots",
+        net.num_nodes(),
+        net.num_links()
+    );
+    println!(
+        "  2D error: median {} | 90th {}",
+        cm(rti_med),
+        cm(witrack_dsp::stats::percentile(&rti_errors, 90.0))
+    );
+    println!(
+        "\nimprovement factor (median): {:.1}x (paper: > 5x)",
+        rti_med / wt_med
+    );
 }

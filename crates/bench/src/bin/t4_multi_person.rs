@@ -51,7 +51,11 @@ fn run_scenario(
     let mut wt = MultiWiTrack::new(cfg).expect("valid config");
     let n_people = people.len();
     let mut sim = MultiSimulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed,
+        },
         Scene::witrack_lab(through_wall),
         wt.array().clone(),
         people,
@@ -67,18 +71,20 @@ fn run_scenario(
 
     while let Some(set) = sim.next_sweeps() {
         let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
-        let Some(update) = wt.push_sweeps(&refs) else { continue };
+        let Some(update) = wt.push_sweeps(&refs) else {
+            continue;
+        };
         if update.time_s < WARMUP_S {
             continue;
         }
         frames += 1;
-        let truths: Vec<Vec3> =
-            (0..n_people).map(|i| sim.surface_truth(i, update.time_s)).collect();
+        let truths: Vec<Vec3> = (0..n_people)
+            .map(|i| sim.surface_truth(i, update.time_s))
+            .collect();
         let est: Vec<_> = update.established().collect();
         established_sum += est.len();
-        let separated = (0..n_people).all(|i| {
-            (0..n_people).all(|j| i == j || truths[i].distance(truths[j]) >= 1.0)
-        });
+        let separated = (0..n_people)
+            .all(|i| (0..n_people).all(|j| i == j || truths[i].distance(truths[j]) >= 1.0));
         for (i, truth) in truths.iter().enumerate() {
             let nearest = est
                 .iter()
@@ -106,7 +112,10 @@ fn run_scenario(
     ScenarioReport {
         name,
         num_people: n_people,
-        coverage: covered.iter().map(|&c| c as f64 / frames.max(1) as f64).collect(),
+        coverage: covered
+            .iter()
+            .map(|&c| c as f64 / frames.max(1) as f64)
+            .collect(),
         errors,
         identity_swaps: swaps,
         mean_established: established_sum as f64 / frames.max(1) as f64,
@@ -120,14 +129,29 @@ fn main() {
         "multi-person tracking (witrack-mtt over scripted walker scenes)",
         "beyond the paper: section 10 names multi-person as future work",
     );
-    let sweep =
-        if args.paper_scale { SweepConfig::witrack() } else { SweepConfig::witrack_mid() };
+    let sweep = if args.paper_scale {
+        SweepConfig::witrack()
+    } else {
+        SweepConfig::witrack_mid()
+    };
     let dur = args.duration_s(10.0, 20.0);
 
     let scenarios: Vec<(&'static str, Vec<PersonSpec>, bool)> = vec![
-        ("two_crossing_los", scenario::two_walker_crossing(dur), false),
-        ("two_crossing_wall", scenario::two_walker_crossing(dur), true),
-        ("two_radial_pass", scenario::two_walker_radial_pass(dur), false),
+        (
+            "two_crossing_los",
+            scenario::two_walker_crossing(dur),
+            false,
+        ),
+        (
+            "two_crossing_wall",
+            scenario::two_walker_crossing(dur),
+            true,
+        ),
+        (
+            "two_radial_pass",
+            scenario::two_walker_radial_pass(dur),
+            false,
+        ),
         ("three_walkers", scenario::three_walkers(dur), false),
     ];
 

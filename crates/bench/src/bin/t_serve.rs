@@ -1,0 +1,322 @@
+//! t_serve — how many concurrent sensor streams the sharded serving
+//! engine sustains at real time, with a machine-readable
+//! `BENCH_serve.json` artifact.
+//!
+//! A deployment's real-time rate is 80 frames/s (one frame per 12.5 ms,
+//! §7). This harness records a few rooms of fleet signal up front
+//! ([`witrack_sim::fleet`]), pre-encodes each frame as a wire
+//! `SweepBatch`, then for every (shard count × sensor count) cell pushes
+//! the whole workload through a [`witrack_serve::Server`] over the
+//! in-process transport — the full serving path: framing, decode, shard
+//! routing, pipeline, update batching — and measures the sustained
+//! per-sensor frame rate. A cell is "real-time" when every sensor's rate
+//! is ≥ 80 frames/s.
+//!
+//! Flags: `--sensors A,B,..` (default `4,8,16`), `--shards A,B,..`
+//! (default `1,2`), `--frames N` (per sensor, default 48), `--seed N`,
+//! `--out PATH` (default `BENCH_serve.json`; `-` skips writing).
+
+use std::time::Instant;
+use witrack_bench::printing::banner;
+use witrack_core::WiTrackConfig;
+use witrack_serve::engine::{EngineConfig, OverloadPolicy};
+use witrack_serve::factory::{hello_for, witrack_factory};
+use witrack_serve::transport::{in_proc_pair, TransportTx};
+use witrack_serve::wire::{self, Message, PipelineKind, SweepBatch, HEADER_LEN};
+use witrack_serve::{SensorClient, Server};
+use witrack_sim::{FleetConfig, FleetSimulator, SimConfig};
+
+struct Options {
+    sensors: Vec<usize>,
+    shards: Vec<usize>,
+    frames: u64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_list(s: &str) -> Option<Vec<usize>> {
+    s.split(',').map(|p| p.trim().parse().ok()).collect()
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        sensors: vec![4, 8, 16],
+        shards: vec![1, 2],
+        frames: 48,
+        seed: 7,
+        out: Some("BENCH_serve.json".into()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sensors" => {
+                if let Some(v) = it.next().as_deref().and_then(parse_list) {
+                    opts.sensors = v;
+                }
+            }
+            "--shards" => {
+                if let Some(v) = it.next().as_deref().and_then(parse_list) {
+                    opts.shards = v;
+                }
+            }
+            "--frames" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    opts.frames = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    opts.seed = v;
+                }
+            }
+            "--out" => {
+                opts.out = it.next().filter(|s| s != "-");
+            }
+            _ => {}
+        }
+    }
+    opts
+}
+
+/// Pre-encoded wire frames, one per processing frame, for a few distinct
+/// rooms. Sensor `i` replays room `i mod rooms` with its own sensor id.
+fn record_encoded_rooms(
+    base: &WiTrackConfig,
+    rooms: usize,
+    frames: u64,
+    seed: u64,
+) -> Vec<Vec<Vec<u8>>> {
+    let sweeps_per_frame = base.sweep.sweeps_per_frame;
+    let duration_s = (frames as f64 + 1.0) * base.sweep.frame_duration_s();
+    let fleet = FleetSimulator::new(FleetConfig {
+        rooms,
+        max_walkers_per_room: 1, // the acceptance scenario is single-target
+        duration_s,
+        sim: SimConfig {
+            sweep: base.sweep,
+            noise_std: 0.05,
+            seed,
+        },
+    });
+    let recorded = fleet.record_all();
+    recorded
+        .into_iter()
+        .map(|sweeps| {
+            sweeps
+                .chunks_exact(sweeps_per_frame)
+                .take(frames as usize)
+                .map(|frame| {
+                    // Sensor id and sequence are patched per send.
+                    wire::encode(&Message::SweepBatch(SweepBatch::from_sweeps(0, 0, frame)))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Patches the sensor id and sequence number into an encoded `SweepBatch`
+/// frame (payload offsets 0..4 and 4..12).
+fn patch_frame(frame: &mut [u8], sensor_id: u32, seq: u64) {
+    frame[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&sensor_id.to_le_bytes());
+    frame[HEADER_LEN + 4..HEADER_LEN + 12].copy_from_slice(&seq.to_le_bytes());
+}
+
+struct CellResult {
+    shards: usize,
+    sensors: usize,
+    frames_per_sensor: u64,
+    elapsed_s: f64,
+    max_inflight: u64,
+    updates_dropped: u64,
+}
+
+impl CellResult {
+    fn per_sensor_fps(&self) -> f64 {
+        self.frames_per_sensor as f64 / self.elapsed_s.max(1e-12)
+    }
+
+    fn aggregate_fps(&self) -> f64 {
+        self.per_sensor_fps() * self.sensors as f64
+    }
+}
+
+fn run_cell(
+    base: &WiTrackConfig,
+    shards: usize,
+    sensors: usize,
+    frames: u64,
+    encoded: &[Vec<Vec<u8>>],
+) -> CellResult {
+    let server = Server::start(
+        EngineConfig {
+            num_shards: shards,
+            queue_capacity: 8,
+            overload: OverloadPolicy::Block,
+        },
+        witrack_factory(*base),
+    );
+    let (client_end, server_end) = in_proc_pair(128);
+    server.attach(server_end).expect("in-proc attach");
+    let mut client = SensorClient::connect(client_end).expect("in-proc connect");
+    for id in 0..sensors as u32 {
+        client
+            .hello(hello_for(base, id, PipelineKind::SingleTarget))
+            .expect("hello");
+    }
+    let start = Instant::now();
+    for f in 0..frames {
+        for id in 0..sensors as u32 {
+            let mut bytes = encoded[id as usize % encoded.len()][f as usize].clone();
+            patch_frame(&mut bytes, id, f);
+            client.tx().send_frame(bytes).expect("send");
+        }
+    }
+    for id in 0..sensors as u32 {
+        client.teardown(id).expect("teardown");
+    }
+    // close() returns once the server has finished responding, so the
+    // elapsed time covers every frame fully processed.
+    let stats = client.close();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    assert_eq!(stats.rejects, 0, "the workload must be protocol-clean");
+    let m = server.shutdown();
+    // The engine may shed updates to a lagging client outbox (e.g. a
+    // scheduler stall of the drain thread on a loaded CI host); that is
+    // load-shedding behaving as designed, not a measurement failure, so
+    // report it instead of asserting it away. Shed or not, every frame
+    // was *processed*, which is what the throughput number measures.
+    let expected = frames * sensors as u64;
+    if stats.frames < expected {
+        eprintln!(
+            "note: client received {}/{} frames ({} server->client messages shed to a \
+             lagging outbox)",
+            stats.frames, expected, m.updates_dropped
+        );
+    }
+    assert_eq!(m.frames_emitted, expected, "every frame must be processed");
+    CellResult {
+        shards,
+        sensors,
+        frames_per_sensor: frames,
+        elapsed_s,
+        max_inflight: m.max_inflight,
+        updates_dropped: m.updates_dropped,
+    }
+}
+
+fn main() {
+    let opts = parse_options();
+    banner(
+        "T-SERVE",
+        "concurrent sensor streams sustained by the sharded serving engine",
+        "real-time budget: 80 frames/s per sensor (one frame per 12.5 ms, §7)",
+    );
+    let base = WiTrackConfig::witrack_default();
+    let frame_period_s = base.sweep.frame_duration_s();
+    let realtime_fps = 1.0 / frame_period_s;
+    let rooms = 4.min(opts.sensors.iter().copied().max().unwrap_or(1));
+    eprintln!(
+        "recording {} room(s) of fleet signal ({} frames each)...",
+        rooms, opts.frames
+    );
+    let encoded = record_encoded_rooms(&base, rooms, opts.frames, opts.seed);
+
+    println!(
+        "config: {} samples/sweep, {} sweeps/frame, 3 rx antennas, frame period {:.1} ms\n",
+        base.sweep.samples_per_sweep(),
+        base.sweep.sweeps_per_frame,
+        frame_period_s * 1e3
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>12} {:>12} {:>9}",
+        "shards", "sensors", "frames", "elapsed", "fps/sensor", "aggregate", "realtime"
+    );
+    let mut results = Vec::new();
+    for &s in &opts.shards {
+        for &k in &opts.sensors {
+            let r = run_cell(&base, s, k, opts.frames, &encoded);
+            println!(
+                "{:>6} {:>8} {:>8} {:>9.3}s {:>12.1} {:>12.1} {:>9}",
+                r.shards,
+                r.sensors,
+                r.frames_per_sensor,
+                r.elapsed_s,
+                r.per_sensor_fps(),
+                r.aggregate_fps(),
+                if r.per_sensor_fps() >= realtime_fps {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            );
+            results.push(r);
+        }
+    }
+    let sustained = results
+        .iter()
+        .filter(|r| r.per_sensor_fps() >= realtime_fps)
+        .map(|r| r.sensors)
+        .max()
+        .unwrap_or(0);
+    println!("\nsensors sustained at real time: {sustained}");
+
+    if let Some(path) = &opts.out {
+        let cells: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"shards\": {},\n",
+                        "      \"sensors\": {},\n",
+                        "      \"frames_per_sensor\": {},\n",
+                        "      \"elapsed_s\": {:.6},\n",
+                        "      \"per_sensor_fps\": {:.2},\n",
+                        "      \"aggregate_fps\": {:.2},\n",
+                        "      \"realtime\": {},\n",
+                        "      \"max_inflight\": {},\n",
+                        "      \"updates_dropped\": {}\n",
+                        "    }}"
+                    ),
+                    r.shards,
+                    r.sensors,
+                    r.frames_per_sensor,
+                    r.elapsed_s,
+                    r.per_sensor_fps(),
+                    r.aggregate_fps(),
+                    r.per_sensor_fps() >= realtime_fps,
+                    r.max_inflight,
+                    r.updates_dropped
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"t_serve\",\n",
+                "  \"config\": {{\n",
+                "    \"samples_per_sweep\": {},\n",
+                "    \"sweeps_per_frame\": {},\n",
+                "    \"num_rx\": 3,\n",
+                "    \"frame_period_ms\": {:.3},\n",
+                "    \"realtime_frames_per_sec\": {:.1},\n",
+                "    \"rooms_recorded\": {},\n",
+                "    \"pipeline\": \"single_target\",\n",
+                "    \"transport\": \"in_process_wire\"\n",
+                "  }},\n",
+                "  \"results\": [\n{}\n  ],\n",
+                "  \"sensors_sustained_realtime\": {}\n",
+                "}}\n"
+            ),
+            base.sweep.samples_per_sweep(),
+            base.sweep.sweeps_per_frame,
+            frame_period_s * 1e3,
+            realtime_fps,
+            rooms,
+            cells.join(",\n"),
+            sustained
+        );
+        std::fs::write(path, json).expect("write serve JSON");
+        println!("wrote {path}");
+    }
+}

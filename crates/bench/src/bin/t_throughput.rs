@@ -46,8 +46,12 @@ struct Options {
 }
 
 fn parse_options() -> Options {
-    let mut opts =
-        Options { frames: 240, seconds: 1.0, seed: 7, out: Some("BENCH_throughput.json".into()) };
+    let mut opts = Options {
+        frames: 240,
+        seconds: 1.0,
+        seed: 7,
+        out: Some("BENCH_throughput.json".into()),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -88,7 +92,10 @@ fn measure<F: FnMut(&[&[f64]]) -> bool>(
     let mut idx = 0usize;
     let start = Instant::now();
     loop {
-        let refs: Vec<&[f64]> = sweeps[idx % sweeps.len()].iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[f64]> = sweeps[idx % sweeps.len()]
+            .iter()
+            .map(|v| v.as_slice())
+            .collect();
         if push(&refs) {
             frames += 1;
             if frames >= min_frames && start.elapsed().as_secs_f64() >= min_seconds {
@@ -111,7 +118,11 @@ fn record_single(seed: u64, seconds: f64) -> Vec<Vec<Vec<f64>>> {
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, seconds, 0.0, seed);
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed,
+        },
         channel,
         Box::new(motion),
     );
@@ -125,7 +136,11 @@ fn record_single(seed: u64, seconds: f64) -> Vec<Vec<Vec<f64>>> {
 fn record_multi(seed: u64, seconds: f64, array: &witrack_geom::AntennaArray) -> Vec<Vec<Vec<f64>>> {
     let sweep = witrack_fmcw::SweepConfig::witrack();
     let mut sim = MultiSimulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed,
+        },
         Scene::witrack_lab(true),
         array.clone(),
         scenario::three_walkers(seconds),
@@ -156,19 +171,32 @@ fn main() {
     {
         let data = record_single(opts.seed, record_s);
         let mut wt = WiTrack::new(cfg).expect("valid config");
-        let (frames, elapsed_s) =
-            measure(&data, opts.frames, opts.seconds, |refs| wt.push_sweeps(refs).is_some());
-        results.push(ScenarioResult { name: "single_target_3ant", frames, elapsed_s });
+        let (frames, elapsed_s) = measure(&data, opts.frames, opts.seconds, |refs| {
+            wt.push_sweeps(refs).is_some()
+        });
+        results.push(ScenarioResult {
+            name: "single_target_3ant",
+            frames,
+            elapsed_s,
+        });
     }
 
     {
-        let base = WiTrackConfig { max_round_trip_m: 30.0, ..cfg };
+        let base = WiTrackConfig {
+            max_round_trip_m: 30.0,
+            ..cfg
+        };
         let mtt_cfg = MttConfig::with_base(base);
         let mut wt = MultiWiTrack::new(mtt_cfg).expect("valid config");
         let data = record_multi(opts.seed, record_s, wt.array());
-        let (frames, elapsed_s) =
-            measure(&data, opts.frames, opts.seconds, |refs| wt.push_sweeps(refs).is_some());
-        results.push(ScenarioResult { name: "multi_target_3ant_3people", frames, elapsed_s });
+        let (frames, elapsed_s) = measure(&data, opts.frames, opts.seconds, |refs| {
+            wt.push_sweeps(refs).is_some()
+        });
+        results.push(ScenarioResult {
+            name: "multi_target_3ant_3people",
+            frames,
+            elapsed_s,
+        });
     }
 
     println!(

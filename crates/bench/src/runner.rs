@@ -130,9 +130,18 @@ pub fn run_tracking(spec: &TrackingSpec) -> TrackingResult {
         0.25,
         spec.seed,
     );
-    let channel = Channel { scene, array, body, reference_amplitude: 100.0 };
+    let channel = Channel {
+        scene,
+        array,
+        body,
+        reference_amplitude: 100.0,
+    };
     let mut sim = Simulator::new(
-        SimConfig { sweep: spec.sweep, noise_std: spec.noise_std, seed: spec.seed },
+        SimConfig {
+            sweep: spec.sweep,
+            noise_std: spec.noise_std,
+            seed: spec.seed,
+        },
         channel,
         Box::new(motion),
     );
@@ -169,7 +178,11 @@ pub fn run_tracking(spec: &TrackingSpec) -> TrackingResult {
     } else {
         frames_missing as f64 / frames_total as f64
     };
-    TrackingResult { errors, samples, dropout_fraction }
+    TrackingResult {
+        errors,
+        samples,
+        dropout_fraction,
+    }
 }
 
 /// Runs `f` over every spec on a scoped thread pool sized to the machine
@@ -180,7 +193,9 @@ where
     T: Send,
     F: Fn(&TrackingSpec) -> T + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let workers = workers.min(specs.len()).max(1);
     let mut out: Vec<Option<T>> = specs.iter().map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -199,7 +214,9 @@ where
         }
     });
     drop(out_cells);
-    out.into_iter().map(|o| o.expect("all specs processed")).collect()
+    out.into_iter()
+        .map(|o| o.expect("all specs processed"))
+        .collect()
 }
 
 /// Parameters of one pointing-gesture experiment (§9.4 workload).
@@ -253,7 +270,10 @@ pub fn run_pointing(spec: &PointingSpec) -> PointingOutcome {
         .normalized()
         .expect("non-degenerate gesture");
 
-    let wt_cfg = WiTrackConfig { sweep: spec.sweep, ..WiTrackConfig::witrack_default() };
+    let wt_cfg = WiTrackConfig {
+        sweep: spec.sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut wt = WiTrack::new(wt_cfg).expect("valid config");
     let array = wt.array().clone();
     let channel = Channel {
@@ -263,7 +283,11 @@ pub fn run_pointing(spec: &PointingSpec) -> PointingOutcome {
         reference_amplitude: 100.0,
     };
     let mut sim = Simulator::new(
-        SimConfig { sweep: spec.sweep, noise_std: spec.noise_std, seed: spec.seed },
+        SimConfig {
+            sweep: spec.sweep,
+            noise_std: spec.noise_std,
+            seed: spec.seed,
+        },
         channel,
         Box::new(script),
     );
@@ -291,7 +315,11 @@ pub fn run_pointing(spec: &PointingSpec) -> PointingOutcome {
             estimate: Some(est),
             truth_direction,
         },
-        Err(_) => PointingOutcome { error_deg: None, estimate: None, truth_direction },
+        Err(_) => PointingOutcome {
+            error_deg: None,
+            estimate: None,
+            truth_direction,
+        },
     }
 }
 
@@ -338,7 +366,10 @@ pub fn run_activity(spec: &ActivitySpec) -> Vec<(f64, f64)> {
     );
     let script = ActivityScript::generate(spec.activity, anchor, spec.duration_s, spec.seed);
 
-    let wt_cfg = WiTrackConfig { sweep: spec.sweep, ..WiTrackConfig::witrack_default() };
+    let wt_cfg = WiTrackConfig {
+        sweep: spec.sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut wt = WiTrack::new(wt_cfg).expect("valid config");
     let array = wt.array().clone();
     let channel = Channel {
@@ -348,7 +379,11 @@ pub fn run_activity(spec: &ActivitySpec) -> Vec<(f64, f64)> {
         reference_amplitude: 100.0,
     };
     let mut sim = Simulator::new(
-        SimConfig { sweep: spec.sweep, noise_std: spec.noise_std, seed: spec.seed },
+        SimConfig {
+            sweep: spec.sweep,
+            noise_std: spec.noise_std,
+            seed: spec.seed,
+        },
         channel,
         Box::new(script),
     );
@@ -427,7 +462,10 @@ mod tests {
     #[test]
     fn run_parallel_preserves_order() {
         let specs: Vec<TrackingSpec> = (0..5)
-            .map(|i| TrackingSpec { seed: i, ..TrackingSpec::default() })
+            .map(|i| TrackingSpec {
+                seed: i,
+                ..TrackingSpec::default()
+            })
             .collect();
         let out = run_parallel(&specs, |s| s.seed * 10);
         assert_eq!(out, vec![0, 10, 20, 30, 40]);
@@ -461,7 +499,10 @@ mod tests {
         // ~0.9 m descent; the full-bandwidth descent is validated by the
         // fig6/t1 harnesses and the integration tests.
         assert!(track.len() > 100, "only {} samples", track.len());
-        assert!(track.windows(2).all(|w| w[1].0 > w[0].0), "times not monotone");
+        assert!(
+            track.windows(2).all(|w| w[1].0 > w[0].0),
+            "times not monotone"
+        );
         assert!(track.iter().all(|&(_, z)| z.is_finite()));
         // The regenerated script matches the spec.
         let script = activity_script_for(&spec);
@@ -472,7 +513,11 @@ mod tests {
     fn pointing_runner_executes_with_reduced_config() {
         // The reduced bandwidth cannot resolve an arm stroke accurately, so
         // only check the experiment runs and reports a sane truth vector.
-        let spec = PointingSpec { sweep: quick_sweep(), seed: 5, ..PointingSpec::default() };
+        let spec = PointingSpec {
+            sweep: quick_sweep(),
+            seed: 5,
+            ..PointingSpec::default()
+        };
         let out = run_pointing(&spec);
         assert!((out.truth_direction.norm() - 1.0).abs() < 1e-9);
     }

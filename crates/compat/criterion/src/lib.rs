@@ -92,7 +92,10 @@ impl Criterion {
 
     /// Opens a named group; the stand-in just prefixes benchmark names.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, prefix: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
     }
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
@@ -102,7 +105,10 @@ impl Criterion {
             }
         }
         // Warm up with single iterations to estimate the per-iter cost.
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         let warmup_start = Instant::now();
         let mut warm_iters = 0u64;
         let mut warm_time = Duration::ZERO;

@@ -17,7 +17,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates the lock.
     pub fn new(value: T) -> RwLock<T> {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the value.
@@ -53,7 +55,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates the mutex.
     pub fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the value.

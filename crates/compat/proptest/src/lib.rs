@@ -18,7 +18,9 @@ pub struct TestRng {
 impl TestRng {
     /// RNG for the `case`-th test case.
     pub fn for_case(case: u64) -> TestRng {
-        TestRng { state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03 }
+        TestRng {
+            state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
     }
 
     /// Next 64 random bits (SplitMix64).
@@ -62,15 +64,15 @@ pub trait Strategy {
     }
 
     /// Filters generated values; retries until `f` passes (bounded).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
-        Filter { inner: self, f, whence }
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
     }
 }
 
@@ -105,7 +107,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 10000 consecutive cases", self.whence);
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive cases",
+            self.whence
+        );
     }
 }
 

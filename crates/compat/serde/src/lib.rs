@@ -24,8 +24,7 @@ macro_rules! impl_primitives {
 }
 
 impl_primitives!(
-    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64,
-    u128, usize, String
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String
 );
 
 impl<T: Serialize> Serialize for Vec<T> {}

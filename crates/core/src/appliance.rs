@@ -38,7 +38,11 @@ impl ApplianceRegistry {
     /// Registers a device (initially off). Returns the registry for
     /// chaining.
     pub fn register(&self, name: &str, position: Vec3) -> &ApplianceRegistry {
-        self.inner.write().push(Appliance { name: name.to_string(), position, on: false });
+        self.inner.write().push(Appliance {
+            name: name.to_string(),
+            position,
+            on: false,
+        });
         self
     }
 
@@ -155,7 +159,13 @@ mod tests {
         let reg = demo_registry();
         let clone = reg.clone();
         clone.toggle("screen");
-        assert!(reg.snapshot().iter().find(|a| a.name == "screen").unwrap().on);
+        assert!(
+            reg.snapshot()
+                .iter()
+                .find(|a| a.name == "screen")
+                .unwrap()
+                .on
+        );
         assert_eq!(reg.len(), 3);
         assert!(!reg.is_empty());
     }

@@ -88,7 +88,10 @@ mod tests {
     fn builders_override_fields() {
         let c = WiTrackConfig::witrack_default().with_separation(0.25);
         assert_eq!(c.antenna_separation, 0.25);
-        let s = SweepConfig { sweeps_per_frame: 3, ..SweepConfig::witrack() };
+        let s = SweepConfig {
+            sweeps_per_frame: 3,
+            ..SweepConfig::witrack()
+        };
         let c = c.with_sweep(s);
         assert_eq!(c.sweep.sweeps_per_frame, 3);
     }

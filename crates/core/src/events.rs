@@ -1,7 +1,7 @@
 //! A streaming event layer over the pipeline: presence, motion state, and
 //! fall alarms as discrete events.
 //!
-//! [`WiTrack`](crate::WiTrack) emits one [`TrackUpdate`](crate::TrackUpdate)
+//! [`WiTrack`](crate::WiTrack) emits one [`TrackUpdate`]
 //! per frame — 80 per second. Applications (home automation, elderly-care
 //! alerting, the gaming demo) want *edges*, not frames: "a person appeared",
 //! "they stopped moving", "they fell". [`EventDetector`] turns the frame
@@ -66,7 +66,11 @@ pub struct EventConfig {
 
 impl Default for EventConfig {
     fn default() -> Self {
-        EventConfig { presence_frames: 8, still_frames: 40, fall: FallConfig::default() }
+        EventConfig {
+            presence_frames: 8,
+            still_frames: 40,
+            fall: FallConfig::default(),
+        }
     }
 }
 
@@ -128,19 +132,28 @@ impl EventDetector {
             MotionState::NoPerson => {
                 if self.measured_run >= self.cfg.presence_frames {
                     self.state = MotionState::Moving;
-                    events.push(Event::PersonDetected { time_s: update.time_s, position });
+                    events.push(Event::PersonDetected {
+                        time_s: update.time_s,
+                        position,
+                    });
                 }
             }
             MotionState::Moving => {
                 if self.held_run >= self.cfg.still_frames {
                     self.state = MotionState::Still;
-                    events.push(Event::BecameStill { time_s: update.time_s, position });
+                    events.push(Event::BecameStill {
+                        time_s: update.time_s,
+                        position,
+                    });
                 }
             }
             MotionState::Still => {
                 if self.measured_run >= self.cfg.presence_frames {
                     self.state = MotionState::Moving;
-                    events.push(Event::ResumedMoving { time_s: update.time_s, position });
+                    events.push(Event::ResumedMoving {
+                        time_s: update.time_s,
+                        position,
+                    });
                 }
             }
         }

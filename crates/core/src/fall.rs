@@ -165,7 +165,12 @@ pub fn classify_elevation_track(raw_track: &[(f64, f64)], cfg: &FallConfig) -> V
         return Verdict::NotNearGround;
     }
     let transition_s = transition_duration(track, from_z, to_z);
-    let event = FallEvent { time_s: t_end, from_z, to_z, transition_s };
+    let event = FallEvent {
+        time_s: t_end,
+        from_z,
+        to_z,
+        transition_s,
+    };
     if transition_s <= cfg.max_transition_s {
         Verdict::Fall(event)
     } else {
@@ -185,7 +190,11 @@ pub struct FallDetector {
 impl FallDetector {
     /// Creates an online detector.
     pub fn new(cfg: FallConfig) -> FallDetector {
-        FallDetector { cfg, window: VecDeque::new(), latched: false }
+        FallDetector {
+            cfg,
+            window: VecDeque::new(),
+            latched: false,
+        }
     }
 
     /// Pushes one elevation sample; returns a [`FallEvent`] at the moment a
@@ -236,7 +245,12 @@ impl FallDetector {
         let transition_s = transition_duration(&samples, hi, z);
         if transition_s <= self.cfg.max_transition_s {
             self.latched = true;
-            Some(FallEvent { time_s, from_z: hi, to_z: z, transition_s })
+            Some(FallEvent {
+                time_s,
+                from_z: hi,
+                to_z: z,
+                transition_s,
+            })
         } else {
             // A slow descent to the ground: latch anyway so we do not keep
             // re-evaluating the same sit as the window slides.
@@ -334,11 +348,14 @@ mod tests {
     fn online_detector_fires_once_per_fall() {
         let mut det = FallDetector::new(FallConfig::default());
         let track = drop_track(1.0, 0.1, 8.0, 0.4, 20.0);
-        let events: Vec<FallEvent> =
-            track.iter().filter_map(|&(t, z)| det.push(t, z)).collect();
+        let events: Vec<FallEvent> = track.iter().filter_map(|&(t, z)| det.push(t, z)).collect();
         assert_eq!(events.len(), 1, "events: {events:?}");
         let e = events[0];
-        assert!(e.time_s > 8.0 && e.time_s < 10.0, "detected at {}", e.time_s);
+        assert!(
+            e.time_s > 8.0 && e.time_s < 10.0,
+            "detected at {}",
+            e.time_s
+        );
         assert!(e.transition_s < 0.7);
     }
 

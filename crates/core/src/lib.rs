@@ -16,6 +16,9 @@
 //!   Insteon home devices; we drive an in-memory registry).
 //! * [`metrics`] — evaluation helpers (per-axis errors, confusion counts)
 //!   used by the experiment harnesses.
+//! * [`frame_pipeline`] — the backend-agnostic [`FramePipeline`] trait the
+//!   serving layer (`witrack-serve`) shards over, with the unified
+//!   per-frame [`FrameReport`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +27,7 @@ pub mod appliance;
 pub mod config;
 pub mod events;
 pub mod fall;
+pub mod frame_pipeline;
 pub mod metrics;
 pub mod pipeline;
 pub mod pointing;
@@ -32,6 +36,7 @@ pub mod track;
 pub use config::{SolverChoice, WiTrackConfig};
 pub use events::{Event, EventConfig, EventDetector};
 pub use fall::{FallConfig, FallDetector, FallEvent};
+pub use frame_pipeline::{FramePipeline, FrameReport, TargetReport};
 pub use pipeline::{TrackUpdate, WiTrack};
-pub use pointing::{PointingConfig, PointingEstimate, PointingError, PointingEstimator};
+pub use pointing::{PointingConfig, PointingError, PointingEstimate, PointingEstimator};
 pub use track::Track;

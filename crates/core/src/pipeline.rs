@@ -64,7 +64,9 @@ impl TrackUpdate {
 /// profiling on a multi-core deployment shows the spawn dominating.
 pub fn antenna_parallelism(n_rx: usize) -> bool {
     n_rx > 1
-        && std::thread::available_parallelism().map(|p| p.get() > 1).unwrap_or(false)
+        && std::thread::available_parallelism()
+            .map(|p| p.get() > 1)
+            .unwrap_or(false)
 }
 
 /// The WiTrack system: N per-antenna TOF estimators + the 3D solver.
@@ -167,13 +169,20 @@ impl WiTrack {
     /// Panics if `per_rx.len()` differs from the number of receive antennas
     /// or any sweep has the wrong length.
     pub fn push_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<TrackUpdate> {
-        assert_eq!(per_rx.len(), self.estimators.len(), "one sweep per receive antenna");
+        assert_eq!(
+            per_rx.len(),
+            self.estimators.len(),
+            "one sweep per receive antenna"
+        );
         // Sweeps that only accumulate are microseconds of work; spawning
         // threads for them would dominate. Fan out only when this sweep
         // completes a frame (zoom transform + contour + denoise per
         // antenna) and the host is multi-core.
-        let completes =
-            self.estimators.first().map(|e| e.next_sweep_completes_frame()).unwrap_or(false);
+        let completes = self
+            .estimators
+            .first()
+            .map(|e| e.next_sweep_completes_frame())
+            .unwrap_or(false);
         let frames: Vec<Option<TofFrame>> = if self.parallel && completes {
             std::thread::scope(|s| {
                 // The caller's thread takes the last antenna itself instead
@@ -192,11 +201,18 @@ impl WiTrack {
                 frames
             })
         } else {
-            self.estimators.iter_mut().zip(per_rx).map(|(est, sweep)| est.push_sweep(sweep)).collect()
+            self.estimators
+                .iter_mut()
+                .zip(per_rx)
+                .map(|(est, sweep)| est.push_sweep(sweep))
+                .collect()
         };
         // All estimators share the sweep clock, so they emit frames together.
         if frames.iter().any(|f| f.is_none()) {
-            debug_assert!(frames.iter().all(|f| f.is_none()), "estimators desynchronized");
+            debug_assert!(
+                frames.iter().all(|f| f.is_none()),
+                "estimators desynchronized"
+            );
             return None;
         }
         let frames: Vec<TofFrame> = frames.into_iter().map(|f| f.expect("checked")).collect();
@@ -236,10 +252,10 @@ impl WiTrack {
         }
         let rts: Vec<f64> = round_trips.iter().map(|r| r.expect("checked")).collect();
         match (self.cfg.solver, &self.tarray) {
-            (SolverChoice::ClosedForm, Some(t)) => {
-                t.solve([rts[0], rts[1], rts[2]]).ok()
-            }
-            _ => solve_least_squares(&self.array, &rts, &self.gn).ok().map(|s| s.position),
+            (SolverChoice::ClosedForm, Some(t)) => t.solve([rts[0], rts[1], rts[2]]).ok(),
+            _ => solve_least_squares(&self.array, &rts, &self.gn)
+                .ok()
+                .map(|s| s.position),
         }
     }
 
@@ -336,7 +352,11 @@ mod tests {
                 }
             }
         }
-        assert!(errs.len() > 100, "expected steady tracking, got {}", errs.len());
+        assert!(
+            errs.len() > 100,
+            "expected steady tracking, got {}",
+            errs.len()
+        );
         let med = witrack_dsp::stats::median(&errs);
         // Reduced config has 1.77 m bins; the solver + subbin refinement
         // should still land well under a bin.

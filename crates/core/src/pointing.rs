@@ -120,7 +120,11 @@ impl PointingEstimator {
     /// Creates an estimator for recordings made with `tarray` at the given
     /// frame rate.
     pub fn new(cfg: PointingConfig, tarray: TArray, frame_duration_s: f64) -> PointingEstimator {
-        PointingEstimator { cfg, tarray, frame_duration_s }
+        PointingEstimator {
+            cfg,
+            tarray,
+            frame_duration_s,
+        }
     }
 
     /// Estimates the pointing direction from per-antenna frame recordings
@@ -147,14 +151,17 @@ impl PointingEstimator {
         let (lift_start, lift_end) = self.stroke_endpoints(frames, lift)?;
         let (drop_start, drop_end) = self.stroke_endpoints(frames, drop)?;
 
-        let lift_dir =
-            (lift_end - lift_start).normalized().ok_or(PointingError::LocalizationFailed)?;
+        let lift_dir = (lift_end - lift_start)
+            .normalized()
+            .ok_or(PointingError::LocalizationFailed)?;
         // The drop retraces the motion: extended → rest, so the outward
         // direction is start − end.
-        let drop_dir =
-            (drop_start - drop_end).normalized().ok_or(PointingError::LocalizationFailed)?;
-        let direction =
-            (lift_dir + drop_dir).normalized().ok_or(PointingError::LocalizationFailed)?;
+        let drop_dir = (drop_start - drop_end)
+            .normalized()
+            .ok_or(PointingError::LocalizationFailed)?;
+        let direction = (lift_dir + drop_dir)
+            .normalized()
+            .ok_or(PointingError::LocalizationFailed)?;
 
         Ok(PointingEstimate {
             direction,
@@ -223,8 +230,7 @@ impl PointingEstimator {
             for f in frames {
                 for frame in &f[start..=end] {
                     if let Some(det) = frame.detection {
-                        let peak_mag =
-                            frame.magnitudes.iter().cloned().fold(0.0_f64, f64::max);
+                        let peak_mag = frame.magnitudes.iter().cloned().fold(0.0_f64, f64::max);
                         let thresh = det.noise_floor.max(0.25 * peak_mag);
                         let cleaned: Vec<f64> = frame
                             .magnitudes
@@ -271,14 +277,19 @@ impl PointingEstimator {
                     rs.push(d.round_trip_m);
                 }
             }
-            let line = regression::robust_line(&ts, &rs)
-                .map_err(|_| PointingError::RegressionFailed)?;
+            let line =
+                regression::robust_line(&ts, &rs).map_err(|_| PointingError::RegressionFailed)?;
             r_start[k] = line.at(stroke.t_start);
             r_end[k] = line.at(stroke.t_end);
         }
-        let start =
-            self.tarray.solve(r_start).map_err(|_| PointingError::LocalizationFailed)?;
-        let end = self.tarray.solve(r_end).map_err(|_| PointingError::LocalizationFailed)?;
+        let start = self
+            .tarray
+            .solve(r_start)
+            .map_err(|_| PointingError::LocalizationFailed)?;
+        let end = self
+            .tarray
+            .solve(r_end)
+            .map_err(|_| PointingError::LocalizationFailed)?;
         Ok((start, end))
     }
 }
@@ -286,7 +297,10 @@ impl PointingEstimator {
 /// Angle in degrees between an estimate and the true direction — the Fig. 11
 /// error metric.
 pub fn angular_error_deg(estimate: Vec3, truth: Vec3) -> f64 {
-    estimate.angle_to(truth).map(|r| r.to_degrees()).unwrap_or(f64::NAN)
+    estimate
+        .angle_to(truth)
+        .map(|r| r.to_degrees())
+        .unwrap_or(f64::NAN)
 }
 
 #[cfg(test)]
@@ -310,7 +324,12 @@ mod tests {
             for (j, m) in mags.iter_mut().enumerate() {
                 *m += (-((j as f64 - bin) / sigma).powi(2)).exp();
             }
-            Detection { bin, round_trip_m: r, magnitude: 1.0, noise_floor: 0.05 }
+            Detection {
+                bin,
+                round_trip_m: r,
+                magnitude: 1.0,
+                noise_floor: 0.05,
+            }
         });
         TofFrame {
             frame_index: i as u64,
@@ -344,9 +363,7 @@ mod tests {
             .map(|k| {
                 (0..340)
                     .map(|i| match phase(i) {
-                        Some((hand, wide)) => {
-                            frame(i, Some(arr.round_trip(hand, k)), wide)
-                        }
+                        Some((hand, wide)) => frame(i, Some(arr.round_trip(hand, k)), wide),
                         None => frame(i, None, false),
                     })
                     .collect()
@@ -384,10 +401,10 @@ mod tests {
         let ext = stance + Vec3::new(0.0, 0.0, 0.45) + dir * 0.68;
         let mut frames = gesture_recording(rest, ext);
         // Corrupt 15% of stroke detections with multipath spikes.
-        for k in 0..3 {
+        for antenna in frames.iter_mut() {
             for i in (96..144).chain(240..288) {
                 if i % 7 == 0 {
-                    if let Some(d) = frames[k][i].detection.as_mut() {
+                    if let Some(d) = antenna[i].detection.as_mut() {
                         d.round_trip_m += 3.0;
                     }
                 }

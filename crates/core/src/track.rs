@@ -87,7 +87,10 @@ impl Track {
 
     /// Total distance traveled along the track (m).
     pub fn path_length(&self) -> f64 {
-        self.samples.windows(2).map(|w| w[0].1.distance(w[1].1)).sum()
+        self.samples
+            .windows(2)
+            .map(|w| w[0].1.distance(w[1].1))
+            .sum()
     }
 
     /// Time span `(first, last)` covered, or `None` when empty.

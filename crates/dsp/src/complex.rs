@@ -49,7 +49,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²` (power).
@@ -73,7 +76,10 @@ impl Complex {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// `true` when both parts are finite.
@@ -119,7 +125,10 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -246,7 +255,9 @@ mod tests {
 
     #[test]
     fn sum_and_scale() {
-        let s: Complex = [Complex::ONE, Complex::I, Complex::new(1.0, 1.0)].into_iter().sum();
+        let s: Complex = [Complex::ONE, Complex::I, Complex::new(1.0, 1.0)]
+            .into_iter()
+            .sum();
         assert_eq!(s, Complex::new(2.0, 2.0));
         assert_eq!(s.scale(0.5), Complex::new(1.0, 1.0));
         assert_eq!(s / 2.0, Complex::new(1.0, 1.0));

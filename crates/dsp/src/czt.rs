@@ -91,7 +91,15 @@ impl CztCore {
             kernel[m - t] = chirp(t, dft_len).conj();
         }
         inner.transform(&mut kernel, Direction::Forward);
-        CztCore { n_in, bins, m, inner, pre, post, kernel_fft: kernel }
+        CztCore {
+            n_in,
+            bins,
+            m,
+            inner,
+            pre,
+            post,
+            kernel_fft: kernel,
+        }
     }
 
     /// The inner convolution length (the scratch size a caller must
@@ -112,7 +120,7 @@ impl CztCore {
         match dir {
             Direction::Forward => {
                 for (b, k) in buf.iter_mut().zip(&self.kernel_fft) {
-                    *b = *b * *k;
+                    *b *= *k;
                 }
             }
             // The kernel is even (b[u] = b[−u]), so conjugating its
@@ -120,7 +128,7 @@ impl CztCore {
             // kernel.
             Direction::Inverse => {
                 for (b, k) in buf.iter_mut().zip(&self.kernel_fft) {
-                    *b = *b * k.conj();
+                    *b *= k.conj();
                 }
             }
         }
@@ -224,15 +232,18 @@ impl Czt {
         assert!(n > 0, "CZT input length must be positive");
         assert!(keep > 0, "CZT must keep at least one bin");
         assert!(keep <= n, "cannot keep more bins than the DFT has");
-        let kind = if n % 2 == 0 && keep <= n / 2 {
+        let kind = if n.is_multiple_of(2) && keep <= n / 2 {
             let h = n / 2;
             let band = 2 * keep - 1;
             let core = CztCore::new(h, h, band, -((keep as i64) - 1));
-            let unpack =
-                (0..keep).map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64).scale(0.5)).collect();
+            let unpack = (0..keep)
+                .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64).scale(0.5))
+                .collect();
             CztKind::Packed { core, unpack }
         } else {
-            CztKind::Direct { core: CztCore::new(n, n, keep, 0) }
+            CztKind::Direct {
+                core: CztCore::new(n, n, keep, 0),
+            }
         };
         Czt { n, keep, kind }
     }
@@ -262,9 +273,10 @@ impl Czt {
                 buf: vec![Complex::ZERO; core.m],
                 band: vec![Complex::ZERO; core.bins],
             },
-            CztKind::Direct { core } => {
-                CztScratch { buf: vec![Complex::ZERO; core.m], band: Vec::new() }
-            }
+            CztKind::Direct { core } => CztScratch {
+                buf: vec![Complex::ZERO; core.m],
+                band: Vec::new(),
+            },
         }
     }
 
@@ -279,8 +291,16 @@ impl Czt {
         assert_eq!(out.len(), self.keep, "output length must match plan");
         match &self.kind {
             CztKind::Packed { core, unpack } => {
-                assert_eq!(scratch.buf.len(), core.m, "scratch built for a different plan");
-                assert_eq!(scratch.band.len(), core.bins, "scratch built for a different plan");
+                assert_eq!(
+                    scratch.buf.len(),
+                    core.m,
+                    "scratch built for a different plan"
+                );
+                assert_eq!(
+                    scratch.band.len(),
+                    core.bins,
+                    "scratch built for a different plan"
+                );
                 let h = core.n_in;
                 for (t, (b, p)) in scratch.buf[..h].iter_mut().zip(&core.pre).enumerate() {
                     *b = Complex::new(signal[2 * t], signal[2 * t + 1]) * *p;
@@ -296,13 +316,21 @@ impl Czt {
                     let zr = scratch.band[kc - k].conj();
                     let e = (z + zr).scale(0.5);
                     let od = Complex::new(0.0, -1.0) * (z - zr); // 2·O[k]
-                    // unpack[k] already carries the /2 for the odd term.
+                                                                 // unpack[k] already carries the /2 for the odd term.
                     *o = e + *w * od;
                 }
             }
             CztKind::Direct { core } => {
-                assert_eq!(scratch.buf.len(), core.m, "scratch built for a different plan");
-                for (j, (b, p)) in scratch.buf[..core.n_in].iter_mut().zip(&core.pre).enumerate() {
+                assert_eq!(
+                    scratch.buf.len(),
+                    core.m,
+                    "scratch built for a different plan"
+                );
+                for (j, (b, p)) in scratch.buf[..core.n_in]
+                    .iter_mut()
+                    .zip(&core.pre)
+                    .enumerate()
+                {
                     *b = p.scale(signal[j]);
                 }
                 scratch.buf[core.n_in..].fill(Complex::ZERO);
@@ -341,7 +369,9 @@ mod tests {
     }
 
     fn test_signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.9).cos()).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.9).cos())
+            .collect()
     }
 
     #[test]
@@ -349,8 +379,15 @@ mod tests {
         for (n, keep) in [(16usize, 5usize), (30, 7), (100, 50), (250, 20), (2500, 13)] {
             let signal = test_signal(n);
             let czt = Czt::new(n, keep);
-            assert!(matches!(czt.kind, CztKind::Packed { .. }), "n={n} keep={keep}");
-            band_close(&czt.transform(&signal), &naive_band(&signal, keep), 1e-9 * n as f64);
+            assert!(
+                matches!(czt.kind, CztKind::Packed { .. }),
+                "n={n} keep={keep}"
+            );
+            band_close(
+                &czt.transform(&signal),
+                &naive_band(&signal, keep),
+                1e-9 * n as f64,
+            );
         }
     }
 
@@ -360,7 +397,11 @@ mod tests {
         for (n, keep) in [(25usize, 5usize), (99, 40), (625, 11), (30, 29), (16, 16)] {
             let signal = test_signal(n);
             let czt = Czt::new(n, keep);
-            band_close(&czt.transform(&signal), &naive_band(&signal, keep), 1e-9 * n as f64);
+            band_close(
+                &czt.transform(&signal),
+                &naive_band(&signal, keep),
+                1e-9 * n as f64,
+            );
         }
     }
 
@@ -391,7 +432,11 @@ mod tests {
         for (n, keep) in [(1usize, 1usize), (2, 1), (3, 1), (4, 2), (5, 5)] {
             let signal = test_signal(n);
             let czt = Czt::new(n, keep);
-            band_close(&czt.transform(&signal), &naive_band(&signal, keep), 1e-10 * (n + 1) as f64);
+            band_close(
+                &czt.transform(&signal),
+                &naive_band(&signal, keep),
+                1e-10 * (n + 1) as f64,
+            );
         }
     }
 

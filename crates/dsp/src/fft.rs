@@ -63,11 +63,18 @@ struct BluesteinPlan {
 impl Radix2Plan {
     pub(crate) fn new(n: usize) -> Radix2Plan {
         debug_assert!(n.is_power_of_two());
-        let twiddles =
-            (0..n / 2).map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64)).collect();
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         Radix2Plan { twiddles, bitrev }
     }
@@ -268,8 +275,9 @@ mod tests {
     fn sweep_length_2500_matches_naive() {
         // The exact WiTrack sweep length.
         let n = 2500;
-        let data: Vec<Complex> =
-            (0..n).map(|i| Complex::real((2.0 * PI * 40.0 * i as f64 / n as f64).cos())).collect();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::real((2.0 * PI * 40.0 * i as f64 / n as f64).cos()))
+            .collect();
         let mut fast = data.clone();
         Fft::new(n).forward(&mut fast);
         let slow = dft_naive(&data);
@@ -324,26 +332,37 @@ mod tests {
     #[test]
     fn linearity_holds() {
         let n = 50;
-        let a: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.2).sin())).collect();
-        let b: Vec<Complex> = (0..n).map(|i| Complex::real((i as f64 * 0.9).cos())).collect();
+        let a: Vec<Complex> = (0..n)
+            .map(|i| Complex::real((i as f64 * 0.2).sin()))
+            .collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::real((i as f64 * 0.9).cos()))
+            .collect();
         let mut plan = Fft::new(n);
         let mut fa = a.clone();
         plan.forward(&mut fa);
         let mut fb = b.clone();
         plan.forward(&mut fb);
-        let mut fab: Vec<Complex> =
-            a.iter().zip(&b).map(|(x, y)| *x * 2.0 + *y * -0.5).collect();
+        let mut fab: Vec<Complex> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| *x * 2.0 + *y * -0.5)
+            .collect();
         plan.forward(&mut fab);
-        let combined: Vec<Complex> =
-            fa.iter().zip(&fb).map(|(x, y)| *x * 2.0 + *y * -0.5).collect();
+        let combined: Vec<Complex> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(x, y)| *x * 2.0 + *y * -0.5)
+            .collect();
         spectrum_close(&fab, &combined, 1e-9 * n as f64);
     }
 
     #[test]
     fn parseval_energy_preserved() {
         let n = 2500;
-        let data: Vec<Complex> =
-            (0..n).map(|i| Complex::real(((i * i) as f64 * 0.001).sin())).collect();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::real(((i * i) as f64 * 0.001).sin()))
+            .collect();
         let time_energy: f64 = data.iter().map(|z| z.norm_sq()).sum();
         let mut buf = data;
         Fft::new(n).forward(&mut buf);
@@ -357,7 +376,9 @@ mod tests {
     #[test]
     fn forward_real_helper() {
         let n = 64;
-        let signal: Vec<f64> = (0..n).map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).sin()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).sin())
+            .collect();
         let spec = Fft::new(n).forward_real(&signal);
         // Real sine at cycle 5: peaks at bins 5 and n−5.
         let mags: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
@@ -380,8 +401,9 @@ mod tests {
     #[test]
     fn forward_into_preserves_input() {
         let n = 32;
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64).cos(), (i as f64).sin())).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), (i as f64).sin()))
+            .collect();
         let snapshot = input.clone();
         let mut out = vec![Complex::ZERO; n];
         let mut plan = Fft::new(n);

@@ -62,7 +62,12 @@ impl GateDecision {
 impl OutlierGate {
     /// Creates a gate with the given maximum plausible speed (m/s).
     pub fn new(max_speed: f64, max_consecutive_rejects: usize) -> OutlierGate {
-        OutlierGate { max_speed, max_consecutive_rejects, last: None, rejects: 0 }
+        OutlierGate {
+            max_speed,
+            max_consecutive_rejects,
+            last: None,
+            rejects: 0,
+        }
     }
 
     /// Pushes a sample observed `dt` seconds after the previous one.
@@ -93,7 +98,10 @@ impl OutlierGate {
             GateDecision::Reseeded(value)
         } else {
             self.rejects += 1;
-            GateDecision::Rejected { held: last, implied_speed }
+            GateDecision::Rejected {
+                held: last,
+                implied_speed,
+            }
         }
     }
 
@@ -175,7 +183,12 @@ impl MovingAverage {
     /// Panics if `len == 0`.
     pub fn new(len: usize) -> MovingAverage {
         assert!(len > 0, "window length must be positive");
-        MovingAverage { buf: vec![0.0; len], head: 0, filled: 0, sum: 0.0 }
+        MovingAverage {
+            buf: vec![0.0; len],
+            head: 0,
+            filled: 0,
+            sum: 0.0,
+        }
     }
 
     /// Pushes a sample and returns the average over the (possibly partial)

@@ -59,7 +59,10 @@ impl Kalman1D {
     /// Resets to the uninitialized state.
     pub fn reset(&mut self) {
         self.state = None;
-        self.cov = [[self.cfg.initial_pos_var, 0.0], [0.0, self.cfg.initial_vel_var]];
+        self.cov = [
+            [self.cfg.initial_pos_var, 0.0],
+            [0.0, self.cfg.initial_vel_var],
+        ];
     }
 
     /// Whether the filter has been seeded by at least one measurement.
@@ -214,7 +217,12 @@ mod tests {
                 n += 1.0;
             }
         }
-        assert!(filt_sq / n < 0.25 * raw_sq / n, "filtered {} raw {}", filt_sq / n, raw_sq / n);
+        assert!(
+            filt_sq / n < 0.25 * raw_sq / n,
+            "filtered {} raw {}",
+            filt_sq / n,
+            raw_sq / n
+        );
     }
 
     #[test]

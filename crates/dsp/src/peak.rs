@@ -35,9 +35,7 @@ pub fn local_maxima_above_iter(
     let n = magnitudes.len();
     (0..n).filter(move |&i| {
         let m = magnitudes[i];
-        m > threshold
-            && (i == 0 || magnitudes[i - 1] < m)
-            && (i + 1 >= n || magnitudes[i + 1] <= m)
+        m > threshold && (i == 0 || magnitudes[i - 1] < m) && (i + 1 >= n || magnitudes[i + 1] <= m)
     })
 }
 
@@ -115,8 +113,11 @@ pub fn centroid(magnitudes: &[f64]) -> Option<f64> {
     if total <= 0.0 {
         return None;
     }
-    let weighted: f64 =
-        magnitudes.iter().enumerate().map(|(i, &m)| i as f64 * m * m).sum();
+    let weighted: f64 = magnitudes
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| i as f64 * m * m)
+        .sum();
     Some(weighted / total)
 }
 
@@ -199,8 +200,9 @@ mod tests {
     fn parabolic_refinement_recovers_fractional_peak() {
         // Sample a Gaussian lobe centered at 50.3.
         let center = 50.3;
-        let m: Vec<f64> =
-            (0..100).map(|i| (-((i as f64 - center) / 2.0).powi(2)).exp()).collect();
+        let m: Vec<f64> = (0..100)
+            .map(|i| (-((i as f64 - center) / 2.0).powi(2)).exp())
+            .collect();
         let i = global_maximum(&m).unwrap();
         let refined = parabolic_refine(&m, i);
         assert!((refined - center).abs() < 0.01, "refined {refined}");
@@ -221,10 +223,12 @@ mod tests {
     #[test]
     fn spread_separates_wide_from_narrow_reflectors() {
         // Wide lobe (whole body) vs narrow lobe (arm) at the same center.
-        let wide: Vec<f64> =
-            (0..200).map(|i| (-((i as f64 - 100.0) / 15.0).powi(2)).exp()).collect();
-        let narrow: Vec<f64> =
-            (0..200).map(|i| (-((i as f64 - 100.0) / 3.0).powi(2)).exp()).collect();
+        let wide: Vec<f64> = (0..200)
+            .map(|i| (-((i as f64 - 100.0) / 15.0).powi(2)).exp())
+            .collect();
+        let narrow: Vec<f64> = (0..200)
+            .map(|i| (-((i as f64 - 100.0) / 3.0).powi(2)).exp())
+            .collect();
         let sw = spread(&wide).unwrap();
         let sn = spread(&narrow).unwrap();
         assert!(sw > 5.0 * sn, "wide {sw} narrow {sn}");
@@ -232,11 +236,12 @@ mod tests {
 
     #[test]
     fn centroid_of_symmetric_spectrum_is_center() {
-        let m: Vec<f64> =
-            (0..101).map(|i| (-((i as f64 - 50.0) / 8.0).powi(2)).exp()).collect();
+        let m: Vec<f64> = (0..101)
+            .map(|i| (-((i as f64 - 50.0) / 8.0).powi(2)).exp())
+            .collect();
         assert!((centroid(&m).unwrap() - 50.0).abs() < 1e-9);
-        assert!(centroid(&vec![0.0; 16]).is_none());
-        assert!(spread(&vec![0.0; 16]).is_none());
+        assert!(centroid(&[0.0; 16]).is_none());
+        assert!(spread(&[0.0; 16]).is_none());
     }
 
     #[test]

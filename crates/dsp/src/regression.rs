@@ -68,7 +68,10 @@ pub fn least_squares(ts: &[f64], ys: &[f64]) -> Result<Line, FitError> {
         sty += (t - mean_t) * (y - mean_y);
     }
     let slope = sty / stt;
-    Ok(Line { intercept: mean_y - slope * mean_t, slope })
+    Ok(Line {
+        intercept: mean_y - slope * mean_t,
+        slope,
+    })
 }
 
 /// Weighted least-squares line fit (helper for IRLS).
@@ -89,7 +92,10 @@ fn weighted_least_squares(ts: &[f64], ys: &[f64], ws: &[f64]) -> Option<Line> {
         return None;
     }
     let slope = sty / stt;
-    Some(Line { intercept: mean_y - slope * mean_t, slope })
+    Some(Line {
+        intercept: mean_y - slope * mean_t,
+        slope,
+    })
 }
 
 /// Theil–Sen estimator: slope = median of pairwise slopes, intercept =
@@ -120,13 +126,21 @@ pub fn theil_sen(ts: &[f64], ys: &[f64]) -> Result<Line, FitError> {
 /// `tuning` is the bisquare cutoff in robust-σ units (4.685 gives 95 %
 /// Gaussian efficiency). Residual scale is re-estimated each iteration with
 /// the normalized MAD.
-pub fn tukey_irls(ts: &[f64], ys: &[f64], tuning: f64, iterations: usize) -> Result<Line, FitError> {
+pub fn tukey_irls(
+    ts: &[f64],
+    ys: &[f64],
+    tuning: f64,
+    iterations: usize,
+) -> Result<Line, FitError> {
     validate(ts, ys)?;
     let mut line = least_squares(ts, ys)?;
     let mut ws = vec![1.0; ts.len()];
     for _ in 0..iterations {
-        let mut resid: Vec<f64> =
-            ts.iter().zip(ys).map(|(&t, &y)| (y - line.at(t)).abs()).collect();
+        let mut resid: Vec<f64> = ts
+            .iter()
+            .zip(ys)
+            .map(|(&t, &y)| (y - line.at(t)).abs())
+            .collect();
         let mad = crate::stats::median_in_place(&mut resid);
         let scale = (mad * 1.4826).max(1e-9);
         for ((&t, &y), w) in ts.iter().zip(ys).zip(ws.iter_mut()) {
@@ -192,9 +206,17 @@ mod tests {
         let irls = robust_line(&ts, &ys).unwrap();
         // OLS is dragged far off; both robust fits stay near the truth.
         assert!((ols.intercept - 1.0).abs() > 0.5);
-        assert!((ts_fit.slope - 0.5).abs() < 0.05, "theil-sen slope {}", ts_fit.slope);
+        assert!(
+            (ts_fit.slope - 0.5).abs() < 0.05,
+            "theil-sen slope {}",
+            ts_fit.slope
+        );
         assert!((irls.slope - 0.5).abs() < 0.05, "irls slope {}", irls.slope);
-        assert!((irls.intercept - 1.0).abs() < 0.1, "irls intercept {}", irls.intercept);
+        assert!(
+            (irls.intercept - 1.0).abs() < 0.1,
+            "irls intercept {}",
+            irls.intercept
+        );
     }
 
     #[test]
@@ -209,7 +231,10 @@ mod tests {
     #[test]
     fn errors_on_degenerate_input() {
         assert_eq!(least_squares(&[1.0], &[2.0]), Err(FitError::NotEnoughData));
-        assert_eq!(least_squares(&[1.0, 2.0], &[2.0]), Err(FitError::NotEnoughData));
+        assert_eq!(
+            least_squares(&[1.0, 2.0], &[2.0]),
+            Err(FitError::NotEnoughData)
+        );
         assert_eq!(
             least_squares(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]),
             Err(FitError::DegenerateAbscissae)

@@ -68,7 +68,10 @@ mod tests {
         for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
             let w = kind.generate(101);
             for i in 0..101 {
-                assert!((w[i] - w[100 - i]).abs() < 1e-12, "{kind:?} asymmetric at {i}");
+                assert!(
+                    (w[i] - w[100 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
             }
         }
     }
@@ -83,7 +86,10 @@ mod tests {
 
     #[test]
     fn rectangular_is_all_ones() {
-        assert!(WindowKind::Rectangular.generate(17).iter().all(|&x| x == 1.0));
+        assert!(WindowKind::Rectangular
+            .generate(17)
+            .iter()
+            .all(|&x| x == 1.0));
         assert!((WindowKind::Rectangular.coherent_gain(17) - 1.0).abs() < 1e-12);
     }
 

@@ -56,9 +56,17 @@ impl BackgroundSubtractor {
             self.swap_baseline(profile);
             return None;
         }
-        assert_eq!(self.prev.len(), profile.len(), "profile length changed between frames");
+        assert_eq!(
+            self.prev.len(),
+            profile.len(),
+            "profile length changed between frames"
+        );
         self.diff_mags.resize(profile.len(), 0.0);
-        for (d, (cur, old)) in self.diff_mags.iter_mut().zip(profile.iter().zip(&self.prev)) {
+        for (d, (cur, old)) in self
+            .diff_mags
+            .iter_mut()
+            .zip(profile.iter().zip(&self.prev))
+        {
             *d = (*cur - *old).abs();
         }
         self.swap_baseline(profile);
@@ -72,9 +80,17 @@ impl BackgroundSubtractor {
             self.swap_baseline(profile);
             return None;
         }
-        assert_eq!(self.prev.len(), profile.len(), "profile length changed between frames");
+        assert_eq!(
+            self.prev.len(),
+            profile.len(),
+            "profile length changed between frames"
+        );
         self.diff_complex.resize(profile.len(), Complex::ZERO);
-        for (d, (cur, old)) in self.diff_complex.iter_mut().zip(profile.iter().zip(&self.prev)) {
+        for (d, (cur, old)) in self
+            .diff_complex
+            .iter_mut()
+            .zip(profile.iter().zip(&self.prev))
+        {
             *d = *cur - *old;
         }
         self.swap_baseline(profile);
@@ -179,7 +195,10 @@ mod tests {
             let diff = bs.push(&tone(32, 5, 10.0, 0.1 * k as f64)).unwrap();
             ptrs.push(diff.as_ptr());
         }
-        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "difference buffer reallocated");
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "difference buffer reallocated"
+        );
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl SweepConfig {
             (self.sweeps_per_frame as f64, "sweeps_per_frame"),
             (self.transmit_power_w, "transmit_power_w"),
         ] {
-            if !(v > 0.0) || !v.is_finite() {
+            if v <= 0.0 || !v.is_finite() {
                 return Err(ConfigError::NonPositiveField(name));
             }
         }
@@ -254,7 +254,10 @@ mod tests {
     fn validation_catches_bad_fields() {
         let mut c = SweepConfig::witrack();
         c.bandwidth_hz = 0.0;
-        assert_eq!(c.validate(), Err(ConfigError::NonPositiveField("bandwidth_hz")));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositiveField("bandwidth_hz"))
+        );
         let mut c = SweepConfig::witrack();
         c.sweep_duration_s = 2.00000049e-3; // 2000.00049 samples
         assert_eq!(c.validate(), Err(ConfigError::NonIntegralSamplesPerSweep));

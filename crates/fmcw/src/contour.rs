@@ -27,7 +27,11 @@ pub struct ContourConfig {
 
 impl Default for ContourConfig {
     fn default() -> Self {
-        ContourConfig { noise_floor_k: 5.0, min_round_trip_m: 0.5, min_magnitude: 1e-9 }
+        ContourConfig {
+            noise_floor_k: 5.0,
+            min_round_trip_m: 0.5,
+            min_magnitude: 1e-9,
+        }
     }
 }
 
@@ -55,8 +59,15 @@ pub struct ContourTracker {
 impl ContourTracker {
     /// Creates a tracker for the given sweep configuration.
     pub fn new(sweep: SweepConfig, cfg: ContourConfig) -> ContourTracker {
-        let min_bin = sweep.bin_for_round_trip(cfg.min_round_trip_m).floor().max(0.0) as usize;
-        ContourTracker { cfg, sweep, min_bin }
+        let min_bin = sweep
+            .bin_for_round_trip(cfg.min_round_trip_m)
+            .floor()
+            .max(0.0) as usize;
+        ContourTracker {
+            cfg,
+            sweep,
+            min_bin,
+        }
     }
 
     /// Configuration in use.
@@ -190,8 +201,8 @@ mod tests {
             })
             .collect();
         for &(c, a) in lobes {
-            for i in 0..n {
-                m[i] += a * (-((i as f64 - c) / 1.2).powi(2)).exp();
+            for (i, mi) in m.iter_mut().enumerate() {
+                *mi += a * (-((i as f64 - c) / 1.2).powi(2)).exp();
             }
         }
         m
@@ -273,13 +284,21 @@ mod tests {
         let sweep = cfg();
         let t = ContourTracker::new(
             sweep,
-            ContourConfig { min_round_trip_m: 2.0, ..ContourConfig::default() },
+            ContourConfig {
+                min_round_trip_m: 2.0,
+                ..ContourConfig::default()
+            },
         );
         let leak_bin = sweep.bin_for_round_trip(0.3);
         let body_bin = sweep.bin_for_round_trip(8.0);
         let m = frame(200, &[(leak_bin, 100.0), (body_bin, 5.0)], 0.1);
         let d = t.detect(&m).unwrap();
-        assert!((d.bin - body_bin).abs() < 0.5, "bin {} body {}", d.bin, body_bin);
+        assert!(
+            (d.bin - body_bin).abs() < 0.5,
+            "bin {} body {}",
+            d.bin,
+            body_bin
+        );
     }
 
     #[test]
@@ -289,7 +308,12 @@ mod tests {
         let true_bin = 45.4;
         let m = frame(200, &[(true_bin, 10.0)], 0.05);
         let d = t.detect(&m).unwrap();
-        assert!((d.bin - true_bin).abs() < 0.1, "refined {} true {}", d.bin, true_bin);
+        assert!(
+            (d.bin - true_bin).abs() < 0.1,
+            "refined {} true {}",
+            d.bin,
+            true_bin
+        );
     }
 
     #[test]

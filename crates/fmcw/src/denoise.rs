@@ -208,7 +208,11 @@ mod tests {
         }
         let out = last.unwrap();
         assert!(!out.held);
-        assert!((out.round_trip_m - 9.99).abs() < 0.05, "got {}", out.round_trip_m);
+        assert!(
+            (out.round_trip_m - 9.99).abs() < 0.05,
+            "got {}",
+            out.round_trip_m
+        );
         assert!((out.velocity_mps - 0.8).abs() < 0.2);
     }
 
@@ -221,7 +225,11 @@ mod tests {
         // A 5 m jump in one frame (§4.4's example of an impossible jump).
         let out = d.push(Some(11.0), DT).unwrap();
         assert!(out.held, "spike should be treated as missing");
-        assert!((out.round_trip_m - 6.0).abs() < 0.1, "got {}", out.round_trip_m);
+        assert!(
+            (out.round_trip_m - 6.0).abs() < 0.1,
+            "got {}",
+            out.round_trip_m
+        );
         // Stream recovers when the spike goes away.
         let out = d.push(Some(6.01), DT).unwrap();
         assert!(!out.held);
@@ -241,7 +249,11 @@ mod tests {
         let out = out.unwrap();
         assert!(out.held);
         assert_eq!(d.held_frames(), 160);
-        assert!((out.round_trip_m - 5.0).abs() < 0.2, "got {}", out.round_trip_m);
+        assert!(
+            (out.round_trip_m - 5.0).abs() < 0.2,
+            "got {}",
+            out.round_trip_m
+        );
     }
 
     #[test]
@@ -254,7 +266,10 @@ mod tests {
 
     #[test]
     fn reseeds_after_persistent_new_position() {
-        let cfg = DenoiseConfig { max_consecutive_rejects: 10, ..DenoiseConfig::default() };
+        let cfg = DenoiseConfig {
+            max_consecutive_rejects: 10,
+            ..DenoiseConfig::default()
+        };
         let mut d = DistanceDenoiser::new(cfg);
         for _ in 0..50 {
             d.push(Some(4.0), DT);
@@ -284,7 +299,12 @@ mod tests {
                 n += 1.0;
             }
         }
-        assert!(out_var / n < 0.25 * raw_var / n, "out {} raw {}", out_var / n, raw_var / n);
+        assert!(
+            out_var / n < 0.25 * raw_var / n,
+            "out {} raw {}",
+            out_var / n,
+            raw_var / n
+        );
     }
 
     #[test]

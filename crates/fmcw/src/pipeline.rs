@@ -184,7 +184,10 @@ mod tests {
         for _ in 0..cfg.sweeps_per_frame * 20 {
             if let Some(f) = est.push_sweep(&s) {
                 frames += 1;
-                assert!(f.detection.is_none(), "static reflectors must be subtracted away");
+                assert!(
+                    f.detection.is_none(),
+                    "static reflectors must be subtracted away"
+                );
             }
         }
         assert_eq!(frames, 20);

@@ -116,7 +116,8 @@ impl RangeProfiler {
         for ((w, &a), &win) in self.windowed.iter_mut().zip(&self.accum).zip(&self.window) {
             *w = a * win;
         }
-        self.czt.transform_into(&self.windowed, &mut self.profile, &mut self.scratch);
+        self.czt
+            .transform_into(&self.windowed, &mut self.profile, &mut self.scratch);
         self.accum.fill(0.0);
         self.sweeps_accumulated = 0;
         Some(&self.profile)
@@ -161,7 +162,10 @@ mod tests {
         let mut p = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
         let sweep = tone_sweep(&cfg, 10e3, 0.0);
         for k in 0..3 {
-            assert!(p.push_sweep(&sweep).is_none(), "sweep {k} should not complete a frame");
+            assert!(
+                p.push_sweep(&sweep).is_none(),
+                "sweep {k} should not complete a frame"
+            );
             assert_eq!(p.pending_sweeps(), k + 1);
         }
         assert!(p.push_sweep(&sweep).is_some());
@@ -203,14 +207,22 @@ mod tests {
         let mut mags = Vec::new();
         for k in 0..cfg.sweeps_per_frame {
             let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-            let sweep: Vec<f64> =
-                tone.iter().zip(&noise_tone).map(|(&t, &n)| t + sign * n).collect();
+            let sweep: Vec<f64> = tone
+                .iter()
+                .zip(&noise_tone)
+                .map(|(&t, &n)| t + sign * n)
+                .collect();
             if let Some(profile) = p.push_sweep(&sweep) {
                 mags = profile.iter().map(|z| z.abs()).collect();
             }
         }
         assert!(!mags.is_empty(), "frame never completed");
-        assert!(mags[9] > 50.0 * mags[20], "coherent {} incoherent {}", mags[9], mags[20]);
+        assert!(
+            mags[9] > 50.0 * mags[20],
+            "coherent {} incoherent {}",
+            mags[9],
+            mags[20]
+        );
     }
 
     #[test]
@@ -259,7 +271,10 @@ mod tests {
             }
         }
         assert_eq!(ptrs.len(), 3);
-        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "profile buffer reallocated");
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "profile buffer reallocated"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl BeamPattern {
 
     /// Creates a pattern with the given cosine exponent (clamped to `>= 0`).
     pub fn new(order: f64) -> BeamPattern {
-        BeamPattern { order: order.max(0.0) }
+        BeamPattern {
+            order: order.max(0.0),
+        }
     }
 
     /// Linear power gain for a ray at angle `theta` (radians) off boresight.
@@ -78,12 +80,20 @@ impl Antenna {
     ///
     /// Returns `None` if the boresight direction is degenerate.
     pub fn new(position: Vec3, boresight: Vec3, beam: BeamPattern) -> Option<Antenna> {
-        Some(Antenna { position, boresight: boresight.normalized()?, beam })
+        Some(Antenna {
+            position,
+            boresight: boresight.normalized()?,
+            beam,
+        })
     }
 
     /// An antenna facing the room (+y boresight) with the default beam.
     pub fn facing_room(position: Vec3) -> Antenna {
-        Antenna { position, boresight: Vec3::Y, beam: BeamPattern::WA5VJB }
+        Antenna {
+            position,
+            boresight: Vec3::Y,
+            beam: BeamPattern::WA5VJB,
+        }
     }
 
     /// Linear power gain toward point `p` (zero if `p` is behind the antenna).
@@ -120,7 +130,10 @@ impl std::fmt::Display for ArrayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArrayError::TooFewReceivers => {
-                write!(f, "3D localization requires at least three receive antennas")
+                write!(
+                    f,
+                    "3D localization requires at least three receive antennas"
+                )
             }
         }
     }
@@ -201,8 +214,9 @@ impl AntennaArray {
 
     /// The centroid of all antenna positions (used as a solver seed).
     pub fn centroid(&self) -> Vec3 {
-        let sum: Vec3 =
-            std::iter::once(self.tx.position).chain(self.rx.iter().map(|a| a.position)).sum();
+        let sum: Vec3 = std::iter::once(self.tx.position)
+            .chain(self.rx.iter().map(|a| a.position))
+            .sum();
         sum / (1.0 + self.rx.len() as f64)
     }
 }
@@ -273,7 +287,11 @@ mod tests {
         let arr = AntennaArray::t_shape(Vec3::ZERO, 1.0);
         let p = Vec3::new(0.5, 4.0, 0.2);
         let r = arr.round_trip(p, 1);
-        assert_close(r, p.distance(arr.tx.position) + p.distance(arr.rx[1].position), 1e-12);
+        assert_close(
+            r,
+            p.distance(arr.tx.position) + p.distance(arr.rx[1].position),
+            1e-12,
+        );
         assert_eq!(arr.round_trips(p).len(), 3);
     }
 
@@ -287,8 +305,14 @@ mod tests {
     #[test]
     fn array_requires_three_receivers() {
         let tx = Antenna::facing_room(Vec3::ZERO);
-        let rx = vec![Antenna::facing_room(Vec3::X), Antenna::facing_room(-Vec3::X)];
-        assert_eq!(AntennaArray::new(tx, rx, ).unwrap_err(), ArrayError::TooFewReceivers);
+        let rx = vec![
+            Antenna::facing_room(Vec3::X),
+            Antenna::facing_room(-Vec3::X),
+        ];
+        assert_eq!(
+            AntennaArray::new(tx, rx,).unwrap_err(),
+            ArrayError::TooFewReceivers
+        );
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl Ellipsoid {
         if path_sum < focus_a.distance(focus_b) {
             return Err(EllipsoidError::DegeneratePathSum);
         }
-        Ok(Ellipsoid { focus_a, focus_b, path_sum })
+        Ok(Ellipsoid {
+            focus_a,
+            focus_b,
+            path_sum,
+        })
     }
 
     /// The center (midpoint of the foci).
@@ -226,9 +230,18 @@ mod tests {
     fn constructor_validates() {
         let f1 = Vec3::ZERO;
         let f2 = Vec3::new(4.0, 0.0, 0.0);
-        assert_eq!(Ellipsoid::new(f1, f2, 2.0), Err(EllipsoidError::DegeneratePathSum));
-        assert_eq!(Ellipsoid::new(f1, f2, -1.0), Err(EllipsoidError::InvalidPathSum));
-        assert_eq!(Ellipsoid::new(f1, f2, f64::NAN), Err(EllipsoidError::InvalidPathSum));
+        assert_eq!(
+            Ellipsoid::new(f1, f2, 2.0),
+            Err(EllipsoidError::DegeneratePathSum)
+        );
+        assert_eq!(
+            Ellipsoid::new(f1, f2, -1.0),
+            Err(EllipsoidError::InvalidPathSum)
+        );
+        assert_eq!(
+            Ellipsoid::new(f1, f2, f64::NAN),
+            Err(EllipsoidError::InvalidPathSum)
+        );
         assert!(Ellipsoid::new(f1, f2, 4.0).is_ok()); // degenerate segment allowed
     }
 }

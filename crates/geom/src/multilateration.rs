@@ -38,7 +38,11 @@ pub struct GaussNewtonConfig {
 
 impl Default for GaussNewtonConfig {
     fn default() -> Self {
-        GaussNewtonConfig { max_iterations: 50, step_tolerance: 1e-9, damping: 1e-9 }
+        GaussNewtonConfig {
+            max_iterations: 50,
+            step_tolerance: 1e-9,
+            damping: 1e-9,
+        }
     }
 }
 
@@ -94,6 +98,9 @@ pub struct SolveResult {
 
 /// Solves a 3×3 linear system `m · x = b` by Gaussian elimination with
 /// partial pivoting. Returns `None` if the matrix is singular.
+// Index loops mirror the textbook elimination; iterator forms would need
+// split borrows of two rows of `m` and read worse.
+#[allow(clippy::needless_range_loop)]
 fn solve_3x3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<Vec3> {
     for col in 0..3 {
         // Pivot.
@@ -171,8 +178,8 @@ fn descend(
         for (i, row) in jtj.iter_mut().enumerate() {
             row[i] += cfg.damping;
         }
-        let step = solve_3x3(jtj, [-jtr[0], -jtr[1], -jtr[2]])
-            .ok_or(SolveError::SingularGeometry)?;
+        let step =
+            solve_3x3(jtj, [-jtr[0], -jtr[1], -jtr[2]]).ok_or(SolveError::SingularGeometry)?;
         p += step;
         if step.norm() < cfg.step_tolerance {
             return Ok((p, iter + 1));
@@ -202,8 +209,7 @@ pub fn solve_least_squares(
     }
 
     // Seed in front of the array, halfway out along the mean one-way range.
-    let mean_range =
-        round_trips.iter().sum::<f64>() / (2.0 * round_trips.len() as f64);
+    let mean_range = round_trips.iter().sum::<f64>() / (2.0 * round_trips.len() as f64);
     let seed = array.centroid() + array.tx.boresight * mean_range.max(0.5);
 
     let (mut p, mut iters) = descend(array, round_trips, seed, cfg)?;
@@ -228,7 +234,11 @@ pub fn solve_least_squares(
     if !p.is_finite() || rms > 1.0 {
         return Err(SolveError::DidNotConverge { residual_rms: rms });
     }
-    Ok(SolveResult { position: p, residual_rms: rms, iterations: iters })
+    Ok(SolveResult {
+        position: p,
+        residual_rms: rms,
+        iterations: iters,
+    })
 }
 
 #[cfg(test)]
@@ -283,7 +293,11 @@ mod tests {
             *ri += ni;
         }
         let out = solve_least_squares(&arr, &r, &GaussNewtonConfig::default()).unwrap();
-        assert!(out.position.distance(p) < 0.25, "err {}", out.position.distance(p));
+        assert!(
+            out.position.distance(p) < 0.25,
+            "err {}",
+            out.position.distance(p)
+        );
         assert!(out.residual_rms > 0.0); // inconsistent data leaves residual
     }
 
@@ -302,10 +316,17 @@ mod tests {
         let arr = AntennaArray::t_shape(Vec3::ZERO, 1.0);
         assert!(matches!(
             solve_least_squares(&arr, &[5.0, 5.0], &GaussNewtonConfig::default()),
-            Err(SolveError::MeasurementCountMismatch { expected: 3, got: 2 })
+            Err(SolveError::MeasurementCountMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
-            solve_least_squares(&arr, &[5.0, f64::INFINITY, 5.0], &GaussNewtonConfig::default()),
+            solve_least_squares(
+                &arr,
+                &[5.0, f64::INFINITY, 5.0],
+                &GaussNewtonConfig::default()
+            ),
             Err(SolveError::InvalidMeasurement)
         ));
     }
@@ -342,6 +363,10 @@ mod tests {
         r[1] += 0.01;
         r[2] -= 0.02;
         let out = solve_least_squares(&arr, &r, &GaussNewtonConfig::default()).unwrap();
-        assert!(out.position.distance(p) < 0.6, "err {}", out.position.distance(p));
+        assert!(
+            out.position.distance(p) < 0.6,
+            "err {}",
+            out.position.distance(p)
+        );
     }
 }

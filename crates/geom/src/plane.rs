@@ -25,7 +25,10 @@ impl Plane {
     /// Returns `None` if the normal is degenerate (near zero).
     pub fn from_point_normal(point: Vec3, normal: Vec3) -> Option<Plane> {
         let n = normal.normalized()?;
-        Some(Plane { normal: n, offset: n.dot(point) })
+        Some(Plane {
+            normal: n,
+            offset: n.dot(point),
+        })
     }
 
     /// A vertical wall parallel to the `xz` plane at depth `y`.
@@ -33,17 +36,26 @@ impl Plane {
     /// This is the geometry of the paper's through-wall experiments: the
     /// antennas face the wall, the person moves behind it (larger `y`).
     pub fn wall_at_y(y: f64) -> Plane {
-        Plane { normal: Vec3::Y, offset: y }
+        Plane {
+            normal: Vec3::Y,
+            offset: y,
+        }
     }
 
     /// A vertical wall parallel to the `yz` plane at `x`.
     pub fn wall_at_x(x: f64) -> Plane {
-        Plane { normal: Vec3::X, offset: x }
+        Plane {
+            normal: Vec3::X,
+            offset: x,
+        }
     }
 
     /// A horizontal plane (floor/ceiling) at elevation `z`.
     pub fn floor_at_z(z: f64) -> Plane {
-        Plane { normal: Vec3::Z, offset: z }
+        Plane {
+            normal: Vec3::Z,
+            offset: z,
+        }
     }
 
     /// The unit normal of the plane.
@@ -133,7 +145,10 @@ pub struct Ray {
 impl Ray {
     /// Builds a ray given an origin and (not necessarily unit) direction.
     pub fn new(origin: Vec3, direction: Vec3) -> Option<Ray> {
-        Some(Ray { origin, direction: direction.normalized()? })
+        Some(Ray {
+            origin,
+            direction: direction.normalized()?,
+        })
     }
 
     /// Builds the ray from `a` through `b`.
@@ -173,11 +188,8 @@ mod tests {
 
     #[test]
     fn mirror_is_involution() {
-        let wall = Plane::from_point_normal(
-            Vec3::new(1.0, 2.0, 3.0),
-            Vec3::new(1.0, 1.0, -0.5),
-        )
-        .unwrap();
+        let wall =
+            Plane::from_point_normal(Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 1.0, -0.5)).unwrap();
         let p = Vec3::new(-2.0, 0.5, 4.0);
         let m = wall.mirror(p);
         assert!(wall.mirror(m).distance(p) < 1e-12);
@@ -192,7 +204,11 @@ mod tests {
         let a = Vec3::new(0.0, 0.0, 1.0);
         let b = Vec3::new(1.0, 6.0, 1.0);
         let bounce = wall.bounce_path_length(a, b).unwrap();
-        assert!(bounce > a.distance(b), "bounce {bounce} direct {}", a.distance(b));
+        assert!(
+            bounce > a.distance(b),
+            "bounce {bounce} direct {}",
+            a.distance(b)
+        );
     }
 
     #[test]

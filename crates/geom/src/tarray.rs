@@ -67,13 +67,18 @@ pub enum TArrayError {
 impl std::fmt::Display for TArrayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TArrayError::InvalidMeasurement => write!(f, "round-trip distance is not finite/positive"),
+            TArrayError::InvalidMeasurement => {
+                write!(f, "round-trip distance is not finite/positive")
+            }
             TArrayError::RangeNotPositive => write!(f, "implied range is not positive"),
             TArrayError::InconsistentRoundTrip => {
                 write!(f, "round-trip distance smaller than implied range")
             }
             TArrayError::NoRealSolution(v) => {
-                write!(f, "ellipsoids do not intersect in front of the array (deficit {v:.4} m^2)")
+                write!(
+                    f,
+                    "ellipsoids do not intersect in front of the array (deficit {v:.4} m^2)"
+                )
             }
         }
     }
@@ -88,7 +93,11 @@ const CLAMP_TOLERANCE: f64 = 0.05;
 impl TArray {
     /// A T-array with equal bar and stem separations (the paper's setup).
     pub fn symmetric(origin: Vec3, sep: f64) -> TArray {
-        TArray { origin, bar_sep: sep, stem_sep: sep }
+        TArray {
+            origin,
+            bar_sep: sep,
+            stem_sep: sep,
+        }
     }
 
     /// The matching [`AntennaArray`] (for the simulator and the generic
@@ -113,7 +122,7 @@ impl TArray {
 
         // Range from the bar pair.
         let range = ((r0 * r0 + r1 * r1) / 2.0 - d * d) / (r0 + r1);
-        if !(range > 0.0) {
+        if range <= 0.0 || range.is_nan() {
             return Err(TArrayError::RangeNotPositive);
         }
         if r0 < range || r1 < range || r2 < range {
@@ -146,7 +155,11 @@ impl TArray {
     /// position `p`, in the same order [`TArray::solve`] consumes.
     pub fn round_trips(&self, p: Vec3) -> [f64; 3] {
         let arr = self.antenna_array();
-        [arr.round_trip(p, 0), arr.round_trip(p, 1), arr.round_trip(p, 2)]
+        [
+            arr.round_trip(p, 0),
+            arr.round_trip(p, 1),
+            arr.round_trip(p, 2),
+        ]
     }
 }
 
@@ -176,7 +189,11 @@ mod tests {
 
     #[test]
     fn solve_handles_asymmetric_stem() {
-        let t = TArray { origin: Vec3::new(0.0, 0.0, 1.5), bar_sep: 0.8, stem_sep: 1.2 };
+        let t = TArray {
+            origin: Vec3::new(0.0, 0.0, 1.5),
+            bar_sep: 0.8,
+            stem_sep: 1.2,
+        };
         let p = Vec3::new(-1.0, 5.0, 0.9);
         let hat = t.solve(t.round_trips(p)).unwrap();
         assert_vec_close(hat, p, 1e-8);
@@ -193,8 +210,14 @@ mod tests {
     #[test]
     fn rejects_garbage_measurements() {
         let t = TArray::symmetric(Vec3::ZERO, 1.0);
-        assert_eq!(t.solve([f64::NAN, 5.0, 5.0]), Err(TArrayError::InvalidMeasurement));
-        assert_eq!(t.solve([-1.0, 5.0, 5.0]), Err(TArrayError::InvalidMeasurement));
+        assert_eq!(
+            t.solve([f64::NAN, 5.0, 5.0]),
+            Err(TArrayError::InvalidMeasurement)
+        );
+        assert_eq!(
+            t.solve([-1.0, 5.0, 5.0]),
+            Err(TArrayError::InvalidMeasurement)
+        );
         // All round trips ≈ 0 → range not positive.
         assert!(matches!(
             t.solve([0.1, 0.1, 0.1]),
@@ -241,7 +264,11 @@ mod tests {
 
     #[test]
     fn antenna_array_matches_geometry() {
-        let t = TArray { origin: Vec3::new(1.0, 2.0, 3.0), bar_sep: 0.5, stem_sep: 0.75 };
+        let t = TArray {
+            origin: Vec3::new(1.0, 2.0, 3.0),
+            bar_sep: 0.5,
+            stem_sep: 0.75,
+        };
         let arr = t.antenna_array();
         assert_eq!(arr.tx.position, Vec3::new(1.0, 2.0, 3.0));
         assert_eq!(arr.rx[0].position, Vec3::new(0.5, 2.0, 3.0));

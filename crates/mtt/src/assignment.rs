@@ -33,7 +33,11 @@ impl CostMatrix {
 
     /// Creates a matrix with every pair forbidden.
     pub fn new(rows: usize, cols: usize) -> CostMatrix {
-        CostMatrix { rows, cols, data: vec![f64::INFINITY; rows * cols] }
+        CostMatrix {
+            rows,
+            cols,
+            data: vec![f64::INFINITY; rows * cols],
+        }
     }
 
     /// Reshapes the matrix in place to `rows × cols` with every pair
@@ -63,9 +67,12 @@ impl CostMatrix {
     /// `[0, MAX_COST)` — gate before setting, don't encode gates as huge
     /// costs.
     pub fn set(&mut self, row: usize, col: usize, cost: f64) {
-        assert!(row < self.rows && col < self.cols, "cost index out of bounds");
         assert!(
-            cost >= 0.0 && cost < Self::MAX_COST,
+            row < self.rows && col < self.cols,
+            "cost index out of bounds"
+        );
+        assert!(
+            (0.0..Self::MAX_COST).contains(&cost),
             "cost {cost} outside [0, {})",
             Self::MAX_COST
         );
@@ -150,7 +157,7 @@ impl AssignmentSolver {
     }
 
     /// Exact solve: Hungarian algorithm with potentials on the square
-    /// matrix padded with [`UNMATCHED`]-cost dummy rows/columns.
+    /// matrix padded with `UNMATCHED`-cost dummy rows/columns.
     pub fn solve_hungarian(&mut self, cost: &CostMatrix) -> &Assignment {
         let (r, c) = (cost.rows(), cost.cols());
         let n = r.max(c);
@@ -251,7 +258,9 @@ impl AssignmentSolver {
         );
         // Unstable: allocation-free, and cost ties need no defined order.
         self.cells.sort_unstable_by(|&a, &b| {
-            cost.get(a.0, a.1).partial_cmp(&cost.get(b.0, b.1)).expect("finite costs")
+            cost.get(a.0, a.1)
+                .partial_cmp(&cost.get(b.0, b.1))
+                .expect("finite costs")
         });
         self.result.row_to_col.clear();
         self.result.row_to_col.resize(r, None);
@@ -393,7 +402,11 @@ mod tests {
             matrix(3, 3, &[(0, 1, 0.1), (1, 0, 0.2), (2, 2, 0.3), (0, 0, 5.0)]),
             matrix(2, 4, &[(0, 2, 0.5), (1, 0, 0.25), (1, 2, 0.1)]),
             matrix(4, 2, &[(2, 0, 0.5), (0, 1, 0.25), (2, 1, 0.1)]),
-            matrix(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 100.0)]),
+            matrix(
+                2,
+                2,
+                &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 100.0)],
+            ),
             CostMatrix::new(0, 0),
         ];
         let mut solver = AssignmentSolver::new();
@@ -421,7 +434,11 @@ mod tests {
             }
             let a = solver.solve(&cost);
             assert_eq!(a.matches(), 3);
-            assert_eq!(solver.result.row_to_col.as_ptr(), ptr, "result buffer reallocated");
+            assert_eq!(
+                solver.result.row_to_col.as_ptr(),
+                ptr,
+                "result buffer reallocated"
+            );
             assert_eq!(solver.minv.capacity(), minv_cap, "scratch reallocated");
         }
     }

@@ -29,7 +29,11 @@ impl Default for PositionGate {
         // toward and past the walls), so this envelope — ending just
         // inside each wall — is the main ghost filter. Widen it for larger
         // deployments.
-        PositionGate { x: (-2.9, 3.4), y: (0.5, 9.8), z: (0.0, 2.0) }
+        PositionGate {
+            x: (-2.9, 3.4),
+            y: (0.5, 9.8),
+            z: (0.0, 2.0),
+        }
     }
 }
 
@@ -115,7 +119,10 @@ impl Default for MttConfig {
 impl MttConfig {
     /// Default tracker over an explicit base pipeline config.
     pub fn with_base(base: WiTrackConfig) -> MttConfig {
-        MttConfig { base, ..MttConfig::default() }
+        MttConfig {
+            base,
+            ..MttConfig::default()
+        }
     }
 
     /// Returns a copy with a different target capacity.

@@ -40,10 +40,11 @@
 use crate::assignment::{AssignmentSolver, CostMatrix};
 use crate::config::MttConfig;
 use crate::track::{MttTrack, TrackId, TrackPhase};
+use witrack_core::frame_pipeline::{FramePipeline, FrameReport, TargetReport};
 use witrack_core::pipeline::{antenna_parallelism, BuildError};
+use witrack_dsp::window::WindowKind;
 use witrack_fmcw::contour::Detection;
 use witrack_fmcw::{BackgroundSubtractor, ContourTracker, RangeProfiler};
-use witrack_dsp::window::WindowKind;
 use witrack_geom::multilateration::{solve_least_squares, GaussNewtonConfig};
 use witrack_geom::{AntennaArray, TArray, Vec3};
 
@@ -139,7 +140,9 @@ impl MultiWiTrack {
         let n_rx = array.num_rx();
         Ok(MultiWiTrack {
             profilers: (0..n_rx)
-                .map(|_| RangeProfiler::new(&cfg.base.sweep, WindowKind::Hann, cfg.base.max_round_trip_m))
+                .map(|_| {
+                    RangeProfiler::new(&cfg.base.sweep, WindowKind::Hann, cfg.base.max_round_trip_m)
+                })
                 .collect(),
             backgrounds: (0..n_rx).map(|_| BackgroundSubtractor::new()).collect(),
             detections: (0..n_rx).map(|_| Vec::new()).collect(),
@@ -179,12 +182,19 @@ impl MultiWiTrack {
     /// Panics if `per_rx.len()` differs from the number of receive antennas
     /// or any sweep has the wrong length.
     pub fn push_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<MttUpdate> {
-        assert_eq!(per_rx.len(), self.profilers.len(), "one sweep per receive antenna");
+        assert_eq!(
+            per_rx.len(),
+            self.profilers.len(),
+            "one sweep per receive antenna"
+        );
         self.sweeps_seen += 1;
         // All profilers share the sweep clock; accumulate-only sweeps are
         // microseconds of serial work.
-        let completes =
-            self.profilers.first().map(|p| p.next_sweep_completes_frame()).unwrap_or(false);
+        let completes = self
+            .profilers
+            .first()
+            .map(|p| p.next_sweep_completes_frame())
+            .unwrap_or(false);
         if !completes {
             for (prof, sweep) in self.profilers.iter_mut().zip(per_rx) {
                 let emitted = prof.push_sweep(sweep);
@@ -276,12 +286,13 @@ impl MultiWiTrack {
     /// the leftovers — so a freshly-spawned ghost can never outbid a
     /// confirmed track for its own detections.
     fn associate_and_update(&mut self, detections: &[Vec<Detection>], dt: f64) -> Vec<Vec<bool>> {
-        let mut claimed: Vec<Vec<bool>> =
-            detections.iter().map(|d| vec![false; d.len()]).collect();
-        let established: Vec<usize> =
-            (0..self.tracks.len()).filter(|&i| self.tracks[i].is_established()).collect();
-        let tentative: Vec<usize> =
-            (0..self.tracks.len()).filter(|&i| !self.tracks[i].is_established()).collect();
+        let mut claimed: Vec<Vec<bool>> = detections.iter().map(|d| vec![false; d.len()]).collect();
+        let established: Vec<usize> = (0..self.tracks.len())
+            .filter(|&i| self.tracks[i].is_established())
+            .collect();
+        let tentative: Vec<usize> = (0..self.tracks.len())
+            .filter(|&i| !self.tracks[i].is_established())
+            .collect();
         for pass in [established, tentative] {
             self.associate_pass(&pass, detections, dt, &mut claimed);
         }
@@ -301,14 +312,17 @@ impl MultiWiTrack {
             return;
         }
         let n_rx = detections.len();
-        let predicted: Vec<Vec3> =
-            pass.iter().map(|&t| self.tracks[t].predicted_position(dt)).collect();
+        let predicted: Vec<Vec3> = pass
+            .iter()
+            .map(|&t| self.tracks[t].predicted_position(dt))
+            .collect();
 
         // assigned[p][k] = round trip matched to pass-track p on antenna k.
         let mut assigned: Vec<Vec<Option<f64>>> = vec![vec![None; n_rx]; pass.len()];
         for k in 0..n_rx {
-            let available: Vec<usize> =
-                (0..detections[k].len()).filter(|&d| !claimed[k][d]).collect();
+            let available: Vec<usize> = (0..detections[k].len())
+                .filter(|&d| !claimed[k][d])
+                .collect();
             self.cost.reset(pass.len(), available.len());
             for (pi, pred) in predicted.iter().enumerate() {
                 let pred_rt = self.array.round_trip(*pred, k);
@@ -334,7 +348,9 @@ impl MultiWiTrack {
             let full: Option<Vec<f64>> = rts.iter().copied().collect();
             let measured = full
                 .and_then(|rts| {
-                    solve_least_squares(&self.array, &rts, &self.gn).ok().map(|s| s.position)
+                    solve_least_squares(&self.array, &rts, &self.gn)
+                        .ok()
+                        .map(|s| s.position)
                 })
                 // A "measurement" outside the deployment envelope is a
                 // multipath artifact, not a person — coast instead of
@@ -360,7 +376,11 @@ impl MultiWiTrack {
             .iter()
             .zip(claimed)
             .map(|(dets, mask)| {
-                dets.iter().zip(mask).filter(|(_, &c)| !c).map(|(d, _)| d).collect()
+                dets.iter()
+                    .zip(mask)
+                    .filter(|(_, &c)| !c)
+                    .map(|(d, _)| d)
+                    .collect()
             })
             .collect();
         if unclaimed.iter().any(|u| u.is_empty()) {
@@ -430,6 +450,40 @@ impl MultiWiTrack {
         self.frame_index = 0;
         self.sweeps_seen = 0;
         // Track ids keep counting up: a reset mid-run must not recycle ids.
+    }
+}
+
+impl From<MttUpdate> for FrameReport {
+    fn from(u: MttUpdate) -> FrameReport {
+        FrameReport {
+            frame_index: u.frame_index,
+            time_s: u.time_s,
+            // Established tracks only: tentative tracks are the tracker's
+            // internal hypothesis set, not reportable targets.
+            targets: u
+                .established()
+                .map(|t| TargetReport {
+                    id: Some(t.id.0),
+                    position: t.position,
+                    velocity: Some(t.velocity),
+                    held: t.phase == TrackPhase::Coasting,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl FramePipeline for MultiWiTrack {
+    fn num_rx(&self) -> usize {
+        self.array.num_rx()
+    }
+
+    fn process_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<FrameReport> {
+        self.push_sweeps(per_rx).map(FrameReport::from)
+    }
+
+    fn reset(&mut self) {
+        MultiWiTrack::reset(self);
     }
 }
 
@@ -516,8 +570,11 @@ mod tests {
             }
         }
         let (u, a, b) = last.expect("frames emitted");
-        let confirmed: Vec<&TrackSnapshot> =
-            u.tracks.iter().filter(|t| t.phase == TrackPhase::Confirmed).collect();
+        let confirmed: Vec<&TrackSnapshot> = u
+            .tracks
+            .iter()
+            .filter(|t| t.phase == TrackPhase::Confirmed)
+            .collect();
         assert_eq!(confirmed.len(), 2, "tracks: {:?}", u.tracks);
         // Each true position is matched by exactly one confirmed track.
         for truth in [a, b] {
@@ -596,7 +653,10 @@ mod tests {
             let sweeps = sweeps_for(&cfg, &array, &[p]);
             push_frame(&mut wt, &sweeps);
         }
-        assert!(wt.tracks.iter().all(|t| !first_ids.contains(&t.id)), "ids recycled");
+        assert!(
+            wt.tracks.iter().all(|t| !first_ids.contains(&t.id)),
+            "ids recycled"
+        );
     }
 
     #[test]

@@ -230,7 +230,11 @@ mod tests {
             t.miss(dt, &c);
         }
         let after = t.position();
-        assert!((after.x - before.x - 0.5).abs() < 0.1, "coasted {}", after.x - before.x);
+        assert!(
+            (after.x - before.x - 0.5).abs() < 0.1,
+            "coasted {}",
+            after.x - before.x
+        );
     }
 
     #[test]
@@ -242,7 +246,12 @@ mod tests {
         }
         let p0 = t.position();
         let pred = t.predicted_position(1.0);
-        assert!((pred.y - p0.y - 1.0).abs() < 0.15, "pred {} p0 {}", pred.y, p0.y);
+        assert!(
+            (pred.y - p0.y - 1.0).abs() < 0.15,
+            "pred {} p0 {}",
+            pred.y,
+            p0.y
+        );
         assert_eq!(t.position(), p0, "prediction must not mutate");
     }
 }

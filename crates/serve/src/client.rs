@@ -1,0 +1,162 @@
+//! Sensor-side client: speaks the wire protocol over any [`Transport`].
+//!
+//! One [`SensorClient`] owns one connection and may multiplex any number
+//! of sensors over it. Server→client traffic (update batches, rejects) is
+//! drained by a dedicated thread so the sending path can never deadlock
+//! against a full return queue; the drain counts everything it sees and
+//! optionally hands each message to a caller-supplied handler.
+
+use crate::transport::{Transport, TransportRx, TransportTx};
+use crate::wire::{Hello, Message, SweepBatch, Teardown};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters of everything the drain thread saw.
+#[derive(Debug, Default)]
+struct Counters {
+    update_batches: AtomicU64,
+    frames: AtomicU64,
+    targets: AtomicU64,
+    rejects: AtomicU64,
+}
+
+/// A point-in-time copy of the client's receive counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Update batches received.
+    pub update_batches: u64,
+    /// Frame reports received.
+    pub frames: u64,
+    /// Targets across all received reports.
+    pub targets: u64,
+    /// Reject notices received.
+    pub rejects: u64,
+}
+
+/// Callback receiving every server→client message, in arrival order.
+pub type UpdateHandler = dyn FnMut(&Message) + Send;
+
+/// A wire-protocol client for one connection.
+pub struct SensorClient<T: Transport> {
+    /// `None` only after [`Self::close`] dropped it to signal EOF.
+    tx: Option<T::Tx>,
+    counters: Arc<Counters>,
+    drain: Option<JoinHandle<()>>,
+}
+
+impl<T: Transport> SensorClient<T> {
+    /// Connects over `transport`, counting server messages silently.
+    pub fn connect(transport: T) -> io::Result<SensorClient<T>> {
+        Self::connect_with(transport, None)
+    }
+
+    /// Connects over `transport`; `handler`, when given, sees every
+    /// server→client message from the drain thread.
+    pub fn connect_with(
+        transport: T,
+        handler: Option<Box<UpdateHandler>>,
+    ) -> io::Result<SensorClient<T>> {
+        let (tx, rx) = transport.split()?;
+        let counters = Arc::new(Counters::default());
+        let drain = {
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || drain_main(rx, counters, handler))
+        };
+        Ok(SensorClient {
+            tx: Some(tx),
+            counters,
+            drain: Some(drain),
+        })
+    }
+
+    /// Opens a sensor session.
+    pub fn hello(&mut self, hello: Hello) -> io::Result<()> {
+        self.tx().send_msg(&Message::Hello(hello))
+    }
+
+    /// Sends one sweep batch.
+    pub fn send_batch(&mut self, batch: SweepBatch) -> io::Result<()> {
+        self.tx().send_msg(&Message::SweepBatch(batch))
+    }
+
+    /// Sends per-sweep, per-antenna slices as one batch.
+    pub fn send_sweeps(
+        &mut self,
+        sensor_id: u32,
+        seq: u64,
+        sweeps: &[Vec<Vec<f64>>],
+    ) -> io::Result<()> {
+        self.send_batch(SweepBatch::from_sweeps(sensor_id, seq, sweeps))
+    }
+
+    /// Closes a sensor session.
+    pub fn teardown(&mut self, sensor_id: u32) -> io::Result<()> {
+        self.tx()
+            .send_msg(&Message::Teardown(Teardown { sensor_id }))
+    }
+
+    /// Direct access to the send half (e.g. for pre-encoded frames).
+    ///
+    /// # Panics
+    /// Panics after [`Self::close`].
+    pub fn tx(&mut self) -> &mut T::Tx {
+        self.tx.as_mut().expect("client closed")
+    }
+
+    /// Receive counters so far.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            update_batches: self.counters.update_batches.load(Ordering::Relaxed),
+            frames: self.counters.frames.load(Ordering::Relaxed),
+            targets: self.counters.targets.load(Ordering::Relaxed),
+            rejects: self.counters.rejects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hangs up (closing every sensor the server attributed to this
+    /// connection), waits for the server to finish responding, and
+    /// returns the final counters.
+    pub fn close(mut self) -> ClientStats {
+        // Signal EOF (explicitly for sockets, implicitly by dropping for
+        // in-process queues); the drain keeps running until the server
+        // hangs up its side, so late updates still count.
+        if let Some(tx) = self.tx.as_mut() {
+            let _ = tx.finish();
+        }
+        self.tx = None;
+        if let Some(d) = self.drain.take() {
+            d.join().expect("client drain panicked");
+        }
+        self.stats()
+    }
+}
+
+fn drain_main<Rx: TransportRx>(
+    mut rx: Rx,
+    counters: Arc<Counters>,
+    mut handler: Option<Box<UpdateHandler>>,
+) {
+    while let Ok(Some(msg)) = rx.recv_msg() {
+        match &msg {
+            Message::UpdateBatch(u) => {
+                counters.update_batches.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .frames
+                    .fetch_add(u.updates.len() as u64, Ordering::Relaxed);
+                let targets: usize = u.updates.iter().map(|r| r.targets.len()).sum();
+                counters
+                    .targets
+                    .fetch_add(targets as u64, Ordering::Relaxed);
+            }
+            Message::Reject(_) => {
+                counters.rejects.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if let Some(h) = handler.as_mut() {
+            h(&msg);
+        }
+    }
+}

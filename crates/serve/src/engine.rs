@@ -1,0 +1,567 @@
+//! The sharded engine: N sensor streams multiplexed over worker shards.
+//!
+//! Each sensor id is pinned to one shard (`sensor_id mod num_shards`), and
+//! each shard worker owns the [`FramePipeline`] instances of the sensors
+//! pinned to it — so a sensor's sweeps are always processed in order, by
+//! one thread, with no locking around pipeline state. Shard input queues
+//! are **bounded**: a producer outrunning the engine either blocks
+//! ([`OverloadPolicy::Block`], socket-like backpressure) or has its newest
+//! batch dropped and counted ([`OverloadPolicy::DropNewest`], for sensors
+//! where stale sweeps are worse than missing ones).
+//!
+//! Lifecycle per sensor: [`Hello`] (builds the pipeline via the
+//! [`PipelineFactory`]) → any number of [`SweepBatch`]es (sequence-checked;
+//! gaps and reordering are counted and reported) → [`Teardown`]. Every
+//! frame report is emitted as an `UpdateBatch` carrying a per-sensor
+//! output sequence number.
+//!
+//! Server→client routing is **per session**: a `Hello` submitted with an
+//! [`UpdateSink`] ties the session to that sink, and the owning shard
+//! sends the session's updates and rejects straight into it (shedding,
+//! never blocking, when the sink is full — one lagging client must not
+//! stall a shard). Sessions without a sink (direct engine users: tests,
+//! benches) get their traffic on the engine-wide [`EngineEvent`] stream
+//! instead.
+
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::wire::{Hello, Message, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use witrack_core::{FramePipeline, FrameReport};
+
+/// What ingress does when a shard's bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the producer until the shard drains (backpressure).
+    Block,
+    /// Discard the newly-arrived batch and count it in
+    /// [`MetricsSnapshot::batches_dropped`].
+    DropNewest,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of worker shards. Defaults to the host's available
+    /// parallelism.
+    pub num_shards: usize,
+    /// Bounded depth of each shard's input queue, in sweep batches.
+    pub queue_capacity: usize,
+    /// Full-queue behavior for sweep batches (control messages always
+    /// block — dropping a `Hello` or `Teardown` would wedge a session).
+    pub overload: OverloadPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_shards: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            queue_capacity: 8,
+            overload: OverloadPolicy::Block,
+        }
+    }
+}
+
+/// Builds a sensor's pipeline from its `Hello`. Returning `Err` rejects
+/// the session with [`RejectCode::BadConfig`].
+pub type PipelineFactory = dyn Fn(&Hello) -> Result<Box<dyn FramePipeline>, String> + Send + Sync;
+
+/// Where one session's server→client messages go: a bounded queue owned
+/// by the session's connection. Shards `try_send` into it and shed on
+/// full ([`MetricsSnapshot::updates_dropped`]).
+pub type UpdateSink = SyncSender<Message>;
+
+/// A session's sink plus the connection it belongs to (connection ids
+/// scope best-effort cleanup teardowns; see
+/// [`EngineHandle::submit_teardown_scoped`]).
+#[derive(Clone)]
+pub struct ConnSink {
+    /// Opaque id of the owning connection.
+    pub conn_id: u64,
+    /// The connection's outbox.
+    pub tx: UpdateSink,
+}
+
+/// What the engine emits on its event stream. Sessions tied to an
+/// [`UpdateSink`] deliver `Updates`/`Rejected` to their sink instead;
+/// `SessionClosed` is always emitted here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// Frame reports for one sinkless sensor (`seq` is the per-sensor
+    /// output sequence number, starting at 0 after `Hello`).
+    Updates(UpdateBatch),
+    /// A message was refused; the offending sensor id and why.
+    Rejected(Reject),
+    /// A session ended (teardown), with its lifetime frame count.
+    SessionClosed {
+        /// The sensor whose session ended.
+        sensor_id: u32,
+        /// Frame reports emitted over the session's lifetime.
+        frames_emitted: u64,
+    },
+}
+
+/// Whether a submitted batch entered a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submitted {
+    /// The message is in its shard's queue.
+    Queued,
+    /// The queue was full and policy is `DropNewest`; the batch was
+    /// discarded (and counted).
+    Dropped,
+}
+
+/// Submission errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The engine has shut down.
+    EngineDown,
+    /// `UpdateBatch`/`Reject` are server→client messages; clients cannot
+    /// submit them.
+    ServerOnlyMessage,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::EngineDown => write!(f, "engine has shut down"),
+            SubmitError::ServerOnlyMessage => write!(f, "server-only message type"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+enum ShardMsg {
+    Hello(Hello, Option<ConnSink>),
+    /// A sweep batch, plus the sink of the connection that carried it —
+    /// so refusals that have no session to consult (unknown sensor) can
+    /// still reach the sender over the wire.
+    Batch(SweepBatch, Option<ConnSink>),
+    /// Teardown, optionally scoped to sessions owned by one connection
+    /// (best-effort cleanup at connection close must not kill a session
+    /// some other connection owns), plus the carrying connection's sink
+    /// for refusals.
+    Teardown(Teardown, Option<u64>, Option<ConnSink>),
+    /// Shutdown nudge: wakes the shard so it notices the stop flag.
+    Wake,
+}
+
+/// Cloneable ingress side of the engine: routes client messages to shards.
+#[derive(Clone)]
+pub struct EngineHandle {
+    shards: Vec<SyncSender<ShardMsg>>,
+    overload: OverloadPolicy,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl EngineHandle {
+    fn shard_for(&self, sensor_id: u32) -> &SyncSender<ShardMsg> {
+        &self.shards[sensor_id as usize % self.shards.len()]
+    }
+
+    /// Routes one client message to its sensor's shard. `Hello` and
+    /// `Teardown` always block on a full queue; `SweepBatch` follows the
+    /// configured [`OverloadPolicy`]. Sessions opened this way have no
+    /// sink: their updates arrive on the engine event stream.
+    pub fn submit(&self, msg: Message) -> Result<Submitted, SubmitError> {
+        self.submit_with_sink(msg, None)
+    }
+
+    /// [`Self::submit`], with the carrying connection's sink attached so
+    /// every refusal — including ones no session exists for, like an
+    /// unknown sensor id — reaches the sender over the wire.
+    pub fn submit_with_sink(
+        &self,
+        msg: Message,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        match msg {
+            Message::Hello(h) => self.submit_hello(h, sink),
+            Message::Teardown(t) => {
+                self.send_control(t.sensor_id, ShardMsg::Teardown(t, None, sink))
+            }
+            Message::SweepBatch(b) => self.submit_batch_with_sink(b, sink),
+            Message::UpdateBatch(_) | Message::Reject(_) => Err(SubmitError::ServerOnlyMessage),
+        }
+    }
+
+    /// Opens a session, optionally tying it to a connection's update
+    /// sink. A refused `Hello` sends the `Reject` into the sink (when
+    /// given) and drops the sink again — no session state survives it.
+    pub fn submit_hello(
+        &self,
+        hello: Hello,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        self.send_control(hello.sensor_id, ShardMsg::Hello(hello, sink))
+    }
+
+    /// Best-effort teardown scoped to `conn_id`: closes the session only
+    /// if it is tied to that connection's sink. Used at connection close,
+    /// where tearing down a sensor now owned by another connection would
+    /// be worse than leaking nothing.
+    pub fn submit_teardown_scoped(
+        &self,
+        sensor_id: u32,
+        conn_id: u64,
+    ) -> Result<Submitted, SubmitError> {
+        self.send_control(
+            sensor_id,
+            ShardMsg::Teardown(Teardown { sensor_id }, Some(conn_id), None),
+        )
+    }
+
+    fn send_control(&self, sensor_id: u32, msg: ShardMsg) -> Result<Submitted, SubmitError> {
+        // Count before sending: the shard's dequeue must never observe an
+        // un-counted message (inflight would underflow).
+        self.metrics.enqueued();
+        match self.shard_for(sensor_id).send(msg) {
+            Ok(()) => Ok(Submitted::Queued),
+            Err(_) => {
+                self.metrics.enqueue_failed();
+                Err(SubmitError::EngineDown)
+            }
+        }
+    }
+
+    /// Submits one sweep batch (the hot path).
+    pub fn submit_batch(&self, batch: SweepBatch) -> Result<Submitted, SubmitError> {
+        self.submit_batch_with_sink(batch, None)
+    }
+
+    /// [`Self::submit_batch`], carrying the connection's sink for
+    /// refusals that have no session to consult.
+    pub fn submit_batch_with_sink(
+        &self,
+        batch: SweepBatch,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        let shard = self.shard_for(batch.sensor_id);
+        self.metrics.enqueued();
+        match self.overload {
+            OverloadPolicy::Block => match shard.send(ShardMsg::Batch(batch, sink)) {
+                Ok(()) => Ok(Submitted::Queued),
+                Err(_) => {
+                    self.metrics.enqueue_failed();
+                    Err(SubmitError::EngineDown)
+                }
+            },
+            OverloadPolicy::DropNewest => match shard.try_send(ShardMsg::Batch(batch, sink)) {
+                Ok(()) => Ok(Submitted::Queued),
+                Err(TrySendError::Full(_)) => {
+                    self.metrics.enqueue_failed();
+                    EngineMetrics::inc(&self.metrics.batches_dropped);
+                    Ok(Submitted::Dropped)
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.enqueue_failed();
+                    Err(SubmitError::EngineDown)
+                }
+            },
+        }
+    }
+
+    /// The engine's shared counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+/// The running engine: shard workers plus their queues.
+pub struct ShardedEngine {
+    handle: EngineHandle,
+    workers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl ShardedEngine {
+    /// Starts the shard workers. Returns the engine and the event stream
+    /// (sinkless updates/rejects, session closes) the shards feed. The
+    /// receiver should be drained — the channel is unbounded.
+    pub fn start(
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+    ) -> (ShardedEngine, Receiver<EngineEvent>) {
+        let num_shards = cfg.num_shards.max(1);
+        let metrics = Arc::new(EngineMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (events_tx, events_rx) = channel();
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+            shards.push(tx);
+            let worker = ShardWorker {
+                rx,
+                events: events_tx.clone(),
+                factory: Arc::clone(&factory),
+                metrics: Arc::clone(&metrics),
+                stop: Arc::clone(&stop),
+                sessions: HashMap::new(),
+            };
+            workers.push(std::thread::spawn(move || worker.run()));
+        }
+        let handle = EngineHandle {
+            shards,
+            overload: cfg.overload,
+            metrics: Arc::clone(&metrics),
+        };
+        (
+            ShardedEngine {
+                handle,
+                workers,
+                stop,
+                metrics,
+            },
+            events_rx,
+        )
+    }
+
+    /// A cloneable ingress handle.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Stops the shards after they drain their queues and joins them.
+    /// Outstanding [`EngineHandle`] clones see [`SubmitError::EngineDown`]
+    /// afterwards.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.stop.store(true, Ordering::SeqCst);
+        for shard in &self.handle.shards {
+            // Best-effort nudge; a full queue will notice the flag on its
+            // own at the drain timeout.
+            let _ = shard.try_send(ShardMsg::Wake);
+        }
+        for w in self.workers {
+            w.join().expect("shard worker panicked");
+        }
+        self.metrics.snapshot()
+    }
+}
+
+struct Session {
+    pipeline: Box<dyn FramePipeline>,
+    /// The stream shape this session's `Hello` promised; batches that
+    /// disagree are refused before they can reach the pipeline's
+    /// stricter (panicking) asserts.
+    samples_per_sweep: u32,
+    sink: Option<ConnSink>,
+    next_in_seq: u64,
+    out_seq: u64,
+    frames_emitted: u64,
+}
+
+struct ShardWorker {
+    rx: Receiver<ShardMsg>,
+    events: Sender<EngineEvent>,
+    factory: Arc<PipelineFactory>,
+    metrics: Arc<EngineMetrics>,
+    stop: Arc<AtomicBool>,
+    sessions: HashMap<u32, Session>,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(msg) => self.handle(msg),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    // Queue empty: the only time shutdown may interrupt —
+                    // accepted work is never abandoned mid-queue.
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn emit(&self, event: EngineEvent) {
+        // The receiver outlives the shards in every orderly shutdown; a
+        // dropped receiver just means nobody is listening anymore.
+        let _ = self.events.send(event);
+    }
+
+    /// Sends a server→client message to a session sink, shedding (and
+    /// counting) when the connection lags; sinkless traffic goes to the
+    /// event stream instead.
+    fn deliver(&self, sink: Option<&ConnSink>, msg: Message) {
+        match sink {
+            Some(s) => {
+                if s.tx.try_send(msg).is_err() {
+                    // Full or disconnected: this client is lagging or
+                    // gone. Blocking here would stall every sensor on the
+                    // shard, so shed — updates are superseded by the next
+                    // frame, rejects are advisory.
+                    EngineMetrics::inc(&self.metrics.updates_dropped);
+                }
+            }
+            None => {
+                let event = match msg {
+                    Message::UpdateBatch(u) => EngineEvent::Updates(u),
+                    Message::Reject(r) => EngineEvent::Rejected(r),
+                    _ => unreachable!("shards only deliver server->client messages"),
+                };
+                self.emit(event);
+            }
+        }
+    }
+
+    fn reject(&self, sink: Option<&ConnSink>, sensor_id: u32, code: RejectCode) {
+        EngineMetrics::inc(&self.metrics.batches_rejected);
+        if code == RejectCode::UnknownSensor {
+            EngineMetrics::inc(&self.metrics.unknown_sensor);
+        }
+        self.deliver(sink, Message::Reject(Reject { sensor_id, code }));
+    }
+
+    fn handle(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Wake => {}
+            ShardMsg::Hello(h, sink) => {
+                self.metrics.dequeued();
+                self.open_session(h, sink);
+            }
+            ShardMsg::Teardown(t, only_if_conn, sink) => {
+                self.metrics.dequeued();
+                self.close_session(t, only_if_conn, sink);
+            }
+            ShardMsg::Batch(b, sink) => {
+                self.metrics.dequeued();
+                self.process_batch(b, sink);
+            }
+        }
+    }
+
+    fn open_session(&mut self, h: Hello, sink: Option<ConnSink>) {
+        if self.sessions.contains_key(&h.sensor_id) {
+            // The *existing* session's sink must not learn about this —
+            // the refusal goes to whoever sent the duplicate.
+            self.reject(sink.as_ref(), h.sensor_id, RejectCode::DuplicateSensor);
+            return;
+        }
+        let pipeline = match (self.factory)(&h) {
+            Ok(p) => p,
+            Err(_) => {
+                self.reject(sink.as_ref(), h.sensor_id, RejectCode::BadConfig);
+                return;
+            }
+        };
+        if pipeline.num_rx() != h.n_rx as usize {
+            self.reject(sink.as_ref(), h.sensor_id, RejectCode::BadConfig);
+            return;
+        }
+        EngineMetrics::inc(&self.metrics.sessions_opened);
+        self.sessions.insert(
+            h.sensor_id,
+            Session {
+                pipeline,
+                samples_per_sweep: h.samples_per_sweep,
+                sink,
+                next_in_seq: 0,
+                out_seq: 0,
+                frames_emitted: 0,
+            },
+        );
+    }
+
+    fn close_session(&mut self, t: Teardown, only_if_conn: Option<u64>, carried: Option<ConnSink>) {
+        if let Some(conn_id) = only_if_conn {
+            // Scoped cleanup: silently skip sessions this connection does
+            // not own (including already-closed ones).
+            let owned = self
+                .sessions
+                .get(&t.sensor_id)
+                .is_some_and(|s| s.sink.as_ref().is_some_and(|k| k.conn_id == conn_id));
+            if !owned {
+                return;
+            }
+        }
+        match self.sessions.remove(&t.sensor_id) {
+            Some(s) => {
+                EngineMetrics::inc(&self.metrics.sessions_closed);
+                self.emit(EngineEvent::SessionClosed {
+                    sensor_id: t.sensor_id,
+                    frames_emitted: s.frames_emitted,
+                });
+            }
+            None => self.reject(carried.as_ref(), t.sensor_id, RejectCode::UnknownSensor),
+        }
+    }
+
+    fn process_batch(&mut self, b: SweepBatch, carried: Option<ConnSink>) {
+        let Some(session) = self.sessions.get_mut(&b.sensor_id) else {
+            // No session to consult for a sink, but the connection that
+            // carried the batch can still be told.
+            self.reject(carried.as_ref(), b.sensor_id, RejectCode::UnknownSensor);
+            return;
+        };
+        let n_rx = session.pipeline.num_rx();
+        let shape_ok = b.n_rx as usize == n_rx
+            && b.samples_per_sweep == session.samples_per_sweep
+            && b.data.len() == b.n_sweeps as usize * b.n_rx as usize * b.samples_per_sweep as usize;
+        if !shape_ok {
+            let sink = session.sink.clone();
+            self.reject(sink.as_ref(), b.sensor_id, RejectCode::BadConfig);
+            return;
+        }
+        // Sequence accounting: replays/reordering are dropped (processing
+        // an old batch would corrupt the pipeline's stream state), forward
+        // gaps are counted but processed — the stream must go on.
+        if b.seq < session.next_in_seq {
+            EngineMetrics::inc(&self.metrics.seq_out_of_order);
+            let sink = session.sink.clone();
+            self.reject(sink.as_ref(), b.sensor_id, RejectCode::StaleSequence);
+            return;
+        }
+        if b.seq > session.next_in_seq {
+            EngineMetrics::add(&self.metrics.seq_gaps, b.seq - session.next_in_seq);
+        }
+        session.next_in_seq = b.seq + 1;
+
+        let samples = b.samples_per_sweep as usize;
+        let mut updates: Vec<FrameReport> = Vec::new();
+        let mut refs: Vec<&[f64]> = Vec::with_capacity(n_rx);
+        for s in 0..b.n_sweeps as usize {
+            refs.clear();
+            let sweep_start = s * n_rx * samples;
+            for k in 0..n_rx {
+                let at = sweep_start + k * samples;
+                refs.push(&b.data[at..at + samples]);
+            }
+            if let Some(report) = session.pipeline.process_sweeps(&refs) {
+                updates.push(report);
+            }
+        }
+        EngineMetrics::add(&self.metrics.sweeps_processed, b.n_sweeps as u64);
+        if !updates.is_empty() {
+            EngineMetrics::add(&self.metrics.frames_emitted, updates.len() as u64);
+            session.frames_emitted += updates.len() as u64;
+            let seq = session.out_seq;
+            session.out_seq += 1;
+            let sink = session.sink.clone();
+            self.deliver(
+                sink.as_ref(),
+                Message::UpdateBatch(UpdateBatch {
+                    sensor_id: b.sensor_id,
+                    seq,
+                    updates,
+                }),
+            );
+        }
+    }
+}

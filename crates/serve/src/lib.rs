@@ -1,0 +1,85 @@
+//! witrack-serve: a sharded multi-sensor streaming engine for the WiTrack
+//! pipelines.
+//!
+//! One tracking pipeline runs ~50× faster than its 80 frames/s real-time
+//! budget (see `BENCH_throughput.json`), so a single host can multiplex
+//! dozens of sensor deployments. This crate is the serving layer that
+//! makes that real:
+//!
+//! * [`wire`] — the length-prefixed binary protocol sensors speak:
+//!   `Hello` (session open + stream shape), `SweepBatch` (sequence-numbered
+//!   baseband), `Teardown`, and the server's `UpdateBatch`/`Reject`.
+//! * [`transport`] — how frames move: an in-process bounded-queue pair
+//!   (tests and benches run the full wire path with no sockets) or a
+//!   loopback `TcpStream`.
+//! * [`engine`] — the [`ShardedEngine`]: each sensor id is pinned to one
+//!   worker shard owning its [`FramePipeline`](witrack_core::FramePipeline)
+//!   instances, with bounded-queue backpressure, drop/lag metrics, and
+//!   sequence-gap accounting.
+//! * [`server`] / [`client`] — the connection layer over any transport,
+//!   multiplexing many sensors per connection, and the sensor-side client.
+//! * [`factory`] — stock pipeline construction from a `Hello` (single- or
+//!   multi-target per sensor, one shared base configuration).
+//! * [`metrics`] — relaxed-atomic counters and their snapshot.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use witrack_serve::engine::{EngineConfig, EngineEvent, ShardedEngine};
+//! use witrack_serve::factory::{hello_for, witrack_factory};
+//! use witrack_serve::wire::{Message, PipelineKind, SweepBatch};
+//! use witrack_core::WiTrackConfig;
+//! use witrack_fmcw::SweepConfig;
+//!
+//! // A reduced sweep keeps this doc test fast.
+//! let sweep = SweepConfig {
+//!     start_freq_hz: 5.56e8,
+//!     bandwidth_hz: 1.69e8,
+//!     sweep_duration_s: 1e-3,
+//!     sample_rate_hz: 100e3,
+//!     sweeps_per_frame: 5,
+//!     transmit_power_w: 1e-3,
+//! };
+//! let base = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+//! let (engine, events) = ShardedEngine::start(
+//!     EngineConfig::default(),
+//!     witrack_factory(base),
+//! );
+//! let handle = engine.handle();
+//! handle.submit(Message::Hello(hello_for(&base, 7, PipelineKind::SingleTarget))).unwrap();
+//! // One frame of silence for sensor 7: 5 sweeps × 3 antennas.
+//! let sweeps = vec![vec![vec![0.0; sweep.samples_per_sweep()]; 3]; 5];
+//! handle.submit_batch(SweepBatch::from_sweeps(7, 0, &sweeps)).unwrap();
+//! let event = events.recv().unwrap();
+//! match event {
+//!     EngineEvent::Updates(u) => {
+//!         assert_eq!(u.sensor_id, 7);
+//!         assert_eq!(u.updates.len(), 1); // one frame report
+//!     }
+//!     other => panic!("expected updates, got {other:?}"),
+//! }
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod engine;
+pub mod factory;
+pub mod metrics;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientStats, SensorClient};
+pub use engine::{
+    ConnSink, EngineConfig, EngineEvent, EngineHandle, OverloadPolicy, PipelineFactory,
+    ShardedEngine, SubmitError, Submitted, UpdateSink,
+};
+pub use factory::{hello_for, witrack_factory};
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use server::{Server, TcpServer};
+pub use transport::{in_proc_pair, InProcTransport, TcpTransport, Transport};
+pub use wire::{
+    Hello, Message, PipelineKind, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch, WireError,
+};

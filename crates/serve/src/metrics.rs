@@ -1,0 +1,128 @@
+//! Engine health counters: drops, lag, sequence anomalies.
+//!
+//! All counters are relaxed atomics — they are monitoring data, ordered
+//! against nothing. [`EngineMetrics::snapshot`] reads them into a plain
+//! struct for printing and for the bench JSON artifacts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared engine counters (one instance per engine, behind an `Arc`).
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Messages accepted into a shard queue: sweep batches plus
+    /// hello/teardown control messages.
+    pub batches_in: AtomicU64,
+    /// Sweep batches discarded at ingress because the target shard's queue
+    /// was full (DropNewest policy only).
+    pub batches_dropped: AtomicU64,
+    /// Sweep batches refused inside a shard (unknown sensor, shape
+    /// mismatch, stale sequence).
+    pub batches_rejected: AtomicU64,
+    /// Individual sweep intervals processed by pipelines.
+    pub sweeps_processed: AtomicU64,
+    /// Frame reports emitted by pipelines.
+    pub frames_emitted: AtomicU64,
+    /// Missing batches implied by forward sequence jumps.
+    pub seq_gaps: AtomicU64,
+    /// Batches that arrived with an already-consumed sequence number.
+    pub seq_out_of_order: AtomicU64,
+    /// Batches naming a sensor with no live session.
+    pub unknown_sensor: AtomicU64,
+    /// Sessions opened.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed by teardown.
+    pub sessions_closed: AtomicU64,
+    /// Batches currently queued across all shards (ingress minus dequeues).
+    pub inflight: AtomicU64,
+    /// High-water mark of `inflight`: the worst queue backlog observed,
+    /// the engine's lag signal.
+    pub max_inflight: AtomicU64,
+    /// Server→client messages shed because a session's connection outbox
+    /// was full (the client is lagging) or gone.
+    pub updates_dropped: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Bumps a counter by 1.
+    pub(crate) fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps a counter by `n`.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one batch entering a shard queue. MUST be called *before*
+    /// the actual send: the shard's matching [`Self::dequeued`] must never
+    /// be able to run first, or `inflight` underflows.
+    pub(crate) fn enqueued(&self) {
+        Self::inc(&self.batches_in);
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_inflight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Rolls back an [`Self::enqueued`] whose send then failed (queue
+    /// full under DropNewest, or engine down).
+    pub(crate) fn enqueue_failed(&self) {
+        self.batches_in.fetch_sub(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch leaving a shard queue.
+    pub(crate) fn dequeued(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Reads every counter at once.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            batches_in: self.batches_in.load(Ordering::Relaxed),
+            batches_dropped: self.batches_dropped.load(Ordering::Relaxed),
+            batches_rejected: self.batches_rejected.load(Ordering::Relaxed),
+            sweeps_processed: self.sweeps_processed.load(Ordering::Relaxed),
+            frames_emitted: self.frames_emitted.load(Ordering::Relaxed),
+            seq_gaps: self.seq_gaps.load(Ordering::Relaxed),
+            seq_out_of_order: self.seq_out_of_order.load(Ordering::Relaxed),
+            unknown_sensor: self.unknown_sensor.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            max_inflight: self.max_inflight.load(Ordering::Relaxed),
+            updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Messages accepted into a shard queue (sweep batches plus
+    /// hello/teardown control messages).
+    pub batches_in: u64,
+    /// Batches discarded at ingress (full queue, DropNewest policy).
+    pub batches_dropped: u64,
+    /// Batches refused inside a shard.
+    pub batches_rejected: u64,
+    /// Sweep intervals processed.
+    pub sweeps_processed: u64,
+    /// Frame reports emitted.
+    pub frames_emitted: u64,
+    /// Missing batches implied by forward sequence jumps.
+    pub seq_gaps: u64,
+    /// Batches with an already-consumed sequence number.
+    pub seq_out_of_order: u64,
+    /// Batches naming an unknown sensor.
+    pub unknown_sensor: u64,
+    /// Sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions closed by teardown.
+    pub sessions_closed: u64,
+    /// Batches queued right now.
+    pub inflight: u64,
+    /// Worst queue backlog observed.
+    pub max_inflight: u64,
+    /// Server→client messages shed to lagging (or vanished) client
+    /// connections.
+    pub updates_dropped: u64,
+}

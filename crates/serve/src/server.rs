@@ -1,0 +1,216 @@
+//! Transport-facing server: connections in, per-session updates back out.
+//!
+//! A [`Server`] owns one [`ShardedEngine`]. Any [`Transport`] attaches —
+//! in-process pairs for tests and benches, TCP streams via [`TcpServer`]
+//! for the loopback deployment — and one connection may multiplex any
+//! number of sensors.
+//!
+//! Per connection: a reader thread decodes client messages and submits
+//! them to the engine (inheriting the engine's backpressure), and a
+//! writer thread drains the connection's bounded outbox. Routing is tied
+//! to sessions at `Hello` time: the reader hands the engine the outbox as
+//! the session's [`ConnSink`], and the owning shard sends that session's
+//! updates and rejects straight into it — there is no global registry to
+//! race against. A slow client whose outbox fills has messages shed (and
+//! counted in [`MetricsSnapshot::updates_dropped`]) rather than stalling
+//! a shard; a refused `Hello` gets its reject and leaves no state behind.
+
+use crate::engine::{ConnSink, EngineConfig, EngineHandle, PipelineFactory, ShardedEngine};
+use crate::metrics::MetricsSnapshot;
+use crate::transport::{Transport, TransportRx, TransportTx};
+use crate::wire::Message;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How many server→client messages one connection may have pending before
+/// its shard starts shedding them.
+const OUTBOX_CAPACITY: usize = 64;
+
+/// Source of unique connection ids (scopes cleanup teardowns).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A running multi-sensor server.
+pub struct Server {
+    handle: EngineHandle,
+    engine: ShardedEngine,
+    drainer: JoinHandle<()>,
+}
+
+impl Server {
+    /// Starts the engine. Sessions opened through [`Server::attach`]ed
+    /// connections route their traffic straight to their connection, so
+    /// the engine-wide event stream only carries bookkeeping — a small
+    /// drainer thread keeps it from accumulating.
+    pub fn start(cfg: EngineConfig, factory: Arc<PipelineFactory>) -> Server {
+        let (engine, events) = ShardedEngine::start(cfg, factory);
+        let drainer = std::thread::spawn(move || for _ in events {});
+        Server {
+            handle: engine.handle(),
+            engine,
+            drainer,
+        }
+    }
+
+    /// Attaches one client connection; its reader/writer threads live
+    /// until the client closes its sending side. Returns the reader's
+    /// join handle.
+    pub fn attach<T: Transport + 'static>(&self, transport: T) -> io::Result<JoinHandle<()>> {
+        let (tx, rx) = transport.split()?;
+        let handle = self.handle.clone();
+        Ok(std::thread::spawn(move || connection_main(tx, rx, handle)))
+    }
+
+    /// A cloneable ingress handle to the engine (bypasses transports; used
+    /// by in-process callers that don't need the wire).
+    pub fn engine_handle(&self) -> EngineHandle {
+        self.engine.handle()
+    }
+
+    /// Engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.engine.metrics()
+    }
+
+    /// Shuts the engine down (draining shard queues). Attached
+    /// connections must already be closed.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        let m = self.engine.shutdown();
+        // The shards are gone, so the event stream has closed and the
+        // drainer exits on its own.
+        self.drainer.join().expect("event drainer panicked");
+        m
+    }
+}
+
+fn connection_main<Tx, Rx>(tx: Tx, mut rx: Rx, handle: EngineHandle)
+where
+    Tx: TransportTx + 'static,
+    Rx: TransportRx + 'static,
+{
+    let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    let (outbox_tx, outbox_rx) = sync_channel::<Message>(OUTBOX_CAPACITY);
+    let writer = std::thread::spawn(move || writer_main(tx, outbox_rx));
+    // Sensors this connection said Hello for. The engine itself decides
+    // ownership (a duplicate Hello is refused and its sink dropped), so
+    // the EOF cleanup below is scoped to `conn_id` — it can never tear
+    // down a session some other connection owns.
+    let mut greeted: Vec<u32> = Vec::new();
+    loop {
+        match rx.recv_msg() {
+            Ok(Some(msg)) => {
+                if let Message::Hello(h) = &msg {
+                    if !greeted.contains(&h.sensor_id) {
+                        greeted.push(h.sensor_id);
+                    }
+                }
+                // Every message carries this connection's sink, so even
+                // refusals with no session behind them (unknown sensor,
+                // refused hello) come back over the wire.
+                let sink = ConnSink {
+                    conn_id,
+                    tx: outbox_tx.clone(),
+                };
+                match handle.submit_with_sink(msg, Some(sink)) {
+                    Ok(_) => {}
+                    Err(_) => break, // engine down or protocol abuse: hang up
+                }
+            }
+            Ok(None) => break, // clean close
+            Err(_) => break,   // decode error or dead socket
+        }
+    }
+    // The connection is gone: close the sessions it owns so their
+    // pipelines (and their clones of our outbox) free up. The shard
+    // processes this after everything already queued, emits the final
+    // updates, and drops the session sink — which is what lets the writer
+    // below drain out and exit.
+    for sensor_id in greeted {
+        let _ = handle.submit_teardown_scoped(sensor_id, conn_id);
+    }
+    drop(outbox_tx);
+    writer.join().expect("connection writer panicked");
+}
+
+fn writer_main<Tx: TransportTx>(mut tx: Tx, outbox: Receiver<Message>) {
+    for msg in outbox {
+        if tx.send_msg(&msg).is_err() {
+            // Peer gone; drain silently so shard try_sends keep failing
+            // fast instead of filling a dead queue.
+            break;
+        }
+    }
+}
+
+/// A loopback TCP front door for a [`Server`].
+pub struct TcpServer {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting
+    /// connections, each served by [`Server::attach`].
+    pub fn bind(
+        addr: &str,
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let server = Arc::new(Server::start(cfg, factory));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            let _ = server.attach(crate::transport::TcpTransport::new(s));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(TcpServer {
+            server,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            stop,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.server.metrics()
+    }
+
+    /// Stops accepting, then shuts the engine down. Clients must have
+    /// disconnected already (their connection threads hold engine handles).
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread panicked");
+        }
+        let server = Arc::try_unwrap(self.server)
+            .unwrap_or_else(|_| panic!("connections still hold the server"));
+        server.shutdown()
+    }
+}

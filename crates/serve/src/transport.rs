@@ -1,0 +1,271 @@
+//! Message transports: how encoded wire frames move between a sensor
+//! client and the engine.
+//!
+//! Two implementations ship:
+//!
+//! * [`InProcTransport`] — a pair of bounded in-process byte-frame queues.
+//!   Tests and benches exercise the full wire path (encode → frame queue →
+//!   decode) with no sockets, and the bounded send side gives the same
+//!   backpressure shape a kernel socket buffer would.
+//! * [`TcpTransport`] — a `TcpStream` carrying the same frames, used by the
+//!   loopback [`TcpServer`](crate::server::TcpServer).
+//!
+//! A transport [`split`](Transport::split)s into an independently-owned
+//! send half and receive half so a connection can be serviced by one
+//! reader thread and one writer thread without locking.
+
+use crate::wire::{self, Message, WireError, HEADER_LEN};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// The sending half of a transport.
+pub trait TransportTx: Send {
+    /// Sends one already-encoded wire frame (blocking while the peer's
+    /// buffer is full). The hot path for senders that pre-encode.
+    fn send_frame(&mut self, frame: Vec<u8>) -> io::Result<()>;
+
+    /// Encodes and sends one message.
+    fn send_msg(&mut self, msg: &Message) -> io::Result<()> {
+        self.send_frame(wire::encode(msg))
+    }
+
+    /// Signals end-of-stream to the peer while leaving the receive
+    /// direction open. Dropping the half does this implicitly for
+    /// in-process queues, but a duplex socket needs an explicit
+    /// write-side shutdown.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The receiving half of a transport.
+pub trait TransportRx: Send {
+    /// Receives the next message, blocking until one arrives. `Ok(None)`
+    /// means the peer closed cleanly.
+    fn recv_msg(&mut self) -> io::Result<Option<Message>>;
+}
+
+/// A bidirectional message channel that splits into its two halves.
+pub trait Transport: Send {
+    /// The send-half type.
+    type Tx: TransportTx + 'static;
+    /// The receive-half type.
+    type Rx: TransportRx + 'static;
+
+    /// Splits into independently-owned send and receive halves.
+    fn split(self) -> io::Result<(Self::Tx, Self::Rx)>;
+}
+
+fn wire_to_io(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport.
+
+/// In-process send half: encoded frames into a bounded queue.
+pub struct InProcTx {
+    tx: SyncSender<Vec<u8>>,
+}
+
+/// In-process receive half.
+pub struct InProcRx {
+    rx: Receiver<Vec<u8>>,
+}
+
+/// One endpoint of an in-process duplex channel (see [`in_proc_pair`]).
+pub struct InProcTransport {
+    tx: InProcTx,
+    rx: InProcRx,
+}
+
+/// Creates a connected pair of in-process transports. Each direction is a
+/// bounded queue of `capacity` frames: a sender whose peer stops draining
+/// blocks, exactly like a filled socket buffer.
+pub fn in_proc_pair(capacity: usize) -> (InProcTransport, InProcTransport) {
+    let (a_tx, b_rx) = sync_channel(capacity);
+    let (b_tx, a_rx) = sync_channel(capacity);
+    (
+        InProcTransport {
+            tx: InProcTx { tx: a_tx },
+            rx: InProcRx { rx: a_rx },
+        },
+        InProcTransport {
+            tx: InProcTx { tx: b_tx },
+            rx: InProcRx { rx: b_rx },
+        },
+    )
+}
+
+impl TransportTx for InProcTx {
+    fn send_frame(&mut self, frame: Vec<u8>) -> io::Result<()> {
+        self.tx
+            .send(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+}
+
+impl InProcTx {
+    /// Non-blocking send: `Ok(false)` when the queue is full (frame not
+    /// sent), `Err` when the peer dropped.
+    pub fn try_send_msg(&mut self, msg: &Message) -> io::Result<bool> {
+        match self.tx.try_send(wire::encode(msg)) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => Ok(false),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+            }
+        }
+    }
+}
+
+impl TransportRx for InProcRx {
+    fn recv_msg(&mut self) -> io::Result<Option<Message>> {
+        match self.rx.recv() {
+            Err(_) => Ok(None), // all senders dropped: clean close
+            Ok(frame) => {
+                let (msg, used) = wire::decode(&frame).map_err(wire_to_io)?;
+                if used != frame.len() {
+                    return Err(wire_to_io(WireError::BadPayload(
+                        "frame carries extra bytes",
+                    )));
+                }
+                Ok(Some(msg))
+            }
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    type Tx = InProcTx;
+    type Rx = InProcRx;
+
+    fn split(self) -> io::Result<(InProcTx, InProcRx)> {
+        Ok((self.tx, self.rx))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+/// A `TcpStream` carrying wire frames.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. `TCP_NODELAY` is enabled: frames are
+    /// latency-sensitive and already batched at the protocol layer.
+    pub fn new(stream: TcpStream) -> TcpTransport {
+        let _ = stream.set_nodelay(true);
+        TcpTransport { stream }
+    }
+
+    /// Connects to `addr` (e.g. a loopback [`TcpServer`]'s address).
+    ///
+    /// [`TcpServer`]: crate::server::TcpServer
+    pub fn connect(addr: std::net::SocketAddr) -> io::Result<TcpTransport> {
+        Ok(TcpTransport::new(TcpStream::connect(addr)?))
+    }
+}
+
+/// TCP send half.
+pub struct TcpTx {
+    stream: TcpStream,
+}
+
+/// TCP receive half with its streaming read buffer.
+pub struct TcpRx {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Transport for TcpTransport {
+    type Tx = TcpTx;
+    type Rx = TcpRx;
+
+    fn split(self) -> io::Result<(TcpTx, TcpRx)> {
+        let writer = self.stream.try_clone()?;
+        Ok((
+            TcpTx { stream: writer },
+            TcpRx {
+                stream: self.stream,
+                buf: Vec::new(),
+            },
+        ))
+    }
+}
+
+impl TransportTx for TcpTx {
+    fn send_frame(&mut self, frame: Vec<u8>) -> io::Result<()> {
+        self.stream.write_all(&frame)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+impl TransportRx for TcpRx {
+    fn recv_msg(&mut self) -> io::Result<Option<Message>> {
+        // Read exactly one frame: the 12-byte header names the payload
+        // length, so over-reading (and having to buffer spill for the next
+        // call) never happens.
+        self.buf.resize(HEADER_LEN, 0);
+        if !read_exact_or_eof(&mut self.stream, &mut self.buf)? {
+            return Ok(None);
+        }
+        let (_, frame_len) = wire::decode_header(&self.buf).map_err(wire_to_io)?;
+        self.buf.resize(frame_len, 0);
+        self.stream.read_exact(&mut self.buf[HEADER_LEN..])?;
+        let (msg, _) = wire::decode(&self.buf).map_err(wire_to_io)?;
+        Ok(Some(msg))
+    }
+}
+
+/// Fills `buf` from `r`; `Ok(false)` on a clean EOF at offset 0,
+/// `UnexpectedEof` if the stream dies mid-buffer.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Teardown;
+
+    #[test]
+    fn in_proc_pair_round_trips() {
+        let (a, b) = in_proc_pair(4);
+        let (mut a_tx, _a_rx) = a.split().unwrap();
+        let (_b_tx, mut b_rx) = b.split().unwrap();
+        a_tx.send_msg(&Message::Teardown(Teardown { sensor_id: 3 }))
+            .unwrap();
+        let got = b_rx.recv_msg().unwrap().unwrap();
+        assert_eq!(got, Message::Teardown(Teardown { sensor_id: 3 }));
+        drop(a_tx);
+        assert!(b_rx.recv_msg().unwrap().is_none(), "drop closes cleanly");
+    }
+
+    #[test]
+    fn in_proc_try_send_reports_full() {
+        let (a, b) = in_proc_pair(1);
+        let (mut a_tx, _a_rx) = a.split().unwrap();
+        let (_b_tx, b_rx) = b.split().unwrap();
+        let msg = Message::Teardown(Teardown { sensor_id: 0 });
+        assert!(a_tx.try_send_msg(&msg).unwrap());
+        assert!(!a_tx.try_send_msg(&msg).unwrap(), "bounded queue is full");
+        drop(b_rx);
+    }
+}

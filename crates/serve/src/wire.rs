@@ -1,0 +1,576 @@
+//! The length-prefixed binary wire format sensors speak to the engine.
+//!
+//! Every message is one *frame*: a fixed 12-byte header followed by a
+//! type-specific payload. All integers and floats are **little-endian**.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  the bytes "WTRK" (0x4B525457 as a LE u32)
+//! 4       1     version (currently 1)
+//! 5       1     message type
+//! 6       2     flags (reserved, must be 0)
+//! 8       4     payload length in bytes
+//! 12      ...   payload
+//! ```
+//!
+//! Message types (client → server unless noted):
+//!
+//! | type | name         | payload |
+//! |------|--------------|---------|
+//! | 1    | `Hello`      | `sensor_id u32, kind u8, n_rx u8, reserved u16, samples_per_sweep u32, sweeps_per_frame u32` |
+//! | 2    | `SweepBatch` | `sensor_id u32, seq u64, n_sweeps u16, n_rx u16, samples_per_sweep u32, data [n_sweeps × n_rx × samples_per_sweep] f64` |
+//! | 3    | `Teardown`   | `sensor_id u32` |
+//! | 4    | `UpdateBatch` (server → client) | `sensor_id u32, seq u64, n_updates u16, reserved u16`, then per update `frame_index u64, time_s f64, n_targets u16, reserved u16`, then per target 64 bytes: `id u64 (u64::MAX = anonymous), x y z f64, vx vy vz f64, flags u8 (bit0 held, bit1 has velocity), pad [7]u8` |
+//! | 5    | `Reject` (server → client) | `sensor_id u32, code u16, reserved u16` |
+//!
+//! [`decode`] is incremental-read friendly: on a buffer holding only part
+//! of one frame it returns [`WireError::Incomplete`] with the total frame
+//! length needed, so a streaming reader knows exactly how much more to
+//! fetch. All other errors are fatal for the connection.
+
+use witrack_core::{FrameReport, TargetReport};
+use witrack_geom::Vec3;
+
+/// Frame magic: the bytes `"WTRK"` on the wire (value `0x4B52_5457` as a
+/// little-endian u32).
+pub const MAGIC: u32 = u32::from_le_bytes(*b"WTRK");
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Hard cap on payload length (64 MiB): anything larger is a corrupt or
+/// hostile frame, not a real sweep batch.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Which pipeline backend a sensor asks for in its [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineKind {
+    /// The single-target `WiTrack` pipeline.
+    SingleTarget,
+    /// The multi-target `MultiWiTrack` pipeline.
+    MultiTarget,
+}
+
+impl PipelineKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            PipelineKind::SingleTarget => 0,
+            PipelineKind::MultiTarget => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<PipelineKind, WireError> {
+        match v {
+            0 => Ok(PipelineKind::SingleTarget),
+            1 => Ok(PipelineKind::MultiTarget),
+            _ => Err(WireError::BadPayload("unknown pipeline kind")),
+        }
+    }
+}
+
+/// Session open: a sensor announces itself and its stream shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Sensor identity; also the shard-routing key.
+    pub sensor_id: u32,
+    /// Requested pipeline backend.
+    pub kind: PipelineKind,
+    /// Number of receive antennas (one sweep slice per antenna).
+    pub n_rx: u8,
+    /// Samples per sweep the sensor will send.
+    pub samples_per_sweep: u32,
+    /// Sweeps per processing frame.
+    pub sweeps_per_frame: u32,
+}
+
+/// A batch of consecutive sweep intervals from one sensor.
+///
+/// `data` is flat, sweep-major: sweep `s`, antenna `k` occupies
+/// `data[(s * n_rx + k) * samples .. ][..samples]` (see [`Self::sweep_rx`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBatch {
+    /// Which sensor this batch belongs to.
+    pub sensor_id: u32,
+    /// Batch sequence number, starting at 0 after `Hello`.
+    pub seq: u64,
+    /// Number of sweep intervals in this batch.
+    pub n_sweeps: u16,
+    /// Number of receive antennas per sweep interval.
+    pub n_rx: u16,
+    /// Samples per (antenna) sweep.
+    pub samples_per_sweep: u32,
+    /// The baseband samples, `n_sweeps × n_rx × samples_per_sweep`.
+    pub data: Vec<f64>,
+}
+
+impl SweepBatch {
+    /// Builds a batch from per-sweep, per-antenna slices.
+    ///
+    /// # Panics
+    /// Panics if the sweeps are ragged (differing antenna counts or sweep
+    /// lengths).
+    pub fn from_sweeps(sensor_id: u32, seq: u64, sweeps: &[Vec<Vec<f64>>]) -> SweepBatch {
+        let n_sweeps = sweeps.len();
+        let n_rx = sweeps.first().map(|s| s.len()).unwrap_or(0);
+        let samples = sweeps
+            .first()
+            .and_then(|s| s.first())
+            .map(|v| v.len())
+            .unwrap_or(0);
+        let mut data = Vec::with_capacity(n_sweeps * n_rx * samples);
+        for sweep in sweeps {
+            assert_eq!(sweep.len(), n_rx, "ragged antenna count");
+            for rx in sweep {
+                assert_eq!(rx.len(), samples, "ragged sweep length");
+                data.extend_from_slice(rx);
+            }
+        }
+        SweepBatch {
+            sensor_id,
+            seq,
+            n_sweeps: n_sweeps as u16,
+            n_rx: n_rx as u16,
+            samples_per_sweep: samples as u32,
+            data,
+        }
+    }
+
+    /// The samples of sweep `s`, antenna `k`.
+    pub fn sweep_rx(&self, s: usize, k: usize) -> &[f64] {
+        let samples = self.samples_per_sweep as usize;
+        let start = (s * self.n_rx as usize + k) * samples;
+        &self.data[start..start + samples]
+    }
+}
+
+/// Session close for one sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Teardown {
+    /// Which sensor is closing.
+    pub sensor_id: u32,
+}
+
+/// Server → client: a batch of per-frame reports for one sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateBatch {
+    /// Which sensor these updates belong to.
+    pub sensor_id: u32,
+    /// Output sequence number, starting at 0 per session.
+    pub seq: u64,
+    /// The per-frame reports, oldest first.
+    pub updates: Vec<FrameReport>,
+}
+
+/// Why the server refused a message (the session, if any, survives unless
+/// the code says otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// A `SweepBatch` arrived for a sensor that never said `Hello` (or was
+    /// torn down).
+    UnknownSensor,
+    /// A `Hello` arrived for a sensor id that already has a live session.
+    DuplicateSensor,
+    /// The `Hello` or `SweepBatch` shape disagrees with the server's
+    /// pipeline configuration (antenna count, sweep length).
+    BadConfig,
+    /// A `SweepBatch` sequence number was already consumed; the batch was
+    /// discarded.
+    StaleSequence,
+}
+
+impl RejectCode {
+    fn to_u16(self) -> u16 {
+        match self {
+            RejectCode::UnknownSensor => 1,
+            RejectCode::DuplicateSensor => 2,
+            RejectCode::BadConfig => 3,
+            RejectCode::StaleSequence => 4,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<RejectCode, WireError> {
+        match v {
+            1 => Ok(RejectCode::UnknownSensor),
+            2 => Ok(RejectCode::DuplicateSensor),
+            3 => Ok(RejectCode::BadConfig),
+            4 => Ok(RejectCode::StaleSequence),
+            _ => Err(WireError::BadPayload("unknown reject code")),
+        }
+    }
+}
+
+/// Server → client: a refusal notice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reject {
+    /// The sensor the refused message named.
+    pub sensor_id: u32,
+    /// Why it was refused.
+    pub code: RejectCode,
+}
+
+/// Any wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Session open.
+    Hello(Hello),
+    /// Sweep data.
+    SweepBatch(SweepBatch),
+    /// Session close.
+    Teardown(Teardown),
+    /// Server → client frame reports.
+    UpdateBatch(UpdateBatch),
+    /// Server → client refusal.
+    Reject(Reject),
+}
+
+impl Message {
+    fn msg_type(&self) -> u8 {
+        match self {
+            Message::Hello(_) => 1,
+            Message::SweepBatch(_) => 2,
+            Message::Teardown(_) => 3,
+            Message::UpdateBatch(_) => 4,
+            Message::Reject(_) => 5,
+        }
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer holds only part of one frame; `needed` is the total
+    /// frame length (header + payload). Read more and retry.
+    Incomplete {
+        /// Total bytes the complete frame occupies.
+        needed: usize,
+    },
+    /// The first four bytes are not the protocol magic.
+    BadMagic(u32),
+    /// The version byte is not one this decoder speaks.
+    UnsupportedVersion(u8),
+    /// The message-type byte is unknown.
+    UnknownType(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge(u32),
+    /// The payload is self-inconsistent (inner counts disagree with the
+    /// payload length, or an enum byte is out of range).
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Incomplete { needed } => {
+                write!(f, "incomplete frame: need {needed} bytes total")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds cap"),
+            WireError::BadPayload(why) => write!(f, "bad payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a payload; every read checks bounds so truncated inner
+/// structure surfaces as `BadPayload`, never a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::BadPayload(
+                "payload shorter than its contents claim",
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("sized")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload(
+                "trailing bytes after payload contents",
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encode.
+
+/// Encodes `msg` as one wire frame appended to `out`.
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
+    let header_at = out.len();
+    put_u32(out, MAGIC);
+    out.push(VERSION);
+    out.push(msg.msg_type());
+    put_u16(out, 0); // flags
+    put_u32(out, 0); // payload length, patched below
+    let payload_at = out.len();
+    match msg {
+        Message::Hello(h) => {
+            put_u32(out, h.sensor_id);
+            out.push(h.kind.to_u8());
+            out.push(h.n_rx);
+            put_u16(out, 0);
+            put_u32(out, h.samples_per_sweep);
+            put_u32(out, h.sweeps_per_frame);
+        }
+        Message::SweepBatch(b) => {
+            put_u32(out, b.sensor_id);
+            put_u64(out, b.seq);
+            put_u16(out, b.n_sweeps);
+            put_u16(out, b.n_rx);
+            put_u32(out, b.samples_per_sweep);
+            out.reserve(b.data.len() * 8);
+            for &v in &b.data {
+                put_f64(out, v);
+            }
+        }
+        Message::Teardown(t) => put_u32(out, t.sensor_id),
+        Message::UpdateBatch(u) => {
+            put_u32(out, u.sensor_id);
+            put_u64(out, u.seq);
+            put_u16(out, u.updates.len() as u16);
+            put_u16(out, 0);
+            for r in &u.updates {
+                put_u64(out, r.frame_index);
+                put_f64(out, r.time_s);
+                put_u16(out, r.targets.len() as u16);
+                put_u16(out, 0);
+                for t in &r.targets {
+                    put_u64(out, t.id.unwrap_or(u64::MAX));
+                    put_f64(out, t.position.x);
+                    put_f64(out, t.position.y);
+                    put_f64(out, t.position.z);
+                    let v = t.velocity.unwrap_or(Vec3::ZERO);
+                    put_f64(out, v.x);
+                    put_f64(out, v.y);
+                    put_f64(out, v.z);
+                    let flags = (t.held as u8) | ((t.velocity.is_some() as u8) << 1);
+                    out.push(flags);
+                    out.extend_from_slice(&[0u8; 7]);
+                }
+            }
+        }
+        Message::Reject(r) => {
+            put_u32(out, r.sensor_id);
+            put_u16(out, r.code.to_u16());
+            put_u16(out, 0);
+        }
+    }
+    let payload_len = (out.len() - payload_at) as u32;
+    out[header_at + 8..header_at + 12].copy_from_slice(&payload_len.to_le_bytes());
+}
+
+/// Encodes `msg` as one freshly-allocated wire frame.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(msg, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decode.
+
+/// Parses the header at the start of `buf`, returning `(msg_type, total
+/// frame length)`.
+pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Incomplete { needed: HEADER_LEN });
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("sized"));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = buf[4];
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let msg_type = buf[5];
+    if !(1..=5).contains(&msg_type) {
+        return Err(WireError::UnknownType(msg_type));
+    }
+    let payload_len = u32::from_le_bytes(buf[8..12].try_into().expect("sized"));
+    if payload_len as usize > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(payload_len));
+    }
+    Ok((msg_type, HEADER_LEN + payload_len as usize))
+}
+
+/// Decodes one message from the start of `buf`, returning it and the number
+/// of bytes consumed. [`WireError::Incomplete`] means read more bytes.
+pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    let (msg_type, frame_len) = decode_header(buf)?;
+    if buf.len() < frame_len {
+        return Err(WireError::Incomplete { needed: frame_len });
+    }
+    let mut r = Reader::new(&buf[HEADER_LEN..frame_len]);
+    let msg = match msg_type {
+        1 => {
+            let sensor_id = r.u32()?;
+            let kind = PipelineKind::from_u8(r.u8()?)?;
+            let n_rx = r.u8()?;
+            let _reserved = r.u16()?;
+            let samples_per_sweep = r.u32()?;
+            let sweeps_per_frame = r.u32()?;
+            Message::Hello(Hello {
+                sensor_id,
+                kind,
+                n_rx,
+                samples_per_sweep,
+                sweeps_per_frame,
+            })
+        }
+        2 => {
+            let sensor_id = r.u32()?;
+            let seq = r.u64()?;
+            let n_sweeps = r.u16()?;
+            let n_rx = r.u16()?;
+            let samples_per_sweep = r.u32()?;
+            let count = n_sweeps as usize * n_rx as usize * samples_per_sweep as usize;
+            let bytes = r.take(
+                count
+                    .checked_mul(8)
+                    .ok_or(WireError::BadPayload("overflow"))?,
+            )?;
+            let data = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("sized")))
+                .collect();
+            Message::SweepBatch(SweepBatch {
+                sensor_id,
+                seq,
+                n_sweeps,
+                n_rx,
+                samples_per_sweep,
+                data,
+            })
+        }
+        3 => Message::Teardown(Teardown {
+            sensor_id: r.u32()?,
+        }),
+        4 => {
+            let sensor_id = r.u32()?;
+            let seq = r.u64()?;
+            let n_updates = r.u16()?;
+            let _reserved = r.u16()?;
+            let mut updates = Vec::with_capacity(n_updates as usize);
+            for _ in 0..n_updates {
+                let frame_index = r.u64()?;
+                let time_s = r.f64()?;
+                let n_targets = r.u16()?;
+                let _reserved = r.u16()?;
+                let mut targets = Vec::with_capacity(n_targets as usize);
+                for _ in 0..n_targets {
+                    let id = r.u64()?;
+                    let position = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
+                    let velocity = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
+                    let flags = r.u8()?;
+                    r.take(7)?; // pad
+                    targets.push(TargetReport {
+                        id: (id != u64::MAX).then_some(id),
+                        position,
+                        velocity: (flags & 0b10 != 0).then_some(velocity),
+                        held: flags & 0b1 != 0,
+                    });
+                }
+                updates.push(FrameReport {
+                    frame_index,
+                    time_s,
+                    targets,
+                });
+            }
+            Message::UpdateBatch(UpdateBatch {
+                sensor_id,
+                seq,
+                updates,
+            })
+        }
+        5 => {
+            let sensor_id = r.u32()?;
+            let code = RejectCode::from_u16(r.u16()?)?;
+            let _reserved = r.u16()?;
+            Message::Reject(Reject { sensor_id, code })
+        }
+        t => return Err(WireError::UnknownType(t)),
+    };
+    r.done()?;
+    Ok((msg, frame_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let frame = encode(&Message::Teardown(Teardown { sensor_id: 9 }));
+        let (msg_type, len) = decode_header(&frame).unwrap();
+        assert_eq!(msg_type, 3);
+        assert_eq!(len, frame.len());
+    }
+
+    #[test]
+    fn sweep_batch_layout_is_sweep_major() {
+        let sweeps = vec![
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![vec![5.0, 6.0], vec![7.0, 8.0]],
+        ];
+        let b = SweepBatch::from_sweeps(1, 0, &sweeps);
+        assert_eq!(b.sweep_rx(0, 1), &[3.0, 4.0]);
+        assert_eq!(b.sweep_rx(1, 0), &[5.0, 6.0]);
+    }
+}

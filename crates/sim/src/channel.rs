@@ -48,7 +48,12 @@ impl Channel {
     /// body at mid-room through a wall yields a comfortably detectable tone
     /// against the default front-end noise).
     pub fn new(scene: Scene, array: AntennaArray, body: BodyModel) -> Channel {
-        Channel { scene, array, body, reference_amplitude: 100.0 }
+        Channel {
+            scene,
+            array,
+            body,
+            reference_amplitude: 100.0,
+        }
     }
 
     /// Amplitude for a reflector of cross-section `rcs` at `point`, reached
@@ -65,7 +70,11 @@ impl Channel {
         let d2 = point.distance(rx.position).max(0.3);
         let walls = self.scene.crossing_amp(tx.position, point)
             * self.scene.crossing_amp(point, rx.position);
-        let occ = if occluded { self.scene.direct_occlusion_amp } else { 1.0 };
+        let occ = if occluded {
+            self.scene.direct_occlusion_amp
+        } else {
+            1.0
+        };
         self.reference_amplitude * rcs.sqrt() * g.sqrt() * walls * occ / (d1 * d2)
     }
 
@@ -81,7 +90,10 @@ impl Channel {
                 let eff = (len / 2.0).max(0.3);
                 let amp = self.reference_amplitude * wall.material.reflection_amp / (eff * eff);
                 if amp > 0.0 {
-                    out.push(PathEcho { round_trip_m: len, amplitude: amp });
+                    out.push(PathEcho {
+                        round_trip_m: len,
+                        amplitude: amp,
+                    });
                 }
             }
         }
@@ -134,7 +146,10 @@ impl Channel {
                     * walls
                     / (d_tx * bounce_len.max(0.3));
                 if amp > 1e-9 {
-                    out.push(PathEcho { round_trip_m: d_tx + bounce_len, amplitude: amp });
+                    out.push(PathEcho {
+                        round_trip_m: d_tx + bounce_len,
+                        amplitude: amp,
+                    });
                 }
             }
             // Outbound leg bounced, return leg direct.
@@ -147,7 +162,10 @@ impl Channel {
                     * walls
                     / (bounce_len.max(0.3) * d_rx);
                 if amp > 1e-9 {
-                    out.push(PathEcho { round_trip_m: bounce_len + d_rx, amplitude: amp });
+                    out.push(PathEcho {
+                        round_trip_m: bounce_len + d_rx,
+                        amplitude: amp,
+                    });
                 }
             }
         }
@@ -181,8 +199,7 @@ mod tests {
         let body_point = Vec3::new(0.0, 5.0, 1.0);
         let statics = ch.static_paths(0);
         assert!(!statics.is_empty());
-        let strongest_static =
-            statics.iter().map(|p| p.amplitude).fold(0.0_f64, f64::max);
+        let strongest_static = statics.iter().map(|p| p.amplitude).fold(0.0_f64, f64::max);
         let direct = ch.moving_paths(body_point, ch.body.torso_rcs, 0);
         let body_amp = direct[0].amplitude;
         assert!(
@@ -234,11 +251,15 @@ mod tests {
         let point = Vec3::new(-2.2, 4.0, 1.0); // near the left wall
         let paths = ch.moving_paths(point, 1.0, 0);
         let direct = paths[0];
-        let strongest = paths[1..]
-            .iter()
-            .cloned()
-            .fold(direct, |a, b| if b.amplitude > a.amplitude { b } else { a });
-        assert!(strongest.amplitude > direct.amplitude, "occluded direct should lose");
+        let strongest =
+            paths[1..]
+                .iter()
+                .cloned()
+                .fold(direct, |a, b| if b.amplitude > a.amplitude { b } else { a });
+        assert!(
+            strongest.amplitude > direct.amplitude,
+            "occluded direct should lose"
+        );
         assert!(strongest.round_trip_m > direct.round_trip_m);
     }
 
@@ -275,7 +296,10 @@ mod tests {
     #[test]
     fn clutter_behind_beam_is_dropped() {
         let mut scene = Scene::free_space();
-        scene.clutter.push(StaticReflector { position: Vec3::new(0.0, -4.0, 1.0), rcs: 100.0 });
+        scene.clutter.push(StaticReflector {
+            position: Vec3::new(0.0, -4.0, 1.0),
+            rcs: 100.0,
+        });
         let ch = Channel::new(
             scene,
             AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0),

@@ -37,7 +37,11 @@ impl FrontEnd {
     /// Creates a front end with per-sample AWGN of std-dev `noise_std`,
     /// deterministic in `seed`.
     pub fn new(cfg: SweepConfig, noise_std: f64, seed: u64) -> FrontEnd {
-        FrontEnd { cfg, noise_std, rng: StdRng::seed_from_u64(seed) }
+        FrontEnd {
+            cfg,
+            noise_std,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The sweep configuration.
@@ -116,8 +120,7 @@ pub fn full_synthesis_sweep(
     );
     let n_hi = cfg.samples_per_sweep() * oversample;
     let slope = cfg.slope();
-    let chirp_phase =
-        |t: f64| 2.0 * PI * (cfg.start_freq_hz * t + 0.5 * slope * t * t);
+    let chirp_phase = |t: f64| 2.0 * PI * (cfg.start_freq_hz * t + 0.5 * slope * t * t);
 
     // Transmitted chirp and sum of delayed echoes.
     let mut mixed = vec![0.0; n_hi];
@@ -158,13 +161,21 @@ pub fn full_synthesis_sweep(
 
 /// Windowed-sinc low-pass FIR design (Hann window), unity DC gain.
 fn design_lowpass(cutoff_hz: f64, fs: f64, taps: usize) -> Vec<f64> {
-    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    let taps = if taps.is_multiple_of(2) {
+        taps + 1
+    } else {
+        taps
+    };
     let fc = cutoff_hz / fs;
     let mid = (taps / 2) as isize;
     let mut h: Vec<f64> = (0..taps as isize)
         .map(|i| {
             let k = (i - mid) as f64;
-            let sinc = if k == 0.0 { 2.0 * fc } else { (2.0 * PI * fc * k).sin() / (PI * k) };
+            let sinc = if k == 0.0 {
+                2.0 * fc
+            } else {
+                (2.0 * PI * fc * k).sin() / (PI * k)
+            };
             let w = 0.5 * (1.0 - (2.0 * PI * i as f64 / (taps - 1) as f64).cos());
             sinc * w
         })
@@ -234,9 +245,15 @@ mod tests {
         // first twentieth of the sweep.
         let n = a.len() / 20;
         let energy_a: f64 = a[..n].iter().map(|x| x * x).sum();
-        let energy_sum: f64 =
-            a[..n].iter().zip(&b[..n]).map(|(x, y)| (x + y) * (x + y)).sum();
-        assert!(energy_sum < 0.05 * energy_a, "sum {energy_sum} vs {energy_a}");
+        let energy_sum: f64 = a[..n]
+            .iter()
+            .zip(&b[..n])
+            .map(|(x, y)| (x + y) * (x + y))
+            .sum();
+        assert!(
+            energy_sum < 0.05 * energy_a,
+            "sum {energy_sum} vs {energy_a}"
+        );
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //! [`channel`] (echo paths per antenna), [`frontend`] (baseband synthesis,
 //! including a full chirp-mixing validation path), and [`simulator`] (the
 //! experiment driver that also records VICON-style ground truth).
+//! [`fleet`] scales the whole stack out: K independent rooms emitting
+//! per-sensor sweep streams in lockstep, the workload of the
+//! `witrack-serve` engine.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod body;
 pub mod channel;
+pub mod fleet;
 pub mod frontend;
 pub mod material;
 pub mod motion;
@@ -36,6 +40,7 @@ pub mod simulator;
 
 pub use body::BodyModel;
 pub use channel::{Channel, PathEcho};
+pub use fleet::{FleetConfig, FleetSimulator, RoomSweeps};
 pub use frontend::FrontEnd;
 pub use material::Material;
 pub use motion::{BodyState, MotionModel};

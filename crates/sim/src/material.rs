@@ -21,24 +21,39 @@ pub struct Material {
 
 impl Material {
     /// The paper's hollow sheetrock office wall (~6 dB one-way power loss).
-    pub const SHEETROCK: Material =
-        Material { name: "sheetrock", transmission_amp: 0.5, reflection_amp: 0.35 };
+    pub const SHEETROCK: Material = Material {
+        name: "sheetrock",
+        transmission_amp: 0.5,
+        reflection_amp: 0.35,
+    };
 
     /// Poured concrete (~20 dB one-way): effectively opaque at low power.
-    pub const CONCRETE: Material =
-        Material { name: "concrete", transmission_amp: 0.1, reflection_amp: 0.6 };
+    pub const CONCRETE: Material = Material {
+        name: "concrete",
+        transmission_amp: 0.1,
+        reflection_amp: 0.6,
+    };
 
     /// Glass partition: mostly transparent, weak bounce.
-    pub const GLASS: Material =
-        Material { name: "glass", transmission_amp: 0.85, reflection_amp: 0.2 };
+    pub const GLASS: Material = Material {
+        name: "glass",
+        transmission_amp: 0.85,
+        reflection_amp: 0.2,
+    };
 
     /// Metal panel: no transmission, near-total reflection.
-    pub const METAL: Material =
-        Material { name: "metal", transmission_amp: 0.0, reflection_amp: 0.95 };
+    pub const METAL: Material = Material {
+        name: "metal",
+        transmission_amp: 0.0,
+        reflection_amp: 0.95,
+    };
 
     /// Free space (no wall): used for line-of-sight configurations.
-    pub const AIR: Material =
-        Material { name: "air", transmission_amp: 1.0, reflection_amp: 0.0 };
+    pub const AIR: Material = Material {
+        name: "air",
+        transmission_amp: 1.0,
+        reflection_amp: 0.0,
+    };
 
     /// One-way transmission loss in dB of *power*.
     pub fn transmission_loss_db(&self) -> f64 {
@@ -64,9 +79,11 @@ mod tests {
     #[test]
     fn metal_blocks_transmission() {
         assert_eq!(Material::METAL.transmission_amp, 0.0);
-        assert!(Material::METAL.reflection_amp > 0.9);
+        let reflection = Material::METAL.reflection_amp;
+        assert!(reflection > 0.9, "metal reflection {reflection}");
         // Loss is huge but finite (guarded log).
-        assert!(Material::METAL.transmission_loss_db() > 100.0);
+        let loss_db = Material::METAL.transmission_loss_db();
+        assert!(loss_db > 100.0, "metal loss {loss_db} dB");
     }
 
     #[test]

@@ -50,7 +50,12 @@ impl Rect {
     /// The paper's 6 × 5 m VICON capture area, 2.5 m past the front wall
     /// (subject stays 3–9 m from the array, §9.1).
     pub fn vicon_area() -> Rect {
-        Rect { x_min: -2.5, x_max: 2.5, y_min: 3.0, y_max: 9.0 }
+        Rect {
+            x_min: -2.5,
+            x_max: 2.5,
+            y_min: 3.0,
+            y_max: 9.0,
+        }
     }
 
     /// Whether `(x, y)` lies inside.
@@ -68,7 +73,10 @@ impl Rect {
 
     /// Center of the rectangle.
     pub fn center(&self) -> (f64, f64) {
-        ((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+        (
+            (self.x_min + self.x_max) / 2.0,
+            (self.y_min + self.y_max) / 2.0,
+        )
     }
 }
 
@@ -84,7 +92,11 @@ pub struct Stand {
 
 impl MotionModel for Stand {
     fn state(&self, _t: f64) -> BodyState {
-        BodyState { center: self.position, hand: None, moving: false }
+        BodyState {
+            center: self.position,
+            hand: None,
+            moving: false,
+        }
     }
 
     fn duration(&self) -> f64 {
@@ -131,12 +143,22 @@ impl RandomWalk {
             let (x, y) = region.sample(&mut rng);
             let next = Vec3::new(x, y, center_z);
             let travel = (next.distance(here) / speed).max(1e-3);
-            segments.push(Segment { t0: t, t1: t + travel, from: here, to: next });
+            segments.push(Segment {
+                t0: t,
+                t1: t + travel,
+                from: here,
+                to: next,
+            });
             t += travel;
             here = next;
             if rng.random::<f64>() < pause_prob {
                 let pause = 0.5 + 1.5 * rng.random::<f64>();
-                segments.push(Segment { t0: t, t1: t + pause, from: here, to: here });
+                segments.push(Segment {
+                    t0: t,
+                    t1: t + pause,
+                    from: here,
+                    to: here,
+                });
                 t += pause;
             }
         }
@@ -157,13 +179,21 @@ impl MotionModel for RandomWalk {
         let t = t.clamp(0.0, self.duration);
         let seg = self.segment_at(t);
         let moving = seg.from != seg.to;
-        let frac = if seg.t1 > seg.t0 { ((t - seg.t0) / (seg.t1 - seg.t0)).clamp(0.0, 1.0) } else { 0.0 };
+        let frac = if seg.t1 > seg.t0 {
+            ((t - seg.t0) / (seg.t1 - seg.t0)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let mut center = seg.from.lerp(seg.to, frac);
         if moving {
             // Gait bob: a small vertical oscillation at step rate.
             center.z += 0.03 * (2.0 * std::f64::consts::PI * 1.8 * t).sin();
         }
-        BodyState { center, hand: None, moving }
+        BodyState {
+            center,
+            hand: None,
+            moving,
+        }
     }
 
     fn duration(&self) -> f64 {
@@ -210,7 +240,11 @@ impl MotionModel for LinePath {
         if moving {
             center.z += 0.03 * (2.0 * std::f64::consts::PI * 1.8 * t).sin();
         }
-        BodyState { center, hand: None, moving }
+        BodyState {
+            center,
+            hand: None,
+            moving,
+        }
     }
 
     fn duration(&self) -> f64 {
@@ -244,7 +278,12 @@ impl Activity {
 
     /// All four activities, in the paper's order.
     pub fn all() -> [Activity; 4] {
-        [Activity::Walk, Activity::SitChair, Activity::SitFloor, Activity::Fall]
+        [
+            Activity::Walk,
+            Activity::SitChair,
+            Activity::SitFloor,
+            Activity::Fall,
+        ]
     }
 }
 
@@ -340,7 +379,11 @@ impl MotionModel for ActivityScript {
             )
         };
         if t < self.walk_until {
-            return BodyState { center: pace(t), hand: None, moving: true };
+            return BodyState {
+                center: pace(t),
+                hand: None,
+                moving: true,
+            };
         }
         let start = pace(self.walk_until);
         let start = Vec3::new(start.x, start.y, self.standing_z);
@@ -351,16 +394,20 @@ impl MotionModel for ActivityScript {
                 start.y + self.lurch.y * s,
                 self.standing_z + (self.final_z - self.standing_z) * s,
             );
-            return BodyState { center, hand: None, moving: true };
+            return BodyState {
+                center,
+                hand: None,
+                moving: true,
+            };
         }
         // Settled: perfectly static (the §10 static-user regime; the tracker
         // holds the last position by interpolation).
-        let center = Vec3::new(
-            start.x + self.lurch.x,
-            start.y + self.lurch.y,
-            self.final_z,
-        );
-        BodyState { center, hand: None, moving: false }
+        let center = Vec3::new(start.x + self.lurch.x, start.y + self.lurch.y, self.final_z);
+        BodyState {
+            center,
+            hand: None,
+            moving: false,
+        }
     }
 
     fn duration(&self) -> f64 {
@@ -395,7 +442,9 @@ impl PointingScript {
     /// Panics if `direction` is degenerate.
     pub fn new(stance: Vec3, direction: Vec3, seed: u64) -> PointingScript {
         let mut rng = StdRng::seed_from_u64(seed);
-        let dir = direction.normalized().expect("pointing direction must be non-zero");
+        let dir = direction
+            .normalized()
+            .expect("pointing direction must be non-zero");
         let lift = 0.55 + 0.2 * rng.random::<f64>();
         let hold = 1.0 + 0.3 * rng.random::<f64>();
         let drop = 0.55 + 0.2 * rng.random::<f64>();
@@ -468,7 +517,11 @@ impl MotionModel for PointingScript {
         if let Some((entry, arrive)) = self.approach {
             if t < arrive {
                 let center = entry.lerp(self.stance, t / arrive);
-                return BodyState { center, hand: Some(center + self.rest_offset), moving: true };
+                return BodyState {
+                    center,
+                    hand: Some(center + self.rest_offset),
+                    moving: true,
+                };
             }
         }
         let rest = self.hand_rest();
@@ -478,15 +531,25 @@ impl MotionModel for PointingScript {
         let (hand, arm_moving) = if t < lift0 {
             (rest, false)
         } else if t < lift1 {
-            (rest.lerp(ext, Self::smoothstep((t - lift0) / self.lift_duration)), true)
+            (
+                rest.lerp(ext, Self::smoothstep((t - lift0) / self.lift_duration)),
+                true,
+            )
         } else if t < drop0 {
             (ext, false)
         } else if t < drop1 {
-            (ext.lerp(rest, Self::smoothstep((t - drop0) / self.drop_duration)), true)
+            (
+                ext.lerp(rest, Self::smoothstep((t - drop0) / self.drop_duration)),
+                true,
+            )
         } else {
             (rest, false)
         };
-        BodyState { center: self.stance, hand: Some(hand), moving: arm_moving }
+        BodyState {
+            center: self.stance,
+            hand: Some(hand),
+            moving: arm_moving,
+        }
     }
 
     fn duration(&self) -> f64 {
@@ -518,7 +581,11 @@ mod tests {
             let t = i as f64 * 0.1;
             let sa = a.state(t);
             assert_eq!(sa.center, b.state(t).center);
-            assert!(r.contains(sa.center.x, sa.center.y), "escaped at t={t}: {}", sa.center);
+            assert!(
+                r.contains(sa.center.x, sa.center.y),
+                "escaped at t={t}: {}",
+                sa.center
+            );
             // Body-center height stays near 1 m (gait bob only).
             assert!((sa.center.z - 1.0).abs() < 0.05);
         }
@@ -639,7 +706,10 @@ mod tests {
 
     #[test]
     fn stand_is_static() {
-        let s = Stand { position: Vec3::new(1.0, 4.0, 1.0), time: 10.0 };
+        let s = Stand {
+            position: Vec3::new(1.0, 4.0, 1.0),
+            time: 10.0,
+        };
         assert!(!s.state(5.0).moving);
         assert_eq!(s.state(9.9).center, s.position);
         assert_eq!(s.duration(), 10.0);

@@ -32,7 +32,10 @@ pub struct PersonSpec {
 impl PersonSpec {
     /// An adult following `motion`.
     pub fn adult(motion: impl MotionModel + 'static) -> PersonSpec {
-        PersonSpec { body: BodyModel::adult(), motion: Box::new(motion) }
+        PersonSpec {
+            body: BodyModel::adult(),
+            motion: Box::new(motion),
+        }
     }
 }
 
@@ -78,7 +81,13 @@ impl MultiSimulator {
         // per-person calls here; hand it the first person's.
         let channel = Channel::new(scene, array, people[0].body);
         let frontends = (0..n_rx)
-            .map(|k| FrontEnd::new(cfg.sweep, cfg.noise_std, cfg.seed.wrapping_add(k as u64 + 1)))
+            .map(|k| {
+                FrontEnd::new(
+                    cfg.sweep,
+                    cfg.noise_std,
+                    cfg.seed.wrapping_add(k as u64 + 1),
+                )
+            })
             .collect();
         let static_paths = (0..n_rx).map(|k| channel.static_paths(k)).collect();
         let duration = people
@@ -155,12 +164,11 @@ impl MultiSimulator {
         let sweeps_per_frame = self.cfg.sweep.sweeps_per_frame as u64;
         let t = self.sweep_index as f64 * self.cfg.sweep.sweep_duration_s;
         let n_rx = self.frontends.len();
-        let states: Vec<BodyState> =
-            self.people.iter().map(|p| p.spec.motion.state(t)).collect();
+        let states: Vec<BodyState> = self.people.iter().map(|p| p.spec.motion.state(t)).collect();
 
         // Redraw each moving person's specular wander at frame boundaries
         // (same policy as the single-person simulator).
-        if self.sweep_index % sweeps_per_frame == 0 {
+        if self.sweep_index.is_multiple_of(sweeps_per_frame) {
             for (person, state) in self.people.iter_mut().zip(&states) {
                 if !state.moving {
                     continue;
@@ -212,7 +220,11 @@ impl MultiSimulator {
             self.frontends[k].synthesize_sweep(&self.scratch, &mut sweep);
             per_rx.push(sweep);
         }
-        let set = SweepSet { sweep_index: self.sweep_index, time_s: t, per_rx };
+        let set = SweepSet {
+            sweep_index: self.sweep_index,
+            time_s: t,
+            per_rx,
+        };
         self.sweep_index += 1;
         Some(set)
     }
@@ -235,10 +247,18 @@ pub mod scenario {
         let b_from = Vec3::new(2.0, 5.4, 0.95);
         let b_to = Vec3::new(-2.0, 7.4, 0.95);
         vec![
-            PersonSpec::adult(LinePath::new(a_from, a_to, a_from.distance(a_to) / duration)),
+            PersonSpec::adult(LinePath::new(
+                a_from,
+                a_to,
+                a_from.distance(a_to) / duration,
+            )),
             PersonSpec {
                 body: BodyModel::small_adult(),
-                motion: Box::new(LinePath::new(b_from, b_to, b_from.distance(b_to) / duration)),
+                motion: Box::new(LinePath::new(
+                    b_from,
+                    b_to,
+                    b_from.distance(b_to) / duration,
+                )),
             },
         ]
     }
@@ -252,8 +272,16 @@ pub mod scenario {
         let b_from = Vec3::new(1.5, 8.0, 0.95);
         let b_to = Vec3::new(1.5, 4.0, 0.95);
         vec![
-            PersonSpec::adult(LinePath::new(a_from, a_to, a_from.distance(a_to) / duration)),
-            PersonSpec::adult(LinePath::new(b_from, b_to, b_from.distance(b_to) / duration)),
+            PersonSpec::adult(LinePath::new(
+                a_from,
+                a_to,
+                a_from.distance(a_to) / duration,
+            )),
+            PersonSpec::adult(LinePath::new(
+                b_from,
+                b_to,
+                b_from.distance(b_to) / duration,
+            )),
         ]
     }
 
@@ -366,8 +394,14 @@ mod tests {
     #[test]
     fn duration_is_longest_script() {
         let people = vec![
-            PersonSpec::adult(Stand { position: Vec3::new(0.0, 4.0, 1.0), time: 0.1 }),
-            PersonSpec::adult(Stand { position: Vec3::new(1.0, 5.0, 1.0), time: 0.3 }),
+            PersonSpec::adult(Stand {
+                position: Vec3::new(0.0, 4.0, 1.0),
+                time: 0.1,
+            }),
+            PersonSpec::adult(Stand {
+                position: Vec3::new(1.0, 5.0, 1.0),
+                time: 0.3,
+            }),
         ];
         let sim = quick_sim(people);
         assert_eq!(sim.total_sweeps(), 300);

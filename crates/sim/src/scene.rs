@@ -66,18 +66,39 @@ impl Scene {
     /// Room footprint: x ∈ [−3, 3.5] m, y ∈ [2.5, 10] m; side and back walls
     /// bounce; two clutter reflectors play the role of furniture.
     pub fn witrack_lab(through_wall: bool) -> Scene {
-        let front = Wall { plane: Plane::wall_at_y(2.5), material: Material::SHEETROCK };
+        let front = Wall {
+            plane: Plane::wall_at_y(2.5),
+            material: Material::SHEETROCK,
+        };
         Scene {
             front_wall: through_wall.then_some(front),
             bounce_walls: vec![
-                Wall { plane: Plane::wall_at_x(-3.0), material: Material::SHEETROCK },
-                Wall { plane: Plane::wall_at_x(3.5), material: Material::SHEETROCK },
-                Wall { plane: Plane::wall_at_y(10.0), material: Material::SHEETROCK },
+                Wall {
+                    plane: Plane::wall_at_x(-3.0),
+                    material: Material::SHEETROCK,
+                },
+                Wall {
+                    plane: Plane::wall_at_x(3.5),
+                    material: Material::SHEETROCK,
+                },
+                Wall {
+                    plane: Plane::wall_at_y(10.0),
+                    material: Material::SHEETROCK,
+                },
             ],
             clutter: vec![
-                StaticReflector { position: Vec3::new(-2.0, 4.0, 0.8), rcs: 30.0 },
-                StaticReflector { position: Vec3::new(2.5, 7.0, 1.1), rcs: 50.0 },
-                StaticReflector { position: Vec3::new(0.5, 9.0, 0.5), rcs: 20.0 },
+                StaticReflector {
+                    position: Vec3::new(-2.0, 4.0, 0.8),
+                    rcs: 30.0,
+                },
+                StaticReflector {
+                    position: Vec3::new(2.5, 7.0, 1.1),
+                    rcs: 50.0,
+                },
+                StaticReflector {
+                    position: Vec3::new(0.5, 9.0, 0.5),
+                    rcs: 20.0,
+                },
             ],
             direct_occlusion_amp: 1.0,
         }
@@ -162,8 +183,10 @@ mod tests {
 
     #[test]
     fn with_clutter_appends() {
-        let s = Scene::free_space()
-            .with_clutter(StaticReflector { position: Vec3::new(1.0, 2.0, 0.5), rcs: 5.0 });
+        let s = Scene::free_space().with_clutter(StaticReflector {
+            position: Vec3::new(1.0, 2.0, 0.5),
+            rcs: 5.0,
+        });
         assert_eq!(s.clutter.len(), 1);
     }
 }

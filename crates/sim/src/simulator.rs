@@ -1,6 +1,6 @@
 //! The experiment driver: motion + channel + front end + ground truth.
 //!
-//! A [`Simulator`] plays a [`MotionModel`](crate::motion::MotionModel)
+//! A [`Simulator`] plays a [`MotionModel`]
 //! through the [`Channel`] and [`FrontEnd`], producing the per-antenna
 //! baseband sweeps the real prototype's USRP would deliver — and, like the
 //! paper's VICON rig (§8(a)), it knows the exact body trajectory, including
@@ -28,7 +28,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { sweep: SweepConfig::witrack(), noise_std: 0.05, seed: 0 }
+        SimConfig {
+            sweep: SweepConfig::witrack(),
+            noise_std: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -66,11 +70,16 @@ impl Simulator {
     pub fn new(cfg: SimConfig, channel: Channel, motion: Box<dyn MotionModel>) -> Simulator {
         let n_rx = channel.array.num_rx();
         let frontends = (0..n_rx)
-            .map(|k| FrontEnd::new(cfg.sweep, cfg.noise_std, cfg.seed.wrapping_add(k as u64 + 1)))
+            .map(|k| {
+                FrontEnd::new(
+                    cfg.sweep,
+                    cfg.noise_std,
+                    cfg.seed.wrapping_add(k as u64 + 1),
+                )
+            })
             .collect();
         let static_paths = (0..n_rx).map(|k| channel.static_paths(k)).collect();
-        let total_sweeps =
-            (motion.duration() / cfg.sweep.sweep_duration_s).floor() as u64;
+        let total_sweeps = (motion.duration() / cfg.sweep.sweep_duration_s).floor() as u64;
         Simulator {
             cfg,
             channel,
@@ -138,7 +147,7 @@ impl Simulator {
         // *identical* across frames so background subtraction cancels them,
         // the behavior the paper's interpolation stage exists for (§4.4,
         // §10's static-user limitation).
-        if self.sweep_index % sweeps_per_frame == 0 && state.moving {
+        if self.sweep_index.is_multiple_of(sweeps_per_frame) && state.moving {
             let b = &self.channel.body;
             self.current_wander = Vec3::new(
                 b.xy_wander_std * crate::gaussian(&mut self.wander_rng),
@@ -187,7 +196,11 @@ impl Simulator {
             self.frontends[k].synthesize_sweep(&self.scratch, &mut sweep);
             per_rx.push(sweep);
         }
-        let set = SweepSet { sweep_index: self.sweep_index, time_s: t, per_rx };
+        let set = SweepSet {
+            sweep_index: self.sweep_index,
+            time_s: t,
+            per_rx,
+        };
         self.sweep_index += 1;
         Some(set)
     }
@@ -290,7 +303,10 @@ mod tests {
                 ..BodyModel::adult()
             },
         );
-        let motion = Stand { position: Vec3::new(0.5, 5.0, 1.0), time: 0.05 };
+        let motion = Stand {
+            position: Vec3::new(0.5, 5.0, 1.0),
+            time: 0.05,
+        };
         let mut sim = Simulator::new(cfg, channel, Box::new(motion));
         let first = sim.next_sweeps().unwrap();
         let mut last = None;
@@ -312,7 +328,10 @@ mod tests {
             AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0),
             BodyModel::adult(),
         );
-        let motion = Stand { position: Vec3::new(0.0, 4.0, 1.0), time: 0.02 };
+        let motion = Stand {
+            position: Vec3::new(0.0, 4.0, 1.0),
+            time: 0.02,
+        };
         let mut sim = Simulator::new(cfg, channel, Box::new(motion));
         let s0 = sim.next_sweeps().unwrap();
         let s1 = sim.next_sweeps().unwrap();

@@ -55,7 +55,13 @@ fn main() {
     let t = TArray::symmetric(Vec3::new(0.0, 0.0, 1.0), 1.0);
     let arr = t.antenna_array();
     let p = t.solve(t.round_trips(person)).expect("exact solve");
-    println!("solved position {p} is in all beams: {}", arr.in_all_beams(p));
+    println!(
+        "solved position {p} is in all beams: {}",
+        arr.in_all_beams(p)
+    );
     let mirror = Vec3::new(p.x, -p.y, p.z);
-    println!("mirror image    {mirror} is in all beams: {}", arr.in_all_beams(mirror));
+    println!(
+        "mirror image    {mirror} is in all beams: {}",
+        arr.in_all_beams(mirror)
+    );
 }

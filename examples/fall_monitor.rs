@@ -19,7 +19,10 @@ fn main() {
     println!("WiTrack fall monitor — elevation-based fall detection\n");
 
     for (i, activity) in Activity::all().into_iter().enumerate() {
-        let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+        let cfg = WiTrackConfig {
+            sweep,
+            ..WiTrackConfig::witrack_default()
+        };
         let mut witrack = WiTrack::new(cfg).expect("valid configuration");
         let channel = Channel {
             scene: Scene::witrack_lab(true),
@@ -30,7 +33,11 @@ fn main() {
         let script =
             ActivityScript::generate(activity, Vec3::new(0.0, 5.0, 1.0), 15.0, 40 + i as u64);
         let mut sim = Simulator::new(
-            SimConfig { sweep, noise_std: 0.05, seed: 40 + i as u64 },
+            SimConfig {
+                sweep,
+                noise_std: 0.05,
+                seed: 40 + i as u64,
+            },
             channel,
             Box::new(script),
         );
@@ -51,7 +58,10 @@ fn main() {
                 }
             }
         }
-        print!("{:<14} final elevation {final_z:>5.2} m — ", activity.label());
+        print!(
+            "{:<14} final elevation {final_z:>5.2} m — ",
+            activity.label()
+        );
         if alarms.is_empty() {
             println!("no alarm");
         } else {

@@ -47,8 +47,9 @@ fn ambiguity_demo() {
             }
         };
         let rts = [pick(0), pick(1), pick(2)];
-        let label: String =
-            (0..3).map(|k| if mask & (1 << k) == 0 { 'A' } else { 'B' }).collect();
+        let label: String = (0..3)
+            .map(|k| if mask & (1 << k) == 0 { 'A' } else { 'B' })
+            .collect();
         match t.solve(rts) {
             Ok(p) => {
                 let real = p.distance(alice) < 0.01 || p.distance(bob) < 0.01;
@@ -57,7 +58,11 @@ fn ambiguity_demo() {
                 }
                 println!(
                     "{label}         {p}   {}",
-                    if real { "YES (real person)" } else { "no (ghost)" }
+                    if real {
+                        "YES (real person)"
+                    } else {
+                        "no (ghost)"
+                    }
                 );
             }
             Err(_) => println!("{label}         (no geometric solution)      no"),
@@ -71,12 +76,20 @@ fn ambiguity_demo() {
 fn tracker_demo() {
     println!("Part 2 — witrack-mtt resolving two crossing walkers\n");
     let sweep = witrack_repro::demo::mid_sweep();
-    let base = WiTrackConfig { sweep, max_round_trip_m: 40.0, ..WiTrackConfig::witrack_default() };
+    let base = WiTrackConfig {
+        sweep,
+        max_round_trip_m: 40.0,
+        ..WiTrackConfig::witrack_default()
+    };
     let cfg = MttConfig::with_base(base);
     let mut wt = MultiWiTrack::new(cfg).expect("valid config");
     let duration = 10.0;
     let mut sim = MultiSimulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 1 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 1,
+        },
         Scene::witrack_lab(false),
         wt.array().clone(),
         scenario::two_walker_crossing(duration),
@@ -89,8 +102,13 @@ fn tracker_demo() {
     let mut errs: Vec<f64> = Vec::new();
     while let Some(set) = sim.next_sweeps() {
         let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
-        let Some(u) = wt.push_sweeps(&refs) else { continue };
-        let truths = [sim.surface_truth(0, u.time_s), sim.surface_truth(1, u.time_s)];
+        let Some(u) = wt.push_sweeps(&refs) else {
+            continue;
+        };
+        let truths = [
+            sim.surface_truth(0, u.time_s),
+            sim.surface_truth(1, u.time_s),
+        ];
         if u.time_s > 2.0 {
             for truth in truths {
                 if let Some(d) = u
@@ -125,7 +143,10 @@ fn tracker_demo() {
         }
     }
     let med = witrack_repro::dsp::stats::median(&errs);
-    println!("\nmedian nearest-track error over both walkers: {:.1} cm", med * 100.0);
+    println!(
+        "\nmedian nearest-track error over both walkers: {:.1} cm",
+        med * 100.0
+    );
     println!("run `t4_multi_person` in crates/bench for the full scenario matrix.");
 }
 

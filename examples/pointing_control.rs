@@ -34,7 +34,10 @@ fn main() {
     let direction = target - shoulder;
     let script = PointingScript::new(stance, direction, 9);
 
-    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut witrack = WiTrack::new(cfg).expect("valid configuration");
     let channel = Channel {
         scene: Scene::witrack_lab(true),
@@ -43,7 +46,11 @@ fn main() {
         reference_amplitude: 100.0,
     };
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 9 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 9,
+        },
         channel,
         Box::new(script),
     );
@@ -67,8 +74,10 @@ fn main() {
     );
     match estimator.estimate(&frames) {
         Ok(est) => {
-            println!("gesture segmented: lift {:.2}-{:.2}s, drop {:.2}-{:.2}s",
-                est.lift_window.0, est.lift_window.1, est.drop_window.0, est.drop_window.1);
+            println!(
+                "gesture segmented: lift {:.2}-{:.2}s, drop {:.2}-{:.2}s",
+                est.lift_window.0, est.lift_window.1, est.drop_window.0, est.drop_window.1
+            );
             println!("estimated direction {}", est.direction);
             match registry.point_and_toggle(est.hand_start, est.direction, 30.0) {
                 Some(dev) => println!(

@@ -22,7 +22,10 @@ fn main() {
     );
 
     // 1. The device: a T-shaped array behind the wall at y = 0.
-    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut witrack = WiTrack::new(cfg).expect("valid configuration");
 
     // 2. The (simulated) world: a sheetrock wall at y = 2.5 m, clutter, and
@@ -34,8 +37,15 @@ fn main() {
         reference_amplitude: 100.0,
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 12.0, 0.25, 7);
-    let mut sim =
-        Simulator::new(SimConfig { sweep, noise_std: 0.05, seed: 7 }, channel, Box::new(motion));
+    let mut sim = Simulator::new(
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 7,
+        },
+        channel,
+        Box::new(motion),
+    );
 
     // 3. Stream sweeps through the pipeline.
     let mut track = Track::new();
@@ -63,7 +73,11 @@ fn main() {
 
     // 4. Summary.
     let origin = Vec3::new(0.0, 0.0, 1.0);
-    println!("\ntracked {} frames; path length {:.1} m", track.len(), track.path_length());
+    println!(
+        "\ntracked {} frames; path length {:.1} m",
+        track.len(),
+        track.path_length()
+    );
     if let Some((t0, t1)) = track.time_span() {
         println!("track span {t0:.1}–{t1:.1} s; device at {origin}");
     }

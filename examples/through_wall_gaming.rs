@@ -38,14 +38,20 @@ fn render(estimate: Vec3, truth: Vec3) -> String {
         out.extend(row.iter());
         out.push_str("|\n");
     }
-    out.push_str(&format!("+{}+  (wall at bottom, array behind it)\n", "-".repeat(W)));
+    out.push_str(&format!(
+        "+{}+  (wall at bottom, array behind it)\n",
+        "-".repeat(W)
+    ));
     out
 }
 
 fn main() {
     let sweep = witrack_repro::demo::sweep_from_args();
     println!("WiTrack through-wall gaming input\n");
-    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut witrack = WiTrack::new(cfg).expect("valid configuration");
     let channel = Channel {
         scene: Scene::witrack_lab(true),
@@ -55,7 +61,11 @@ fn main() {
     };
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.2, 10.0, 0.2, 21);
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 21 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 21,
+        },
         channel,
         Box::new(motion),
     );
@@ -77,7 +87,11 @@ fn main() {
                     let truth = sim.surface_truth(update.time_s);
                     last_view = Some(format!(
                         "t = {:.1} s, player at ({:+.2}, {:.2}, {:.2}):\n{}",
-                        update.time_s, p.x, p.y, p.z, render(p, truth)
+                        update.time_s,
+                        p.x,
+                        p.y,
+                        p.z,
+                        render(p, truth)
                     ));
                 }
             }
@@ -93,10 +107,18 @@ fn main() {
     }
     let med = witrack_repro::dsp::stats::median(&latencies);
     let p99 = witrack_repro::dsp::stats::percentile(&latencies, 99.0);
-    println!("\n{} frames at {:.0} fps nominal", frames, sweep.frame_rate_hz());
+    println!(
+        "\n{} frames at {:.0} fps nominal",
+        frames,
+        sweep.frame_rate_hz()
+    );
     println!(
         "processing per frame: median {med:.2} ms, p99 {p99:.2} ms (budget {:.1} ms) -> {}",
         sweep.frame_duration_s() * 1e3,
-        if p99 < sweep.frame_duration_s() * 1e3 { "real-time" } else { "NOT real-time" }
+        if p99 < sweep.frame_duration_s() * 1e3 {
+            "real-time"
+        } else {
+            "NOT real-time"
+        }
     );
 }

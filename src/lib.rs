@@ -14,6 +14,9 @@
 //!   data association, per-track Kalman smoothing, track lifecycle.
 //! * [`baselines`] — radio tomographic imaging and strongest-return
 //!   tracking, the systems WiTrack is compared against.
+//! * [`serve`] — the sharded multi-sensor streaming engine: many sensor
+//!   deployments multiplexed over worker shards on one host, with a
+//!   length-prefixed binary wire protocol.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use witrack_dsp as dsp;
 pub use witrack_fmcw as fmcw;
 pub use witrack_geom as geom;
 pub use witrack_mtt as mtt;
+pub use witrack_serve as serve;
 pub use witrack_sim as sim;
 
 /// Helpers shared by the runnable examples.
@@ -111,7 +115,11 @@ pub mod demo {
             let s = mid_sweep();
             s.validate().unwrap();
             assert_eq!(s.samples_per_sweep(), 250);
-            assert!(s.round_trip_per_bin() < 0.5, "bin {}", s.round_trip_per_bin());
+            assert!(
+                s.round_trip_per_bin() < 0.5,
+                "bin {}",
+                s.round_trip_per_bin()
+            );
         }
     }
 }

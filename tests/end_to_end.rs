@@ -24,7 +24,11 @@ fn run_pipeline(
     motion: Box<dyn witrack_repro::sim::MotionModel>,
     seed: u64,
 ) -> (Track, Simulator) {
-    let cfg = WiTrackConfig { sweep, max_round_trip_m: 40.0, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        max_round_trip_m: 40.0,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut wt = WiTrack::new(cfg).expect("valid config");
     let channel = Channel {
         scene: Scene::witrack_lab(through_wall),
@@ -32,8 +36,15 @@ fn run_pipeline(
         body: BodyModel::adult(),
         reference_amplitude: 100.0,
     };
-    let mut sim =
-        Simulator::new(SimConfig { sweep, noise_std: 0.05, seed }, channel, motion);
+    let mut sim = Simulator::new(
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed,
+        },
+        channel,
+        motion,
+    );
     let mut track = Track::new();
     while let Some(set) = sim.next_sweeps() {
         let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
@@ -44,7 +55,10 @@ fn run_pipeline(
         }
     }
     // Re-create the sim for ground-truth queries (same seeds ⇒ same world).
-    let cfg2 = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg2 = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let wt2 = WiTrack::new(cfg2).expect("valid config");
     let channel = Channel {
         scene: Scene::witrack_lab(through_wall),
@@ -53,9 +67,20 @@ fn run_pipeline(
         reference_amplitude: 100.0,
     };
     let sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed,
+        },
         channel,
-        Box::new(RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 1.0, 0.0, seed)),
+        Box::new(RandomWalk::new(
+            Rect::vicon_area(),
+            1.0,
+            1.0,
+            1.0,
+            0.0,
+            seed,
+        )),
     );
     (track, sim)
 }
@@ -80,7 +105,10 @@ fn y_accuracy_beats_x_accuracy_by_geometry() {
     // The paper's §9.1 observation, reproducible even at reduced bandwidth.
     let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 10.0, 0.2, 23);
     let sweep = quick_sweep();
-    let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+    let cfg = WiTrackConfig {
+        sweep,
+        ..WiTrackConfig::witrack_default()
+    };
     let mut wt = WiTrack::new(cfg).expect("valid config");
     let channel = Channel {
         scene: Scene::witrack_lab(true),
@@ -89,7 +117,11 @@ fn y_accuracy_beats_x_accuracy_by_geometry() {
         reference_amplitude: 100.0,
     };
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 23 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 23,
+        },
         channel,
         Box::new(motion),
     );
@@ -116,9 +148,15 @@ fn y_accuracy_beats_x_accuracy_by_geometry() {
 #[test]
 fn static_person_is_invisible_then_held() {
     // §10: a person who never moves cannot be separated from furniture.
-    let stand = Stand { position: Vec3::new(0.5, 5.0, 1.0), time: 4.0 };
+    let stand = Stand {
+        position: Vec3::new(0.5, 5.0, 1.0),
+        time: 4.0,
+    };
     let (track, _) = run_pipeline(quick_sweep(), true, Box::new(stand), 31);
-    assert!(track.is_empty(), "a never-moving person must never be detected");
+    assert!(
+        track.is_empty(),
+        "a never-moving person must never be detected"
+    );
 }
 
 #[test]
@@ -130,14 +168,16 @@ fn fall_and_sit_classify_differently_end_to_end() {
     // reliably.
     let anchor = Vec3::new(0.0, 5.0, 1.0);
     let fall = ActivityScript::generate(Activity::Fall, anchor, 14.0, 5);
-    let (fall_track, _) =
-        run_pipeline(witrack_repro::demo::mid_sweep(), true, Box::new(fall), 5);
+    let (fall_track, _) = run_pipeline(witrack_repro::demo::mid_sweep(), true, Box::new(fall), 5);
     let chair = ActivityScript::generate(Activity::Walk, anchor, 14.0, 6);
     let (walk_track, _) = run_pipeline(quick_sweep(), true, Box::new(chair), 6);
 
     let cfg = FallConfig::default();
     let walk_verdict = classify_elevation_track(&walk_track.elevations(), &cfg);
-    assert!(!walk_verdict.is_fall(), "walking misclassified: {walk_verdict:?}");
+    assert!(
+        !walk_verdict.is_fall(),
+        "walking misclassified: {walk_verdict:?}"
+    );
     // The fall's *descent* must register in the tracked z (the absolute
     // values are coarse at this bandwidth).
     let zs = fall_track.elevations();
@@ -155,11 +195,19 @@ fn mtt_resolves_two_crossing_walkers() {
     // (staying ≥ 1 m apart) must come out as two concurrently-confirmed,
     // correctly-separated tracks, and neither identity may swap.
     let sweep = witrack_repro::demo::mid_sweep();
-    let base = WiTrackConfig { sweep, max_round_trip_m: 40.0, ..WiTrackConfig::witrack_default() };
+    let base = WiTrackConfig {
+        sweep,
+        max_round_trip_m: 40.0,
+        ..WiTrackConfig::witrack_default()
+    };
     let cfg = MttConfig::with_base(base);
     let mut wt = MultiWiTrack::new(cfg).expect("valid config");
     let mut sim = MultiSimulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 1 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 1,
+        },
         Scene::witrack_lab(false),
         wt.array().clone(),
         scenario::two_walker_crossing(10.0),
@@ -177,13 +225,21 @@ fn mtt_resolves_two_crossing_walkers() {
 
     while let Some(set) = sim.next_sweeps() {
         let refs: Vec<&[f64]> = set.per_rx.iter().map(|v| v.as_slice()).collect();
-        let Some(u) = wt.push_sweeps(&refs) else { continue };
+        let Some(u) = wt.push_sweeps(&refs) else {
+            continue;
+        };
         if u.time_s < warmup_s {
             continue;
         }
         frames += 1;
-        let truths = [sim.surface_truth(0, u.time_s), sim.surface_truth(1, u.time_s)];
-        assert!(truths[0].distance(truths[1]) >= 1.0, "scenario keeps walkers separated");
+        let truths = [
+            sim.surface_truth(0, u.time_s),
+            sim.surface_truth(1, u.time_s),
+        ];
+        assert!(
+            truths[0].distance(truths[1]) >= 1.0,
+            "scenario keeps walkers separated"
+        );
         let established: Vec<_> = u.established().collect();
         if established.len() >= 2 {
             both_confirmed += 1;
@@ -226,7 +282,10 @@ fn mtt_resolves_two_crossing_walkers() {
             "walker {i} covered on only {c}/{frames} frames"
         );
     }
-    assert_eq!(swaps, 0, "track identity swapped while walkers were ≥ 1 m apart");
+    assert_eq!(
+        swaps, 0,
+        "track identity swapped while walkers were ≥ 1 m apart"
+    );
 }
 
 #[test]
@@ -235,7 +294,10 @@ fn line_of_sight_beats_through_wall() {
     let mut med3d = Vec::new();
     for through_wall in [false, true] {
         let motion = RandomWalk::new(Rect::vicon_area(), 1.0, 1.0, 8.0, 0.2, 47);
-        let cfg = WiTrackConfig { sweep, ..WiTrackConfig::witrack_default() };
+        let cfg = WiTrackConfig {
+            sweep,
+            ..WiTrackConfig::witrack_default()
+        };
         let mut wt = WiTrack::new(cfg).expect("valid config");
         let channel = Channel {
             scene: Scene::witrack_lab(through_wall),
@@ -244,7 +306,11 @@ fn line_of_sight_beats_through_wall() {
             reference_amplitude: 100.0,
         };
         let mut sim = Simulator::new(
-            SimConfig { sweep, noise_std: 0.15, seed: 47 },
+            SimConfig {
+                sweep,
+                noise_std: 0.15,
+                seed: 47,
+            },
             channel,
             Box::new(motion),
         );

@@ -12,7 +12,9 @@ use witrack_repro::sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
 #[test]
 fn paper_config_identities() {
     let sweep = SweepConfig::witrack();
-    sweep.validate().expect("the paper's configuration must validate");
+    sweep
+        .validate()
+        .expect("the paper's configuration must validate");
     assert_eq!(sweep.samples_per_sweep(), 2500);
     assert!((sweep.range_resolution() - 0.0887).abs() < 0.001);
     assert!((sweep.frame_rate_hz() - 80.0).abs() < 1e-9);
@@ -31,7 +33,12 @@ fn paper_config_tracks_a_walker_to_decimeters() {
     };
     // 3 s straight-line walk (post-warmup window is ~1 s).
     let motion = RandomWalk::new(
-        Rect { x_min: -1.0, x_max: 1.0, y_min: 4.0, y_max: 6.0 },
+        Rect {
+            x_min: -1.0,
+            x_max: 1.0,
+            y_min: 4.0,
+            y_max: 6.0,
+        },
         1.0,
         1.0,
         3.0,
@@ -39,7 +46,11 @@ fn paper_config_tracks_a_walker_to_decimeters() {
         13,
     );
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 13 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 13,
+        },
         channel,
         Box::new(motion),
     );
@@ -75,7 +86,12 @@ fn paper_config_round_trips_are_centimeter_grade() {
         reference_amplitude: 100.0,
     };
     let motion = RandomWalk::new(
-        Rect { x_min: -0.5, x_max: 0.5, y_min: 4.5, y_max: 5.5 },
+        Rect {
+            x_min: -0.5,
+            x_max: 0.5,
+            y_min: 4.5,
+            y_max: 5.5,
+        },
         1.0,
         0.8,
         2.5,
@@ -83,7 +99,11 @@ fn paper_config_round_trips_are_centimeter_grade() {
         29,
     );
     let mut sim = Simulator::new(
-        SimConfig { sweep, noise_std: 0.05, seed: 29 },
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 29,
+        },
         channel,
         Box::new(motion),
     );
@@ -104,7 +124,10 @@ fn paper_config_round_trips_are_centimeter_grade() {
     }
     assert!(errs.len() > 100, "only {} detections", errs.len());
     let med = witrack_repro::dsp::stats::median(&errs);
-    assert!(med < 0.27, "median raw TOF error {med} m (1.5 bins = 0.27 m)");
+    assert!(
+        med < 0.27,
+        "median raw TOF error {med} m (1.5 bins = 0.27 m)"
+    );
 }
 
 #[test]
@@ -131,6 +154,9 @@ fn solvers_agree_at_paper_config() {
         let gn = solve_least_squares(&arr, &rts, &GaussNewtonConfig::default())
             .expect("solvable")
             .position;
-        assert!(closed.distance(gn) < 0.05, "solvers disagree: {closed} vs {gn}");
+        assert!(
+            closed.distance(gn) < 0.05,
+            "solvers disagree: {closed} vs {gn}"
+        );
     }
 }
