@@ -4,31 +4,50 @@
 //!
 //! A deployment's real-time rate is 80 frames/s (one frame per 12.5 ms,
 //! §7). This harness records a few rooms of fleet signal up front
-//! ([`witrack_sim::fleet`]), pre-encodes each frame as a wire
-//! `SweepBatch`, then for every (shard count × sensor count) cell pushes
-//! the whole workload through a [`witrack_serve::Server`] over the
-//! in-process transport — the full serving path: framing, decode, shard
-//! routing, pipeline, update batching — and measures the sustained
-//! per-sensor frame rate. A cell is "real-time" when every sensor's rate
-//! is ≥ 80 frames/s.
+//! ([`witrack_sim::fleet`], flat frame buffers), pre-encodes each frame
+//! as a wire batch — the classic f64 `SweepBatch` and/or the wire-v2
+//! quantized `SweepBatchQ` (i16 + scale, 4× fewer sample bytes) — then
+//! for every (wire × shard count × sensor count) cell pushes the whole
+//! workload through a [`witrack_serve::Server`] over the in-process
+//! transport: framing, pooled decode (with dequantization), shard
+//! routing, pipeline, pooled update encode. It measures the sustained
+//! per-sensor frame rate and the wire byte rate. A cell is "real-time"
+//! when every sensor's rate is ≥ 80 frames/s.
 //!
-//! Flags: `--sensors A,B,..` (default `4,8,16`), `--shards A,B,..`
-//! (default `1,2`), `--frames N` (per sensor, default 48), `--seed N`,
-//! `--out PATH` (default `BENCH_serve.json`; `-` skips writing).
+//! Flags: `--sensors A,B,..` (default `4,8,16,24,32,40`), `--shards
+//! A,B,..` (default `1,2`), `--frames N` (per sensor, default 48),
+//! `--wire i16|f64|both` (default `both`), `--seed N`, `--out PATH`
+//! (default `BENCH_serve.json`; `-` skips writing).
 
 use std::time::Instant;
 use witrack_bench::printing::banner;
 use witrack_core::WiTrackConfig;
 use witrack_serve::engine::{EngineConfig, OverloadPolicy};
-use witrack_serve::factory::{hello_for, witrack_factory};
+use witrack_serve::factory::{hello_for, hello_quantized_for, witrack_factory};
 use witrack_serve::transport::{in_proc_pair, TransportTx};
-use witrack_serve::wire::{self, Message, PipelineKind, SweepBatch, HEADER_LEN};
+use witrack_serve::wire::{self, Message, PipelineKind, SweepBatch, SweepBatchQ, HEADER_LEN};
 use witrack_serve::{SensorClient, Server};
 use witrack_sim::{FleetConfig, FleetSimulator, SimConfig};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireKind {
+    F64,
+    I16,
+}
+
+impl WireKind {
+    fn label(self) -> &'static str {
+        match self {
+            WireKind::F64 => "f64",
+            WireKind::I16 => "i16",
+        }
+    }
+}
 
 struct Options {
     sensors: Vec<usize>,
     shards: Vec<usize>,
+    wires: Vec<WireKind>,
     frames: u64,
     seed: u64,
     out: Option<String>,
@@ -40,8 +59,9 @@ fn parse_list(s: &str) -> Option<Vec<usize>> {
 
 fn parse_options() -> Options {
     let mut opts = Options {
-        sensors: vec![4, 8, 16],
+        sensors: vec![4, 8, 16, 24, 32, 40],
         shards: vec![1, 2],
+        wires: vec![WireKind::I16, WireKind::F64],
         frames: 48,
         seed: 7,
         out: Some("BENCH_serve.json".into()),
@@ -59,6 +79,12 @@ fn parse_options() -> Options {
                     opts.shards = v;
                 }
             }
+            "--wire" => match it.next().as_deref() {
+                Some("f64") => opts.wires = vec![WireKind::F64],
+                Some("i16") => opts.wires = vec![WireKind::I16],
+                Some("both") => opts.wires = vec![WireKind::I16, WireKind::F64],
+                other => panic!("--wire must be f64|i16|both, got {other:?}"),
+            },
             "--frames" => {
                 if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                     opts.frames = v;
@@ -78,15 +104,9 @@ fn parse_options() -> Options {
     opts
 }
 
-/// Pre-encoded wire frames, one per processing frame, for a few distinct
-/// rooms. Sensor `i` replays room `i mod rooms` with its own sensor id.
-fn record_encoded_rooms(
-    base: &WiTrackConfig,
-    rooms: usize,
-    frames: u64,
-    seed: u64,
-) -> Vec<Vec<Vec<u8>>> {
-    let sweeps_per_frame = base.sweep.sweeps_per_frame;
+/// Flat per-frame sample buffers for a few distinct rooms (sensor `i`
+/// replays room `i mod rooms` with its own sensor id and sequence).
+fn record_rooms(base: &WiTrackConfig, rooms: usize, frames: u64, seed: u64) -> Vec<Vec<Vec<f64>>> {
     let duration_s = (frames as f64 + 1.0) * base.sweep.frame_duration_s();
     let fleet = FleetSimulator::new(FleetConfig {
         rooms,
@@ -98,33 +118,61 @@ fn record_encoded_rooms(
             seed,
         },
     });
-    let recorded = fleet.record_all();
+    let mut recorded = fleet.record_frames_flat(base.sweep.sweeps_per_frame);
+    for room in &mut recorded {
+        room.truncate(frames as usize);
+    }
     recorded
-        .into_iter()
-        .map(|sweeps| {
-            sweeps
-                .chunks_exact(sweeps_per_frame)
-                .take(frames as usize)
-                .map(|frame| {
-                    // Sensor id and sequence are patched per send.
-                    wire::encode(&Message::SweepBatch(SweepBatch::from_sweeps(0, 0, frame)))
+}
+
+/// Pre-encodes every room frame for one wire kind. Sensor id and
+/// sequence are zero here and patched per send (same payload offsets in
+/// both batch forms).
+fn encode_rooms(
+    base: &WiTrackConfig,
+    rooms: &[Vec<Vec<f64>>],
+    wire_kind: WireKind,
+) -> Vec<Vec<Vec<u8>>> {
+    let sweeps = base.sweep.sweeps_per_frame;
+    let samples = base.sweep.samples_per_sweep();
+    rooms
+        .iter()
+        .map(|room| {
+            room.iter()
+                .map(|flat| {
+                    let batch = SweepBatch {
+                        sensor_id: 0,
+                        seq: 0,
+                        n_sweeps: sweeps as u16,
+                        n_rx: 3,
+                        samples_per_sweep: samples as u32,
+                        data: flat.clone(),
+                    };
+                    match wire_kind {
+                        WireKind::F64 => wire::encode(&Message::SweepBatch(batch)),
+                        WireKind::I16 => {
+                            wire::encode(&Message::SweepBatchQ(SweepBatchQ::quantize(&batch)))
+                        }
+                    }
                 })
                 .collect()
         })
         .collect()
 }
 
-/// Patches the sensor id and sequence number into an encoded `SweepBatch`
-/// frame (payload offsets 0..4 and 4..12).
+/// Patches the sensor id and sequence number into an encoded sweep-batch
+/// frame (payload offsets 0..4 and 4..12, identical for both forms).
 fn patch_frame(frame: &mut [u8], sensor_id: u32, seq: u64) {
     frame[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&sensor_id.to_le_bytes());
     frame[HEADER_LEN + 4..HEADER_LEN + 12].copy_from_slice(&seq.to_le_bytes());
 }
 
 struct CellResult {
+    wire: WireKind,
     shards: usize,
     sensors: usize,
     frames_per_sensor: u64,
+    bytes_per_frame: usize,
     elapsed_s: f64,
     max_inflight: u64,
     updates_dropped: u64,
@@ -138,10 +186,15 @@ impl CellResult {
     fn aggregate_fps(&self) -> f64 {
         self.per_sensor_fps() * self.sensors as f64
     }
+
+    fn wire_mb_per_sec(&self) -> f64 {
+        self.aggregate_fps() * self.bytes_per_frame as f64 / 1e6
+    }
 }
 
 fn run_cell(
     base: &WiTrackConfig,
+    wire_kind: WireKind,
     shards: usize,
     sensors: usize,
     frames: u64,
@@ -159,10 +212,13 @@ fn run_cell(
     server.attach(server_end).expect("in-proc attach");
     let mut client = SensorClient::connect(client_end).expect("in-proc connect");
     for id in 0..sensors as u32 {
-        client
-            .hello(hello_for(base, id, PipelineKind::SingleTarget))
-            .expect("hello");
+        let hello = match wire_kind {
+            WireKind::F64 => hello_for(base, id, PipelineKind::SingleTarget),
+            WireKind::I16 => hello_quantized_for(base, id, PipelineKind::SingleTarget),
+        };
+        client.hello(hello).expect("hello");
     }
+    let bytes_per_frame = encoded[0][0].len();
     let start = Instant::now();
     for f in 0..frames {
         for id in 0..sensors as u32 {
@@ -195,9 +251,11 @@ fn run_cell(
     }
     assert_eq!(m.frames_emitted, expected, "every frame must be processed");
     CellResult {
+        wire: wire_kind,
         shards,
         sensors,
         frames_per_sensor: frames,
+        bytes_per_frame,
         elapsed_s,
         max_inflight: m.max_inflight,
         updates_dropped: m.updates_dropped,
@@ -219,7 +277,7 @@ fn main() {
         "recording {} room(s) of fleet signal ({} frames each)...",
         rooms, opts.frames
     );
-    let encoded = record_encoded_rooms(&base, rooms, opts.frames, opts.seed);
+    let recorded = record_rooms(&base, rooms, opts.frames, opts.seed);
 
     println!(
         "config: {} samples/sweep, {} sweeps/frame, 3 rx antennas, frame period {:.1} ms\n",
@@ -228,37 +286,59 @@ fn main() {
         frame_period_s * 1e3
     );
     println!(
-        "{:>6} {:>8} {:>8} {:>10} {:>12} {:>12} {:>9}",
-        "shards", "sensors", "frames", "elapsed", "fps/sensor", "aggregate", "realtime"
+        "{:>5} {:>6} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "wire",
+        "shards",
+        "sensors",
+        "frames",
+        "elapsed",
+        "fps/sensor",
+        "aggregate",
+        "MB/s",
+        "realtime"
     );
     let mut results = Vec::new();
-    for &s in &opts.shards {
-        for &k in &opts.sensors {
-            let r = run_cell(&base, s, k, opts.frames, &encoded);
-            println!(
-                "{:>6} {:>8} {:>8} {:>9.3}s {:>12.1} {:>12.1} {:>9}",
-                r.shards,
-                r.sensors,
-                r.frames_per_sensor,
-                r.elapsed_s,
-                r.per_sensor_fps(),
-                r.aggregate_fps(),
-                if r.per_sensor_fps() >= realtime_fps {
-                    "yes"
-                } else {
-                    "NO"
-                }
-            );
-            results.push(r);
+    for &wire_kind in &opts.wires {
+        let encoded = encode_rooms(&base, &recorded, wire_kind);
+        for &s in &opts.shards {
+            for &k in &opts.sensors {
+                let r = run_cell(&base, wire_kind, s, k, opts.frames, &encoded);
+                println!(
+                    "{:>5} {:>6} {:>8} {:>8} {:>9.3}s {:>12.1} {:>12.1} {:>10.1} {:>9}",
+                    r.wire.label(),
+                    r.shards,
+                    r.sensors,
+                    r.frames_per_sensor,
+                    r.elapsed_s,
+                    r.per_sensor_fps(),
+                    r.aggregate_fps(),
+                    r.wire_mb_per_sec(),
+                    if r.per_sensor_fps() >= realtime_fps {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                );
+                results.push(r);
+            }
         }
     }
-    let sustained = results
-        .iter()
-        .filter(|r| r.per_sensor_fps() >= realtime_fps)
-        .map(|r| r.sensors)
-        .max()
-        .unwrap_or(0);
-    println!("\nsensors sustained at real time: {sustained}");
+    let sustained_for = |wire_kind: WireKind| {
+        results
+            .iter()
+            .filter(|r| r.wire == wire_kind && r.per_sensor_fps() >= realtime_fps)
+            .map(|r| r.sensors)
+            .max()
+            .unwrap_or(0)
+    };
+    println!();
+    for &w in &opts.wires {
+        println!(
+            "sensors sustained at real time ({}): {}",
+            w.label(),
+            sustained_for(w)
+        );
+    }
 
     if let Some(path) = &opts.out {
         let cells: Vec<String> = results
@@ -267,28 +347,39 @@ fn main() {
                 format!(
                     concat!(
                         "    {{\n",
+                        "      \"wire\": \"{}\",\n",
                         "      \"shards\": {},\n",
                         "      \"sensors\": {},\n",
                         "      \"frames_per_sensor\": {},\n",
+                        "      \"bytes_per_frame\": {},\n",
                         "      \"elapsed_s\": {:.6},\n",
                         "      \"per_sensor_fps\": {:.2},\n",
                         "      \"aggregate_fps\": {:.2},\n",
+                        "      \"wire_mb_per_sec\": {:.2},\n",
                         "      \"realtime\": {},\n",
                         "      \"max_inflight\": {},\n",
                         "      \"updates_dropped\": {}\n",
                         "    }}"
                     ),
+                    r.wire.label(),
                     r.shards,
                     r.sensors,
                     r.frames_per_sensor,
+                    r.bytes_per_frame,
                     r.elapsed_s,
                     r.per_sensor_fps(),
                     r.aggregate_fps(),
+                    r.wire_mb_per_sec(),
                     r.per_sensor_fps() >= realtime_fps,
                     r.max_inflight,
                     r.updates_dropped
                 )
             })
+            .collect();
+        let sustained_fields: Vec<String> = opts
+            .wires
+            .iter()
+            .map(|w| format!("    \"{}\": {}", w.label(), sustained_for(*w)))
             .collect();
         let json = format!(
             concat!(
@@ -305,7 +396,7 @@ fn main() {
                 "    \"transport\": \"in_process_wire\"\n",
                 "  }},\n",
                 "  \"results\": [\n{}\n  ],\n",
-                "  \"sensors_sustained_realtime\": {}\n",
+                "  \"sensors_sustained_realtime\": {{\n{}\n  }}\n",
                 "}}\n"
             ),
             base.sweep.samples_per_sweep(),
@@ -314,7 +405,7 @@ fn main() {
             realtime_fps,
             rooms,
             cells.join(",\n"),
-            sustained
+            sustained_fields.join(",\n")
         );
         std::fs::write(path, json).expect("write serve JSON");
         println!("wrote {path}");

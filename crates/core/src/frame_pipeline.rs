@@ -57,6 +57,32 @@ pub trait FramePipeline: Send {
     /// antenna; returns a report on frame boundaries.
     fn process_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<FrameReport>;
 
+    /// [`Self::process_sweeps`] over one flat, antenna-contiguous buffer:
+    /// antenna `k`'s sweep occupies
+    /// `flat[k * samples_per_sweep ..][.. samples_per_sweep]` — the exact
+    /// layout wire sweep batches arrive in, so the serving hot path feeds
+    /// pipelines without building per-sweep slice tables. The default
+    /// builds the table and delegates; the in-tree backends override it
+    /// allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != samples_per_sweep * num_rx()` or
+    /// `samples_per_sweep` is zero.
+    fn process_sweeps_flat(
+        &mut self,
+        flat: &[f64],
+        samples_per_sweep: usize,
+    ) -> Option<FrameReport> {
+        assert!(samples_per_sweep > 0, "sweeps cannot be empty");
+        assert_eq!(
+            flat.len(),
+            samples_per_sweep * self.num_rx(),
+            "one sweep per receive antenna, packed contiguously"
+        );
+        let refs: Vec<&[f64]> = flat.chunks_exact(samples_per_sweep).collect();
+        self.process_sweeps(&refs)
+    }
+
     /// Clears all stream state (frame counter restarts at zero).
     fn reset(&mut self);
 }
@@ -87,6 +113,15 @@ impl FramePipeline for WiTrack {
 
     fn process_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<FrameReport> {
         self.push_sweeps(per_rx).map(FrameReport::from)
+    }
+
+    fn process_sweeps_flat(
+        &mut self,
+        flat: &[f64],
+        samples_per_sweep: usize,
+    ) -> Option<FrameReport> {
+        self.push_sweeps_flat(flat, samples_per_sweep)
+            .map(FrameReport::from)
     }
 
     fn reset(&mut self) {

@@ -174,6 +174,36 @@ impl WiTrack {
             self.estimators.len(),
             "one sweep per receive antenna"
         );
+        self.push_sweeps_inner(per_rx.iter().copied())
+    }
+
+    /// [`Self::push_sweeps`] over one flat, antenna-contiguous buffer:
+    /// antenna `k`'s sweep occupies
+    /// `flat[k * samples_per_sweep ..][.. samples_per_sweep]`. This is the
+    /// layout sweep batches arrive in off the wire, so the serving layer
+    /// feeds the pipeline without building a per-sweep slice table.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is not exactly
+    /// `samples_per_sweep × num_rx`, or `samples_per_sweep` is zero.
+    pub fn push_sweeps_flat(
+        &mut self,
+        flat: &[f64],
+        samples_per_sweep: usize,
+    ) -> Option<TrackUpdate> {
+        assert!(samples_per_sweep > 0, "sweeps cannot be empty");
+        assert_eq!(
+            flat.len(),
+            samples_per_sweep * self.estimators.len(),
+            "one sweep per receive antenna, packed contiguously"
+        );
+        self.push_sweeps_inner(flat.chunks_exact(samples_per_sweep))
+    }
+
+    fn push_sweeps_inner<'a, I>(&mut self, per_rx: I) -> Option<TrackUpdate>
+    where
+        I: DoubleEndedIterator<Item = &'a [f64]> + ExactSizeIterator,
+    {
         // Sweeps that only accumulate are microseconds of work; spawning
         // threads for them would dominate. Fan out only when this sweep
         // completes a frame (zoom transform + contour + denoise per

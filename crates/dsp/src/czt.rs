@@ -30,7 +30,9 @@
 
 use crate::complex::Complex;
 use crate::fft::{Direction, Radix2Plan};
+use crate::plan_cache::PlanCache;
 use std::f64::consts::PI;
+use std::sync::{Arc, OnceLock};
 
 /// `e^{-iπ t²/den}` with `t²` reduced mod `2·den` so large `t` keeps full
 /// precision (the exponential has period `2·den` in `t²`).
@@ -223,7 +225,26 @@ impl CztScratch {
     }
 }
 
+/// Process-wide registry of shared [`Czt`] plans, keyed by `(n, keep)`.
+static SHARED_PLANS: OnceLock<PlanCache<(usize, usize), Czt>> = OnceLock::new();
+
 impl Czt {
+    /// The process-shared plan for `(n, keep)`: built on first request,
+    /// then handed out as clones of one `Arc` for as long as any user
+    /// holds it. A plan is immutable after construction (all per-call
+    /// state lives in [`CztScratch`]), so every pipeline on a host — and
+    /// every antenna within each pipeline — can run off one instance
+    /// instead of duplicating ~85 KiB of chirp/kernel tables per sensor
+    /// per antenna at the paper configuration.
+    ///
+    /// # Panics
+    /// Panics on the same degenerate shapes as [`Czt::new`].
+    pub fn shared(n: usize, keep: usize) -> Arc<Czt> {
+        SHARED_PLANS
+            .get_or_init(PlanCache::new)
+            .get_or_build((n, keep), || Czt::new(n, keep))
+    }
+
     /// Builds a plan for `keep` output bins over real inputs of length `n`.
     ///
     /// # Panics
@@ -454,6 +475,20 @@ mod tests {
         czt.transform_into(&b, &mut o2, &mut s2);
         band_close(&o1, &naive_band(&a, 30), 1e-9 * 128.0);
         band_close(&o2, &naive_band(&b, 30), 1e-9 * 128.0);
+    }
+
+    #[test]
+    fn shared_plans_deduplicate_by_shape() {
+        let a = Czt::shared(96, 11);
+        let b = Czt::shared(96, 11);
+        let c = Czt::shared(96, 12);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same shape shares one plan");
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &c),
+            "different keep is a new plan"
+        );
+        let signal = test_signal(96);
+        band_close(&a.transform(&signal), &naive_band(&signal, 11), 1e-9 * 96.0);
     }
 
     #[test]

@@ -52,13 +52,20 @@ pub(crate) struct Radix2Plan {
 
 /// Bluestein is the full-band (`bins = n`, `k0 = 0`) special case of the
 /// chirp-Z machinery in [`crate::czt`]; the chirp tables, kernel layout,
-/// and convolution all live there.
+/// and convolution all live there. The core is immutable and
+/// process-shared by length (every `Fft` of the same non-power-of-two
+/// length reuses one set of chirp/kernel tables); only the scratch buffer
+/// is per-instance.
 #[derive(Debug, Clone)]
 struct BluesteinPlan {
-    core: crate::czt::CztCore,
+    core: std::sync::Arc<crate::czt::CztCore>,
     /// Scratch buffer reused across calls (cloned plans get their own).
     scratch: Vec<Complex>,
 }
+
+/// Process-wide registry of shared full-band Bluestein cores, by length.
+static SHARED_CORES: std::sync::OnceLock<crate::plan_cache::PlanCache<usize, crate::czt::CztCore>> =
+    std::sync::OnceLock::new();
 
 impl Radix2Plan {
     pub(crate) fn new(n: usize) -> Radix2Plan {
@@ -119,7 +126,9 @@ impl Radix2Plan {
 
 impl BluesteinPlan {
     fn new(n: usize) -> BluesteinPlan {
-        let core = crate::czt::CztCore::new(n, n, n, 0);
+        let core = SHARED_CORES
+            .get_or_init(crate::plan_cache::PlanCache::new)
+            .get_or_build(n, || crate::czt::CztCore::new(n, n, n, 0));
         let scratch = vec![Complex::ZERO; core.inner_len()];
         BluesteinPlan { core, scratch }
     }

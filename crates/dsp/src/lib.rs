@@ -34,6 +34,7 @@ pub mod fft;
 pub mod filters;
 pub mod kalman;
 pub mod peak;
+pub(crate) mod plan_cache;
 pub mod regression;
 pub mod stats;
 pub mod window;

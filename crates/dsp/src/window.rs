@@ -41,6 +41,20 @@ impl WindowKind {
         (0..n).map(|i| self.sample(i, n)).collect()
     }
 
+    /// The process-shared table for this window at length `n`. Window
+    /// tables are pure functions of `(kind, n)`, so every pipeline on a
+    /// host reads one copy (20 KiB per antenna per sensor at the paper
+    /// configuration otherwise). Callers needing a scaled window fold
+    /// their scale into the multiply instead of into the table.
+    pub fn shared(self, n: usize) -> std::sync::Arc<Vec<f64>> {
+        static SHARED: std::sync::OnceLock<
+            crate::plan_cache::PlanCache<(WindowKind, usize), Vec<f64>>,
+        > = std::sync::OnceLock::new();
+        SHARED
+            .get_or_init(crate::plan_cache::PlanCache::new)
+            .get_or_build((self, n), || self.generate(n))
+    }
+
     /// Coherent gain (mean of the window): the factor by which a windowed
     /// tone's FFT peak is scaled relative to a rectangular window.
     pub fn coherent_gain(self, n: usize) -> f64 {
@@ -109,6 +123,15 @@ mod tests {
         for i in 0..8 {
             assert!((s[i] - 2.0 * w[i]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn shared_windows_deduplicate_by_shape() {
+        let a = WindowKind::Hann.shared(64);
+        let b = WindowKind::Hann.shared(64);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, WindowKind::Hann.generate(64));
+        assert!(!std::sync::Arc::ptr_eq(&a, &WindowKind::Hamming.shared(64)));
     }
 
     #[test]

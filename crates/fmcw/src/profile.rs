@@ -20,18 +20,28 @@
 //! heap allocation.
 
 use crate::config::SweepConfig;
+use std::sync::Arc;
 use witrack_dsp::window::WindowKind;
 use witrack_dsp::{Complex, Czt, CztScratch};
 
 /// Converts accumulated sweeps into complex range profiles.
+///
+/// The window table and CZT plan are **process-shared** (via
+/// [`WindowKind::shared`] and [`Czt::shared`]): every profiler at the same
+/// sweep configuration — all antennas of all sensors on a serving host —
+/// reads one copy of each. Only the per-stream buffers (accumulator,
+/// windowed frame, CZT scratch, output profile) are owned per instance.
 #[derive(Debug, Clone)]
 pub struct RangeProfiler {
     samples_per_sweep: usize,
     sweeps_per_frame: usize,
-    /// Analysis window pre-scaled by 1/sweeps_per_frame (the frame average).
-    window: Vec<f64>,
-    /// Zoom transform producing exactly `keep_bins` bins.
-    czt: Czt,
+    /// Shared, unscaled analysis window.
+    window: Arc<Vec<f64>>,
+    /// The frame average (1/sweeps_per_frame), folded into the windowing
+    /// multiply so the shared table stays unscaled.
+    frame_scale: f64,
+    /// Shared zoom transform producing exactly `keep_bins` bins.
+    czt: Arc<Czt>,
     scratch: CztScratch,
     /// Time-domain accumulator for the current frame.
     accum: Vec<f64>,
@@ -52,17 +62,14 @@ impl RangeProfiler {
         let n = cfg.samples_per_sweep();
         let keep = (cfg.bin_for_round_trip(max_round_trip_m).ceil() as usize + 1).min(n / 2);
         let keep = keep.max(2).min(n);
-        let inv = 1.0 / cfg.sweeps_per_frame as f64;
-        let mut window = window.generate(n);
-        for w in &mut window {
-            *w *= inv;
-        }
-        let czt = Czt::new(n, keep);
+        let window = window.shared(n);
+        let czt = Czt::shared(n, keep);
         let scratch = czt.make_scratch();
         RangeProfiler {
             samples_per_sweep: n,
             sweeps_per_frame: cfg.sweeps_per_frame,
             window,
+            frame_scale: 1.0 / cfg.sweeps_per_frame as f64,
             czt,
             scratch,
             accum: vec![0.0; n],
@@ -76,6 +83,12 @@ impl RangeProfiler {
     /// Number of range bins kept in each profile.
     pub fn keep_bins(&self) -> usize {
         self.keep_bins
+    }
+
+    /// The shared zoom-transform plan this profiler runs (two profilers at
+    /// the same sweep configuration return the same `Arc`).
+    pub fn plan(&self) -> &Arc<Czt> {
+        &self.czt
     }
 
     /// Sweeps accumulated toward the next frame.
@@ -112,9 +125,15 @@ impl RangeProfiler {
         }
         // Frame complete: window the averaged sweeps, zoom-transform the
         // kept band, reset the accumulator. (The 1/sweeps_per_frame average
-        // is pre-folded into the window.)
-        for ((w, &a), &win) in self.windowed.iter_mut().zip(&self.accum).zip(&self.window) {
-            *w = a * win;
+        // folds into the windowing multiply; the table itself is shared.)
+        let scale = self.frame_scale;
+        for ((w, &a), &win) in self
+            .windowed
+            .iter_mut()
+            .zip(&self.accum)
+            .zip(self.window.iter())
+        {
+            *w = a * win * scale;
         }
         self.czt
             .transform_into(&self.windowed, &mut self.profile, &mut self.scratch);
@@ -275,6 +294,33 @@ mod tests {
             ptrs.windows(2).all(|w| w[0] == w[1]),
             "profile buffer reallocated"
         );
+    }
+
+    #[test]
+    fn profilers_at_one_config_share_one_plan() {
+        let cfg = small_cfg();
+        let a = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
+        let b = RangeProfiler::new(&cfg, WindowKind::Hann, 50.0);
+        assert!(
+            std::sync::Arc::ptr_eq(a.plan(), b.plan()),
+            "same sweep config must share one CZT plan"
+        );
+        // And the shared plan still produces per-stream-independent output.
+        let mut a = a;
+        let mut b = b;
+        let s1 = tone_sweep(&cfg, 10e3, 0.0);
+        let s2 = tone_sweep(&cfg, 14e3, 0.4);
+        let mut last = (Vec::new(), Vec::new());
+        for _ in 0..cfg.sweeps_per_frame {
+            if let Some(p) = a.push_sweep(&s1) {
+                last.0 = p.to_vec();
+            }
+            if let Some(p) = b.push_sweep(&s2) {
+                last.1 = p.to_vec();
+            }
+        }
+        assert!(!last.0.is_empty() && !last.1.is_empty());
+        assert_ne!(last.0, last.1, "independent streams, independent output");
     }
 
     #[test]

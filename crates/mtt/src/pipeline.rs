@@ -187,6 +187,35 @@ impl MultiWiTrack {
             self.profilers.len(),
             "one sweep per receive antenna"
         );
+        self.push_sweeps_inner(per_rx.iter().copied())
+    }
+
+    /// [`Self::push_sweeps`] over one flat, antenna-contiguous buffer
+    /// (antenna `k` at `flat[k * samples_per_sweep ..][.. samples_per_sweep]`)
+    /// — the layout wire batches arrive in, so the serving layer feeds the
+    /// tracker without building per-sweep slice tables.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is not exactly `samples_per_sweep × num_rx`,
+    /// or `samples_per_sweep` is zero.
+    pub fn push_sweeps_flat(
+        &mut self,
+        flat: &[f64],
+        samples_per_sweep: usize,
+    ) -> Option<MttUpdate> {
+        assert!(samples_per_sweep > 0, "sweeps cannot be empty");
+        assert_eq!(
+            flat.len(),
+            samples_per_sweep * self.profilers.len(),
+            "one sweep per receive antenna, packed contiguously"
+        );
+        self.push_sweeps_inner(flat.chunks_exact(samples_per_sweep))
+    }
+
+    fn push_sweeps_inner<'a, I>(&mut self, per_rx: I) -> Option<MttUpdate>
+    where
+        I: DoubleEndedIterator<Item = &'a [f64]> + ExactSizeIterator,
+    {
         self.sweeps_seen += 1;
         // All profilers share the sweep clock; accumulate-only sweeps are
         // microseconds of serial work.
@@ -480,6 +509,15 @@ impl FramePipeline for MultiWiTrack {
 
     fn process_sweeps(&mut self, per_rx: &[&[f64]]) -> Option<FrameReport> {
         self.push_sweeps(per_rx).map(FrameReport::from)
+    }
+
+    fn process_sweeps_flat(
+        &mut self,
+        flat: &[f64],
+        samples_per_sweep: usize,
+    ) -> Option<FrameReport> {
+        self.push_sweeps_flat(flat, samples_per_sweep)
+            .map(FrameReport::from)
     }
 
     fn reset(&mut self) {

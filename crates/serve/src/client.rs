@@ -7,7 +7,7 @@
 //! optionally hands each message to a caller-supplied handler.
 
 use crate::transport::{Transport, TransportRx, TransportTx};
-use crate::wire::{Hello, Message, SweepBatch, Teardown};
+use crate::wire::{Hello, Message, SweepBatch, SweepBatchQ, Teardown};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,6 +89,23 @@ impl<T: Transport> SensorClient<T> {
         sweeps: &[Vec<Vec<f64>>],
     ) -> io::Result<()> {
         self.send_batch(SweepBatch::from_sweeps(sensor_id, seq, sweeps))
+    }
+
+    /// Sends one quantized (wire v2, i16) sweep batch — 4× fewer sample
+    /// bytes than [`Self::send_batch`]. Announce intent by setting
+    /// [`Hello::quantized`] on the session's hello.
+    pub fn send_batch_q(&mut self, batch: SweepBatchQ) -> io::Result<()> {
+        self.tx().send_msg(&Message::SweepBatchQ(batch))
+    }
+
+    /// Quantizes and sends per-sweep, per-antenna slices as one v2 batch.
+    pub fn send_sweeps_quantized(
+        &mut self,
+        sensor_id: u32,
+        seq: u64,
+        sweeps: &[Vec<Vec<f64>>],
+    ) -> io::Result<()> {
+        self.send_batch_q(SweepBatchQ::from_sweeps(sensor_id, seq, sweeps))
     }
 
     /// Closes a sensor session.

@@ -24,7 +24,8 @@
 //! instead.
 
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::wire::{Hello, Message, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch};
+use crate::pool::{BufPool, PooledBatch, PooledBuf};
+use crate::wire::{self, Hello, Message, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
@@ -72,10 +73,13 @@ impl Default for EngineConfig {
 /// the session with [`RejectCode::BadConfig`].
 pub type PipelineFactory = dyn Fn(&Hello) -> Result<Box<dyn FramePipeline>, String> + Send + Sync;
 
-/// Where one session's server→client messages go: a bounded queue owned
-/// by the session's connection. Shards `try_send` into it and shed on
-/// full ([`MetricsSnapshot::updates_dropped`]).
-pub type UpdateSink = SyncSender<Message>;
+/// Where one session's server→client traffic goes: a bounded queue of
+/// **already-encoded wire frames** (update batches, rejects) owned by the
+/// session's connection. Shards encode into pool-backed buffers and
+/// `try_send` them, shedding on full
+/// ([`MetricsSnapshot::updates_dropped`]); the connection's writer pushes
+/// the bytes to the transport and the buffer recycles.
+pub type UpdateSink = SyncSender<PooledBuf<u8>>;
 
 /// A session's sink plus the connection it belongs to (connection ids
 /// scope best-effort cleanup teardowns; see
@@ -140,10 +144,10 @@ impl std::error::Error for SubmitError {}
 
 enum ShardMsg {
     Hello(Hello, Option<ConnSink>),
-    /// A sweep batch, plus the sink of the connection that carried it —
-    /// so refusals that have no session to consult (unknown sensor) can
-    /// still reach the sender over the wire.
-    Batch(SweepBatch, Option<ConnSink>),
+    /// A sweep batch (header + pooled samples), plus the sink of the
+    /// connection that carried it — so refusals that have no session to
+    /// consult (unknown sensor) can still reach the sender over the wire.
+    Batch(PooledBatch, Option<ConnSink>),
     /// Teardown, optionally scoped to sessions owned by one connection
     /// (best-effort cleanup at connection close must not kill a session
     /// some other connection owns), plus the carrying connection's sink
@@ -159,11 +163,27 @@ pub struct EngineHandle {
     shards: Vec<SyncSender<ShardMsg>>,
     overload: OverloadPolicy,
     metrics: Arc<EngineMetrics>,
+    /// Recycles ingest sample buffers (socket → decode → shard → pipeline).
+    sample_pool: BufPool<f64>,
+    /// Recycles outbox encode buffers (shard → outbox → transport).
+    frame_pool: BufPool<u8>,
 }
 
 impl EngineHandle {
     fn shard_for(&self, sensor_id: u32) -> &SyncSender<ShardMsg> {
         &self.shards[sensor_id as usize % self.shards.len()]
+    }
+
+    /// The pool connection readers should decode sweep samples into
+    /// (see [`crate::transport::TransportRx::recv_msg_pooled`]).
+    pub fn sample_pool(&self) -> &BufPool<f64> {
+        &self.sample_pool
+    }
+
+    /// The pool shards encode outbound frames into — exposed for tests
+    /// and capacity monitoring.
+    pub fn frame_pool(&self) -> &BufPool<u8> {
+        &self.frame_pool
     }
 
     /// Routes one client message to its sensor's shard. `Hello` and
@@ -187,7 +207,13 @@ impl EngineHandle {
             Message::Teardown(t) => {
                 self.send_control(t.sensor_id, ShardMsg::Teardown(t, None, sink))
             }
-            Message::SweepBatch(b) => self.submit_batch_with_sink(b, sink),
+            Message::SweepBatch(b) => self.submit_batch_pooled(PooledBatch::from_owned(b), sink),
+            Message::SweepBatchQ(q) => {
+                let shape = q.shape();
+                let mut samples = self.sample_pool.get(q.data.len());
+                q.dequantize_into(&mut samples);
+                self.submit_batch_pooled(PooledBatch { shape, samples }, sink)
+            }
             Message::UpdateBatch(_) | Message::Reject(_) => Err(SubmitError::ServerOnlyMessage),
         }
     }
@@ -231,19 +257,24 @@ impl EngineHandle {
         }
     }
 
-    /// Submits one sweep batch (the hot path).
+    /// Submits one owned sweep batch (compatibility entry point; the
+    /// zero-copy hot path is [`Self::submit_batch_pooled`]).
     pub fn submit_batch(&self, batch: SweepBatch) -> Result<Submitted, SubmitError> {
-        self.submit_batch_with_sink(batch, None)
+        self.submit_batch_pooled(PooledBatch::from_owned(batch), None)
     }
 
-    /// [`Self::submit_batch`], carrying the connection's sink for
-    /// refusals that have no session to consult.
-    pub fn submit_batch_with_sink(
+    /// Submits one decoded sweep batch whose samples live in a pooled
+    /// buffer — the ingest hot path. The buffer travels to the owning
+    /// shard and returns to its pool right after the pipeline consumes
+    /// it (or immediately, if the batch is dropped or refused). `sink`,
+    /// when given, carries the connection for refusals that have no
+    /// session to consult.
+    pub fn submit_batch_pooled(
         &self,
-        batch: SweepBatch,
+        batch: PooledBatch,
         sink: Option<ConnSink>,
     ) -> Result<Submitted, SubmitError> {
-        let shard = self.shard_for(batch.sensor_id);
+        let shard = self.shard_for(batch.shape.sensor_id);
         self.metrics.enqueued();
         match self.overload {
             OverloadPolicy::Block => match shard.send(ShardMsg::Batch(batch, sink)) {
@@ -294,6 +325,13 @@ impl ShardedEngine {
         let metrics = Arc::new(EngineMetrics::default());
         let stop = Arc::new(AtomicBool::new(false));
         let (events_tx, events_rx) = channel();
+        // Sample buffers live from decode until the owning shard finishes
+        // a batch, so the steady-state population is bounded by the total
+        // queue depth plus one in-decode and one in-pipeline per thread;
+        // cap the free list a little above that. Outbox encode buffers
+        // are small and bounded by outbox depth.
+        let sample_pool = BufPool::new(num_shards * cfg.queue_capacity.max(1) + 2 * num_shards + 8);
+        let frame_pool = BufPool::new(256);
         let mut shards = Vec::with_capacity(num_shards);
         let mut workers = Vec::with_capacity(num_shards);
         for _ in 0..num_shards {
@@ -306,6 +344,8 @@ impl ShardedEngine {
                 metrics: Arc::clone(&metrics),
                 stop: Arc::clone(&stop),
                 sessions: HashMap::new(),
+                frame_pool: frame_pool.clone(),
+                updates_scratch: Vec::new(),
             };
             workers.push(std::thread::spawn(move || worker.run()));
         }
@@ -313,6 +353,8 @@ impl ShardedEngine {
             shards,
             overload: cfg.overload,
             metrics: Arc::clone(&metrics),
+            sample_pool,
+            frame_pool,
         };
         (
             ShardedEngine {
@@ -371,6 +413,11 @@ struct ShardWorker {
     metrics: Arc<EngineMetrics>,
     stop: Arc<AtomicBool>,
     sessions: HashMap<u32, Session>,
+    /// Pool the shard encodes outbound (sinkful) frames into.
+    frame_pool: BufPool<u8>,
+    /// Per-batch report scratch, reused across batches (taken/returned
+    /// around each batch so the session borrow stays clean).
+    updates_scratch: Vec<FrameReport>,
 }
 
 impl ShardWorker {
@@ -396,28 +443,40 @@ impl ShardWorker {
         let _ = self.events.send(event);
     }
 
-    /// Sends a server→client message to a session sink, shedding (and
-    /// counting) when the connection lags; sinkless traffic goes to the
-    /// event stream instead.
-    fn deliver(&self, sink: Option<&ConnSink>, msg: Message) {
+    /// Pushes an encoded frame into a session sink, shedding (and
+    /// counting) when the connection lags. Blocking would stall every
+    /// sensor on the shard, so shed — updates are superseded by the next
+    /// frame, rejects are advisory. The pooled buffer recycles either
+    /// way (the writer drops it after sending; a failed try_send drops
+    /// it here).
+    fn push_to_sink(&self, sink: &ConnSink, frame: PooledBuf<u8>) {
+        if sink.tx.try_send(frame).is_err() {
+            EngineMetrics::inc(&self.metrics.updates_dropped);
+        }
+    }
+
+    /// Delivers one batch of frame reports: sinkful sessions get the
+    /// frame encoded straight from the report slice into a pooled buffer
+    /// (no owned `UpdateBatch`, no per-event allocation); sinkless
+    /// sessions (direct engine users: tests, benches) get an owned event.
+    fn deliver_updates(
+        &self,
+        sink: Option<&ConnSink>,
+        sensor_id: u32,
+        seq: u64,
+        updates: &[FrameReport],
+    ) {
         match sink {
             Some(s) => {
-                if s.tx.try_send(msg).is_err() {
-                    // Full or disconnected: this client is lagging or
-                    // gone. Blocking here would stall every sensor on the
-                    // shard, so shed — updates are superseded by the next
-                    // frame, rejects are advisory.
-                    EngineMetrics::inc(&self.metrics.updates_dropped);
-                }
+                let mut frame = self.frame_pool.get(64);
+                wire::encode_update_batch_into(sensor_id, seq, updates, &mut frame);
+                self.push_to_sink(s, frame);
             }
-            None => {
-                let event = match msg {
-                    Message::UpdateBatch(u) => EngineEvent::Updates(u),
-                    Message::Reject(r) => EngineEvent::Rejected(r),
-                    _ => unreachable!("shards only deliver server->client messages"),
-                };
-                self.emit(event);
-            }
+            None => self.emit(EngineEvent::Updates(UpdateBatch {
+                sensor_id,
+                seq,
+                updates: updates.to_vec(),
+            })),
         }
     }
 
@@ -426,7 +485,14 @@ impl ShardWorker {
         if code == RejectCode::UnknownSensor {
             EngineMetrics::inc(&self.metrics.unknown_sensor);
         }
-        self.deliver(sink, Message::Reject(Reject { sensor_id, code }));
+        match sink {
+            Some(s) => {
+                let mut frame = self.frame_pool.get(32);
+                wire::encode_reject_into(sensor_id, code, &mut frame);
+                self.push_to_sink(s, frame);
+            }
+            None => self.emit(EngineEvent::Rejected(Reject { sensor_id, code })),
+        }
     }
 
     fn handle(&mut self, msg: ShardMsg) {
@@ -503,65 +569,66 @@ impl ShardWorker {
         }
     }
 
-    fn process_batch(&mut self, b: SweepBatch, carried: Option<ConnSink>) {
-        let Some(session) = self.sessions.get_mut(&b.sensor_id) else {
+    fn process_batch(&mut self, b: PooledBatch, carried: Option<ConnSink>) {
+        let shape = b.shape;
+        let Some(session) = self.sessions.get_mut(&shape.sensor_id) else {
             // No session to consult for a sink, but the connection that
-            // carried the batch can still be told.
-            self.reject(carried.as_ref(), b.sensor_id, RejectCode::UnknownSensor);
+            // carried the batch can still be told. (Dropping `b` here
+            // returns its buffer to the pool.)
+            self.reject(carried.as_ref(), shape.sensor_id, RejectCode::UnknownSensor);
             return;
         };
         let n_rx = session.pipeline.num_rx();
-        let shape_ok = b.n_rx as usize == n_rx
-            && b.samples_per_sweep == session.samples_per_sweep
-            && b.data.len() == b.n_sweeps as usize * b.n_rx as usize * b.samples_per_sweep as usize;
+        let shape_ok = shape.n_rx as usize == n_rx
+            && shape.samples_per_sweep == session.samples_per_sweep
+            && b.samples.len() == shape.sample_count();
         if !shape_ok {
             let sink = session.sink.clone();
-            self.reject(sink.as_ref(), b.sensor_id, RejectCode::BadConfig);
+            self.reject(sink.as_ref(), shape.sensor_id, RejectCode::BadConfig);
             return;
         }
         // Sequence accounting: replays/reordering are dropped (processing
         // an old batch would corrupt the pipeline's stream state), forward
         // gaps are counted but processed — the stream must go on.
-        if b.seq < session.next_in_seq {
+        if shape.seq < session.next_in_seq {
             EngineMetrics::inc(&self.metrics.seq_out_of_order);
             let sink = session.sink.clone();
-            self.reject(sink.as_ref(), b.sensor_id, RejectCode::StaleSequence);
+            self.reject(sink.as_ref(), shape.sensor_id, RejectCode::StaleSequence);
             return;
         }
-        if b.seq > session.next_in_seq {
-            EngineMetrics::add(&self.metrics.seq_gaps, b.seq - session.next_in_seq);
+        if shape.seq > session.next_in_seq {
+            EngineMetrics::add(&self.metrics.seq_gaps, shape.seq - session.next_in_seq);
         }
-        session.next_in_seq = b.seq + 1;
+        session.next_in_seq = shape.seq + 1;
 
-        let samples = b.samples_per_sweep as usize;
-        let mut updates: Vec<FrameReport> = Vec::new();
-        let mut refs: Vec<&[f64]> = Vec::with_capacity(n_rx);
-        for s in 0..b.n_sweeps as usize {
-            refs.clear();
-            let sweep_start = s * n_rx * samples;
-            for k in 0..n_rx {
-                let at = sweep_start + k * samples;
-                refs.push(&b.data[at..at + samples]);
-            }
-            if let Some(report) = session.pipeline.process_sweeps(&refs) {
+        // The hot loop: feed each sweep interval to the pipeline straight
+        // off the pooled flat buffer (antennas are contiguous within an
+        // interval, so no per-sweep slice table), collecting reports into
+        // the shard's reused scratch.
+        let samples = shape.samples_per_sweep as usize;
+        let interval = shape.samples_per_interval();
+        let mut updates = std::mem::take(&mut self.updates_scratch);
+        updates.clear();
+        for s in 0..shape.n_sweeps as usize {
+            let flat = &b.samples[s * interval..(s + 1) * interval];
+            if let Some(report) = session.pipeline.process_sweeps_flat(flat, samples) {
                 updates.push(report);
             }
         }
-        EngineMetrics::add(&self.metrics.sweeps_processed, b.n_sweeps as u64);
+        drop(b); // samples are consumed: recycle the buffer now
+        EngineMetrics::add(&self.metrics.sweeps_processed, shape.n_sweeps as u64);
         if !updates.is_empty() {
             EngineMetrics::add(&self.metrics.frames_emitted, updates.len() as u64);
             session.frames_emitted += updates.len() as u64;
             let seq = session.out_seq;
             session.out_seq += 1;
+            // One sink clone per batch (not per event): the clone is just
+            // a channel-handle refcount bump, and it ends the session
+            // borrow so delivery can run against &self.
             let sink = session.sink.clone();
-            self.deliver(
-                sink.as_ref(),
-                Message::UpdateBatch(UpdateBatch {
-                    sensor_id: b.sensor_id,
-                    seq,
-                    updates,
-                }),
-            );
+            self.deliver_updates(sink.as_ref(), shape.sensor_id, seq, &updates);
         }
+        updates.clear();
+        self.updates_scratch = updates;
     }
 }

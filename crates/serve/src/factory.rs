@@ -58,6 +58,15 @@ pub fn hello_for(base: &WiTrackConfig, sensor_id: u32, kind: PipelineKind) -> He
         n_rx: 3,
         samples_per_sweep: base.sweep.samples_per_sweep() as u32,
         sweeps_per_frame: base.sweep.sweeps_per_frame as u32,
+        quantized: false,
+    }
+}
+
+/// [`hello_for`], announcing the quantized (wire v2, i16) sweep wire.
+pub fn hello_quantized_for(base: &WiTrackConfig, sensor_id: u32, kind: PipelineKind) -> Hello {
+    Hello {
+        quantized: true,
+        ..hello_for(base, sensor_id, kind)
     }
 }
 

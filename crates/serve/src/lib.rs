@@ -8,10 +8,17 @@
 //!
 //! * [`wire`] — the length-prefixed binary protocol sensors speak:
 //!   `Hello` (session open + stream shape), `SweepBatch` (sequence-numbered
-//!   baseband), `Teardown`, and the server's `UpdateBatch`/`Reject`.
+//!   baseband), its wire-v2 quantized form `SweepBatchQ` (i16 steps + one
+//!   f64 scale: 4× fewer sample bytes, fidelity-neutral for ≤16-bit
+//!   front ends), `Teardown`, and the server's `UpdateBatch`/`Reject`.
+//! * [`pool`] — recycled buffers ([`BufPool`]/[`PooledBuf`]) carrying
+//!   decoded samples from socket to shard and encoded updates from shard
+//!   to socket: the steady-state ingest path performs zero heap
+//!   allocation per message.
 //! * [`transport`] — how frames move: an in-process bounded-queue pair
 //!   (tests and benches run the full wire path with no sockets) or a
-//!   loopback `TcpStream`.
+//!   loopback `TcpStream`. Both decode sweep samples straight into
+//!   pooled buffers (`recv_msg_pooled`).
 //! * [`engine`] — the [`ShardedEngine`]: each sensor id is pinned to one
 //!   worker shard owning its [`FramePipeline`](witrack_core::FramePipeline)
 //!   instances, with bounded-queue backpressure, drop/lag metrics, and
@@ -67,6 +74,7 @@ pub mod client;
 pub mod engine;
 pub mod factory;
 pub mod metrics;
+pub mod pool;
 pub mod server;
 pub mod transport;
 pub mod wire;
@@ -76,10 +84,12 @@ pub use engine::{
     ConnSink, EngineConfig, EngineEvent, EngineHandle, OverloadPolicy, PipelineFactory,
     ShardedEngine, SubmitError, Submitted, UpdateSink,
 };
-pub use factory::{hello_for, witrack_factory};
+pub use factory::{hello_for, hello_quantized_for, witrack_factory};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use pool::{BufPool, PoolStats, PooledBatch, PooledBuf};
 pub use server::{Server, TcpServer};
-pub use transport::{in_proc_pair, InProcTransport, TcpTransport, Transport};
+pub use transport::{in_proc_pair, InProcTransport, RxMsg, TcpTransport, Transport, WireFrame};
 pub use wire::{
-    Hello, Message, PipelineKind, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch, WireError,
+    Hello, Message, PipelineKind, Reject, RejectCode, SweepBatch, SweepBatchQ, SweepShape,
+    Teardown, UpdateBatch, WireError,
 };

@@ -17,7 +17,8 @@
 
 use crate::engine::{ConnSink, EngineConfig, EngineHandle, PipelineFactory, ShardedEngine};
 use crate::metrics::MetricsSnapshot;
-use crate::transport::{Transport, TransportRx, TransportTx};
+use crate::pool::PooledBuf;
+use crate::transport::{RxMsg, Transport, TransportRx, TransportTx};
 use crate::wire::Message;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -92,17 +93,20 @@ where
     Rx: TransportRx + 'static,
 {
     let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
-    let (outbox_tx, outbox_rx) = sync_channel::<Message>(OUTBOX_CAPACITY);
+    let (outbox_tx, outbox_rx) = sync_channel::<PooledBuf<u8>>(OUTBOX_CAPACITY);
     let writer = std::thread::spawn(move || writer_main(tx, outbox_rx));
+    // Sweep samples decode straight into the engine's recycled buffers:
+    // at steady state the reader allocates nothing per message.
+    let sample_pool = handle.sample_pool().clone();
     // Sensors this connection said Hello for. The engine itself decides
     // ownership (a duplicate Hello is refused and its sink dropped), so
     // the EOF cleanup below is scoped to `conn_id` — it can never tear
     // down a session some other connection owns.
     let mut greeted: Vec<u32> = Vec::new();
     loop {
-        match rx.recv_msg() {
+        match rx.recv_msg_pooled(&sample_pool) {
             Ok(Some(msg)) => {
-                if let Message::Hello(h) = &msg {
+                if let RxMsg::Control(Message::Hello(h)) = &msg {
                     if !greeted.contains(&h.sensor_id) {
                         greeted.push(h.sensor_id);
                     }
@@ -114,7 +118,11 @@ where
                     conn_id,
                     tx: outbox_tx.clone(),
                 };
-                match handle.submit_with_sink(msg, Some(sink)) {
+                let submitted = match msg {
+                    RxMsg::Batch(b) => handle.submit_batch_pooled(b, Some(sink)),
+                    RxMsg::Control(m) => handle.submit_with_sink(m, Some(sink)),
+                };
+                match submitted {
                     Ok(_) => {}
                     Err(_) => break, // engine down or protocol abuse: hang up
                 }
@@ -135,9 +143,11 @@ where
     writer.join().expect("connection writer panicked");
 }
 
-fn writer_main<Tx: TransportTx>(mut tx: Tx, outbox: Receiver<Message>) {
-    for msg in outbox {
-        if tx.send_msg(&msg).is_err() {
+fn writer_main<Tx: TransportTx>(mut tx: Tx, outbox: Receiver<PooledBuf<u8>>) {
+    for frame in outbox {
+        // Frames arrive pre-encoded from the shard; the transport
+        // recycles the buffer once the bytes are on their way.
+        if tx.send_pooled(frame).is_err() {
             // Peer gone; drain silently so shard try_sends keep failing
             // fast instead of filling a dead queue.
             break;

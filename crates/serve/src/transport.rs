@@ -14,16 +14,54 @@
 //! send half and receive half so a connection can be serviced by one
 //! reader thread and one writer thread without locking.
 
-use crate::wire::{self, Message, WireError, HEADER_LEN};
+use crate::pool::{BufPool, PooledBatch, PooledBuf};
+use crate::wire::{self, DecodedMsg, Message, WireError, HEADER_LEN};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// An encoded wire frame in flight on an in-process queue: plain owned
+/// bytes, or a pool-backed buffer that recycles once the receiving side
+/// has decoded it.
+pub enum WireFrame {
+    /// A caller-owned frame.
+    Owned(Vec<u8>),
+    /// A pool-backed frame (e.g. an engine outbox encode buffer).
+    Pooled(PooledBuf<u8>),
+}
+
+impl std::ops::Deref for WireFrame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            WireFrame::Owned(v) => v,
+            WireFrame::Pooled(p) => p,
+        }
+    }
+}
+
+/// What the pooled receive path yields.
+pub enum RxMsg {
+    /// A sweep batch, its samples already dequantized into a pooled
+    /// buffer — ready for [`crate::engine::EngineHandle::submit_batch_pooled`].
+    Batch(PooledBatch),
+    /// Any other message, decoded owned.
+    Control(Message),
+}
 
 /// The sending half of a transport.
 pub trait TransportTx: Send {
     /// Sends one already-encoded wire frame (blocking while the peer's
     /// buffer is full). The hot path for senders that pre-encode.
     fn send_frame(&mut self, frame: Vec<u8>) -> io::Result<()>;
+
+    /// Sends one pool-backed frame. Implementations recycle the buffer as
+    /// soon as the bytes are on their way (TCP) or once the peer has
+    /// decoded them (in-process); the default detaches the buffer and
+    /// falls back to [`Self::send_frame`].
+    fn send_pooled(&mut self, frame: PooledBuf<u8>) -> io::Result<()> {
+        self.send_frame(frame.into_vec())
+    }
 
     /// Encodes and sends one message.
     fn send_msg(&mut self, msg: &Message) -> io::Result<()> {
@@ -44,6 +82,29 @@ pub trait TransportRx: Send {
     /// Receives the next message, blocking until one arrives. `Ok(None)`
     /// means the peer closed cleanly.
     fn recv_msg(&mut self) -> io::Result<Option<Message>>;
+
+    /// [`Self::recv_msg`], but sweep batches (either wire form) land as
+    /// [`RxMsg::Batch`] with their samples dequantized into a buffer from
+    /// `pool` — the zero-allocation ingest path. The default decodes
+    /// owned and repacks; the in-tree transports override it to decode
+    /// straight into the pooled buffer.
+    fn recv_msg_pooled(&mut self, pool: &BufPool<f64>) -> io::Result<Option<RxMsg>> {
+        Ok(self.recv_msg()?.map(|msg| match msg {
+            Message::SweepBatch(b) => {
+                let shape = b.shape();
+                let mut samples = pool.get(b.data.len());
+                samples.extend_from_slice(&b.data);
+                RxMsg::Batch(PooledBatch { shape, samples })
+            }
+            Message::SweepBatchQ(q) => {
+                let shape = q.shape();
+                let mut samples = pool.get(q.data.len());
+                q.dequantize_into(&mut samples);
+                RxMsg::Batch(PooledBatch { shape, samples })
+            }
+            other => RxMsg::Control(other),
+        }))
+    }
 }
 
 /// A bidirectional message channel that splits into its two halves.
@@ -66,12 +127,12 @@ fn wire_to_io(e: WireError) -> io::Error {
 
 /// In-process send half: encoded frames into a bounded queue.
 pub struct InProcTx {
-    tx: SyncSender<Vec<u8>>,
+    tx: SyncSender<WireFrame>,
 }
 
 /// In-process receive half.
 pub struct InProcRx {
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<WireFrame>,
 }
 
 /// One endpoint of an in-process duplex channel (see [`in_proc_pair`]).
@@ -101,7 +162,16 @@ pub fn in_proc_pair(capacity: usize) -> (InProcTransport, InProcTransport) {
 impl TransportTx for InProcTx {
     fn send_frame(&mut self, frame: Vec<u8>) -> io::Result<()> {
         self.tx
-            .send(frame)
+            .send(WireFrame::Owned(frame))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+
+    /// Pool-backed frames cross the queue as-is (no copy); the buffer
+    /// recycles when the peer finishes decoding it — even across threads,
+    /// since the pool handle is shared.
+    fn send_pooled(&mut self, frame: PooledBuf<u8>) -> io::Result<()> {
+        self.tx
+            .send(WireFrame::Pooled(frame))
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
     }
 }
@@ -110,7 +180,7 @@ impl InProcTx {
     /// Non-blocking send: `Ok(false)` when the queue is full (frame not
     /// sent), `Err` when the peer dropped.
     pub fn try_send_msg(&mut self, msg: &Message) -> io::Result<bool> {
-        match self.tx.try_send(wire::encode(msg)) {
+        match self.tx.try_send(WireFrame::Owned(wire::encode(msg))) {
             Ok(()) => Ok(true),
             Err(TrySendError::Full(_)) => Ok(false),
             Err(TrySendError::Disconnected(_)) => {
@@ -132,6 +202,26 @@ impl TransportRx for InProcRx {
                     )));
                 }
                 Ok(Some(msg))
+            }
+        }
+    }
+
+    fn recv_msg_pooled(&mut self, pool: &BufPool<f64>) -> io::Result<Option<RxMsg>> {
+        match self.rx.recv() {
+            Err(_) => Ok(None),
+            Ok(frame) => {
+                let mut samples = pool.get(0);
+                let (decoded, used) =
+                    wire::decode_into(&frame, &mut samples).map_err(wire_to_io)?;
+                if used != frame.len() {
+                    return Err(wire_to_io(WireError::BadPayload(
+                        "frame carries extra bytes",
+                    )));
+                }
+                Ok(Some(match decoded {
+                    DecodedMsg::Sweeps(shape) => RxMsg::Batch(PooledBatch { shape, samples }),
+                    DecodedMsg::Other(msg) => RxMsg::Control(msg),
+                }))
             }
         }
     }
@@ -202,25 +292,53 @@ impl TransportTx for TcpTx {
         self.stream.write_all(&frame)
     }
 
+    /// Writes the bytes and drops the guard — the buffer is back in its
+    /// pool as soon as the kernel has them.
+    fn send_pooled(&mut self, frame: PooledBuf<u8>) -> io::Result<()> {
+        self.stream.write_all(&frame)
+    }
+
     fn finish(&mut self) -> io::Result<()> {
         self.stream.shutdown(std::net::Shutdown::Write)
     }
 }
 
-impl TransportRx for TcpRx {
-    fn recv_msg(&mut self) -> io::Result<Option<Message>> {
-        // Read exactly one frame: the 12-byte header names the payload
-        // length, so over-reading (and having to buffer spill for the next
-        // call) never happens.
+impl TcpRx {
+    /// Reads exactly one frame into the half's reused byte buffer: the
+    /// 12-byte header names the payload length, so over-reading (and
+    /// having to buffer spill for the next call) never happens.
+    /// `Ok(false)` on clean EOF.
+    fn fill_one_frame(&mut self) -> io::Result<bool> {
         self.buf.resize(HEADER_LEN, 0);
         if !read_exact_or_eof(&mut self.stream, &mut self.buf)? {
-            return Ok(None);
+            return Ok(false);
         }
         let (_, frame_len) = wire::decode_header(&self.buf).map_err(wire_to_io)?;
         self.buf.resize(frame_len, 0);
         self.stream.read_exact(&mut self.buf[HEADER_LEN..])?;
+        Ok(true)
+    }
+}
+
+impl TransportRx for TcpRx {
+    fn recv_msg(&mut self) -> io::Result<Option<Message>> {
+        if !self.fill_one_frame()? {
+            return Ok(None);
+        }
         let (msg, _) = wire::decode(&self.buf).map_err(wire_to_io)?;
         Ok(Some(msg))
+    }
+
+    fn recv_msg_pooled(&mut self, pool: &BufPool<f64>) -> io::Result<Option<RxMsg>> {
+        if !self.fill_one_frame()? {
+            return Ok(None);
+        }
+        let mut samples = pool.get(0);
+        let (decoded, _) = wire::decode_into(&self.buf, &mut samples).map_err(wire_to_io)?;
+        Ok(Some(match decoded {
+            DecodedMsg::Sweeps(shape) => RxMsg::Batch(PooledBatch { shape, samples }),
+            DecodedMsg::Other(msg) => RxMsg::Control(msg),
+        }))
     }
 }
 

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  the bytes "WTRK" (0x4B525457 as a LE u32)
-//! 4       1     version (currently 1)
+//! 4       1     version (currently 2; 1 still decodes)
 //! 5       1     message type
 //! 6       2     flags (reserved, must be 0)
 //! 8       4     payload length in bytes
@@ -17,16 +17,30 @@
 //!
 //! | type | name         | payload |
 //! |------|--------------|---------|
-//! | 1    | `Hello`      | `sensor_id u32, kind u8, n_rx u8, reserved u16, samples_per_sweep u32, sweeps_per_frame u32` |
+//! | 1    | `Hello`      | `sensor_id u32, kind u8, n_rx u8, flags u16 (bit0: sender will use quantized batches), samples_per_sweep u32, sweeps_per_frame u32` |
 //! | 2    | `SweepBatch` | `sensor_id u32, seq u64, n_sweeps u16, n_rx u16, samples_per_sweep u32, data [n_sweeps × n_rx × samples_per_sweep] f64` |
 //! | 3    | `Teardown`   | `sensor_id u32` |
 //! | 4    | `UpdateBatch` (server → client) | `sensor_id u32, seq u64, n_updates u16, reserved u16`, then per update `frame_index u64, time_s f64, n_targets u16, reserved u16`, then per target 64 bytes: `id u64 (u64::MAX = anonymous), x y z f64, vx vy vz f64, flags u8 (bit0 held, bit1 has velocity), pad [7]u8` |
 //! | 5    | `Reject` (server → client) | `sensor_id u32, code u16, reserved u16` |
+//! | 6    | `SweepBatchQ` (v2) | `sensor_id u32, seq u64, n_sweeps u16, n_rx u16, samples_per_sweep u32, scale f64, data [n_sweeps × n_rx × samples_per_sweep] i16` |
+//!
+//! **Version 2** adds [`SweepBatchQ`]: the same batch shape as
+//! `SweepBatch`, but carrying the baseband as `i16` quantization steps
+//! plus one `f64` scale per batch (`sample = step × scale`). Real FMCW
+//! front ends digitize at ≤ 16 bits, so the i16 wire is fidelity-neutral
+//! while cutting sample bytes 4× (a 5-sweep × 3-antenna × 2500-sample
+//! frame drops from 300,032 to 75,040 bytes at the paper configuration). A sensor announces it will use the quantized wire via
+//! the `Hello` flag bit 0 ([`Hello::quantized`]); servers accept both
+//! batch forms regardless, so v1 senders keep working unchanged. This
+//! decoder accepts frame versions 1 and 2; v1 frames simply cannot carry
+//! type 6.
 //!
 //! [`decode`] is incremental-read friendly: on a buffer holding only part
 //! of one frame it returns [`WireError::Incomplete`] with the total frame
 //! length needed, so a streaming reader knows exactly how much more to
-//! fetch. All other errors are fatal for the connection.
+//! fetch. All other errors are fatal for the connection. The hot ingest
+//! path uses [`decode_into`] instead, which dequantizes straight into a
+//! caller-provided (typically pooled) sample buffer and never allocates.
 
 use witrack_core::{FrameReport, TargetReport};
 use witrack_geom::Vec3;
@@ -34,8 +48,10 @@ use witrack_geom::Vec3;
 /// Frame magic: the bytes `"WTRK"` on the wire (value `0x4B52_5457` as a
 /// little-endian u32).
 pub const MAGIC: u32 = u32::from_le_bytes(*b"WTRK");
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (encoded into every frame this side sends).
+pub const VERSION: u8 = 2;
+/// Oldest protocol version this decoder still accepts.
+pub const MIN_VERSION: u8 = 1;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 12;
 /// Hard cap on payload length (64 MiB): anything larger is a corrupt or
@@ -81,6 +97,11 @@ pub struct Hello {
     pub samples_per_sweep: u32,
     /// Sweeps per processing frame.
     pub sweeps_per_frame: u32,
+    /// The sensor intends to send [`SweepBatchQ`] (quantized i16) batches
+    /// — wire-v2 negotiation, hello-flags bit 0. Advisory: servers accept
+    /// both batch forms either way, and v1 encoders wrote 0 here, so old
+    /// hellos decode as `false`.
+    pub quantized: bool,
 }
 
 /// A batch of consecutive sweep intervals from one sensor.
@@ -140,6 +161,136 @@ impl SweepBatch {
         let samples = self.samples_per_sweep as usize;
         let start = (s * self.n_rx as usize + k) * samples;
         &self.data[start..start + samples]
+    }
+
+    /// This batch's shape/identity fields as a [`SweepShape`].
+    pub fn shape(&self) -> SweepShape {
+        SweepShape {
+            sensor_id: self.sensor_id,
+            seq: self.seq,
+            n_sweeps: self.n_sweeps,
+            n_rx: self.n_rx,
+            samples_per_sweep: self.samples_per_sweep,
+        }
+    }
+}
+
+/// The identity + shape header shared by both sweep-batch forms — what
+/// the engine needs once the samples live in a separate (pooled) buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepShape {
+    /// Which sensor the batch belongs to.
+    pub sensor_id: u32,
+    /// Batch sequence number.
+    pub seq: u64,
+    /// Sweep intervals in the batch.
+    pub n_sweeps: u16,
+    /// Receive antennas per sweep interval.
+    pub n_rx: u16,
+    /// Samples per (antenna) sweep.
+    pub samples_per_sweep: u32,
+}
+
+impl SweepShape {
+    /// Total samples the batch carries.
+    pub fn sample_count(&self) -> usize {
+        self.n_sweeps as usize * self.n_rx as usize * self.samples_per_sweep as usize
+    }
+
+    /// Samples in one sweep interval (all antennas, packed contiguously).
+    pub fn samples_per_interval(&self) -> usize {
+        self.n_rx as usize * self.samples_per_sweep as usize
+    }
+}
+
+/// Wire v2: a sweep batch quantized to i16 steps with one shared scale.
+///
+/// `sample = data[i] as f64 * scale`. Quantization uses the batch's peak
+/// magnitude, so the worst-case rounding error is `scale / 2` — about
+/// 90 dB below the strongest reflector, far beneath both the simulated
+/// noise floor and a real ≤ 16-bit ADC's own quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBatchQ {
+    /// Which sensor this batch belongs to.
+    pub sensor_id: u32,
+    /// Batch sequence number, starting at 0 after `Hello`.
+    pub seq: u64,
+    /// Number of sweep intervals in this batch.
+    pub n_sweeps: u16,
+    /// Number of receive antennas per sweep interval.
+    pub n_rx: u16,
+    /// Samples per (antenna) sweep.
+    pub samples_per_sweep: u32,
+    /// Dequantization scale: one step in physical units.
+    pub scale: f64,
+    /// Quantized samples, same sweep-major layout as [`SweepBatch::data`].
+    pub data: Vec<i16>,
+}
+
+impl SweepBatchQ {
+    /// Quantizes an f64 batch. The scale is chosen so the batch's peak
+    /// magnitude maps to ±[`i16::MAX`] (an all-zero batch gets scale 1).
+    pub fn quantize(b: &SweepBatch) -> SweepBatchQ {
+        let peak = b.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        let scale = if peak > 0.0 {
+            peak / i16::MAX as f64
+        } else {
+            1.0
+        };
+        let inv = 1.0 / scale;
+        let data = b
+            .data
+            .iter()
+            .map(|&x| (x * inv).round().clamp(i16::MIN as f64, i16::MAX as f64) as i16)
+            .collect();
+        SweepBatchQ {
+            sensor_id: b.sensor_id,
+            seq: b.seq,
+            n_sweeps: b.n_sweeps,
+            n_rx: b.n_rx,
+            samples_per_sweep: b.samples_per_sweep,
+            scale,
+            data,
+        }
+    }
+
+    /// Builds a quantized batch from per-sweep, per-antenna slices.
+    ///
+    /// # Panics
+    /// Panics if the sweeps are ragged (see [`SweepBatch::from_sweeps`]).
+    pub fn from_sweeps(sensor_id: u32, seq: u64, sweeps: &[Vec<Vec<f64>>]) -> SweepBatchQ {
+        SweepBatchQ::quantize(&SweepBatch::from_sweeps(sensor_id, seq, sweeps))
+    }
+
+    /// Dequantizes into `out` (cleared first; reuses its capacity).
+    pub fn dequantize_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.data.iter().map(|&q| q as f64 * self.scale));
+    }
+
+    /// Dequantizes into a fresh f64 batch.
+    pub fn dequantize(&self) -> SweepBatch {
+        let mut data = Vec::new();
+        self.dequantize_into(&mut data);
+        SweepBatch {
+            sensor_id: self.sensor_id,
+            seq: self.seq,
+            n_sweeps: self.n_sweeps,
+            n_rx: self.n_rx,
+            samples_per_sweep: self.samples_per_sweep,
+            data,
+        }
+    }
+
+    /// This batch's shape/identity fields as a [`SweepShape`].
+    pub fn shape(&self) -> SweepShape {
+        SweepShape {
+            sensor_id: self.sensor_id,
+            seq: self.seq,
+            n_sweeps: self.n_sweeps,
+            n_rx: self.n_rx,
+            samples_per_sweep: self.samples_per_sweep,
+        }
     }
 }
 
@@ -213,7 +364,7 @@ pub struct Reject {
 pub enum Message {
     /// Session open.
     Hello(Hello),
-    /// Sweep data.
+    /// Sweep data (f64 wire).
     SweepBatch(SweepBatch),
     /// Session close.
     Teardown(Teardown),
@@ -221,6 +372,8 @@ pub enum Message {
     UpdateBatch(UpdateBatch),
     /// Server → client refusal.
     Reject(Reject),
+    /// Sweep data (quantized i16 wire, v2).
+    SweepBatchQ(SweepBatchQ),
 }
 
 impl Message {
@@ -231,6 +384,7 @@ impl Message {
             Message::Teardown(_) => 3,
             Message::UpdateBatch(_) => 4,
             Message::Reject(_) => 5,
+            Message::SweepBatchQ(_) => 6,
         }
     }
 }
@@ -293,6 +447,24 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Appends a frame header with a zeroed length field; returns the offset
+/// to hand [`end_frame`].
+fn begin_frame(out: &mut Vec<u8>, msg_type: u8) -> usize {
+    let header_at = out.len();
+    put_u32(out, MAGIC);
+    out.push(VERSION);
+    out.push(msg_type);
+    put_u16(out, 0); // flags
+    put_u32(out, 0); // payload length, patched by end_frame
+    header_at
+}
+
+/// Patches the payload length of the frame started at `header_at`.
+fn end_frame(out: &mut [u8], header_at: usize) {
+    let payload_len = (out.len() - header_at - HEADER_LEN) as u32;
+    out[header_at + 8..header_at + 12].copy_from_slice(&payload_len.to_le_bytes());
+}
+
 /// Cursor over a payload; every read checks bounds so truncated inner
 /// structure surfaces as `BadPayload`, never a panic.
 struct Reader<'a> {
@@ -352,19 +524,20 @@ impl<'a> Reader<'a> {
 
 /// Encodes `msg` as one wire frame appended to `out`.
 pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
-    let header_at = out.len();
-    put_u32(out, MAGIC);
-    out.push(VERSION);
-    out.push(msg.msg_type());
-    put_u16(out, 0); // flags
-    put_u32(out, 0); // payload length, patched below
-    let payload_at = out.len();
+    match msg {
+        Message::UpdateBatch(u) => {
+            return encode_update_batch_into(u.sensor_id, u.seq, &u.updates, out)
+        }
+        Message::Reject(r) => return encode_reject_into(r.sensor_id, r.code, out),
+        _ => {}
+    }
+    let header_at = begin_frame(out, msg.msg_type());
     match msg {
         Message::Hello(h) => {
             put_u32(out, h.sensor_id);
             out.push(h.kind.to_u8());
             out.push(h.n_rx);
-            put_u16(out, 0);
+            put_u16(out, h.quantized as u16); // flags, bit 0
             put_u32(out, h.samples_per_sweep);
             put_u32(out, h.sweeps_per_frame);
         }
@@ -379,40 +552,68 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
                 put_f64(out, v);
             }
         }
-        Message::Teardown(t) => put_u32(out, t.sensor_id),
-        Message::UpdateBatch(u) => {
-            put_u32(out, u.sensor_id);
-            put_u64(out, u.seq);
-            put_u16(out, u.updates.len() as u16);
-            put_u16(out, 0);
-            for r in &u.updates {
-                put_u64(out, r.frame_index);
-                put_f64(out, r.time_s);
-                put_u16(out, r.targets.len() as u16);
-                put_u16(out, 0);
-                for t in &r.targets {
-                    put_u64(out, t.id.unwrap_or(u64::MAX));
-                    put_f64(out, t.position.x);
-                    put_f64(out, t.position.y);
-                    put_f64(out, t.position.z);
-                    let v = t.velocity.unwrap_or(Vec3::ZERO);
-                    put_f64(out, v.x);
-                    put_f64(out, v.y);
-                    put_f64(out, v.z);
-                    let flags = (t.held as u8) | ((t.velocity.is_some() as u8) << 1);
-                    out.push(flags);
-                    out.extend_from_slice(&[0u8; 7]);
-                }
+        Message::SweepBatchQ(b) => {
+            put_u32(out, b.sensor_id);
+            put_u64(out, b.seq);
+            put_u16(out, b.n_sweeps);
+            put_u16(out, b.n_rx);
+            put_u32(out, b.samples_per_sweep);
+            put_f64(out, b.scale);
+            out.reserve(b.data.len() * 2);
+            for &q in &b.data {
+                out.extend_from_slice(&q.to_le_bytes());
             }
         }
-        Message::Reject(r) => {
-            put_u32(out, r.sensor_id);
-            put_u16(out, r.code.to_u16());
-            put_u16(out, 0);
+        Message::Teardown(t) => put_u32(out, t.sensor_id),
+        Message::UpdateBatch(_) | Message::Reject(_) => unreachable!("handled above"),
+    }
+    end_frame(out, header_at);
+}
+
+/// Encodes an `UpdateBatch` frame straight from a report slice, appended
+/// to `out` — the outbox hot path, which reuses both the shard's report
+/// scratch and a pooled byte buffer instead of building an owned
+/// [`UpdateBatch`] per event.
+pub fn encode_update_batch_into(
+    sensor_id: u32,
+    seq: u64,
+    updates: &[FrameReport],
+    out: &mut Vec<u8>,
+) {
+    let header_at = begin_frame(out, 4);
+    put_u32(out, sensor_id);
+    put_u64(out, seq);
+    put_u16(out, updates.len() as u16);
+    put_u16(out, 0);
+    for r in updates {
+        put_u64(out, r.frame_index);
+        put_f64(out, r.time_s);
+        put_u16(out, r.targets.len() as u16);
+        put_u16(out, 0);
+        for t in &r.targets {
+            put_u64(out, t.id.unwrap_or(u64::MAX));
+            put_f64(out, t.position.x);
+            put_f64(out, t.position.y);
+            put_f64(out, t.position.z);
+            let v = t.velocity.unwrap_or(Vec3::ZERO);
+            put_f64(out, v.x);
+            put_f64(out, v.y);
+            put_f64(out, v.z);
+            let flags = (t.held as u8) | ((t.velocity.is_some() as u8) << 1);
+            out.push(flags);
+            out.extend_from_slice(&[0u8; 7]);
         }
     }
-    let payload_len = (out.len() - payload_at) as u32;
-    out[header_at + 8..header_at + 12].copy_from_slice(&payload_len.to_le_bytes());
+    end_frame(out, header_at);
+}
+
+/// Encodes a `Reject` frame appended to `out`.
+pub fn encode_reject_into(sensor_id: u32, code: RejectCode, out: &mut Vec<u8>) {
+    let header_at = begin_frame(out, 5);
+    put_u32(out, sensor_id);
+    put_u16(out, code.to_u16());
+    put_u16(out, 0);
+    end_frame(out, header_at);
 }
 
 /// Encodes `msg` as one freshly-allocated wire frame.
@@ -436,11 +637,12 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = buf[4];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let msg_type = buf[5];
-    if !(1..=5).contains(&msg_type) {
+    let max_type = if version >= 2 { 6 } else { 5 };
+    if !(1..=max_type).contains(&msg_type) {
         return Err(WireError::UnknownType(msg_type));
     }
     let payload_len = u32::from_le_bytes(buf[8..12].try_into().expect("sized"));
@@ -448,6 +650,104 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::PayloadTooLarge(payload_len));
     }
     Ok((msg_type, HEADER_LEN + payload_len as usize))
+}
+
+/// Reads the shape/identity header both sweep-batch forms share.
+fn read_shape(r: &mut Reader<'_>) -> Result<SweepShape, WireError> {
+    Ok(SweepShape {
+        sensor_id: r.u32()?,
+        seq: r.u64()?,
+        n_sweeps: r.u16()?,
+        n_rx: r.u16()?,
+        samples_per_sweep: r.u32()?,
+    })
+}
+
+/// Appends a `SweepBatch`'s f64 samples to `out` without intermediate
+/// allocation (beyond `out`'s own growth, a no-op for pooled buffers at
+/// steady state).
+fn read_f64_samples(
+    r: &mut Reader<'_>,
+    shape: &SweepShape,
+    out: &mut Vec<f64>,
+) -> Result<(), WireError> {
+    let bytes = r.take(
+        shape
+            .sample_count()
+            .checked_mul(8)
+            .ok_or(WireError::BadPayload("overflow"))?,
+    )?;
+    out.reserve(shape.sample_count());
+    out.extend(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("sized"))),
+    );
+    Ok(())
+}
+
+/// Appends a `SweepBatchQ`'s samples to `out`, dequantized to f64.
+fn read_i16_samples(
+    r: &mut Reader<'_>,
+    shape: &SweepShape,
+    scale: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), WireError> {
+    let bytes = r.take(
+        shape
+            .sample_count()
+            .checked_mul(2)
+            .ok_or(WireError::BadPayload("overflow"))?,
+    )?;
+    out.reserve(shape.sample_count());
+    out.extend(
+        bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes(c.try_into().expect("sized")) as f64 * scale),
+    );
+    Ok(())
+}
+
+/// What [`decode_into`] yielded.
+#[derive(Debug, PartialEq)]
+pub enum DecodedMsg {
+    /// The frame was a sweep batch (either form); its samples — already
+    /// dequantized to f64 — were appended to the caller's buffer.
+    Sweeps(SweepShape),
+    /// Any other message, decoded owned.
+    Other(Message),
+}
+
+/// [`decode`], except sweep-batch samples are written into `samples`
+/// (cleared first, capacity reused) instead of a fresh allocation —
+/// quantized batches dequantize on the way in. This is the ingest hot
+/// path: with a recycled `samples` buffer, decoding a sweep frame touches
+/// the heap zero times at steady state. Non-sweep messages decode owned,
+/// exactly as [`decode`] would, leaving `samples` empty.
+pub fn decode_into(buf: &[u8], samples: &mut Vec<f64>) -> Result<(DecodedMsg, usize), WireError> {
+    samples.clear();
+    let (msg_type, frame_len) = decode_header(buf)?;
+    if buf.len() < frame_len {
+        return Err(WireError::Incomplete { needed: frame_len });
+    }
+    match msg_type {
+        2 => {
+            let mut r = Reader::new(&buf[HEADER_LEN..frame_len]);
+            let shape = read_shape(&mut r)?;
+            read_f64_samples(&mut r, &shape, samples)?;
+            r.done()?;
+            Ok((DecodedMsg::Sweeps(shape), frame_len))
+        }
+        6 => {
+            let mut r = Reader::new(&buf[HEADER_LEN..frame_len]);
+            let shape = read_shape(&mut r)?;
+            let scale = r.f64()?;
+            read_i16_samples(&mut r, &shape, scale, samples)?;
+            r.done()?;
+            Ok((DecodedMsg::Sweeps(shape), frame_len))
+        }
+        _ => decode(buf).map(|(msg, used)| (DecodedMsg::Other(msg), used)),
+    }
 }
 
 /// Decodes one message from the start of `buf`, returning it and the number
@@ -463,7 +763,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
             let sensor_id = r.u32()?;
             let kind = PipelineKind::from_u8(r.u8()?)?;
             let n_rx = r.u8()?;
-            let _reserved = r.u16()?;
+            let flags = r.u16()?;
             let samples_per_sweep = r.u32()?;
             let sweeps_per_frame = r.u32()?;
             Message::Hello(Hello {
@@ -472,30 +772,41 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
                 n_rx,
                 samples_per_sweep,
                 sweeps_per_frame,
+                quantized: flags & 0b1 != 0,
             })
         }
         2 => {
-            let sensor_id = r.u32()?;
-            let seq = r.u64()?;
-            let n_sweeps = r.u16()?;
-            let n_rx = r.u16()?;
-            let samples_per_sweep = r.u32()?;
-            let count = n_sweeps as usize * n_rx as usize * samples_per_sweep as usize;
+            let (shape, mut data) = (read_shape(&mut r)?, Vec::new());
+            read_f64_samples(&mut r, &shape, &mut data)?;
+            Message::SweepBatch(SweepBatch {
+                sensor_id: shape.sensor_id,
+                seq: shape.seq,
+                n_sweeps: shape.n_sweeps,
+                n_rx: shape.n_rx,
+                samples_per_sweep: shape.samples_per_sweep,
+                data,
+            })
+        }
+        6 => {
+            let shape = read_shape(&mut r)?;
+            let scale = r.f64()?;
+            let count = shape.sample_count();
             let bytes = r.take(
                 count
-                    .checked_mul(8)
+                    .checked_mul(2)
                     .ok_or(WireError::BadPayload("overflow"))?,
             )?;
             let data = bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("sized")))
+                .chunks_exact(2)
+                .map(|c| i16::from_le_bytes(c.try_into().expect("sized")))
                 .collect();
-            Message::SweepBatch(SweepBatch {
-                sensor_id,
-                seq,
-                n_sweeps,
-                n_rx,
-                samples_per_sweep,
+            Message::SweepBatchQ(SweepBatchQ {
+                sensor_id: shape.sensor_id,
+                seq: shape.seq,
+                n_sweeps: shape.n_sweeps,
+                n_rx: shape.n_rx,
+                samples_per_sweep: shape.samples_per_sweep,
+                scale,
                 data,
             })
         }
@@ -572,5 +883,74 @@ mod tests {
         let b = SweepBatch::from_sweeps(1, 0, &sweeps);
         assert_eq!(b.sweep_rx(0, 1), &[3.0, 4.0]);
         assert_eq!(b.sweep_rx(1, 0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn quantized_batch_round_trips_within_one_step() {
+        let sweeps = vec![vec![vec![0.5, -1.25, 0.0], vec![3.0, -4.0, 2.25]]];
+        let b = SweepBatch::from_sweeps(1, 9, &sweeps);
+        let q = SweepBatchQ::quantize(&b);
+        assert_eq!(q.shape(), b.shape());
+        let back = q.dequantize();
+        let half_step = q.scale * 0.5 + 1e-12;
+        for (x, y) in b.data.iter().zip(&back.data) {
+            assert!((x - y).abs() <= half_step, "{x} vs {y}");
+        }
+        // Peak maps to full scale, so the wire uses the whole i16 range.
+        assert_eq!(q.data.iter().map(|q| q.abs()).max(), Some(i16::MAX));
+    }
+
+    #[test]
+    fn all_zero_batch_quantizes_safely() {
+        let b = SweepBatch::from_sweeps(1, 0, &[vec![vec![0.0; 4]; 2]]);
+        let q = SweepBatchQ::quantize(&b);
+        assert!(q.data.iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize().data, b.data);
+    }
+
+    #[test]
+    fn decode_into_reuses_the_sample_buffer() {
+        let b = SweepBatch::from_sweeps(3, 1, &[vec![vec![1.0, -2.0], vec![0.5, 4.0]]]);
+        let frame_f = encode(&Message::SweepBatch(b.clone()));
+        let frame_q = encode(&Message::SweepBatchQ(SweepBatchQ::quantize(&b)));
+        let mut samples = Vec::with_capacity(64);
+        let ptr = samples.as_ptr();
+        let (d, used) = decode_into(&frame_f, &mut samples).unwrap();
+        assert_eq!(used, frame_f.len());
+        assert_eq!(d, DecodedMsg::Sweeps(b.shape()));
+        assert_eq!(samples, b.data);
+        assert_eq!(samples.as_ptr(), ptr, "no reallocation");
+        let (d, _) = decode_into(&frame_q, &mut samples).unwrap();
+        assert_eq!(d, DecodedMsg::Sweeps(b.shape()));
+        assert_eq!(samples.as_ptr(), ptr, "no reallocation on the i16 path");
+        let half_step = SweepBatchQ::quantize(&b).scale * 0.5 + 1e-12;
+        for (x, y) in b.data.iter().zip(&samples) {
+            assert!((x - y).abs() <= half_step);
+        }
+        // Non-sweep frames pass through owned and leave the buffer empty.
+        let (d, _) = decode_into(
+            &encode(&Message::Teardown(Teardown { sensor_id: 5 })),
+            &mut samples,
+        )
+        .unwrap();
+        assert_eq!(
+            d,
+            DecodedMsg::Other(Message::Teardown(Teardown { sensor_id: 5 }))
+        );
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn v1_frames_still_decode_but_cannot_carry_type_6() {
+        let mut frame = encode(&Message::Teardown(Teardown { sensor_id: 2 }));
+        frame[4] = 1; // rewrite as a v1 frame
+        assert!(decode(&frame).is_ok());
+        let mut q = encode(&Message::SweepBatchQ(SweepBatchQ::from_sweeps(
+            1,
+            0,
+            &[vec![vec![1.0, 2.0]]],
+        )));
+        q[4] = 1;
+        assert_eq!(decode(&q), Err(WireError::UnknownType(6)));
     }
 }

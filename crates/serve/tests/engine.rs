@@ -209,6 +209,7 @@ fn drop_newest_sheds_load_and_counts_it() {
             n_rx: 3,
             samples_per_sweep: 4,
             sweeps_per_frame: 1,
+            quantized: false,
         }))
         .unwrap();
     // Flood: a 20 ms/sweep pipeline with a depth-2 queue cannot keep up

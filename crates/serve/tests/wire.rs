@@ -36,6 +36,7 @@ fn sample_messages() -> Vec<Message> {
             n_rx: 3,
             samples_per_sweep: 100,
             sweeps_per_frame: 5,
+            quantized: true,
         }),
         Message::SweepBatch(SweepBatch::from_sweeps(
             42,

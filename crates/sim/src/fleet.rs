@@ -145,6 +145,35 @@ impl FleetSimulator {
         }
         out
     }
+
+    /// [`Self::record_all`], but packed the way the serving wire carries
+    /// it: `result[room][frame]` is one flat sweep-major buffer of
+    /// `sweeps_per_frame × n_rx × samples_per_sweep` f64s (sweep `s`,
+    /// antenna `k` at `[(s·n_rx + k)·samples ..][..samples]`). Benches
+    /// and clients batch-encode these directly — one buffer per wire
+    /// frame, no nested-`Vec` assembly. Trailing sweeps that do not fill
+    /// a whole frame are dropped.
+    pub fn record_frames_flat(mut self, sweeps_per_frame: usize) -> Vec<Vec<Vec<f64>>> {
+        assert!(sweeps_per_frame > 0, "frames need at least one sweep");
+        let mut out: Vec<Vec<Vec<f64>>> = (0..self.rooms.len()).map(|_| Vec::new()).collect();
+        let mut pending: Vec<(Vec<f64>, usize)> = (0..self.rooms.len())
+            .map(|_| (Vec::new(), 0usize))
+            .collect();
+        while let Some(round) = self.next_round() {
+            for rs in round {
+                let (buf, sweeps) = &mut pending[rs.sensor_id as usize];
+                for rx in &rs.set.per_rx {
+                    buf.extend_from_slice(rx);
+                }
+                *sweeps += 1;
+                if *sweeps == sweeps_per_frame {
+                    out[rs.sensor_id as usize].push(std::mem::take(buf));
+                    *sweeps = 0;
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +217,21 @@ mod tests {
             rounds += 1;
         }
         assert_eq!(rounds, 100, "0.1 s at 1 ms sweeps");
+    }
+
+    #[test]
+    fn flat_frames_match_the_nested_recording() {
+        let sweeps = FleetSimulator::new(quick_fleet(2)).record_all();
+        let frames = FleetSimulator::new(quick_fleet(2)).record_frames_flat(5);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].len(), 20, "100 sweeps = 20 five-sweep frames");
+        // Frame 3 of room 1, sweep 2, antenna 1 lines up with the nested
+        // recording at sweep 17.
+        let samples = sweeps[1][0][0].len();
+        let flat = &frames[1][3];
+        assert_eq!(flat.len(), 5 * 3 * samples);
+        let at = (2 * 3 + 1) * samples;
+        assert_eq!(&flat[at..at + samples], &sweeps[1][17][1][..]);
     }
 
     #[test]
