@@ -15,7 +15,10 @@ Understands the artifact shapes this repo emits:
   and, when present, the wire byte rate ``wire_mb_per_sec`` and the
   per-wire ``sensors_sustained_realtime`` counts;
 * ``t_ingest``: top-level ``results`` keyed by ``variant``, metric
-  ``msgs_per_sec``.
+  ``msgs_per_sec``;
+* ``t_fuse``: top-level ``results`` keyed by ``(sensors, overlap)``,
+  metric ``fused_tracks_per_sec`` (the ``handoff_latency_ms`` scalar is
+  lower-is-better and informational, so it is not gated).
 
 Only entries present in BOTH files are compared (CI smoke runs a subset
 of the baseline matrix). Improvements never fail; a fresh value below
@@ -37,6 +40,10 @@ def entries(doc):
         for r in doc["results"]:
             if "variant" in r:  # t_ingest rows
                 yield (r["variant"], "msgs/s"), float(r["msgs_per_sec"])
+                continue
+            if "fused_tracks_per_sec" in r:  # t_fuse rows
+                key = ("fuse", r["sensors"], r.get("overlap", 1.0))
+                yield key + ("fused/s",), float(r["fused_tracks_per_sec"])
                 continue
             key = (r.get("wire", "f64"), r["shards"], r["sensors"])
             yield key + ("fps",), float(r["per_sensor_fps"])

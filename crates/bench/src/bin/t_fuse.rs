@@ -1,0 +1,319 @@
+//! t_fuse — cross-sensor fusion throughput and handoff latency, with a
+//! machine-readable `BENCH_fuse.json` artifact.
+//!
+//! The fusion engine (`witrack-fuse`) sits downstream of the sweep
+//! pipelines, so this harness isolates it: synthetic per-sensor
+//! [`FrameReport`]s (no RF simulation, no FFTs) drive a
+//! [`FusionEngine`] over a (sensors × overlap) matrix. *Overlap* is the
+//! fraction of the fleet that sees each walker simultaneously — 1.0
+//! means every sensor reports every walker each epoch (the worst-case
+//! association load), 0.5 means half do. Throughput is reported as
+//! fused track-epochs per second (`fused_tracks_per_sec`) and epochs
+//! per second; handoff latency — how many epochs the world model needs
+//! to re-anchor a track after its sensor goes dark and another acquires
+//! it — is measured separately on a two-sensor hallway and reported in
+//! milliseconds at the paper's 80 fps frame cadence.
+//!
+//! Flags: `--sensors A,B,..` (default `2,4,8`), `--overlap A,B,..`
+//! (default `0.5,1.0`), `--walkers N` (default 6), `--epochs N`
+//! (default 4000), `--out PATH` (default `BENCH_fuse.json`; `-` skips
+//! writing).
+
+use std::f64::consts::PI;
+use std::time::Instant;
+use witrack_bench::printing::banner;
+use witrack_core::{FrameReport, TargetReport};
+use witrack_fuse::{FuseConfig, FusionEngine, Registration, Zone};
+use witrack_geom::{RigidTransform, Vec3};
+
+const FRAME_PERIOD_S: f64 = 0.0125; // the paper's 80 fps cadence
+
+struct Options {
+    sensors: Vec<usize>,
+    overlaps: Vec<f64>,
+    walkers: usize,
+    epochs: u64,
+    out: Option<String>,
+}
+
+fn parse_usize_list(s: &str) -> Option<Vec<usize>> {
+    s.split(',').map(|p| p.trim().parse().ok()).collect()
+}
+
+fn parse_f64_list(s: &str) -> Option<Vec<f64>> {
+    s.split(',').map(|p| p.trim().parse().ok()).collect()
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        sensors: vec![2, 4, 8],
+        overlaps: vec![0.5, 1.0],
+        walkers: 6,
+        epochs: 4000,
+        out: Some("BENCH_fuse.json".into()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sensors" => {
+                if let Some(v) = it.next().as_deref().and_then(parse_usize_list) {
+                    opts.sensors = v;
+                }
+            }
+            "--overlap" => {
+                if let Some(v) = it.next().as_deref().and_then(parse_f64_list) {
+                    opts.overlaps = v;
+                }
+            }
+            "--walkers" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    opts.walkers = v;
+                }
+            }
+            "--epochs" => {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    opts.epochs = v;
+                }
+            }
+            "--out" => {
+                opts.out = it.next().filter(|s| s != "-");
+            }
+            _ => {}
+        }
+    }
+    opts
+}
+
+/// Sensors on a ring around a 20 m room, all looking at the center.
+fn ring_registration(sensors: usize) -> Registration {
+    let mut reg = Registration::new();
+    for s in 0..sensors {
+        let theta = 2.0 * PI * s as f64 / sensors as f64;
+        let pos = Vec3::new(10.0 * theta.cos(), 10.0 * theta.sin(), 0.0);
+        // Boresight (+y local) toward the room center.
+        reg.insert(s as u32, RigidTransform::from_yaw(theta + PI / 2.0, pos));
+    }
+    reg
+}
+
+/// Walker `w`'s world position at epoch `e`: a slow orbit near the
+/// center, phase-offset per walker so tracks stay separated.
+fn walker_pos(w: usize, e: u64) -> Vec3 {
+    let phase = 2.0 * PI * w as f64 / 11.0;
+    let t = e as f64 * FRAME_PERIOD_S;
+    Vec3::new(
+        3.0 * (0.15 * t + phase).cos() + 0.02 * w as f64,
+        3.0 * (0.15 * t + phase).sin(),
+        1.0 + 0.1 * (0.5 * t + phase).sin(),
+    )
+}
+
+fn fuse_cfg() -> FuseConfig {
+    FuseConfig {
+        frame_period_s: FRAME_PERIOD_S,
+        zones: vec![Zone {
+            id: 1,
+            name: "room".into(),
+            x: (-10.0, 10.0),
+            y: (-10.0, 10.0),
+        }],
+        ..FuseConfig::default()
+    }
+}
+
+struct CellResult {
+    sensors: usize,
+    overlap: f64,
+    walkers: usize,
+    epochs: u64,
+    fused_track_epochs: u64,
+    events: u64,
+    elapsed_sec: f64,
+}
+
+impl CellResult {
+    fn fused_tracks_per_sec(&self) -> f64 {
+        self.fused_track_epochs as f64 / self.elapsed_sec
+    }
+
+    fn epochs_per_sec(&self) -> f64 {
+        self.epochs as f64 / self.elapsed_sec
+    }
+}
+
+/// One (sensors × overlap) cell: every sensor reports its visible
+/// walkers every epoch; the engine fuses at the watermark.
+fn run_cell(sensors: usize, overlap: f64, walkers: usize, epochs: u64) -> CellResult {
+    let reg = ring_registration(sensors);
+    let inverses: Vec<RigidTransform> = (0..sensors)
+        .map(|s| reg.get(s as u32).expect("registered").inverse())
+        .collect();
+    let mut engine = FusionEngine::new(fuse_cfg(), reg);
+    let seers = ((sensors as f64 * overlap).round() as usize).clamp(1, sensors);
+    let var = Vec3::new(0.02, 0.02, 0.05);
+    let mut fused_track_epochs = 0u64;
+    let mut events = 0u64;
+    let start = Instant::now();
+    let mut report = FrameReport {
+        frame_index: 0,
+        time_s: 0.0,
+        targets: Vec::new(),
+    };
+    for e in 1..=epochs {
+        for (s, inverse) in inverses.iter().enumerate() {
+            report.frame_index = e;
+            report.time_s = e as f64 * FRAME_PERIOD_S;
+            report.targets.clear();
+            for w in 0..walkers {
+                // Walker w is seen by `seers` consecutive sensors,
+                // rotating slowly so coverage handoffs happen naturally.
+                let first = (w + (e / 400) as usize) % sensors;
+                let visible = (0..seers).any(|k| (first + k) % sensors == s);
+                if !visible {
+                    continue;
+                }
+                report.targets.push(TargetReport {
+                    id: Some(w as u64),
+                    position: inverse.apply(walker_pos(w, e)),
+                    velocity: None,
+                    held: false,
+                    pos_var: Some(var),
+                    innovation: None,
+                });
+            }
+            for frame in engine.push_report(s as u32, &report) {
+                fused_track_epochs += frame.tracks.len() as u64;
+                events += frame.events.len() as u64;
+            }
+        }
+    }
+    CellResult {
+        sensors,
+        overlap,
+        walkers,
+        epochs,
+        fused_track_epochs,
+        events,
+        elapsed_sec: start.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+/// Handoff latency: sensor 0 owns the walker, goes dark at a boundary,
+/// sensor 1 starts reporting the next epoch. Latency = epochs until the
+/// fused track is measured (non-coasting) again. Averaged over `trials`.
+fn measure_handoff_latency(trials: u64) -> f64 {
+    let world_from_s1 = RigidTransform::from_yaw(PI, Vec3::new(0.0, 12.0, 0.0));
+    let mut total_epochs = 0u64;
+    for trial in 0..trials {
+        let reg = Registration::new()
+            .with_sensor(0, RigidTransform::IDENTITY)
+            .with_sensor(1, world_from_s1);
+        let s1_inv = world_from_s1.inverse();
+        let mut engine = FusionEngine::new(fuse_cfg(), reg);
+        let var = Vec3::new(0.02, 0.02, 0.05);
+        let pos = |e: u64| Vec3::new(0.1 * (trial % 7) as f64, 2.0 + 0.015 * e as f64, 1.0);
+        let boundary = 200u64;
+        let mut reacquired_at = None;
+        for e in 1..=boundary + 400 {
+            for s in 0..2u32 {
+                let mut targets = Vec::new();
+                let sees = if e <= boundary { s == 0 } else { s == 1 };
+                if sees {
+                    let local = if s == 0 { pos(e) } else { s1_inv.apply(pos(e)) };
+                    targets.push(TargetReport {
+                        id: Some(0),
+                        position: local,
+                        velocity: None,
+                        held: false,
+                        pos_var: Some(var),
+                        innovation: None,
+                    });
+                }
+                let report = FrameReport {
+                    frame_index: e,
+                    time_s: e as f64 * FRAME_PERIOD_S,
+                    targets,
+                };
+                for frame in engine.push_report(s, &report) {
+                    if frame.epoch > boundary && reacquired_at.is_none() {
+                        if let Some(t) = frame.tracks.first() {
+                            if !t.coasting && t.primary_sensor == Some(1) {
+                                reacquired_at = Some(frame.epoch);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        total_epochs += reacquired_at.expect("handoff never completed") - boundary;
+    }
+    total_epochs as f64 / trials as f64 * FRAME_PERIOD_S * 1e3
+}
+
+fn main() {
+    let opts = parse_options();
+    banner(
+        "t_fuse",
+        "cross-sensor fusion throughput + handoff latency",
+        "beyond the paper: §6 applications lifted onto a fused multi-sensor world model",
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>14} {:>12} {:>10}",
+        "sensors", "overlap", "walkers", "epochs", "fused trk/s", "epochs/s", "events"
+    );
+    let mut results = Vec::new();
+    for &sensors in &opts.sensors {
+        for &overlap in &opts.overlaps {
+            let cell = run_cell(sensors, overlap, opts.walkers, opts.epochs);
+            println!(
+                "{:>8} {:>8.2} {:>8} {:>8} {:>14.0} {:>12.0} {:>10}",
+                cell.sensors,
+                cell.overlap,
+                cell.walkers,
+                cell.epochs,
+                cell.fused_tracks_per_sec(),
+                cell.epochs_per_sec(),
+                cell.events
+            );
+            results.push(cell);
+        }
+    }
+    let handoff_ms = measure_handoff_latency(8);
+    println!("\nhandoff latency (2 sensors, instant coverage switch): {handoff_ms:.1} ms");
+    println!(
+        "(paper cadence: one epoch = {:.1} ms; real-time budget per room = 80 epochs/s)",
+        FRAME_PERIOD_S * 1e3
+    );
+
+    if let Some(path) = opts.out {
+        let mut rows = Vec::new();
+        for c in &results {
+            rows.push(format!(
+                concat!(
+                    "    {{\"sensors\": {}, \"overlap\": {}, \"walkers\": {}, ",
+                    "\"epochs\": {}, \"fused_track_epochs\": {}, \"events\": {}, ",
+                    "\"elapsed_sec\": {:.6}, \"fused_tracks_per_sec\": {:.1}, ",
+                    "\"epochs_per_sec\": {:.1}}}"
+                ),
+                c.sensors,
+                c.overlap,
+                c.walkers,
+                c.epochs,
+                c.fused_track_epochs,
+                c.events,
+                c.elapsed_sec,
+                c.fused_tracks_per_sec(),
+                c.epochs_per_sec()
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"t_fuse\",\n  \"frame_period_s\": {},\n  \
+             \"handoff_latency_ms\": {:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
+            FRAME_PERIOD_S,
+            handoff_ms,
+            rows.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write artifact");
+        println!("\nwrote {path}");
+    }
+}

@@ -31,6 +31,18 @@ pub struct TargetReport {
     /// `true` when this target is interpolated/coasting rather than
     /// freshly measured this frame.
     pub held: bool,
+    /// Per-axis position variance (m²) of the estimate, when the backend
+    /// carries a state covariance (`MultiWiTrack`'s per-track Kalman).
+    /// Cross-sensor fusion (`witrack-fuse`) gates and merges on it;
+    /// backends without one report `None` and fusion falls back to a
+    /// configured default. Not carried by the v1 `UpdateBatch` wire
+    /// message (world-level uncertainty travels in `WorldUpdate` instead).
+    pub pos_var: Option<Vec3>,
+    /// The last accepted measurement's per-axis innovation (m): how far
+    /// the measurement landed from the track's prediction. `None` until a
+    /// track's second accepted measurement, and for backends without a
+    /// per-track filter.
+    pub innovation: Option<Vec3>,
 }
 
 /// One frame's backend-agnostic output: everything the serving layer
@@ -99,6 +111,8 @@ impl From<TrackUpdate> for FrameReport {
                     position: p,
                     velocity: None,
                     held: u.held,
+                    pos_var: None,
+                    innovation: None,
                 })
                 .into_iter()
                 .collect(),

@@ -44,6 +44,10 @@ pub struct Kalman1D {
     state: Option<[f64; 2]>,
     /// State covariance, row-major [[p00, p01], [p10, p11]].
     cov: [[f64; 2]; 2],
+    /// Last correction's innovation `y = z − x⁻` and its variance
+    /// `s = p00⁻ + r`; `None` until the second measurement (the seeding
+    /// update has no prediction to innovate against).
+    last_innovation: Option<(f64, f64)>,
 }
 
 impl Kalman1D {
@@ -53,6 +57,7 @@ impl Kalman1D {
             cfg,
             state: None,
             cov: [[cfg.initial_pos_var, 0.0], [0.0, cfg.initial_vel_var]],
+            last_innovation: None,
         }
     }
 
@@ -63,6 +68,7 @@ impl Kalman1D {
             [self.cfg.initial_pos_var, 0.0],
             [0.0, self.cfg.initial_vel_var],
         ];
+        self.last_innovation = None;
     }
 
     /// Whether the filter has been seeded by at least one measurement.
@@ -114,8 +120,28 @@ impl Kalman1D {
     }
 
     /// Predict + correct with measurement `z` after `dt` seconds. Returns the
-    /// filtered position.
+    /// filtered position. Uses the configured measurement noise.
     pub fn update(&mut self, z: f64, dt: f64) -> f64 {
+        let r = self.cfg.measurement_std * self.cfg.measurement_std;
+        self.update_with_noise(z, dt, r)
+    }
+
+    /// [`Self::update`] with an explicit measurement variance `r_var` for
+    /// this one correction — how a fusion layer folds in observations whose
+    /// uncertainty varies per source (each sensor reports its own
+    /// covariance), making the update an exact covariance-weighted merge.
+    ///
+    /// `r_var == 0.0` means an exact measurement (full snap to `z`), which
+    /// keeps the long-standing `measurement_std: 0.0` configuration of
+    /// [`Self::update`] working.
+    ///
+    /// # Panics
+    /// Panics when `r_var` is not finite and non-negative.
+    pub fn update_with_noise(&mut self, z: f64, dt: f64, r_var: f64) -> f64 {
+        assert!(
+            r_var.is_finite() && r_var >= 0.0,
+            "measurement variance must be non-negative, got {r_var}"
+        );
         if self.state.is_none() {
             self.state = Some([z, 0.0]);
             return z;
@@ -123,12 +149,18 @@ impl Kalman1D {
         self.predict(dt);
         let [x, v] = self.state.expect("state seeded above");
         let [[p00, p01], [p10, p11]] = self.cov;
-        let r = self.cfg.measurement_std * self.cfg.measurement_std;
         // Innovation with H = [1, 0].
         let y = z - x;
-        let s = p00 + r;
-        let k0 = p00 / s;
-        let k1 = p10 / s;
+        let s = p00 + r_var;
+        // s == 0 only when both the state and the measurement claim
+        // certainty (p00 = 0 forces p10 = 0 in a PSD covariance): take
+        // the measurement exactly rather than dividing by zero.
+        let (k0, k1) = if s > 0.0 {
+            (p00 / s, p10 / s)
+        } else {
+            (1.0, 0.0)
+        };
+        self.last_innovation = Some((y, s));
         self.state = Some([x + k0 * y, v + k1 * y]);
         // Joseph-free covariance update: P ← (I − K H) P.
         self.cov = [
@@ -141,6 +173,24 @@ impl Kalman1D {
     /// Variance of the position estimate.
     pub fn position_variance(&self) -> f64 {
         self.cov[0][0]
+    }
+
+    /// Variance of the velocity estimate.
+    pub fn velocity_variance(&self) -> f64 {
+        self.cov[1][1]
+    }
+
+    /// The last correction's innovation `y = z − x⁻` (measurement minus
+    /// prediction): the filter's own running measure of how surprising its
+    /// measurements are. `None` until the second measurement.
+    pub fn innovation(&self) -> Option<f64> {
+        self.last_innovation.map(|(y, _)| y)
+    }
+
+    /// The last correction's innovation variance `s = p00⁻ + r` — the
+    /// denominator of the normalized innovation `y²/s` gating tests use.
+    pub fn innovation_variance(&self) -> Option<f64> {
+        self.last_innovation.map(|(_, s)| s)
     }
 }
 
@@ -252,6 +302,66 @@ mod tests {
         kf.reset();
         assert!(!kf.is_initialized());
         assert!(kf.position().is_none());
+    }
+
+    #[test]
+    fn innovation_tracks_measurement_surprise() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        assert!(kf.innovation().is_none());
+        kf.update(5.0, 0.0125);
+        // The seeding update has no prediction to innovate against.
+        assert!(kf.innovation().is_none());
+        for _ in 0..100 {
+            kf.update(5.0, 0.0125);
+        }
+        // Converged on a constant: innovations are tiny.
+        assert!(kf.innovation().unwrap().abs() < 1e-6);
+        // A 1 m jump shows up as a ~1 m innovation.
+        kf.update(6.0, 0.0125);
+        assert!((kf.innovation().unwrap() - 1.0).abs() < 0.05);
+        assert!(kf.innovation_variance().unwrap() > 0.0);
+        kf.reset();
+        assert!(kf.innovation().is_none());
+    }
+
+    #[test]
+    fn per_measurement_noise_weights_the_correction() {
+        // Two filters converged to 0.0; feed each a 1.0 outlier with very
+        // different claimed variances. The trusted (low-variance) one must
+        // move much further than the distrusted one.
+        let mut trusting = Kalman1D::new(KalmanConfig::default());
+        let mut wary = trusting.clone();
+        for _ in 0..200 {
+            trusting.update(0.0, 0.0125);
+            wary.update(0.0, 0.0125);
+        }
+        let a = trusting.update_with_noise(1.0, 0.0125, 1e-6);
+        let b = wary.update_with_noise(1.0, 0.0125, 1e2);
+        assert!(a > 0.9, "near-certain measurement barely moved: {a}");
+        assert!(b < 0.01, "near-useless measurement over-trusted: {b}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_noise_is_rejected() {
+        let mut kf = Kalman1D::new(KalmanConfig::default());
+        kf.update_with_noise(1.0, 0.0125, -1.0);
+    }
+
+    #[test]
+    fn zero_noise_snaps_to_the_measurement() {
+        // measurement_std: 0.0 was a legal exact-trust configuration for
+        // `update` before `update_with_noise` existed; it must stay one.
+        let mut kf = Kalman1D::new(KalmanConfig {
+            measurement_std: 0.0,
+            ..KalmanConfig::default()
+        });
+        kf.update(1.0, 0.0125);
+        for i in 2..50 {
+            let out = kf.update(i as f64, 0.0125);
+            assert_eq!(out, i as f64, "exact measurements must be taken exactly");
+        }
+        assert_eq!(kf.position_variance(), 0.0);
     }
 
     #[test]

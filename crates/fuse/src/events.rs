@@ -1,0 +1,128 @@
+//! Fleet-level events: the §6 applications lifted from one sensor's
+//! track to the fused world model.
+//!
+//! The paper demonstrates fall alerting and gesture control against a
+//! single device's output (§6.1–6.2). At fleet scale those signals must
+//! fire on *world* tracks — a fall seen partially by two sensors is one
+//! fall, and occupancy is a property of a room, not of a sensor.
+
+use crate::world::WorldTrackId;
+use witrack_geom::Vec3;
+
+/// One discrete fleet-level event, stamped with the world-frame epoch
+/// time it fired at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorldEvent {
+    /// A world track reached confirmed status (a person is now present).
+    TrackBorn {
+        /// The new track.
+        track: WorldTrackId,
+        /// Epoch time (s).
+        time_s: f64,
+        /// Where they appeared (world frame).
+        position: Vec3,
+    },
+    /// A confirmed world track was dropped (left coverage or stopped
+    /// moving for longer than the coast window).
+    TrackLost {
+        /// The departed track.
+        track: WorldTrackId,
+        /// Epoch time (s).
+        time_s: f64,
+        /// Last fused position (world frame).
+        position: Vec3,
+    },
+    /// A fused track satisfied the §6.2 fall rule on its world elevation.
+    Fall {
+        /// Who fell.
+        track: WorldTrackId,
+        /// Epoch time (s).
+        time_s: f64,
+        /// Elevation before the drop (m).
+        from_z: f64,
+        /// Elevation after the drop (m).
+        to_z: f64,
+    },
+    /// A track entered a configured zone.
+    ZoneEntered {
+        /// The track.
+        track: WorldTrackId,
+        /// The zone id.
+        zone: u32,
+        /// Epoch time (s).
+        time_s: f64,
+    },
+    /// A track left a configured zone.
+    ZoneExited {
+        /// The track.
+        track: WorldTrackId,
+        /// The zone id.
+        zone: u32,
+        /// Epoch time (s).
+        time_s: f64,
+    },
+    /// A zone's established-track count changed.
+    OccupancyChanged {
+        /// The zone id.
+        zone: u32,
+        /// New occupant count.
+        count: u32,
+        /// Epoch time (s).
+        time_s: f64,
+    },
+    /// A track's anchoring sensor changed — the cross-coverage handoff
+    /// the world model exists to make seamless.
+    Handoff {
+        /// The track that switched sensors.
+        track: WorldTrackId,
+        /// The sensor that was anchoring it.
+        from_sensor: u32,
+        /// The sensor now anchoring it.
+        to_sensor: u32,
+        /// Epoch time (s).
+        time_s: f64,
+    },
+    /// A §6.1 pointing gesture, estimated by one sensor and lifted into
+    /// the world frame (direction rotated by that sensor's extrinsic,
+    /// attributed to the nearest world track).
+    Pointing {
+        /// The world track that pointed, when one was near the gesture.
+        track: Option<WorldTrackId>,
+        /// The sensor that estimated the gesture.
+        sensor: u32,
+        /// Gesture time (s).
+        time_s: f64,
+        /// Pointing direction, world frame (unit-ish).
+        direction: Vec3,
+    },
+}
+
+impl WorldEvent {
+    /// The event timestamp (s).
+    pub fn time_s(&self) -> f64 {
+        match *self {
+            WorldEvent::TrackBorn { time_s, .. }
+            | WorldEvent::TrackLost { time_s, .. }
+            | WorldEvent::Fall { time_s, .. }
+            | WorldEvent::ZoneEntered { time_s, .. }
+            | WorldEvent::ZoneExited { time_s, .. }
+            | WorldEvent::OccupancyChanged { time_s, .. }
+            | WorldEvent::Handoff { time_s, .. }
+            | WorldEvent::Pointing { time_s, .. } => time_s,
+        }
+    }
+
+    /// Short machine-readable label for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorldEvent::TrackBorn { .. } => "track_born",
+            WorldEvent::TrackLost { .. } => "track_lost",
+            WorldEvent::Fall { .. } => "fall",
+            WorldEvent::ZoneEntered { .. } => "zone_entered",
+            WorldEvent::ZoneExited { .. } => "zone_exited",
+            WorldEvent::OccupancyChanged { .. } => "occupancy_changed",
+            WorldEvent::Handoff { .. } => "handoff",
+            WorldEvent::Pointing { .. } => "pointing",
+        }
+    }
+}

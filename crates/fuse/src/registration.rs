@@ -1,0 +1,453 @@
+//! Sensor registration: which rigid transform carries each sensor's local
+//! frame into the shared world frame.
+//!
+//! Extrinsics come from one of two places:
+//!
+//! * **Surveyed** — the installer measured each unit's mounting pose and
+//!   configures a [`RigidTransform`] per sensor id.
+//! * **Auto-calibrated** — one person walks the space while every sensor
+//!   tracks them; [`Registration::calibrate`] aligns each sensor's
+//!   trajectory onto a reference sensor's with the closed-form
+//!   least-squares solution ([`witrack_geom::align_point_sets`]), pairing
+//!   samples by timestamp.
+
+use std::collections::BTreeMap;
+use witrack_geom::rigid::{align_point_sets, AlignError};
+use witrack_geom::{RigidTransform, Vec3};
+
+/// The fleet's sensor→world transform table, with optional per-sensor
+/// coverage ranges.
+///
+/// Coverage is what lets fusion use *negative* information: a body that
+/// two sensors should both see but only one reports is far more likely a
+/// multipath ghost than a person — single-sensor ghosts land in
+/// different world positions after registration, so they never
+/// corroborate. Sensors without a declared range are simply never
+/// "expected", which disables that reasoning for them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registration {
+    poses: BTreeMap<u32, RigidTransform>,
+    /// Declared slant-range coverage (m from the sensor origin), by id.
+    coverage: BTreeMap<u32, f64>,
+}
+
+impl Registration {
+    /// An empty table.
+    pub fn new() -> Registration {
+        Registration::default()
+    }
+
+    /// Builder form: adds (or replaces) one sensor's world-from-sensor
+    /// transform.
+    pub fn with_sensor(
+        mut self,
+        sensor_id: u32,
+        world_from_sensor: RigidTransform,
+    ) -> Registration {
+        self.insert(sensor_id, world_from_sensor);
+        self
+    }
+
+    /// Adds (or replaces) one sensor's world-from-sensor transform.
+    ///
+    /// # Panics
+    /// Panics when the transform is non-finite or its rotation is not
+    /// orthonormal to ~1e-6 (a corrupt extrinsic would silently poison
+    /// every fused position).
+    pub fn insert(&mut self, sensor_id: u32, world_from_sensor: RigidTransform) {
+        assert!(
+            world_from_sensor.is_finite() && world_from_sensor.orthonormality_error() < 1e-6,
+            "sensor {sensor_id}: extrinsic is not a rigid transform"
+        );
+        self.poses.insert(sensor_id, world_from_sensor);
+    }
+
+    /// Builder form of [`Self::set_coverage`].
+    pub fn with_coverage(mut self, sensor_id: u32, range_m: f64) -> Registration {
+        self.set_coverage(sensor_id, range_m);
+        self
+    }
+
+    /// Declares `sensor_id`'s usable slant range (m from its mounting
+    /// origin). Enables corroboration reasoning for positions inside it.
+    ///
+    /// # Panics
+    /// Panics when the sensor is unregistered or the range is not
+    /// finite and positive.
+    pub fn set_coverage(&mut self, sensor_id: u32, range_m: f64) {
+        assert!(
+            self.poses.contains_key(&sensor_id),
+            "sensor {sensor_id} not registered"
+        );
+        assert!(
+            range_m.is_finite() && range_m > 0.0,
+            "sensor {sensor_id}: coverage must be positive, got {range_m}"
+        );
+        self.coverage.insert(sensor_id, range_m);
+    }
+
+    /// How many sensors *declare* they can see world point `p`, keeping
+    /// `margin_m` clear of the boundary (positions near a coverage edge
+    /// should not flap between expected/unexpected as the filter
+    /// jitters).
+    pub fn expected_observers(&self, p: Vec3, margin_m: f64) -> usize {
+        self.expected_observers_where(p, margin_m, |_| true)
+    }
+
+    /// [`Self::expected_observers`], restricted to sensors `include`
+    /// accepts — the fusion engine passes its live-session set, so a
+    /// torn-down sensor's declared coverage stops generating
+    /// expectations.
+    pub fn expected_observers_where(
+        &self,
+        p: Vec3,
+        margin_m: f64,
+        mut include: impl FnMut(u32) -> bool,
+    ) -> usize {
+        self.coverage
+            .iter()
+            .filter(|(&id, &range)| {
+                include(id)
+                    && self
+                        .poses
+                        .get(&id)
+                        .is_some_and(|pose| p.distance(pose.translation) <= range - margin_m)
+            })
+            .count()
+    }
+
+    /// The world-from-sensor transform of `sensor_id`, if registered.
+    pub fn get(&self, sensor_id: u32) -> Option<&RigidTransform> {
+        self.poses.get(&sensor_id)
+    }
+
+    /// Whether `sensor_id` is registered.
+    pub fn contains(&self, sensor_id: u32) -> bool {
+        self.poses.contains_key(&sensor_id)
+    }
+
+    /// Registered sensor ids, ascending.
+    pub fn sensor_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.poses.keys().copied()
+    }
+
+    /// Number of registered sensors.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+}
+
+/// Why auto-calibration refused a trajectory pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalibrationError {
+    /// The reference sensor's trajectory is missing from the input.
+    MissingReference,
+    /// Too few time-paired samples between a sensor and the reference
+    /// (needs ≥ 3, more in practice).
+    TooFewPairs {
+        /// The sensor that could not be paired.
+        sensor_id: u32,
+    },
+    /// The underlying point-set alignment failed (degenerate trajectory).
+    Align {
+        /// The sensor whose alignment failed.
+        sensor_id: u32,
+        /// The geometric reason.
+        source: AlignError,
+    },
+    /// The alignment succeeded but its residual exceeds the caller's
+    /// bound — the two sensors probably tracked *different* walkers.
+    ResidualTooLarge {
+        /// The sensor whose fit was poor.
+        sensor_id: u32,
+        /// The fitted RMS residual (m).
+        rms: f64,
+    },
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::MissingReference => write!(f, "reference trajectory missing"),
+            CalibrationError::TooFewPairs { sensor_id } => {
+                write!(f, "sensor {sensor_id}: too few time-paired samples")
+            }
+            CalibrationError::Align { sensor_id, source } => {
+                write!(f, "sensor {sensor_id}: {source}")
+            }
+            CalibrationError::ResidualTooLarge { sensor_id, rms } => {
+                write!(f, "sensor {sensor_id}: residual {rms:.3} m too large")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// A timestamped local-frame track sample of the calibration walker.
+pub type TrackSample = (f64, Vec3);
+
+/// Tuning for [`Registration::calibrate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationConfig {
+    /// Maximum timestamp difference (s) for two samples to pair.
+    pub max_pair_dt_s: f64,
+    /// Minimum paired samples per sensor.
+    pub min_pairs: usize,
+    /// Maximum acceptable RMS alignment residual (m).
+    pub max_rms_residual_m: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            max_pair_dt_s: 0.010,
+            min_pairs: 32,
+            max_rms_residual_m: 0.5,
+        }
+    }
+}
+
+impl Registration {
+    /// Auto-calibrates a fleet from one shared calibration walk.
+    ///
+    /// `trajectories` maps each sensor id to its *local-frame* track of
+    /// the (single) calibration walker. The reference sensor's frame is
+    /// placed at `world_from_reference` (use the identity to make the
+    /// reference frame the world frame); every other sensor's extrinsic
+    /// is `world_from_reference ∘ align(other → reference)`.
+    ///
+    /// Pairing is by timestamp: each non-reference sample pairs with the
+    /// nearest reference sample within `cfg.max_pair_dt_s` (both streams
+    /// must be time-sorted).
+    pub fn calibrate(
+        reference: u32,
+        world_from_reference: RigidTransform,
+        trajectories: &BTreeMap<u32, Vec<TrackSample>>,
+        cfg: &CalibrationConfig,
+    ) -> Result<Registration, CalibrationError> {
+        let ref_track = trajectories
+            .get(&reference)
+            .ok_or(CalibrationError::MissingReference)?;
+        let mut reg = Registration::new().with_sensor(reference, world_from_reference);
+        for (&sensor_id, track) in trajectories {
+            if sensor_id == reference {
+                continue;
+            }
+            let (src, dst) = pair_by_time(track, ref_track, cfg.max_pair_dt_s);
+            if src.len() < cfg.min_pairs.max(3) {
+                return Err(CalibrationError::TooFewPairs { sensor_id });
+            }
+            let alignment = align_point_sets(&src, &dst)
+                .map_err(|source| CalibrationError::Align { sensor_id, source })?;
+            if alignment.rms_residual > cfg.max_rms_residual_m {
+                return Err(CalibrationError::ResidualTooLarge {
+                    sensor_id,
+                    rms: alignment.rms_residual,
+                });
+            }
+            reg.insert(
+                sensor_id,
+                world_from_reference.compose(&alignment.transform),
+            );
+        }
+        Ok(reg)
+    }
+}
+
+/// Pairs each `src` sample with the nearest-in-time `dst` sample within
+/// `max_dt`. Both inputs must be time-sorted; the scan is linear.
+fn pair_by_time(src: &[TrackSample], dst: &[TrackSample], max_dt: f64) -> (Vec<Vec3>, Vec<Vec3>) {
+    let mut out_src = Vec::new();
+    let mut out_dst = Vec::new();
+    let mut j = 0usize;
+    for &(t, p) in src {
+        while j + 1 < dst.len() && (dst[j + 1].0 - t).abs() <= (dst[j].0 - t).abs() {
+            j += 1;
+        }
+        if dst.is_empty() {
+            break;
+        }
+        if (dst[j].0 - t).abs() <= max_dt {
+            out_src.push(p);
+            out_dst.push(dst[j].1);
+        }
+    }
+    (out_src, out_dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn walk(n: usize) -> Vec<TrackSample> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.0125;
+                (
+                    t,
+                    Vec3::new(
+                        2.0 * (0.4 * t).sin(),
+                        5.0 + 1.5 * (0.7 * t).cos(),
+                        1.0 + 0.05 * t,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibrate_recovers_relative_pose() {
+        // Sensor 0 is the reference; sensor 1 is mounted across the room,
+        // yawed 135° — its local view of the same walk.
+        let world_from_s1 = RigidTransform::from_yaw(0.75 * PI, Vec3::new(9.0, 2.0, 0.0));
+        let s1_from_world = world_from_s1.inverse();
+        let walk_world = walk(240);
+        let mut trajectories = BTreeMap::new();
+        trajectories.insert(0, walk_world.clone());
+        trajectories.insert(
+            1,
+            walk_world
+                .iter()
+                .map(|&(t, p)| (t, s1_from_world.apply(p)))
+                .collect(),
+        );
+        let reg = Registration::calibrate(
+            0,
+            RigidTransform::IDENTITY,
+            &trajectories,
+            &CalibrationConfig::default(),
+        )
+        .unwrap();
+        let fitted = reg.get(1).unwrap();
+        for &(_, p) in &trajectories[&1] {
+            assert!(
+                fitted.apply(p).distance(world_from_s1.apply(p)) < 1e-8,
+                "calibrated pose disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrate_with_offset_clocks_still_pairs() {
+        // Sensor 1's samples are offset by 4 ms — within pairing
+        // tolerance, so calibration still succeeds (with some residual
+        // from the walker's motion over 4 ms).
+        let world_from_s1 = RigidTransform::from_yaw(PI / 2.0, Vec3::new(4.0, 0.0, 0.0));
+        let s1_from_world = world_from_s1.inverse();
+        let mut trajectories = BTreeMap::new();
+        trajectories.insert(0, walk(240));
+        trajectories.insert(
+            1,
+            walk(240)
+                .iter()
+                .map(|&(t, p)| (t + 0.004, s1_from_world.apply(p)))
+                .collect(),
+        );
+        let reg = Registration::calibrate(
+            0,
+            RigidTransform::IDENTITY,
+            &trajectories,
+            &CalibrationConfig::default(),
+        )
+        .unwrap();
+        let fitted = reg.get(1).unwrap();
+        let p = Vec3::new(1.0, 5.0, 1.0);
+        assert!(fitted.apply(s1_from_world.apply(p)).distance(p) < 0.05);
+    }
+
+    #[test]
+    fn calibrate_rejects_mismatched_walks() {
+        // Sensor 1 tracked a *different* (and non-rigidly related) path:
+        // the fit's residual must trip the bound rather than silently
+        // registering garbage.
+        let mut trajectories = BTreeMap::new();
+        trajectories.insert(0, walk(240));
+        trajectories.insert(
+            1,
+            walk(240)
+                .iter()
+                .map(|&(t, _)| {
+                    (
+                        t,
+                        Vec3::new(3.0 * (2.3 * t).cos(), 4.0 * (1.1 * t).sin(), 0.5 * t),
+                    )
+                })
+                .collect(),
+        );
+        let err = Registration::calibrate(
+            0,
+            RigidTransform::IDENTITY,
+            &trajectories,
+            &CalibrationConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CalibrationError::ResidualTooLarge { sensor_id: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_reference_and_sparse_pairs_are_refused() {
+        let mut trajectories: BTreeMap<u32, Vec<TrackSample>> = BTreeMap::new();
+        trajectories.insert(1, walk(100));
+        assert_eq!(
+            Registration::calibrate(
+                0,
+                RigidTransform::IDENTITY,
+                &trajectories,
+                &CalibrationConfig::default()
+            )
+            .unwrap_err(),
+            CalibrationError::MissingReference
+        );
+        trajectories.insert(0, walk(100));
+        trajectories.insert(2, walk(5)); // too few samples to pair
+        let err = Registration::calibrate(
+            0,
+            RigidTransform::IDENTITY,
+            &trajectories,
+            &CalibrationConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, CalibrationError::TooFewPairs { sensor_id: 2 });
+    }
+
+    #[test]
+    fn expected_observers_counts_declared_coverage() {
+        let reg = Registration::new()
+            .with_sensor(0, RigidTransform::IDENTITY)
+            .with_sensor(1, RigidTransform::from_yaw(PI, Vec3::new(0.0, 12.0, 0.0)))
+            .with_coverage(0, 8.0)
+            .with_coverage(1, 8.0);
+        // Mid-hallway: both; near an end: one; margin shrinks the reach.
+        assert_eq!(reg.expected_observers(Vec3::new(0.0, 6.0, 1.0), 0.5), 2);
+        assert_eq!(reg.expected_observers(Vec3::new(0.0, 2.0, 1.0), 0.5), 1);
+        assert_eq!(reg.expected_observers(Vec3::new(0.0, 7.8, 1.0), 0.5), 1);
+        assert_eq!(reg.expected_observers(Vec3::new(0.0, 7.8, 1.0), 5.0), 0);
+        // Without declarations nothing is ever expected.
+        let bare = Registration::new().with_sensor(0, RigidTransform::IDENTITY);
+        assert_eq!(bare.expected_observers(Vec3::new(0.0, 1.0, 1.0), 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coverage_for_unregistered_sensor_is_rejected() {
+        let _ = Registration::new().with_coverage(3, 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrupt_extrinsic_is_rejected() {
+        let mut bad = RigidTransform::IDENTITY;
+        bad.rotation[0][0] = 2.0;
+        let _ = Registration::new().with_sensor(0, bad);
+    }
+}

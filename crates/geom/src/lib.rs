@@ -18,6 +18,9 @@
 //! * [`multilateration`] — a Gauss–Newton least-squares solver for arbitrary
 //!   and over-constrained arrays (the paper's "more antennas add robustness"
 //!   extension in §5).
+//! * [`rigid`] — SE(3) transforms registering each sensor's local frame
+//!   into a shared world frame, with the closed-form least-squares
+//!   point-set alignment (`witrack-fuse` auto-calibration builds on it).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ pub mod antenna;
 pub mod ellipsoid;
 pub mod multilateration;
 pub mod plane;
+pub mod rigid;
 pub mod tarray;
 pub mod vec3;
 
@@ -33,6 +37,7 @@ pub use antenna::{Antenna, AntennaArray, BeamPattern};
 pub use ellipsoid::Ellipsoid;
 pub use multilateration::{solve_least_squares, GaussNewtonConfig, SolveError};
 pub use plane::{Plane, Ray};
+pub use rigid::{align_point_sets, AlignError, Alignment, RigidTransform};
 pub use tarray::{TArray, TArrayError};
 pub use vec3::Vec3;
 

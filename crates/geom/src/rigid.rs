@@ -1,0 +1,607 @@
+//! Rigid (SE(3)) transforms: sensor→world registration.
+//!
+//! A multi-sensor deployment only becomes a *system* once every sensor's
+//! measurements live in one shared coordinate frame. Each WiTrack unit
+//! reports positions in its own local frame (the antenna "T" at its
+//! configured origin, `y` along its boresight); a [`RigidTransform`] maps
+//! that local frame into the deployment's world frame. Extrinsics are
+//! either surveyed at install time or auto-calibrated from a shared
+//! walker trajectory via [`align_point_sets`] — the closed-form
+//! least-squares absolute-orientation solution (Horn 1987, quaternion
+//! form), computed here with a shifted power iteration so no external
+//! linear-algebra crate is needed.
+
+use crate::vec3::Vec3;
+use std::ops::Mul;
+
+/// A proper rigid transform: `p ↦ R p + t` with `R ∈ SO(3)`.
+///
+/// Stored as a row-major rotation matrix plus a translation. Construct
+/// via [`RigidTransform::identity`], [`RigidTransform::from_yaw`],
+/// [`RigidTransform::from_axis_angle`], or [`align_point_sets`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigidTransform {
+    /// Rotation matrix, row-major: `rotation[r][c]`.
+    pub rotation: [[f64; 3]; 3],
+    /// Translation applied after the rotation.
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    /// The identity transform.
+    pub const IDENTITY: RigidTransform = RigidTransform {
+        rotation: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        translation: Vec3::ZERO,
+    };
+
+    /// Identity transform (function form, for call sites that prefer it).
+    pub fn identity() -> RigidTransform {
+        Self::IDENTITY
+    }
+
+    /// A rotation of `yaw` radians about the vertical (`z`) axis followed
+    /// by `translation` — the common case for wall-mounted sensors, which
+    /// share gravity's `z` but face different directions.
+    pub fn from_yaw(yaw: f64, translation: Vec3) -> RigidTransform {
+        let (s, c) = yaw.sin_cos();
+        RigidTransform {
+            rotation: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+            translation,
+        }
+    }
+
+    /// A rotation of `angle` radians about `axis` (Rodrigues), followed by
+    /// `translation`. Returns `None` when `axis` is (near) zero.
+    pub fn from_axis_angle(axis: Vec3, angle: f64, translation: Vec3) -> Option<RigidTransform> {
+        let u = axis.normalized()?;
+        let (s, c) = angle.sin_cos();
+        let ic = 1.0 - c;
+        let rotation = [
+            [
+                c + u.x * u.x * ic,
+                u.x * u.y * ic - u.z * s,
+                u.x * u.z * ic + u.y * s,
+            ],
+            [
+                u.y * u.x * ic + u.z * s,
+                c + u.y * u.y * ic,
+                u.y * u.z * ic - u.x * s,
+            ],
+            [
+                u.z * u.x * ic - u.y * s,
+                u.z * u.y * ic + u.x * s,
+                c + u.z * u.z * ic,
+            ],
+        ];
+        Some(RigidTransform {
+            rotation,
+            translation,
+        })
+    }
+
+    /// Applies the full transform to a point: `R p + t`.
+    #[inline]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotate(p) + self.translation
+    }
+
+    /// Applies only the rotation — for direction-like quantities
+    /// (velocities, pointing directions) that must not be translated.
+    #[inline]
+    pub fn rotate(&self, v: Vec3) -> Vec3 {
+        let r = &self.rotation;
+        Vec3::new(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z,
+        )
+    }
+
+    /// The inverse transform: `p ↦ Rᵀ (p − t)`.
+    pub fn inverse(&self) -> RigidTransform {
+        let r = &self.rotation;
+        let rt = [
+            [r[0][0], r[1][0], r[2][0]],
+            [r[0][1], r[1][1], r[2][1]],
+            [r[0][2], r[1][2], r[2][2]],
+        ];
+        let inv = RigidTransform {
+            rotation: rt,
+            translation: Vec3::ZERO,
+        };
+        RigidTransform {
+            translation: -inv.rotate(self.translation),
+            rotation: rt,
+        }
+    }
+
+    /// Composition: `(self ∘ other)(p) = self(other(p))`.
+    pub fn compose(&self, other: &RigidTransform) -> RigidTransform {
+        let a = &self.rotation;
+        let b = &other.rotation;
+        let mut rotation = [[0.0; 3]; 3];
+        for (i, row) in rotation.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j] + a[i][2] * b[2][j];
+            }
+        }
+        RigidTransform {
+            rotation,
+            translation: self.apply(other.translation),
+        }
+    }
+
+    /// Rotates a *diagonal* covariance (per-axis variances) into this
+    /// transform's target frame, returning the diagonal of `R D Rᵀ`.
+    ///
+    /// The off-diagonal terms the rotation introduces are dropped — the
+    /// conservative per-axis summary cross-sensor gating needs, without
+    /// carrying full matrices through the wire.
+    pub fn rotate_variances(&self, diag: Vec3) -> Vec3 {
+        let r = &self.rotation;
+        let row = |i: usize| {
+            r[i][0] * r[i][0] * diag.x + r[i][1] * r[i][1] * diag.y + r[i][2] * r[i][2] * diag.z
+        };
+        Vec3::new(row(0), row(1), row(2))
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.translation.is_finite() && self.rotation.iter().flatten().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute deviation of `RᵀR` from the identity — a health
+    /// check for transforms assembled from external configuration.
+    pub fn orthonormality_error(&self) -> f64 {
+        let r = &self.rotation;
+        let mut worst = 0.0_f64;
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot = r[0][i] * r[0][j] + r[1][i] * r[1][j] + r[2][i] * r[2][j];
+                let expect = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((dot - expect).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl Default for RigidTransform {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mul for RigidTransform {
+    type Output = RigidTransform;
+    fn mul(self, rhs: RigidTransform) -> RigidTransform {
+        self.compose(&rhs)
+    }
+}
+
+/// Why [`align_point_sets`] refused a correspondence set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignError {
+    /// The two slices have different lengths.
+    MismatchedLengths,
+    /// Fewer than 3 correspondences (SE(3) needs three non-collinear
+    /// points to be determined).
+    TooFewPoints,
+    /// One of the point sets has (near) zero spread around its centroid,
+    /// so the rotation is undetermined.
+    Degenerate,
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::MismatchedLengths => write!(f, "point sets differ in length"),
+            AlignError::TooFewPoints => write!(f, "need at least 3 correspondences"),
+            AlignError::Degenerate => write!(f, "point set has no spread; rotation undetermined"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// The result of a least-squares point-set alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    /// The fitted transform mapping `src` points onto `dst` points.
+    pub transform: RigidTransform,
+    /// RMS residual `|T(src_i) − dst_i|` over all correspondences (m).
+    pub rms_residual: f64,
+}
+
+/// Least-squares rigid alignment: finds the `T ∈ SE(3)` minimizing
+/// `Σ |T(src_i) − dst_i|²` over paired correspondences (Horn's
+/// closed-form quaternion solution).
+///
+/// This is how a fleet auto-calibrates: two sensors that both tracked the
+/// same calibration walker hand their trajectory samples (paired by
+/// timestamp) to this function and receive the transform carrying one
+/// sensor's frame into the other's.
+///
+/// The dominant eigenvector of Horn's 4×4 profile matrix is extracted
+/// with a shifted power iteration (the matrix is symmetric and tiny, so
+/// ~100 iterations reach well past `f64` round-off for well-conditioned
+/// inputs).
+pub fn align_point_sets(src: &[Vec3], dst: &[Vec3]) -> Result<Alignment, AlignError> {
+    if src.len() != dst.len() {
+        return Err(AlignError::MismatchedLengths);
+    }
+    let n = src.len();
+    if n < 3 {
+        return Err(AlignError::TooFewPoints);
+    }
+    let inv_n = 1.0 / n as f64;
+    let c_src: Vec3 = src.iter().copied().sum::<Vec3>() * inv_n;
+    let c_dst: Vec3 = dst.iter().copied().sum::<Vec3>() * inv_n;
+
+    // Cross-covariance S[a][b] = Σ src'_a · dst'_b of the demeaned sets.
+    let mut s = [[0.0_f64; 3]; 3];
+    let mut spread_src = 0.0;
+    let mut spread_dst = 0.0;
+    for (&p, &q) in src.iter().zip(dst) {
+        let a = p - c_src;
+        let b = q - c_dst;
+        spread_src += a.norm_sq();
+        spread_dst += b.norm_sq();
+        for (i, row) in s.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell += a.component(i) * b.component(j);
+            }
+        }
+    }
+    if spread_src * inv_n < 1e-12 || spread_dst * inv_n < 1e-12 {
+        return Err(AlignError::Degenerate);
+    }
+
+    // Horn's symmetric 4×4 profile matrix N; its dominant eigenvector is
+    // the optimal rotation quaternion (w, x, y, z).
+    let (sxx, sxy, sxz) = (s[0][0], s[0][1], s[0][2]);
+    let (syx, syy, syz) = (s[1][0], s[1][1], s[1][2]);
+    let (szx, szy, szz) = (s[2][0], s[2][1], s[2][2]);
+    let nm = [
+        [sxx + syy + szz, syz - szy, szx - sxz, sxy - syx],
+        [syz - szy, sxx - syy - szz, sxy + syx, szx + sxz],
+        [szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy],
+        [sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz],
+    ];
+    let q = dominant_eigenvector(&nm);
+    let rotation = quaternion_to_matrix(q);
+    let mut transform = RigidTransform {
+        rotation,
+        translation: Vec3::ZERO,
+    };
+    transform.translation = c_dst - transform.rotate(c_src);
+
+    let rms_residual = (src
+        .iter()
+        .zip(dst)
+        .map(|(&p, &q)| transform.apply(p).distance_sq(q))
+        .sum::<f64>()
+        * inv_n)
+        .sqrt();
+    Ok(Alignment {
+        transform,
+        rms_residual,
+    })
+}
+
+/// Most-positive eigenvalue's eigenvector of a symmetric 4×4.
+///
+/// Exact route: the characteristic polynomial (Faddeev–LeVerrier), its
+/// largest root by Newton from a Gershgorin upper bound (monotone and
+/// quadratic for a polynomial with all-real roots), then the null vector
+/// of `M − λI` read off the adjugate — machine precision regardless of
+/// the eigengap. Falls back to a shifted power iteration only when the
+/// top eigenvalue is (numerically) repeated, where the adjugate vanishes
+/// and *any* vector of the eigenspace is an equally optimal rotation.
+fn dominant_eigenvector(m: &[[f64; 4]; 4]) -> [f64; 4] {
+    let lambda = largest_eigenvalue(m);
+    let mut b = *m;
+    for (i, row) in b.iter_mut().enumerate() {
+        row[i] -= lambda;
+    }
+    // adj(B) is rank one (= v wᵀ) when λ is a simple eigenvalue; every
+    // nonzero column is the eigenvector. Take the largest for stability.
+    let adj = adjugate4(&b);
+    let mut best = [0.0; 4];
+    let mut best_norm = 0.0;
+    for col in (0..4).map(|c| [adj[0][c], adj[1][c], adj[2][c], adj[3][c]]) {
+        let n = col.iter().map(|x| x * x).sum::<f64>();
+        if n > best_norm {
+            best_norm = n;
+            best = col;
+        }
+    }
+    let scale = m
+        .iter()
+        .flatten()
+        .map(|v| v.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
+    if best_norm.sqrt() > scale * scale * scale * 1e-9 {
+        return best;
+    }
+    // Degenerate (repeated λ): power-iterate the shifted matrix.
+    let shift = m
+        .iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0_f64, f64::max);
+    let mut a = *m;
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += shift;
+    }
+    let mut v = [1.0, 0.3, 0.2, 0.1];
+    for _ in 0..4096 {
+        let mut w = [0.0_f64; 4];
+        for (i, row) in a.iter().enumerate() {
+            w[i] = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+        }
+        let norm = (w.iter().map(|x| x * x).sum::<f64>()).sqrt();
+        if norm < 1e-300 {
+            v = [0.1, 1.0, 0.2, 0.3]; // restart off the unlucky start
+            continue;
+        }
+        for (x, y) in v.iter_mut().zip(&w) {
+            *x = y / norm;
+        }
+    }
+    v
+}
+
+/// Largest eigenvalue of a symmetric 4×4: Newton on the characteristic
+/// polynomial from above its largest root.
+fn largest_eigenvalue(m: &[[f64; 4]; 4]) -> f64 {
+    // Faddeev–LeVerrier: p(λ) = λ⁴ + c1 λ³ + c2 λ² + c3 λ + c4.
+    let tr = |a: &[[f64; 4]; 4]| a[0][0] + a[1][1] + a[2][2] + a[3][3];
+    let mul = |a: &[[f64; 4]; 4], b: &[[f64; 4]; 4]| {
+        let mut out = [[0.0; 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..4).map(|k| a[i][k] * b[k][j]).sum();
+            }
+        }
+        out
+    };
+    let add_diag = |mut a: [[f64; 4]; 4], c: f64| {
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += c;
+        }
+        a
+    };
+    let m1 = *m;
+    let c1 = -tr(&m1);
+    let m2 = mul(m, &add_diag(m1, c1));
+    let c2 = -tr(&m2) / 2.0;
+    let m3 = mul(m, &add_diag(m2, c2));
+    let c3 = -tr(&m3) / 3.0;
+    let m4 = mul(m, &add_diag(m3, c3));
+    let c4 = -tr(&m4) / 4.0;
+    // Newton from a Gershgorin bound (≥ every root): monotone descent to
+    // the largest root; quadratic once close.
+    let mut x = m
+        .iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0_f64, f64::max)
+        + 1.0;
+    for _ in 0..200 {
+        let p = (((x + c1) * x + c2) * x + c3) * x + c4;
+        let dp = ((4.0 * x + 3.0 * c1) * x + 2.0 * c2) * x + c3;
+        if dp.abs() < 1e-300 {
+            break;
+        }
+        let step = p / dp;
+        x -= step;
+        if step.abs() <= x.abs() * 1e-16 + 1e-300 {
+            break;
+        }
+    }
+    x
+}
+
+/// Adjugate (transposed cofactor matrix) of a 4×4.
+fn adjugate4(b: &[[f64; 4]; 4]) -> [[f64; 4]; 4] {
+    let det3 = |r: [usize; 3], c: [usize; 3]| {
+        b[r[0]][c[0]] * (b[r[1]][c[1]] * b[r[2]][c[2]] - b[r[1]][c[2]] * b[r[2]][c[1]])
+            - b[r[0]][c[1]] * (b[r[1]][c[0]] * b[r[2]][c[2]] - b[r[1]][c[2]] * b[r[2]][c[0]])
+            + b[r[0]][c[2]] * (b[r[1]][c[0]] * b[r[2]][c[1]] - b[r[1]][c[1]] * b[r[2]][c[0]])
+    };
+    let others = |k: usize| {
+        let mut o = [0usize; 3];
+        let mut n = 0;
+        for i in 0..4 {
+            if i != k {
+                o[n] = i;
+                n += 1;
+            }
+        }
+        o
+    };
+    let mut adj = [[0.0; 4]; 4];
+    for (j, row) in adj.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            let sign = if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+            // adj[j][i] = cofactor(i, j): minor deletes row i, column j.
+            *cell = sign * det3(others(i), others(j));
+        }
+    }
+    adj
+}
+
+/// Unit quaternion `(w, x, y, z)` → rotation matrix.
+fn quaternion_to_matrix(q: [f64; 4]) -> [[f64; 3]; 3] {
+    let norm = (q.iter().map(|x| x * x).sum::<f64>()).sqrt();
+    let [w, x, y, z] = q.map(|c| c / norm);
+    [
+        [
+            1.0 - 2.0 * (y * y + z * z),
+            2.0 * (x * y - z * w),
+            2.0 * (x * z + y * w),
+        ],
+        [
+            2.0 * (x * y + z * w),
+            1.0 - 2.0 * (x * x + z * z),
+            2.0 * (y * z - x * w),
+        ],
+        [
+            2.0 * (x * z - y * w),
+            2.0 * (y * z + x * w),
+            1.0 - 2.0 * (x * x + y * y),
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: Vec3, b: Vec3, tol: f64) {
+        assert!(a.distance(b) <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(RigidTransform::IDENTITY.apply(p), p);
+        assert_eq!(RigidTransform::default().rotate(p), p);
+    }
+
+    #[test]
+    fn yaw_rotates_in_the_floor_plane() {
+        let t = RigidTransform::from_yaw(FRAC_PI_2, Vec3::new(10.0, 0.0, 0.0));
+        // +y (boresight) swings to −x under a +90° yaw, then translates.
+        assert_close(
+            t.apply(Vec3::new(0.0, 2.0, 1.0)),
+            Vec3::new(8.0, 0.0, 1.0),
+            1e-12,
+        );
+        // z is untouched.
+        assert_eq!(t.rotate(Vec3::Z), Vec3::Z);
+    }
+
+    #[test]
+    fn axis_angle_matches_yaw_about_z() {
+        let a = RigidTransform::from_yaw(0.7, Vec3::new(1.0, 2.0, 3.0));
+        let b = RigidTransform::from_axis_angle(Vec3::Z, 0.7, Vec3::new(1.0, 2.0, 3.0)).unwrap();
+        for p in [Vec3::X, Vec3::Y, Vec3::new(0.3, -1.0, 2.0)] {
+            assert_close(a.apply(p), b.apply(p), 1e-12);
+        }
+        assert!(RigidTransform::from_axis_angle(Vec3::ZERO, 1.0, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let t = RigidTransform::from_axis_angle(
+            Vec3::new(1.0, 2.0, -0.5),
+            1.3,
+            Vec3::new(4.0, -1.0, 2.0),
+        )
+        .unwrap();
+        let inv = t.inverse();
+        for p in [Vec3::ZERO, Vec3::new(3.0, 5.0, -2.0), Vec3::X] {
+            assert_close(inv.apply(t.apply(p)), p, 1e-12);
+            assert_close(t.apply(inv.apply(p)), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn composition_applies_right_to_left() {
+        let a = RigidTransform::from_yaw(FRAC_PI_2, Vec3::ZERO);
+        let b = RigidTransform::from_yaw(0.0, Vec3::new(1.0, 0.0, 0.0));
+        let ab = a * b; // translate, then rotate
+        assert_close(ab.apply(Vec3::ZERO), Vec3::new(0.0, 1.0, 0.0), 1e-12);
+        let ba = b * a; // rotate, then translate
+        assert_close(ba.apply(Vec3::ZERO), Vec3::new(1.0, 0.0, 0.0), 1e-12);
+    }
+
+    #[test]
+    fn variance_rotation_preserves_trace_and_positivity() {
+        let t = RigidTransform::from_axis_angle(Vec3::new(0.2, 1.0, 0.4), 2.1, Vec3::ZERO).unwrap();
+        let d = Vec3::new(0.04, 0.09, 0.25);
+        let r = t.rotate_variances(d);
+        assert!(r.x > 0.0 && r.y > 0.0 && r.z > 0.0);
+        assert!(((r.x + r.y + r.z) - (d.x + d.y + d.z)).abs() < 1e-12);
+        // A yaw of 90° swaps the x and y variances exactly.
+        let yaw = RigidTransform::from_yaw(FRAC_PI_2, Vec3::ZERO);
+        let s = yaw.rotate_variances(d);
+        assert!((s.x - d.y).abs() < 1e-12 && (s.y - d.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_recovers_a_known_transform() {
+        let truth = RigidTransform::from_axis_angle(
+            Vec3::new(0.1, 0.2, 1.0),
+            2.4,
+            Vec3::new(5.0, -3.0, 1.0),
+        )
+        .unwrap();
+        let src: Vec<Vec3> = (0..24)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Vec3::new(t.sin() * 2.0, 0.5 * t, (0.7 * t).cos())
+            })
+            .collect();
+        let dst: Vec<Vec3> = src.iter().map(|&p| truth.apply(p)).collect();
+        let a = align_point_sets(&src, &dst).unwrap();
+        assert!(a.rms_residual < 1e-9, "rms {}", a.rms_residual);
+        for &p in &src {
+            assert_close(a.transform.apply(p), truth.apply(p), 1e-9);
+        }
+        assert!(a.transform.orthonormality_error() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_is_least_squares_under_noise() {
+        let truth = RigidTransform::from_yaw(PI * 0.75, Vec3::new(12.0, 0.0, 0.0));
+        // Deterministic pseudo-noise.
+        let mut state = 7u64;
+        let mut noise = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 - 0.5
+        };
+        let src: Vec<Vec3> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                Vec3::new(
+                    2.0 * t.cos(),
+                    4.0 + 2.0 * t.sin(),
+                    1.0 + 0.1 * (3.0 * t).sin(),
+                )
+            })
+            .collect();
+        let dst: Vec<Vec3> = src
+            .iter()
+            .map(|&p| truth.apply(p) + Vec3::new(noise(), noise(), noise()) * 0.05)
+            .collect();
+        let a = align_point_sets(&src, &dst).unwrap();
+        // Residual is on the order of the injected noise, and the fitted
+        // transform lands points within a few cm of the true mapping.
+        assert!(a.rms_residual < 0.1, "rms {}", a.rms_residual);
+        for &p in &src {
+            assert!(a.transform.apply(p).distance(truth.apply(p)) < 0.05);
+        }
+    }
+
+    #[test]
+    fn alignment_rejects_bad_input() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(
+            align_point_sets(&[p, p], &[p, p, p]),
+            Err(AlignError::MismatchedLengths)
+        );
+        assert_eq!(
+            align_point_sets(&[p, p], &[p, p]),
+            Err(AlignError::TooFewPoints)
+        );
+        assert_eq!(
+            align_point_sets(&[p, p, p], &[p, p, p]),
+            Err(AlignError::Degenerate)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests on the SE(3) registration layer: group axioms hold to
+//! numerical precision, and least-squares alignment recovers arbitrary
+//! rigid transforms from exact correspondences.
+
+use proptest::prelude::*;
+use witrack_geom::rigid::align_point_sets;
+use witrack_geom::{RigidTransform, Vec3};
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn transform() -> impl Strategy<Value = RigidTransform> {
+    (
+        (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+        -3.1f64..3.1,
+        vec3(),
+    )
+        .prop_map(|((ax, ay, az), angle, t)| {
+            let axis = Vec3::new(ax, ay, az + 1.5); // never the zero axis
+            RigidTransform::from_axis_angle(axis, angle, t).expect("nonzero axis")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inverse_composes_to_identity((t, p) in (transform(), vec3())) {
+        let round = t.inverse().compose(&t);
+        prop_assert!(round.apply(p).distance(p) < 1e-9, "{}", round.apply(p));
+        let round = t.compose(&t.inverse());
+        prop_assert!(round.apply(p).distance(p) < 1e-9);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application((a, b, p) in (transform(), transform(), vec3())) {
+        let composed = a.compose(&b).apply(p);
+        let sequential = a.apply(b.apply(p));
+        prop_assert!(composed.distance(sequential) < 1e-9);
+    }
+
+    #[test]
+    fn composition_is_associative((a, b, c, p) in (transform(), transform(), transform(), vec3())) {
+        let left = (a * b) * c;
+        let right = a * (b * c);
+        prop_assert!(left.apply(p).distance(right.apply(p)) < 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_lengths_and_angles((t, p, q) in (transform(), vec3(), vec3())) {
+        prop_assert!((t.rotate(p).norm() - p.norm()).abs() < 1e-9);
+        prop_assert!((t.rotate(p).dot(t.rotate(q)) - p.dot(q)).abs() < 1e-7);
+        prop_assert!(t.orthonormality_error() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_recovers_random_transforms(
+        (t, seeds) in (transform(), proptest::collection::vec(vec3(), 8..20))
+    ) {
+        // Spread the correspondence cloud so it is never near-degenerate.
+        let src: Vec<Vec3> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + Vec3::new(3.0 * (i as f64).sin(), 3.0 * (i as f64).cos(), i as f64 * 0.5))
+            .collect();
+        let dst: Vec<Vec3> = src.iter().map(|&p| t.apply(p)).collect();
+        let a = align_point_sets(&src, &dst).unwrap();
+        prop_assert!(a.rms_residual < 1e-9, "rms {}", a.rms_residual);
+        for &p in &src {
+            prop_assert!(a.transform.apply(p).distance(t.apply(p)) < 1e-8);
+        }
+    }
+}

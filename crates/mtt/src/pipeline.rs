@@ -60,6 +60,12 @@ pub struct TrackSnapshot {
     pub position: Vec3,
     /// Velocity estimate (m/s).
     pub velocity: Vec3,
+    /// Per-axis position variance (m²) from the track's Kalman state
+    /// covariance (grows while coasting, shrinks under measurements).
+    pub pos_var: Vec3,
+    /// Last accepted measurement's per-axis innovation (m); `None` until
+    /// the second accepted measurement.
+    pub innovation: Option<Vec3>,
     /// Total measurements accepted.
     pub hits: usize,
     /// Consecutive frames without a measurement.
@@ -297,6 +303,8 @@ impl MultiWiTrack {
                     phase: t.phase,
                     position: t.position(),
                     velocity: t.velocity(),
+                    pos_var: t.position_variance(),
+                    innovation: t.innovation(),
                     hits: t.hits,
                     consecutive_misses: t.consecutive_misses,
                 })
@@ -496,6 +504,8 @@ impl From<MttUpdate> for FrameReport {
                     position: t.position,
                     velocity: Some(t.velocity),
                     held: t.phase == TrackPhase::Coasting,
+                    pos_var: Some(t.pos_var),
+                    innovation: t.innovation,
                 })
                 .collect(),
         }

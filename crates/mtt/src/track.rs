@@ -101,6 +101,28 @@ impl MttTrack {
         self.position() + self.velocity() * dt
     }
 
+    /// Per-axis position variance (m²) of the smoothed estimate — the
+    /// diagonal of the track's state covariance, which cross-sensor fusion
+    /// uses for Mahalanobis gating and covariance-weighted merging. Grows
+    /// while the track coasts, shrinks while measurements arrive.
+    pub fn position_variance(&self) -> Vec3 {
+        Vec3::new(
+            self.kx.position_variance(),
+            self.ky.position_variance(),
+            self.kz.position_variance(),
+        )
+    }
+
+    /// The last accepted measurement's per-axis innovation (measurement
+    /// minus prediction, m) — `None` until the track's second update.
+    pub fn innovation(&self) -> Option<Vec3> {
+        Some(Vec3::new(
+            self.kx.innovation()?,
+            self.ky.innovation()?,
+            self.kz.innovation()?,
+        ))
+    }
+
     /// Accepts a measured position for this frame (`dt` since last frame)
     /// and advances the lifecycle with a hit.
     pub fn update(&mut self, measured: Vec3, dt: f64, cfg: &MttConfig) {

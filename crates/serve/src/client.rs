@@ -7,7 +7,7 @@
 //! optionally hands each message to a caller-supplied handler.
 
 use crate::transport::{Transport, TransportRx, TransportTx};
-use crate::wire::{Hello, Message, SweepBatch, SweepBatchQ, Teardown};
+use crate::wire::{Hello, Message, Subscribe, SweepBatch, SweepBatchQ, Teardown};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,6 +20,8 @@ struct Counters {
     frames: AtomicU64,
     targets: AtomicU64,
     rejects: AtomicU64,
+    world_updates: AtomicU64,
+    world_events: AtomicU64,
 }
 
 /// A point-in-time copy of the client's receive counters.
@@ -33,6 +35,10 @@ pub struct ClientStats {
     pub targets: u64,
     /// Reject notices received.
     pub rejects: u64,
+    /// Fused `WorldUpdate` frames received.
+    pub world_updates: u64,
+    /// Fleet `Event` frames received.
+    pub world_events: u64,
 }
 
 /// Callback receiving every server→client message, in arrival order.
@@ -114,6 +120,14 @@ impl<T: Transport> SensorClient<T> {
             .send_msg(&Message::Teardown(Teardown { sensor_id }))
     }
 
+    /// Subscribes this connection to a fused room's world stream
+    /// (`WorldUpdate`/`Event` frames; wire v2). An unknown room comes
+    /// back as a `Reject` with
+    /// [`RejectCode::UnknownSubscription`](crate::wire::RejectCode).
+    pub fn subscribe(&mut self, sub: Subscribe) -> io::Result<()> {
+        self.tx().send_msg(&Message::Subscribe(sub))
+    }
+
     /// Direct access to the send half (e.g. for pre-encoded frames).
     ///
     /// # Panics
@@ -129,6 +143,8 @@ impl<T: Transport> SensorClient<T> {
             frames: self.counters.frames.load(Ordering::Relaxed),
             targets: self.counters.targets.load(Ordering::Relaxed),
             rejects: self.counters.rejects.load(Ordering::Relaxed),
+            world_updates: self.counters.world_updates.load(Ordering::Relaxed),
+            world_events: self.counters.world_events.load(Ordering::Relaxed),
         }
     }
 
@@ -169,6 +185,12 @@ fn drain_main<Rx: TransportRx>(
             }
             Message::Reject(_) => {
                 counters.rejects.fetch_add(1, Ordering::Relaxed);
+            }
+            Message::WorldUpdate(_) => {
+                counters.world_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            Message::Event(_) => {
+                counters.world_events.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }

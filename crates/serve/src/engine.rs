@@ -23,6 +23,7 @@
 //! benches) get their traffic on the engine-wide [`EngineEvent`] stream
 //! instead.
 
+use crate::hub::{HubHandle, HubMsg, WorldConfig, WorldHub};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::pool::{BufPool, PooledBatch, PooledBuf};
 use crate::wire::{self, Hello, Message, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch};
@@ -126,9 +127,12 @@ pub enum Submitted {
 pub enum SubmitError {
     /// The engine has shut down.
     EngineDown,
-    /// `UpdateBatch`/`Reject` are server→client messages; clients cannot
-    /// submit them.
+    /// `UpdateBatch`/`Reject`/`WorldUpdate`/`Event` are server→client
+    /// messages; clients cannot submit them.
     ServerOnlyMessage,
+    /// A `Subscribe` was submitted without a connection sink — the world
+    /// stream has nowhere to go.
+    SubscribeNeedsConnection,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -136,6 +140,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::EngineDown => write!(f, "engine has shut down"),
             SubmitError::ServerOnlyMessage => write!(f, "server-only message type"),
+            SubmitError::SubscribeNeedsConnection => {
+                write!(f, "subscribe requires a connection to deliver into")
+            }
         }
     }
 }
@@ -167,6 +174,8 @@ pub struct EngineHandle {
     sample_pool: BufPool<f64>,
     /// Recycles outbox encode buffers (shard → outbox → transport).
     frame_pool: BufPool<u8>,
+    /// The world hub, when this engine fuses rooms.
+    hub: Option<HubHandle>,
 }
 
 impl EngineHandle {
@@ -214,7 +223,41 @@ impl EngineHandle {
                 q.dequantize_into(&mut samples);
                 self.submit_batch_pooled(PooledBatch { shape, samples }, sink)
             }
-            Message::UpdateBatch(_) | Message::Reject(_) => Err(SubmitError::ServerOnlyMessage),
+            Message::Subscribe(s) => self.submit_subscribe(s, sink),
+            Message::UpdateBatch(_)
+            | Message::Reject(_)
+            | Message::WorldUpdate(_)
+            | Message::Event(_) => Err(SubmitError::ServerOnlyMessage),
+        }
+    }
+
+    /// Routes a room subscription to the world hub. Without a hub (the
+    /// engine was started without a [`WorldConfig`]) the subscription is
+    /// refused over the connection with
+    /// [`RejectCode::UnknownSubscription`].
+    pub fn submit_subscribe(
+        &self,
+        sub: wire::Subscribe,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        let sink = sink.ok_or(SubmitError::SubscribeNeedsConnection)?;
+        match &self.hub {
+            Some(hub) => {
+                if hub.send(HubMsg::Subscribe(sub, sink)) {
+                    Ok(Submitted::Queued)
+                } else {
+                    Err(SubmitError::EngineDown)
+                }
+            }
+            None => {
+                EngineMetrics::inc(&self.metrics.batches_rejected);
+                let mut buf = self.frame_pool.get(32);
+                wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
+                if sink.tx.try_send(buf).is_err() {
+                    EngineMetrics::inc(&self.metrics.updates_dropped);
+                }
+                Ok(Submitted::Queued)
+            }
         }
     }
 
@@ -299,16 +342,28 @@ impl EngineHandle {
         }
     }
 
+    /// Tells the world hub a connection ended, releasing its room
+    /// subscriptions (and with them the hub's clone of the connection's
+    /// outbox sender, which the connection writer's exit waits on).
+    /// No-op without a hub.
+    pub fn notify_conn_closed(&self, conn_id: u64) {
+        if let Some(hub) = &self.hub {
+            let _ = hub.send(HubMsg::ConnClosed(conn_id));
+        }
+    }
+
     /// The engine's shared counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
 }
 
-/// The running engine: shard workers plus their queues.
+/// The running engine: shard workers plus their queues (and the world
+/// hub, when rooms are fused).
 pub struct ShardedEngine {
     handle: EngineHandle,
     workers: Vec<JoinHandle<()>>,
+    hub: Option<WorldHub>,
     stop: Arc<AtomicBool>,
     metrics: Arc<EngineMetrics>,
 }
@@ -321,6 +376,18 @@ impl ShardedEngine {
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
     ) -> (ShardedEngine, Receiver<EngineEvent>) {
+        Self::start_with_world(cfg, factory, None)
+    }
+
+    /// [`Self::start`], plus a world hub fusing the configured rooms:
+    /// every session's frame reports are forwarded to its room's
+    /// [`witrack_fuse::FusionEngine`], and connections may `Subscribe`
+    /// to rooms for fused `WorldUpdate`/`Event` streams.
+    pub fn start_with_world(
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+        world: Option<WorldConfig>,
+    ) -> (ShardedEngine, Receiver<EngineEvent>) {
         let num_shards = cfg.num_shards.max(1);
         let metrics = Arc::new(EngineMetrics::default());
         let stop = Arc::new(AtomicBool::new(false));
@@ -332,6 +399,18 @@ impl ShardedEngine {
         // are small and bounded by outbox depth.
         let sample_pool = BufPool::new(num_shards * cfg.queue_capacity.max(1) + 2 * num_shards + 8);
         let frame_pool = BufPool::new(256);
+        let (hub, hub_handle) = match world {
+            Some(world_cfg) => {
+                let (hub, handle) = WorldHub::start(
+                    world_cfg,
+                    frame_pool.clone(),
+                    Arc::clone(&metrics),
+                    Arc::clone(&stop),
+                );
+                (Some(hub), Some(handle))
+            }
+            None => (None, None),
+        };
         let mut shards = Vec::with_capacity(num_shards);
         let mut workers = Vec::with_capacity(num_shards);
         for _ in 0..num_shards {
@@ -346,6 +425,7 @@ impl ShardedEngine {
                 sessions: HashMap::new(),
                 frame_pool: frame_pool.clone(),
                 updates_scratch: Vec::new(),
+                hub: hub_handle.clone(),
             };
             workers.push(std::thread::spawn(move || worker.run()));
         }
@@ -355,11 +435,13 @@ impl ShardedEngine {
             metrics: Arc::clone(&metrics),
             sample_pool,
             frame_pool,
+            hub: hub_handle,
         };
         (
             ShardedEngine {
                 handle,
                 workers,
+                hub,
                 stop,
                 metrics,
             },
@@ -390,6 +472,11 @@ impl ShardedEngine {
         for w in self.workers {
             w.join().expect("shard worker panicked");
         }
+        // The shards are gone, so everything they forwarded is already in
+        // the hub's inbox; it drains that, sees the stop flag, and exits.
+        if let Some(hub) = self.hub {
+            hub.join();
+        }
         self.metrics.snapshot()
     }
 }
@@ -418,6 +505,9 @@ struct ShardWorker {
     /// Per-batch report scratch, reused across batches (taken/returned
     /// around each batch so the session borrow stays clean).
     updates_scratch: Vec<FrameReport>,
+    /// The world hub, when this engine fuses rooms: every emitted report
+    /// batch is forwarded there for cross-sensor fusion.
+    hub: Option<HubHandle>,
 }
 
 impl ShardWorker {
@@ -560,6 +650,11 @@ impl ShardWorker {
         match self.sessions.remove(&t.sensor_id) {
             Some(s) => {
                 EngineMetrics::inc(&self.metrics.sessions_closed);
+                if let Some(hub) = &self.hub {
+                    // The fusion watermark must stop waiting for this
+                    // sensor (its world tracks coast until reacquired).
+                    hub.send(HubMsg::SensorClosed(t.sensor_id));
+                }
                 self.emit(EngineEvent::SessionClosed {
                     sensor_id: t.sensor_id,
                     frames_emitted: s.frames_emitted,
@@ -627,6 +722,14 @@ impl ShardWorker {
             // borrow so delivery can run against &self.
             let sink = session.sink.clone();
             self.deliver_updates(sink.as_ref(), shape.sensor_id, seq, &updates);
+            if let Some(hub) = &self.hub {
+                // Forward a copy for cross-sensor fusion — only for
+                // sensors some room actually fuses; cloning reports the
+                // hub would immediately drop wastes the hot path.
+                if hub.wants(shape.sensor_id) {
+                    hub.send(HubMsg::Reports(shape.sensor_id, updates.clone()));
+                }
+            }
         }
         updates.clear();
         self.updates_scratch = updates;

@@ -1,0 +1,308 @@
+//! The world hub: per-room cross-sensor fusion behind the wire protocol.
+//!
+//! Shards forward every sensor's [`FrameReport`]s here; the hub routes
+//! them to the owning room's [`FusionEngine`]
+//! (sensor→room comes from the [`WorldConfig`]'s registrations), and
+//! broadcasts each fused [`WorldFrame`] — as `WorldUpdate` wire frames —
+//! plus its fleet events — as `Event` wire frames — to every connection
+//! subscribed to that room. Clients therefore subscribe to *rooms*, not
+//! raw sensors: occupancy, handoffs, and falls arrive pre-fused.
+//!
+//! Delivery mirrors the per-sensor update path: frames are encoded into
+//! pooled buffers and `try_send`-shed to lagging subscribers (counted in
+//! [`MetricsSnapshot::updates_dropped`]); a vanished subscriber is pruned
+//! on its first failed send. The hub's inbox is unbounded — fusion is a
+//! few Kalman updates per track per epoch, orders of magnitude cheaper
+//! than the sweep pipelines feeding it — so shards never block on it.
+//!
+//! [`MetricsSnapshot::updates_dropped`]: crate::metrics::MetricsSnapshot::updates_dropped
+
+use crate::engine::ConnSink;
+use crate::metrics::EngineMetrics;
+use crate::pool::BufPool;
+use crate::wire::{self, RejectCode, Subscribe};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use witrack_core::FrameReport;
+use witrack_fuse::{FuseConfig, FusionEngine, Registration, WorldFrame};
+
+/// One fused room: its sensor registration and fusion tuning.
+pub struct RoomSpec {
+    /// Room identity (what clients subscribe to).
+    pub room_id: u32,
+    /// Fusion tuning (gates, lifecycle, zones, fall rule).
+    pub fuse: FuseConfig,
+    /// Which sensors feed this room, and each one's world-from-sensor
+    /// extrinsic. Sensor ids are global: a sensor may belong to at most
+    /// one room.
+    pub registration: Registration,
+}
+
+/// The world hub's configuration: the fleet's room layout.
+#[derive(Default)]
+pub struct WorldConfig {
+    /// All fused rooms.
+    pub rooms: Vec<RoomSpec>,
+}
+
+impl WorldConfig {
+    /// A single-room world.
+    pub fn single_room(room_id: u32, fuse: FuseConfig, registration: Registration) -> WorldConfig {
+        WorldConfig {
+            rooms: vec![RoomSpec {
+                room_id,
+                fuse,
+                registration,
+            }],
+        }
+    }
+}
+
+pub(crate) enum HubMsg {
+    /// One sensor's frame reports (already shard-processed).
+    Reports(u32, Vec<FrameReport>),
+    /// A connection wants a room's world stream.
+    Subscribe(Subscribe, ConnSink),
+    /// A sensor's session closed; stop waiting for it at fusion
+    /// watermarks.
+    SensorClosed(u32),
+    /// A connection hung up: drop its subscriptions *now*. Holding them
+    /// until a failed send would also hold the connection's outbox
+    /// sender — and the connection writer only exits when every sender
+    /// is gone, so a stale subscription would wedge connection teardown.
+    ConnClosed(u64),
+}
+
+/// Cloneable ingress to the hub thread.
+#[derive(Clone)]
+pub(crate) struct HubHandle {
+    tx: Sender<HubMsg>,
+    /// Sensors belonging to some fused room (static for the hub's
+    /// lifetime). Shards consult this before cloning report batches:
+    /// a sensor outside every room would have its clone dropped at the
+    /// hub's routing lookup, so the clone is never made.
+    fused_sensors: Arc<HashSet<u32>>,
+}
+
+impl HubHandle {
+    /// `false` when the hub thread is gone (engine shutting down).
+    pub(crate) fn send(&self, msg: HubMsg) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+
+    /// Whether the hub fuses this sensor (worth forwarding its reports).
+    pub(crate) fn wants(&self, sensor_id: u32) -> bool {
+        self.fused_sensors.contains(&sensor_id)
+    }
+}
+
+/// The running hub thread (owned by the engine).
+pub(crate) struct WorldHub {
+    thread: JoinHandle<()>,
+}
+
+struct Room {
+    room_id: u32,
+    engine: FusionEngine,
+    subscribers: Vec<Subscriber>,
+    out_seq: u64,
+}
+
+struct Subscriber {
+    sink: ConnSink,
+    world_updates: bool,
+    events: bool,
+}
+
+struct HubWorker {
+    rx: Receiver<HubMsg>,
+    rooms: Vec<Room>,
+    /// sensor id → index into `rooms`.
+    sensor_rooms: HashMap<u32, usize>,
+    frame_pool: BufPool<u8>,
+    metrics: Arc<EngineMetrics>,
+    stop: Arc<AtomicBool>,
+    /// Reused encode buffer: each fused frame (and its events) is
+    /// serialized once here, then memcpy'd into per-subscriber pooled
+    /// buffers.
+    update_scratch: Vec<u8>,
+}
+
+impl WorldHub {
+    pub(crate) fn start(
+        cfg: WorldConfig,
+        frame_pool: BufPool<u8>,
+        metrics: Arc<EngineMetrics>,
+        stop: Arc<AtomicBool>,
+    ) -> (WorldHub, HubHandle) {
+        let (tx, rx) = channel();
+        let mut sensor_rooms = HashMap::new();
+        let rooms: Vec<Room> = cfg
+            .rooms
+            .into_iter()
+            .enumerate()
+            .map(|(idx, spec)| {
+                for sensor in spec.registration.sensor_ids() {
+                    let prev = sensor_rooms.insert(sensor, idx);
+                    assert!(prev.is_none(), "sensor {sensor} registered to two rooms");
+                }
+                Room {
+                    room_id: spec.room_id,
+                    engine: FusionEngine::new(spec.fuse, spec.registration),
+                    subscribers: Vec::new(),
+                    out_seq: 0,
+                }
+            })
+            .collect();
+        let fused_sensors = Arc::new(sensor_rooms.keys().copied().collect());
+        let worker = HubWorker {
+            rx,
+            rooms,
+            sensor_rooms,
+            frame_pool,
+            metrics,
+            stop,
+            update_scratch: Vec::new(),
+        };
+        let thread = std::thread::spawn(move || worker.run());
+        (WorldHub { thread }, HubHandle { tx, fused_sensors })
+    }
+
+    /// Joins the hub thread (engine shutdown, after the shards).
+    pub(crate) fn join(self) {
+        self.thread.join().expect("world hub panicked");
+    }
+}
+
+impl HubWorker {
+    fn run(mut self) {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(msg) => self.handle(msg),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    // Inbox empty: the only time shutdown may interrupt.
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: HubMsg) {
+        match msg {
+            HubMsg::Reports(sensor_id, reports) => {
+                let Some(&idx) = self.sensor_rooms.get(&sensor_id) else {
+                    // Sensors outside every room still stream their
+                    // per-sensor updates; they just don't fuse.
+                    return;
+                };
+                for report in &reports {
+                    let frames = self.rooms[idx].engine.push_report(sensor_id, report);
+                    self.deliver(idx, frames);
+                }
+            }
+            HubMsg::SensorClosed(sensor_id) => {
+                if let Some(&idx) = self.sensor_rooms.get(&sensor_id) {
+                    let frames = self.rooms[idx].engine.remove_sensor(sensor_id);
+                    self.deliver(idx, frames);
+                }
+            }
+            HubMsg::Subscribe(sub, sink) => self.subscribe(sub, sink),
+            HubMsg::ConnClosed(conn_id) => {
+                for room in &mut self.rooms {
+                    room.subscribers.retain(|s| s.sink.conn_id != conn_id);
+                }
+            }
+        }
+    }
+
+    fn subscribe(&mut self, sub: Subscribe, sink: ConnSink) {
+        match self.rooms.iter_mut().find(|r| r.room_id == sub.room_id) {
+            Some(room) => {
+                EngineMetrics::inc(&self.metrics.subscriptions_opened);
+                room.subscribers.push(Subscriber {
+                    sink,
+                    world_updates: sub.world_updates,
+                    events: sub.events,
+                });
+            }
+            None => {
+                EngineMetrics::inc(&self.metrics.batches_rejected);
+                let mut buf = self.frame_pool.get(32);
+                wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
+                if sink.tx.try_send(buf).is_err() {
+                    EngineMetrics::inc(&self.metrics.updates_dropped);
+                }
+            }
+        }
+    }
+
+    /// Broadcasts fused frames (and their events) to a room's
+    /// subscribers, shedding to lagging connections and pruning dead
+    /// ones. Each frame and event is serialized exactly once (into the
+    /// reused scratch) and copied byte-for-byte into per-subscriber
+    /// pooled buffers.
+    fn deliver(&mut self, room_idx: usize, frames: Vec<WorldFrame>) {
+        let room = &mut self.rooms[room_idx];
+        for frame in frames {
+            EngineMetrics::inc(&self.metrics.world_frames);
+            EngineMetrics::add(&self.metrics.world_events, frame.events.len() as u64);
+            let seq = room.out_seq;
+            room.out_seq += 1;
+            if room.subscribers.is_empty() {
+                continue; // sequence still advances; nothing to encode
+            }
+            let scratch = &mut self.update_scratch;
+            scratch.clear();
+            wire::encode_world_update_into(room.room_id, seq, &frame, scratch);
+            // Frame boundaries inside the scratch: the update first, then
+            // one wire frame per event.
+            let mut bounds = vec![0, scratch.len()];
+            for event in &frame.events {
+                wire::encode_event_into(room.room_id, event, scratch);
+                bounds.push(scratch.len());
+            }
+            let pool = &self.frame_pool;
+            let metrics = &self.metrics;
+            room.subscribers.retain(|sub| {
+                let mut alive = true;
+                if sub.world_updates {
+                    let mut buf = pool.get(bounds[1]);
+                    buf.extend_from_slice(&scratch[..bounds[1]]);
+                    alive &= push(&sub.sink, buf, metrics);
+                }
+                if sub.events && alive {
+                    for window in bounds[1..].windows(2) {
+                        let bytes = &scratch[window[0]..window[1]];
+                        let mut buf = pool.get(bytes.len());
+                        buf.extend_from_slice(bytes);
+                        alive &= push(&sub.sink, buf, metrics);
+                        if !alive {
+                            break;
+                        }
+                    }
+                }
+                alive
+            });
+        }
+    }
+}
+
+/// `try_send` into a subscriber, shedding on full. Returns `false` when
+/// the connection is gone (prune it).
+fn push(sink: &ConnSink, buf: crate::pool::PooledBuf<u8>, metrics: &EngineMetrics) -> bool {
+    match sink.tx.try_send(buf) {
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) => {
+            EngineMetrics::inc(&metrics.updates_dropped);
+            true
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}

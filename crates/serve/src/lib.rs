@@ -73,6 +73,7 @@
 pub mod client;
 pub mod engine;
 pub mod factory;
+pub mod hub;
 pub mod metrics;
 pub mod pool;
 pub mod server;
@@ -85,11 +86,12 @@ pub use engine::{
     ShardedEngine, SubmitError, Submitted, UpdateSink,
 };
 pub use factory::{hello_for, hello_quantized_for, witrack_factory};
+pub use hub::{RoomSpec, WorldConfig};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use pool::{BufPool, PoolStats, PooledBatch, PooledBuf};
 pub use server::{Server, TcpServer};
 pub use transport::{in_proc_pair, InProcTransport, RxMsg, TcpTransport, Transport, WireFrame};
 pub use wire::{
-    Hello, Message, PipelineKind, Reject, RejectCode, SweepBatch, SweepBatchQ, SweepShape,
-    Teardown, UpdateBatch, WireError,
+    EventMsg, Hello, Message, PipelineKind, Reject, RejectCode, Subscribe, SweepBatch, SweepBatchQ,
+    SweepShape, Teardown, UpdateBatch, WireError, WorldUpdateMsg,
 };

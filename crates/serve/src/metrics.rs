@@ -40,6 +40,12 @@ pub struct EngineMetrics {
     /// Server→client messages shed because a session's connection outbox
     /// was full (the client is lagging) or gone.
     pub updates_dropped: AtomicU64,
+    /// Fused world frames emitted by the world hub.
+    pub world_frames: AtomicU64,
+    /// Fleet events emitted by the world hub.
+    pub world_events: AtomicU64,
+    /// Room subscriptions accepted by the world hub.
+    pub subscriptions_opened: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -90,6 +96,9 @@ impl EngineMetrics {
             inflight: self.inflight.load(Ordering::Relaxed),
             max_inflight: self.max_inflight.load(Ordering::Relaxed),
             updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
+            world_frames: self.world_frames.load(Ordering::Relaxed),
+            world_events: self.world_events.load(Ordering::Relaxed),
+            subscriptions_opened: self.subscriptions_opened.load(Ordering::Relaxed),
         }
     }
 }
@@ -125,4 +134,10 @@ pub struct MetricsSnapshot {
     /// Server→client messages shed to lagging (or vanished) client
     /// connections.
     pub updates_dropped: u64,
+    /// Fused world frames emitted by the world hub.
+    pub world_frames: u64,
+    /// Fleet events emitted by the world hub.
+    pub world_events: u64,
+    /// Room subscriptions accepted by the world hub.
+    pub subscriptions_opened: u64,
 }

@@ -16,6 +16,7 @@
 //! a shard; a refused `Hello` gets its reject and leaves no state behind.
 
 use crate::engine::{ConnSink, EngineConfig, EngineHandle, PipelineFactory, ShardedEngine};
+use crate::hub::WorldConfig;
 use crate::metrics::MetricsSnapshot;
 use crate::pool::PooledBuf;
 use crate::transport::{RxMsg, Transport, TransportRx, TransportTx};
@@ -47,7 +48,18 @@ impl Server {
     /// the engine-wide event stream only carries bookkeeping — a small
     /// drainer thread keeps it from accumulating.
     pub fn start(cfg: EngineConfig, factory: Arc<PipelineFactory>) -> Server {
-        let (engine, events) = ShardedEngine::start(cfg, factory);
+        Self::start_with_world(cfg, factory, None)
+    }
+
+    /// [`Self::start`], plus a world hub fusing the configured rooms so
+    /// attached connections may `Subscribe` to fused
+    /// `WorldUpdate`/`Event` streams.
+    pub fn start_with_world(
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+        world: Option<WorldConfig>,
+    ) -> Server {
+        let (engine, events) = ShardedEngine::start_with_world(cfg, factory, world);
         let drainer = std::thread::spawn(move || for _ in events {});
         Server {
             handle: engine.handle(),
@@ -139,6 +151,10 @@ where
     for sensor_id in greeted {
         let _ = handle.submit_teardown_scoped(sensor_id, conn_id);
     }
+    // Release this connection's room subscriptions: the hub holds outbox
+    // sender clones for them, and the writer below only drains out once
+    // every sender is gone.
+    handle.notify_conn_closed(conn_id);
     drop(outbox_tx);
     writer.join().expect("connection writer panicked");
 }
@@ -171,9 +187,19 @@ impl TcpServer {
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
     ) -> io::Result<TcpServer> {
+        Self::bind_with_world(addr, cfg, factory, None)
+    }
+
+    /// [`Self::bind`], plus a world hub fusing the configured rooms.
+    pub fn bind_with_world(
+        addr: &str,
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+        world: Option<WorldConfig>,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let server = Arc::new(Server::start(cfg, factory));
+        let server = Arc::new(Server::start_with_world(cfg, factory, world));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let server = Arc::clone(&server);

@@ -23,6 +23,9 @@
 //! | 4    | `UpdateBatch` (server → client) | `sensor_id u32, seq u64, n_updates u16, reserved u16`, then per update `frame_index u64, time_s f64, n_targets u16, reserved u16`, then per target 64 bytes: `id u64 (u64::MAX = anonymous), x y z f64, vx vy vz f64, flags u8 (bit0 held, bit1 has velocity), pad [7]u8` |
 //! | 5    | `Reject` (server → client) | `sensor_id u32, code u16, reserved u16` |
 //! | 6    | `SweepBatchQ` (v2) | `sensor_id u32, seq u64, n_sweeps u16, n_rx u16, samples_per_sweep u32, scale f64, data [n_sweeps × n_rx × samples_per_sweep] i16` |
+//! | 7    | `Subscribe` (v2) | `room_id u32, flags u16 (bit0 world updates, bit1 events), reserved u16` |
+//! | 8    | `WorldUpdate` (v2, server → client) | `room_id u32, seq u64, epoch u64, time_s f64, n_tracks u16, reserved u16`, then per track 88 bytes: `id u64, x y z f64, vx vy vz f64, var_x var_y var_z f64, flags u8 (bit0 coasting), contributors u8, pad u16, primary_sensor u32 (u32::MAX = none)` |
+//! | 9    | `Event` (v2, server → client) | `room_id u32, kind u16, reserved u16, track u64 (u64::MAX = none), zone u32, sensor_a u32, sensor_b u32, reserved u32, time_s f64, x y z f64, aux f64, aux2 f64` |
 //!
 //! **Version 2** adds [`SweepBatchQ`]: the same batch shape as
 //! `SweepBatch`, but carrying the baseband as `i16` quantization steps
@@ -43,6 +46,7 @@
 //! caller-provided (typically pooled) sample buffer and never allocates.
 
 use witrack_core::{FrameReport, TargetReport};
+use witrack_fuse::{WorldEvent, WorldFrame, WorldTrackId, WorldTrackSnapshot};
 use witrack_geom::Vec3;
 
 /// Frame magic: the bytes `"WTRK"` on the wire (value `0x4B52_5457` as a
@@ -327,6 +331,9 @@ pub enum RejectCode {
     /// A `SweepBatch` sequence number was already consumed; the batch was
     /// discarded.
     StaleSequence,
+    /// A `Subscribe` named a room this server does not fuse (or the
+    /// server runs no world hub at all).
+    UnknownSubscription,
 }
 
 impl RejectCode {
@@ -336,6 +343,7 @@ impl RejectCode {
             RejectCode::DuplicateSensor => 2,
             RejectCode::BadConfig => 3,
             RejectCode::StaleSequence => 4,
+            RejectCode::UnknownSubscription => 5,
         }
     }
 
@@ -345,9 +353,57 @@ impl RejectCode {
             2 => Ok(RejectCode::DuplicateSensor),
             3 => Ok(RejectCode::BadConfig),
             4 => Ok(RejectCode::StaleSequence),
+            5 => Ok(RejectCode::UnknownSubscription),
             _ => Err(WireError::BadPayload("unknown reject code")),
         }
     }
+}
+
+/// Client → server: subscribe this connection to a fused room's world
+/// stream (wire v2). Replaces per-sensor consumption for clients that
+/// want the world model: occupancy, handoffs, falls — not raw tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subscribe {
+    /// The room to subscribe to.
+    pub room_id: u32,
+    /// Deliver fused [`WorldUpdateMsg`] frames.
+    pub world_updates: bool,
+    /// Deliver [`EventMsg`] frames.
+    pub events: bool,
+}
+
+impl Subscribe {
+    /// A subscription to everything the room publishes.
+    pub fn all(room_id: u32) -> Subscribe {
+        Subscribe {
+            room_id,
+            world_updates: true,
+            events: true,
+        }
+    }
+}
+
+/// Server → client: one fused world epoch for a room (wire v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldUpdateMsg {
+    /// The room the frame belongs to.
+    pub room_id: u32,
+    /// The room's output-stream sequence number (shared by all
+    /// subscribers, advancing whether or not anyone is subscribed) — so
+    /// a late subscriber starts mid-stream at a nonzero value, and gaps
+    /// only indicate shed frames *between* values a subscriber received.
+    pub seq: u64,
+    /// The fused epoch (events are delivered separately as [`EventMsg`]).
+    pub frame: WorldFrame,
+}
+
+/// Server → client: one fleet event for a room (wire v2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventMsg {
+    /// The room the event belongs to.
+    pub room_id: u32,
+    /// The event.
+    pub event: WorldEvent,
 }
 
 /// Server → client: a refusal notice.
@@ -374,6 +430,14 @@ pub enum Message {
     Reject(Reject),
     /// Sweep data (quantized i16 wire, v2).
     SweepBatchQ(SweepBatchQ),
+    /// Room subscription (v2).
+    Subscribe(Subscribe),
+    /// Server → client fused world frame (v2). The frame's `events` list
+    /// is **not** carried — events travel as separate [`EventMsg`]
+    /// frames — so it decodes empty.
+    WorldUpdate(WorldUpdateMsg),
+    /// Server → client fleet event (v2).
+    Event(EventMsg),
 }
 
 impl Message {
@@ -385,6 +449,9 @@ impl Message {
             Message::UpdateBatch(_) => 4,
             Message::Reject(_) => 5,
             Message::SweepBatchQ(_) => 6,
+            Message::Subscribe(_) => 7,
+            Message::WorldUpdate(_) => 8,
+            Message::Event(_) => 9,
         }
     }
 }
@@ -529,6 +596,10 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
             return encode_update_batch_into(u.sensor_id, u.seq, &u.updates, out)
         }
         Message::Reject(r) => return encode_reject_into(r.sensor_id, r.code, out),
+        Message::WorldUpdate(w) => {
+            return encode_world_update_into(w.room_id, w.seq, &w.frame, out)
+        }
+        Message::Event(e) => return encode_event_into(e.room_id, &e.event, out),
         _ => {}
     }
     let header_at = begin_frame(out, msg.msg_type());
@@ -565,8 +636,119 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
             }
         }
         Message::Teardown(t) => put_u32(out, t.sensor_id),
-        Message::UpdateBatch(_) | Message::Reject(_) => unreachable!("handled above"),
+        Message::Subscribe(s) => {
+            put_u32(out, s.room_id);
+            put_u16(out, (s.world_updates as u16) | ((s.events as u16) << 1));
+            put_u16(out, 0);
+        }
+        Message::UpdateBatch(_)
+        | Message::Reject(_)
+        | Message::WorldUpdate(_)
+        | Message::Event(_) => unreachable!("handled above"),
     }
+    end_frame(out, header_at);
+}
+
+/// Encodes a `WorldUpdate` frame straight from a fused [`WorldFrame`],
+/// appended to `out` — the world hub's hot path (the frame's `events`
+/// travel separately; see [`encode_event_into`]).
+pub fn encode_world_update_into(room_id: u32, seq: u64, frame: &WorldFrame, out: &mut Vec<u8>) {
+    let header_at = begin_frame(out, 8);
+    put_u32(out, room_id);
+    put_u64(out, seq);
+    put_u64(out, frame.epoch);
+    put_f64(out, frame.time_s);
+    put_u16(out, frame.tracks.len() as u16);
+    put_u16(out, 0);
+    for t in &frame.tracks {
+        put_u64(out, t.id.0);
+        for v in [t.position, t.velocity, t.pos_var] {
+            put_f64(out, v.x);
+            put_f64(out, v.y);
+            put_f64(out, v.z);
+        }
+        out.push(t.coasting as u8);
+        out.push(t.contributors);
+        put_u16(out, 0);
+        put_u32(out, t.primary_sensor.unwrap_or(u32::MAX));
+    }
+    end_frame(out, header_at);
+}
+
+/// Encodes an `Event` frame appended to `out`. Every variant maps onto
+/// one fixed generic record (unused fields zeroed), so new event kinds
+/// never change the frame shape.
+pub fn encode_event_into(room_id: u32, event: &WorldEvent, out: &mut Vec<u8>) {
+    let header_at = begin_frame(out, 9);
+    let (kind, track, zone, sensor_a, sensor_b, time_s, vec, aux, aux2) = match *event {
+        WorldEvent::TrackBorn {
+            track,
+            time_s,
+            position,
+        } => (1u16, Some(track), 0, 0, 0, time_s, position, 0.0, 0.0),
+        WorldEvent::TrackLost {
+            track,
+            time_s,
+            position,
+        } => (2, Some(track), 0, 0, 0, time_s, position, 0.0, 0.0),
+        WorldEvent::Fall {
+            track,
+            time_s,
+            from_z,
+            to_z,
+        } => (3, Some(track), 0, 0, 0, time_s, Vec3::ZERO, from_z, to_z),
+        WorldEvent::ZoneEntered {
+            track,
+            zone,
+            time_s,
+        } => (4, Some(track), zone, 0, 0, time_s, Vec3::ZERO, 0.0, 0.0),
+        WorldEvent::ZoneExited {
+            track,
+            zone,
+            time_s,
+        } => (5, Some(track), zone, 0, 0, time_s, Vec3::ZERO, 0.0, 0.0),
+        WorldEvent::OccupancyChanged {
+            zone,
+            count,
+            time_s,
+        } => (6, None, zone, 0, 0, time_s, Vec3::ZERO, count as f64, 0.0),
+        WorldEvent::Handoff {
+            track,
+            from_sensor,
+            to_sensor,
+            time_s,
+        } => (
+            7,
+            Some(track),
+            0,
+            from_sensor,
+            to_sensor,
+            time_s,
+            Vec3::ZERO,
+            0.0,
+            0.0,
+        ),
+        WorldEvent::Pointing {
+            track,
+            sensor,
+            time_s,
+            direction,
+        } => (8, track, 0, sensor, 0, time_s, direction, 0.0, 0.0),
+    };
+    put_u32(out, room_id);
+    put_u16(out, kind);
+    put_u16(out, 0);
+    put_u64(out, track.map(|t| t.0).unwrap_or(u64::MAX));
+    put_u32(out, zone);
+    put_u32(out, sensor_a);
+    put_u32(out, sensor_b);
+    put_u32(out, 0);
+    put_f64(out, time_s);
+    put_f64(out, vec.x);
+    put_f64(out, vec.y);
+    put_f64(out, vec.z);
+    put_f64(out, aux);
+    put_f64(out, aux2);
     end_frame(out, header_at);
 }
 
@@ -641,7 +823,7 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::UnsupportedVersion(version));
     }
     let msg_type = buf[5];
-    let max_type = if version >= 2 { 6 } else { 5 };
+    let max_type = if version >= 2 { 9 } else { 5 };
     if !(1..=max_type).contains(&msg_type) {
         return Err(WireError::UnknownType(msg_type));
     }
@@ -836,6 +1018,10 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
                         position,
                         velocity: (flags & 0b10 != 0).then_some(velocity),
                         held: flags & 0b1 != 0,
+                        // The v1 per-sensor update record does not carry
+                        // uncertainty; world-level tracks do (WorldUpdate).
+                        pos_var: None,
+                        innovation: None,
                     });
                 }
                 updates.push(FrameReport {
@@ -855,6 +1041,118 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
             let code = RejectCode::from_u16(r.u16()?)?;
             let _reserved = r.u16()?;
             Message::Reject(Reject { sensor_id, code })
+        }
+        7 => {
+            let room_id = r.u32()?;
+            let flags = r.u16()?;
+            let _reserved = r.u16()?;
+            Message::Subscribe(Subscribe {
+                room_id,
+                world_updates: flags & 0b1 != 0,
+                events: flags & 0b10 != 0,
+            })
+        }
+        8 => {
+            let room_id = r.u32()?;
+            let seq = r.u64()?;
+            let epoch = r.u64()?;
+            let time_s = r.f64()?;
+            let n_tracks = r.u16()?;
+            let _reserved = r.u16()?;
+            let mut tracks = Vec::with_capacity(n_tracks as usize);
+            for _ in 0..n_tracks {
+                let id = WorldTrackId(r.u64()?);
+                let mut vecs = [Vec3::ZERO; 3];
+                for v in &mut vecs {
+                    *v = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
+                }
+                let coasting = r.u8()? & 0b1 != 0;
+                let contributors = r.u8()?;
+                let _pad = r.u16()?;
+                let primary = r.u32()?;
+                tracks.push(WorldTrackSnapshot {
+                    id,
+                    position: vecs[0],
+                    velocity: vecs[1],
+                    pos_var: vecs[2],
+                    coasting,
+                    contributors,
+                    primary_sensor: (primary != u32::MAX).then_some(primary),
+                });
+            }
+            Message::WorldUpdate(WorldUpdateMsg {
+                room_id,
+                seq,
+                frame: WorldFrame {
+                    epoch,
+                    time_s,
+                    tracks,
+                    events: Vec::new(),
+                },
+            })
+        }
+        9 => {
+            let room_id = r.u32()?;
+            let kind = r.u16()?;
+            let _reserved = r.u16()?;
+            let track_raw = r.u64()?;
+            let track = (track_raw != u64::MAX).then_some(WorldTrackId(track_raw));
+            let zone = r.u32()?;
+            let sensor_a = r.u32()?;
+            let sensor_b = r.u32()?;
+            let _reserved2 = r.u32()?;
+            let time_s = r.f64()?;
+            let vec = Vec3::new(r.f64()?, r.f64()?, r.f64()?);
+            let aux = r.f64()?;
+            let aux2 = r.f64()?;
+            let need_track = || track.ok_or(WireError::BadPayload("event requires a track id"));
+            let event = match kind {
+                1 => WorldEvent::TrackBorn {
+                    track: need_track()?,
+                    time_s,
+                    position: vec,
+                },
+                2 => WorldEvent::TrackLost {
+                    track: need_track()?,
+                    time_s,
+                    position: vec,
+                },
+                3 => WorldEvent::Fall {
+                    track: need_track()?,
+                    time_s,
+                    from_z: aux,
+                    to_z: aux2,
+                },
+                4 => WorldEvent::ZoneEntered {
+                    track: need_track()?,
+                    zone,
+                    time_s,
+                },
+                5 => WorldEvent::ZoneExited {
+                    track: need_track()?,
+                    zone,
+                    time_s,
+                },
+                6 => WorldEvent::OccupancyChanged {
+                    zone,
+                    count: aux as u32,
+                    time_s,
+                },
+                7 => WorldEvent::Handoff {
+                    track: need_track()?,
+                    from_sensor: sensor_a,
+                    to_sensor: sensor_b,
+                    time_s,
+                },
+                8 => WorldEvent::Pointing {
+                    track,
+                    sensor: sensor_a,
+                    time_s,
+                    direction: vec,
+                },
+                _ => return Err(WireError::BadPayload("unknown event kind")),
+            };
+            Message::Event(EventMsg { room_id, event })
         }
         t => return Err(WireError::UnknownType(t)),
     };

@@ -4,13 +4,14 @@
 
 use witrack_core::{FrameReport, TargetReport, WiTrackConfig};
 use witrack_fmcw::SweepConfig;
+use witrack_fuse::{WorldEvent, WorldFrame, WorldTrackId, WorldTrackSnapshot};
 use witrack_geom::Vec3;
 use witrack_serve::engine::{EngineConfig, EngineEvent, ShardedEngine};
 use witrack_serve::factory::{hello_for, witrack_factory};
 use witrack_serve::transport::{TcpTransport, Transport, TransportRx, TransportTx};
 use witrack_serve::wire::{
-    self, Hello, Message, PipelineKind, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch,
-    WireError, HEADER_LEN, MAGIC,
+    self, EventMsg, Hello, Message, PipelineKind, Reject, RejectCode, Subscribe, SweepBatch,
+    Teardown, UpdateBatch, WireError, WorldUpdateMsg, HEADER_LEN, MAGIC,
 };
 
 fn reduced_base() -> WiTrackConfig {
@@ -59,12 +60,16 @@ fn sample_messages() -> Vec<Message> {
                         position: Vec3::new(1.0, 4.5, 1.2),
                         velocity: Some(Vec3::new(-0.5, 0.25, 0.0)),
                         held: false,
+                        pos_var: None,
+                        innovation: None,
                     },
                     TargetReport {
                         id: None,
                         position: Vec3::new(-2.0, 6.0, 0.9),
                         velocity: None,
                         held: true,
+                        pos_var: None,
+                        innovation: None,
                     },
                 ],
             }],
@@ -73,6 +78,116 @@ fn sample_messages() -> Vec<Message> {
             sensor_id: 42,
             code: RejectCode::UnknownSensor,
         }),
+        Message::Subscribe(Subscribe {
+            room_id: 3,
+            world_updates: true,
+            events: false,
+        }),
+        Message::WorldUpdate(WorldUpdateMsg {
+            room_id: 3,
+            seq: 11,
+            frame: WorldFrame {
+                epoch: 480,
+                time_s: 6.0,
+                tracks: vec![
+                    WorldTrackSnapshot {
+                        id: WorldTrackId(2),
+                        position: Vec3::new(1.0, 4.0, 1.1),
+                        velocity: Vec3::new(0.5, -0.25, 0.0),
+                        pos_var: Vec3::new(0.01, 0.02, 0.08),
+                        coasting: false,
+                        contributors: 2,
+                        primary_sensor: Some(7),
+                    },
+                    WorldTrackSnapshot {
+                        id: WorldTrackId(5),
+                        position: Vec3::new(-2.0, 8.0, 0.9),
+                        velocity: Vec3::ZERO,
+                        pos_var: Vec3::new(0.5, 0.5, 0.5),
+                        coasting: true,
+                        contributors: 0,
+                        primary_sensor: None,
+                    },
+                ],
+                // Events travel as separate frames; the codec drops them.
+                events: Vec::new(),
+            },
+        }),
+        Message::Event(EventMsg {
+            room_id: 3,
+            event: WorldEvent::Fall {
+                track: WorldTrackId(2),
+                time_s: 6.0,
+                from_z: 1.1,
+                to_z: 0.15,
+            },
+        }),
+        Message::Event(EventMsg {
+            room_id: 3,
+            event: WorldEvent::Handoff {
+                track: WorldTrackId(2),
+                from_sensor: 7,
+                to_sensor: 9,
+                time_s: 6.0,
+            },
+        }),
+    ]
+}
+
+/// One of every event kind, for exhaustive codec coverage.
+fn all_event_kinds() -> Vec<WorldEvent> {
+    let track = WorldTrackId(4);
+    let p = Vec3::new(0.5, 6.5, 1.0);
+    vec![
+        WorldEvent::TrackBorn {
+            track,
+            time_s: 1.0,
+            position: p,
+        },
+        WorldEvent::TrackLost {
+            track,
+            time_s: 2.0,
+            position: p,
+        },
+        WorldEvent::Fall {
+            track,
+            time_s: 3.0,
+            from_z: 1.0,
+            to_z: 0.1,
+        },
+        WorldEvent::ZoneEntered {
+            track,
+            zone: 9,
+            time_s: 4.0,
+        },
+        WorldEvent::ZoneExited {
+            track,
+            zone: 9,
+            time_s: 5.0,
+        },
+        WorldEvent::OccupancyChanged {
+            zone: 9,
+            count: 3,
+            time_s: 6.0,
+        },
+        WorldEvent::Handoff {
+            track,
+            from_sensor: 0,
+            to_sensor: 1,
+            time_s: 7.0,
+        },
+        WorldEvent::Pointing {
+            track: Some(track),
+            sensor: 1,
+            time_s: 8.0,
+            direction: Vec3::new(0.0, -1.0, 0.0),
+        },
+        WorldEvent::Pointing {
+            track: None,
+            sensor: 1,
+            time_s: 9.0,
+            direction: Vec3::new(1.0, 0.0, 0.0),
+        },
     ]
 }
 
@@ -193,6 +308,72 @@ fn truncated_frames_ask_for_more_bytes() {
     // "WTRK" in ASCII.
     assert_eq!(&MAGIC.to_le_bytes(), b"WTRK");
     assert_eq!(&frame[..4], b"WTRK");
+}
+
+#[test]
+fn every_event_kind_round_trips() {
+    for event in all_event_kinds() {
+        let msg = Message::Event(EventMsg { room_id: 12, event });
+        let frame = wire::encode(&msg);
+        let (decoded, used) = wire::decode(&frame).expect("decodes");
+        assert_eq!(used, frame.len());
+        assert_eq!(decoded, msg, "event {event:?}");
+    }
+}
+
+#[test]
+fn world_messages_are_v2_only() {
+    let sub = Message::Subscribe(Subscribe::all(1));
+    let mut frame = wire::encode(&sub);
+    frame[4] = 1; // rewrite as a v1 frame
+    assert_eq!(wire::decode(&frame), Err(WireError::UnknownType(7)));
+}
+
+#[test]
+fn truncated_world_update_asks_for_more_bytes() {
+    let msg = sample_messages()
+        .into_iter()
+        .find(|m| matches!(m, Message::WorldUpdate(_)))
+        .unwrap();
+    let frame = wire::encode(&msg);
+    for cut in [1, HEADER_LEN, frame.len() - 1] {
+        match wire::decode(&frame[..cut]) {
+            Err(WireError::Incomplete { needed }) => {
+                assert!(needed <= frame.len());
+                assert!(needed > cut);
+            }
+            other => panic!("cut at {cut}: {other:?}"),
+        }
+    }
+    // A payload length that lies (shorter than the track records claim)
+    // is a fatal BadPayload, not incomplete.
+    let mut lying = frame.clone();
+    let shorter = (frame.len() - HEADER_LEN - 16) as u32;
+    lying[8..12].copy_from_slice(&shorter.to_le_bytes());
+    lying.truncate(HEADER_LEN + shorter as usize);
+    assert!(matches!(
+        wire::decode(&lying),
+        Err(WireError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn unknown_event_kind_is_a_bad_payload() {
+    let msg = Message::Event(EventMsg {
+        room_id: 1,
+        event: WorldEvent::TrackBorn {
+            track: WorldTrackId(0),
+            time_s: 0.0,
+            position: Vec3::ZERO,
+        },
+    });
+    let mut frame = wire::encode(&msg);
+    // The kind field sits right after the 4-byte room id in the payload.
+    frame[HEADER_LEN + 4..HEADER_LEN + 6].copy_from_slice(&999u16.to_le_bytes());
+    assert_eq!(
+        wire::decode(&frame),
+        Err(WireError::BadPayload("unknown event kind"))
+    );
 }
 
 fn silent_frame_batch(base: &WiTrackConfig, sensor_id: u32, seq: u64) -> SweepBatch {

@@ -23,7 +23,9 @@
 //! experiment driver that also records VICON-style ground truth).
 //! [`fleet`] scales the whole stack out: K independent rooms emitting
 //! per-sensor sweep streams in lockstep, the workload of the
-//! `witrack-serve` engine.
+//! `witrack-serve` engine. [`vantage`] is the converse: one room's
+//! walkers observed by several posed sensors with overlapping coverage,
+//! the workload of cross-sensor fusion (`witrack-fuse`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +39,7 @@ pub mod motion;
 pub mod multi;
 pub mod scene;
 pub mod simulator;
+pub mod vantage;
 
 pub use body::BodyModel;
 pub use channel::{Channel, PathEcho};
@@ -47,6 +50,7 @@ pub use motion::{BodyState, MotionModel};
 pub use multi::{scenario, MultiSimulator, PersonSpec};
 pub use scene::{Scene, StaticReflector, Wall};
 pub use simulator::{SimConfig, Simulator, SweepSet};
+pub use vantage::{MultiVantageSimulator, VantageSpec};
 
 use rand::Rng;
 

@@ -1,0 +1,295 @@
+//! Two sensors, one room, one world: cross-sensor fusion and handoff.
+//!
+//! A 12 m hallway is covered by two WiTrack units facing each other from
+//! opposite ends, each reaching 8 m — so the middle 4 m is seen by both
+//! and each end by only one. A walker crosses the whole hallway: sensor
+//! 0 acquires them, the fusion layer (`witrack-fuse`, served through
+//! `witrack-serve` room subscriptions) carries one world track across
+//! the coverage boundary, and sensor 1 finishes the job — same identity
+//! throughout, with a `Handoff` event marking the switch. The example
+//! also auto-calibrates sensor 1's mounting pose from the shared
+//! trajectory and compares it to the ground truth.
+//!
+//! ```text
+//! cargo run --release --example room_fusion            # paper-config sweeps
+//! cargo run --release --example room_fusion -- --quick # reduced sweeps
+//! ```
+
+use std::collections::BTreeMap;
+use std::f64::consts::PI;
+use std::sync::{Arc, Mutex};
+use witrack_repro::core::fall::FallConfig;
+use witrack_repro::core::WiTrackConfig;
+use witrack_repro::fuse::{
+    CalibrationConfig, FuseConfig, Registration, TrackSample, WorldEvent, Zone,
+};
+use witrack_repro::geom::{AntennaArray, RigidTransform, Vec3};
+use witrack_repro::serve::engine::{EngineConfig, OverloadPolicy};
+use witrack_repro::serve::factory::{hello_for, witrack_factory};
+use witrack_repro::serve::hub::WorldConfig;
+use witrack_repro::serve::transport::in_proc_pair;
+use witrack_repro::serve::wire::{EventMsg, Message, PipelineKind, Subscribe, WorldUpdateMsg};
+use witrack_repro::serve::{SensorClient, Server};
+use witrack_repro::sim::vantage::{scenario, MultiVantageSimulator};
+use witrack_repro::sim::SimConfig;
+
+const HALLWAY_M: f64 = 12.0;
+const COVERAGE_M: f64 = 8.0;
+const ROOM: u32 = 7;
+
+fn main() {
+    // `--quick` selects the mid sweep rather than the usual smoke-grade
+    // reduced sweep: fusion quality depends on range resolution, and the
+    // reduced sweep's 1.77 m bins leave nothing meaningful to fuse.
+    let sweep = if std::env::args().any(|a| a == "--quick") {
+        witrack_repro::demo::mid_sweep()
+    } else {
+        witrack_repro::fmcw::SweepConfig::witrack()
+    };
+    let base = WiTrackConfig {
+        sweep,
+        max_round_trip_m: 30.0,
+        ..WiTrackConfig::witrack_default()
+    };
+    let duration_s = 10.0;
+    let world_from_s1 = RigidTransform::from_yaw(PI, Vec3::new(0.0, HALLWAY_M, 0.0));
+
+    println!("room fusion: 2 sensors x {COVERAGE_M} m coverage over a {HALLWAY_M} m hallway");
+    println!(
+        "overlap: y in [{:.0}, {:.0}] m; walker crosses end to end in {duration_s:.0} s\n",
+        HALLWAY_M - COVERAGE_M,
+        COVERAGE_M
+    );
+
+    let mut sim = MultiVantageSimulator::new(
+        SimConfig {
+            sweep,
+            noise_std: 0.05,
+            seed: 17,
+        },
+        AntennaArray::t_shape(Vec3::new(0.0, 0.0, 1.0), 1.0),
+        scenario::facing_pair(HALLWAY_M, COVERAGE_M),
+        scenario::hallway_crossing(HALLWAY_M, duration_s),
+    );
+
+    // The serving side: one fused room over both sensors, with a zone per
+    // hallway half.
+    let registration = Registration::new()
+        .with_sensor(0, RigidTransform::IDENTITY)
+        .with_sensor(1, world_from_s1)
+        // Declared coverage arms the corroboration ghost filter where
+        // the two sensors overlap.
+        .with_coverage(0, COVERAGE_M)
+        .with_coverage(1, COVERAGE_M);
+    let fuse_cfg = FuseConfig {
+        frame_period_s: sweep.frame_duration_s(),
+        obs_std_floor_m: 0.25,
+        gate_mahalanobis_sq: 25.0,
+        max_uncorroborated_epochs: 150,
+        coverage_margin_m: 0.25,
+        min_new_track_separation_m: 2.5,
+        // The single-target backend reports from its very first fix, so
+        // its acquisition transient at a coverage edge can emit garbage
+        // positions; a longer world-level gauntlet keeps those tentative.
+        confirm_hits: 20,
+        // Nobody falls in this demo; tighten the rule so the z-noise of
+        // a cross-coverage transition cannot fake an alarm.
+        fall: FallConfig {
+            ground_z: 0.2,
+            drop_fraction: 0.6,
+            ..FallConfig::default()
+        },
+        ..FuseConfig::default()
+    }
+    .with_zones(vec![
+        Zone {
+            id: 1,
+            name: "near half".into(),
+            x: (-3.0, 3.0),
+            y: (0.0, HALLWAY_M / 2.0),
+        },
+        Zone {
+            id: 2,
+            name: "far half".into(),
+            x: (-3.0, 3.0),
+            y: (HALLWAY_M / 2.0, HALLWAY_M),
+        },
+    ]);
+    let server = Server::start_with_world(
+        EngineConfig {
+            queue_capacity: 8,
+            overload: OverloadPolicy::Block,
+            ..Default::default()
+        },
+        witrack_factory(base),
+        Some(WorldConfig::single_room(ROOM, fuse_cfg, registration)),
+    );
+    let (client_end, server_end) = in_proc_pair(64);
+    server.attach(server_end).expect("attach");
+
+    // Collect world updates, events, and the raw per-sensor reports (the
+    // latter feed the auto-calibration demo).
+    type Collected = (
+        Vec<WorldUpdateMsg>,
+        Vec<EventMsg>,
+        BTreeMap<u32, Vec<TrackSample>>,
+    );
+    let seen: Arc<Mutex<Collected>> = Arc::new(Mutex::new(Default::default()));
+    let sink = Arc::clone(&seen);
+    let mut client = SensorClient::connect_with(
+        client_end,
+        Some(Box::new(move |msg: &Message| {
+            let mut c = sink.lock().expect("collector poisoned");
+            match msg {
+                Message::WorldUpdate(w) => c.0.push(w.clone()),
+                Message::Event(e) => c.1.push(*e),
+                Message::UpdateBatch(u) => {
+                    for r in &u.updates {
+                        for t in &r.targets {
+                            if !t.held {
+                                c.2.entry(u.sensor_id)
+                                    .or_default()
+                                    .push((r.time_s, t.position));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        })),
+    )
+    .expect("connect");
+
+    client.subscribe(Subscribe::all(ROOM)).expect("subscribe");
+    for sensor in 0..2 {
+        client
+            .hello(hello_for(&base, sensor, PipelineKind::SingleTarget))
+            .expect("hello");
+    }
+
+    let sweeps_per_frame = sweep.sweeps_per_frame;
+    let mut pending: Vec<Vec<Vec<Vec<f64>>>> = vec![Vec::new(); 2];
+    let mut seq = [0u64; 2];
+    while let Some(round) = sim.next_round() {
+        for rs in round {
+            let v = rs.sensor_id as usize;
+            pending[v].push(rs.set.per_rx);
+            if pending[v].len() == sweeps_per_frame {
+                client
+                    .send_sweeps(rs.sensor_id, seq[v], &pending[v])
+                    .expect("send");
+                seq[v] += 1;
+                pending[v].clear();
+            }
+        }
+    }
+    for sensor in 0..2 {
+        client.teardown(sensor).expect("teardown");
+    }
+    client.close();
+
+    let (updates, events, trajectories) = Arc::try_unwrap(seen)
+        .unwrap_or_else(|_| panic!("collector still shared"))
+        .into_inner()
+        .expect("collector poisoned");
+
+    // The world track's journey, sampled once a second.
+    println!(
+        "{:>6} {:>7} {:>22} {:>8} {:>8}",
+        "t (s)", "track", "world position (m)", "anchor", "sensors"
+    );
+    let mut next_sample = 0.5;
+    for u in &updates {
+        if u.frame.time_s < next_sample {
+            continue;
+        }
+        next_sample += 1.0;
+        for t in &u.frame.tracks {
+            println!(
+                "{:>6.1} {:>7} {:>22} {:>8} {:>8}",
+                u.frame.time_s,
+                t.id.to_string(),
+                t.position.to_string(),
+                t.primary_sensor
+                    .map(|s| format!("S{s}"))
+                    .unwrap_or_else(|| "-".into()),
+                t.contributors
+            );
+        }
+    }
+
+    println!("\nfleet events:");
+    for e in &events {
+        match e.event {
+            WorldEvent::TrackBorn {
+                track,
+                time_s,
+                position,
+            } => {
+                println!("  {time_s:6.2} s  {track} born at {position}")
+            }
+            WorldEvent::Handoff {
+                track,
+                from_sensor,
+                to_sensor,
+                time_s,
+            } => {
+                println!("  {time_s:6.2} s  {track} handed off S{from_sensor} -> S{to_sensor}")
+            }
+            WorldEvent::ZoneEntered {
+                track,
+                zone,
+                time_s,
+            } => {
+                println!("  {time_s:6.2} s  {track} entered zone {zone}")
+            }
+            WorldEvent::ZoneExited {
+                track,
+                zone,
+                time_s,
+            } => {
+                println!("  {time_s:6.2} s  {track} left zone {zone}")
+            }
+            WorldEvent::OccupancyChanged {
+                zone,
+                count,
+                time_s,
+            } => {
+                println!("  {time_s:6.2} s  zone {zone} occupancy -> {count}")
+            }
+            other => println!("  {:6.2} s  {}", other.time_s(), other.kind()),
+        }
+    }
+
+    // Auto-calibration: recover sensor 1's mounting from the shared walk.
+    println!("\nauto-calibration from the shared trajectory:");
+    match Registration::calibrate(
+        0,
+        RigidTransform::IDENTITY,
+        &trajectories,
+        &CalibrationConfig {
+            max_pair_dt_s: sweep.frame_duration_s() * 0.6,
+            min_pairs: 24,
+            max_rms_residual_m: 1.0,
+        },
+    ) {
+        Ok(reg) => {
+            let fitted = reg.get(1).expect("sensor 1 calibrated");
+            let probe = Vec3::new(0.0, 5.0, 1.0);
+            let err = fitted.apply(probe).distance(world_from_s1.apply(probe));
+            println!(
+                "  fitted S1 origin at {} (truth {}), probe-point error {:.2} m",
+                fitted.translation, world_from_s1.translation, err
+            );
+        }
+        Err(e) => println!("  calibration unavailable this run: {e}"),
+    }
+
+    let m = server.shutdown();
+    println!(
+        "\nengine: {} world frames, {} fleet events, {} sensor frames in",
+        m.world_frames, m.world_events, m.frames_emitted
+    );
+    println!("\nOne track, two sensors, zero identity breaks: the world model");
+    println!("the paper's single-device prototype could not see.");
+}

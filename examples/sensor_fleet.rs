@@ -1,11 +1,14 @@
-//! A fleet of sensor-equipped rooms streaming into one serving host.
+//! A fleet of sensor-equipped rooms served as fused *worlds*, not raw
+//! sensor streams.
 //!
 //! Four rooms — different wall layouts, one to three walkers each — feed
-//! their baseband sweeps through the `witrack-serve` wire protocol (over
-//! the in-process transport) into a sharded engine on this host. Rooms
+//! their baseband sweeps through the `witrack-serve` wire protocol into
+//! a sharded engine on this host. Each room is registered as a fused
+//! world (`witrack-fuse`): the client subscribes to **rooms** and
+//! receives world tracks with covariance, per-zone occupancy, and fleet
+//! events — instead of tallying disjoint per-sensor target lists. Rooms
 //! with one walker run the single-target pipeline; busier rooms run
-//! `witrack-mtt`. The example prints what each room's sensor reports and
-//! the engine's health counters at the end.
+//! `witrack-mtt`.
 //!
 //! ```text
 //! cargo run --release --example sensor_fleet            # paper-config sweeps
@@ -15,10 +18,13 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use witrack_repro::core::WiTrackConfig;
+use witrack_repro::fuse::{FuseConfig, Registration, WorldEvent, Zone};
+use witrack_repro::geom::RigidTransform;
 use witrack_repro::serve::engine::{EngineConfig, OverloadPolicy};
 use witrack_repro::serve::factory::{hello_for, witrack_factory};
+use witrack_repro::serve::hub::{RoomSpec, WorldConfig};
 use witrack_repro::serve::transport::in_proc_pair;
-use witrack_repro::serve::wire::{Message, PipelineKind};
+use witrack_repro::serve::wire::{Message, PipelineKind, Subscribe};
 use witrack_repro::serve::{SensorClient, Server};
 use witrack_repro::sim::{FleetConfig, FleetSimulator, SimConfig};
 
@@ -43,7 +49,7 @@ fn main() {
     };
     let mut fleet = FleetSimulator::new(fleet_cfg);
 
-    println!("sensor fleet: {rooms} rooms -> one serving host");
+    println!("sensor fleet: {rooms} rooms -> one serving host, fused world per room");
     println!(
         "sweep: {} samples, frame period {:.1} ms; {:.0} s of signal per room\n",
         sweep.samples_per_sweep(),
@@ -51,44 +57,82 @@ fn main() {
         duration_s
     );
 
-    // The serving side: a sharded engine behind the wire protocol.
-    let server = Server::start(
+    // One fused room per sensor: sensor i sits at its room's origin
+    // (identity extrinsic), with the room's walkable area as one zone.
+    let world = WorldConfig {
+        rooms: (0..rooms as u32)
+            .map(|i| RoomSpec {
+                room_id: i,
+                fuse: FuseConfig {
+                    frame_period_s: sweep.frame_duration_s(),
+                    obs_std_floor_m: 0.25,
+                    gate_mahalanobis_sq: 25.0,
+                    ..FuseConfig::default()
+                }
+                .with_zones(vec![Zone {
+                    id: 100 + i,
+                    name: format!("room {i} floor"),
+                    x: (-3.0, 3.5),
+                    y: (0.0, 10.0),
+                }]),
+                registration: Registration::new().with_sensor(i, RigidTransform::IDENTITY),
+            })
+            .collect(),
+    };
+    let server = Server::start_with_world(
         EngineConfig {
             queue_capacity: 8,
             overload: OverloadPolicy::Block,
             ..Default::default()
         },
         witrack_factory(base),
+        Some(world),
     );
     let (client_end, server_end) = in_proc_pair(64);
     server
         .attach(server_end)
         .expect("attach in-process connection");
 
-    // The sensor side: one multiplexed connection carrying all rooms.
-    // Established-target counts per sensor are tallied from the update
-    // stream by the client's drain thread.
-    let seen: Arc<Mutex<BTreeMap<u32, (u64, usize)>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    // Per-room tallies from the *world* stream: fused frames, peak
+    // concurrent world tracks, peak occupancy, and event counts by kind.
+    #[derive(Default)]
+    struct RoomTally {
+        world_frames: u64,
+        peak_tracks: usize,
+        peak_occupancy: u32,
+        events: BTreeMap<&'static str, u32>,
+    }
+    let seen: Arc<Mutex<BTreeMap<u32, RoomTally>>> = Arc::new(Mutex::new(BTreeMap::new()));
     let sink = Arc::clone(&seen);
     let mut client = SensorClient::connect_with(
         client_end,
         Some(Box::new(move |msg: &Message| {
-            if let Message::UpdateBatch(u) = msg {
-                let mut seen = sink.lock().expect("tally poisoned");
-                let entry = seen.entry(u.sensor_id).or_insert((0, 0));
-                entry.0 += u.updates.len() as u64;
-                entry.1 = entry
-                    .1
-                    .max(u.updates.iter().map(|r| r.targets.len()).max().unwrap_or(0));
+            let mut seen = sink.lock().expect("tally poisoned");
+            match msg {
+                Message::WorldUpdate(w) => {
+                    let tally = seen.entry(w.room_id).or_default();
+                    tally.world_frames += 1;
+                    tally.peak_tracks = tally.peak_tracks.max(w.frame.tracks.len());
+                }
+                Message::Event(e) => {
+                    let tally = seen.entry(e.room_id).or_default();
+                    *tally.events.entry(e.event.kind()).or_default() += 1;
+                    if let WorldEvent::OccupancyChanged { count, .. } = e.event {
+                        tally.peak_occupancy = tally.peak_occupancy.max(count);
+                    }
+                }
+                _ => {}
             }
         })),
     )
     .expect("connect client");
 
-    // Session lifecycle: single-walker rooms get the single-target
-    // pipeline, busier rooms the multi-target tracker.
+    // Session lifecycle: subscribe to every room's world, then open the
+    // sensor sessions (single-walker rooms get the single-target
+    // pipeline, busier rooms the multi-target tracker).
     let mut people = Vec::new();
     for i in 0..rooms as u32 {
+        client.subscribe(Subscribe::all(i)).expect("subscribe");
         let walkers = fleet.room(i as usize).num_people();
         people.push(walkers);
         let kind = if walkers == 1 {
@@ -122,28 +166,40 @@ fn main() {
     let stats = client.close();
 
     println!(
-        "{:>6} {:>8} {:>14} {:>16}",
-        "room", "walkers", "frames back", "peak targets"
+        "{:>6} {:>8} {:>13} {:>12} {:>10} {:>24}",
+        "room", "walkers", "world frames", "peak tracks", "peak occ", "events"
     );
     let seen = seen.lock().expect("tally poisoned");
     for (room, walkers) in people.iter().enumerate() {
-        let (frames, peak) = seen.get(&(room as u32)).copied().unwrap_or((0, 0));
-        println!("{room:>6} {walkers:>8} {frames:>14} {peak:>16}");
+        let empty = RoomTally::default();
+        let tally = seen.get(&(room as u32)).unwrap_or(&empty);
+        let events: Vec<String> = tally
+            .events
+            .iter()
+            .map(|(k, n)| format!("{k}x{n}"))
+            .collect();
+        println!(
+            "{room:>6} {walkers:>8} {:>13} {:>12} {:>10} {:>24}",
+            tally.world_frames,
+            tally.peak_tracks,
+            tally.peak_occupancy,
+            events.join(" ")
+        );
     }
 
     let m = server.shutdown();
     println!(
-        "\nclient: {} update batches, {} frames, {} rejects",
-        stats.update_batches, stats.frames, stats.rejects
+        "\nclient: {} world frames, {} fleet events, {} rejects",
+        stats.world_updates, stats.world_events, stats.rejects
     );
     println!(
-        "engine: {} batches in, {} sweeps processed, {} frames emitted",
-        m.batches_in, m.sweeps_processed, m.frames_emitted
+        "engine: {} batches in, {} sweeps processed, {} sensor frames, {} world frames",
+        m.batches_in, m.sweeps_processed, m.frames_emitted, m.world_frames
     );
     println!(
         "health: {} dropped, {} shed to lagging clients, {} seq gaps, peak queue {}",
         m.batches_dropped, m.updates_dropped, m.seq_gaps, m.max_inflight
     );
-    println!("\nEvery room kept its own pipeline and identity on one host —");
-    println!("the serving layer the paper's single-room prototype never needed.");
+    println!("\nClients subscribe to rooms, not sensors: every room arrives as one");
+    println!("coherent world — tracks with covariance, occupancy, and alerts.");
 }

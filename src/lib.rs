@@ -17,6 +17,10 @@
 //! * [`serve`] — the sharded multi-sensor streaming engine: many sensor
 //!   deployments multiplexed over worker shards on one host, with a
 //!   length-prefixed binary wire protocol.
+//! * [`fuse`] — cross-sensor track fusion: SE(3) sensor registration,
+//!   the world-model fusion engine (one coherent track set across
+//!   overlapping sensors), and fleet events (occupancy, falls,
+//!   handoffs) served through `serve`'s room subscriptions.
 //!
 //! # Quickstart
 //!
@@ -53,6 +57,7 @@ pub use witrack_baselines as baselines;
 pub use witrack_core as core;
 pub use witrack_dsp as dsp;
 pub use witrack_fmcw as fmcw;
+pub use witrack_fuse as fuse;
 pub use witrack_geom as geom;
 pub use witrack_mtt as mtt;
 pub use witrack_serve as serve;
