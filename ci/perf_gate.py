@@ -20,6 +20,19 @@ Understands the artifact shapes this repo emits:
   metric ``fused_tracks_per_sec`` (the ``handoff_latency_ms`` scalar is
   lower-is-better and informational, so it is not gated).
 
+Rows may additionally carry latency-quantile fields (``*_p50_ns`` /
+``*_p99_ns``, from the witrack-obs stage histograms). These are
+lower-is-better: a fresh quantile above ``baseline * (1 +
+lat-tolerance)`` fails. The histograms bucket at log2 (≤2x relative
+resolution), so one bucket of jitter can double an estimate — the
+default latency tolerance is 3.0 (fail only past 4x baseline).
+Artifacts written before these fields existed simply contribute no
+latency entries, so old-vs-new comparisons still work. The t_serve
+shard-queue latencies (``queue_wait_*``, ``dequeue_to_report_*``)
+measure queue occupancy under deliberate Block backpressure — they
+swing an order of magnitude with host load, so they are carried in the
+artifact for inspection but never gated.
+
 Only entries present in BOTH files are compared (CI smoke runs a subset
 of the baseline matrix). Improvements never fail; a fresh value below
 ``baseline * (1 - tolerance)`` does. Exits 0 on pass, 1 on regression,
@@ -31,11 +44,28 @@ import json
 import sys
 
 
+# Latency fields that track queue occupancy (not code speed): present
+# in the artifact, never gated.
+UNGATED_LATENCY = ("queue_wait", "dequeue_to_report")
+
+
+def latency_entries(key, row):
+    """Yield lower-is-better latency-quantile entries a row may carry.
+
+    Rows written before the telemetry fields existed yield nothing, so a
+    new gate run still compares cleanly against an old baseline.
+    """
+    for field, value in row.items():
+        if field.endswith(("_p50_ns", "_p99_ns")) and not field.startswith(UNGATED_LATENCY):
+            yield key + (field,), float(value)
+
+
 def entries(doc):
     """Yield (key, metric_value) pairs for any supported artifact shape."""
     if "scenarios" in doc:
         for s in doc["scenarios"]:
             yield s["name"], float(s["frames_per_sec"])
+            yield from latency_entries((s["name"],), s)
     elif "results" in doc:
         for r in doc["results"]:
             if "variant" in r:  # t_ingest rows
@@ -44,11 +74,13 @@ def entries(doc):
             if "fused_tracks_per_sec" in r:  # t_fuse rows
                 key = ("fuse", r["sensors"], r.get("overlap", 1.0))
                 yield key + ("fused/s",), float(r["fused_tracks_per_sec"])
+                yield from latency_entries(key, r)
                 continue
             key = (r.get("wire", "f64"), r["shards"], r["sensors"])
             yield key + ("fps",), float(r["per_sensor_fps"])
             if "wire_mb_per_sec" in r:
                 yield key + ("MB/s",), float(r["wire_mb_per_sec"])
+            yield from latency_entries(key, r)
         sustained = doc.get("sensors_sustained_realtime")
         if isinstance(sustained, dict):
             for wire, n in sustained.items():
@@ -65,6 +97,10 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional drop (default 0.30)")
+    ap.add_argument("--lat-tolerance", type=float, default=3.0,
+                    help="allowed fractional growth of latency quantiles "
+                         "(default 3.0, i.e. fail past 4x baseline; the "
+                         "log2 histogram buckets make finer gates noisy)")
     args = ap.parse_args()
 
     try:
@@ -100,14 +136,21 @@ def main():
     for key in common:
         baseline = base[key]
         tolerance = args.tolerance
+        lower_is_better = (isinstance(key, tuple) and key
+                           and str(key[-1]).endswith("_ns"))
         if isinstance(key, tuple) and key and key[0] == "sustained":
             limit = fresh_max_sensors.get(key[1])
             if limit is not None:
                 baseline = min(baseline, float(limit))
             tolerance = max(tolerance, 0.5)
-        floor = baseline * (1.0 - tolerance)
+        if lower_is_better:
+            ceiling = baseline * (1.0 + args.lat_tolerance)
+            ok = fresh[key] <= ceiling
+        else:
+            floor = baseline * (1.0 - tolerance)
+            ok = fresh[key] >= floor
         ratio = fresh[key] / baseline if baseline > 0 else float("inf")
-        verdict = "ok" if fresh[key] >= floor else "REGRESSION"
+        verdict = "ok" if ok else "REGRESSION"
         failed |= verdict != "ok"
         print(f"  {key!s:>32}: baseline {baseline:10.1f}  fresh {fresh[key]:10.1f}"
               f"  ({ratio:6.1%})  {verdict}")
@@ -117,7 +160,9 @@ def main():
 
     if failed:
         print(f"perf gate: FAIL — fresh throughput fell more than "
-              f"{args.tolerance:.0%} below baseline", file=sys.stderr)
+              f"{args.tolerance:.0%} below baseline (or a latency quantile "
+              f"rose more than {args.lat_tolerance:.0%} above it)",
+              file=sys.stderr)
         return 1
     print(f"perf gate: pass ({len(common)} entries within {args.tolerance:.0%})")
     return 0

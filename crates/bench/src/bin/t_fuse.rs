@@ -12,7 +12,9 @@
 //! per second; handoff latency — how many epochs the world model needs
 //! to re-anchor a track after its sensor goes dark and another acquires
 //! it — is measured separately on a two-sensor hallway and reported in
-//! milliseconds at the paper's 80 fps frame cadence.
+//! milliseconds at the paper's 80 fps frame cadence. Each cell also
+//! reports per-`push_report` latency p50/p99 (a `witrack-obs`
+//! histogram around the ingest + epoch-fusion call).
 //!
 //! Flags: `--sensors A,B,..` (default `2,4,8`), `--overlap A,B,..`
 //! (default `0.5,1.0`), `--walkers N` (default 6), `--epochs N`
@@ -25,6 +27,7 @@ use witrack_bench::printing::banner;
 use witrack_core::{FrameReport, TargetReport};
 use witrack_fuse::{FuseConfig, FusionEngine, Registration, Zone};
 use witrack_geom::{RigidTransform, Vec3};
+use witrack_obs::{Histo, HistoSnapshot};
 
 const FRAME_PERIOD_S: f64 = 0.0125; // the paper's 80 fps cadence
 
@@ -129,6 +132,8 @@ struct CellResult {
     fused_track_epochs: u64,
     events: u64,
     elapsed_sec: f64,
+    /// Per-`push_report` latency (ingest + any epoch fusion it flushed).
+    push_latency: HistoSnapshot,
 }
 
 impl CellResult {
@@ -153,6 +158,7 @@ fn run_cell(sensors: usize, overlap: f64, walkers: usize, epochs: u64) -> CellRe
     let var = Vec3::new(0.02, 0.02, 0.05);
     let mut fused_track_epochs = 0u64;
     let mut events = 0u64;
+    let push_latency = Histo::new();
     let start = Instant::now();
     let mut report = FrameReport {
         frame_index: 0,
@@ -181,10 +187,12 @@ fn run_cell(sensors: usize, overlap: f64, walkers: usize, epochs: u64) -> CellRe
                     innovation: None,
                 });
             }
+            let pushed_at = Instant::now();
             for frame in engine.push_report(s as u32, &report) {
                 fused_track_epochs += frame.tracks.len() as u64;
                 events += frame.events.len() as u64;
             }
+            push_latency.record_since(pushed_at);
         }
     }
     CellResult {
@@ -195,6 +203,7 @@ fn run_cell(sensors: usize, overlap: f64, walkers: usize, epochs: u64) -> CellRe
         fused_track_epochs,
         events,
         elapsed_sec: start.elapsed().as_secs_f64().max(1e-9),
+        push_latency: push_latency.snapshot(),
     }
 }
 
@@ -258,22 +267,34 @@ fn main() {
         "beyond the paper: §6 applications lifted onto a fused multi-sensor world model",
     );
     println!(
-        "{:>8} {:>8} {:>8} {:>8} {:>14} {:>12} {:>10}",
-        "sensors", "overlap", "walkers", "epochs", "fused trk/s", "epochs/s", "events"
+        "{:>8} {:>8} {:>8} {:>8} {:>14} {:>12} {:>10} {:>16}",
+        "sensors",
+        "overlap",
+        "walkers",
+        "epochs",
+        "fused trk/s",
+        "epochs/s",
+        "events",
+        "push p50/p99 us"
     );
     let mut results = Vec::new();
     for &sensors in &opts.sensors {
         for &overlap in &opts.overlaps {
             let cell = run_cell(sensors, overlap, opts.walkers, opts.epochs);
             println!(
-                "{:>8} {:>8.2} {:>8} {:>8} {:>14.0} {:>12.0} {:>10}",
+                "{:>8} {:>8.2} {:>8} {:>8} {:>14.0} {:>12.0} {:>10} {:>16}",
                 cell.sensors,
                 cell.overlap,
                 cell.walkers,
                 cell.epochs,
                 cell.fused_tracks_per_sec(),
                 cell.epochs_per_sec(),
-                cell.events
+                cell.events,
+                format!(
+                    "{:.1}/{:.1}",
+                    cell.push_latency.p50() as f64 / 1e3,
+                    cell.push_latency.p99() as f64 / 1e3
+                )
             );
             results.push(cell);
         }
@@ -293,7 +314,8 @@ fn main() {
                     "    {{\"sensors\": {}, \"overlap\": {}, \"walkers\": {}, ",
                     "\"epochs\": {}, \"fused_track_epochs\": {}, \"events\": {}, ",
                     "\"elapsed_sec\": {:.6}, \"fused_tracks_per_sec\": {:.1}, ",
-                    "\"epochs_per_sec\": {:.1}}}"
+                    "\"epochs_per_sec\": {:.1}, ",
+                    "\"push_report_p50_ns\": {}, \"push_report_p99_ns\": {}}}"
                 ),
                 c.sensors,
                 c.overlap,
@@ -303,7 +325,9 @@ fn main() {
                 c.events,
                 c.elapsed_sec,
                 c.fused_tracks_per_sec(),
-                c.epochs_per_sec()
+                c.epochs_per_sec(),
+                c.push_latency.p50(),
+                c.push_latency.p99()
             ));
         }
         let json = format!(

@@ -11,8 +11,10 @@
 //! workload through a [`witrack_serve::Server`] over the in-process
 //! transport: framing, pooled decode (with dequantization), shard
 //! routing, pipeline, pooled update encode. It measures the sustained
-//! per-sensor frame rate and the wire byte rate. A cell is "real-time"
-//! when every sensor's rate is ≥ 80 frames/s.
+//! per-sensor frame rate, the wire byte rate, and — from the engine's
+//! telemetry registry — per-shard queue-wait and dequeue-to-report
+//! latency p50/p99. A cell is "real-time" when every sensor's rate is
+//! ≥ 80 frames/s.
 //!
 //! Flags: `--sensors A,B,..` (default `4,8,16,24,32,40`), `--shards
 //! A,B,..` (default `1,2`), `--frames N` (per sensor, default 48),
@@ -22,6 +24,7 @@
 use std::time::Instant;
 use witrack_bench::printing::banner;
 use witrack_core::WiTrackConfig;
+use witrack_obs::{HistoSnapshot, MetricSample, MetricValue};
 use witrack_serve::engine::{EngineConfig, OverloadPolicy};
 use witrack_serve::factory::{hello_for, hello_quantized_for, witrack_factory};
 use witrack_serve::transport::{in_proc_pair, TransportTx};
@@ -167,6 +170,19 @@ fn patch_frame(frame: &mut [u8], sensor_id: u32, seq: u64) {
     frame[HEADER_LEN + 4..HEADER_LEN + 12].copy_from_slice(&seq.to_le_bytes());
 }
 
+/// All shards' histograms for one `("shard", name)` series, merged.
+fn merged_shard_histo(samples: &[MetricSample], name: &str) -> HistoSnapshot {
+    let mut merged = HistoSnapshot::default();
+    for s in samples {
+        if s.key.subsystem == "shard" && s.key.name == name {
+            if let MetricValue::Histo(h) = &s.value {
+                merged.merge(h);
+            }
+        }
+    }
+    merged
+}
+
 struct CellResult {
     wire: WireKind,
     shards: usize,
@@ -176,6 +192,10 @@ struct CellResult {
     elapsed_s: f64,
     max_inflight: u64,
     updates_dropped: u64,
+    /// Merged across shards: enqueue→dequeue wait per batch.
+    queue_wait: HistoSnapshot,
+    /// Merged across shards: dequeue→report-sent service time per batch.
+    service: HistoSnapshot,
 }
 
 impl CellResult {
@@ -235,6 +255,9 @@ fn run_cell(
     let stats = client.close();
     let elapsed_s = start.elapsed().as_secs_f64();
     assert_eq!(stats.rejects, 0, "the workload must be protocol-clean");
+    let samples = server.registry().snapshot();
+    let queue_wait = merged_shard_histo(&samples, "queue_wait_ns");
+    let service = merged_shard_histo(&samples, "dequeue_to_report_ns");
     let m = server.shutdown();
     // The engine may shed updates to a lagging client outbox (e.g. a
     // scheduler stall of the drain thread on a loaded CI host); that is
@@ -259,6 +282,8 @@ fn run_cell(
         elapsed_s,
         max_inflight: m.max_inflight,
         updates_dropped: m.updates_dropped,
+        queue_wait,
+        service,
     }
 }
 
@@ -286,7 +311,7 @@ fn main() {
         frame_period_s * 1e3
     );
     println!(
-        "{:>5} {:>6} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "{:>5} {:>6} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9} {:>15}",
         "wire",
         "shards",
         "sensors",
@@ -295,7 +320,8 @@ fn main() {
         "fps/sensor",
         "aggregate",
         "MB/s",
-        "realtime"
+        "realtime",
+        "svc p50/p99 us"
     );
     let mut results = Vec::new();
     for &wire_kind in &opts.wires {
@@ -304,7 +330,7 @@ fn main() {
             for &k in &opts.sensors {
                 let r = run_cell(&base, wire_kind, s, k, opts.frames, &encoded);
                 println!(
-                    "{:>5} {:>6} {:>8} {:>8} {:>9.3}s {:>12.1} {:>12.1} {:>10.1} {:>9}",
+                    "{:>5} {:>6} {:>8} {:>8} {:>9.3}s {:>12.1} {:>12.1} {:>10.1} {:>9} {:>15}",
                     r.wire.label(),
                     r.shards,
                     r.sensors,
@@ -317,7 +343,12 @@ fn main() {
                         "yes"
                     } else {
                         "NO"
-                    }
+                    },
+                    format!(
+                        "{:.0}/{:.0}",
+                        r.service.p50() as f64 / 1e3,
+                        r.service.p99() as f64 / 1e3
+                    )
                 );
                 results.push(r);
             }
@@ -358,7 +389,11 @@ fn main() {
                         "      \"wire_mb_per_sec\": {:.2},\n",
                         "      \"realtime\": {},\n",
                         "      \"max_inflight\": {},\n",
-                        "      \"updates_dropped\": {}\n",
+                        "      \"updates_dropped\": {},\n",
+                        "      \"queue_wait_p50_ns\": {},\n",
+                        "      \"queue_wait_p99_ns\": {},\n",
+                        "      \"dequeue_to_report_p50_ns\": {},\n",
+                        "      \"dequeue_to_report_p99_ns\": {}\n",
                         "    }}"
                     ),
                     r.wire.label(),
@@ -372,7 +407,11 @@ fn main() {
                     r.wire_mb_per_sec(),
                     r.per_sensor_fps() >= realtime_fps,
                     r.max_inflight,
-                    r.updates_dropped
+                    r.updates_dropped,
+                    r.queue_wait.p50(),
+                    r.queue_wait.p99(),
+                    r.service.p50(),
+                    r.service.p99()
                 )
             })
             .collect();

@@ -11,6 +11,10 @@
 //! * `multi_target_3ant_3people` — the `witrack-mtt` [`MultiWiTrack`]
 //!   pipeline, three concurrent walkers.
 //!
+//! Each scenario also reports per-stage (range-profile / detect /
+//! associate) latency p50/p99, recorded by detached `witrack-obs` stage
+//! histograms attached to the pipeline under test.
+//!
 //! Flags: `--frames N` (frames per scenario, default 240), `--seconds S`
 //! (measurement floor per scenario — recorded data is replayed in a loop
 //! until both the frame count and the time floor are met, default 1.0),
@@ -22,6 +26,7 @@ use witrack_bench::printing::banner;
 use witrack_core::{WiTrack, WiTrackConfig};
 use witrack_geom::Vec3;
 use witrack_mtt::{MttConfig, MultiWiTrack};
+use witrack_obs::{HistoSnapshot, StageStats};
 use witrack_sim::motion::{RandomWalk, Rect};
 use witrack_sim::multi::{scenario, MultiSimulator};
 use witrack_sim::{BodyModel, Channel, Scene, SimConfig, Simulator};
@@ -30,12 +35,23 @@ struct ScenarioResult {
     name: &'static str,
     frames: u64,
     elapsed_s: f64,
+    /// Per-stage latency snapshots (profile, detect, associate).
+    stages: [(&'static str, HistoSnapshot); 3],
 }
 
 impl ScenarioResult {
     fn fps(&self) -> f64 {
         self.frames as f64 / self.elapsed_s.max(1e-12)
     }
+}
+
+/// Snapshots an attached [`StageStats`] in JSON field order.
+fn stage_snapshots(stats: &StageStats) -> [(&'static str, HistoSnapshot); 3] {
+    [
+        ("profile", stats.profile.snapshot()),
+        ("detect", stats.detect.snapshot()),
+        ("associate", stats.associate.snapshot()),
+    ]
 }
 
 struct Options {
@@ -171,6 +187,8 @@ fn main() {
     {
         let data = record_single(opts.seed, record_s);
         let mut wt = WiTrack::new(cfg).expect("valid config");
+        let stats = StageStats::detached();
+        wt.attach_stage_stats(stats.clone());
         let (frames, elapsed_s) = measure(&data, opts.frames, opts.seconds, |refs| {
             wt.push_sweeps(refs).is_some()
         });
@@ -178,6 +196,7 @@ fn main() {
             name: "single_target_3ant",
             frames,
             elapsed_s,
+            stages: stage_snapshots(&stats),
         });
     }
 
@@ -188,6 +207,8 @@ fn main() {
         };
         let mtt_cfg = MttConfig::with_base(base);
         let mut wt = MultiWiTrack::new(mtt_cfg).expect("valid config");
+        let stats = StageStats::detached();
+        wt.attach_stage_stats(stats.clone());
         let data = record_multi(opts.seed, record_s, wt.array());
         let (frames, elapsed_s) = measure(&data, opts.frames, opts.seconds, |refs| {
             wt.push_sweeps(refs).is_some()
@@ -196,6 +217,7 @@ fn main() {
             name: "multi_target_3ant_3people",
             frames,
             elapsed_s,
+            stages: stage_snapshots(&stats),
         });
     }
 
@@ -214,12 +236,32 @@ fn main() {
             r.fps(),
             r.fps() * frame_period_s
         );
+        for (stage, h) in &r.stages {
+            println!(
+                "{:<28}   {:>10} p50 {:>8.1} us  p99 {:>8.1} us",
+                "",
+                stage,
+                h.p50() as f64 / 1e3,
+                h.p99() as f64 / 1e3
+            );
+        }
     }
 
     if let Some(path) = &opts.out {
         let scenarios: Vec<String> = results
             .iter()
             .map(|r| {
+                let stages: Vec<String> = r
+                    .stages
+                    .iter()
+                    .map(|(stage, h)| {
+                        format!(
+                            "      \"{stage}_p50_ns\": {},\n      \"{stage}_p99_ns\": {}",
+                            h.p50(),
+                            h.p99()
+                        )
+                    })
+                    .collect();
                 format!(
                     concat!(
                         "    {{\n",
@@ -227,14 +269,16 @@ fn main() {
                         "      \"frames\": {},\n",
                         "      \"elapsed_s\": {:.6},\n",
                         "      \"frames_per_sec\": {:.2},\n",
-                        "      \"realtime_factor\": {:.3}\n",
+                        "      \"realtime_factor\": {:.3},\n",
+                        "{}\n",
                         "    }}"
                     ),
                     r.name,
                     r.frames,
                     r.elapsed_s,
                     r.fps(),
-                    r.fps() * frame_period_s
+                    r.fps() * frame_period_s,
+                    stages.join(",\n")
                 )
             })
             .collect();

@@ -97,6 +97,16 @@ pub trait FramePipeline: Send {
 
     /// Clears all stream state (frame counter restarts at zero).
     fn reset(&mut self);
+
+    /// Attaches per-stage latency histograms
+    /// ([`witrack_obs::StageStats`]): the backend records its
+    /// profile/detect/associate stage wall times into them on every
+    /// frame-completing push. The default ignores the attachment
+    /// (backends without stage instrumentation stay valid); the in-tree
+    /// backends override it.
+    fn attach_stage_stats(&mut self, stats: witrack_obs::StageStats) {
+        let _ = stats;
+    }
 }
 
 impl From<TrackUpdate> for FrameReport {
@@ -140,6 +150,10 @@ impl FramePipeline for WiTrack {
 
     fn reset(&mut self) {
         WiTrack::reset(self);
+    }
+
+    fn attach_stage_stats(&mut self, stats: witrack_obs::StageStats) {
+        WiTrack::attach_stage_stats(self, stats);
     }
 }
 

@@ -83,6 +83,8 @@ pub struct WiTrack {
     /// reported — a single last solve would freeze one frame's noise into
     /// the whole still period.
     recent_live: std::collections::VecDeque<Vec3>,
+    /// Per-stage latency histograms, when the owner attached them.
+    stats: Option<witrack_obs::StageStats>,
 }
 
 /// Construction errors.
@@ -122,6 +124,7 @@ impl WiTrack {
             gn: GaussNewtonConfig::default(),
             cfg,
             recent_live: std::collections::VecDeque::new(),
+            stats: None,
         })
     }
 
@@ -141,6 +144,7 @@ impl WiTrack {
             gn: GaussNewtonConfig::default(),
             cfg,
             recent_live: std::collections::VecDeque::new(),
+            stats: None,
         })
     }
 
@@ -160,6 +164,14 @@ impl WiTrack {
     /// The configuration in use.
     pub fn config(&self) -> &WiTrackConfig {
         &self.cfg
+    }
+
+    /// Attaches per-stage latency histograms: on every frame-completing
+    /// push, per-antenna range-profiling time is recorded into
+    /// `stats.profile`, background + contour + denoise time into
+    /// `stats.detect`, and the §5 solve into `stats.associate`.
+    pub fn attach_stage_stats(&mut self, stats: witrack_obs::StageStats) {
+        self.stats = Some(stats);
     }
 
     /// Pushes one sweep interval's baseband, one slice per receive antenna.
@@ -213,16 +225,35 @@ impl WiTrack {
             .first()
             .map(|e| e.next_sweep_completes_frame())
             .unwrap_or(false);
+        // One per-antenna stage, stage-timed when histograms are
+        // attached (the timed path only measures frame-completing
+        // sweeps; accumulate-only sweeps record nothing).
+        let stats = &self.stats;
+        let stage = |est: &mut TofEstimator, sweep: &[f64]| -> Option<TofFrame> {
+            match stats {
+                Some(st) => {
+                    let mut times = witrack_fmcw::StageTimes::default();
+                    let frame = est.push_sweep_timed(sweep, &mut times);
+                    if frame.is_some() {
+                        st.profile.record(times.profile_ns);
+                        st.detect.record(times.detect_ns);
+                    }
+                    frame
+                }
+                None => est.push_sweep(sweep),
+            }
+        };
         let frames: Vec<Option<TofFrame>> = if self.parallel && completes {
             std::thread::scope(|s| {
                 // The caller's thread takes the last antenna itself instead
                 // of blocking in join — one fewer spawn per frame.
+                let stage = &stage;
                 let mut stages = self.estimators.iter_mut().zip(per_rx);
                 let last = stages.next_back();
                 let handles: Vec<_> = stages
-                    .map(|(est, sweep)| s.spawn(move || est.push_sweep(sweep)))
+                    .map(|(est, sweep)| s.spawn(move || stage(est, sweep)))
                     .collect();
-                let inline = last.map(|(est, sweep)| est.push_sweep(sweep));
+                let inline = last.map(|(est, sweep)| stage(est, sweep));
                 let mut frames: Vec<Option<TofFrame>> = handles
                     .into_iter()
                     .map(|h| h.join().expect("antenna stage panicked"))
@@ -234,7 +265,7 @@ impl WiTrack {
             self.estimators
                 .iter_mut()
                 .zip(per_rx)
-                .map(|(est, sweep)| est.push_sweep(sweep))
+                .map(|(est, sweep)| stage(est, sweep))
                 .collect()
         };
         // All estimators share the sweep clock, so they emit frames together.
@@ -246,6 +277,7 @@ impl WiTrack {
             return None;
         }
         let frames: Vec<TofFrame> = frames.into_iter().map(|f| f.expect("checked")).collect();
+        let associate_start = self.stats.as_ref().map(|_| std::time::Instant::now());
         let round_trips: Vec<Option<f64>> = frames.iter().map(|f| f.round_trip_m()).collect();
         // "Held" as soon as ANY antenna interpolates: a mixed live/frozen
         // solve is inconsistent (see the `held` field docs).
@@ -265,6 +297,9 @@ impl WiTrack {
             }
             p
         };
+        if let (Some(st), Some(start)) = (self.stats.as_ref(), associate_start) {
+            st.associate.record_since(start);
+        }
         Some(TrackUpdate {
             frame_index: frames[0].frame_index,
             time_s: frames[0].time_s,

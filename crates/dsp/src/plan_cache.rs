@@ -17,7 +17,22 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Process-wide plan-cache hit/miss counters, registered once in the
+/// global telemetry registry (`witrack_obs::global()`) as
+/// `dsp/plan_cache_{hits,misses}`. A deployment whose miss counter keeps
+/// climbing is rebuilding transform tables it should be sharing.
+fn cache_counters() -> &'static (witrack_obs::Counter, witrack_obs::Counter) {
+    static COUNTERS: OnceLock<(witrack_obs::Counter, witrack_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = witrack_obs::global();
+        (
+            reg.counter("dsp", "plan_cache_hits", witrack_obs::Label::Global),
+            reg.counter("dsp", "plan_cache_misses", witrack_obs::Label::Global),
+        )
+    })
+}
 
 /// A weak, keyed cache of `Arc`-shared plans.
 pub(crate) struct PlanCache<K, T> {
@@ -37,10 +52,13 @@ impl<K: Eq + Hash + Clone, T> PlanCache<K, T> {
     /// lock-free fast path but inside the cache lock, so concurrent
     /// requests for the same key build once.
     pub(crate) fn get_or_build(&self, key: K, build: impl FnOnce() -> T) -> Arc<T> {
+        let (hits, misses) = cache_counters();
         let mut map = self.map.lock().expect("plan cache poisoned");
         if let Some(live) = map.get(&key).and_then(Weak::upgrade) {
+            hits.inc();
             return live;
         }
+        misses.inc();
         // Miss: sweep entries whose plans have all been dropped, then build.
         map.retain(|_, w| w.strong_count() > 0);
         let plan = Arc::new(build());

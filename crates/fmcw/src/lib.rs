@@ -30,6 +30,6 @@ pub use background::BackgroundSubtractor;
 pub use config::SweepConfig;
 pub use contour::{ContourConfig, ContourTracker, Detection};
 pub use denoise::{DenoiseConfig, DenoisedDistance, DistanceDenoiser};
-pub use pipeline::{TofEstimator, TofFrame};
+pub use pipeline::{StageTimes, TofEstimator, TofFrame};
 pub use profile::RangeProfiler;
 pub use spectrogram::Spectrogram;

@@ -35,6 +35,16 @@ impl TofFrame {
     }
 }
 
+/// Wall times of the heavy per-antenna stages for one frame-completing
+/// sweep (see [`TofEstimator::push_sweep_timed`]). Nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Sweep accumulation + range profiling (the CZT work).
+    pub profile_ns: u64,
+    /// Background subtraction + contour detection + denoising.
+    pub detect_ns: u64,
+}
+
 /// End-to-end §4 processing for one receive antenna.
 #[derive(Debug, Clone)]
 pub struct TofEstimator {
@@ -101,8 +111,43 @@ impl TofEstimator {
     /// # Panics
     /// Panics if `samples` is not exactly one sweep long.
     pub fn push_sweep(&mut self, samples: &[f64]) -> Option<TofFrame> {
+        self.push_sweep_inner(samples, None)
+    }
+
+    /// [`Self::push_sweep`], additionally reporting how long the two
+    /// heavy stages took on a frame-completing sweep: range profiling
+    /// (the CZT) in `times.profile_ns`, background subtraction +
+    /// contour detection + denoising in `times.detect_ns`.
+    /// Accumulate-only sweeps leave `times` untouched.
+    ///
+    /// # Panics
+    /// Panics if `samples` is not exactly one sweep long.
+    pub fn push_sweep_timed(
+        &mut self,
+        samples: &[f64],
+        times: &mut StageTimes,
+    ) -> Option<TofFrame> {
+        self.push_sweep_inner(samples, Some(times))
+    }
+
+    fn push_sweep_inner(
+        &mut self,
+        samples: &[f64],
+        mut times: Option<&mut StageTimes>,
+    ) -> Option<TofFrame> {
         self.sweeps_seen += 1;
+        let profile_start = times
+            .as_ref()
+            .filter(|_| self.profiler.next_sweep_completes_frame())
+            .map(|_| std::time::Instant::now());
         let profile = self.profiler.push_sweep(samples)?;
+        let detect_start = profile_start.map(|start| {
+            let now = std::time::Instant::now();
+            if let Some(t) = times.as_deref_mut() {
+                t.profile_ns = (now - start).as_nanos().min(u64::MAX as u128) as u64;
+            }
+            now
+        });
         let dt = self.cfg.frame_duration_s();
         let time_s = self.sweeps_seen as f64 * self.cfg.sweep_duration_s;
 
@@ -126,6 +171,9 @@ impl TofEstimator {
                 }
             }
         };
+        if let (Some(start), Some(t)) = (detect_start, times) {
+            t.detect_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        }
         self.frame_index += 1;
         Some(frame)
     }

@@ -219,6 +219,9 @@ pub struct FusionEngine {
     cost: CostMatrix,
     solver: AssignmentSolver,
     stats: FusionStats,
+    /// Handoff latency histogram (ns a challenger waited before taking
+    /// the anchor), when the owner attached one.
+    handoff_latency: Option<std::sync::Arc<witrack_obs::Histo>>,
 }
 
 impl FusionEngine {
@@ -244,7 +247,15 @@ impl FusionEngine {
             cost: CostMatrix::new(0, 0),
             solver: AssignmentSolver::new(),
             stats: FusionStats::default(),
+            handoff_latency: None,
         }
+    }
+
+    /// Attaches a histogram recording handoff latency: the time (ns of
+    /// world time) between a challenger first out-measuring the
+    /// incumbent anchor and the anchor actually switching.
+    pub fn attach_handoff_histo(&mut self, histo: std::sync::Arc<witrack_obs::Histo>) {
+        self.handoff_latency = Some(histo);
     }
 
     /// The registration table in use.
@@ -265,6 +276,25 @@ impl FusionEngine {
     /// Live world tracks (tentative included).
     pub fn live_tracks(&self) -> usize {
         self.tracks.len()
+    }
+
+    /// Fusion epoch lag: how far the newest sensor report has run ahead
+    /// of the watermark (the oldest epoch an active sensor is still at).
+    /// 0 when idle or perfectly in step; a persistently large lag means
+    /// one sensor is stalling the room's fusion.
+    pub fn watermark_lag_epochs(&self) -> u64 {
+        let Some(&newest) = self.latest_by_sensor.values().max() else {
+            return 0;
+        };
+        let active_floor = newest.saturating_sub(Self::MAX_SENSOR_LAG_EPOCHS);
+        let watermark = self
+            .latest_by_sensor
+            .values()
+            .filter(|&&e| e >= active_floor)
+            .min()
+            .copied()
+            .unwrap_or(newest);
+        newest.saturating_sub(watermark)
     }
 
     /// Ingests one sensor's frame report. Returns the world frames of
@@ -663,6 +693,9 @@ impl FusionEngine {
                 match track.primary {
                     Some(prev) if prev != sensor => {
                         let mut switch = false;
+                        // Epochs the challenger waited for the anchor
+                        // (this epoch included) — the handoff latency.
+                        let mut waited_epochs = epochs_since;
                         match incumbent_contrib[ti] {
                             // The incumbent contributed nothing at all:
                             // it is gone; replace it immediately.
@@ -676,6 +709,7 @@ impl FusionEngine {
                                     };
                                     if streak as f64 * period >= self.cfg.handoff_patience_s {
                                         switch = true;
+                                        waited_epochs = streak;
                                     } else {
                                         track.challenger = Some((sensor, streak));
                                     }
@@ -685,6 +719,9 @@ impl FusionEngine {
                             }
                         }
                         if switch {
+                            if let Some(h) = &self.handoff_latency {
+                                h.record((waited_epochs as f64 * period * 1e9) as u64);
+                            }
                             events.push(WorldEvent::Handoff {
                                 track: track.id,
                                 from_sensor: prev,

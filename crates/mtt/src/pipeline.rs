@@ -126,6 +126,8 @@ pub struct MultiWiTrack {
     next_id: u64,
     frame_index: u64,
     sweeps_seen: u64,
+    /// Per-stage latency histograms, when the owner attached them.
+    stats: Option<witrack_obs::StageStats>,
 }
 
 impl MultiWiTrack {
@@ -161,6 +163,7 @@ impl MultiWiTrack {
             next_id: 0,
             frame_index: 0,
             sweeps_seen: 0,
+            stats: None,
             array,
             cfg,
         })
@@ -179,6 +182,15 @@ impl MultiWiTrack {
     /// Number of live (non-dead) tracks, tentative included.
     pub fn live_tracks(&self) -> usize {
         self.tracks.len()
+    }
+
+    /// Attaches per-stage latency histograms: on every frame-completing
+    /// push, per-antenna range-profiling time is recorded into
+    /// `stats.profile`, background + top-K contour time into
+    /// `stats.detect`, and association + solve + initiation into
+    /// `stats.associate`.
+    pub fn attach_stage_stats(&mut self, stats: witrack_obs::StageStats) {
+        self.stats = Some(stats);
     }
 
     /// Pushes one sweep interval's baseband, one slice per receive antenna.
@@ -245,14 +257,28 @@ impl MultiWiTrack {
         let contour = &self.contour;
         let budget = self.cfg.detection_budget();
         let min_sep = self.cfg.min_peak_separation_bins;
+        let stats = &self.stats;
         let stage = |prof: &mut RangeProfiler,
                      bg: &mut BackgroundSubtractor,
                      dets: &mut Vec<Detection>,
                      sweep: &[f64]| {
+            let profile_start = stats.as_ref().map(|_| std::time::Instant::now());
             let profile = prof.push_sweep(sweep).expect("frame-completing sweep");
+            let detect_start = profile_start.map(|start| {
+                let now = std::time::Instant::now();
+                stats
+                    .as_ref()
+                    .expect("timed only when attached")
+                    .profile
+                    .record((now - start).as_nanos().min(u64::MAX as u128) as u64);
+                now
+            });
             match bg.push(profile) {
                 None => dets.clear(),
                 Some(mags) => contour.detect_top_k_into(mags, budget, min_sep, dets),
+            }
+            if let (Some(st), Some(start)) = (stats.as_ref(), detect_start) {
+                st.detect.record_since(start);
             }
         };
         let stages = self
@@ -287,9 +313,13 @@ impl MultiWiTrack {
         // Take the detection buffers so &mut self methods can run; the
         // buffers (and their capacity) are returned afterwards.
         let detections = std::mem::take(&mut self.detections);
+        let associate_start = self.stats.as_ref().map(|_| std::time::Instant::now());
         let claimed = self.associate_and_update(&detections, dt);
         self.initiate_tracks(&detections, &claimed);
         self.tracks.retain(|t| !t.is_dead());
+        if let (Some(st), Some(start)) = (self.stats.as_ref(), associate_start) {
+            st.associate.record_since(start);
+        }
 
         let update = MttUpdate {
             frame_index: self.frame_index,
@@ -532,6 +562,10 @@ impl FramePipeline for MultiWiTrack {
 
     fn reset(&mut self) {
         MultiWiTrack::reset(self);
+    }
+
+    fn attach_stage_stats(&mut self, stats: witrack_obs::StageStats) {
+        MultiWiTrack::attach_stage_stats(self, stats);
     }
 }
 

@@ -1,0 +1,250 @@
+//! Log₂-bucketed, lock-free latency histogram.
+//!
+//! 64 fixed buckets: bucket `i` covers `[2^i, 2^(i+1))`, with bucket 0
+//! additionally absorbing 0 and 1. That spans 1 ns to ~584 years at a
+//! constant ≤ 2× relative resolution — coarse, but a p99 that doubles
+//! always moves at least one bucket, which is the granularity a perf
+//! gate needs. Recording is four relaxed atomic RMWs (bucket, count,
+//! sum, min/max); there is no locking anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets.
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket holding `v`: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A lock-free histogram of `u64` values (by convention: nanoseconds
+/// for latencies). All methods take `&self`; share via `Arc`.
+pub struct Histo {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histo {
+    fn default() -> Histo {
+        Histo::new()
+    }
+}
+
+impl Histo {
+    /// An empty histogram.
+    pub fn new() -> Histo {
+        Histo {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time since `start`, in nanoseconds.
+    #[inline]
+    pub fn record_since(&self, start: Instant) {
+        self.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy. Concurrent writers may be mid-record, so
+    /// the copied `count`/`sum` can lead or lag the bucket totals by a
+    /// few records; quantiles are computed against the bucket totals,
+    /// which are self-consistent.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        let buckets: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistoSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time, mergeable copy of a [`Histo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Per-bucket record counts.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total records.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistoSnapshot {
+    fn default() -> HistoSnapshot {
+        HistoSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistoSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the containing bucket's upper
+    /// bound, clamped to the observed `[min, max]`. Returns 0 when
+    /// empty. Monotone in `q` and always within `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target record, 1-based, ceil(q * total) clamped.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let raw = bucket_upper(i);
+                // A torn concurrent snapshot can have min/max lagging the
+                // buckets; only clamp when they are coherent.
+                return if self.min <= self.max {
+                    raw.clamp(self.min, self.max)
+                } else {
+                    raw
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50) estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// p90 estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// p99 estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self` (shard merge).
+    pub fn merge(&mut self, other: &HistoSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histo::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_pins_all_quantiles() {
+        let h = Histo::new();
+        h.record(777);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 777);
+        assert_eq!(s.max, 777);
+        // Upper bound of bucket 9 is 1023, but clamping to [min, max]
+        // pins the estimate to the exact value.
+        assert_eq!(s.p50(), 777);
+        assert_eq!(s.p99(), 777);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histo::new();
+        // 90 small values, 10 large ones: p50 must land small, p99 large.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() < 200, "p50 = {}", s.p50());
+        assert!(s.p99() >= 524_288, "p99 = {}", s.p99());
+        assert!(s.p99() <= 1_000_000, "p99 = {}", s.p99());
+    }
+}

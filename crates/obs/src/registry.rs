@@ -1,0 +1,357 @@
+//! Labeled metric registry: counters, gauges, and histograms keyed by
+//! `(subsystem, name, label)`.
+//!
+//! Registration (first lookup of a key) takes a mutex once and returns
+//! a cheap `Arc`-backed handle; every subsequent operation on the
+//! handle is a relaxed atomic — no allocation, no locking, no registry
+//! involvement. Snapshots walk the whole map for wire export or text
+//! exposition.
+
+use crate::histo::{Histo, HistoSnapshot};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The label dimension of a metric key: which sensor, room, or shard a
+/// series belongs to (or none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// Process- or engine-wide series.
+    Global,
+    /// Per-sensor series.
+    Sensor(u32),
+    /// Per-room series.
+    Room(u32),
+    /// Per-shard series.
+    Shard(u32),
+}
+
+impl Label {
+    /// `(dimension name, value)` for rendering; `None` for `Global`.
+    pub fn dimension(&self) -> Option<(&'static str, u32)> {
+        match self {
+            Label::Global => None,
+            Label::Sensor(id) => Some(("sensor", *id)),
+            Label::Room(id) => Some(("room", *id)),
+            Label::Shard(id) => Some(("shard", *id)),
+        }
+    }
+}
+
+/// Full identity of one metric series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Owning subsystem (`"engine"`, `"shard"`, `"pipeline"`, ...).
+    pub subsystem: &'static str,
+    /// Series name within the subsystem.
+    pub name: &'static str,
+    /// Label dimension.
+    pub label: Label,
+}
+
+/// A monotone counter handle (cloning shares the underlying cell).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (tests, placeholders).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous-value gauge handle (cloning shares the cell).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry (tests, placeholders).
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v` (running maximum).
+    #[inline]
+    pub fn raise_to(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histo(Arc<Histo>),
+}
+
+/// One series' value in a snapshot.
+// The histogram variant carries its 64 inline buckets (~0.5 KiB); snapshots
+// are built once per stats pull, off the hot path, so the inline size is
+// cheaper than boxing every histogram series.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram snapshot.
+    Histo(HistoSnapshot),
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Series identity.
+    pub key: MetricKey,
+    /// Point-in-time value.
+    pub value: MetricValue,
+}
+
+/// The metric registry. Create one per engine (tests stay isolated);
+/// use [`crate::global`] for process-wide subsystems.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<HashMap<MetricKey, Metric>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.inner.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("series", &len).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter at `(subsystem, name, label)`, registering it on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn counter(&self, subsystem: &'static str, name: &'static str, label: Label) -> Counter {
+        let key = MetricKey {
+            subsystem,
+            name,
+            label,
+        };
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("{subsystem}/{name} registered as non-counter"),
+        }
+    }
+
+    /// The gauge at `(subsystem, name, label)`, registering it on first
+    /// use.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn gauge(&self, subsystem: &'static str, name: &'static str, label: Label) -> Gauge {
+        let key = MetricKey {
+            subsystem,
+            name,
+            label,
+        };
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("{subsystem}/{name} registered as non-gauge"),
+        }
+    }
+
+    /// The histogram at `(subsystem, name, label)`, registering it on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if the key is already registered as a different kind.
+    pub fn histo(&self, subsystem: &'static str, name: &'static str, label: Label) -> Arc<Histo> {
+        let key = MetricKey {
+            subsystem,
+            name,
+            label,
+        };
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histo(Arc::new(Histo::new())))
+        {
+            Metric::Histo(h) => Arc::clone(h),
+            _ => panic!("{subsystem}/{name} registered as non-histogram"),
+        }
+    }
+
+    /// Every registered series with its current value, sorted by key
+    /// (deterministic output for tests and diffs).
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let map = self.inner.lock().expect("registry poisoned");
+        let mut out: Vec<MetricSample> = map
+            .iter()
+            .map(|(key, metric)| MetricSample {
+                key: *key,
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histo(h) => MetricValue::Histo(h.snapshot()),
+                },
+            })
+            .collect();
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Prometheus-style text exposition of the whole registry.
+    ///
+    /// Counters and gauges emit one line each; histograms emit
+    /// `_count`, `_sum`, and `quantile`-labeled p50/p90/p99/max lines.
+    pub fn render_text(&self) -> String {
+        render_samples(&self.snapshot())
+    }
+}
+
+/// Renders samples (e.g. from one or more registries) as
+/// Prometheus-style text.
+pub fn render_samples(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let base = format!("witrack_{}_{}", s.key.subsystem, s.key.name);
+        let label = match s.key.label.dimension() {
+            None => String::new(),
+            Some((dim, id)) => format!("{dim}=\"{id}\""),
+        };
+        // `{label}` / `{label,extra}` / `{extra}` / `` as applicable.
+        let series = |extra: &str| -> String {
+            let joined = match (label.is_empty(), extra.is_empty()) {
+                (true, true) => return String::new(),
+                (false, true) => label.clone(),
+                (true, false) => extra.to_string(),
+                (false, false) => format!("{label},{extra}"),
+            };
+            format!("{{{joined}}}")
+        };
+        match &s.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{base}{} {v}", series(""));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{base}{} {v}", series(""));
+            }
+            MetricValue::Histo(h) => {
+                let _ = writeln!(out, "{base}_count{} {}", series(""), h.count);
+                let _ = writeln!(out, "{base}_sum{} {}", series(""), h.sum);
+                for (q, v) in [
+                    ("0.5", h.p50()),
+                    ("0.9", h.p90()),
+                    ("0.99", h.p99()),
+                    ("1.0", if h.count == 0 { 0 } else { h.max }),
+                ] {
+                    let _ = writeln!(out, "{base}{} {v}", series(&format!("quantile=\"{q}\"")));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_lookups() {
+        let r = Registry::new();
+        let a = r.counter("engine", "batches_in", Label::Global);
+        let b = r.counter("engine", "batches_in", Label::Global);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let r = Registry::new();
+        r.counter("shard", "frames", Label::Shard(0)).add(5);
+        r.counter("shard", "frames", Label::Shard(1)).add(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].value, MetricValue::Counter(5));
+        assert_eq!(snap[1].value, MetricValue::Counter(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as non-counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.gauge("x", "y", Label::Global);
+        let _ = r.counter("x", "y", Label::Global);
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let r = Registry::new();
+        r.counter("engine", "batches_in", Label::Global).add(2);
+        r.gauge("shard", "queue_depth", Label::Shard(3)).set(-1);
+        r.histo("pipeline", "profile_ns", Label::Global).record(100);
+        let text = r.render_text();
+        assert!(text.contains("witrack_engine_batches_in 2\n"), "{text}");
+        assert!(
+            text.contains("witrack_shard_queue_depth{shard=\"3\"} -1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("witrack_pipeline_profile_ns_count 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("witrack_pipeline_profile_ns{quantile=\"0.99\"} 100\n"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Property and concurrency tests for the histogram core.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use witrack_obs::{bucket_index, Histo, HistoSnapshot, NUM_BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every recorded value lands in exactly the bucket covering it:
+    /// bucket `i` is `[2^i, 2^(i+1))` with 0 and 1 folded into bucket 0.
+    #[test]
+    fn values_land_in_the_correct_bucket(v in 0u64..u64::MAX) {
+        let h = Histo::new();
+        h.record(v);
+        let s = h.snapshot();
+        let i = bucket_index(v);
+        prop_assert_eq!(s.buckets[i], 1);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), 1);
+        // The bucket's range really contains v.
+        let lo = if i == 0 { 0 } else { 1u64 << i };
+        prop_assert!(v >= lo);
+        if i < 63 {
+            prop_assert!(v < (1u64 << (i + 1)));
+        }
+    }
+
+    /// Merging per-shard snapshots equals recording everything into one
+    /// histogram.
+    #[test]
+    fn merge_of_shards_equals_whole(
+        a in collection::vec(0u64..1_000_000_000, 0..64),
+        b in collection::vec(0u64..1_000_000_000, 0..64),
+        c in collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let whole = Histo::new();
+        let shards: Vec<Histo> = (0..3).map(|_| Histo::new()).collect();
+        for (shard, values) in shards.iter().zip([&a, &b, &c]) {
+            for &v in values.iter() {
+                shard.record(v);
+                whole.record(v);
+            }
+        }
+        let mut merged = HistoSnapshot::default();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    /// Quantiles are monotone in q and bounded by the observed min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        values in collection::vec(0u64..10_000_000_000, 1..128),
+    ) {
+        let h = Histo::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let qs: Vec<u64> = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+        }
+        for &q in &qs {
+            prop_assert!(q >= lo && q <= hi, "quantile {q} outside [{lo}, {hi}]");
+        }
+    }
+}
+
+/// Eight threads hammer one histogram; the total count, sum of buckets,
+/// and per-thread value ranges must all come out exact.
+#[test]
+fn concurrent_records_are_never_lost() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Arc::new(Histo::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets: values in [1, 2^20).
+                    h.record((i.wrapping_mul(2654435761).wrapping_add(t) % (1 << 20)) | 1);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    assert_eq!(s.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    assert!(s.min >= 1);
+    assert!(s.max < (1 << 20));
+    assert!(s.buckets[..NUM_BUCKETS].iter().take(20).sum::<u64>() == THREADS * PER_THREAD);
+}

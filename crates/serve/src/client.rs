@@ -7,10 +7,12 @@
 //! optionally hands each message to a caller-supplied handler.
 
 use crate::transport::{Transport, TransportRx, TransportTx};
-use crate::wire::{Hello, Message, Subscribe, SweepBatch, SweepBatchQ, Teardown};
+use crate::wire::{
+    Hello, Message, StatsQuery, StatsReport, Subscribe, SweepBatch, SweepBatchQ, Teardown,
+};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Counters of everything the drain thread saw.
@@ -22,6 +24,7 @@ struct Counters {
     rejects: AtomicU64,
     world_updates: AtomicU64,
     world_events: AtomicU64,
+    stats_reports: AtomicU64,
 }
 
 /// A point-in-time copy of the client's receive counters.
@@ -39,6 +42,8 @@ pub struct ClientStats {
     pub world_updates: u64,
     /// Fleet `Event` frames received.
     pub world_events: u64,
+    /// `StatsReport` snapshots received.
+    pub stats_reports: u64,
 }
 
 /// Callback receiving every server→client message, in arrival order.
@@ -49,6 +54,8 @@ pub struct SensorClient<T: Transport> {
     /// `None` only after [`Self::close`] dropped it to signal EOF.
     tx: Option<T::Tx>,
     counters: Arc<Counters>,
+    /// The newest `StatsReport` the drain saw, if any.
+    last_stats: Arc<Mutex<Option<StatsReport>>>,
     drain: Option<JoinHandle<()>>,
 }
 
@@ -66,13 +73,16 @@ impl<T: Transport> SensorClient<T> {
     ) -> io::Result<SensorClient<T>> {
         let (tx, rx) = transport.split()?;
         let counters = Arc::new(Counters::default());
+        let last_stats = Arc::new(Mutex::new(None));
         let drain = {
             let counters = Arc::clone(&counters);
-            std::thread::spawn(move || drain_main(rx, counters, handler))
+            let last_stats = Arc::clone(&last_stats);
+            std::thread::spawn(move || drain_main(rx, counters, last_stats, handler))
         };
         Ok(SensorClient {
             tx: Some(tx),
             counters,
+            last_stats,
             drain: Some(drain),
         })
     }
@@ -128,6 +138,20 @@ impl<T: Transport> SensorClient<T> {
         self.tx().send_msg(&Message::Subscribe(sub))
     }
 
+    /// Asks the server for a metrics snapshot (`StatsQuery`, wire v2).
+    /// The answering `StatsReport` arrives asynchronously on the drain
+    /// thread: poll [`Self::last_stats`] (or watch
+    /// [`ClientStats::stats_reports`], or use a handler) for it.
+    pub fn query_stats(&mut self) -> io::Result<()> {
+        self.tx()
+            .send_msg(&Message::StatsQuery(StatsQuery::default()))
+    }
+
+    /// The newest [`StatsReport`] received so far, if any.
+    pub fn last_stats(&self) -> Option<StatsReport> {
+        self.last_stats.lock().expect("stats poisoned").clone()
+    }
+
     /// Direct access to the send half (e.g. for pre-encoded frames).
     ///
     /// # Panics
@@ -145,6 +169,7 @@ impl<T: Transport> SensorClient<T> {
             rejects: self.counters.rejects.load(Ordering::Relaxed),
             world_updates: self.counters.world_updates.load(Ordering::Relaxed),
             world_events: self.counters.world_events.load(Ordering::Relaxed),
+            stats_reports: self.counters.stats_reports.load(Ordering::Relaxed),
         }
     }
 
@@ -169,10 +194,15 @@ impl<T: Transport> SensorClient<T> {
 fn drain_main<Rx: TransportRx>(
     mut rx: Rx,
     counters: Arc<Counters>,
+    last_stats: Arc<Mutex<Option<StatsReport>>>,
     mut handler: Option<Box<UpdateHandler>>,
 ) {
     while let Ok(Some(msg)) = rx.recv_msg() {
         match &msg {
+            Message::StatsReport(r) => {
+                counters.stats_reports.fetch_add(1, Ordering::Relaxed);
+                *last_stats.lock().expect("stats poisoned") = Some(r.clone());
+            }
             Message::UpdateBatch(u) => {
                 counters.update_batches.fetch_add(1, Ordering::Relaxed);
                 counters

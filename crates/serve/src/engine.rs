@@ -32,8 +32,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use witrack_core::{FramePipeline, FrameReport};
+use witrack_obs::{
+    AnomalyKind, Counter, FlightRecorder, Gauge, Histo, Label, Registry, StageStats,
+};
 
 /// What ingress does when a shard's bounded queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +136,10 @@ pub enum SubmitError {
     /// A `Subscribe` was submitted without a connection sink — the world
     /// stream has nowhere to go.
     SubscribeNeedsConnection,
+    /// A `StatsQuery` was submitted without a connection sink — the
+    /// report has nowhere to go (direct engine users should call
+    /// [`EngineHandle::stats_samples`] instead).
+    StatsNeedsConnection,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -143,6 +150,9 @@ impl std::fmt::Display for SubmitError {
             SubmitError::SubscribeNeedsConnection => {
                 write!(f, "subscribe requires a connection to deliver into")
             }
+            SubmitError::StatsNeedsConnection => {
+                write!(f, "stats query requires a connection to deliver into")
+            }
         }
     }
 }
@@ -151,10 +161,11 @@ impl std::error::Error for SubmitError {}
 
 enum ShardMsg {
     Hello(Hello, Option<ConnSink>),
-    /// A sweep batch (header + pooled samples), plus the sink of the
+    /// A sweep batch (header + pooled samples), the sink of the
     /// connection that carried it — so refusals that have no session to
-    /// consult (unknown sensor) can still reach the sender over the wire.
-    Batch(PooledBatch, Option<ConnSink>),
+    /// consult (unknown sensor) can still reach the sender over the wire
+    /// — and its enqueue instant (queue-wait telemetry).
+    Batch(PooledBatch, Option<ConnSink>, Instant),
     /// Teardown, optionally scoped to sessions owned by one connection
     /// (best-effort cleanup at connection close must not kill a session
     /// some other connection owns), plus the carrying connection's sink
@@ -176,11 +187,19 @@ pub struct EngineHandle {
     frame_pool: BufPool<u8>,
     /// The world hub, when this engine fuses rooms.
     hub: Option<HubHandle>,
+    /// The engine's metric registry (all `engine`/`shard`/`sensor`/
+    /// `pipeline`/`room` series).
+    registry: Arc<Registry>,
+    /// The engine's anomaly flight recorder.
+    recorder: Arc<FlightRecorder>,
+    /// Per-shard `shard/queue_depth` gauges, indexed like `shards`
+    /// (incremented at enqueue, decremented by the owning worker).
+    queue_depths: Arc<Vec<Gauge>>,
 }
 
 impl EngineHandle {
-    fn shard_for(&self, sensor_id: u32) -> &SyncSender<ShardMsg> {
-        &self.shards[sensor_id as usize % self.shards.len()]
+    fn shard_idx(&self, sensor_id: u32) -> usize {
+        sensor_id as usize % self.shards.len()
     }
 
     /// The pool connection readers should decode sweep samples into
@@ -224,11 +243,53 @@ impl EngineHandle {
                 self.submit_batch_pooled(PooledBatch { shape, samples }, sink)
             }
             Message::Subscribe(s) => self.submit_subscribe(s, sink),
+            Message::StatsQuery(q) => self.submit_stats_query(q, sink),
             Message::UpdateBatch(_)
             | Message::Reject(_)
             | Message::WorldUpdate(_)
-            | Message::Event(_) => Err(SubmitError::ServerOnlyMessage),
+            | Message::Event(_)
+            | Message::StatsReport(_) => Err(SubmitError::ServerOnlyMessage),
         }
+    }
+
+    /// Answers a [`wire::StatsQuery`] immediately: snapshots every
+    /// registered metric series and encodes one `StatsReport` frame into
+    /// the connection's outbox. No shard round-trip — snapshots are
+    /// reads of relaxed atomics, safe from any thread.
+    pub fn submit_stats_query(
+        &self,
+        _query: wire::StatsQuery,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        let sink = sink.ok_or(SubmitError::StatsNeedsConnection)?;
+        let samples = self.stats_samples();
+        let mut buf = self.frame_pool.get(64 * samples.len().max(1));
+        wire::encode_stats_report_into(&samples, &mut buf);
+        if sink.tx.try_send(buf).is_err() {
+            self.metrics.updates_dropped.inc();
+        }
+        Ok(Submitted::Queued)
+    }
+
+    /// A point-in-time snapshot of every metric series visible from this
+    /// engine: its own registry (engine, shard, sensor, pipeline, room
+    /// series) merged with the process-wide [`witrack_obs::global`]
+    /// registry (e.g. `dsp` plan-cache counters), sorted by key.
+    pub fn stats_samples(&self) -> Vec<witrack_obs::MetricSample> {
+        let mut samples = self.registry.snapshot();
+        samples.extend(witrack_obs::global().snapshot());
+        samples.sort_by_key(|s| s.key);
+        samples
+    }
+
+    /// The engine's metric registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The engine's anomaly flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Routes a room subscription to the world hub. Without a hub (the
@@ -250,11 +311,11 @@ impl EngineHandle {
                 }
             }
             None => {
-                EngineMetrics::inc(&self.metrics.batches_rejected);
+                self.metrics.batches_rejected.inc();
                 let mut buf = self.frame_pool.get(32);
                 wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
                 if sink.tx.try_send(buf).is_err() {
-                    EngineMetrics::inc(&self.metrics.updates_dropped);
+                    self.metrics.updates_dropped.inc();
                 }
                 Ok(Submitted::Queued)
             }
@@ -290,11 +351,14 @@ impl EngineHandle {
     fn send_control(&self, sensor_id: u32, msg: ShardMsg) -> Result<Submitted, SubmitError> {
         // Count before sending: the shard's dequeue must never observe an
         // un-counted message (inflight would underflow).
+        let idx = self.shard_idx(sensor_id);
         self.metrics.enqueued();
-        match self.shard_for(sensor_id).send(msg) {
+        self.queue_depths[idx].add(1);
+        match self.shards[idx].send(msg) {
             Ok(()) => Ok(Submitted::Queued),
             Err(_) => {
                 self.metrics.enqueue_failed();
+                self.queue_depths[idx].add(-1);
                 Err(SubmitError::EngineDown)
             }
         }
@@ -317,25 +381,35 @@ impl EngineHandle {
         batch: PooledBatch,
         sink: Option<ConnSink>,
     ) -> Result<Submitted, SubmitError> {
-        let shard = self.shard_for(batch.shape.sensor_id);
+        let (sensor_id, seq) = (batch.shape.sensor_id, batch.shape.seq);
+        let idx = self.shard_idx(sensor_id);
+        let shard = &self.shards[idx];
         self.metrics.enqueued();
+        self.queue_depths[idx].add(1);
+        let msg = ShardMsg::Batch(batch, sink, Instant::now());
+        let rollback = || {
+            self.metrics.enqueue_failed();
+            self.queue_depths[idx].add(-1);
+        };
         match self.overload {
-            OverloadPolicy::Block => match shard.send(ShardMsg::Batch(batch, sink)) {
+            OverloadPolicy::Block => match shard.send(msg) {
                 Ok(()) => Ok(Submitted::Queued),
                 Err(_) => {
-                    self.metrics.enqueue_failed();
+                    rollback();
                     Err(SubmitError::EngineDown)
                 }
             },
-            OverloadPolicy::DropNewest => match shard.try_send(ShardMsg::Batch(batch, sink)) {
+            OverloadPolicy::DropNewest => match shard.try_send(msg) {
                 Ok(()) => Ok(Submitted::Queued),
                 Err(TrySendError::Full(_)) => {
-                    self.metrics.enqueue_failed();
-                    EngineMetrics::inc(&self.metrics.batches_dropped);
+                    rollback();
+                    self.metrics.batches_dropped.inc();
+                    self.recorder
+                        .record(AnomalyKind::Drop, sensor_id as u64, idx as u64, seq);
                     Ok(Submitted::Dropped)
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    self.metrics.enqueue_failed();
+                    rollback();
                     Err(SubmitError::EngineDown)
                 }
             },
@@ -366,6 +440,8 @@ pub struct ShardedEngine {
     hub: Option<WorldHub>,
     stop: Arc<AtomicBool>,
     metrics: Arc<EngineMetrics>,
+    registry: Arc<Registry>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl ShardedEngine {
@@ -389,7 +465,9 @@ impl ShardedEngine {
         world: Option<WorldConfig>,
     ) -> (ShardedEngine, Receiver<EngineEvent>) {
         let num_shards = cfg.num_shards.max(1);
-        let metrics = Arc::new(EngineMetrics::default());
+        let registry = Arc::new(Registry::new());
+        let metrics = Arc::new(EngineMetrics::new(Arc::clone(&registry)));
+        let recorder = Arc::new(FlightRecorder::new(1024));
         let stop = Arc::new(AtomicBool::new(false));
         let (events_tx, events_rx) = channel();
         // Sample buffers live from decode until the owning shard finishes
@@ -405,17 +483,24 @@ impl ShardedEngine {
                     world_cfg,
                     frame_pool.clone(),
                     Arc::clone(&metrics),
+                    Arc::clone(&recorder),
                     Arc::clone(&stop),
                 );
                 (Some(hub), Some(handle))
             }
             None => (None, None),
         };
+        let queue_depths: Arc<Vec<Gauge>> = Arc::new(
+            (0..num_shards)
+                .map(|i| registry.gauge("shard", "queue_depth", Label::Shard(i as u32)))
+                .collect(),
+        );
         let mut shards = Vec::with_capacity(num_shards);
         let mut workers = Vec::with_capacity(num_shards);
-        for _ in 0..num_shards {
+        for i in 0..num_shards {
             let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
             shards.push(tx);
+            let shard_label = Label::Shard(i as u32);
             let worker = ShardWorker {
                 rx,
                 events: events_tx.clone(),
@@ -426,6 +511,11 @@ impl ShardedEngine {
                 frame_pool: frame_pool.clone(),
                 updates_scratch: Vec::new(),
                 hub: hub_handle.clone(),
+                registry: Arc::clone(&registry),
+                recorder: Arc::clone(&recorder),
+                queue_depth: queue_depths[i].clone(),
+                queue_wait: registry.histo("shard", "queue_wait_ns", shard_label),
+                dequeue_to_report: registry.histo("shard", "dequeue_to_report_ns", shard_label),
             };
             workers.push(std::thread::spawn(move || worker.run()));
         }
@@ -436,6 +526,9 @@ impl ShardedEngine {
             sample_pool,
             frame_pool,
             hub: hub_handle,
+            registry: Arc::clone(&registry),
+            recorder: Arc::clone(&recorder),
+            queue_depths,
         };
         (
             ShardedEngine {
@@ -444,6 +537,8 @@ impl ShardedEngine {
                 hub,
                 stop,
                 metrics,
+                registry,
+                recorder,
             },
             events_rx,
         )
@@ -457,6 +552,18 @@ impl ShardedEngine {
     /// Current counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The engine's metric registry: every `engine`/`shard`/`sensor`/
+    /// `pipeline`/`room` series this engine registers.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The engine's anomaly flight recorder (drops, rejects, sequence
+    /// gaps, shed updates, ghost quarantines, handoffs).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Stops the shards after they drain their queues and joins them.
@@ -491,6 +598,8 @@ struct Session {
     next_in_seq: u64,
     out_seq: u64,
     frames_emitted: u64,
+    /// This sensor's `sensor/frames` registry counter.
+    frames: Counter,
 }
 
 struct ShardWorker {
@@ -508,6 +617,16 @@ struct ShardWorker {
     /// The world hub, when this engine fuses rooms: every emitted report
     /// batch is forwarded there for cross-sensor fusion.
     hub: Option<HubHandle>,
+    /// The engine registry (per-sensor series register at session open).
+    registry: Arc<Registry>,
+    /// The engine's anomaly flight recorder.
+    recorder: Arc<FlightRecorder>,
+    /// This shard's `shard/queue_depth` gauge (decremented at dequeue).
+    queue_depth: Gauge,
+    /// Batch enqueue → dequeue wall time.
+    queue_wait: Arc<Histo>,
+    /// Batch dequeue → reports-delivered wall time.
+    dequeue_to_report: Arc<Histo>,
 }
 
 impl ShardWorker {
@@ -519,11 +638,24 @@ impl ShardWorker {
                     // Queue empty: the only time shutdown may interrupt —
                     // accepted work is never abandoned mid-queue.
                     if self.stop.load(Ordering::SeqCst) {
-                        return;
+                        break;
                     }
                 }
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
             }
+        }
+        // Sessions still open at shutdown close here — the only exit
+        // their pipelines have — so `sessions_closed` balances
+        // `sessions_opened` even for clients that never sent `Teardown`.
+        for (sensor_id, s) in self.sessions.drain() {
+            self.metrics.sessions_closed.inc();
+            if let Some(hub) = &self.hub {
+                hub.send(HubMsg::SensorClosed(sensor_id));
+            }
+            let _ = self.events.send(EngineEvent::SessionClosed {
+                sensor_id,
+                frames_emitted: s.frames_emitted,
+            });
         }
     }
 
@@ -541,7 +673,8 @@ impl ShardWorker {
     /// it here).
     fn push_to_sink(&self, sink: &ConnSink, frame: PooledBuf<u8>) {
         if sink.tx.try_send(frame).is_err() {
-            EngineMetrics::inc(&self.metrics.updates_dropped);
+            self.metrics.updates_dropped.inc();
+            self.recorder.record(AnomalyKind::Shed, sink.conn_id, 0, 0);
         }
     }
 
@@ -571,10 +704,16 @@ impl ShardWorker {
     }
 
     fn reject(&self, sink: Option<&ConnSink>, sensor_id: u32, code: RejectCode) {
-        EngineMetrics::inc(&self.metrics.batches_rejected);
+        self.metrics.batches_rejected.inc();
         if code == RejectCode::UnknownSensor {
-            EngineMetrics::inc(&self.metrics.unknown_sensor);
+            self.metrics.unknown_sensor.inc();
         }
+        self.recorder.record(
+            AnomalyKind::Reject,
+            sensor_id as u64,
+            code.to_u16() as u64,
+            0,
+        );
         match sink {
             Some(s) => {
                 let mut frame = self.frame_pool.get(32);
@@ -590,15 +729,24 @@ impl ShardWorker {
             ShardMsg::Wake => {}
             ShardMsg::Hello(h, sink) => {
                 self.metrics.dequeued();
+                self.queue_depth.add(-1);
                 self.open_session(h, sink);
             }
             ShardMsg::Teardown(t, only_if_conn, sink) => {
                 self.metrics.dequeued();
+                self.queue_depth.add(-1);
                 self.close_session(t, only_if_conn, sink);
             }
-            ShardMsg::Batch(b, sink) => {
+            ShardMsg::Batch(b, sink, enqueued_at) => {
                 self.metrics.dequeued();
+                self.queue_depth.add(-1);
+                let dequeued_at = Instant::now();
+                self.queue_wait
+                    .record(dequeued_at.duration_since(enqueued_at).as_nanos() as u64);
                 self.process_batch(b, sink);
+                // Dequeue → reports delivered (pipeline + encode + sink
+                // push): the shard's end-to-end service time per batch.
+                self.dequeue_to_report.record_since(dequeued_at);
             }
         }
     }
@@ -610,7 +758,7 @@ impl ShardWorker {
             self.reject(sink.as_ref(), h.sensor_id, RejectCode::DuplicateSensor);
             return;
         }
-        let pipeline = match (self.factory)(&h) {
+        let mut pipeline = match (self.factory)(&h) {
             Ok(p) => p,
             Err(_) => {
                 self.reject(sink.as_ref(), h.sensor_id, RejectCode::BadConfig);
@@ -621,7 +769,13 @@ impl ShardWorker {
             self.reject(sink.as_ref(), h.sensor_id, RejectCode::BadConfig);
             return;
         }
-        EngineMetrics::inc(&self.metrics.sessions_opened);
+        self.metrics.sessions_opened.inc();
+        // Per-sensor series register here, off the hot path: the session
+        // keeps cheap handles, and the backend records its per-stage
+        // (profile/detect/associate) wall times straight into registry
+        // histograms on every frame-completing push.
+        let label = Label::Sensor(h.sensor_id);
+        pipeline.attach_stage_stats(StageStats::registered(&self.registry, label));
         self.sessions.insert(
             h.sensor_id,
             Session {
@@ -631,6 +785,7 @@ impl ShardWorker {
                 next_in_seq: 0,
                 out_seq: 0,
                 frames_emitted: 0,
+                frames: self.registry.counter("sensor", "frames", label),
             },
         );
     }
@@ -649,7 +804,7 @@ impl ShardWorker {
         }
         match self.sessions.remove(&t.sensor_id) {
             Some(s) => {
-                EngineMetrics::inc(&self.metrics.sessions_closed);
+                self.metrics.sessions_closed.inc();
                 if let Some(hub) = &self.hub {
                     // The fusion watermark must stop waiting for this
                     // sensor (its world tracks coast until reacquired).
@@ -686,13 +841,16 @@ impl ShardWorker {
         // an old batch would corrupt the pipeline's stream state), forward
         // gaps are counted but processed — the stream must go on.
         if shape.seq < session.next_in_seq {
-            EngineMetrics::inc(&self.metrics.seq_out_of_order);
+            self.metrics.seq_out_of_order.inc();
             let sink = session.sink.clone();
             self.reject(sink.as_ref(), shape.sensor_id, RejectCode::StaleSequence);
             return;
         }
         if shape.seq > session.next_in_seq {
-            EngineMetrics::add(&self.metrics.seq_gaps, shape.seq - session.next_in_seq);
+            let gap = shape.seq - session.next_in_seq;
+            self.metrics.seq_gaps.add(gap);
+            self.recorder
+                .record(AnomalyKind::SeqGap, shape.sensor_id as u64, gap, shape.seq);
         }
         session.next_in_seq = shape.seq + 1;
 
@@ -711,9 +869,10 @@ impl ShardWorker {
             }
         }
         drop(b); // samples are consumed: recycle the buffer now
-        EngineMetrics::add(&self.metrics.sweeps_processed, shape.n_sweeps as u64);
+        self.metrics.sweeps_processed.add(shape.n_sweeps as u64);
         if !updates.is_empty() {
-            EngineMetrics::add(&self.metrics.frames_emitted, updates.len() as u64);
+            self.metrics.frames_emitted.add(updates.len() as u64);
+            session.frames.add(updates.len() as u64);
             session.frames_emitted += updates.len() as u64;
             let seq = session.out_seq;
             session.out_seq += 1;

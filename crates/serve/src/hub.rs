@@ -28,7 +28,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use witrack_core::FrameReport;
-use witrack_fuse::{FuseConfig, FusionEngine, Registration, WorldFrame};
+use witrack_fuse::{FuseConfig, FusionEngine, Registration, WorldEvent, WorldFrame};
+use witrack_obs::{AnomalyKind, Counter, FlightRecorder, Gauge, Label};
 
 /// One fused room: its sensor registration and fusion tuning.
 pub struct RoomSpec {
@@ -110,6 +111,19 @@ struct Room {
     engine: FusionEngine,
     subscribers: Vec<Subscriber>,
     out_seq: u64,
+    /// Live world tracks after the room's newest fused epoch.
+    tracks: Gauge,
+    /// Fusion epoch lag: newest sensor epoch minus the fusion watermark
+    /// (how far the slowest active sensor trails the fastest).
+    epoch_lag: Gauge,
+    /// Fleet events emitted for this room.
+    events: Counter,
+    /// Anchor handoffs among this room's events.
+    handoffs: Counter,
+    /// Ghost (multipath) track initiations suppressed in this room.
+    ghosts_quarantined: Counter,
+    /// `FusionStats::ghosts_suppressed` at the last delta count.
+    last_ghosts: u64,
 }
 
 struct Subscriber {
@@ -125,6 +139,7 @@ struct HubWorker {
     sensor_rooms: HashMap<u32, usize>,
     frame_pool: BufPool<u8>,
     metrics: Arc<EngineMetrics>,
+    recorder: Arc<FlightRecorder>,
     stop: Arc<AtomicBool>,
     /// Reused encode buffer: each fused frame (and its events) is
     /// serialized once here, then memcpy'd into per-subscriber pooled
@@ -137,9 +152,11 @@ impl WorldHub {
         cfg: WorldConfig,
         frame_pool: BufPool<u8>,
         metrics: Arc<EngineMetrics>,
+        recorder: Arc<FlightRecorder>,
         stop: Arc<AtomicBool>,
     ) -> (WorldHub, HubHandle) {
         let (tx, rx) = channel();
+        let registry = Arc::clone(metrics.registry());
         let mut sensor_rooms = HashMap::new();
         let rooms: Vec<Room> = cfg
             .rooms
@@ -150,11 +167,23 @@ impl WorldHub {
                     let prev = sensor_rooms.insert(sensor, idx);
                     assert!(prev.is_none(), "sensor {sensor} registered to two rooms");
                 }
+                let label = Label::Room(spec.room_id);
+                let mut engine = FusionEngine::new(spec.fuse, spec.registration);
+                // Anchor-switch wait times (epochs the room sat on a
+                // worse anchor, in ns of epoch time) land in the room's
+                // handoff-latency histogram.
+                engine.attach_handoff_histo(registry.histo("room", "handoff_latency_ns", label));
                 Room {
                     room_id: spec.room_id,
-                    engine: FusionEngine::new(spec.fuse, spec.registration),
+                    engine,
                     subscribers: Vec::new(),
                     out_seq: 0,
+                    tracks: registry.gauge("room", "tracks", label),
+                    epoch_lag: registry.gauge("room", "epoch_lag", label),
+                    events: registry.counter("room", "events", label),
+                    handoffs: registry.counter("room", "handoffs", label),
+                    ghosts_quarantined: registry.counter("room", "ghosts_quarantined", label),
+                    last_ghosts: 0,
                 }
             })
             .collect();
@@ -165,6 +194,7 @@ impl WorldHub {
             sensor_rooms,
             frame_pool,
             metrics,
+            recorder,
             stop,
             update_scratch: Vec::new(),
         };
@@ -225,7 +255,7 @@ impl HubWorker {
     fn subscribe(&mut self, sub: Subscribe, sink: ConnSink) {
         match self.rooms.iter_mut().find(|r| r.room_id == sub.room_id) {
             Some(room) => {
-                EngineMetrics::inc(&self.metrics.subscriptions_opened);
+                self.metrics.subscriptions_opened.inc();
                 room.subscribers.push(Subscriber {
                     sink,
                     world_updates: sub.world_updates,
@@ -233,11 +263,11 @@ impl HubWorker {
                 });
             }
             None => {
-                EngineMetrics::inc(&self.metrics.batches_rejected);
+                self.metrics.batches_rejected.inc();
                 let mut buf = self.frame_pool.get(32);
                 wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
                 if sink.tx.try_send(buf).is_err() {
-                    EngineMetrics::inc(&self.metrics.updates_dropped);
+                    self.metrics.updates_dropped.inc();
                 }
             }
         }
@@ -250,9 +280,43 @@ impl HubWorker {
     /// pooled buffers.
     fn deliver(&mut self, room_idx: usize, frames: Vec<WorldFrame>) {
         let room = &mut self.rooms[room_idx];
+        // Ghost suppressions happen inside fusion; surface the delta as
+        // a room counter and quarantine records.
+        let ghosts = room.engine.stats().ghosts_suppressed;
+        if ghosts > room.last_ghosts {
+            let new = ghosts - room.last_ghosts;
+            room.ghosts_quarantined.add(new);
+            self.recorder.record(
+                AnomalyKind::GhostQuarantine,
+                room.room_id as u64,
+                new,
+                ghosts,
+            );
+            room.last_ghosts = ghosts;
+        }
         for frame in frames {
-            EngineMetrics::inc(&self.metrics.world_frames);
-            EngineMetrics::add(&self.metrics.world_events, frame.events.len() as u64);
+            self.metrics.world_frames.inc();
+            self.metrics.world_events.add(frame.events.len() as u64);
+            room.tracks.set(frame.tracks.len() as i64);
+            room.epoch_lag
+                .set(room.engine.watermark_lag_epochs() as i64);
+            room.events.add(frame.events.len() as u64);
+            for event in &frame.events {
+                if let WorldEvent::Handoff {
+                    from_sensor,
+                    to_sensor,
+                    ..
+                } = event
+                {
+                    room.handoffs.inc();
+                    self.recorder.record(
+                        AnomalyKind::Handoff,
+                        *from_sensor as u64,
+                        *to_sensor as u64,
+                        frame.epoch,
+                    );
+                }
+            }
             let seq = room.out_seq;
             room.out_seq += 1;
             if room.subscribers.is_empty() {
@@ -270,19 +334,20 @@ impl HubWorker {
             }
             let pool = &self.frame_pool;
             let metrics = &self.metrics;
+            let recorder = &self.recorder;
             room.subscribers.retain(|sub| {
                 let mut alive = true;
                 if sub.world_updates {
                     let mut buf = pool.get(bounds[1]);
                     buf.extend_from_slice(&scratch[..bounds[1]]);
-                    alive &= push(&sub.sink, buf, metrics);
+                    alive &= push(&sub.sink, buf, metrics, recorder);
                 }
                 if sub.events && alive {
                     for window in bounds[1..].windows(2) {
                         let bytes = &scratch[window[0]..window[1]];
                         let mut buf = pool.get(bytes.len());
                         buf.extend_from_slice(bytes);
-                        alive &= push(&sub.sink, buf, metrics);
+                        alive &= push(&sub.sink, buf, metrics, recorder);
                         if !alive {
                             break;
                         }
@@ -296,11 +361,17 @@ impl HubWorker {
 
 /// `try_send` into a subscriber, shedding on full. Returns `false` when
 /// the connection is gone (prune it).
-fn push(sink: &ConnSink, buf: crate::pool::PooledBuf<u8>, metrics: &EngineMetrics) -> bool {
+fn push(
+    sink: &ConnSink,
+    buf: crate::pool::PooledBuf<u8>,
+    metrics: &EngineMetrics,
+    recorder: &FlightRecorder,
+) -> bool {
     match sink.tx.try_send(buf) {
         Ok(()) => true,
         Err(TrySendError::Full(_)) => {
-            EngineMetrics::inc(&metrics.updates_dropped);
+            metrics.updates_dropped.inc();
+            recorder.record(AnomalyKind::Shed, sink.conn_id, 0, 0);
             true
         }
         Err(TrySendError::Disconnected(_)) => false,

@@ -92,6 +92,7 @@ pub use pool::{BufPool, PoolStats, PooledBatch, PooledBuf};
 pub use server::{Server, TcpServer};
 pub use transport::{in_proc_pair, InProcTransport, RxMsg, TcpTransport, Transport, WireFrame};
 pub use wire::{
-    EventMsg, Hello, Message, PipelineKind, Reject, RejectCode, Subscribe, SweepBatch, SweepBatchQ,
-    SweepShape, Teardown, UpdateBatch, WireError, WorldUpdateMsg,
+    EventMsg, Hello, HistoWire, Message, PipelineKind, Reject, RejectCode, StatsQuery, StatsReport,
+    StatsSample, StatsValue, Subscribe, SweepBatch, SweepBatchQ, SweepShape, Teardown, UpdateBatch,
+    WireError, WorldUpdateMsg,
 };

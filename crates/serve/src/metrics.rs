@@ -1,105 +1,148 @@
 //! Engine health counters: drops, lag, sequence anomalies.
 //!
-//! All counters are relaxed atomics — they are monitoring data, ordered
-//! against nothing. [`EngineMetrics::snapshot`] reads them into a plain
+//! The counters are [`witrack_obs`] registry handles — every series
+//! lives in the engine's [`Registry`] under the `engine` subsystem, so
+//! one snapshot (or a wire `StatsReport`, or text exposition) sees them
+//! alongside the per-shard, per-sensor, and per-room series registered
+//! elsewhere. Handles are relaxed atomics behind `Arc`s: updating one is
+//! exactly the `fetch_add` the old bare-`AtomicU64` fields cost, and the
+//! registry is only locked once per series at engine construction.
+//! [`EngineMetrics::snapshot`] still reads everything into a plain
 //! struct for printing and for the bench JSON artifacts.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use witrack_obs::{Counter, Gauge, Label, Registry};
 
-/// Shared engine counters (one instance per engine, behind an `Arc`).
-#[derive(Debug, Default)]
+/// Shared engine counters (one instance per engine, behind an `Arc`),
+/// all registered in the engine's metric [`Registry`].
+///
+/// `batches_in` and `inflight` are gauges rather than counters because
+/// ingress must count *before* the queue send (or a shard's dequeue
+/// could observe an un-counted message) and roll back when the send
+/// fails — a decrement monotone counters don't allow.
+#[derive(Debug)]
 pub struct EngineMetrics {
     /// Messages accepted into a shard queue: sweep batches plus
     /// hello/teardown control messages.
-    pub batches_in: AtomicU64,
+    pub batches_in: Gauge,
     /// Sweep batches discarded at ingress because the target shard's queue
     /// was full (DropNewest policy only).
-    pub batches_dropped: AtomicU64,
+    pub batches_dropped: Counter,
     /// Sweep batches refused inside a shard (unknown sensor, shape
     /// mismatch, stale sequence).
-    pub batches_rejected: AtomicU64,
+    pub batches_rejected: Counter,
     /// Individual sweep intervals processed by pipelines.
-    pub sweeps_processed: AtomicU64,
+    pub sweeps_processed: Counter,
     /// Frame reports emitted by pipelines.
-    pub frames_emitted: AtomicU64,
+    pub frames_emitted: Counter,
     /// Missing batches implied by forward sequence jumps.
-    pub seq_gaps: AtomicU64,
+    pub seq_gaps: Counter,
     /// Batches that arrived with an already-consumed sequence number.
-    pub seq_out_of_order: AtomicU64,
+    pub seq_out_of_order: Counter,
     /// Batches naming a sensor with no live session.
-    pub unknown_sensor: AtomicU64,
+    pub unknown_sensor: Counter,
     /// Sessions opened.
-    pub sessions_opened: AtomicU64,
-    /// Sessions closed by teardown.
-    pub sessions_closed: AtomicU64,
+    pub sessions_opened: Counter,
+    /// Sessions closed: by teardown, by connection-scoped cleanup, or by
+    /// the owning shard at engine shutdown — every opened session is
+    /// eventually counted here.
+    pub sessions_closed: Counter,
     /// Batches currently queued across all shards (ingress minus dequeues).
-    pub inflight: AtomicU64,
+    pub inflight: Gauge,
     /// High-water mark of `inflight`: the worst queue backlog observed,
     /// the engine's lag signal.
-    pub max_inflight: AtomicU64,
+    pub max_inflight: Gauge,
     /// Server→client messages shed because a session's connection outbox
     /// was full (the client is lagging) or gone.
-    pub updates_dropped: AtomicU64,
+    pub updates_dropped: Counter,
     /// Fused world frames emitted by the world hub.
-    pub world_frames: AtomicU64,
+    pub world_frames: Counter,
     /// Fleet events emitted by the world hub.
-    pub world_events: AtomicU64,
+    pub world_events: Counter,
     /// Room subscriptions accepted by the world hub.
-    pub subscriptions_opened: AtomicU64,
+    pub subscriptions_opened: Counter,
+    registry: Arc<Registry>,
 }
 
 impl EngineMetrics {
-    /// Bumps a counter by 1.
-    pub(crate) fn inc(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Registers every engine-wide series in `registry` and returns the
+    /// handle bundle.
+    pub fn new(registry: Arc<Registry>) -> EngineMetrics {
+        let c = |name| registry.counter("engine", name, Label::Global);
+        let g = |name| registry.gauge("engine", name, Label::Global);
+        EngineMetrics {
+            batches_in: g("batches_in"),
+            batches_dropped: c("batches_dropped"),
+            batches_rejected: c("batches_rejected"),
+            sweeps_processed: c("sweeps_processed"),
+            frames_emitted: c("frames_emitted"),
+            seq_gaps: c("seq_gaps"),
+            seq_out_of_order: c("seq_out_of_order"),
+            unknown_sensor: c("unknown_sensor"),
+            sessions_opened: c("sessions_opened"),
+            sessions_closed: c("sessions_closed"),
+            inflight: g("inflight"),
+            max_inflight: g("max_inflight"),
+            updates_dropped: c("updates_dropped"),
+            world_frames: c("world_frames"),
+            world_events: c("world_events"),
+            subscriptions_opened: c("subscriptions_opened"),
+            registry,
+        }
     }
 
-    /// Bumps a counter by `n`.
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// The registry every series lives in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records one batch entering a shard queue. MUST be called *before*
     /// the actual send: the shard's matching [`Self::dequeued`] must never
     /// be able to run first, or `inflight` underflows.
     pub(crate) fn enqueued(&self) {
-        Self::inc(&self.batches_in);
-        let now = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.max_inflight.fetch_max(now, Ordering::Relaxed);
+        self.batches_in.add(1);
+        self.inflight.add(1);
+        self.max_inflight.raise_to(self.inflight.get());
     }
 
     /// Rolls back an [`Self::enqueued`] whose send then failed (queue
     /// full under DropNewest, or engine down).
     pub(crate) fn enqueue_failed(&self) {
-        self.batches_in.fetch_sub(1, Ordering::Relaxed);
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.batches_in.add(-1);
+        self.inflight.add(-1);
     }
 
     /// Records one batch leaving a shard queue.
     pub(crate) fn dequeued(&self) {
-        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.inflight.add(-1);
     }
 
     /// Reads every counter at once.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            batches_in: self.batches_in.load(Ordering::Relaxed),
-            batches_dropped: self.batches_dropped.load(Ordering::Relaxed),
-            batches_rejected: self.batches_rejected.load(Ordering::Relaxed),
-            sweeps_processed: self.sweeps_processed.load(Ordering::Relaxed),
-            frames_emitted: self.frames_emitted.load(Ordering::Relaxed),
-            seq_gaps: self.seq_gaps.load(Ordering::Relaxed),
-            seq_out_of_order: self.seq_out_of_order.load(Ordering::Relaxed),
-            unknown_sensor: self.unknown_sensor.load(Ordering::Relaxed),
-            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
-            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
-            inflight: self.inflight.load(Ordering::Relaxed),
-            max_inflight: self.max_inflight.load(Ordering::Relaxed),
-            updates_dropped: self.updates_dropped.load(Ordering::Relaxed),
-            world_frames: self.world_frames.load(Ordering::Relaxed),
-            world_events: self.world_events.load(Ordering::Relaxed),
-            subscriptions_opened: self.subscriptions_opened.load(Ordering::Relaxed),
+            batches_in: self.batches_in.get().max(0) as u64,
+            batches_dropped: self.batches_dropped.get(),
+            batches_rejected: self.batches_rejected.get(),
+            sweeps_processed: self.sweeps_processed.get(),
+            frames_emitted: self.frames_emitted.get(),
+            seq_gaps: self.seq_gaps.get(),
+            seq_out_of_order: self.seq_out_of_order.get(),
+            unknown_sensor: self.unknown_sensor.get(),
+            sessions_opened: self.sessions_opened.get(),
+            sessions_closed: self.sessions_closed.get(),
+            inflight: self.inflight.get().max(0) as u64,
+            max_inflight: self.max_inflight.get().max(0) as u64,
+            updates_dropped: self.updates_dropped.get(),
+            world_frames: self.world_frames.get(),
+            world_events: self.world_events.get(),
+            subscriptions_opened: self.subscriptions_opened.get(),
         }
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> EngineMetrics {
+        EngineMetrics::new(Arc::new(Registry::new()))
     }
 }
 
@@ -125,7 +168,7 @@ pub struct MetricsSnapshot {
     pub unknown_sensor: u64,
     /// Sessions opened.
     pub sessions_opened: u64,
-    /// Sessions closed by teardown.
+    /// Sessions closed (teardown, connection cleanup, or shutdown).
     pub sessions_closed: u64,
     /// Batches queued right now.
     pub inflight: u64,

@@ -88,6 +88,16 @@ impl Server {
         self.engine.metrics()
     }
 
+    /// The engine's metric registry.
+    pub fn registry(&self) -> &Arc<witrack_obs::Registry> {
+        self.engine.registry()
+    }
+
+    /// The engine's anomaly flight recorder.
+    pub fn recorder(&self) -> &Arc<witrack_obs::FlightRecorder> {
+        self.engine.recorder()
+    }
+
     /// Shuts the engine down (draining shard queues). Attached
     /// connections must already be closed.
     pub fn shutdown(self) -> MetricsSnapshot {
@@ -234,6 +244,16 @@ impl TcpServer {
     /// Engine counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.server.metrics()
+    }
+
+    /// The engine's metric registry.
+    pub fn registry(&self) -> &Arc<witrack_obs::Registry> {
+        self.server.registry()
+    }
+
+    /// The engine's anomaly flight recorder.
+    pub fn recorder(&self) -> &Arc<witrack_obs::FlightRecorder> {
+        self.server.recorder()
     }
 
     /// Stops accepting, then shuts the engine down. Clients must have

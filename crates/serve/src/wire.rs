@@ -26,6 +26,8 @@
 //! | 7    | `Subscribe` (v2) | `room_id u32, flags u16 (bit0 world updates, bit1 events), reserved u16` |
 //! | 8    | `WorldUpdate` (v2, server → client) | `room_id u32, seq u64, epoch u64, time_s f64, n_tracks u16, reserved u16`, then per track 88 bytes: `id u64, x y z f64, vx vy vz f64, var_x var_y var_z f64, flags u8 (bit0 coasting), contributors u8, pad u16, primary_sensor u32 (u32::MAX = none)` |
 //! | 9    | `Event` (v2, server → client) | `room_id u32, kind u16, reserved u16, track u64 (u64::MAX = none), zone u32, sensor_a u32, sensor_b u32, reserved u32, time_s f64, x y z f64, aux f64, aux2 f64` |
+//! | 10   | `StatsQuery` (v2) | `flags u32 (reserved, must be 0)` |
+//! | 11   | `StatsReport` (v2, server → client) | `n_samples u32`, then per sample: `subsystem (u8 len + bytes), name (u8 len + bytes), label_kind u8 (0 global, 1 sensor, 2 room, 3 shard), label_id u32, value_kind u8 (1 counter, 2 gauge, 3 histogram)`, then `u64` for counter, `i64` for gauge, or `count u64, sum u64, min u64, max u64, p50 u64, p90 u64, p99 u64` for histogram |
 //!
 //! **Version 2** adds [`SweepBatchQ`]: the same batch shape as
 //! `SweepBatch`, but carrying the baseband as `i16` quantization steps
@@ -36,7 +38,12 @@
 //! the `Hello` flag bit 0 ([`Hello::quantized`]); servers accept both
 //! batch forms regardless, so v1 senders keep working unchanged. This
 //! decoder accepts frame versions 1 and 2; v1 frames simply cannot carry
-//! type 6.
+//! types 6 and up.
+//!
+//! Types 10/11 are the telemetry pull: a client sends `StatsQuery` and
+//! the server answers with one `StatsReport` carrying a point-in-time
+//! snapshot of every registered metric series (see `witrack_obs`) —
+//! counters, gauges, and histogram summaries with p50/p90/p99.
 //!
 //! [`decode`] is incremental-read friendly: on a buffer holding only part
 //! of one frame it returns [`WireError::Incomplete`] with the total frame
@@ -337,7 +344,7 @@ pub enum RejectCode {
 }
 
 impl RejectCode {
-    fn to_u16(self) -> u16 {
+    pub(crate) fn to_u16(self) -> u16 {
         match self {
             RejectCode::UnknownSensor => 1,
             RejectCode::DuplicateSensor => 2,
@@ -415,6 +422,168 @@ pub struct Reject {
     pub code: RejectCode,
 }
 
+/// Client → server: request one [`StatsReport`] snapshot (wire v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsQuery {
+    /// Reserved; must be 0.
+    pub flags: u32,
+}
+
+/// A histogram's wire summary: totals, extremes, and the three
+/// quantiles dashboards actually plot. The full 64-bucket vector stays
+/// server-side; 56 bytes per series keeps a fleet-wide report small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistoWire {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// 50th-percentile estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistoWire {
+    /// Summarizes a full histogram snapshot for the wire.
+    pub fn from_snapshot(h: &witrack_obs::HistoSnapshot) -> HistoWire {
+        if h.is_empty() {
+            return HistoWire::default();
+        }
+        HistoWire {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+        }
+    }
+}
+
+/// One metric's value inside a [`StatsReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Instantaneous gauge.
+    Gauge(i64),
+    /// Histogram summary.
+    Histo(HistoWire),
+}
+
+/// One metric series inside a [`StatsReport`]. The owned-string twin of
+/// `witrack_obs::MetricSample` (registry keys are `&'static str`, which
+/// a decoder cannot produce).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSample {
+    /// Owning subsystem (`"engine"`, `"shard"`, `"pipeline"`, ...).
+    pub subsystem: String,
+    /// Series name within the subsystem.
+    pub name: String,
+    /// Label dimension.
+    pub label: witrack_obs::Label,
+    /// Point-in-time value.
+    pub value: StatsValue,
+}
+
+/// Server → client: a point-in-time metrics snapshot (wire v2),
+/// answering a [`StatsQuery`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Every registered series, in registry (sorted-key) order.
+    pub samples: Vec<StatsSample>,
+}
+
+impl StatsReport {
+    /// Builds an owned report from registry snapshot samples.
+    pub fn from_samples(samples: &[witrack_obs::MetricSample]) -> StatsReport {
+        StatsReport {
+            samples: samples
+                .iter()
+                .map(|s| StatsSample {
+                    subsystem: s.key.subsystem.to_string(),
+                    name: s.key.name.to_string(),
+                    label: s.key.label,
+                    value: match &s.value {
+                        witrack_obs::MetricValue::Counter(v) => StatsValue::Counter(*v),
+                        witrack_obs::MetricValue::Gauge(v) => StatsValue::Gauge(*v),
+                        witrack_obs::MetricValue::Histo(h) => {
+                            StatsValue::Histo(HistoWire::from_snapshot(h))
+                        }
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// The first sample matching `(subsystem, name, label)`, if any —
+    /// the lookup clients use after a pull.
+    pub fn find(
+        &self,
+        subsystem: &str,
+        name: &str,
+        label: witrack_obs::Label,
+    ) -> Option<&StatsSample> {
+        self.samples
+            .iter()
+            .find(|s| s.subsystem == subsystem && s.name == name && s.label == label)
+    }
+
+    /// Prometheus-style text exposition of the pulled report, in the
+    /// same shape as [`witrack_obs::registry::render_samples`]: one line
+    /// per counter/gauge, `_count`/`_sum` plus `quantile`-labeled
+    /// p50/p90/p99/max lines per histogram.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.samples {
+            let base = format!("witrack_{}_{}", s.subsystem, s.name);
+            let label = match s.label.dimension() {
+                None => String::new(),
+                Some((dim, id)) => format!("{dim}=\"{id}\""),
+            };
+            let series = |extra: &str| -> String {
+                let joined = match (label.is_empty(), extra.is_empty()) {
+                    (true, true) => return String::new(),
+                    (false, true) => label.clone(),
+                    (true, false) => extra.to_string(),
+                    (false, false) => format!("{label},{extra}"),
+                };
+                format!("{{{joined}}}")
+            };
+            match &s.value {
+                StatsValue::Counter(v) => {
+                    let _ = writeln!(out, "{base}{} {v}", series(""));
+                }
+                StatsValue::Gauge(v) => {
+                    let _ = writeln!(out, "{base}{} {v}", series(""));
+                }
+                StatsValue::Histo(h) => {
+                    let _ = writeln!(out, "{base}_count{} {}", series(""), h.count);
+                    let _ = writeln!(out, "{base}_sum{} {}", series(""), h.sum);
+                    for (q, v) in [
+                        ("0.5", h.p50),
+                        ("0.9", h.p90),
+                        ("0.99", h.p99),
+                        ("1.0", h.max),
+                    ] {
+                        let _ = writeln!(out, "{base}{} {v}", series(&format!("quantile=\"{q}\"")));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Any wire message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -438,6 +607,10 @@ pub enum Message {
     WorldUpdate(WorldUpdateMsg),
     /// Server → client fleet event (v2).
     Event(EventMsg),
+    /// Metrics-snapshot request (v2).
+    StatsQuery(StatsQuery),
+    /// Server → client metrics snapshot (v2).
+    StatsReport(StatsReport),
 }
 
 impl Message {
@@ -452,6 +625,8 @@ impl Message {
             Message::Subscribe(_) => 7,
             Message::WorldUpdate(_) => 8,
             Message::Event(_) => 9,
+            Message::StatsQuery(_) => 10,
+            Message::StatsReport(_) => 11,
         }
     }
 }
@@ -641,10 +816,83 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
             put_u16(out, (s.world_updates as u16) | ((s.events as u16) << 1));
             put_u16(out, 0);
         }
+        Message::StatsQuery(q) => put_u32(out, q.flags),
+        Message::StatsReport(r) => {
+            put_u32(out, r.samples.len() as u32);
+            for s in &r.samples {
+                put_stats_sample(out, &s.subsystem, &s.name, s.label, &s.value);
+            }
+        }
         Message::UpdateBatch(_)
         | Message::Reject(_)
         | Message::WorldUpdate(_)
         | Message::Event(_) => unreachable!("handled above"),
+    }
+    end_frame(out, header_at);
+}
+
+/// `Label` → `(kind byte, id)` for the wire.
+fn label_to_wire(label: witrack_obs::Label) -> (u8, u32) {
+    match label {
+        witrack_obs::Label::Global => (0, 0),
+        witrack_obs::Label::Sensor(id) => (1, id),
+        witrack_obs::Label::Room(id) => (2, id),
+        witrack_obs::Label::Shard(id) => (3, id),
+    }
+}
+
+/// Writes one length-prefixed metric name part (≤ 255 bytes — registry
+/// names are short static identifiers).
+fn put_stats_str(out: &mut Vec<u8>, s: &str) {
+    let len = u8::try_from(s.len()).expect("metric name part exceeds 255 bytes");
+    out.push(len);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Writes one [`StatsSample`]-shaped record.
+fn put_stats_sample(
+    out: &mut Vec<u8>,
+    subsystem: &str,
+    name: &str,
+    label: witrack_obs::Label,
+    value: &StatsValue,
+) {
+    put_stats_str(out, subsystem);
+    put_stats_str(out, name);
+    let (kind, id) = label_to_wire(label);
+    out.push(kind);
+    put_u32(out, id);
+    match value {
+        StatsValue::Counter(v) => {
+            out.push(1);
+            put_u64(out, *v);
+        }
+        StatsValue::Gauge(v) => {
+            out.push(2);
+            put_u64(out, *v as u64);
+        }
+        StatsValue::Histo(h) => {
+            out.push(3);
+            for v in [h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99] {
+                put_u64(out, v);
+            }
+        }
+    }
+}
+
+/// Encodes a `StatsReport` frame straight from registry snapshot
+/// samples, appended to `out` — the server path, which summarizes
+/// histograms on the fly instead of building an owned [`StatsReport`].
+pub fn encode_stats_report_into(samples: &[witrack_obs::MetricSample], out: &mut Vec<u8>) {
+    let header_at = begin_frame(out, 11);
+    put_u32(out, samples.len() as u32);
+    for s in samples {
+        let value = match &s.value {
+            witrack_obs::MetricValue::Counter(v) => StatsValue::Counter(*v),
+            witrack_obs::MetricValue::Gauge(v) => StatsValue::Gauge(*v),
+            witrack_obs::MetricValue::Histo(h) => StatsValue::Histo(HistoWire::from_snapshot(h)),
+        };
+        put_stats_sample(out, s.key.subsystem, s.key.name, s.key.label, &value);
     }
     end_frame(out, header_at);
 }
@@ -823,7 +1071,7 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::UnsupportedVersion(version));
     }
     let msg_type = buf[5];
-    let max_type = if version >= 2 { 9 } else { 5 };
+    let max_type = if version >= 2 { 11 } else { 5 };
     if !(1..=max_type).contains(&msg_type) {
         return Err(WireError::UnknownType(msg_type));
     }
@@ -832,6 +1080,13 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::PayloadTooLarge(payload_len));
     }
     Ok((msg_type, HEADER_LEN + payload_len as usize))
+}
+
+/// Reads one length-prefixed metric name part.
+fn read_stats_str(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let len = r.u8()? as usize;
+    let bytes = r.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload("metric name not UTF-8"))
 }
 
 /// Reads the shape/identity header both sweep-batch forms share.
@@ -1153,6 +1408,45 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
                 _ => return Err(WireError::BadPayload("unknown event kind")),
             };
             Message::Event(EventMsg { room_id, event })
+        }
+        10 => Message::StatsQuery(StatsQuery { flags: r.u32()? }),
+        11 => {
+            let n_samples = r.u32()?;
+            let mut samples = Vec::with_capacity((n_samples as usize).min(1024));
+            for _ in 0..n_samples {
+                let subsystem = read_stats_str(&mut r)?;
+                let name = read_stats_str(&mut r)?;
+                let label_kind = r.u8()?;
+                let label_id = r.u32()?;
+                let label = match label_kind {
+                    0 => witrack_obs::Label::Global,
+                    1 => witrack_obs::Label::Sensor(label_id),
+                    2 => witrack_obs::Label::Room(label_id),
+                    3 => witrack_obs::Label::Shard(label_id),
+                    _ => return Err(WireError::BadPayload("unknown label kind")),
+                };
+                let value = match r.u8()? {
+                    1 => StatsValue::Counter(r.u64()?),
+                    2 => StatsValue::Gauge(r.u64()? as i64),
+                    3 => StatsValue::Histo(HistoWire {
+                        count: r.u64()?,
+                        sum: r.u64()?,
+                        min: r.u64()?,
+                        max: r.u64()?,
+                        p50: r.u64()?,
+                        p90: r.u64()?,
+                        p99: r.u64()?,
+                    }),
+                    _ => return Err(WireError::BadPayload("unknown stats value kind")),
+                };
+                samples.push(StatsSample {
+                    subsystem,
+                    name,
+                    label,
+                    value,
+                });
+            }
+            Message::StatsReport(StatsReport { samples })
         }
         t => return Err(WireError::UnknownType(t)),
     };

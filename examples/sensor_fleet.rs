@@ -14,6 +14,12 @@
 //! cargo run --release --example sensor_fleet            # paper-config sweeps
 //! cargo run --release --example sensor_fleet -- --quick # reduced sweeps, smoke-test grade
 //! ```
+//!
+//! With `--stats-out PATH`, the client additionally pulls a live
+//! telemetry snapshot over the wire (`StatsQuery` → `StatsReport`)
+//! before closing its sessions and writes the Prometheus-style text
+//! exposition to `PATH` — CI's observability smoke checks that artifact
+//! for the hot-path series.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -30,6 +36,16 @@ use witrack_repro::sim::{FleetConfig, FleetSimulator, SimConfig};
 
 fn main() {
     let sweep = witrack_repro::demo::sweep_from_args();
+    let stats_out = {
+        let mut args = std::env::args();
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--stats-out" {
+                path = args.next();
+            }
+        }
+        path
+    };
     let base = WiTrackConfig {
         sweep,
         max_round_trip_m: 30.0,
@@ -159,6 +175,29 @@ fn main() {
                 pending[room].clear();
             }
         }
+    }
+    // Pull a live telemetry snapshot over the wire while the sessions
+    // (and their gauges) are still open: per-sensor frame counts,
+    // per-shard queue accounting, per-stage latency quantiles, per-room
+    // track/event counters.
+    if let Some(path) = &stats_out {
+        client.query_stats().expect("stats query");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let report = loop {
+            if let Some(r) = client.last_stats() {
+                break r;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no StatsReport within 5 s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        std::fs::write(path, report.render_text()).expect("write stats exposition");
+        println!(
+            "telemetry: pulled {} series over the wire -> {path}\n",
+            report.samples.len()
+        );
     }
     for i in 0..rooms as u32 {
         client.teardown(i).expect("teardown");

@@ -21,6 +21,9 @@
 //!   the world-model fusion engine (one coherent track set across
 //!   overlapping sensors), and fleet events (occupancy, falls,
 //!   handoffs) served through `serve`'s room subscriptions.
+//! * [`obs`] — lock-free telemetry: log-bucketed latency histograms, the
+//!   labeled metric registry behind the engine's stats, and the flight
+//!   recorder of recent anomalies.
 //!
 //! # Quickstart
 //!
@@ -60,6 +63,7 @@ pub use witrack_fmcw as fmcw;
 pub use witrack_fuse as fuse;
 pub use witrack_geom as geom;
 pub use witrack_mtt as mtt;
+pub use witrack_obs as obs;
 pub use witrack_serve as serve;
 pub use witrack_sim as sim;
 
