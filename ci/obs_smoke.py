@@ -37,14 +37,24 @@ REQUIRED = [
     ("shard dequeue_to_report_ns",
      r'^witrack_shard_dequeue_to_report_ns_count\{shard="\d+"\} (\d+)$'),
     ("room tracks gauge registered", r'^witrack_room_tracks\{room="\d+"\} (-?\d+)$'),
+    ("sensor liveness gauge registered",
+     r'^witrack_sensor_liveness\{sensor="\d+"\} (-?\d+)$'),
+    ("sensor reconnects counter registered",
+     r'^witrack_sensor_reconnects\{sensor="\d+"\} (\d+)$'),
     ("dsp plan_cache hits (global registry merged)",
      r"^witrack_dsp_plan_cache_hits (\d+)$"),
 ]
 
 # Registered-but-allowed-zero: presence is required (the series must be
 # in the report), the value is not gated. Room gauges read whatever the
-# last fused frame held, which may legitimately be zero.
-PRESENCE_ONLY = {"room tracks gauge registered"}
+# last fused frame held, which may legitimately be zero; liveness is 0
+# (= Live) and reconnects stay 0 for a fleet that never misbehaves —
+# their presence proves the failure-model plumbing is wired end-to-end.
+PRESENCE_ONLY = {
+    "room tracks gauge registered",
+    "sensor liveness gauge registered",
+    "sensor reconnects counter registered",
+}
 
 
 def main():

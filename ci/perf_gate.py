@@ -18,7 +18,16 @@ Understands the artifact shapes this repo emits:
   ``msgs_per_sec``;
 * ``t_fuse``: top-level ``results`` keyed by ``(sensors, overlap)``,
   metric ``fused_tracks_per_sec`` (the ``handoff_latency_ms`` scalar is
-  lower-is-better and informational, so it is not gated).
+  lower-is-better and informational, so it is not gated);
+* ``t_chaos``: top-level ``results`` keyed by ``(room, fault)``, metric
+  ``recovery_to_good_ns`` — the time from the fault window closing to
+  the first epoch where every covered target is re-acquired. It is
+  lower-is-better and gated with the latency tolerance: recovery time
+  quantizes to whole fused epochs (the bin floors it at one frame
+  period), so one epoch of jitter can double a small value, exactly
+  like the log2 histogram buckets. Error medians and tracked fractions
+  are contract-checked inside the bin itself (it exits nonzero on a
+  violation), so the gate does not re-judge them.
 
 Rows may additionally carry latency-quantile fields (``*_p50_ns`` /
 ``*_p99_ns``, from the witrack-obs stage histograms). These are
@@ -70,6 +79,10 @@ def entries(doc):
         for r in doc["results"]:
             if "variant" in r:  # t_ingest rows
                 yield (r["variant"], "msgs/s"), float(r["msgs_per_sec"])
+                continue
+            if "fault" in r:  # t_chaos rows
+                key = ("chaos", r["room"], r["fault"])
+                yield key + ("recovery_to_good_ns",), float(r["recovery_to_good_ns"])
                 continue
             if "fused_tracks_per_sec" in r:  # t_fuse rows
                 key = ("fuse", r["sensors"], r.get("overlap", 1.0))

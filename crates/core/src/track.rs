@@ -72,7 +72,7 @@ impl Track {
             .min_by(|a, b| {
                 let da = (a.0 - t).abs();
                 let db = (b.0 - t).abs();
-                da.partial_cmp(&db).expect("finite times")
+                da.total_cmp(&db) // NaN sorts last: never selected over a real time
             })
             .map(|&(_, p)| p)
     }

@@ -18,11 +18,26 @@ pub fn median(xs: &[f64]) -> f64 {
 
 /// Percentile `p` in `[0, 100]` with linear interpolation between order
 /// statistics, reordering the slice in place. NaN for empty input.
+///
+/// NaNs in the input (corrupt samples upstream) are shuffled to the tail
+/// and excluded from the statistic — a garbage value degrades the
+/// estimate, it must never panic the caller's thread.
 pub fn percentile_in_place(xs: &mut [f64], p: f64) -> f64 {
-    if xs.is_empty() {
+    let mut n = xs.len();
+    let mut i = 0;
+    while i < n {
+        if xs[i].is_nan() {
+            n -= 1;
+            xs.swap(i, n);
+        } else {
+            i += 1;
+        }
+    }
+    if n == 0 {
         return f64::NAN;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let xs = &mut xs[..n];
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaNs partitioned out"));
     sorted_percentile(xs, p)
 }
 
@@ -210,6 +225,16 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 30.0);
         assert_eq!(percentile(&xs, 25.0), 20.0);
         assert!((percentile(&xs, 90.0) - 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_excludes_nans_instead_of_panicking() {
+        // Corrupt samples upstream can reach the order statistics as
+        // NaN; they must degrade the estimate, never panic the thread.
+        let mut xs = [f64::NAN, 3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile_in_place(&mut xs, 50.0), 2.0);
+        assert_eq!(median(&[f64::NAN, 7.0]), 7.0);
+        assert!(median(&[f64::NAN, f64::NAN]).is_nan());
     }
 
     #[test]

@@ -39,4 +39,7 @@ pub mod world;
 pub use config::{FuseConfig, Zone};
 pub use events::WorldEvent;
 pub use registration::{CalibrationConfig, CalibrationError, Registration, TrackSample};
-pub use world::{FusionEngine, FusionStats, WorldFrame, WorldTrackId, WorldTrackSnapshot};
+pub use world::{
+    FusionEngine, FusionStats, LivenessTransition, SensorLiveness, WorldFrame, WorldTrackId,
+    WorldTrackSnapshot,
+};

@@ -186,11 +186,91 @@ pub struct WorldFrame {
     pub events: Vec<WorldEvent>,
 }
 
+/// Liveness phase of a registered sensor, driven by
+/// [`FusionEngine::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorLiveness {
+    /// Reporting within the suspect timeout.
+    Live,
+    /// Silent past [`crate::FuseConfig::suspect_timeout_s`]; the
+    /// watermark still waits for it (the short-lag grace window).
+    Suspect,
+    /// Silent past [`crate::FuseConfig::dead_timeout_s`]; removed from
+    /// the watermark so epochs close on the surviving set. Its tracks
+    /// coast; a later report revives it in place.
+    Dead,
+}
+
+impl SensorLiveness {
+    /// Stable lowercase name (gauges, dumps).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SensorLiveness::Live => "live",
+            SensorLiveness::Suspect => "suspect",
+            SensorLiveness::Dead => "dead",
+        }
+    }
+
+    /// Numeric encoding for gauges: 0 live, 1 suspect, 2 dead.
+    pub fn as_gauge(&self) -> i64 {
+        match self {
+            SensorLiveness::Live => 0,
+            SensorLiveness::Suspect => 1,
+            SensorLiveness::Dead => 2,
+        }
+    }
+}
+
+/// One liveness state change, drained via
+/// [`FusionEngine::take_liveness_transitions`] (anomaly recording,
+/// gauges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LivenessTransition {
+    /// The sensor that changed state.
+    pub sensor_id: u32,
+    /// State before the change.
+    pub from: SensorLiveness,
+    /// State after the change.
+    pub to: SensorLiveness,
+    /// Tick-clock seconds of silence that triggered a demotion; 0 for a
+    /// recovery.
+    pub silence_s: f64,
+}
+
+/// Per-sensor health bookkeeping (liveness + clock drift).
+#[derive(Debug, Clone, Copy)]
+struct SensorHealth {
+    liveness: SensorLiveness,
+    /// Reports ever ingested from this sensor.
+    reports: u64,
+    /// `reports` as of the last tick that saw progress.
+    seen_reports: u64,
+    /// Tick-clock time the current silence began (None until observed).
+    silent_since_s: Option<f64>,
+    /// EWMA estimate of the sensor's clock offset from the epoch grid.
+    drift_offset_s: f64,
+}
+
+impl SensorHealth {
+    fn new() -> SensorHealth {
+        SensorHealth {
+            liveness: SensorLiveness::Live,
+            reports: 0,
+            seen_reports: 0,
+            silent_since_s: None,
+            drift_offset_s: 0.0,
+        }
+    }
+}
+
 /// Engine health counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FusionStats {
     /// Reports from sensors absent from the registration table (dropped).
     pub unregistered_reports: u64,
+    /// Targets carrying a NaN/Inf coordinate (shed at the door — one
+    /// non-finite measurement would poison a Kalman state forever).
+    pub nonfinite_observations: u64,
     /// Epochs fused so far.
     pub epochs_fused: u64,
     /// Observations that failed every association gate and no initiation
@@ -202,6 +282,10 @@ pub struct FusionStats {
     pub suppressed_initiations: u64,
     /// Tracks dropped by the corroboration rule.
     pub ghosts_suppressed: u64,
+    /// Sensors demoted to [`SensorLiveness::Dead`] by the liveness tick.
+    pub sensors_died: u64,
+    /// Dead sensors that reported again and rejoined the watermark.
+    pub sensors_recovered: u64,
 }
 
 /// The cross-sensor fusion engine for one room (one shared world frame).
@@ -213,6 +297,10 @@ pub struct FusionEngine {
     pending: BTreeMap<u64, Vec<Obs>>,
     /// Newest epoch each sensor has reported (drives the watermark).
     latest_by_sensor: BTreeMap<u32, u64>,
+    /// Per-sensor liveness and drift state, keyed like the registration.
+    health: BTreeMap<u32, SensorHealth>,
+    /// Liveness changes not yet drained by the owner.
+    liveness_log: Vec<LivenessTransition>,
     last_fused_epoch: Option<u64>,
     next_id: u64,
     occupancy: BTreeMap<u32, u32>,
@@ -235,12 +323,18 @@ impl FusionEngine {
     /// [`Self::MAX_SENSOR_LAG_EPOCHS`] behind) before closing an epoch.
     pub fn new(cfg: FuseConfig, registration: Registration) -> FusionEngine {
         let latest_by_sensor = registration.sensor_ids().map(|id| (id, 0)).collect();
+        let health = registration
+            .sensor_ids()
+            .map(|id| (id, SensorHealth::new()))
+            .collect();
         FusionEngine {
             cfg,
             registration,
             tracks: Vec::new(),
             pending: BTreeMap::new(),
             latest_by_sensor,
+            health,
+            liveness_log: Vec::new(),
             last_fused_epoch: None,
             next_id: 0,
             occupancy: BTreeMap::new(),
@@ -305,7 +399,38 @@ impl FusionEngine {
             self.stats.unregistered_reports += 1;
             return Vec::new();
         };
-        let epoch = (report.time_s / self.cfg.frame_period_s).round() as u64;
+        let period = self.cfg.frame_period_s;
+        let alpha = self.cfg.clock_drift_alpha;
+        let health = self
+            .health
+            .entry(sensor_id)
+            .or_insert_with(SensorHealth::new);
+        health.reports += 1;
+        health.silent_since_s = None;
+        if health.liveness != SensorLiveness::Live {
+            let from = health.liveness;
+            health.liveness = SensorLiveness::Live;
+            if from == SensorLiveness::Dead {
+                self.stats.sensors_recovered += 1;
+            }
+            self.liveness_log.push(LivenessTransition {
+                sensor_id,
+                from,
+                to: SensorLiveness::Live,
+                silence_s: 0.0,
+            });
+        }
+        // Clock-drift correction: subtract the sensor's tracked offset
+        // from the epoch grid before rounding, then fold the residual
+        // into the offset estimate. Slow drift (≪ period/2 between
+        // consecutive reports) never splits one instant across epochs,
+        // even once the accumulated offset spans several periods.
+        let corrected_s = report.time_s - health.drift_offset_s;
+        let epoch = (corrected_s / period).round().max(0.0) as u64;
+        if alpha > 0.0 {
+            let residual = corrected_s - epoch as f64 * period;
+            health.drift_offset_s += alpha * residual;
+        }
         // A report older than anything still pending folds into the
         // oldest open epoch (a 12.5 ms attribution slip, ~1 cm of walker
         // motion) rather than being lost.
@@ -315,6 +440,14 @@ impl FusionEngine {
         };
         let bucket = self.pending.entry(epoch).or_default();
         for t in &report.targets {
+            let p = t.position;
+            let var_ok = t
+                .pos_var
+                .is_none_or(|v| v.x.is_finite() && v.y.is_finite() && v.z.is_finite());
+            if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite() && var_ok) {
+                self.stats.nonfinite_observations += 1;
+                continue;
+            }
             bucket.push(Obs {
                 sensor: sensor_id,
                 position: pose.apply(t.position),
@@ -334,10 +467,86 @@ impl FusionEngine {
 
     /// Forgets a sensor (session teardown): it stops holding the
     /// watermark back immediately. Its tracks coast like any other loss
-    /// of coverage.
+    /// of coverage. A clean teardown marks the sensor `Dead` without
+    /// logging a transition (it is not an anomaly); a later report
+    /// revives it.
     pub fn remove_sensor(&mut self, sensor_id: u32) -> Vec<WorldFrame> {
         self.latest_by_sensor.remove(&sensor_id);
+        if let Some(h) = self.health.get_mut(&sensor_id) {
+            h.liveness = SensorLiveness::Dead;
+            h.silent_since_s = None;
+        }
         self.drain_watermarked()
+    }
+
+    /// Current liveness of a registered sensor.
+    pub fn sensor_liveness(&self, sensor_id: u32) -> Option<SensorLiveness> {
+        self.health.get(&sensor_id).map(|h| h.liveness)
+    }
+
+    /// Drains the liveness transitions accumulated since the last call
+    /// (demotions from [`Self::tick`], recoveries from
+    /// [`Self::push_report`]).
+    pub fn take_liveness_transitions(&mut self) -> Vec<LivenessTransition> {
+        std::mem::take(&mut self.liveness_log)
+    }
+
+    /// Advances the liveness clock. `now_s` is any monotone seconds
+    /// source (the owner's wall clock); reports themselves carry sensor
+    /// time, so silence is measured purely between ticks: a sensor whose
+    /// report count has not moved since the previous tick is silent.
+    ///
+    /// Demotes silent sensors `Live → Suspect → Dead` per the configured
+    /// timeouts. A death removes the sensor from the watermark and
+    /// drains whatever epochs that unblocks; when *no* sensor remains in
+    /// the watermark, everything still pending is force-closed so the
+    /// room's consumers see the outage (coasting tracks) rather than a
+    /// frozen stream. Returns the world frames those closures produced.
+    pub fn tick(&mut self, now_s: f64) -> Vec<WorldFrame> {
+        let suspect_after = self.cfg.suspect_timeout_s;
+        let dead_after = self.cfg.dead_timeout_s;
+        if suspect_after <= 0.0 {
+            return Vec::new();
+        }
+        let mut died: Vec<u32> = Vec::new();
+        for (&id, h) in self.health.iter_mut() {
+            if h.reports > h.seen_reports {
+                h.seen_reports = h.reports;
+                h.silent_since_s = Some(now_s);
+                continue;
+            }
+            let since = *h.silent_since_s.get_or_insert(now_s);
+            let silence_s = now_s - since;
+            let next = match h.liveness {
+                SensorLiveness::Live if silence_s >= suspect_after => SensorLiveness::Suspect,
+                SensorLiveness::Suspect if silence_s >= dead_after.max(suspect_after) => {
+                    SensorLiveness::Dead
+                }
+                _ => continue,
+            };
+            self.liveness_log.push(LivenessTransition {
+                sensor_id: id,
+                from: h.liveness,
+                to: next,
+                silence_s,
+            });
+            h.liveness = next;
+            if next == SensorLiveness::Dead {
+                self.stats.sensors_died += 1;
+                died.push(id);
+            }
+        }
+        if died.is_empty() {
+            return Vec::new();
+        }
+        for id in died {
+            self.latest_by_sensor.remove(&id);
+        }
+        let mut out = self.drain_watermarked();
+        if self.latest_by_sensor.is_empty() && !self.pending.is_empty() {
+            out.extend(self.flush());
+        }
+        out
     }
 
     /// Fuses everything still pending regardless of the watermark (end
@@ -927,6 +1136,28 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_observations_are_shed_at_the_door() {
+        let (reg, _) = two_sensor_registration();
+        let mut engine = FusionEngine::new(FuseConfig::default(), reg);
+        let mut frames = Vec::new();
+        for e in 1..30u64 {
+            let good = target(1, Vec3::new(0.0, 3.0, 1.0), 0.15);
+            let poisoned = target(2, Vec3::new(f64::NAN, 5.0, 1.0), 0.15);
+            let mut bad_var = target(3, Vec3::new(2.0, 5.0, 1.0), 0.15);
+            bad_var.pos_var = Some(Vec3::new(f64::INFINITY, 0.01, 0.01));
+            frames.extend(engine.push_report(0, &report(e, vec![good, poisoned, bad_var])));
+        }
+        assert_eq!(engine.stats().nonfinite_observations, 29 * 2);
+        // Only the finite observation made it into the world, and what
+        // it produced is itself finite.
+        assert_eq!(engine.live_tracks(), 1);
+        let last = frames.last().expect("world frames still emit");
+        assert_eq!(last.tracks.len(), 1);
+        let p = last.tracks[0].position;
+        assert!(p.x.is_finite() && p.y.is_finite() && p.z.is_finite());
+    }
+
+    #[test]
     fn two_sensors_one_walker_is_one_world_track() {
         let (reg, world_from_s1) = two_sensor_registration();
         let mut engine = FusionEngine::new(FuseConfig::default(), reg);
@@ -1241,6 +1472,150 @@ mod tests {
         assert!(engine
             .lift_pointing(99, 0.0, Vec3::ZERO, Vec3::Y, 2.0)
             .is_none());
+    }
+
+    #[test]
+    fn silent_sensor_no_longer_stalls_epoch_closure() {
+        // Regression: before the liveness tick, a registered sensor that
+        // NEVER reported held the watermark at its seed epoch 0 forever —
+        // a short burst from the healthy sensor would never fuse.
+        let (reg, _) = two_sensor_registration();
+        let cfg = FuseConfig {
+            suspect_timeout_s: 0.05,
+            dead_timeout_s: 0.1,
+            ..FuseConfig::default()
+        };
+        let mut engine = FusionEngine::new(cfg, reg);
+        let p = Vec3::new(0.5, 4.0, 1.0);
+        for e in 1..5 {
+            assert!(
+                engine
+                    .push_report(0, &report(e, vec![target(1, p, 0.15)]))
+                    .is_empty(),
+                "sensor 1 silent: watermark stalled (the pre-fix behavior)"
+            );
+        }
+        // The tick observes the silence, demotes 1 to Suspect then Dead,
+        // and the death releases every pending epoch. Sensor 0 reports
+        // between ticks, so only sensor 1 accumulates silence.
+        assert!(engine.tick(0.0).is_empty(), "first tick only arms");
+        engine.push_report(0, &report(5, vec![target(1, p, 0.15)]));
+        assert!(engine.tick(0.06).is_empty(), "suspect: still waiting");
+        assert_eq!(engine.sensor_liveness(0), Some(SensorLiveness::Live));
+        assert_eq!(engine.sensor_liveness(1), Some(SensorLiveness::Suspect));
+        engine.push_report(0, &report(6, vec![target(1, p, 0.15)]));
+        let frames = engine.tick(0.2);
+        assert_eq!(engine.sensor_liveness(1), Some(SensorLiveness::Dead));
+        assert_eq!(frames.len(), 6, "death closes epochs 1..=6");
+        assert_eq!(engine.stats().sensors_died, 1);
+        let kinds: Vec<(SensorLiveness, SensorLiveness)> = engine
+            .take_liveness_transitions()
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (SensorLiveness::Live, SensorLiveness::Suspect),
+                (SensorLiveness::Suspect, SensorLiveness::Dead),
+            ]
+        );
+        // Epochs now close on the surviving sensor alone.
+        let live_only = engine.push_report(0, &report(7, vec![target(1, p, 0.15)]));
+        assert_eq!(live_only.len(), 1, "surviving set fuses without sensor 1");
+        // Recovery: the silent sensor returns and rejoins the watermark.
+        let s1_from_world = RigidTransform::from_yaw(PI, Vec3::new(0.0, 10.0, 0.0)).inverse();
+        engine.push_report(1, &report(8, vec![target(9, s1_from_world.apply(p), 0.2)]));
+        assert_eq!(engine.sensor_liveness(1), Some(SensorLiveness::Live));
+        assert_eq!(engine.stats().sensors_recovered, 1);
+        let recovered = engine.take_liveness_transitions();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].from, SensorLiveness::Dead);
+        assert_eq!(recovered[0].to, SensorLiveness::Live);
+        let after = engine.push_report(0, &report(9, vec![target(1, p, 0.15)]));
+        assert_eq!(
+            after.iter().map(|f| f.epoch).collect::<Vec<_>>(),
+            vec![8],
+            "epoch 9 must wait for the recovered sensor again"
+        );
+    }
+
+    #[test]
+    fn all_sensors_dead_force_closes_pending_epochs() {
+        let (reg, world_from_s1) = two_sensor_registration();
+        let cfg = FuseConfig {
+            suspect_timeout_s: 0.05,
+            dead_timeout_s: 0.1,
+            ..FuseConfig::default()
+        };
+        let mut engine = FusionEngine::new(cfg, reg);
+        let p = Vec3::new(0.0, 5.0, 1.0);
+        run_two_sensor_walk(&mut engine, &world_from_s1, 1..10, |_| p);
+        // Both sensors go silent mid-stream with epoch 10 pending on one
+        // side only.
+        engine.push_report(0, &report(10, vec![target(1, p, 0.15)]));
+        engine.tick(0.0);
+        engine.tick(0.06);
+        let frames = engine.tick(0.2);
+        assert_eq!(engine.stats().sensors_died, 2);
+        assert_eq!(frames.len(), 1, "orphan epoch 10 force-closed");
+        assert_eq!(frames[0].epoch, 10);
+        assert!(
+            frames[0].tracks.iter().all(|t| !t.coasting),
+            "epoch 10 still had sensor 0's observation"
+        );
+    }
+
+    #[test]
+    fn liveness_disabled_keeps_ticks_inert() {
+        let (reg, _) = two_sensor_registration();
+        let cfg = FuseConfig {
+            suspect_timeout_s: 0.0,
+            ..FuseConfig::default()
+        };
+        let mut engine = FusionEngine::new(cfg, reg);
+        engine.push_report(
+            0,
+            &report(1, vec![target(1, Vec3::new(0.0, 5.0, 1.0), 0.15)]),
+        );
+        for t in [0.0, 1.0, 60.0] {
+            assert!(engine.tick(t).is_empty());
+        }
+        assert_eq!(engine.sensor_liveness(1), Some(SensorLiveness::Live));
+        assert!(engine.take_liveness_transitions().is_empty());
+    }
+
+    #[test]
+    fn clock_drift_is_tracked_and_epochs_stay_paired() {
+        // Sensor 1's clock drifts linearly, accumulating +2 frame
+        // periods by the end of the run. Without correction its reports
+        // land one then two epochs late and single-instant fusion splits;
+        // with the EWMA offset both sensors keep fusing into the same
+        // epoch with 2 contributors.
+        let (reg, world_from_s1) = two_sensor_registration();
+        let mut engine = FusionEngine::new(FuseConfig::default(), reg);
+        let s1_from_world = world_from_s1.inverse();
+        let p = |e: u64| Vec3::new(0.0, 3.0 + 0.01 * e as f64, 1.0);
+        let epochs = 400u64;
+        let drift_per_epoch = 2.0 * PERIOD / epochs as f64; // ≪ PERIOD/2
+        let mut last = None;
+        for e in 1..=epochs {
+            engine.push_report(0, &report(e, vec![target(1, p(e), 0.15)]));
+            let drifted = FrameReport {
+                frame_index: e,
+                time_s: e as f64 * PERIOD + e as f64 * drift_per_epoch,
+                targets: vec![target(9, s1_from_world.apply(p(e)), 0.2)],
+            };
+            if let Some(f) = engine.push_report(1, &drifted).into_iter().last() {
+                last = Some(f);
+            }
+        }
+        let last = last.unwrap();
+        assert_eq!(last.tracks.len(), 1, "drift split the walker");
+        assert_eq!(
+            last.tracks[0].contributors, 2,
+            "drifted sensor fell out of its epoch"
+        );
     }
 
     #[test]

@@ -257,11 +257,10 @@ impl AssignmentSolver {
                 .filter(|&(i, j)| cost.is_feasible(i, j)),
         );
         // Unstable: allocation-free, and cost ties need no defined order.
-        self.cells.sort_unstable_by(|&a, &b| {
-            cost.get(a.0, a.1)
-                .partial_cmp(&cost.get(b.0, b.1))
-                .expect("finite costs")
-        });
+        // total_cmp tolerates NaN costs (corrupt measurements upstream):
+        // they sort last, so a poisoned cell loses every greedy pick.
+        self.cells
+            .sort_unstable_by(|&a, &b| cost.get(a.0, a.1).total_cmp(&cost.get(b.0, b.1)));
         self.result.row_to_col.clear();
         self.result.row_to_col.resize(r, None);
         self.col_taken.clear();

@@ -464,7 +464,7 @@ impl MultiWiTrack {
                     .min_by(|a, b| {
                         let da = (a - anchor.round_trip_m).abs();
                         let db = (b - anchor.round_trip_m).abs();
-                        da.partial_cmp(&db).expect("finite")
+                        da.total_cmp(&db) // NaN sorts last: never picked over a real range
                     })
                     .expect("non-empty checked above");
                 rts.push(nearest);

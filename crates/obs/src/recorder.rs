@@ -30,6 +30,24 @@ pub enum AnomalyKind {
     /// A world track's anchoring sensor changed; `value` is the handoff
     /// latency in nanoseconds (time the challenger waited).
     Handoff = 6,
+    /// A frame failed to decode (bad magic, bad payload, mutated bytes);
+    /// `b` carries the connection id when known.
+    Corrupt = 7,
+    /// A transport stalled (no frames for longer than expected); `value`
+    /// is the observed stall duration in nanoseconds.
+    Stall = 8,
+    /// A client re-established its transport after a failure; `value` is
+    /// the backoff that preceded the attempt, in nanoseconds.
+    Reconnect = 9,
+    /// A registered sensor went silent past the liveness timeout and was
+    /// removed from the fusion watermark; `a` is the sensor id.
+    SensorDead = 10,
+    /// A previously dead sensor reported again and rejoined the
+    /// watermark; `a` is the sensor id.
+    SensorRecovered = 11,
+    /// A TCP stream ended mid-frame (EOF inside a length-prefixed
+    /// frame); `value` is the byte offset reached inside the frame.
+    TruncatedStream = 12,
 }
 
 impl AnomalyKind {
@@ -41,6 +59,12 @@ impl AnomalyKind {
             4 => AnomalyKind::Shed,
             5 => AnomalyKind::GhostQuarantine,
             6 => AnomalyKind::Handoff,
+            7 => AnomalyKind::Corrupt,
+            8 => AnomalyKind::Stall,
+            9 => AnomalyKind::Reconnect,
+            10 => AnomalyKind::SensorDead,
+            11 => AnomalyKind::SensorRecovered,
+            12 => AnomalyKind::TruncatedStream,
             _ => return None,
         })
     }
@@ -54,6 +78,12 @@ impl AnomalyKind {
             AnomalyKind::Shed => "shed",
             AnomalyKind::GhostQuarantine => "ghost_quarantine",
             AnomalyKind::Handoff => "handoff",
+            AnomalyKind::Corrupt => "corrupt",
+            AnomalyKind::Stall => "stall",
+            AnomalyKind::Reconnect => "reconnect",
+            AnomalyKind::SensorDead => "sensor_dead",
+            AnomalyKind::SensorRecovered => "sensor_recovered",
+            AnomalyKind::TruncatedStream => "truncated_stream",
         }
     }
 }
@@ -198,6 +228,28 @@ mod tests {
         assert_eq!(dump[1].value, 5);
         assert_eq!(dump[2].b, 7);
         assert_eq!(fr.total_recorded(), 3);
+    }
+
+    #[test]
+    fn chaos_kinds_round_trip_through_the_ring() {
+        let fr = FlightRecorder::new(16);
+        let kinds = [
+            AnomalyKind::Corrupt,
+            AnomalyKind::Stall,
+            AnomalyKind::Reconnect,
+            AnomalyKind::SensorDead,
+            AnomalyKind::SensorRecovered,
+            AnomalyKind::TruncatedStream,
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            fr.record(*k, i as u64, 0, 0);
+        }
+        let dump = fr.dump();
+        assert_eq!(dump.len(), kinds.len());
+        for (rec, k) in dump.iter().zip(&kinds) {
+            assert_eq!(rec.kind, *k, "kind survives the u8 round trip");
+            assert!(!rec.kind.name().is_empty());
+        }
     }
 
     #[test]

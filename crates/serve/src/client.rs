@@ -10,10 +10,14 @@ use crate::transport::{Transport, TransportRx, TransportTx};
 use crate::wire::{
     Hello, Message, StatsQuery, StatsReport, Subscribe, SweepBatch, SweepBatchQ, Teardown,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+use witrack_obs::{AnomalyKind, FlightRecorder};
 
 /// Counters of everything the drain thread saw.
 #[derive(Debug, Default)]
@@ -188,6 +192,234 @@ impl<T: Transport> SensorClient<T> {
             d.join().expect("client drain panicked");
         }
         self.stats()
+    }
+}
+
+/// Capped exponential backoff with jitter, for [`ReconnectingClient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// First retry delay (ms).
+    pub initial_ms: u64,
+    /// Ceiling on any single delay (ms).
+    pub max_ms: u64,
+    /// Growth factor between consecutive delays.
+    pub multiplier: f64,
+    /// Symmetric jitter fraction in `0.0..=1.0`: each delay is scaled by
+    /// a uniform factor in `[1-jitter, 1+jitter]` so a fleet knocked
+    /// offline together does not redial in lockstep.
+    pub jitter: f64,
+    /// Give up (surfacing the last error) after this many consecutive
+    /// failed dials.
+    pub max_attempts: u32,
+    /// Seed for the jitter RNG (reproducible chaos runs).
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            initial_ms: 10,
+            max_ms: 2_000,
+            multiplier: 2.0,
+            jitter: 0.2,
+            max_attempts: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// A sensor client that survives its transport dying.
+///
+/// Owns a dial factory instead of one connection: when a send fails, it
+/// tears the dead [`SensorClient`] down, redials under the
+/// [`BackoffConfig`] (capped exponential, jittered), replays its `Hello`
+/// — the server's scoped teardown for the dead connection frees the
+/// sensor id, and the existing handoff machinery preserves track
+/// identity — and retries the send. Sequence numbers stay monotone
+/// across reconnects, so the server sees an honest forward gap
+/// (surfaced as a `SeqGap` anomaly) rather than a replayed stream.
+pub struct ReconnectingClient<T: Transport> {
+    factory: Box<dyn FnMut() -> io::Result<T> + Send>,
+    client: Option<SensorClient<T>>,
+    hello: Hello,
+    backoff: BackoffConfig,
+    rng: StdRng,
+    next_seq: u64,
+    reconnects: u64,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl<T: Transport> ReconnectingClient<T> {
+    /// Dials via `factory` (retrying under `backoff`) and opens the
+    /// `hello` session. The factory is kept for every later redial.
+    pub fn connect(
+        factory: impl FnMut() -> io::Result<T> + Send + 'static,
+        hello: Hello,
+        backoff: BackoffConfig,
+    ) -> io::Result<ReconnectingClient<T>> {
+        let mut me = ReconnectingClient {
+            factory: Box::new(factory),
+            client: None,
+            hello,
+            backoff,
+            rng: StdRng::seed_from_u64(backoff.seed),
+            next_seq: 0,
+            reconnects: 0,
+            recorder: None,
+        };
+        me.redial()?;
+        // The first dial is a connect, not a recovery.
+        me.reconnects = 0;
+        Ok(me)
+    }
+
+    /// Records an [`AnomalyKind::Reconnect`] (value = backoff ns spent)
+    /// on `recorder` for every successful redial.
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// How many times the transport died and was re-established.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The sequence number the next batch will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Receive counters of the *current* connection (reset by redials).
+    pub fn stats(&self) -> ClientStats {
+        self.client
+            .as_ref()
+            .map(SensorClient::stats)
+            .unwrap_or_default()
+    }
+
+    /// Sends one sweep batch, stamping and advancing the monotone
+    /// sequence number; on transport failure, reconnects and retries
+    /// (once per fresh connection, up to the backoff's attempt budget).
+    /// Returns the sequence number the batch went out under.
+    pub fn send_sweeps(&mut self, sweeps: &[Vec<Vec<f64>>]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let batch = SweepBatch::from_sweeps(self.hello.sensor_id, seq, sweeps);
+        self.send_with_retry(|c| c.send_batch(batch.clone()))?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Quantized (wire v2) sibling of [`Self::send_sweeps`].
+    pub fn send_sweeps_quantized(&mut self, sweeps: &[Vec<Vec<f64>>]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let batch = SweepBatchQ::from_sweeps(self.hello.sensor_id, seq, sweeps);
+        self.send_with_retry(|c| c.send_batch_q(batch.clone()))?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Closes the session and returns the final connection's counters.
+    pub fn close(mut self) -> ClientStats {
+        match self.client.take() {
+            Some(mut c) => {
+                let _ = c.teardown(self.hello.sensor_id);
+                c.close()
+            }
+            None => ClientStats::default(),
+        }
+    }
+
+    fn send_with_retry(
+        &mut self,
+        mut send: impl FnMut(&mut SensorClient<T>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        if let Some(c) = self.client.as_mut() {
+            if send(c).is_ok() {
+                return Ok(());
+            }
+        }
+        // The connection is dead (or never existed): dial a fresh one
+        // and retry the send on it. A send that fails on a *fresh*
+        // connection means the far side is refusing us, so each redial
+        // gets exactly one retry before dialing again.
+        let budget = self.backoff.max_attempts.max(1);
+        let mut last = io::Error::new(io::ErrorKind::ConnectionReset, "transport lost");
+        for _ in 0..budget {
+            self.redial()?;
+            let c = self.client.as_mut().expect("redial populated client");
+            match send(c) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last = e;
+                    self.client = None;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Dials until a connection accepts our `Hello`, sleeping the capped
+    /// jittered backoff between failures.
+    fn redial(&mut self) -> io::Result<()> {
+        if let Some(c) = self.client.take() {
+            let _ = c.close();
+        }
+        let mut delay_ms = self.backoff.initial_ms.max(1) as f64;
+        let mut waited = Duration::ZERO;
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..self.backoff.max_attempts.max(1) {
+            if attempt > 0 {
+                let jitter = self.backoff.jitter.clamp(0.0, 1.0);
+                let scale = 1.0 + jitter * (self.rng.random::<f64>() * 2.0 - 1.0);
+                let pause = Duration::from_millis((delay_ms * scale) as u64);
+                std::thread::sleep(pause);
+                waited += pause;
+                delay_ms = (delay_ms * self.backoff.multiplier.max(1.0))
+                    .min(self.backoff.max_ms.max(1) as f64);
+            }
+            let transport = match (self.factory)() {
+                Ok(t) => t,
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            };
+            let mut client = match SensorClient::connect(transport) {
+                Ok(c) => c,
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            };
+            match client.hello(self.hello) {
+                Ok(()) => {
+                    // A re-register racing the server's cleanup of our
+                    // dead predecessor may draw a transient
+                    // `DuplicateSensor` reject; it arrives async on the
+                    // drain and the next send's failure re-enters the
+                    // retry loop, so no special case is needed here.
+                    self.reconnects += 1;
+                    if let Some(r) = &self.recorder {
+                        r.record(
+                            AnomalyKind::Reconnect,
+                            self.hello.sensor_id as u64,
+                            self.reconnects,
+                            waited.as_nanos() as u64,
+                        );
+                    }
+                    self.client = Some(client);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = Some(e);
+                    let _ = client.close();
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::TimedOut, "reconnect attempts exhausted")
+        }))
     }
 }
 

@@ -26,10 +26,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use witrack_core::FrameReport;
-use witrack_fuse::{FuseConfig, FusionEngine, Registration, WorldEvent, WorldFrame};
+use witrack_fuse::{
+    FuseConfig, FusionEngine, Registration, SensorLiveness, WorldEvent, WorldFrame,
+};
 use witrack_obs::{AnomalyKind, Counter, FlightRecorder, Gauge, Label};
+
+/// How often the hub sweeps its rooms for silent sensors. Also the floor
+/// on liveness-timeout resolution — `FuseConfig::suspect_timeout_s`
+/// below this still takes one tick to notice.
+const LIVENESS_TICK: Duration = Duration::from_millis(50);
 
 /// One fused room: its sensor registration and fusion tuning.
 pub struct RoomSpec {
@@ -124,6 +131,11 @@ struct Room {
     ghosts_quarantined: Counter,
     /// `FusionStats::ghosts_suppressed` at the last delta count.
     last_ghosts: u64,
+    /// Per-sensor liveness (0 = live, 1 = suspect, 2 = dead), registered
+    /// eagerly at startup so the series exists before any fault does.
+    liveness: HashMap<u32, Gauge>,
+    /// Per-sensor recoveries: how many times a dead sensor came back.
+    reconnects: HashMap<u32, Counter>,
 }
 
 struct Subscriber {
@@ -145,6 +157,10 @@ struct HubWorker {
     /// serialized once here, then memcpy'd into per-subscriber pooled
     /// buffers.
     update_scratch: Vec<u8>,
+    /// Hub start; liveness silence is measured on this clock.
+    epoch: Instant,
+    /// Last liveness sweep (sweeps run at most every [`LIVENESS_TICK`]).
+    last_tick: Instant,
 }
 
 impl WorldHub {
@@ -168,6 +184,17 @@ impl WorldHub {
                     assert!(prev.is_none(), "sensor {sensor} registered to two rooms");
                 }
                 let label = Label::Room(spec.room_id);
+                let mut liveness = HashMap::new();
+                let mut reconnects = HashMap::new();
+                for sensor in spec.registration.sensor_ids() {
+                    let g = registry.gauge("sensor", "liveness", Label::Sensor(sensor));
+                    g.set(SensorLiveness::Live.as_gauge());
+                    liveness.insert(sensor, g);
+                    reconnects.insert(
+                        sensor,
+                        registry.counter("sensor", "reconnects", Label::Sensor(sensor)),
+                    );
+                }
                 let mut engine = FusionEngine::new(spec.fuse, spec.registration);
                 // Anchor-switch wait times (epochs the room sat on a
                 // worse anchor, in ns of epoch time) land in the room's
@@ -184,10 +211,13 @@ impl WorldHub {
                     handoffs: registry.counter("room", "handoffs", label),
                     ghosts_quarantined: registry.counter("room", "ghosts_quarantined", label),
                     last_ghosts: 0,
+                    liveness,
+                    reconnects,
                 }
             })
             .collect();
         let fused_sensors = Arc::new(sensor_rooms.keys().copied().collect());
+        let now = Instant::now();
         let worker = HubWorker {
             rx,
             rooms,
@@ -197,6 +227,8 @@ impl WorldHub {
             recorder,
             stop,
             update_scratch: Vec::new(),
+            epoch: now,
+            last_tick: now,
         };
         let thread = std::thread::spawn(move || worker.run());
         (WorldHub { thread }, HubHandle { tx, fused_sensors })
@@ -211,15 +243,78 @@ impl WorldHub {
 impl HubWorker {
     fn run(mut self) {
         loop {
-            match self.rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(msg) => self.handle(msg),
+            match self.rx.recv_timeout(LIVENESS_TICK) {
+                Ok(msg) => {
+                    self.handle(msg);
+                    // Busy rooms rarely idle long enough to hit the
+                    // Timeout arm, so the sweep must also ride the
+                    // message path (cadence-gated below).
+                    self.maybe_tick();
+                }
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     // Inbox empty: the only time shutdown may interrupt.
                     if self.stop.load(Ordering::SeqCst) {
                         return;
                     }
+                    self.maybe_tick();
                 }
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Sweeps every room for silent sensors (at most once per
+    /// [`LIVENESS_TICK`]): advances each [`FusionEngine`]'s liveness
+    /// state machine, surfaces the transitions as anomalies and
+    /// per-sensor series, and delivers any epochs the sweep unblocked.
+    fn maybe_tick(&mut self) {
+        if self.last_tick.elapsed() < LIVENESS_TICK {
+            return;
+        }
+        self.last_tick = Instant::now();
+        let now_s = self.epoch.elapsed().as_secs_f64();
+        for idx in 0..self.rooms.len() {
+            let room = &mut self.rooms[idx];
+            let frames = room.engine.tick(now_s);
+            let transitions = room.engine.take_liveness_transitions();
+            for t in &transitions {
+                if let Some(g) = room.liveness.get(&t.sensor_id) {
+                    g.set(t.to.as_gauge());
+                }
+                let silence_ns = (t.silence_s.max(0.0) * 1e9) as u64;
+                match t.to {
+                    SensorLiveness::Suspect => {
+                        // A stalled-but-not-yet-dead feed.
+                        self.recorder.record(
+                            AnomalyKind::Stall,
+                            t.sensor_id as u64,
+                            room.room_id as u64,
+                            silence_ns,
+                        );
+                    }
+                    SensorLiveness::Dead => {
+                        self.recorder.record(
+                            AnomalyKind::SensorDead,
+                            t.sensor_id as u64,
+                            room.room_id as u64,
+                            silence_ns,
+                        );
+                    }
+                    SensorLiveness::Live => {
+                        if let Some(c) = room.reconnects.get(&t.sensor_id) {
+                            c.inc();
+                        }
+                        self.recorder.record(
+                            AnomalyKind::SensorRecovered,
+                            t.sensor_id as u64,
+                            room.room_id as u64,
+                            silence_ns,
+                        );
+                    }
+                }
+            }
+            if !frames.is_empty() {
+                self.deliver(idx, frames);
             }
         }
     }

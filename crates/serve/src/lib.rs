@@ -24,7 +24,11 @@
 //!   instances, with bounded-queue backpressure, drop/lag metrics, and
 //!   sequence-gap accounting.
 //! * [`server`] / [`client`] — the connection layer over any transport,
-//!   multiplexing many sensors per connection, and the sensor-side client.
+//!   multiplexing many sensors per connection, and the sensor-side client
+//!   (with a reconnecting variant surviving transport loss).
+//! * [`fault`] — seeded chaos injection ([`FaultyTransport`]): drop,
+//!   duplicate, reorder, corrupt, stall, and burst faults over any
+//!   transport, for the degradation tests and the `t_chaos` matrix.
 //! * [`factory`] — stock pipeline construction from a `Hello` (single- or
 //!   multi-target per sensor, one shared base configuration).
 //! * [`metrics`] — relaxed-atomic counters and their snapshot.
@@ -73,6 +77,7 @@
 pub mod client;
 pub mod engine;
 pub mod factory;
+pub mod fault;
 pub mod hub;
 pub mod metrics;
 pub mod pool;
@@ -80,17 +85,21 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientStats, SensorClient};
+pub use client::{BackoffConfig, ClientStats, ReconnectingClient, SensorClient};
 pub use engine::{
     ConnSink, EngineConfig, EngineEvent, EngineHandle, OverloadPolicy, PipelineFactory,
     ShardedEngine, SubmitError, Submitted, UpdateSink,
 };
 pub use factory::{hello_for, hello_quantized_for, witrack_factory};
+pub use fault::{FaultCounters, FaultPlan, FaultPlanHandle, FaultStats, FaultyTransport, FaultyTx};
 pub use hub::{RoomSpec, WorldConfig};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use pool::{BufPool, PoolStats, PooledBatch, PooledBuf};
 pub use server::{Server, TcpServer};
-pub use transport::{in_proc_pair, InProcTransport, RxMsg, TcpTransport, Transport, WireFrame};
+pub use transport::{
+    in_proc_pair, recv_error_is_frame_scoped, CorruptFrameError, InProcTransport, RxMsg,
+    TcpTransport, Transport, WireFrame,
+};
 pub use wire::{
     EventMsg, Hello, HistoWire, Message, PipelineKind, Reject, RejectCode, StatsQuery, StatsReport,
     StatsSample, StatsValue, Subscribe, SweepBatch, SweepBatchQ, SweepShape, Teardown, UpdateBatch,

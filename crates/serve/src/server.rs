@@ -19,14 +19,15 @@ use crate::engine::{ConnSink, EngineConfig, EngineHandle, PipelineFactory, Shard
 use crate::hub::WorldConfig;
 use crate::metrics::MetricsSnapshot;
 use crate::pool::PooledBuf;
-use crate::transport::{RxMsg, Transport, TransportRx, TransportTx};
-use crate::wire::Message;
+use crate::transport::{recv_error_is_frame_scoped, RxMsg, Transport, TransportRx, TransportTx};
+use crate::wire::{Message, RejectCode};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use witrack_obs::AnomalyKind;
 
 /// How many server→client messages one connection may have pending before
 /// its shard starts shedding them.
@@ -150,7 +151,29 @@ where
                 }
             }
             Ok(None) => break, // clean close
-            Err(_) => break,   // decode error or dead socket
+            Err(e) if recv_error_is_frame_scoped(&e) => {
+                // A frame arrived intact length-wise but its payload
+                // failed to decode: the byte stream is still positioned
+                // at the next frame boundary, so record it, tell the
+                // client, and keep reading — a burst of corruption must
+                // not amputate an otherwise healthy sensor.
+                handle
+                    .recorder()
+                    .record(AnomalyKind::Corrupt, conn_id, 0, 0);
+                let mut buf = handle.frame_pool().get(32);
+                crate::wire::encode_reject_into(0, RejectCode::CorruptFrame, &mut buf);
+                let _ = outbox_tx.try_send(buf);
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                // The peer vanished mid-frame — a crash or cut cable,
+                // not a clean shutdown. Distinct from `Ok(None)` so the
+                // flight recorder can tell the two apart.
+                handle
+                    .recorder()
+                    .record(AnomalyKind::TruncatedStream, conn_id, 0, 0);
+                break;
+            }
+            Err(_) => break, // desynced stream or dead socket
         }
     }
     // The connection is gone: close the sessions it owns so their

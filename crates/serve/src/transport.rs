@@ -122,6 +122,35 @@ fn wire_to_io(e: WireError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
 }
 
+/// A frame-scoped decode failure: the frame's bytes were corrupt, but the
+/// surrounding stream is still correctly framed (its length prefix was
+/// valid and fully consumed), so the receiver may discard the frame and
+/// keep reading. Contrast with a corrupt *header*, which desyncs a byte
+/// stream irrecoverably and surfaces as a plain
+/// [`io::ErrorKind::InvalidData`] error.
+#[derive(Debug)]
+pub struct CorruptFrameError(pub WireError);
+
+impl std::fmt::Display for CorruptFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt frame payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptFrameError {}
+
+fn corrupt_frame(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, CorruptFrameError(e))
+}
+
+/// Whether a receive error is scoped to one frame (see
+/// [`CorruptFrameError`]): the caller may record the corruption, reject
+/// the frame, and continue receiving on the same transport.
+pub fn recv_error_is_frame_scoped(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<CorruptFrameError>())
+}
+
 // ---------------------------------------------------------------------------
 // In-process transport.
 
@@ -195,9 +224,9 @@ impl TransportRx for InProcRx {
         match self.rx.recv() {
             Err(_) => Ok(None), // all senders dropped: clean close
             Ok(frame) => {
-                let (msg, used) = wire::decode(&frame).map_err(wire_to_io)?;
+                let (msg, used) = wire::decode(&frame).map_err(corrupt_frame)?;
                 if used != frame.len() {
-                    return Err(wire_to_io(WireError::BadPayload(
+                    return Err(corrupt_frame(WireError::BadPayload(
                         "frame carries extra bytes",
                     )));
                 }
@@ -212,9 +241,9 @@ impl TransportRx for InProcRx {
             Ok(frame) => {
                 let mut samples = pool.get(0);
                 let (decoded, used) =
-                    wire::decode_into(&frame, &mut samples).map_err(wire_to_io)?;
+                    wire::decode_into(&frame, &mut samples).map_err(corrupt_frame)?;
                 if used != frame.len() {
-                    return Err(wire_to_io(WireError::BadPayload(
+                    return Err(corrupt_frame(WireError::BadPayload(
                         "frame carries extra bytes",
                     )));
                 }
@@ -321,11 +350,15 @@ impl TcpRx {
 }
 
 impl TransportRx for TcpRx {
+    // Once fill_one_frame() succeeds the stream is positioned exactly at
+    // the next frame boundary, so a payload that fails to decode is a
+    // frame-scoped loss — the connection may keep reading. Only a corrupt
+    // *header* (caught inside fill_one_frame) desyncs the byte stream.
     fn recv_msg(&mut self) -> io::Result<Option<Message>> {
         if !self.fill_one_frame()? {
             return Ok(None);
         }
-        let (msg, _) = wire::decode(&self.buf).map_err(wire_to_io)?;
+        let (msg, _) = wire::decode(&self.buf).map_err(corrupt_frame)?;
         Ok(Some(msg))
     }
 
@@ -334,7 +367,7 @@ impl TransportRx for TcpRx {
             return Ok(None);
         }
         let mut samples = pool.get(0);
-        let (decoded, _) = wire::decode_into(&self.buf, &mut samples).map_err(wire_to_io)?;
+        let (decoded, _) = wire::decode_into(&self.buf, &mut samples).map_err(corrupt_frame)?;
         Ok(Some(match decoded {
             DecodedMsg::Sweeps(shape) => RxMsg::Batch(PooledBatch { shape, samples }),
             DecodedMsg::Other(msg) => RxMsg::Control(msg),

@@ -341,6 +341,12 @@ pub enum RejectCode {
     /// A `Subscribe` named a room this server does not fuse (or the
     /// server runs no world hub at all).
     UnknownSubscription,
+    /// A frame arrived whose payload failed to decode (mutated bytes,
+    /// bad shape). The stream itself stayed framed — the length prefix
+    /// was intact — so the connection survives; the frame is discarded.
+    /// The `sensor_id` on such a reject is 0: a corrupt frame names no
+    /// trustworthy sensor.
+    CorruptFrame,
 }
 
 impl RejectCode {
@@ -351,6 +357,7 @@ impl RejectCode {
             RejectCode::BadConfig => 3,
             RejectCode::StaleSequence => 4,
             RejectCode::UnknownSubscription => 5,
+            RejectCode::CorruptFrame => 6,
         }
     }
 
@@ -361,6 +368,7 @@ impl RejectCode {
             3 => Ok(RejectCode::BadConfig),
             4 => Ok(RejectCode::StaleSequence),
             5 => Ok(RejectCode::UnknownSubscription),
+            6 => Ok(RejectCode::CorruptFrame),
             _ => Err(WireError::BadPayload("unknown reject code")),
         }
     }
@@ -1115,11 +1123,18 @@ fn read_f64_samples(
             .ok_or(WireError::BadPayload("overflow"))?,
     )?;
     out.reserve(shape.sample_count());
+    let start = out.len();
     out.extend(
         bytes
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().expect("sized"))),
     );
+    // A NaN/Inf sample would poison every filter downstream; a frame
+    // carrying one is corrupt no matter how well it framed.
+    if !out[start..].iter().all(|v| v.is_finite()) {
+        out.truncate(start);
+        return Err(WireError::BadPayload("non-finite sample"));
+    }
     Ok(())
 }
 
@@ -1130,6 +1145,11 @@ fn read_i16_samples(
     scale: f64,
     out: &mut Vec<f64>,
 ) -> Result<(), WireError> {
+    // i16 steps are always finite, so only the scale can smuggle in a
+    // NaN/Inf (and with it, poison the whole frame).
+    if !scale.is_finite() {
+        return Err(WireError::BadPayload("non-finite sample"));
+    }
     let bytes = r.take(
         shape
             .sample_count()
@@ -1227,6 +1247,12 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
         6 => {
             let shape = read_shape(&mut r)?;
             let scale = r.f64()?;
+            // Decoded batches stay quantized, but a non-finite scale
+            // poisons every sample at dequantization — same rejection
+            // as the eager path in `read_i16_samples`.
+            if !scale.is_finite() {
+                return Err(WireError::BadPayload("non-finite sample"));
+            }
             let count = shape.sample_count();
             let bytes = r.take(
                 count
@@ -1530,6 +1556,31 @@ mod tests {
             DecodedMsg::Other(Message::Teardown(Teardown { sensor_id: 5 }))
         );
         assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_at_decode() {
+        // A NaN that framed perfectly is still a corrupt frame: it must
+        // come back BadPayload, not ride into the DSP.
+        let b = SweepBatch::from_sweeps(1, 0, &[vec![vec![1.0, f64::NAN], vec![0.5, 4.0]]]);
+        let frame = encode(&Message::SweepBatch(b));
+        assert!(matches!(
+            decode(&frame),
+            Err(WireError::BadPayload("non-finite sample"))
+        ));
+        let mut samples = vec![7.0];
+        assert!(decode_into(&frame, &mut samples).is_err());
+        assert!(samples.is_empty(), "partial decode must not leak samples");
+
+        // Same for an i16 batch whose scale smuggles in the non-finite.
+        let finite = SweepBatch::from_sweeps(1, 0, &[vec![vec![1.0, -2.0], vec![0.5, 4.0]]]);
+        let mut q = SweepBatchQ::quantize(&finite);
+        q.scale = f64::INFINITY;
+        let frame_q = encode(&Message::SweepBatchQ(q));
+        assert!(matches!(
+            decode(&frame_q),
+            Err(WireError::BadPayload("non-finite sample"))
+        ));
     }
 
     #[test]

@@ -25,13 +25,17 @@
 //! per-sensor sweep streams in lockstep, the workload of the
 //! `witrack-serve` engine. [`vantage`] is the converse: one room's
 //! walkers observed by several posed sensors with overlapping coverage,
-//! the workload of cross-sensor fusion (`witrack-fuse`).
+//! the workload of cross-sensor fusion (`witrack-fuse`). [`chaos`] builds
+//! adversarial variants of those rooms declaratively: dense crowds,
+//! non-human movers, co-channel interference, clock drift, and transport
+//! fault schedules, for the degradation harness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod body;
 pub mod channel;
+pub mod chaos;
 pub mod fleet;
 pub mod frontend;
 pub mod material;
@@ -43,6 +47,7 @@ pub mod vantage;
 
 pub use body::BodyModel;
 pub use channel::{Channel, PathEcho};
+pub use chaos::{ChaosScenario, FaultScheduleSpec, MoverKind, ScenarioSpec};
 pub use fleet::{FleetConfig, FleetSimulator, RoomSweeps};
 pub use frontend::FrontEnd;
 pub use material::Material;
