@@ -43,6 +43,18 @@ REQUIRED = [
      r'^witrack_sensor_reconnects\{sensor="\d+"\} (\d+)$'),
     ("dsp plan_cache hits (global registry merged)",
      r"^witrack_dsp_plan_cache_hits (\d+)$"),
+    # Programmable subscriptions (wire v3): the fleet run subscribes to
+    # every room, so the hub must have installed subscriptions, run
+    # filter programs, matched events, and offered world bytes.
+    ("engine subscriptions_opened", r"^witrack_engine_subscriptions_opened (\d+)$"),
+    ("engine events_evaluated", r"^witrack_engine_events_evaluated (\d+)$"),
+    ("engine events_matched", r"^witrack_engine_events_matched (\d+)$"),
+    ("engine world_bytes", r"^witrack_engine_world_bytes (\d+)$"),
+    ("room event_eval_ns", r'^witrack_room_event_eval_ns_count\{room="\d+"\} (\d+)$'),
+    ("engine subscriptions_closed registered",
+     r"^witrack_engine_subscriptions_closed (\d+)$"),
+    ("engine events_rate_limited registered",
+     r"^witrack_engine_events_rate_limited (\d+)$"),
 ]
 
 # Registered-but-allowed-zero: presence is required (the series must be
@@ -54,6 +66,11 @@ PRESENCE_ONLY = {
     "room tracks gauge registered",
     "sensor liveness gauge registered",
     "sensor reconnects counter registered",
+    # The stats pull happens while the fleet's subscriptions are still
+    # open (closed stays 0), and the fleet installs no rate-limited
+    # programs — presence proves the v3 counter plumbing is wired.
+    "engine subscriptions_closed registered",
+    "engine events_rate_limited registered",
 }
 
 

@@ -19,6 +19,11 @@ Understands the artifact shapes this repo emits:
 * ``t_fuse``: top-level ``results`` keyed by ``(sensors, overlap)``,
   metric ``fused_tracks_per_sec`` (the ``handoff_latency_ms`` scalar is
   lower-is-better and informational, so it is not gated);
+* ``t_fanout``: top-level ``results`` keyed by ``(mode, subscriptions)``,
+  metric ``matched_events_per_sec``, plus the top-level ``bytes_ratio``
+  (offered bytes, unfiltered over selective — the filtered-fan-out
+  savings factor, higher is better). The ≥10x floor on that ratio is
+  contract-checked inside the bin itself;
 * ``t_chaos``: top-level ``results`` keyed by ``(room, fault)``, metric
   ``recovery_to_good_ns`` — the time from the fault window closing to
   the first epoch where every covered target is re-acquired. It is
@@ -77,6 +82,11 @@ def entries(doc):
             yield from latency_entries((s["name"],), s)
     elif "results" in doc:
         for r in doc["results"]:
+            if "subscriptions" in r:  # t_fanout rows
+                key = ("fanout", r["mode"], r["subscriptions"])
+                yield key + ("matched/s",), float(r["matched_events_per_sec"])
+                yield from latency_entries(key, r)
+                continue
             if "variant" in r:  # t_ingest rows
                 yield (r["variant"], "msgs/s"), float(r["msgs_per_sec"])
                 continue
@@ -94,6 +104,9 @@ def entries(doc):
             if "wire_mb_per_sec" in r:
                 yield key + ("MB/s",), float(r["wire_mb_per_sec"])
             yield from latency_entries(key, r)
+        ratio = doc.get("bytes_ratio")
+        if ratio is not None:  # t_fanout: filtered-fan-out savings factor
+            yield ("fanout", "bytes_ratio"), float(ratio)
         sustained = doc.get("sensors_sustained_realtime")
         if isinstance(sustained, dict):
             for wire, n in sustained.items():

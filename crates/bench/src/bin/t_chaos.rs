@@ -44,8 +44,10 @@ use witrack_serve::engine::{EngineConfig, OverloadPolicy};
 use witrack_serve::factory::{hello_for, witrack_factory};
 use witrack_serve::hub::WorldConfig;
 use witrack_serve::transport::in_proc_pair;
-use witrack_serve::wire::{Message, PipelineKind, Subscribe, WorldUpdateMsg};
-use witrack_serve::{FaultPlan, FaultStats, FaultyTransport, SensorClient, Server};
+use witrack_serve::wire::{Message, PipelineKind, SubscriptionStats, WorldUpdateMsg};
+use witrack_serve::{
+    EventKind, FaultPlan, FaultStats, FaultyTransport, SensorClient, Server, SubscriptionBuilder,
+};
 use witrack_sim::chaos::ScenarioSpec;
 use witrack_sim::motion::LinePath;
 use witrack_sim::multi::PersonSpec;
@@ -104,15 +106,16 @@ impl FaultClass {
     /// sensor failure, not a transport fault: the driver silences the
     /// sensor instead.
     fn plan(&self, seed: u64) -> FaultPlan {
-        let base = FaultPlan::none(seed);
+        let base = FaultPlan::builder(seed);
         match self {
-            FaultClass::Drop => base.with_drop(0.15),
-            FaultClass::Corrupt => base.with_corrupt(0.15),
-            FaultClass::Reorder => base.with_reorder(0.25, 4),
-            FaultClass::DupBurst => base.with_duplicate(0.1).with_burst(0.05, 6),
-            FaultClass::Stall => base.with_stall(0.02, 25),
+            FaultClass::Drop => base.drop(0.15),
+            FaultClass::Corrupt => base.corrupt(0.15),
+            FaultClass::Reorder => base.reorder(0.25, 4),
+            FaultClass::DupBurst => base.duplicate(0.1).burst(0.05, 6),
+            FaultClass::Stall => base.stall(0.02, 25),
             FaultClass::Outage => base,
         }
+        .build()
     }
 }
 
@@ -297,6 +300,9 @@ struct CellResult {
     nonfinite_shed: u64,
     anomalies: Vec<(AnomalyKind, u64)>,
     recovery_to_good_ns: u64,
+    /// Final counters of the rate-limited fall subscription on the clean
+    /// side connection (None = the unsubscribe reply never arrived).
+    filter: Option<SubscriptionStats>,
     violations: Vec<String>,
 }
 
@@ -319,19 +325,18 @@ fn run_cell(room_name: &str, fault: FaultClass) -> CellResult {
     let fault_start_s = warmup_frames as f64 * period;
     let fault_end_s = fault_start_s + fault_frames as f64 * period;
 
-    let server = Server::start_with_world(
-        EngineConfig {
+    let server = Server::builder(witrack_factory(base))
+        .config(EngineConfig {
             queue_capacity: 8,
             overload: OverloadPolicy::Block,
             ..Default::default()
-        },
-        witrack_factory(base),
-        Some(WorldConfig::single_room(
+        })
+        .world(WorldConfig::single_room(
             ROOM_ID,
             fuse_cfg(&base),
             registration(room.hallway_m, room.coverage_m),
-        )),
-    );
+        ))
+        .start();
     let (client_end, server_end) = in_proc_pair(64);
     let seed = 0xC0FFEE ^ fault as u64;
     let faulty = FaultyTransport::new(client_end, FaultPlan::none(seed));
@@ -351,8 +356,27 @@ fn run_cell(room_name: &str, fault: FaultClass) -> CellResult {
     )
     .expect("connect");
     client
-        .subscribe(Subscribe::all(ROOM_ID))
+        .subscribe_with(SubscriptionBuilder::room(ROOM_ID).build())
         .expect("subscribe");
+    // A second subscriber on its own *clean* connection, narrowed to a
+    // rate-limited fall alert: the hub must keep evaluating (and
+    // accounting) its filter through the fault window, and the explicit
+    // unsubscribe at the end must come back with final counters — a
+    // faulted fleet must never wedge an alerting subscription.
+    let (alert_end, alert_server_end) = in_proc_pair(64);
+    server.attach(alert_server_end).expect("attach alert");
+    let mut alert_client = SensorClient::connect(alert_end).expect("connect alert");
+    const ALERT_SUB: u64 = 77;
+    alert_client
+        .subscribe_with(
+            SubscriptionBuilder::room(ROOM_ID)
+                .events(EventKind::Fall)
+                .rate_limit(2.0, 2)
+                .world_updates(false)
+                .id(ALERT_SUB)
+                .build(),
+        )
+        .expect("subscribe alert");
     for sensor in 0..2u32 {
         client
             .hello(hello_for(&base, sensor, room.kind))
@@ -404,6 +428,22 @@ fn run_cell(room_name: &str, fault: FaultClass) -> CellResult {
         client.teardown(sensor).expect("teardown");
     }
     let stats = client.close();
+    // Release the alert subscription explicitly; the final counters must
+    // come back promptly or the subscription is wedged.
+    alert_client
+        .unsubscribe(ROOM_ID, ALERT_SUB)
+        .expect("unsubscribe alert");
+    let filter_stats = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match alert_client.last_subscription_stats() {
+                Some(s) => break Some(s),
+                None if std::time::Instant::now() >= deadline => break None,
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    };
+    let alert_stats = alert_client.close();
     let anomalies = {
         let mut counts: Vec<(AnomalyKind, u64)> = Vec::new();
         for a in server.recorder().dump() {
@@ -561,6 +601,20 @@ fn run_cell(room_name: &str, fault: FaultClass) -> CellResult {
         fault_updates > 0,
         "world stream collapsed during the fault window".to_string(),
     );
+    check(
+        filter_stats.is_some(),
+        "fall-alert subscription wedged: no final stats within 5 s of unsubscribe".to_string(),
+    );
+    if let Some(f) = filter_stats {
+        check(
+            f.matched <= f.evaluated && f.shed <= f.matched && f.sub_id == ALERT_SUB,
+            format!("fall-alert counters inconsistent: {f:?}"),
+        );
+    }
+    check(
+        alert_stats.rejects == 0,
+        format!("fall-alert connection drew {} rejects", alert_stats.rejects),
+    );
     match fault {
         FaultClass::Drop => check(injected.dropped > 0, "no drops injected".into()),
         FaultClass::Corrupt => check(injected.corrupted > 0, "no corruption injected".into()),
@@ -596,6 +650,7 @@ fn run_cell(room_name: &str, fault: FaultClass) -> CellResult {
         nonfinite_shed: fuse_stats,
         anomalies,
         recovery_to_good_ns,
+        filter: filter_stats,
         violations,
     }
 }
@@ -680,6 +735,8 @@ fn main() {
                     "\"fault_window_updates\": {}, \"identity_swaps\": {}, ",
                     "\"nonfinite_observations_shed\": {}, ",
                     "\"anomalies\": {{{}}}, ",
+                    "\"filter_evaluated\": {}, \"filter_matched\": {}, ",
+                    "\"filter_shed\": {}, \"filter_rate_limited\": {}, ",
                     "\"passed\": {}, \"recovery_to_good_ns\": {}}}"
                 ),
                 c.room,
@@ -702,6 +759,10 @@ fn main() {
                 c.identity_swaps,
                 c.nonfinite_shed,
                 anomalies,
+                c.filter.unwrap_or_default().evaluated,
+                c.filter.unwrap_or_default().matched,
+                c.filter.unwrap_or_default().shed,
+                c.filter.unwrap_or_default().rate_limited,
                 c.violations.is_empty(),
                 c.recovery_to_good_ns
             ));

@@ -177,7 +177,16 @@ impl Default for FuseConfig {
 }
 
 impl FuseConfig {
+    /// Fluent construction from the defaults:
+    /// `FuseConfig::builder().zones(..).fall(..).build()`.
+    pub fn builder() -> FuseConfigBuilder {
+        FuseConfigBuilder {
+            cfg: FuseConfig::default(),
+        }
+    }
+
     /// Returns a copy with the given zones.
+    #[deprecated(since = "0.9.0", note = "use `FuseConfig::builder().zones(..)`")]
     pub fn with_zones(mut self, zones: Vec<Zone>) -> FuseConfig {
         self.zones = zones;
         self
@@ -196,6 +205,75 @@ impl FuseConfig {
             1.0
         };
         Vec3::new(v.x.max(floor), v.y.max(floor), v.z.max(floor)) * scale
+    }
+}
+
+/// Fluent construction for [`FuseConfig`] — see [`FuseConfig::builder`].
+///
+/// Starts from [`FuseConfig::default`]; any field the builder does not
+/// cover can still be set by struct update on the built value.
+#[derive(Debug, Clone)]
+pub struct FuseConfigBuilder {
+    cfg: FuseConfig,
+}
+
+impl FuseConfigBuilder {
+    /// Start from `base` instead of the defaults.
+    pub fn from_config(base: FuseConfig) -> FuseConfigBuilder {
+        FuseConfigBuilder { cfg: base }
+    }
+
+    /// Fusion epoch length (s).
+    pub fn frame_period_s(mut self, s: f64) -> Self {
+        self.cfg.frame_period_s = s;
+        self
+    }
+
+    /// Replaces the occupancy/event zones.
+    pub fn zones(mut self, zones: Vec<Zone>) -> Self {
+        self.cfg.zones = zones;
+        self
+    }
+
+    /// Appends one occupancy/event zone.
+    pub fn zone(mut self, zone: Zone) -> Self {
+        self.cfg.zones.push(zone);
+        self
+    }
+
+    /// Fall-rule tuning applied to fused world tracks.
+    pub fn fall(mut self, fall: FallConfig) -> Self {
+        self.cfg.fall = fall;
+        self
+    }
+
+    /// Track age (s) before elevation feeds the fall detector.
+    pub fn fall_warmup_s(mut self, s: f64) -> Self {
+        self.cfg.fall_warmup_s = s;
+        self
+    }
+
+    /// Liveness: silence (s) before a sensor is demoted to `Suspect`.
+    pub fn suspect_timeout_s(mut self, s: f64) -> Self {
+        self.cfg.suspect_timeout_s = s;
+        self
+    }
+
+    /// Liveness: silence (s) before a `Suspect` sensor is declared dead.
+    pub fn dead_timeout_s(mut self, s: f64) -> Self {
+        self.cfg.dead_timeout_s = s;
+        self
+    }
+
+    /// Consecutive empty epochs a confirmed world track may coast.
+    pub fn max_coast_frames(mut self, frames: usize) -> Self {
+        self.cfg.max_coast_frames = frames;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> FuseConfig {
+        self.cfg
     }
 }
 
@@ -229,5 +307,46 @@ mod tests {
         // A held report is a prediction: strictly less trusted.
         let h = cfg.effective_var(None, true);
         assert_eq!(h, d * cfg.held_obs_var_inflation);
+    }
+
+    #[test]
+    fn builder_layers_fields_over_the_defaults() {
+        let z = Zone {
+            id: 2,
+            name: "bed".into(),
+            x: (0.0, 2.0),
+            y: (0.0, 2.0),
+        };
+        let cfg = FuseConfig::builder()
+            .frame_period_s(0.025)
+            .zone(z.clone())
+            .suspect_timeout_s(0.5)
+            .dead_timeout_s(2.0)
+            .max_coast_frames(100)
+            .build();
+        assert_eq!(cfg.frame_period_s, 0.025);
+        assert_eq!(cfg.zones, vec![z]);
+        assert_eq!(cfg.suspect_timeout_s, 0.5);
+        assert_eq!(cfg.dead_timeout_s, 2.0);
+        assert_eq!(cfg.max_coast_frames, 100);
+        // Untouched fields keep their defaults.
+        assert_eq!(
+            cfg.gate_mahalanobis_sq,
+            FuseConfig::default().gate_mahalanobis_sq
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_zones_matches_the_builder() {
+        let zones = vec![Zone {
+            id: 9,
+            name: "door".into(),
+            x: (-1.0, 1.0),
+            y: (-1.0, 1.0),
+        }];
+        let old = FuseConfig::default().with_zones(zones.clone());
+        let new = FuseConfig::builder().zones(zones).build();
+        assert_eq!(old, new);
     }
 }

@@ -36,7 +36,7 @@ pub mod events;
 pub mod registration;
 pub mod world;
 
-pub use config::{FuseConfig, Zone};
+pub use config::{FuseConfig, FuseConfigBuilder, Zone};
 pub use events::WorldEvent;
 pub use registration::{CalibrationConfig, CalibrationError, Registration, TrackSample};
 pub use world::{

@@ -1304,20 +1304,20 @@ mod tests {
     #[test]
     fn zones_occupancy_and_fall_fire_world_events() {
         let (reg, world_from_s1) = two_sensor_registration();
-        let cfg = FuseConfig::default().with_zones(vec![
-            Zone {
+        let cfg = FuseConfig::builder()
+            .zone(Zone {
                 id: 1,
                 name: "near".into(),
                 x: (-3.0, 3.0),
                 y: (0.0, 5.0),
-            },
-            Zone {
+            })
+            .zone(Zone {
                 id: 2,
                 name: "far".into(),
                 x: (-3.0, 3.0),
                 y: (5.0, 10.0),
-            },
-        ]);
+            })
+            .build();
         let mut engine = FusionEngine::new(cfg, reg);
         // Walk from the near zone into the far zone...
         let frames = run_two_sensor_walk(&mut engine, &world_from_s1, 1..200, |e| {

@@ -8,7 +8,8 @@
 
 use crate::transport::{Transport, TransportRx, TransportTx};
 use crate::wire::{
-    Hello, Message, StatsQuery, StatsReport, Subscribe, SweepBatch, SweepBatchQ, Teardown,
+    Hello, Message, StatsQuery, StatsReport, Subscribe, SubscribeV3, SubscriptionStats, SweepBatch,
+    SweepBatchQ, Teardown, Unsubscribe,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +30,8 @@ struct Counters {
     world_updates: AtomicU64,
     world_events: AtomicU64,
     stats_reports: AtomicU64,
+    subscribe_acks: AtomicU64,
+    subscription_stats: AtomicU64,
 }
 
 /// A point-in-time copy of the client's receive counters.
@@ -48,6 +51,10 @@ pub struct ClientStats {
     pub world_events: u64,
     /// `StatsReport` snapshots received.
     pub stats_reports: u64,
+    /// `SubscribeAck` replies received (wire v3).
+    pub subscribe_acks: u64,
+    /// `SubscriptionStats` replies received (wire v3).
+    pub subscription_stats: u64,
 }
 
 /// Callback receiving every server→client message, in arrival order.
@@ -60,6 +67,8 @@ pub struct SensorClient<T: Transport> {
     counters: Arc<Counters>,
     /// The newest `StatsReport` the drain saw, if any.
     last_stats: Arc<Mutex<Option<StatsReport>>>,
+    /// The newest `SubscriptionStats` the drain saw, if any.
+    last_sub_stats: Arc<Mutex<Option<SubscriptionStats>>>,
     drain: Option<JoinHandle<()>>,
 }
 
@@ -78,15 +87,20 @@ impl<T: Transport> SensorClient<T> {
         let (tx, rx) = transport.split()?;
         let counters = Arc::new(Counters::default());
         let last_stats = Arc::new(Mutex::new(None));
+        let last_sub_stats = Arc::new(Mutex::new(None));
         let drain = {
             let counters = Arc::clone(&counters);
             let last_stats = Arc::clone(&last_stats);
-            std::thread::spawn(move || drain_main(rx, counters, last_stats, handler))
+            let last_sub_stats = Arc::clone(&last_sub_stats);
+            std::thread::spawn(move || {
+                drain_main(rx, counters, last_stats, last_sub_stats, handler)
+            })
         };
         Ok(SensorClient {
             tx: Some(tx),
             counters,
             last_stats,
+            last_sub_stats,
             drain: Some(drain),
         })
     }
@@ -138,8 +152,41 @@ impl<T: Transport> SensorClient<T> {
     /// (`WorldUpdate`/`Event` frames; wire v2). An unknown room comes
     /// back as a `Reject` with
     /// [`RejectCode::UnknownSubscription`](crate::wire::RejectCode).
+    #[deprecated(
+        since = "0.9.0",
+        note = "build a filtered v3 subscription with \
+                `SubscriptionBuilder` and send it via `subscribe_with`"
+    )]
     pub fn subscribe(&mut self, sub: Subscribe) -> io::Result<()> {
         self.tx().send_msg(&Message::Subscribe(sub))
+    }
+
+    /// Subscribes with a wire-v3 programmable subscription — typically
+    /// built by [`SubscriptionBuilder`](crate::program::SubscriptionBuilder).
+    /// The server answers with a `SubscribeAck` (watch
+    /// [`ClientStats::subscribe_acks`]); a malformed filter program comes
+    /// back as a `Reject` with
+    /// [`RejectCode::BadProgram`](crate::wire::RejectCode), an unknown
+    /// room as `UnknownSubscription`.
+    pub fn subscribe_with(&mut self, sub: SubscribeV3) -> io::Result<()> {
+        self.tx().send_msg(&Message::SubscribeV3(sub))
+    }
+
+    /// Cancels a subscription opened by [`Self::subscribe_with`]. The
+    /// server stops evaluating the filter, replies with a final
+    /// `SubscriptionStats` (see [`Self::last_subscription_stats`]), and
+    /// rejects an unknown `(connection, sub_id)` pair with
+    /// `UnknownSubscription`.
+    pub fn unsubscribe(&mut self, room_id: u32, sub_id: u64) -> io::Result<()> {
+        self.tx()
+            .send_msg(&Message::Unsubscribe(Unsubscribe { room_id, sub_id }))
+    }
+
+    /// The newest [`SubscriptionStats`] received so far, if any —
+    /// the final per-subscription counters sent in reply to
+    /// [`Self::unsubscribe`].
+    pub fn last_subscription_stats(&self) -> Option<SubscriptionStats> {
+        *self.last_sub_stats.lock().expect("sub stats poisoned")
     }
 
     /// Asks the server for a metrics snapshot (`StatsQuery`, wire v2).
@@ -174,6 +221,8 @@ impl<T: Transport> SensorClient<T> {
             world_updates: self.counters.world_updates.load(Ordering::Relaxed),
             world_events: self.counters.world_events.load(Ordering::Relaxed),
             stats_reports: self.counters.stats_reports.load(Ordering::Relaxed),
+            subscribe_acks: self.counters.subscribe_acks.load(Ordering::Relaxed),
+            subscription_stats: self.counters.subscription_stats.load(Ordering::Relaxed),
         }
     }
 
@@ -427,6 +476,7 @@ fn drain_main<Rx: TransportRx>(
     mut rx: Rx,
     counters: Arc<Counters>,
     last_stats: Arc<Mutex<Option<StatsReport>>>,
+    last_sub_stats: Arc<Mutex<Option<SubscriptionStats>>>,
     mut handler: Option<Box<UpdateHandler>>,
 ) {
     while let Ok(Some(msg)) = rx.recv_msg() {
@@ -434,6 +484,13 @@ fn drain_main<Rx: TransportRx>(
             Message::StatsReport(r) => {
                 counters.stats_reports.fetch_add(1, Ordering::Relaxed);
                 *last_stats.lock().expect("stats poisoned") = Some(r.clone());
+            }
+            Message::SubscribeAck(_) => {
+                counters.subscribe_acks.fetch_add(1, Ordering::Relaxed);
+            }
+            Message::SubscriptionStats(s) => {
+                counters.subscription_stats.fetch_add(1, Ordering::Relaxed);
+                *last_sub_stats.lock().expect("sub stats poisoned") = Some(*s);
             }
             Message::UpdateBatch(u) => {
                 counters.update_batches.fetch_add(1, Ordering::Relaxed);

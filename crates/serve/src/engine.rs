@@ -242,13 +242,21 @@ impl EngineHandle {
                 q.dequantize_into(&mut samples);
                 self.submit_batch_pooled(PooledBatch { shape, samples }, sink)
             }
-            Message::Subscribe(s) => self.submit_subscribe(s, sink),
+            // The v2 subscribe keeps working as a match-all v3 program —
+            // no ack, because v2 clients don't know the type exists.
+            Message::Subscribe(s) => {
+                self.route_subscribe(wire::SubscribeV3::from_v2(s), sink, false)
+            }
+            Message::SubscribeV3(s) => self.submit_subscribe_v3(s, sink),
+            Message::Unsubscribe(u) => self.submit_unsubscribe(u, sink),
             Message::StatsQuery(q) => self.submit_stats_query(q, sink),
             Message::UpdateBatch(_)
             | Message::Reject(_)
             | Message::WorldUpdate(_)
             | Message::Event(_)
-            | Message::StatsReport(_) => Err(SubmitError::ServerOnlyMessage),
+            | Message::StatsReport(_)
+            | Message::SubscribeAck(_)
+            | Message::SubscriptionStats(_) => Err(SubmitError::ServerOnlyMessage),
         }
     }
 
@@ -292,19 +300,40 @@ impl EngineHandle {
         &self.recorder
     }
 
-    /// Routes a room subscription to the world hub. Without a hub (the
-    /// engine was started without a [`WorldConfig`]) the subscription is
-    /// refused over the connection with
+    /// Routes a v2 room subscription to the world hub as a match-all v3
+    /// program (no ack — v2 clients don't expect one). Without a hub
+    /// (the engine was started without a [`WorldConfig`]) the
+    /// subscription is refused over the connection with
     /// [`RejectCode::UnknownSubscription`].
     pub fn submit_subscribe(
         &self,
         sub: wire::Subscribe,
         sink: Option<ConnSink>,
     ) -> Result<Submitted, SubmitError> {
+        self.route_subscribe(wire::SubscribeV3::from_v2(sub), sink, false)
+    }
+
+    /// Routes a programmable (wire v3) room subscription to the world
+    /// hub, which answers with a `SubscribeAck` (or a `Reject` carrying
+    /// [`RejectCode::BadProgram`]/[`RejectCode::UnknownSubscription`]).
+    pub fn submit_subscribe_v3(
+        &self,
+        sub: wire::SubscribeV3,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        self.route_subscribe(sub, sink, true)
+    }
+
+    fn route_subscribe(
+        &self,
+        sub: wire::SubscribeV3,
+        sink: Option<ConnSink>,
+        ack: bool,
+    ) -> Result<Submitted, SubmitError> {
         let sink = sink.ok_or(SubmitError::SubscribeNeedsConnection)?;
         match &self.hub {
             Some(hub) => {
-                if hub.send(HubMsg::Subscribe(sub, sink)) {
+                if hub.send(HubMsg::Subscribe(sub, sink, ack)) {
                     Ok(Submitted::Queued)
                 } else {
                     Err(SubmitError::EngineDown)
@@ -314,6 +343,35 @@ impl EngineHandle {
                 self.metrics.batches_rejected.inc();
                 let mut buf = self.frame_pool.get(32);
                 wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
+                if sink.tx.try_send(buf).is_err() {
+                    self.metrics.updates_dropped.inc();
+                }
+                Ok(Submitted::Queued)
+            }
+        }
+    }
+
+    /// Releases one room subscription; the hub answers with its final
+    /// `SubscriptionStats` (or `UnknownSubscription` when no such
+    /// subscription exists on this connection).
+    pub fn submit_unsubscribe(
+        &self,
+        unsub: wire::Unsubscribe,
+        sink: Option<ConnSink>,
+    ) -> Result<Submitted, SubmitError> {
+        let sink = sink.ok_or(SubmitError::SubscribeNeedsConnection)?;
+        match &self.hub {
+            Some(hub) => {
+                if hub.send(HubMsg::Unsubscribe(unsub, sink)) {
+                    Ok(Submitted::Queued)
+                } else {
+                    Err(SubmitError::EngineDown)
+                }
+            }
+            None => {
+                self.metrics.batches_rejected.inc();
+                let mut buf = self.frame_pool.get(32);
+                wire::encode_reject_into(unsub.room_id, RejectCode::UnknownSubscription, &mut buf);
                 if sink.tx.try_send(buf).is_err() {
                     self.metrics.updates_dropped.inc();
                 }
@@ -452,14 +510,40 @@ impl ShardedEngine {
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
     ) -> (ShardedEngine, Receiver<EngineEvent>) {
-        Self::start_with_world(cfg, factory, None)
+        Self::start_inner(cfg, factory, None)
     }
 
-    /// [`Self::start`], plus a world hub fusing the configured rooms:
-    /// every session's frame reports are forwarded to its room's
-    /// [`witrack_fuse::FusionEngine`], and connections may `Subscribe`
-    /// to rooms for fused `WorldUpdate`/`Event` streams.
+    /// A fluent constructor: `ShardedEngine::builder(factory)
+    /// .config(cfg).world(world_cfg).start()`. Replaces the accreted
+    /// `start`/`start_with_world` pair with one shape that grows options
+    /// without new entry points.
+    pub fn builder(factory: Arc<PipelineFactory>) -> EngineBuilder {
+        EngineBuilder {
+            cfg: EngineConfig::default(),
+            factory,
+            world: None,
+        }
+    }
+
+    /// [`Self::start`], plus a world hub fusing the configured rooms.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ShardedEngine::builder(factory).world(..)`"
+    )]
     pub fn start_with_world(
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+        world: Option<WorldConfig>,
+    ) -> (ShardedEngine, Receiver<EngineEvent>) {
+        Self::start_inner(cfg, factory, world)
+    }
+
+    /// Shared startup: every public constructor lands here — every
+    /// session's frame reports are forwarded to its room's
+    /// [`witrack_fuse::FusionEngine`] (when a world is configured), and
+    /// connections may `Subscribe` to rooms for fused
+    /// `WorldUpdate`/`Event` streams.
+    fn start_inner(
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
         world: Option<WorldConfig>,
@@ -548,7 +632,39 @@ impl ShardedEngine {
     pub fn handle(&self) -> EngineHandle {
         self.handle.clone()
     }
+}
 
+/// Fluent construction for [`ShardedEngine`] — see
+/// [`ShardedEngine::builder`].
+pub struct EngineBuilder {
+    cfg: EngineConfig,
+    factory: Arc<PipelineFactory>,
+    world: Option<WorldConfig>,
+}
+
+impl EngineBuilder {
+    /// Engine shape: shard count, queue depth, overload policy.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Attach a world hub fusing the configured rooms, enabling room
+    /// subscriptions.
+    pub fn world(mut self, world: WorldConfig) -> Self {
+        self.world = Some(world);
+        self
+    }
+
+    /// Starts the shard workers (and hub, when a world is configured).
+    /// Returns the engine and its event stream; the receiver should be
+    /// drained — the channel is unbounded.
+    pub fn start(self) -> (ShardedEngine, Receiver<EngineEvent>) {
+        ShardedEngine::start_inner(self.cfg, self.factory, self.world)
+    }
+}
+
+impl ShardedEngine {
     /// Current counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()

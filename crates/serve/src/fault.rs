@@ -92,19 +92,32 @@ impl FaultPlan {
         }
     }
 
+    /// Fluent construction: `FaultPlan::builder(seed).drop(0.1).build()`.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan::none(seed),
+        }
+    }
+
     /// Returns the plan with the drop probability set.
+    #[deprecated(since = "0.9.0", note = "use `FaultPlan::builder(seed).drop(p)`")]
     pub fn with_drop(mut self, p: f64) -> FaultPlan {
         self.drop = p;
         self
     }
 
     /// Returns the plan with the duplicate probability set.
+    #[deprecated(since = "0.9.0", note = "use `FaultPlan::builder(seed).duplicate(p)`")]
     pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
         self.duplicate = p;
         self
     }
 
     /// Returns the plan with the reorder probability and window set.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `FaultPlan::builder(seed).reorder(p, window)`"
+    )]
     pub fn with_reorder(mut self, p: f64, window: usize) -> FaultPlan {
         self.reorder = p;
         self.reorder_window = window.max(1);
@@ -112,12 +125,17 @@ impl FaultPlan {
     }
 
     /// Returns the plan with the corrupt probability set.
+    #[deprecated(since = "0.9.0", note = "use `FaultPlan::builder(seed).corrupt(p)`")]
     pub fn with_corrupt(mut self, p: f64) -> FaultPlan {
         self.corrupt = p;
         self
     }
 
     /// Returns the plan with the stall probability and duration set.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `FaultPlan::builder(seed).stall(p, stall_ms)`"
+    )]
     pub fn with_stall(mut self, p: f64, stall_ms: u64) -> FaultPlan {
         self.stall = p;
         self.stall_ms = stall_ms;
@@ -125,10 +143,77 @@ impl FaultPlan {
     }
 
     /// Returns the plan with the burst probability and length set.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `FaultPlan::builder(seed).burst(p, burst_len)`"
+    )]
     pub fn with_burst(mut self, p: f64, burst_len: usize) -> FaultPlan {
         self.burst = p;
         self.burst_len = burst_len.max(2);
         self
+    }
+}
+
+/// Fluent construction for [`FaultPlan`] — see [`FaultPlan::builder`].
+///
+/// Starts from [`FaultPlan::none`] (everything off) and layers faults on;
+/// [`Self::build`] yields the finished plan.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    /// Probability a frame is silently dropped.
+    pub fn drop(mut self, p: f64) -> Self {
+        self.plan.drop = p;
+        self
+    }
+
+    /// Probability a frame is sent twice back to back.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.plan.duplicate = p;
+        self
+    }
+
+    /// Probability a frame is held back, with the overtake window (≥ 1)
+    /// bounding how far it can slip.
+    pub fn reorder(mut self, p: f64, window: usize) -> Self {
+        self.plan.reorder = p;
+        self.plan.reorder_window = window.max(1);
+        self
+    }
+
+    /// Probability a frame has payload bytes flipped before sending.
+    pub fn corrupt(mut self, p: f64) -> Self {
+        self.plan.corrupt = p;
+        self
+    }
+
+    /// Whether corruption may hit the frame *header* too (desyncing a
+    /// byte stream irrecoverably).
+    pub fn corrupt_header(mut self, yes: bool) -> Self {
+        self.plan.corrupt_header = yes;
+        self
+    }
+
+    /// Probability the sender stalls, and for how long (ms).
+    pub fn stall(mut self, p: f64, stall_ms: u64) -> Self {
+        self.plan.stall = p;
+        self.plan.stall_ms = stall_ms;
+        self
+    }
+
+    /// Probability a pause-then-burst cycle begins, and its length (≥ 2).
+    pub fn burst(mut self, p: f64, burst_len: usize) -> Self {
+        self.plan.burst = p;
+        self.plan.burst_len = burst_len.max(2);
+        self
+    }
+
+    /// The finished plan.
+    pub fn build(self) -> FaultPlan {
+        self.plan
     }
 }
 
@@ -437,7 +522,7 @@ mod tests {
     fn drops_are_seeded_and_reproducible() {
         let run = |seed: u64| -> (Vec<u32>, FaultStats) {
             let (a, b) = in_proc_pair(256);
-            let faulty = FaultyTransport::new(a, FaultPlan::none(seed).with_drop(0.3));
+            let faulty = FaultyTransport::new(a, FaultPlan::builder(seed).drop(0.3).build());
             let counters = faulty.counters();
             let (mut tx, _arx) = faulty.split().unwrap();
             let (_btx, mut rx) = b.split().unwrap();
@@ -461,7 +546,7 @@ mod tests {
     #[test]
     fn duplicates_and_reorders_stay_within_window() {
         let (a, b) = in_proc_pair(512);
-        let plan = FaultPlan::none(5).with_duplicate(0.2).with_reorder(0.3, 4);
+        let plan = FaultPlan::builder(5).duplicate(0.2).reorder(0.3, 4).build();
         let faulty = FaultyTransport::new(a, plan);
         let counters = faulty.counters();
         let (mut tx, _arx) = faulty.split().unwrap();
@@ -504,10 +589,10 @@ mod tests {
         // In-proc frames are discrete, so even a mangled header is
         // frame-scoped there (TCP header corruption — a true desync — is
         // exercised in the integration tests).
-        let plan = FaultPlan {
-            corrupt_header: true,
-            ..FaultPlan::none(11).with_corrupt(0.5)
-        };
+        let plan = FaultPlan::builder(11)
+            .corrupt(0.5)
+            .corrupt_header(true)
+            .build();
         let faulty = FaultyTransport::new(a, plan);
         let counters = faulty.counters();
         let (mut tx, _arx) = faulty.split().unwrap();
@@ -549,7 +634,7 @@ mod tests {
         for i in 0..20 {
             tx.send_msg(&teardown(i)).unwrap();
         }
-        plan.set(FaultPlan::none(9).with_drop(1.0)); // fault window opens
+        plan.set(FaultPlan::builder(9).drop(1.0).build()); // fault window opens
         for i in 20..40 {
             tx.send_msg(&teardown(i)).unwrap();
         }
@@ -568,7 +653,7 @@ mod tests {
     #[test]
     fn bursts_release_everything_they_held() {
         let (a, b) = in_proc_pair(512);
-        let faulty = FaultyTransport::new(a, FaultPlan::none(3).with_burst(0.1, 8));
+        let faulty = FaultyTransport::new(a, FaultPlan::builder(3).burst(0.1, 8).build());
         let counters = faulty.counters();
         let (mut tx, _arx) = faulty.split().unwrap();
         let (_btx, mut rx) = b.split().unwrap();
@@ -584,5 +669,26 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_helpers_match_the_builder() {
+        let old = FaultPlan::none(17)
+            .with_drop(0.1)
+            .with_duplicate(0.2)
+            .with_reorder(0.3, 5)
+            .with_corrupt(0.4)
+            .with_stall(0.5, 25)
+            .with_burst(0.6, 9);
+        let new = FaultPlan::builder(17)
+            .drop(0.1)
+            .duplicate(0.2)
+            .reorder(0.3, 5)
+            .corrupt(0.4)
+            .stall(0.5, 25)
+            .burst(0.6, 9)
+            .build();
+        assert_eq!(old, new);
     }
 }

@@ -15,12 +15,25 @@
 //! few Kalman updates per track per epoch, orders of magnitude cheaper
 //! than the sweep pipelines feeding it — so shards never block on it.
 //!
+//! Subscriptions are *programmable* (wire v3): each carries a compiled
+//! [`FilterProgram`](crate::program::FilterProgram) the hub evaluates
+//! per event **before** any encoding. Per fused frame the hub (1) runs
+//! every event-subscriber's program over the frame's events — behind two
+//! kind-mask pre-screens: a per-room coarse index (the OR of every
+//! subscriber program's possible kinds) skips whole events nobody could
+//! match, and each program's own mask skips its evaluation — then (2)
+//! encodes the world update and *only the events somebody matched*, each
+//! exactly once into the reused scratch, and (3) copies the matched
+//! windows into per-subscriber pooled buffers. Non-matching subscribers
+//! therefore cost a few predicate ops, not an encode + send.
+//!
 //! [`MetricsSnapshot::updates_dropped`]: crate::metrics::MetricsSnapshot::updates_dropped
 
 use crate::engine::ConnSink;
 use crate::metrics::EngineMetrics;
 use crate::pool::BufPool;
-use crate::wire::{self, RejectCode, Subscribe};
+use crate::program::{CompiledProgram, EventCtx, ProgramState};
+use crate::wire::{self, Message, RejectCode, SubscribeAck, SubscribeV3, SubscriptionStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TrySendError};
@@ -31,7 +44,7 @@ use witrack_core::FrameReport;
 use witrack_fuse::{
     FuseConfig, FusionEngine, Registration, SensorLiveness, WorldEvent, WorldFrame,
 };
-use witrack_obs::{AnomalyKind, Counter, FlightRecorder, Gauge, Label};
+use witrack_obs::{AnomalyKind, Counter, FlightRecorder, Gauge, Histo, Label};
 
 /// How often the hub sweeps its rooms for silent sensors. Also the floor
 /// on liveness-timeout resolution — `FuseConfig::suspect_timeout_s`
@@ -73,8 +86,13 @@ impl WorldConfig {
 pub(crate) enum HubMsg {
     /// One sensor's frame reports (already shard-processed).
     Reports(u32, Vec<FrameReport>),
-    /// A connection wants a room's world stream.
-    Subscribe(Subscribe, ConnSink),
+    /// A connection wants a room's world stream. The bool says whether
+    /// to answer with a `SubscribeAck` — v3 subscribers expect one, the
+    /// deprecated v2 shim's clients don't know the type exists.
+    Subscribe(SubscribeV3, ConnSink, bool),
+    /// A connection releases one subscription; the hub answers with its
+    /// final `SubscriptionStats`.
+    Unsubscribe(wire::Unsubscribe, ConnSink),
     /// A sensor's session closed; stop waiting for it at fusion
     /// watermarks.
     SensorClosed(u32),
@@ -136,12 +154,65 @@ struct Room {
     liveness: HashMap<u32, Gauge>,
     /// Per-sensor recoveries: how many times a dead sensor came back.
     reconnects: HashMap<u32, Counter>,
+    /// Coarse event index: the OR of every event-subscriber program's
+    /// possible kinds. An event whose kind bit is absent is skipped
+    /// outright — no program runs, no encode happens. Rebuilt whenever
+    /// the subscriber set changes.
+    event_kind_mask: u16,
+    /// Per-event filter-evaluation latency (ns, averaged over one
+    /// frame's events).
+    event_eval_ns: Arc<Histo>,
+}
+
+impl Room {
+    /// Recomputes the coarse kind index from the live subscriber set.
+    fn rebuild_event_mask(&mut self) {
+        self.event_kind_mask = self
+            .subscribers
+            .iter()
+            .filter(|s| s.events)
+            .fold(0, |m, s| m | s.program.kind_mask());
+    }
 }
 
 struct Subscriber {
     sink: ConnSink,
+    /// Client-chosen id (0 for v2-shim subscriptions).
+    sub_id: u64,
     world_updates: bool,
     events: bool,
+    program: CompiledProgram,
+    state: ProgramState,
+    /// Seconds between delivered world updates (0 = every fused frame),
+    /// from the subscription's `max_update_hz`. Gated on frame event
+    /// time, so it is deterministic under replay.
+    min_update_interval_s: f64,
+    last_update_s: Option<f64>,
+    /// Scratch: indices (into the current frame's events) this
+    /// subscription matched. Cleared per frame, capacity reused.
+    hits: Vec<u32>,
+    /// Whether the current frame's world update goes to this subscriber
+    /// (decided in the evaluation pre-pass).
+    send_world: bool,
+    /// Per-subscription filter counters, reported via
+    /// `SubscriptionStats` at unsubscribe time.
+    evaluated: u64,
+    matched: u64,
+    shed: u64,
+    rate_limited: u64,
+}
+
+impl Subscriber {
+    fn stats(&self, room_id: u32) -> SubscriptionStats {
+        SubscriptionStats {
+            room_id,
+            sub_id: self.sub_id,
+            evaluated: self.evaluated,
+            matched: self.matched,
+            shed: self.shed,
+            rate_limited: self.rate_limited,
+        }
+    }
 }
 
 struct HubWorker {
@@ -157,6 +228,13 @@ struct HubWorker {
     /// serialized once here, then memcpy'd into per-subscriber pooled
     /// buffers.
     update_scratch: Vec<u8>,
+    /// Reused per-frame event contexts (events surviving the room's
+    /// coarse kind index, paired with their frame-event index).
+    ctx_scratch: Vec<(u32, EventCtx)>,
+    /// Reused per-frame encoded byte ranges: `event index → (start, end)`
+    /// window into `update_scratch`, `(0, 0)` for events nobody matched
+    /// (and therefore never encoded).
+    range_scratch: Vec<(u32, u32)>,
     /// Hub start; liveness silence is measured on this clock.
     epoch: Instant,
     /// Last liveness sweep (sweeps run at most every [`LIVENESS_TICK`]).
@@ -213,6 +291,8 @@ impl WorldHub {
                     last_ghosts: 0,
                     liveness,
                     reconnects,
+                    event_kind_mask: 0,
+                    event_eval_ns: registry.histo("room", "event_eval_ns", label),
                 }
             })
             .collect();
@@ -227,6 +307,8 @@ impl WorldHub {
             recorder,
             stop,
             update_scratch: Vec::new(),
+            ctx_scratch: Vec::new(),
+            range_scratch: Vec::new(),
             epoch: now,
             last_tick: now,
         };
@@ -338,32 +420,124 @@ impl HubWorker {
                     self.deliver(idx, frames);
                 }
             }
-            HubMsg::Subscribe(sub, sink) => self.subscribe(sub, sink),
+            HubMsg::Subscribe(sub, sink, ack) => self.subscribe(sub, sink, ack),
+            HubMsg::Unsubscribe(unsub, sink) => self.unsubscribe(unsub, sink),
             HubMsg::ConnClosed(conn_id) => {
                 for room in &mut self.rooms {
+                    let before = room.subscribers.len();
                     room.subscribers.retain(|s| s.sink.conn_id != conn_id);
+                    let closed = before - room.subscribers.len();
+                    if closed > 0 {
+                        self.metrics.subscriptions_closed.add(closed as u64);
+                        room.rebuild_event_mask();
+                    }
                 }
             }
         }
     }
 
-    fn subscribe(&mut self, sub: Subscribe, sink: ConnSink) {
-        match self.rooms.iter_mut().find(|r| r.room_id == sub.room_id) {
-            Some(room) => {
-                self.metrics.subscriptions_opened.inc();
-                room.subscribers.push(Subscriber {
-                    sink,
-                    world_updates: sub.world_updates,
-                    events: sub.events,
-                });
+    /// Sends a reply frame (ack, stats, reject) back to a subscriber's
+    /// connection, shedding on a full outbox.
+    fn reply(&self, sink: &ConnSink, msg: &Message) {
+        let mut buf = self.frame_pool.get(64);
+        wire::encode_into(msg, &mut buf);
+        if sink.tx.try_send(buf).is_err() {
+            self.metrics.updates_dropped.inc();
+        }
+    }
+
+    fn subscribe(&mut self, sub: SubscribeV3, sink: ConnSink, ack: bool) {
+        let Some(room) = self.rooms.iter_mut().find(|r| r.room_id == sub.room_id) else {
+            self.metrics.batches_rejected.inc();
+            let mut buf = self.frame_pool.get(32);
+            wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
+            if sink.tx.try_send(buf).is_err() {
+                self.metrics.updates_dropped.inc();
+            }
+            return;
+        };
+        // Validate the program once at install time: a stack-invalid or
+        // oversized program is the client's bug, reported as BadProgram;
+        // the connection (and its other subscriptions) survive.
+        let program = match sub.program.compile() {
+            Ok(p) => p,
+            Err(_) => {
+                self.metrics.batches_rejected.inc();
+                let room_id = sub.room_id;
+                self.reply(
+                    &sink,
+                    &Message::Reject(wire::Reject {
+                        sensor_id: room_id,
+                        code: RejectCode::BadProgram,
+                    }),
+                );
+                return;
+            }
+        };
+        self.metrics.subscriptions_opened.inc();
+        let state = program.new_state();
+        room.subscribers.push(Subscriber {
+            sink: sink.clone(),
+            sub_id: sub.sub_id,
+            world_updates: sub.world_updates,
+            events: sub.events,
+            program,
+            state,
+            min_update_interval_s: if sub.max_update_hz > 0.0 {
+                1.0 / sub.max_update_hz
+            } else {
+                0.0
+            },
+            last_update_s: None,
+            hits: Vec::new(),
+            send_world: false,
+            evaluated: 0,
+            matched: 0,
+            shed: 0,
+            rate_limited: 0,
+        });
+        room.rebuild_event_mask();
+        if ack {
+            let reply = Message::SubscribeAck(SubscribeAck {
+                room_id: sub.room_id,
+                sub_id: sub.sub_id,
+                status: 0,
+            });
+            self.reply(&sink, &reply);
+        }
+    }
+
+    /// Removes one `(connection, sub_id)` subscription and answers with
+    /// its final counters. Unknown subscriptions get
+    /// `UnknownSubscription` — same as subscribing to an unknown room.
+    fn unsubscribe(&mut self, unsub: wire::Unsubscribe, sink: ConnSink) {
+        let found = self
+            .rooms
+            .iter_mut()
+            .find(|r| r.room_id == unsub.room_id)
+            .and_then(|room| {
+                let at = room
+                    .subscribers
+                    .iter()
+                    .position(|s| s.sink.conn_id == sink.conn_id && s.sub_id == unsub.sub_id)?;
+                let sub = room.subscribers.swap_remove(at);
+                room.rebuild_event_mask();
+                Some(sub.stats(room.room_id))
+            });
+        match found {
+            Some(stats) => {
+                self.metrics.subscriptions_closed.inc();
+                self.reply(&sink, &Message::SubscriptionStats(stats));
             }
             None => {
                 self.metrics.batches_rejected.inc();
-                let mut buf = self.frame_pool.get(32);
-                wire::encode_reject_into(sub.room_id, RejectCode::UnknownSubscription, &mut buf);
-                if sink.tx.try_send(buf).is_err() {
-                    self.metrics.updates_dropped.inc();
-                }
+                self.reply(
+                    &sink,
+                    &Message::Reject(wire::Reject {
+                        sensor_id: unsub.room_id,
+                        code: RejectCode::UnknownSubscription,
+                    }),
+                );
             }
         }
     }
@@ -417,55 +591,147 @@ impl HubWorker {
             if room.subscribers.is_empty() {
                 continue; // sequence still advances; nothing to encode
             }
+
+            // --- Phase 1: evaluate, before anything is encoded. -------
+            // Extract each event's matchable facts once, skipping whole
+            // events outside the room's coarse kind index (no subscriber
+            // program could match them).
+            let ctxs = &mut self.ctx_scratch;
+            ctxs.clear();
+            for (ei, event) in frame.events.iter().enumerate() {
+                let ctx = EventCtx::from_event(event);
+                if room.event_kind_mask & ctx.kind_bit() != 0 {
+                    ctxs.push((ei as u32, ctx));
+                }
+            }
+            let metrics = &self.metrics;
+            let mut any_world = false;
+            let mut any_hit = false;
+            let eval_start = Instant::now();
+            for sub in &mut room.subscribers {
+                // World updates pass through a per-subscription rate
+                // gate on the fused frame's event time (deterministic
+                // under replay, unlike a wall clock).
+                sub.send_world = sub.world_updates
+                    && (sub.min_update_interval_s <= 0.0
+                        || sub
+                            .last_update_s
+                            .is_none_or(|last| frame.time_s - last >= sub.min_update_interval_s));
+                if sub.send_world {
+                    sub.last_update_s = Some(frame.time_s);
+                    any_world = true;
+                }
+                sub.hits.clear();
+                if !sub.events {
+                    continue;
+                }
+                for (ei, ctx) in ctxs.iter() {
+                    sub.evaluated += 1;
+                    // The per-subscription mask is the second pre-screen:
+                    // the gap between per-sub `evaluated` and the global
+                    // `events_evaluated` counter is evaluations the index
+                    // saved.
+                    if sub.program.kind_mask() & ctx.kind_bit() == 0 {
+                        continue;
+                    }
+                    metrics.events_evaluated.inc();
+                    let verdict = sub.program.eval(&mut sub.state, ctx);
+                    if verdict.rate_limited {
+                        sub.rate_limited += 1;
+                        metrics.events_rate_limited.inc();
+                    }
+                    if verdict.matched {
+                        sub.matched += 1;
+                        metrics.events_matched.inc();
+                        sub.hits.push(*ei);
+                        any_hit = true;
+                    }
+                }
+            }
+            if !ctxs.is_empty() {
+                let per_event = eval_start.elapsed().as_nanos() as u64 / ctxs.len() as u64;
+                room.event_eval_ns.record(per_event);
+            }
+            if !any_world && !any_hit {
+                continue; // nobody wants anything from this frame
+            }
+
+            // --- Phase 2: encode once — and only what somebody wants. -
             let scratch = &mut self.update_scratch;
             scratch.clear();
-            wire::encode_world_update_into(room.room_id, seq, &frame, scratch);
-            // Frame boundaries inside the scratch: the update first, then
-            // one wire frame per event.
-            let mut bounds = vec![0, scratch.len()];
-            for event in &frame.events {
-                wire::encode_event_into(room.room_id, event, scratch);
-                bounds.push(scratch.len());
-            }
-            let pool = &self.frame_pool;
-            let metrics = &self.metrics;
-            let recorder = &self.recorder;
-            room.subscribers.retain(|sub| {
-                let mut alive = true;
-                if sub.world_updates {
-                    let mut buf = pool.get(bounds[1]);
-                    buf.extend_from_slice(&scratch[..bounds[1]]);
-                    alive &= push(&sub.sink, buf, metrics, recorder);
+            let world_len = if any_world {
+                wire::encode_world_update_into(room.room_id, seq, &frame, scratch);
+                scratch.len()
+            } else {
+                0
+            };
+            let ranges = &mut self.range_scratch;
+            ranges.clear();
+            ranges.resize(frame.events.len(), (0, 0));
+            for sub in &room.subscribers {
+                for &ei in &sub.hits {
+                    let slot = &mut ranges[ei as usize];
+                    if slot.0 == slot.1 {
+                        let start = scratch.len();
+                        wire::encode_event_into(room.room_id, &frame.events[ei as usize], scratch);
+                        *slot = (start as u32, scratch.len() as u32);
+                    }
                 }
-                if sub.events && alive {
-                    for window in bounds[1..].windows(2) {
-                        let bytes = &scratch[window[0]..window[1]];
+            }
+
+            // --- Phase 3: deliver, shedding and pruning as before. ----
+            let pool = &self.frame_pool;
+            let recorder = &self.recorder;
+            let mut pruned = 0u64;
+            room.subscribers.retain_mut(|sub| {
+                let mut alive = true;
+                if sub.send_world {
+                    let mut buf = pool.get(world_len);
+                    buf.extend_from_slice(&scratch[..world_len]);
+                    metrics.world_bytes.add(world_len as u64);
+                    alive &= push(&sub.sink, buf, metrics, recorder, &mut sub.shed);
+                }
+                if alive {
+                    for &ei in &sub.hits {
+                        let (start, end) = ranges[ei as usize];
+                        let bytes = &scratch[start as usize..end as usize];
                         let mut buf = pool.get(bytes.len());
                         buf.extend_from_slice(bytes);
-                        alive &= push(&sub.sink, buf, metrics, recorder);
+                        metrics.world_bytes.add(bytes.len() as u64);
+                        alive &= push(&sub.sink, buf, metrics, recorder, &mut sub.shed);
                         if !alive {
                             break;
                         }
                     }
                 }
+                if !alive {
+                    pruned += 1;
+                }
                 alive
             });
+            if pruned > 0 {
+                metrics.subscriptions_closed.add(pruned);
+                room.rebuild_event_mask();
+            }
         }
     }
 }
 
-/// `try_send` into a subscriber, shedding on full. Returns `false` when
-/// the connection is gone (prune it).
+/// `try_send` into a subscriber, shedding on full (counted both in the
+/// engine-wide `updates_dropped` and the subscription's own `shed`).
+/// Returns `false` when the connection is gone (prune it).
 fn push(
     sink: &ConnSink,
     buf: crate::pool::PooledBuf<u8>,
     metrics: &EngineMetrics,
     recorder: &FlightRecorder,
+    shed: &mut u64,
 ) -> bool {
     match sink.tx.try_send(buf) {
         Ok(()) => true,
         Err(TrySendError::Full(_)) => {
             metrics.updates_dropped.inc();
+            *shed += 1;
             recorder.record(AnomalyKind::Shed, sink.conn_id, 0, 0);
             true
         }

@@ -26,6 +26,11 @@
 //! * [`server`] / [`client`] — the connection layer over any transport,
 //!   multiplexing many sensors per connection, and the sensor-side client
 //!   (with a reconnecting variant surviving transport loss).
+//! * [`program`] — programmable subscription filters (wire v3): a
+//!   compiled predicate DSL (kind/zone/track matchers, debounce,
+//!   rate-limit, occupancy-threshold combinators) the world hub
+//!   evaluates *before* encode/fan-out, plus the
+//!   [`SubscriptionBuilder`] fluent client API.
 //! * [`fault`] — seeded chaos injection ([`FaultyTransport`]): drop,
 //!   duplicate, reorder, corrupt, stall, and burst faults over any
 //!   transport, for the degradation tests and the `t_chaos` matrix.
@@ -81,27 +86,35 @@ pub mod fault;
 pub mod hub;
 pub mod metrics;
 pub mod pool;
+pub mod program;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{BackoffConfig, ClientStats, ReconnectingClient, SensorClient};
 pub use engine::{
-    ConnSink, EngineConfig, EngineEvent, EngineHandle, OverloadPolicy, PipelineFactory,
-    ShardedEngine, SubmitError, Submitted, UpdateSink,
+    ConnSink, EngineBuilder, EngineConfig, EngineEvent, EngineHandle, OverloadPolicy,
+    PipelineFactory, ShardedEngine, SubmitError, Submitted, UpdateSink,
 };
 pub use factory::{hello_for, hello_quantized_for, witrack_factory};
-pub use fault::{FaultCounters, FaultPlan, FaultPlanHandle, FaultStats, FaultyTransport, FaultyTx};
+pub use fault::{
+    FaultCounters, FaultPlan, FaultPlanBuilder, FaultPlanHandle, FaultStats, FaultyTransport,
+    FaultyTx,
+};
 pub use hub::{RoomSpec, WorldConfig};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use pool::{BufPool, PoolStats, PooledBatch, PooledBuf};
-pub use server::{Server, TcpServer};
+pub use program::{
+    CompiledProgram, EvalResult, EventCtx, EventKind, EventKinds, FilterProgram, Op, ProgramError,
+    ProgramState, SubscriptionBuilder,
+};
+pub use server::{Server, ServerBuilder, TcpServer};
 pub use transport::{
     in_proc_pair, recv_error_is_frame_scoped, CorruptFrameError, InProcTransport, RxMsg,
     TcpTransport, Transport, WireFrame,
 };
 pub use wire::{
     EventMsg, Hello, HistoWire, Message, PipelineKind, Reject, RejectCode, StatsQuery, StatsReport,
-    StatsSample, StatsValue, Subscribe, SweepBatch, SweepBatchQ, SweepShape, Teardown, UpdateBatch,
-    WireError, WorldUpdateMsg,
+    StatsSample, StatsValue, Subscribe, SubscribeAck, SubscribeV3, SubscriptionStats, SweepBatch,
+    SweepBatchQ, SweepShape, Teardown, Unsubscribe, UpdateBatch, WireError, WorldUpdateMsg,
 };

@@ -61,6 +61,20 @@ pub struct EngineMetrics {
     pub world_events: Counter,
     /// Room subscriptions accepted by the world hub.
     pub subscriptions_opened: Counter,
+    /// Room subscriptions released: by explicit `Unsubscribe`, by the
+    /// owning connection closing, or by delivery hitting a dead outbox.
+    pub subscriptions_closed: Counter,
+    /// Filter programs actually executed by the hub (after the per-room
+    /// and per-subscription kind-mask pre-screens — the gap between this
+    /// and offered events is the coarse index's savings).
+    pub events_evaluated: Counter,
+    /// Filter evaluations that matched (delivery attempted).
+    pub events_matched: Counter,
+    /// Would-be matches suppressed by debounce/rate-limit filter ops.
+    pub events_rate_limited: Counter,
+    /// Bytes of encoded world traffic offered to subscriber outboxes
+    /// (pre-shed): the fan-out cost server-side filtering is cutting.
+    pub world_bytes: Counter,
     registry: Arc<Registry>,
 }
 
@@ -87,6 +101,11 @@ impl EngineMetrics {
             world_frames: c("world_frames"),
             world_events: c("world_events"),
             subscriptions_opened: c("subscriptions_opened"),
+            subscriptions_closed: c("subscriptions_closed"),
+            events_evaluated: c("events_evaluated"),
+            events_matched: c("events_matched"),
+            events_rate_limited: c("events_rate_limited"),
+            world_bytes: c("world_bytes"),
             registry,
         }
     }
@@ -136,6 +155,11 @@ impl EngineMetrics {
             world_frames: self.world_frames.get(),
             world_events: self.world_events.get(),
             subscriptions_opened: self.subscriptions_opened.get(),
+            subscriptions_closed: self.subscriptions_closed.get(),
+            events_evaluated: self.events_evaluated.get(),
+            events_matched: self.events_matched.get(),
+            events_rate_limited: self.events_rate_limited.get(),
+            world_bytes: self.world_bytes.get(),
         }
     }
 }
@@ -183,4 +207,15 @@ pub struct MetricsSnapshot {
     pub world_events: u64,
     /// Room subscriptions accepted by the world hub.
     pub subscriptions_opened: u64,
+    /// Room subscriptions released (unsubscribe, connection close, or
+    /// dead-outbox pruning).
+    pub subscriptions_closed: u64,
+    /// Filter programs executed by the hub (post pre-screen).
+    pub events_evaluated: u64,
+    /// Filter evaluations that matched.
+    pub events_matched: u64,
+    /// Would-be matches suppressed by debounce/rate-limit ops.
+    pub events_rate_limited: u64,
+    /// Encoded world-traffic bytes offered to subscriber outboxes.
+    pub world_bytes: u64,
 }

@@ -49,18 +49,44 @@ impl Server {
     /// the engine-wide event stream only carries bookkeeping — a small
     /// drainer thread keeps it from accumulating.
     pub fn start(cfg: EngineConfig, factory: Arc<PipelineFactory>) -> Server {
-        Self::start_with_world(cfg, factory, None)
+        Self::start_inner(cfg, factory, None)
     }
 
-    /// [`Self::start`], plus a world hub fusing the configured rooms so
-    /// attached connections may `Subscribe` to fused
-    /// `WorldUpdate`/`Event` streams.
+    /// A fluent constructor: `Server::builder(factory).config(cfg)
+    /// .world(world_cfg).start()` — or `.bind(addr)` for the TCP front
+    /// door. Collapses the accreted `start`/`start_with_world`/
+    /// `bind`/`bind_with_world` quartet into one shape.
+    pub fn builder(factory: Arc<PipelineFactory>) -> ServerBuilder {
+        ServerBuilder {
+            cfg: EngineConfig::default(),
+            factory,
+            world: None,
+        }
+    }
+
+    /// [`Self::start`], plus a world hub fusing the configured rooms.
+    #[deprecated(since = "0.9.0", note = "use `Server::builder(factory).world(..)`")]
     pub fn start_with_world(
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
         world: Option<WorldConfig>,
     ) -> Server {
-        let (engine, events) = ShardedEngine::start_with_world(cfg, factory, world);
+        Self::start_inner(cfg, factory, world)
+    }
+
+    /// Shared startup behind every public constructor: a world hub (when
+    /// configured) lets attached connections `Subscribe` to fused
+    /// `WorldUpdate`/`Event` streams.
+    fn start_inner(
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+        world: Option<WorldConfig>,
+    ) -> Server {
+        let mut builder = ShardedEngine::builder(factory).config(cfg);
+        if let Some(world) = world {
+            builder = builder.world(world);
+        }
+        let (engine, events) = builder.start();
         let drainer = std::thread::spawn(move || for _ in events {});
         Server {
             handle: engine.handle(),
@@ -107,6 +133,40 @@ impl Server {
         // drainer exits on its own.
         self.drainer.join().expect("event drainer panicked");
         m
+    }
+}
+
+/// Fluent construction for [`Server`] (and its TCP front door) — see
+/// [`Server::builder`].
+pub struct ServerBuilder {
+    cfg: EngineConfig,
+    factory: Arc<PipelineFactory>,
+    world: Option<WorldConfig>,
+}
+
+impl ServerBuilder {
+    /// Engine shape: shard count, queue depth, overload policy.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Attach a world hub fusing the configured rooms, enabling room
+    /// subscriptions on attached connections.
+    pub fn world(mut self, world: WorldConfig) -> Self {
+        self.world = Some(world);
+        self
+    }
+
+    /// Starts the engine, serving connections via [`Server::attach`].
+    pub fn start(self) -> Server {
+        Server::start_inner(self.cfg, self.factory, self.world)
+    }
+
+    /// Starts the engine behind a loopback TCP listener on `addr`
+    /// (e.g. `"127.0.0.1:0"`).
+    pub fn bind(self, addr: &str) -> io::Result<TcpServer> {
+        TcpServer::bind_inner(addr, self.cfg, self.factory, self.world)
     }
 }
 
@@ -220,11 +280,24 @@ impl TcpServer {
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
     ) -> io::Result<TcpServer> {
-        Self::bind_with_world(addr, cfg, factory, None)
+        Self::bind_inner(addr, cfg, factory, None)
     }
 
     /// [`Self::bind`], plus a world hub fusing the configured rooms.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `Server::builder(factory).world(..).bind(addr)`"
+    )]
     pub fn bind_with_world(
+        addr: &str,
+        cfg: EngineConfig,
+        factory: Arc<PipelineFactory>,
+        world: Option<WorldConfig>,
+    ) -> io::Result<TcpServer> {
+        Self::bind_inner(addr, cfg, factory, world)
+    }
+
+    fn bind_inner(
         addr: &str,
         cfg: EngineConfig,
         factory: Arc<PipelineFactory>,
@@ -232,7 +305,7 @@ impl TcpServer {
     ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let server = Arc::new(Server::start_with_world(cfg, factory, world));
+        let server = Arc::new(Server::start_inner(cfg, factory, world));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let server = Arc::clone(&server);

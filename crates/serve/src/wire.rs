@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  the bytes "WTRK" (0x4B525457 as a LE u32)
-//! 4       1     version (currently 2; 1 still decodes)
+//! 4       1     version (currently 3; 1 and 2 still decode)
 //! 5       1     message type
 //! 6       2     flags (reserved, must be 0)
 //! 8       4     payload length in bytes
@@ -28,6 +28,10 @@
 //! | 9    | `Event` (v2, server → client) | `room_id u32, kind u16, reserved u16, track u64 (u64::MAX = none), zone u32, sensor_a u32, sensor_b u32, reserved u32, time_s f64, x y z f64, aux f64, aux2 f64` |
 //! | 10   | `StatsQuery` (v2) | `flags u32 (reserved, must be 0)` |
 //! | 11   | `StatsReport` (v2, server → client) | `n_samples u32`, then per sample: `subsystem (u8 len + bytes), name (u8 len + bytes), label_kind u8 (0 global, 1 sensor, 2 room, 3 shard), label_id u32, value_kind u8 (1 counter, 2 gauge, 3 histogram)`, then `u64` for counter, `i64` for gauge, or `count u64, sum u64, min u64, max u64, p50 u64, p90 u64, p99 u64` for histogram |
+//! | 12   | `SubscribeV3` (v3) | `room_id u32, sub_id u64, flags u16 (bit0 world updates, bit1 events), reserved u16, max_update_hz f64, n_ops u16`, then per filter op 17 bytes: `code u8, a u32, b u32, f f64` |
+//! | 13   | `SubscribeAck` (v3, server → client) | `room_id u32, status u16 (0 = ok), reserved u16, sub_id u64` |
+//! | 14   | `SubscriptionStats` (v3, server → client) | `room_id u32, reserved u32, sub_id u64, evaluated u64, matched u64, shed u64, rate_limited u64` |
+//! | 15   | `Unsubscribe` (v3) | `room_id u32, sub_id u64` |
 //!
 //! **Version 2** adds [`SweepBatchQ`]: the same batch shape as
 //! `SweepBatch`, but carrying the baseband as `i16` quantization steps
@@ -36,9 +40,17 @@
 //! while cutting sample bytes 4× (a 5-sweep × 3-antenna × 2500-sample
 //! frame drops from 300,032 to 75,040 bytes at the paper configuration). A sensor announces it will use the quantized wire via
 //! the `Hello` flag bit 0 ([`Hello::quantized`]); servers accept both
-//! batch forms regardless, so v1 senders keep working unchanged. This
-//! decoder accepts frame versions 1 and 2; v1 frames simply cannot carry
-//! types 6 and up.
+//! batch forms regardless, so v1 senders keep working unchanged.
+//!
+//! **Version 3** makes subscriptions programmable: [`SubscribeV3`]
+//! (type 12) carries a compiled filter program (see
+//! [`crate::program`]) plus per-subscription rate fields, answered with
+//! a [`SubscribeAck`]; [`Unsubscribe`] (type 15) releases one
+//! subscription and is answered with its final [`SubscriptionStats`].
+//! The v2 `Subscribe` (type 7) still decodes and behaves as a match-all
+//! program, so old clients keep working unchanged. This decoder accepts
+//! frame versions 1 through 3; lower-version frames simply cannot carry
+//! the newer types (v1 stops at type 5, v2 at type 11).
 //!
 //! Types 10/11 are the telemetry pull: a client sends `StatsQuery` and
 //! the server answers with one `StatsReport` carrying a point-in-time
@@ -60,7 +72,7 @@ use witrack_geom::Vec3;
 /// little-endian u32).
 pub const MAGIC: u32 = u32::from_le_bytes(*b"WTRK");
 /// Current protocol version (encoded into every frame this side sends).
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Oldest protocol version this decoder still accepts.
 pub const MIN_VERSION: u8 = 1;
 /// Fixed header size in bytes.
@@ -347,6 +359,10 @@ pub enum RejectCode {
     /// The `sensor_id` on such a reject is 0: a corrupt frame names no
     /// trustworthy sensor.
     CorruptFrame,
+    /// A `SubscribeV3` carried a filter program that decoded but failed
+    /// validation (stack-invalid or over the op budget). The connection
+    /// survives; the subscription is not installed.
+    BadProgram,
 }
 
 impl RejectCode {
@@ -358,6 +374,7 @@ impl RejectCode {
             RejectCode::StaleSequence => 4,
             RejectCode::UnknownSubscription => 5,
             RejectCode::CorruptFrame => 6,
+            RejectCode::BadProgram => 7,
         }
     }
 
@@ -369,6 +386,7 @@ impl RejectCode {
             4 => Ok(RejectCode::StaleSequence),
             5 => Ok(RejectCode::UnknownSubscription),
             6 => Ok(RejectCode::CorruptFrame),
+            7 => Ok(RejectCode::BadProgram),
             _ => Err(WireError::BadPayload("unknown reject code")),
         }
     }
@@ -396,6 +414,85 @@ impl Subscribe {
             events: true,
         }
     }
+}
+
+/// Client → server: a programmable room subscription (wire v3). Carries
+/// a [`FilterProgram`](crate::program::FilterProgram) the hub evaluates
+/// per event before encode/fan-out, plus per-subscription rate fields.
+/// Most clients build one with
+/// [`SubscriptionBuilder`](crate::program::SubscriptionBuilder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscribeV3 {
+    /// The room to subscribe to.
+    pub room_id: u32,
+    /// Client-chosen subscription id: names this subscription in
+    /// [`SubscribeAck`]/[`SubscriptionStats`] replies and [`Unsubscribe`].
+    pub sub_id: u64,
+    /// Deliver fused [`WorldUpdateMsg`] frames.
+    pub world_updates: bool,
+    /// Deliver [`EventMsg`] frames (those matching `program`).
+    pub events: bool,
+    /// Cap on delivered world updates per event-second (0 = every fused
+    /// frame). Frames beyond the cap are skipped, not queued.
+    pub max_update_hz: f64,
+    /// The event filter; empty matches everything.
+    pub program: crate::program::FilterProgram,
+}
+
+impl SubscribeV3 {
+    /// Lifts a v2 [`Subscribe`] into its v3 equivalent: sub id 0,
+    /// match-all program, no rate cap — exactly the old semantics.
+    pub fn from_v2(s: Subscribe) -> SubscribeV3 {
+        SubscribeV3 {
+            room_id: s.room_id,
+            sub_id: 0,
+            world_updates: s.world_updates,
+            events: s.events,
+            max_update_hz: 0.0,
+            program: crate::program::FilterProgram::match_all(),
+        }
+    }
+}
+
+/// Server → client: the hub accepted a [`SubscribeV3`] (wire v3). A
+/// refused subscription gets a [`Reject`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscribeAck {
+    /// The subscribed room.
+    pub room_id: u32,
+    /// The subscription id echoed back.
+    pub sub_id: u64,
+    /// Reserved status (0 = ok).
+    pub status: u16,
+}
+
+/// Server → client: one subscription's filter counters (wire v3) — sent
+/// as the final reply to an [`Unsubscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubscriptionStats {
+    /// The subscribed room.
+    pub room_id: u32,
+    /// Which subscription these counters belong to.
+    pub sub_id: u64,
+    /// Events offered to this subscription's filter.
+    pub evaluated: u64,
+    /// Events the filter matched (delivery attempted).
+    pub matched: u64,
+    /// Matched messages shed on a full outbox.
+    pub shed: u64,
+    /// Would-be matches suppressed by debounce/rate-limit ops.
+    pub rate_limited: u64,
+}
+
+/// Client → server: release one subscription (wire v3). The hub stops
+/// evaluating it immediately and replies with its final
+/// [`SubscriptionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsubscribe {
+    /// The subscribed room.
+    pub room_id: u32,
+    /// The subscription id given at subscribe time.
+    pub sub_id: u64,
 }
 
 /// Server → client: one fused world epoch for a room (wire v2).
@@ -619,6 +716,14 @@ pub enum Message {
     StatsQuery(StatsQuery),
     /// Server → client metrics snapshot (v2).
     StatsReport(StatsReport),
+    /// Programmable room subscription (v3).
+    SubscribeV3(SubscribeV3),
+    /// Server → client subscription accept (v3).
+    SubscribeAck(SubscribeAck),
+    /// Server → client per-subscription filter counters (v3).
+    SubscriptionStats(SubscriptionStats),
+    /// Release one subscription (v3).
+    Unsubscribe(Unsubscribe),
 }
 
 impl Message {
@@ -635,6 +740,10 @@ impl Message {
             Message::Event(_) => 9,
             Message::StatsQuery(_) => 10,
             Message::StatsReport(_) => 11,
+            Message::SubscribeV3(_) => 12,
+            Message::SubscribeAck(_) => 13,
+            Message::SubscriptionStats(_) => 14,
+            Message::Unsubscribe(_) => 15,
         }
     }
 }
@@ -825,6 +934,40 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
             put_u16(out, 0);
         }
         Message::StatsQuery(q) => put_u32(out, q.flags),
+        Message::SubscribeV3(s) => {
+            put_u32(out, s.room_id);
+            put_u64(out, s.sub_id);
+            put_u16(out, (s.world_updates as u16) | ((s.events as u16) << 1));
+            put_u16(out, 0);
+            put_f64(out, s.max_update_hz);
+            put_u16(out, s.program.ops.len() as u16);
+            for op in &s.program.ops {
+                let (code, a, b, f) = op.to_wire();
+                out.push(code);
+                put_u32(out, a);
+                put_u32(out, b);
+                put_f64(out, f);
+            }
+        }
+        Message::SubscribeAck(a) => {
+            put_u32(out, a.room_id);
+            put_u16(out, a.status);
+            put_u16(out, 0);
+            put_u64(out, a.sub_id);
+        }
+        Message::SubscriptionStats(s) => {
+            put_u32(out, s.room_id);
+            put_u32(out, 0);
+            put_u64(out, s.sub_id);
+            put_u64(out, s.evaluated);
+            put_u64(out, s.matched);
+            put_u64(out, s.shed);
+            put_u64(out, s.rate_limited);
+        }
+        Message::Unsubscribe(u) => {
+            put_u32(out, u.room_id);
+            put_u64(out, u.sub_id);
+        }
         Message::StatsReport(r) => {
             put_u32(out, r.samples.len() as u32);
             for s in &r.samples {
@@ -1079,7 +1222,13 @@ pub fn decode_header(buf: &[u8]) -> Result<(u8, usize), WireError> {
         return Err(WireError::UnsupportedVersion(version));
     }
     let msg_type = buf[5];
-    let max_type = if version >= 2 { 11 } else { 5 };
+    let max_type = if version >= 3 {
+        15
+    } else if version == 2 {
+        11
+    } else {
+        5
+    };
     if !(1..=max_type).contains(&msg_type) {
         return Err(WireError::UnknownType(msg_type));
     }
@@ -1474,6 +1623,67 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), WireError> {
             }
             Message::StatsReport(StatsReport { samples })
         }
+        12 => {
+            let room_id = r.u32()?;
+            let sub_id = r.u64()?;
+            let flags = r.u16()?;
+            let _reserved = r.u16()?;
+            let max_update_hz = r.f64()?;
+            if !(max_update_hz.is_finite() && max_update_hz >= 0.0) {
+                return Err(WireError::BadPayload("non-finite update rate cap"));
+            }
+            let n_ops = r.u16()? as usize;
+            // The compile-time budget also bounds decode-time allocation:
+            // a frame claiming more ops could never validate anyway.
+            if n_ops > crate::program::MAX_PROGRAM_OPS {
+                return Err(WireError::BadPayload("filter program exceeds op budget"));
+            }
+            let mut ops = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                let code = r.u8()?;
+                let a = r.u32()?;
+                let b = r.u32()?;
+                let f = r.f64()?;
+                ops.push(
+                    crate::program::Op::from_wire(code, a, b, f).map_err(WireError::BadPayload)?,
+                );
+            }
+            Message::SubscribeV3(SubscribeV3 {
+                room_id,
+                sub_id,
+                world_updates: flags & 0b1 != 0,
+                events: flags & 0b10 != 0,
+                max_update_hz,
+                program: crate::program::FilterProgram { ops },
+            })
+        }
+        13 => {
+            let room_id = r.u32()?;
+            let status = r.u16()?;
+            let _reserved = r.u16()?;
+            let sub_id = r.u64()?;
+            Message::SubscribeAck(SubscribeAck {
+                room_id,
+                sub_id,
+                status,
+            })
+        }
+        14 => {
+            let room_id = r.u32()?;
+            let _reserved = r.u32()?;
+            Message::SubscriptionStats(SubscriptionStats {
+                room_id,
+                sub_id: r.u64()?,
+                evaluated: r.u64()?,
+                matched: r.u64()?,
+                shed: r.u64()?,
+                rate_limited: r.u64()?,
+            })
+        }
+        15 => Message::Unsubscribe(Unsubscribe {
+            room_id: r.u32()?,
+            sub_id: r.u64()?,
+        }),
         t => return Err(WireError::UnknownType(t)),
     };
     r.done()?;
@@ -1581,6 +1791,71 @@ mod tests {
             decode(&frame_q),
             Err(WireError::BadPayload("non-finite sample"))
         ));
+    }
+
+    #[test]
+    fn subscribe_v3_round_trips_with_its_program() {
+        use crate::program::{EventKind, SubscriptionBuilder};
+        let sub = SubscriptionBuilder::room(9)
+            .id(41)
+            .events(EventKind::Fall | EventKind::Handoff)
+            .zone(3)
+            .debounce(0.5)
+            .rate_limit(2.0, 4)
+            .max_update_hz(15.0)
+            .build();
+        let frame = encode(&Message::SubscribeV3(sub.clone()));
+        let (back, used) = decode(&frame).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(back, Message::SubscribeV3(sub));
+        // Match-all (empty program) survives too.
+        let empty = SubscribeV3::from_v2(Subscribe::all(2));
+        let frame = encode(&Message::SubscribeV3(empty.clone()));
+        assert_eq!(decode(&frame).unwrap().0, Message::SubscribeV3(empty));
+        // A frame claiming more ops than the budget is refused outright.
+        let mut hostile = encode(&Message::SubscribeV3(SubscribeV3::from_v2(Subscribe::all(
+            2,
+        ))));
+        let n_ops_at = HEADER_LEN + 4 + 8 + 2 + 2 + 8;
+        hostile[n_ops_at..n_ops_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(decode(&hostile), Err(WireError::BadPayload(_))));
+    }
+
+    #[test]
+    fn subscription_replies_round_trip() {
+        let ack = Message::SubscribeAck(SubscribeAck {
+            room_id: 1,
+            sub_id: 77,
+            status: 0,
+        });
+        assert_eq!(decode(&encode(&ack)).unwrap().0, ack);
+        let stats = Message::SubscriptionStats(SubscriptionStats {
+            room_id: 1,
+            sub_id: 77,
+            evaluated: 1000,
+            matched: 12,
+            shed: 3,
+            rate_limited: 40,
+        });
+        assert_eq!(decode(&encode(&stats)).unwrap().0, stats);
+        let unsub = Message::Unsubscribe(Unsubscribe {
+            room_id: 1,
+            sub_id: 77,
+        });
+        assert_eq!(decode(&encode(&unsub)).unwrap().0, unsub);
+    }
+
+    #[test]
+    fn v2_frames_still_decode_but_cannot_carry_type_12() {
+        let mut frame = encode(&Message::Subscribe(Subscribe::all(4)));
+        frame[4] = 2; // rewrite as a v2 frame
+        assert!(decode(&frame).is_ok());
+        let mut v3 = encode(&Message::Unsubscribe(Unsubscribe {
+            room_id: 4,
+            sub_id: 1,
+        }));
+        v3[4] = 2;
+        assert_eq!(decode(&v3), Err(WireError::UnknownType(15)));
     }
 
     #[test]

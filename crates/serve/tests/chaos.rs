@@ -30,7 +30,9 @@ use witrack_serve::wire::{
     self, Hello, Message, PipelineKind, RejectCode, Subscribe, SweepBatch, SweepBatchQ, Teardown,
     HEADER_LEN,
 };
-use witrack_serve::{BackoffConfig, ReconnectingClient, SensorClient, Server, TcpServer};
+use witrack_serve::{
+    BackoffConfig, ReconnectingClient, SensorClient, Server, SubscriptionBuilder, TcpServer,
+};
 
 fn reduced_base() -> WiTrackConfig {
     WiTrackConfig {
@@ -375,27 +377,26 @@ fn reconnecting_client_survives_a_dying_transport() {
 #[test]
 fn silent_sensor_degrades_gracefully_and_recovers() {
     let base = reduced_base();
-    let fuse = FuseConfig {
-        frame_period_s: base.sweep.frame_duration_s(),
+    let fuse = FuseConfig::builder()
+        .frame_period_s(base.sweep.frame_duration_s())
         // Aggressive timeouts so the test runs in well under a second of
         // wall clock (the hub sweeps every 50 ms).
-        suspect_timeout_s: 0.06,
-        dead_timeout_s: 0.15,
-        ..FuseConfig::default()
-    };
+        .suspect_timeout_s(0.06)
+        .dead_timeout_s(0.15)
+        .build();
     let registration = Registration::new()
         .with_sensor(1, RigidTransform::IDENTITY)
         .with_sensor(2, RigidTransform::from_yaw(0.0, Vec3::new(0.0, 8.0, 0.0)));
-    let server = Server::start_with_world(
-        EngineConfig::default(),
-        witrack_factory(base),
-        Some(WorldConfig::single_room(1, fuse, registration)),
-    );
+    let server = Server::builder(witrack_factory(base))
+        .world(WorldConfig::single_room(1, fuse, registration))
+        .start();
     let recorder = Arc::clone(server.recorder());
     let (client_end, server_end) = in_proc_pair(256);
     server.attach(server_end).expect("attach");
     let mut client = SensorClient::connect(client_end).expect("connect");
-    client.subscribe(Subscribe::all(1)).expect("subscribe");
+    client
+        .subscribe_with(SubscriptionBuilder::room(1).build())
+        .expect("subscribe");
     client
         .hello(hello_for(&base, 1, PipelineKind::SingleTarget))
         .expect("hello 1");

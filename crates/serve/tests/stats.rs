@@ -106,7 +106,7 @@ fn truncated_stats_report_is_rejected() {
 #[test]
 fn v1_frames_cannot_carry_stats() {
     let mut query = wire::encode(&Message::StatsQuery(StatsQuery { flags: 0 }));
-    assert_eq!(query[4], 2, "stats messages encode as v2");
+    assert_eq!(query[4], wire::VERSION, "stats messages encode as current");
     query[4] = 1; // forge a v1 frame claiming type 10
     match wire::decode(&query) {
         Err(WireError::UnknownType(10)) => {}

@@ -21,8 +21,8 @@ use witrack_serve::engine::{EngineConfig, OverloadPolicy};
 use witrack_serve::factory::{hello_for, witrack_factory};
 use witrack_serve::hub::WorldConfig;
 use witrack_serve::transport::in_proc_pair;
-use witrack_serve::wire::{EventMsg, Message, PipelineKind, Subscribe, WorldUpdateMsg};
-use witrack_serve::{SensorClient, Server};
+use witrack_serve::wire::{EventMsg, Message, PipelineKind, WorldUpdateMsg};
+use witrack_serve::{SensorClient, Server, SubscriptionBuilder};
 use witrack_sim::motion::{Activity, ActivityScript, LinePath};
 use witrack_sim::multi::PersonSpec;
 use witrack_sim::vantage::{scenario, MultiVantageSimulator};
@@ -100,15 +100,14 @@ fn run_world(
     kind: PipelineKind,
 ) -> Collected {
     let (registration, _) = hallway_registration();
-    let server = Server::start_with_world(
-        EngineConfig {
+    let server = Server::builder(witrack_factory(base))
+        .config(EngineConfig {
             queue_capacity: 8,
             overload: OverloadPolicy::Block,
             ..Default::default()
-        },
-        witrack_factory(base),
-        Some(WorldConfig::single_room(ROOM, fuse, registration)),
-    );
+        })
+        .world(WorldConfig::single_room(ROOM, fuse, registration))
+        .start();
     let (client_end, server_end) = in_proc_pair(64);
     server.attach(server_end).expect("attach");
 
@@ -136,7 +135,9 @@ fn run_world(
     )
     .expect("connect");
 
-    client.subscribe(Subscribe::all(ROOM)).expect("subscribe");
+    client
+        .subscribe_with(SubscriptionBuilder::room(ROOM).build())
+        .expect("subscribe");
     for sensor in 0..sim.num_vantages() as u32 {
         client.hello(hello_for(&base, sensor, kind)).expect("hello");
     }
@@ -176,15 +177,13 @@ fn unknown_subscriptions_are_rejected_over_the_wire() {
     let (registration, _) = hallway_registration();
     // A server with a world hub: subscribing to a room it does not fuse
     // must come back as a Reject, not silence (and not a hangup).
-    let server = Server::start_with_world(
-        EngineConfig::default(),
-        witrack_factory(base),
-        Some(WorldConfig::single_room(
+    let server = Server::builder(witrack_factory(base))
+        .world(WorldConfig::single_room(
             ROOM,
             FuseConfig::default(),
             registration,
-        )),
-    );
+        ))
+        .start();
     let (client_end, server_end) = in_proc_pair(8);
     server.attach(server_end).expect("attach");
     let rejects = Arc::new(Mutex::new(Vec::new()));
@@ -198,8 +197,12 @@ fn unknown_subscriptions_are_rejected_over_the_wire() {
         })),
     )
     .expect("connect");
-    client.subscribe(Subscribe::all(999)).expect("send");
-    client.subscribe(Subscribe::all(ROOM)).expect("send");
+    client
+        .subscribe_with(SubscriptionBuilder::room(999).build())
+        .expect("send");
+    client
+        .subscribe_with(SubscriptionBuilder::room(ROOM).build())
+        .expect("send");
     let stats = client.close();
     server.shutdown();
     assert_eq!(stats.rejects, 1, "exactly the bogus room is refused");
@@ -216,7 +219,9 @@ fn unknown_subscriptions_are_rejected_over_the_wire() {
     let (client_end, server_end) = in_proc_pair(8);
     server.attach(server_end).expect("attach");
     let mut client = SensorClient::connect(client_end).expect("connect");
-    client.subscribe(Subscribe::all(ROOM)).expect("send");
+    client
+        .subscribe_with(SubscriptionBuilder::room(ROOM).build())
+        .expect("send");
     let stats = client.close();
     server.shutdown();
     assert_eq!(stats.rejects, 1, "no hub: every subscription refused");

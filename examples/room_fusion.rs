@@ -28,8 +28,8 @@ use witrack_repro::serve::engine::{EngineConfig, OverloadPolicy};
 use witrack_repro::serve::factory::{hello_for, witrack_factory};
 use witrack_repro::serve::hub::WorldConfig;
 use witrack_repro::serve::transport::in_proc_pair;
-use witrack_repro::serve::wire::{EventMsg, Message, PipelineKind, Subscribe, WorldUpdateMsg};
-use witrack_repro::serve::{SensorClient, Server};
+use witrack_repro::serve::wire::{EventMsg, Message, PipelineKind, WorldUpdateMsg};
+use witrack_repro::serve::{SensorClient, Server, SubscriptionBuilder};
 use witrack_repro::sim::vantage::{scenario, MultiVantageSimulator};
 use witrack_repro::sim::SimConfig;
 
@@ -99,31 +99,30 @@ fn main() {
             drop_fraction: 0.6,
             ..FallConfig::default()
         },
+        zones: vec![
+            Zone {
+                id: 1,
+                name: "near half".into(),
+                x: (-3.0, 3.0),
+                y: (0.0, HALLWAY_M / 2.0),
+            },
+            Zone {
+                id: 2,
+                name: "far half".into(),
+                x: (-3.0, 3.0),
+                y: (HALLWAY_M / 2.0, HALLWAY_M),
+            },
+        ],
         ..FuseConfig::default()
-    }
-    .with_zones(vec![
-        Zone {
-            id: 1,
-            name: "near half".into(),
-            x: (-3.0, 3.0),
-            y: (0.0, HALLWAY_M / 2.0),
-        },
-        Zone {
-            id: 2,
-            name: "far half".into(),
-            x: (-3.0, 3.0),
-            y: (HALLWAY_M / 2.0, HALLWAY_M),
-        },
-    ]);
-    let server = Server::start_with_world(
-        EngineConfig {
+    };
+    let server = Server::builder(witrack_factory(base))
+        .config(EngineConfig {
             queue_capacity: 8,
             overload: OverloadPolicy::Block,
             ..Default::default()
-        },
-        witrack_factory(base),
-        Some(WorldConfig::single_room(ROOM, fuse_cfg, registration)),
-    );
+        })
+        .world(WorldConfig::single_room(ROOM, fuse_cfg, registration))
+        .start();
     let (client_end, server_end) = in_proc_pair(64);
     server.attach(server_end).expect("attach");
 
@@ -160,7 +159,9 @@ fn main() {
     )
     .expect("connect");
 
-    client.subscribe(Subscribe::all(ROOM)).expect("subscribe");
+    client
+        .subscribe_with(SubscriptionBuilder::room(ROOM).build())
+        .expect("subscribe");
     for sensor in 0..2 {
         client
             .hello(hello_for(&base, sensor, PipelineKind::SingleTarget))

@@ -30,8 +30,8 @@ use witrack_repro::serve::engine::{EngineConfig, OverloadPolicy};
 use witrack_repro::serve::factory::{hello_for, witrack_factory};
 use witrack_repro::serve::hub::{RoomSpec, WorldConfig};
 use witrack_repro::serve::transport::in_proc_pair;
-use witrack_repro::serve::wire::{Message, PipelineKind, Subscribe};
-use witrack_repro::serve::{SensorClient, Server};
+use witrack_repro::serve::wire::{Message, PipelineKind};
+use witrack_repro::serve::{SensorClient, Server, SubscriptionBuilder};
 use witrack_repro::sim::{FleetConfig, FleetSimulator, SimConfig};
 
 fn main() {
@@ -83,27 +83,26 @@ fn main() {
                     frame_period_s: sweep.frame_duration_s(),
                     obs_std_floor_m: 0.25,
                     gate_mahalanobis_sq: 25.0,
+                    zones: vec![Zone {
+                        id: 100 + i,
+                        name: format!("room {i} floor"),
+                        x: (-3.0, 3.5),
+                        y: (0.0, 10.0),
+                    }],
                     ..FuseConfig::default()
-                }
-                .with_zones(vec![Zone {
-                    id: 100 + i,
-                    name: format!("room {i} floor"),
-                    x: (-3.0, 3.5),
-                    y: (0.0, 10.0),
-                }]),
+                },
                 registration: Registration::new().with_sensor(i, RigidTransform::IDENTITY),
             })
             .collect(),
     };
-    let server = Server::start_with_world(
-        EngineConfig {
+    let server = Server::builder(witrack_factory(base))
+        .config(EngineConfig {
             queue_capacity: 8,
             overload: OverloadPolicy::Block,
             ..Default::default()
-        },
-        witrack_factory(base),
-        Some(world),
-    );
+        })
+        .world(world)
+        .start();
     let (client_end, server_end) = in_proc_pair(64);
     server
         .attach(server_end)
@@ -148,7 +147,9 @@ fn main() {
     // pipeline, busier rooms the multi-target tracker).
     let mut people = Vec::new();
     for i in 0..rooms as u32 {
-        client.subscribe(Subscribe::all(i)).expect("subscribe");
+        client
+            .subscribe_with(SubscriptionBuilder::room(i).build())
+            .expect("subscribe");
         let walkers = fleet.room(i as usize).num_people();
         people.push(walkers);
         let kind = if walkers == 1 {
