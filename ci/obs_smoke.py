@@ -43,6 +43,13 @@ REQUIRED = [
      r'^witrack_sensor_reconnects\{sensor="\d+"\} (\d+)$'),
     ("dsp plan_cache hits (global registry merged)",
      r"^witrack_dsp_plan_cache_hits (\d+)$"),
+    # SIMD hot path: the selected lane width (4 on AVX2+FMA, 1 scalar —
+    # either way nonzero once a kernel has run), the fallback counter
+    # (zero on vector-capable hosts, so presence-only), and the shard
+    # drain loop's cache-blocked frame groups.
+    ("dsp simd_lanes", r"^witrack_dsp_simd_lanes (-?\d+)$"),
+    ("dsp scalar_fallbacks registered", r"^witrack_dsp_scalar_fallbacks (\d+)$"),
+    ("dsp batched_frames", r'^witrack_dsp_batched_frames\{shard="\d+"\} (\d+)$'),
     # Programmable subscriptions (wire v3): the fleet run subscribes to
     # every room, so the hub must have installed subscriptions, run
     # filter programs, matched events, and offered world bytes.
@@ -71,6 +78,9 @@ PRESENCE_ONLY = {
     # programs — presence proves the v3 counter plumbing is wired.
     "engine subscriptions_closed registered",
     "engine events_rate_limited registered",
+    # Zero is the healthy value on a vector-capable host: it counts
+    # processes that fell back to scalar kernels.
+    "dsp scalar_fallbacks registered",
 }
 
 

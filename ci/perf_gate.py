@@ -16,6 +16,9 @@ Understands the artifact shapes this repo emits:
   per-wire ``sensors_sustained_realtime`` counts;
 * ``t_ingest``: top-level ``results`` keyed by ``variant``, metric
   ``msgs_per_sec``;
+* ``t_dsp``: top-level ``results`` keyed by ``(kernel, path)``, metric
+  ``calls_per_sec`` — per-kernel SIMD/scalar microbenchmarks plus the
+  whole profile-stage frame rows;
 * ``t_fuse``: top-level ``results`` keyed by ``(sensors, overlap)``,
   metric ``fused_tracks_per_sec`` (the ``handoff_latency_ms`` scalar is
   lower-is-better and informational, so it is not gated);
@@ -89,6 +92,9 @@ def entries(doc):
                 continue
             if "variant" in r:  # t_ingest rows
                 yield (r["variant"], "msgs/s"), float(r["msgs_per_sec"])
+                continue
+            if "kernel" in r:  # t_dsp rows
+                yield ("dsp", r["kernel"], r["path"]), float(r["calls_per_sec"])
                 continue
             if "fault" in r:  # t_chaos rows
                 key = ("chaos", r["room"], r["fault"])

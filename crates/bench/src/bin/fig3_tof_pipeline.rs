@@ -50,7 +50,7 @@ fn main() {
     // figure).
     let mut profiler = RangeProfiler::new(&sweep, WindowKind::Hann, 30.0);
     let mut background = BackgroundSubtractor::new();
-    let tracker = ContourTracker::new(sweep, ContourConfig::default());
+    let mut tracker = ContourTracker::new(sweep, ContourConfig::default());
     let mut denoiser = DistanceDenoiser::new(Default::default());
     let bins = profiler.keep_bins();
     let mut raw_spec = Spectrogram::new(&sweep, bins);

@@ -24,7 +24,7 @@ use std::time::Instant;
 use witrack_bench::printing::banner;
 use witrack_core::{FramePipeline, FrameReport, WiTrackConfig};
 use witrack_serve::engine::{EngineConfig, EngineHandle, OverloadPolicy, ShardedEngine};
-use witrack_serve::pool::PooledBatch;
+use witrack_serve::pool::{BatchSamples, PooledBatch};
 use witrack_serve::wire::{
     self, DecodedMsg, Hello, Message, PipelineKind, SweepBatch, SweepBatchQ,
 };
@@ -334,7 +334,7 @@ fn owned_step(handle: &EngineHandle, frame: &[u8]) {
         }
         Message::SweepBatchQ(q) => {
             handle
-                .submit_batch_pooled(PooledBatch::from_owned(q.dequantize()), None)
+                .submit_batch_pooled(PooledBatch::from_owned_q(q), None)
                 .expect("submit");
         }
         other => panic!("unexpected message {other:?}"),
@@ -349,7 +349,13 @@ fn pooled_step(handle: &EngineHandle, frame: &[u8]) {
     match decoded {
         DecodedMsg::Sweeps(shape) => {
             handle
-                .submit_batch_pooled(PooledBatch { shape, samples }, None)
+                .submit_batch_pooled(
+                    PooledBatch {
+                        shape,
+                        samples: BatchSamples::F64(samples),
+                    },
+                    None,
+                )
                 .expect("submit");
         }
         DecodedMsg::Other(other) => panic!("unexpected message {other:?}"),

@@ -223,7 +223,13 @@ fn run_cell(
     let server = Server::start(
         EngineConfig {
             num_shards: shards,
-            queue_capacity: 8,
+            // Deep enough that the producer rarely blocks mid-burst: on a
+            // single-core host every block/wake pair is two context
+            // switches, and a shallow queue (the old 8) spent ~10% of the
+            // per-frame budget thrashing between producer and shard
+            // threads. 32 also lets the drain loop pull larger batches,
+            // which the cache-blocked frame dispatch turns into locality.
+            queue_capacity: 32,
             overload: OverloadPolicy::Block,
         },
         witrack_factory(*base),

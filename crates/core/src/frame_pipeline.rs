@@ -95,6 +95,27 @@ pub trait FramePipeline: Send {
         self.process_sweeps(&refs)
     }
 
+    /// [`Self::process_sweeps_flat`] over **wire-quantized** samples
+    /// (`sample = q · scale`), the form `SweepBatchQ` batches arrive in.
+    /// The default dequantizes into a temporary and delegates, so every
+    /// backend accepts quantized input; the in-tree backends override it
+    /// to keep the profile front half in fixed point (i16 windowing, i32
+    /// accumulation — see `witrack_fmcw::RangeProfiler::push_sweep_q`),
+    /// skipping both the dequantization pass and the float accumulate.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != samples_per_sweep * num_rx()` or
+    /// `samples_per_sweep` is zero.
+    fn process_sweeps_flat_q(
+        &mut self,
+        flat: &[i16],
+        samples_per_sweep: usize,
+        scale: f64,
+    ) -> Option<FrameReport> {
+        let dequantized: Vec<f64> = flat.iter().map(|&q| q as f64 * scale).collect();
+        self.process_sweeps_flat(&dequantized, samples_per_sweep)
+    }
+
     /// Clears all stream state (frame counter restarts at zero).
     fn reset(&mut self);
 
@@ -145,6 +166,16 @@ impl FramePipeline for WiTrack {
         samples_per_sweep: usize,
     ) -> Option<FrameReport> {
         self.push_sweeps_flat(flat, samples_per_sweep)
+            .map(FrameReport::from)
+    }
+
+    fn process_sweeps_flat_q(
+        &mut self,
+        flat: &[i16],
+        samples_per_sweep: usize,
+        scale: f64,
+    ) -> Option<FrameReport> {
+        self.push_sweeps_flat_q(flat, samples_per_sweep, scale)
             .map(FrameReport::from)
     }
 

@@ -14,7 +14,7 @@
 //! hosts stay serial, where thread spawning would only add overhead.
 
 use crate::config::{SolverChoice, WiTrackConfig};
-use witrack_fmcw::{TofEstimator, TofFrame};
+use witrack_fmcw::{Sweep, TofEstimator, TofFrame};
 use witrack_geom::multilateration::{solve_least_squares, GaussNewtonConfig};
 use witrack_geom::{AntennaArray, TArray, Vec3};
 
@@ -186,7 +186,7 @@ impl WiTrack {
             self.estimators.len(),
             "one sweep per receive antenna"
         );
-        self.push_sweeps_inner(per_rx.iter().copied())
+        self.push_sweeps_inner(per_rx.iter().copied().map(Sweep::F64))
     }
 
     /// [`Self::push_sweeps`] over one flat, antenna-contiguous buffer:
@@ -209,12 +209,38 @@ impl WiTrack {
             samples_per_sweep * self.estimators.len(),
             "one sweep per receive antenna, packed contiguously"
         );
-        self.push_sweeps_inner(flat.chunks_exact(samples_per_sweep))
+        self.push_sweeps_inner(flat.chunks_exact(samples_per_sweep).map(Sweep::F64))
+    }
+
+    /// [`Self::push_sweeps_flat`] over wire-quantized samples
+    /// (`sample = q · scale`): the profile front half stays in fixed point
+    /// (see [`witrack_fmcw::RangeProfiler::push_sweep_q`]), so the serving
+    /// layer feeds i16 wire batches without a dequantization pass.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is not exactly
+    /// `samples_per_sweep × num_rx`, or `samples_per_sweep` is zero.
+    pub fn push_sweeps_flat_q(
+        &mut self,
+        flat: &[i16],
+        samples_per_sweep: usize,
+        scale: f64,
+    ) -> Option<TrackUpdate> {
+        assert!(samples_per_sweep > 0, "sweeps cannot be empty");
+        assert_eq!(
+            flat.len(),
+            samples_per_sweep * self.estimators.len(),
+            "one sweep per receive antenna, packed contiguously"
+        );
+        self.push_sweeps_inner(
+            flat.chunks_exact(samples_per_sweep)
+                .map(move |c| Sweep::Q(c, scale)),
+        )
     }
 
     fn push_sweeps_inner<'a, I>(&mut self, per_rx: I) -> Option<TrackUpdate>
     where
-        I: DoubleEndedIterator<Item = &'a [f64]> + ExactSizeIterator,
+        I: DoubleEndedIterator<Item = Sweep<'a>> + ExactSizeIterator,
     {
         // Sweeps that only accumulate are microseconds of work; spawning
         // threads for them would dominate. Fan out only when this sweep
@@ -229,18 +255,18 @@ impl WiTrack {
         // attached (the timed path only measures frame-completing
         // sweeps; accumulate-only sweeps record nothing).
         let stats = &self.stats;
-        let stage = |est: &mut TofEstimator, sweep: &[f64]| -> Option<TofFrame> {
+        let stage = |est: &mut TofEstimator, sweep: Sweep<'a>| -> Option<TofFrame> {
             match stats {
                 Some(st) => {
                     let mut times = witrack_fmcw::StageTimes::default();
-                    let frame = est.push_sweep_timed(sweep, &mut times);
+                    let frame = est.push_timed(sweep, &mut times);
                     if frame.is_some() {
                         st.profile.record(times.profile_ns);
                         st.detect.record(times.detect_ns);
                     }
                     frame
                 }
-                None => est.push_sweep(sweep),
+                None => est.push(sweep),
             }
         };
         let frames: Vec<Option<TofFrame>> = if self.parallel && completes {
@@ -426,6 +452,57 @@ mod tests {
         // Reduced config has 1.77 m bins; the solver + subbin refinement
         // should still land well under a bin.
         assert!(med < 0.6, "median 3D error {med}");
+    }
+
+    /// The fixed-point front half (i16 wire samples, Q15 windowing, i32
+    /// accumulation — [`WiTrack::push_sweeps_flat_q`]) must track as well
+    /// as the float pipeline: the median 3D error of the quantized run may
+    /// exceed the float run's by at most 1 mm. This is the accuracy gate
+    /// for serving i16 wire batches without dequantization.
+    #[test]
+    fn quantized_front_half_tracks_within_a_millimeter_of_float() {
+        let cfg = small_cfg();
+        let mut wt_f = WiTrack::new(cfg).unwrap();
+        let mut wt_q = WiTrack::new(cfg).unwrap();
+        let array = wt_f.array().clone();
+        let n = cfg.sweep.samples_per_sweep();
+        let mut errs_f = Vec::new();
+        let mut errs_q = Vec::new();
+        for f in 0..150 {
+            let s = f as f64 / 150.0;
+            let p = Vec3::new(-1.0 + 2.0 * s, 4.0 + 2.0 * s, 1.2);
+            let sweeps = sweeps_for(&cfg, &array, p, 1.0);
+            // Quantize per frame batch the way wire encoders do: one scale
+            // covering the batch peak, samples rounded to i16.
+            let flat: Vec<f64> = sweeps.iter().flatten().copied().collect();
+            let peak = flat.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+            let scale = if peak > 0.0 { peak / 32767.0 } else { 1.0 };
+            let flat_q: Vec<i16> = flat.iter().map(|&x| (x / scale).round() as i16).collect();
+            let refs: Vec<&[f64]> = sweeps.iter().map(|v| v.as_slice()).collect();
+            for _ in 0..cfg.sweep.sweeps_per_frame {
+                if let Some(u) = wt_f.push_sweeps(&refs) {
+                    if f > 15 {
+                        if let Some(est) = u.position {
+                            errs_f.push(est.distance(p));
+                        }
+                    }
+                }
+                if let Some(u) = wt_q.push_sweeps_flat_q(&flat_q, n, scale) {
+                    if f > 15 {
+                        if let Some(est) = u.position {
+                            errs_q.push(est.distance(p));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(errs_q.len() > 100, "quantized run lost tracking");
+        let med_f = witrack_dsp::stats::median(&errs_f);
+        let med_q = witrack_dsp::stats::median(&errs_q);
+        assert!(
+            med_q <= med_f + 1e-3,
+            "quantized median error {med_q} vs float {med_f}"
+        );
     }
 
     #[test]

@@ -5,6 +5,11 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` parts.
+///
+/// `#[repr(C)]` guarantees the `(re, im)` field order and no padding, so a
+/// `&[Complex]` is exactly the interleaved `[re, im, re, im, …]` `f64`
+/// layout the SIMD kernels in [`crate::simd`] load 256 bits at a time.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.

@@ -92,7 +92,10 @@ impl CztCore {
         for t in 1..n_in {
             kernel[m - t] = chirp(t, dft_len).conj();
         }
-        inner.transform(&mut kernel, Direction::Forward);
+        // Stored in the same bit-reversed order `forward_noperm` leaves the
+        // data in, so the convolution's pointwise multiply lines up without
+        // either side paying a permutation pass.
+        inner.forward_noperm(&mut kernel);
         CztCore {
             n_in,
             bins,
@@ -118,30 +121,22 @@ impl CztCore {
     fn convolve(&self, buf: &mut [Complex], out: &mut [Complex], dir: Direction) {
         debug_assert_eq!(buf.len(), self.m);
         debug_assert_eq!(out.len(), self.bins);
-        self.inner.transform(buf, Direction::Forward);
-        match dir {
-            Direction::Forward => {
-                for (b, k) in buf.iter_mut().zip(&self.kernel_fft) {
-                    *b *= *k;
-                }
-            }
-            // The kernel is even (b[u] = b[−u]), so conjugating its
-            // *transform* is exactly the transform of the conjugated
-            // kernel.
-            Direction::Inverse => {
-                for (b, k) in buf.iter_mut().zip(&self.kernel_fft) {
-                    *b *= k.conj();
-                }
-            }
-        }
-        self.inner.transform(buf, Direction::Inverse);
-        for (s, (o, p)) in out.iter_mut().zip(&self.post).enumerate() {
-            let p = match dir {
-                Direction::Forward => *p,
-                Direction::Inverse => p.conj(),
-            };
-            *o = buf[s] * p;
-        }
+        // DIF forward / DIT inverse with no bit-reversal passes: the
+        // spectrum is bit-reversed in between, but the pointwise product
+        // is order-agnostic (the kernel transform is stored in the same
+        // order) and the inverse restores natural order.
+        self.inner.forward_noperm(buf);
+        // The kernel is even (b[u] = b[−u]), so conjugating its
+        // *transform* — what the Inverse direction needs — is exactly the
+        // transform of the conjugated kernel.
+        crate::simd::pointwise_mul(buf, &self.kernel_fft, dir == Direction::Inverse);
+        self.inner.inverse_noperm(buf);
+        crate::simd::pointwise_mul_into(
+            out,
+            &buf[..self.bins],
+            &self.post,
+            dir == Direction::Inverse,
+        );
     }
 
     /// Full-spectrum transform with `data` serving as both input and
@@ -157,13 +152,12 @@ impl CztCore {
     ) {
         debug_assert_eq!(data.len(), self.n_in);
         debug_assert_eq!(self.bins, self.n_in, "in-place needs a full-band plan");
-        for (b, (d, p)) in buf[..self.n_in].iter_mut().zip(data.iter().zip(&self.pre)) {
-            let p = match dir {
-                Direction::Forward => *p,
-                Direction::Inverse => p.conj(),
-            };
-            *b = *d * p;
-        }
+        crate::simd::pointwise_mul_into(
+            &mut buf[..self.n_in],
+            data,
+            &self.pre,
+            dir == Direction::Inverse,
+        );
         buf[self.n_in..].fill(Complex::ZERO);
         self.convolve(buf, data, dir);
     }
@@ -323,23 +317,10 @@ impl Czt {
                     "scratch built for a different plan"
                 );
                 let h = core.n_in;
-                for (t, (b, p)) in scratch.buf[..h].iter_mut().zip(&core.pre).enumerate() {
-                    *b = Complex::new(signal[2 * t], signal[2 * t + 1]) * *p;
-                }
+                crate::simd::pack_premul(&mut scratch.buf[..h], signal, &core.pre);
                 scratch.buf[h..].fill(Complex::ZERO);
                 core.convolve(&mut scratch.buf, &mut scratch.band, Direction::Forward);
-                // band[s] = Z[s − (keep−1)] of the h-point packed spectrum.
-                // Even/odd split: E[k] = (Z[k] + conj(Z[−k]))/2,
-                // O[k] = −i(Z[k] − conj(Z[−k]))/2, X[k] = E[k] + W_n^k·O[k].
-                let kc = self.keep - 1;
-                for (k, (o, w)) in out.iter_mut().zip(unpack).enumerate() {
-                    let z = scratch.band[kc + k];
-                    let zr = scratch.band[kc - k].conj();
-                    let e = (z + zr).scale(0.5);
-                    let od = Complex::new(0.0, -1.0) * (z - zr); // 2·O[k]
-                                                                 // unpack[k] already carries the /2 for the odd term.
-                    *o = e + *w * od;
-                }
+                unpack_band(out, &scratch.band, unpack, self.keep);
             }
             CztKind::Direct { core } => {
                 assert_eq!(
@@ -347,16 +328,97 @@ impl Czt {
                     core.m,
                     "scratch built for a different plan"
                 );
-                for (j, (b, p)) in scratch.buf[..core.n_in]
-                    .iter_mut()
-                    .zip(&core.pre)
-                    .enumerate()
-                {
-                    *b = p.scale(signal[j]);
-                }
+                crate::simd::scale_premul(&mut scratch.buf[..core.n_in], signal, &core.pre);
                 scratch.buf[core.n_in..].fill(Complex::ZERO);
                 core.convolve(&mut scratch.buf, out, Direction::Forward);
             }
+        }
+    }
+
+    /// The quantized-front-half twin of [`Czt::transform_into`]: computes
+    /// the same kept band from an `i32` fixed-point signal, dequantizing
+    /// `signal_q[j] · scale` **inside** the pre-chirp multiply. This is
+    /// the last step of the integer pipeline front — the dequantized
+    /// frame never exists as an `f64` array, the samples go straight from
+    /// `i32` lanes into the chirp product.
+    ///
+    /// Equivalent (to f64 rounding) to dequantizing into a temporary and
+    /// calling [`Czt::transform_into`]; the equivalence suites pin the
+    /// two against each other.
+    ///
+    /// # Panics
+    /// Panics if `signal_q.len() != n`, `out.len() != keep`, or `scratch`
+    /// was made for a different plan shape.
+    pub fn transform_q_into(
+        &self,
+        signal_q: &[i32],
+        scale: f64,
+        out: &mut [Complex],
+        scratch: &mut CztScratch,
+    ) {
+        assert_eq!(signal_q.len(), self.n, "signal length must match plan");
+        assert_eq!(out.len(), self.keep, "output length must match plan");
+        match &self.kind {
+            CztKind::Packed { core, unpack } => {
+                assert_eq!(
+                    scratch.buf.len(),
+                    core.m,
+                    "scratch built for a different plan"
+                );
+                assert_eq!(
+                    scratch.band.len(),
+                    core.bins,
+                    "scratch built for a different plan"
+                );
+                let h = core.n_in;
+                crate::simd::pack_premul_q(&mut scratch.buf[..h], signal_q, scale, &core.pre);
+                scratch.buf[h..].fill(Complex::ZERO);
+                core.convolve(&mut scratch.buf, &mut scratch.band, Direction::Forward);
+                unpack_band(out, &scratch.band, unpack, self.keep);
+            }
+            CztKind::Direct { core } => {
+                assert_eq!(
+                    scratch.buf.len(),
+                    core.m,
+                    "scratch built for a different plan"
+                );
+                crate::simd::scale_premul_q(
+                    &mut scratch.buf[..core.n_in],
+                    signal_q,
+                    scale,
+                    &core.pre,
+                );
+                scratch.buf[core.n_in..].fill(Complex::ZERO);
+                core.convolve(&mut scratch.buf, out, Direction::Forward);
+            }
+        }
+    }
+
+    /// Cache-blocked batch transform: runs `transform_into` for each
+    /// frame in `signals` back to back through **one** scratch, writing
+    /// frame `i`'s bins into `outs[i·keep .. (i+1)·keep]`. Processing a
+    /// group of co-planned frames in one call keeps the plan's chirp,
+    /// kernel, and twiddle tables (~85 KiB at the paper shape) resident
+    /// in cache across the whole group instead of re-faulting them per
+    /// frame — the serving engine's shard batching and the `t_dsp` bench
+    /// drive this entry point.
+    ///
+    /// # Panics
+    /// Panics if any signal's length differs from the plan, or if
+    /// `outs.len() != signals.len() * keep`.
+    pub fn transform_many_into(
+        &self,
+        signals: &[&[f64]],
+        outs: &mut [Complex],
+        scratch: &mut CztScratch,
+    ) {
+        assert_eq!(
+            outs.len(),
+            signals.len() * self.keep,
+            "output must hold keep bins per frame"
+        );
+        for (signal, out) in signals.iter().zip(outs.chunks_exact_mut(self.keep)) {
+            self.transform_into(signal, out, scratch);
         }
     }
 
@@ -367,6 +429,22 @@ impl Czt {
         let mut out = vec![Complex::ZERO; self.keep];
         self.transform_into(signal, &mut out, &mut scratch);
         out
+    }
+}
+
+/// Even/odd recombination of the packed half-length band into the kept
+/// bins. `band[s] = Z[s − (keep−1)]` of the `n/2`-point packed spectrum;
+/// the split is `E[k] = (Z[k] + conj(Z[−k]))/2`,
+/// `O[k] = −i(Z[k] − conj(Z[−k]))/2`, `X[k] = E[k] + W_n^k·O[k]`, with
+/// `unpack[k] = W_n^k/2` carrying the odd term's half.
+fn unpack_band(out: &mut [Complex], band: &[Complex], unpack: &[Complex], keep: usize) {
+    let kc = keep - 1;
+    for (k, (o, w)) in out.iter_mut().zip(unpack).enumerate() {
+        let z = band[kc + k];
+        let zr = band[kc - k].conj();
+        let e = (z + zr).scale(0.5);
+        let od = Complex::new(0.0, -1.0) * (z - zr); // 2·O[k]
+        *o = e + *w * od;
     }
 }
 

@@ -44,8 +44,13 @@ enum PlanKind {
 
 #[derive(Debug, Clone)]
 pub(crate) struct Radix2Plan {
-    /// Twiddle factors e^{-2πik/n} for k < n/2 (forward direction).
-    twiddles: Vec<Complex>,
+    /// Per-stage contiguous twiddle tables, concatenated: the stage with
+    /// half-length `h` (`h = 1, 2, 4, …, n/2`) owns `stage_tw[h−1..2h−1]`,
+    /// holding `e^{-2πik/2h}` for `k < h` (forward direction). Laying the
+    /// stage's twiddles out contiguously — instead of striding through one
+    /// length-`n/2` table — lets the butterfly kernel stream them with
+    /// vector loads. Total size `n − 1`.
+    stage_tw: Vec<Complex>,
     /// Bit-reversal permutation.
     bitrev: Vec<u32>,
 }
@@ -70,9 +75,13 @@ static SHARED_CORES: std::sync::OnceLock<crate::plan_cache::PlanCache<usize, cra
 impl Radix2Plan {
     pub(crate) fn new(n: usize) -> Radix2Plan {
         debug_assert!(n.is_power_of_two());
-        let twiddles = (0..n / 2)
-            .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
-            .collect();
+        let mut stage_tw = Vec::with_capacity(n.saturating_sub(1));
+        let mut half = 1;
+        while half < n {
+            let len = 2 * half;
+            stage_tw.extend((0..half).map(|k| Complex::cis(-2.0 * PI * k as f64 / len as f64)));
+            half *= 2;
+        }
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
             .map(|i| {
@@ -83,7 +92,7 @@ impl Radix2Plan {
                 }
             })
             .collect();
-        Radix2Plan { twiddles, bitrev }
+        Radix2Plan { stage_tw, bitrev }
     }
 
     /// In-place transform. `dir` selects conjugated twiddles for the inverse;
@@ -101,26 +110,73 @@ impl Radix2Plan {
                 data.swap(i, j);
             }
         }
-        // Butterflies.
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let tw = self.twiddles[k * stride];
-                    let tw = match dir {
-                        Direction::Forward => tw,
-                        Direction::Inverse => tw.conj(),
-                    };
-                    let a = data[start + k];
-                    let b = data[start + k + half] * tw;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
-                }
-            }
-            len <<= 1;
+        // Butterflies: each stage reads its own contiguous twiddle table
+        // and hands the whole rank to the vectorized kernel in one call —
+        // the per-block loop runs inside the selected path, so the narrow
+        // early ranks (1024 one-butterfly blocks at `half == 1` for
+        // n = 2048) don't pay a dispatch per block.
+        self.dit_ladder(data, dir == Direction::Inverse);
+    }
+
+    /// Forward decimation-in-frequency transform with **no** bit-reversal
+    /// pass: natural-order input, bit-reversed-order spectrum. Paired with
+    /// [`Self::inverse_noperm`] around an order-agnostic pointwise multiply,
+    /// both permutations cancel — the convolution path uses exactly that.
+    pub(crate) fn forward_noperm(&self, data: &mut [Complex]) {
+        debug_assert_eq!(data.len(), self.bitrev.len());
+        self.dif_ladder(data, false);
+    }
+
+    /// Inverse decimation-in-time transform consuming **bit-reversed**
+    /// input (as produced by [`Self::forward_noperm`]) and yielding
+    /// natural-order output. No 1/n scaling — the caller folds it in.
+    pub(crate) fn inverse_noperm(&self, data: &mut [Complex]) {
+        debug_assert_eq!(data.len(), self.bitrev.len());
+        self.dit_ladder(data, true);
+    }
+
+    /// Narrow-to-wide butterfly ranks with adjacent ranks fused two to a
+    /// memory pass (radix-2²): rank 1 runs alone through the specialized
+    /// add/sub kernel, then `(2,4), (8,16), …` pairs, then at most one
+    /// leftover widest rank.
+    fn dit_ladder(&self, data: &mut [Complex], conj: bool) {
+        let n = data.len();
+        if n < 2 {
+            return;
         }
+        crate::simd::fft_stage(data, 1, &self.stage_tw[0..1], conj);
+        let mut half = 2;
+        while 4 * half <= n {
+            let tw1 = &self.stage_tw[half - 1..2 * half - 1];
+            let tw2 = &self.stage_tw[2 * half - 1..4 * half - 1];
+            crate::simd::fft_two_stages(data, half, tw1, tw2, conj);
+            half *= 4;
+        }
+        if 2 * half <= n {
+            let tw = &self.stage_tw[half - 1..2 * half - 1];
+            crate::simd::fft_stage(data, half, tw, conj);
+        }
+    }
+
+    /// Wide-to-narrow DIF ranks, fused pairwise like [`Self::dit_ladder`]:
+    /// `(n/2, n/4), …` down to a possible lone rank 2, with rank 1 always
+    /// last through the specialized add/sub kernel.
+    fn dif_ladder(&self, data: &mut [Complex], conj: bool) {
+        let n = data.len();
+        if n < 2 {
+            return;
+        }
+        let mut half = n / 2;
+        while half >= 4 {
+            let tw1 = &self.stage_tw[half / 2 - 1..half - 1];
+            let tw2 = &self.stage_tw[half - 1..2 * half - 1];
+            crate::simd::fft_two_stages_dif(data, half / 2, tw1, tw2, conj);
+            half /= 4;
+        }
+        if half == 2 {
+            crate::simd::fft_stage_dif(data, 2, &self.stage_tw[1..3], conj);
+        }
+        crate::simd::fft_stage_dif(data, 1, &self.stage_tw[0..1], conj);
     }
 }
 
@@ -254,6 +310,34 @@ mod tests {
         let mut v = vec![Complex::ZERO; n];
         v[at] = Complex::ONE;
         v
+    }
+
+    #[test]
+    fn noperm_ladders_are_the_permuted_transform() {
+        // forward_noperm yields the spectrum in bit-reversed order;
+        // inverse_noperm consumes that order. Composed around nothing they
+        // must reproduce n·identity, and un-permuting the forward output
+        // must match the plain transform.
+        for n in [2usize, 4, 8, 64, 512, 2048] {
+            let plan = Radix2Plan::new(n);
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.53).sin(), (i as f64 * 0.29).cos()))
+                .collect();
+
+            let mut noperm = data.clone();
+            plan.forward_noperm(&mut noperm);
+            let mut unshuffled = vec![Complex::ZERO; n];
+            for (i, &v) in noperm.iter().enumerate() {
+                unshuffled[plan.bitrev[i] as usize] = v;
+            }
+            let mut plain = data.clone();
+            plan.transform(&mut plain, Direction::Forward);
+            spectrum_close(&unshuffled, &plain, 1e-9 * n as f64);
+
+            plan.inverse_noperm(&mut noperm);
+            let round: Vec<Complex> = noperm.iter().map(|v| *v / n as f64).collect();
+            spectrum_close(&round, &data, 1e-9 * n as f64);
+        }
     }
 
     #[test]

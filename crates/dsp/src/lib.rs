@@ -24,9 +24,12 @@
 //!   refinement (the contour-tracking primitives of §4.3).
 //! * [`stats`] — order statistics and empirical CDFs for the evaluation
 //!   harness (Figs. 8–11 report medians, 90th percentiles, CDFs).
+//! * [`simd`] — runtime-dispatched AVX2/scalar kernels behind the hot
+//!   inner loops above (the one module permitted `unsafe`, for the raw
+//!   intrinsics; the rest of the crate denies it).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod complex;
 pub mod czt;
@@ -36,6 +39,7 @@ pub mod kalman;
 pub mod peak;
 pub(crate) mod plan_cache;
 pub mod regression;
+pub mod simd;
 pub mod stats;
 pub mod window;
 

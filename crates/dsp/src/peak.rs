@@ -13,11 +13,27 @@ use crate::stats;
 /// (a Gaussian-consistent robust z-threshold). The median ignores the few
 /// strong target bins, unlike a mean.
 pub fn noise_floor(magnitudes: &[f64], k: f64) -> f64 {
+    noise_floor_with_scratch(magnitudes, k, &mut Vec::new())
+}
+
+/// [`noise_floor`] with a caller-owned scratch buffer: zero allocations
+/// and exactly two O(n) median selections per call (the free-standing
+/// form's median + MAD recomputes the median three times into three
+/// fresh vectors). This is the per-frame per-antenna form the contour
+/// tracker runs on the serving hot path.
+pub fn noise_floor_with_scratch(magnitudes: &[f64], k: f64, scratch: &mut Vec<f64>) -> f64 {
     if magnitudes.is_empty() {
         return f64::NAN;
     }
-    let med = stats::median(magnitudes);
-    let sigma = stats::mad(magnitudes) * 1.4826;
+    scratch.clear();
+    scratch.extend_from_slice(magnitudes);
+    let med = stats::median_in_place(scratch);
+    // |x − median| turns any input NaN into a NaN deviation, which the
+    // second selection excludes again — same policy as `stats::mad`.
+    for x in scratch.iter_mut() {
+        *x = (*x - med).abs();
+    }
+    let sigma = stats::median_in_place(scratch) * 1.4826;
     med + k * sigma
 }
 

@@ -1,0 +1,1102 @@
+//! Runtime-dispatched SIMD kernels for the DSP hot path.
+//!
+//! Every per-frame inner loop of the range-profile stage funnels through
+//! this module: the complex pointwise multiplies of the pruned-CZT
+//! convolution, the radix-2 butterfly passes, the window/pack multiplies
+//! that feed the transform, and the fixed-point (i16/i32) front half that
+//! keeps wire-quantized sweeps in integer form until the last possible
+//! dequantization. Each kernel exists twice:
+//!
+//! * a **scalar** reference implementation (in [`scalar`]), always
+//!   compiled, used directly on non-x86 hosts and kept exercised in CI by
+//!   the forced-fallback test; and
+//! * an **AVX2+FMA** implementation processing two `f64` complex values
+//!   (four lanes) or sixteen `i16` lanes per instruction, compiled behind
+//!   `target_feature` and reached only after a runtime
+//!   `is_x86_feature_detected!` check.
+//!
+//! The path is selected **once per process** (first kernel call, i.e. at
+//! plan build) and recorded in the global telemetry registry: the
+//! `dsp/simd_lanes` gauge holds the selected `f64` lane width (4 for
+//! AVX2, 1 for scalar) and the `dsp/scalar_fallbacks` counter increments
+//! when selection lands on the scalar path — either because the host
+//! lacks AVX2/FMA or because `WITRACK_DSP_FORCE_SCALAR=1` (or
+//! [`force_scalar`]) pinned it for testing. Numerically the AVX2 float
+//! kernels differ from scalar only by FMA rounding (well inside the 1e-9
+//! DFT-equivalence suites); the fixed-point kernels are **bit-exact**
+//! across paths, since both round with the same `(a·b + 2^14) >> 15`
+//! midpoint rule.
+//!
+//! This module is the one place in the crate allowed to use `unsafe`
+//! (raw intrinsics); the crate-level lint downgrade is scoped here and
+//! every unsafe block sits behind the feature-detected dispatch above it.
+#![allow(unsafe_code)]
+
+use crate::complex::Complex;
+use std::sync::OnceLock;
+
+/// Which kernel implementation the process selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// AVX2 + FMA intrinsics: 2 complex `f64` (4 lanes) / 16 `i16` lanes
+    /// per operation.
+    Avx2Fma,
+    /// Portable scalar reference path.
+    Scalar,
+}
+
+impl KernelPath {
+    /// `f64` lanes the path processes per operation (what the
+    /// `dsp/simd_lanes` gauge reports).
+    pub fn lanes(self) -> usize {
+        match self {
+            KernelPath::Avx2Fma => 4,
+            KernelPath::Scalar => 1,
+        }
+    }
+}
+
+static PATH: OnceLock<KernelPath> = OnceLock::new();
+
+/// Publishes the selected path to the global telemetry registry.
+fn record_selection(path: KernelPath) {
+    let reg = witrack_obs::global();
+    reg.gauge("dsp", "simd_lanes", witrack_obs::Label::Global)
+        .set(path.lanes() as i64);
+    let fallbacks = reg.counter("dsp", "scalar_fallbacks", witrack_obs::Label::Global);
+    if path == KernelPath::Scalar {
+        fallbacks.inc();
+    }
+}
+
+fn select() -> KernelPath {
+    if std::env::var_os("WITRACK_DSP_FORCE_SCALAR").is_some_and(|v| v != "0") {
+        return KernelPath::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelPath::Avx2Fma;
+        }
+    }
+    KernelPath::Scalar
+}
+
+/// The kernel path this process runs. Selected on first call and fixed
+/// for the process lifetime — mixed-path results within one pipeline
+/// would make numerical regressions irreproducible.
+pub fn active() -> KernelPath {
+    *PATH.get_or_init(|| {
+        let p = select();
+        record_selection(p);
+        p
+    })
+}
+
+/// Pins the scalar path for this process, for tests that must exercise
+/// the non-SIMD kernels on SIMD-capable CI hosts. Returns `false` when a
+/// kernel call (or another caller) already fixed the path. Must be called
+/// before any transform work for the pin to win.
+pub fn force_scalar() -> bool {
+    let won = PATH.set(KernelPath::Scalar).is_ok();
+    if won {
+        record_selection(KernelPath::Scalar);
+    }
+    won
+}
+
+/// `buf[i] *= k[i]` (conjugating `k` when `conj` — the inverse-direction
+/// CZT kernel multiply).
+pub fn pointwise_mul(buf: &mut [Complex], k: &[Complex], conj: bool) {
+    debug_assert_eq!(buf.len(), k.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::pointwise_mul(buf, k, conj) },
+        _ => scalar::pointwise_mul(buf, k, conj),
+    }
+}
+
+/// `out[i] = a[i] * b[i]` (conjugating `b` when `conj`) — the post-chirp
+/// multiply writing the convolution output.
+pub fn pointwise_mul_into(out: &mut [Complex], a: &[Complex], b: &[Complex], conj: bool) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(out.len(), b.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::pointwise_mul_into(out, a, b, conj) },
+        _ => scalar::pointwise_mul_into(out, a, b, conj),
+    }
+}
+
+/// Two-for-one real-input packing fused with the pre-chirp multiply:
+/// `buf[t] = (signal[2t] + i·signal[2t+1]) * pre[t]`. Adjacent real
+/// samples already sit in complex (re, im) layout, so the AVX2 path is a
+/// straight vector load plus complex multiply.
+///
+/// # Panics
+/// Panics if `signal.len() < 2 * buf.len()` or `pre.len() < buf.len()`.
+pub fn pack_premul(buf: &mut [Complex], signal: &[f64], pre: &[Complex]) {
+    assert!(signal.len() >= 2 * buf.len());
+    assert!(pre.len() >= buf.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::pack_premul(buf, signal, pre) },
+        _ => scalar::pack_premul(buf, signal, pre),
+    }
+}
+
+/// Real-scalar pre-chirp multiply (the unpacked CZT input path):
+/// `buf[j] = pre[j].scale(signal[j])`.
+pub fn scale_premul(buf: &mut [Complex], signal: &[f64], pre: &[Complex]) {
+    debug_assert_eq!(buf.len(), signal.len());
+    debug_assert_eq!(buf.len(), pre.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::scale_premul(buf, signal, pre) },
+        _ => scalar::scale_premul(buf, signal, pre),
+    }
+}
+
+/// Windowed frame average: `dst[i] = src[i] * win[i] * scale`.
+pub fn window_scale(dst: &mut [f64], src: &[f64], win: &[f64], scale: f64) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert_eq!(dst.len(), win.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::window_scale(dst, src, win, scale) },
+        _ => scalar::window_scale(dst, src, win, scale),
+    }
+}
+
+/// Fixed-point windowed accumulate, the front half of the quantized
+/// pipeline: `accum[i] += mulhrs(samples[i], win_q15[i])`, where `mulhrs`
+/// is the Q15 rounding multiply `(a·b + 2^14) >> 15`. Windowing happens
+/// *before* accumulation so the running sum stays exact in `i32`
+/// (`sweeps_per_frame · 32767` is far below `i32::MAX`). Bit-exact
+/// between the scalar and AVX2 paths.
+pub fn window_accum_q(accum: &mut [i32], samples: &[i16], win_q15: &[i16]) {
+    debug_assert_eq!(accum.len(), samples.len());
+    debug_assert_eq!(accum.len(), win_q15.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::window_accum_q(accum, samples, win_q15) },
+        _ => scalar::window_accum_q(accum, samples, win_q15),
+    }
+}
+
+/// Late-dequantizing two-for-one packing: `buf[t] = (q[2t] + i·q[2t+1])
+/// · scale · pre[t]`. This is where the quantized front half re-enters
+/// the float domain — fused into the pre-chirp multiply so the
+/// dequantized frame is never materialized.
+///
+/// # Panics
+/// Panics if `q.len() < 2 * buf.len()` or `pre.len() < buf.len()`.
+pub fn pack_premul_q(buf: &mut [Complex], q: &[i32], scale: f64, pre: &[Complex]) {
+    assert!(q.len() >= 2 * buf.len());
+    assert!(pre.len() >= buf.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::pack_premul_q(buf, q, scale, pre) },
+        _ => scalar::pack_premul_q(buf, q, scale, pre),
+    }
+}
+
+/// Late-dequantizing real pre-chirp multiply (unpacked CZT input path):
+/// `buf[j] = pre[j].scale(q[j] · scale)`.
+pub fn scale_premul_q(buf: &mut [Complex], q: &[i32], scale: f64, pre: &[Complex]) {
+    debug_assert_eq!(buf.len(), q.len());
+    debug_assert_eq!(buf.len(), pre.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::scale_premul_q(buf, q, scale, pre) },
+        _ => scalar::scale_premul_q(buf, q, scale, pre),
+    }
+}
+
+/// One radix-2 butterfly pass over a block: `a` and `b` are the lower and
+/// upper halves, `tw` the stage's contiguous twiddles (`e^{-2πik/len}`,
+/// conjugated on the fly when `conj` for the inverse direction):
+/// `(a[k], b[k]) ← (a[k] + tw[k]·b[k], a[k] − tw[k]·b[k])`.
+pub fn butterflies(a: &mut [Complex], b: &mut [Complex], tw: &[Complex], conj: bool) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), tw.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::butterflies(a, b, tw, conj) },
+        _ => scalar::butterflies(a, b, tw, conj),
+    }
+}
+
+/// One whole radix-2 stage: the [`butterflies`] pass applied to every
+/// `2·half` block of `data`, with the block loop *inside* the selected
+/// kernel. Dispatching per stage instead of per block matters enormously
+/// at the narrow early stages — a 2048-point transform has 1024
+/// one-butterfly blocks at `half == 1`, and a per-block dispatch (path
+/// load + call + slice setup) costs more than the butterfly itself.
+///
+/// # Panics
+/// Panics (debug) if `data.len()` is not a multiple of `2·half` or
+/// `tw.len() < half`.
+pub fn fft_stage(data: &mut [Complex], half: usize, tw: &[Complex], conj: bool) {
+    debug_assert!(data.len().is_multiple_of(2 * half));
+    debug_assert!(tw.len() >= half);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::fft_stage(data, half, tw, conj) },
+        _ => scalar::fft_stage(data, half, tw, conj),
+    }
+}
+
+/// One whole decimation-in-frequency radix-2 stage:
+/// `(a[k], b[k]) ← (a[k] + b[k], (a[k] − b[k])·tw[k])` over every
+/// `2·half` block. The DIF ladder (widest rank first) maps natural-order
+/// input to a bit-reversed-order spectrum *without* a permutation pass —
+/// inside a convolution the matching bit-reversed-input DIT inverse
+/// undoes the ordering, so both bit-reversal passes vanish.
+///
+/// # Panics
+/// Panics (debug) if `data.len()` is not a multiple of `2·half` or
+/// `tw.len() < half`.
+pub fn fft_stage_dif(data: &mut [Complex], half: usize, tw: &[Complex], conj: bool) {
+    debug_assert!(data.len().is_multiple_of(2 * half));
+    debug_assert!(tw.len() >= half);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::fft_stage_dif(data, half, tw, conj) },
+        _ => scalar::fft_stage_dif(data, half, tw, conj),
+    }
+}
+
+/// Two consecutive DIT ranks — half-lengths `h` (twiddles `tw1`, length
+/// `h`) then `2h` (twiddles `tw2`, length `2h`) — fused into **one** pass
+/// over memory. Each group of four points is loaded once, carried through
+/// both butterfly ranks in registers, and stored once, halving the FFT's
+/// dominant cost (load/store traffic). Requires `h ≥ 2` and a power of
+/// two (so the vector kernel never needs a tail).
+///
+/// # Panics
+/// Panics (debug) if `h < 2`, `data.len()` is not a multiple of `4h`, or
+/// a twiddle table is short.
+pub fn fft_two_stages(
+    data: &mut [Complex],
+    h: usize,
+    tw1: &[Complex],
+    tw2: &[Complex],
+    conj: bool,
+) {
+    debug_assert!(h >= 2 && h.is_power_of_two());
+    debug_assert!(data.len().is_multiple_of(4 * h));
+    debug_assert!(tw1.len() >= h && tw2.len() >= 2 * h);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::fft_two_stages(data, h, tw1, tw2, conj) },
+        _ => scalar::fft_two_stages(data, h, tw1, tw2, conj),
+    }
+}
+
+/// Two consecutive DIF ranks — half-lengths `2h` (twiddles `tw2`) then
+/// `h` (twiddles `tw1`) — fused into one pass over memory; the DIF mirror
+/// of [`fft_two_stages`]. Same `h ≥ 2` power-of-two requirement.
+///
+/// # Panics
+/// Panics (debug) if `h < 2`, `data.len()` is not a multiple of `4h`, or
+/// a twiddle table is short.
+pub fn fft_two_stages_dif(
+    data: &mut [Complex],
+    h: usize,
+    tw1: &[Complex],
+    tw2: &[Complex],
+    conj: bool,
+) {
+    debug_assert!(h >= 2 && h.is_power_of_two());
+    debug_assert!(data.len().is_multiple_of(4 * h));
+    debug_assert!(tw1.len() >= h && tw2.len() >= 2 * h);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2Fma => unsafe { avx2::fft_two_stages_dif(data, h, tw1, tw2, conj) },
+        _ => scalar::fft_two_stages_dif(data, h, tw1, tw2, conj),
+    }
+}
+
+/// Scalar reference implementations. Public so the property suites (and
+/// the forced-fallback CI test) can pin SIMD results against them
+/// regardless of which path the process selected.
+pub mod scalar {
+    use super::Complex;
+
+    /// Exact Q15 rounding multiply — the semantics of
+    /// `_mm256_mulhrs_epi16` on lanes that cannot overflow (window
+    /// coefficients are non-negative, so the `−32768 · −32768` corner
+    /// never occurs).
+    #[inline]
+    pub fn mulhrs(a: i16, b: i16) -> i16 {
+        (((a as i32 * b as i32) + (1 << 14)) >> 15) as i16
+    }
+
+    /// See [`super::pointwise_mul`].
+    pub fn pointwise_mul(buf: &mut [Complex], k: &[Complex], conj: bool) {
+        if conj {
+            for (b, k) in buf.iter_mut().zip(k) {
+                *b *= k.conj();
+            }
+        } else {
+            for (b, k) in buf.iter_mut().zip(k) {
+                *b *= *k;
+            }
+        }
+    }
+
+    /// See [`super::pointwise_mul_into`].
+    pub fn pointwise_mul_into(out: &mut [Complex], a: &[Complex], b: &[Complex], conj: bool) {
+        if conj {
+            for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                *o = *x * y.conj();
+            }
+        } else {
+            for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+                *o = *x * *y;
+            }
+        }
+    }
+
+    /// See [`super::pack_premul`].
+    pub fn pack_premul(buf: &mut [Complex], signal: &[f64], pre: &[Complex]) {
+        for (t, (b, p)) in buf.iter_mut().zip(pre).enumerate() {
+            *b = Complex::new(signal[2 * t], signal[2 * t + 1]) * *p;
+        }
+    }
+
+    /// See [`super::scale_premul`].
+    pub fn scale_premul(buf: &mut [Complex], signal: &[f64], pre: &[Complex]) {
+        for (b, (&s, p)) in buf.iter_mut().zip(signal.iter().zip(pre)) {
+            *b = p.scale(s);
+        }
+    }
+
+    /// See [`super::window_scale`].
+    pub fn window_scale(dst: &mut [f64], src: &[f64], win: &[f64], scale: f64) {
+        for (d, (&s, &w)) in dst.iter_mut().zip(src.iter().zip(win)) {
+            *d = s * w * scale;
+        }
+    }
+
+    /// See [`super::window_accum_q`].
+    pub fn window_accum_q(accum: &mut [i32], samples: &[i16], win_q15: &[i16]) {
+        for (a, (&s, &w)) in accum.iter_mut().zip(samples.iter().zip(win_q15)) {
+            *a += mulhrs(s, w) as i32;
+        }
+    }
+
+    /// See [`super::pack_premul_q`].
+    pub fn pack_premul_q(buf: &mut [Complex], q: &[i32], scale: f64, pre: &[Complex]) {
+        for (t, (b, p)) in buf.iter_mut().zip(pre).enumerate() {
+            *b = Complex::new(q[2 * t] as f64 * scale, q[2 * t + 1] as f64 * scale) * *p;
+        }
+    }
+
+    /// See [`super::scale_premul_q`].
+    pub fn scale_premul_q(buf: &mut [Complex], q: &[i32], scale: f64, pre: &[Complex]) {
+        for (b, (&v, p)) in buf.iter_mut().zip(q.iter().zip(pre)) {
+            *b = p.scale(v as f64 * scale);
+        }
+    }
+
+    /// See [`super::butterflies`].
+    pub fn butterflies(a: &mut [Complex], b: &mut [Complex], tw: &[Complex], conj: bool) {
+        for k in 0..a.len() {
+            let t = if conj { tw[k].conj() } else { tw[k] };
+            let x = a[k];
+            let y = b[k] * t;
+            a[k] = x + y;
+            b[k] = x - y;
+        }
+    }
+
+    /// See [`super::fft_stage`].
+    pub fn fft_stage(data: &mut [Complex], half: usize, tw: &[Complex], conj: bool) {
+        for block in data.chunks_exact_mut(2 * half) {
+            let (a, b) = block.split_at_mut(half);
+            butterflies(a, b, &tw[..half], conj);
+        }
+    }
+
+    /// See [`super::fft_stage_dif`].
+    pub fn fft_stage_dif(data: &mut [Complex], half: usize, tw: &[Complex], conj: bool) {
+        for block in data.chunks_exact_mut(2 * half) {
+            let (a, b) = block.split_at_mut(half);
+            for k in 0..half {
+                let t = if conj { tw[k].conj() } else { tw[k] };
+                let x = a[k];
+                let y = b[k];
+                a[k] = x + y;
+                b[k] = (x - y) * t;
+            }
+        }
+    }
+
+    /// See [`super::fft_two_stages`].
+    pub fn fft_two_stages(
+        data: &mut [Complex],
+        h: usize,
+        tw1: &[Complex],
+        tw2: &[Complex],
+        conj: bool,
+    ) {
+        for block in data.chunks_exact_mut(4 * h) {
+            for k in 0..h {
+                let (t1, t2a, t2b) = if conj {
+                    (tw1[k].conj(), tw2[k].conj(), tw2[k + h].conj())
+                } else {
+                    (tw1[k], tw2[k], tw2[k + h])
+                };
+                let x0 = block[k];
+                let x1 = block[k + h] * t1;
+                let x2 = block[k + 2 * h];
+                let x3 = block[k + 3 * h] * t1;
+                let y0 = x0 + x1;
+                let y1 = x0 - x1;
+                let u2 = (x2 + x3) * t2a;
+                let u3 = (x2 - x3) * t2b;
+                block[k] = y0 + u2;
+                block[k + 2 * h] = y0 - u2;
+                block[k + h] = y1 + u3;
+                block[k + 3 * h] = y1 - u3;
+            }
+        }
+    }
+
+    /// See [`super::fft_two_stages_dif`].
+    pub fn fft_two_stages_dif(
+        data: &mut [Complex],
+        h: usize,
+        tw1: &[Complex],
+        tw2: &[Complex],
+        conj: bool,
+    ) {
+        for block in data.chunks_exact_mut(4 * h) {
+            for k in 0..h {
+                let (t1, t2a, t2b) = if conj {
+                    (tw1[k].conj(), tw2[k].conj(), tw2[k + h].conj())
+                } else {
+                    (tw1[k], tw2[k], tw2[k + h])
+                };
+                let x0 = block[k];
+                let x1 = block[k + h];
+                let x2 = block[k + 2 * h];
+                let x3 = block[k + 3 * h];
+                let y0 = x0 + x2;
+                let y2 = (x0 - x2) * t2a;
+                let y1 = x1 + x3;
+                let y3 = (x1 - x3) * t2b;
+                block[k] = y0 + y1;
+                block[k + h] = (y0 - y1) * t1;
+                block[k + 2 * h] = y2 + y3;
+                block[k + 3 * h] = (y2 - y3) * t1;
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA implementations. Everything here requires the caller to
+/// have verified `avx2` and `fma` support (the dispatchers above only
+/// take this branch after `is_x86_feature_detected!`). `Complex` is
+/// `#[repr(C)]` `{ re: f64, im: f64 }`, so a `&[Complex]` is a valid
+/// `[re, im, re, im, …]` `f64` sequence and one 256-bit register holds
+/// two complex values.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Complex;
+    use core::arch::x86_64::*;
+
+    /// Complex multiply of register pairs `a·b`, both `[re0, im0, re1,
+    /// im1]`. `CONJ_B` selects `a·conj(b)` at compile time.
+    ///
+    /// even lane: `ar·br − ai·bi` (or `+` conjugated), odd lane:
+    /// `ai·br + ar·bi` (or `−`), via `fmaddsub(a, dup(br), aswap·dup(bi))`.
+    #[inline(always)]
+    unsafe fn cmul<const CONJ_B: bool>(a: __m256d, b: __m256d) -> __m256d {
+        let b_re = _mm256_movedup_pd(b); // [br0, br0, br1, br1]
+        let mut b_im = _mm256_permute_pd(b, 0xF); // [bi0, bi0, bi1, bi1]
+        if CONJ_B {
+            b_im = _mm256_xor_pd(b_im, _mm256_set1_pd(-0.0));
+        }
+        let a_swap = _mm256_permute_pd(a, 0x5); // [ai0, ar0, ai1, ar1]
+        _mm256_fmaddsub_pd(a, b_re, _mm256_mul_pd(a_swap, b_im))
+    }
+
+    #[inline(always)]
+    unsafe fn load(p: *const Complex) -> __m256d {
+        _mm256_loadu_pd(p as *const f64)
+    }
+
+    #[inline(always)]
+    unsafe fn store(p: *mut Complex, v: __m256d) {
+        _mm256_storeu_pd(p as *mut f64, v)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn pointwise_mul(buf: &mut [Complex], k: &[Complex], conj: bool) {
+        let n = buf.len().min(k.len());
+        let pairs = n / 2;
+        let bp = buf.as_mut_ptr();
+        let kp = k.as_ptr();
+        if conj {
+            for i in 0..pairs {
+                store(
+                    bp.add(2 * i),
+                    cmul::<true>(load(bp.add(2 * i)), load(kp.add(2 * i))),
+                );
+            }
+        } else {
+            for i in 0..pairs {
+                store(
+                    bp.add(2 * i),
+                    cmul::<false>(load(bp.add(2 * i)), load(kp.add(2 * i))),
+                );
+            }
+        }
+        super::scalar::pointwise_mul(&mut buf[2 * pairs..n], &k[2 * pairs..n], conj);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn pointwise_mul_into(
+        out: &mut [Complex],
+        a: &[Complex],
+        b: &[Complex],
+        conj: bool,
+    ) {
+        let n = out.len();
+        let pairs = n / 2;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        if conj {
+            for i in 0..pairs {
+                store(
+                    op.add(2 * i),
+                    cmul::<true>(load(ap.add(2 * i)), load(bp.add(2 * i))),
+                );
+            }
+        } else {
+            for i in 0..pairs {
+                store(
+                    op.add(2 * i),
+                    cmul::<false>(load(ap.add(2 * i)), load(bp.add(2 * i))),
+                );
+            }
+        }
+        super::scalar::pointwise_mul_into(
+            &mut out[2 * pairs..],
+            &a[2 * pairs..n],
+            &b[2 * pairs..n],
+            conj,
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn pack_premul(buf: &mut [Complex], signal: &[f64], pre: &[Complex]) {
+        let n = buf.len();
+        let pairs = n / 2;
+        let bp = buf.as_mut_ptr();
+        let sp = signal.as_ptr();
+        let pp = pre.as_ptr();
+        for i in 0..pairs {
+            // Four consecutive real samples ARE two packed complex values.
+            let s = _mm256_loadu_pd(sp.add(4 * i));
+            store(bp.add(2 * i), cmul::<false>(s, load(pp.add(2 * i))));
+        }
+        super::scalar::pack_premul(
+            &mut buf[2 * pairs..],
+            &signal[4 * pairs..],
+            &pre[2 * pairs..n],
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn scale_premul(buf: &mut [Complex], signal: &[f64], pre: &[Complex]) {
+        let n = buf.len();
+        let pairs = n / 2;
+        let bp = buf.as_mut_ptr();
+        let sp = signal.as_ptr();
+        let pp = pre.as_ptr();
+        for i in 0..pairs {
+            let s = _mm_loadu_pd(sp.add(2 * i)); // [s0, s1]
+                                                 // [s0, s0, s1, s1]: each real scalar duplicated over its pair.
+            let dup = _mm256_permute4x64_pd(_mm256_castpd128_pd256(s), 0x50);
+            store(bp.add(2 * i), _mm256_mul_pd(load(pp.add(2 * i)), dup));
+        }
+        super::scalar::scale_premul(
+            &mut buf[2 * pairs..],
+            &signal[2 * pairs..n],
+            &pre[2 * pairs..n],
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn window_scale(dst: &mut [f64], src: &[f64], win: &[f64], scale: f64) {
+        let n = dst.len();
+        let quads = n / 4;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let wp = win.as_ptr();
+        let sc = _mm256_set1_pd(scale);
+        for i in 0..quads {
+            let v = _mm256_mul_pd(
+                _mm256_mul_pd(
+                    _mm256_loadu_pd(sp.add(4 * i)),
+                    _mm256_loadu_pd(wp.add(4 * i)),
+                ),
+                sc,
+            );
+            _mm256_storeu_pd(dp.add(4 * i), v);
+        }
+        super::scalar::window_scale(
+            &mut dst[4 * quads..],
+            &src[4 * quads..n],
+            &win[4 * quads..n],
+            scale,
+        );
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn window_accum_q(accum: &mut [i32], samples: &[i16], win_q15: &[i16]) {
+        let n = accum.len();
+        let blocks = n / 16;
+        let ap = accum.as_mut_ptr();
+        let sp = samples.as_ptr();
+        let wp = win_q15.as_ptr();
+        for i in 0..blocks {
+            let s = _mm256_loadu_si256(sp.add(16 * i) as *const __m256i);
+            let w = _mm256_loadu_si256(wp.add(16 * i) as *const __m256i);
+            let p = _mm256_mulhrs_epi16(s, w); // 16 × round(s·w / 2^15)
+            let lo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p));
+            let hi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256(p, 1));
+            let a0 = _mm256_loadu_si256(ap.add(16 * i) as *const __m256i);
+            let a1 = _mm256_loadu_si256(ap.add(16 * i + 8) as *const __m256i);
+            _mm256_storeu_si256(ap.add(16 * i) as *mut __m256i, _mm256_add_epi32(a0, lo));
+            _mm256_storeu_si256(ap.add(16 * i + 8) as *mut __m256i, _mm256_add_epi32(a1, hi));
+        }
+        super::scalar::window_accum_q(
+            &mut accum[16 * blocks..],
+            &samples[16 * blocks..n],
+            &win_q15[16 * blocks..n],
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn pack_premul_q(
+        buf: &mut [Complex],
+        q: &[i32],
+        scale: f64,
+        pre: &[Complex],
+    ) {
+        let n = buf.len();
+        let pairs = n / 2;
+        let bp = buf.as_mut_ptr();
+        let qp = q.as_ptr();
+        let pp = pre.as_ptr();
+        let sc = _mm256_set1_pd(scale);
+        for i in 0..pairs {
+            // Four i32 → four f64 lanes = two packed complex values.
+            let qi = _mm_loadu_si128(qp.add(4 * i) as *const __m128i);
+            let s = _mm256_mul_pd(_mm256_cvtepi32_pd(qi), sc);
+            store(bp.add(2 * i), cmul::<false>(s, load(pp.add(2 * i))));
+        }
+        super::scalar::pack_premul_q(
+            &mut buf[2 * pairs..],
+            &q[4 * pairs..],
+            scale,
+            &pre[2 * pairs..n],
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn scale_premul_q(
+        buf: &mut [Complex],
+        q: &[i32],
+        scale: f64,
+        pre: &[Complex],
+    ) {
+        let n = buf.len();
+        let pairs = n / 2;
+        let bp = buf.as_mut_ptr();
+        let qp = q.as_ptr();
+        let pp = pre.as_ptr();
+        let sc = _mm_set1_pd(scale);
+        for i in 0..pairs {
+            let qi = _mm_loadl_epi64(qp.add(2 * i) as *const __m128i); // [q0, q1, _, _]
+            let s = _mm_mul_pd(_mm_cvtepi32_pd(qi), sc); // [q0·sc, q1·sc]
+            let dup = _mm256_permute4x64_pd(_mm256_castpd128_pd256(s), 0x50);
+            store(bp.add(2 * i), _mm256_mul_pd(load(pp.add(2 * i)), dup));
+        }
+        super::scalar::scale_premul_q(
+            &mut buf[2 * pairs..],
+            &q[2 * pairs..n],
+            scale,
+            &pre[2 * pairs..n],
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn butterflies(
+        a: &mut [Complex],
+        b: &mut [Complex],
+        tw: &[Complex],
+        conj: bool,
+    ) {
+        let n = a.len();
+        let pairs = n / 2;
+        let ap = a.as_mut_ptr();
+        let bp = b.as_mut_ptr();
+        let tp = tw.as_ptr();
+        if conj {
+            for k in 0..pairs {
+                let y = cmul::<true>(load(bp.add(2 * k)), load(tp.add(2 * k)));
+                let x = load(ap.add(2 * k));
+                store(ap.add(2 * k), _mm256_add_pd(x, y));
+                store(bp.add(2 * k), _mm256_sub_pd(x, y));
+            }
+        } else {
+            for k in 0..pairs {
+                let y = cmul::<false>(load(bp.add(2 * k)), load(tp.add(2 * k)));
+                let x = load(ap.add(2 * k));
+                store(ap.add(2 * k), _mm256_add_pd(x, y));
+                store(bp.add(2 * k), _mm256_sub_pd(x, y));
+            }
+        }
+        super::scalar::butterflies(
+            &mut a[2 * pairs..],
+            &mut b[2 * pairs..],
+            &tw[2 * pairs..n],
+            conj,
+        );
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn fft_stage(data: &mut [Complex], half: usize, tw: &[Complex], conj: bool) {
+        if half == 1 {
+            // The first rank's lone twiddle is 1 (conjugation included):
+            // `(a, b) ← (a + b, a − b)`. Two adjacent blocks are four
+            // complex values — shuffle into ([a0, a1], [b0, b1]) halves,
+            // add/sub, shuffle back.
+            let n = data.len();
+            let quads = n / 4;
+            let dp = data.as_mut_ptr();
+            for i in 0..quads {
+                let v0 = load(dp.add(4 * i)); // [a0, b0]
+                let v1 = load(dp.add(4 * i + 2)); // [a1, b1]
+                let a = _mm256_permute2f128_pd(v0, v1, 0x20); // [a0, a1]
+                let b = _mm256_permute2f128_pd(v0, v1, 0x31); // [b0, b1]
+                let sum = _mm256_add_pd(a, b);
+                let diff = _mm256_sub_pd(a, b);
+                store(dp.add(4 * i), _mm256_permute2f128_pd(sum, diff, 0x20));
+                store(dp.add(4 * i + 2), _mm256_permute2f128_pd(sum, diff, 0x31));
+            }
+            for block in data[4 * quads..].chunks_exact_mut(2) {
+                let (x, y) = (block[0], block[1]);
+                block[0] = x + y;
+                block[1] = x - y;
+            }
+            return;
+        }
+        for block in data.chunks_exact_mut(2 * half) {
+            let (a, b) = block.split_at_mut(half);
+            butterflies(a, b, &tw[..half], conj);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn fft_stage_dif(
+        data: &mut [Complex],
+        half: usize,
+        tw: &[Complex],
+        conj: bool,
+    ) {
+        if half == 1 {
+            // The last DIF rank's lone twiddle is 1, so it is the same
+            // add/sub shuffle as the first DIT rank.
+            fft_stage(data, 1, tw, conj);
+            return;
+        }
+        let pairs = half / 2;
+        for block in data.chunks_exact_mut(2 * half) {
+            let (a, b) = block.split_at_mut(half);
+            let ap = a.as_mut_ptr();
+            let bp = b.as_mut_ptr();
+            let tp = tw.as_ptr();
+            if conj {
+                for k in 0..pairs {
+                    let x = load(ap.add(2 * k));
+                    let y = load(bp.add(2 * k));
+                    store(ap.add(2 * k), _mm256_add_pd(x, y));
+                    let d = _mm256_sub_pd(x, y);
+                    store(bp.add(2 * k), cmul::<true>(d, load(tp.add(2 * k))));
+                }
+            } else {
+                for k in 0..pairs {
+                    let x = load(ap.add(2 * k));
+                    let y = load(bp.add(2 * k));
+                    store(ap.add(2 * k), _mm256_add_pd(x, y));
+                    let d = _mm256_sub_pd(x, y);
+                    store(bp.add(2 * k), cmul::<false>(d, load(tp.add(2 * k))));
+                }
+            }
+            for k in 2 * pairs..half {
+                let t = if conj { tw[k].conj() } else { tw[k] };
+                let x = a[k];
+                let y = b[k];
+                a[k] = x + y;
+                b[k] = (x - y) * t;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn fft_two_stages(
+        data: &mut [Complex],
+        h: usize,
+        tw1: &[Complex],
+        tw2: &[Complex],
+        conj: bool,
+    ) {
+        // `h` is a power of two ≥ 2, so the k-loop (step 2 complex) has no
+        // tail and every pointer below stays in bounds.
+        let t1p = tw1.as_ptr();
+        let t2p = tw2.as_ptr();
+        for block in data.chunks_exact_mut(4 * h) {
+            let dp = block.as_mut_ptr();
+            macro_rules! body {
+                ($conj:literal) => {
+                    for k in (0..h).step_by(2) {
+                        let t1 = load(t1p.add(k));
+                        let x0 = load(dp.add(k));
+                        let x1 = cmul::<$conj>(load(dp.add(k + h)), t1);
+                        let x2 = load(dp.add(k + 2 * h));
+                        let x3 = cmul::<$conj>(load(dp.add(k + 3 * h)), t1);
+                        let y0 = _mm256_add_pd(x0, x1);
+                        let y1 = _mm256_sub_pd(x0, x1);
+                        let u2 = cmul::<$conj>(_mm256_add_pd(x2, x3), load(t2p.add(k)));
+                        let u3 = cmul::<$conj>(_mm256_sub_pd(x2, x3), load(t2p.add(k + h)));
+                        store(dp.add(k), _mm256_add_pd(y0, u2));
+                        store(dp.add(k + 2 * h), _mm256_sub_pd(y0, u2));
+                        store(dp.add(k + h), _mm256_add_pd(y1, u3));
+                        store(dp.add(k + 3 * h), _mm256_sub_pd(y1, u3));
+                    }
+                };
+            }
+            if conj {
+                body!(true);
+            } else {
+                body!(false);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn fft_two_stages_dif(
+        data: &mut [Complex],
+        h: usize,
+        tw1: &[Complex],
+        tw2: &[Complex],
+        conj: bool,
+    ) {
+        let t1p = tw1.as_ptr();
+        let t2p = tw2.as_ptr();
+        for block in data.chunks_exact_mut(4 * h) {
+            let dp = block.as_mut_ptr();
+            macro_rules! body {
+                ($conj:literal) => {
+                    for k in (0..h).step_by(2) {
+                        let x0 = load(dp.add(k));
+                        let x1 = load(dp.add(k + h));
+                        let x2 = load(dp.add(k + 2 * h));
+                        let x3 = load(dp.add(k + 3 * h));
+                        let y0 = _mm256_add_pd(x0, x2);
+                        let y2 = cmul::<$conj>(_mm256_sub_pd(x0, x2), load(t2p.add(k)));
+                        let y1 = _mm256_add_pd(x1, x3);
+                        let y3 = cmul::<$conj>(_mm256_sub_pd(x1, x3), load(t2p.add(k + h)));
+                        let t1 = load(t1p.add(k));
+                        store(dp.add(k), _mm256_add_pd(y0, y1));
+                        store(dp.add(k + h), cmul::<$conj>(_mm256_sub_pd(y0, y1), t1));
+                        store(dp.add(k + 2 * h), _mm256_add_pd(y2, y3));
+                        store(dp.add(k + 3 * h), cmul::<$conj>(_mm256_sub_pd(y2, y3), t1));
+                    }
+                };
+            }
+            if conj {
+                body!(true);
+            } else {
+                body!(false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.61).sin() + 0.2 * (i as f64 * 1.7).cos())
+            .collect()
+    }
+
+    fn complexes(n: usize, seed: f64) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.37 + seed).cos(),
+                    (i as f64 * 0.91 - seed).sin(),
+                )
+            })
+            .collect()
+    }
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() <= tol, "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_reference() {
+        // Odd lengths force the tail path on every kernel.
+        for n in [0usize, 1, 2, 3, 7, 16, 33, 250] {
+            let k = complexes(n, 0.3);
+            let mut a = complexes(n, 1.1);
+            let mut r = a.clone();
+            pointwise_mul(&mut a, &k, false);
+            scalar::pointwise_mul(&mut r, &k, false);
+            close(&a, &r, 1e-12 * (n + 1) as f64);
+
+            let mut a = complexes(n, 2.2);
+            let mut r = a.clone();
+            pointwise_mul(&mut a, &k, true);
+            scalar::pointwise_mul(&mut r, &k, true);
+            close(&a, &r, 1e-12 * (n + 1) as f64);
+
+            let s = signal(2 * n);
+            let mut a = vec![Complex::ZERO; n];
+            let mut r = a.clone();
+            pack_premul(&mut a, &s, &k);
+            scalar::pack_premul(&mut r, &s, &k);
+            close(&a, &r, 1e-12 * (n + 1) as f64);
+
+            let s = signal(n);
+            let mut a = vec![Complex::ZERO; n];
+            let mut r = a.clone();
+            scale_premul(&mut a, &s, &k);
+            scalar::scale_premul(&mut r, &s, &k);
+            close(&a, &r, 1e-12 * (n + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn fixed_point_kernels_are_bit_exact_across_paths() {
+        for n in [0usize, 1, 15, 16, 17, 100, 2500] {
+            let samples: Vec<i16> = (0..n).map(|i| ((i * 2731 + 7) % 65536) as i16).collect();
+            let win: Vec<i16> = (0..n).map(|i| ((i * 911) % 32768) as i16).collect();
+            let mut a = vec![3i32; n];
+            let mut r = a.clone();
+            window_accum_q(&mut a, &samples, &win);
+            scalar::window_accum_q(&mut r, &samples, &win);
+            assert_eq!(a, r, "n={n}");
+        }
+    }
+
+    #[test]
+    fn butterfly_pass_matches_scalar() {
+        for half in [1usize, 2, 3, 8, 33] {
+            let tw: Vec<Complex> = (0..half)
+                .map(|k| Complex::cis(-std::f64::consts::PI * k as f64 / half as f64))
+                .collect();
+            for conj in [false, true] {
+                let mut a = complexes(half, 0.1);
+                let mut b = complexes(half, 0.7);
+                let (mut ra, mut rb) = (a.clone(), b.clone());
+                butterflies(&mut a, &mut b, &tw, conj);
+                scalar::butterflies(&mut ra, &mut rb, &tw, conj);
+                close(&a, &ra, 1e-12 * (half + 1) as f64);
+                close(&b, &rb, 1e-12 * (half + 1) as f64);
+            }
+        }
+    }
+
+    fn stage_tw(half: usize) -> Vec<Complex> {
+        (0..half)
+            .map(|k| Complex::cis(-std::f64::consts::PI * k as f64 / half as f64))
+            .collect()
+    }
+
+    #[test]
+    fn whole_stage_kernels_match_scalar() {
+        // Multiple blocks per stage, including the specialized half == 1
+        // pass (with a non-multiple-of-4 total so its scalar tail runs).
+        for (n, half) in [(2usize, 1usize), (8, 1), (6, 1), (8, 2), (16, 4), (48, 8)] {
+            let tw = stage_tw(half);
+            for conj in [false, true] {
+                let mut a = complexes(n, 0.4);
+                let mut r = a.clone();
+                fft_stage(&mut a, half, &tw, conj);
+                scalar::fft_stage(&mut r, half, &tw, conj);
+                close(&a, &r, 1e-12 * (n + 1) as f64);
+
+                let mut a = complexes(n, 1.9);
+                let mut r = a.clone();
+                fft_stage_dif(&mut a, half, &tw, conj);
+                scalar::fft_stage_dif(&mut r, half, &tw, conj);
+                close(&a, &r, 1e-12 * (n + 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_two_stage_passes_match_single_stages() {
+        // The radix-2² fusion must equal running the two ranks it covers
+        // back-to-back through the scalar single-stage reference.
+        for (n, h) in [(8usize, 2usize), (16, 2), (16, 4), (64, 8), (256, 16)] {
+            let tw1 = stage_tw(h);
+            let tw2 = stage_tw(2 * h);
+            for conj in [false, true] {
+                let mut a = complexes(n, 0.6);
+                let mut r = a.clone();
+                fft_two_stages(&mut a, h, &tw1, &tw2, conj);
+                scalar::fft_stage(&mut r, h, &tw1, conj);
+                scalar::fft_stage(&mut r, 2 * h, &tw2, conj);
+                close(&a, &r, 1e-12 * (n + 1) as f64);
+
+                let mut a = complexes(n, 2.4);
+                let mut r = a.clone();
+                fft_two_stages_dif(&mut a, h, &tw1, &tw2, conj);
+                scalar::fft_stage_dif(&mut r, 2 * h, &tw2, conj);
+                scalar::fft_stage_dif(&mut r, h, &tw1, conj);
+                close(&a, &r, 1e-12 * (n + 1) as f64);
+
+                // The scalar fused variants against the same references.
+                let mut a = complexes(n, 0.6);
+                let mut r = a.clone();
+                scalar::fft_two_stages(&mut a, h, &tw1, &tw2, conj);
+                scalar::fft_stage(&mut r, h, &tw1, conj);
+                scalar::fft_stage(&mut r, 2 * h, &tw2, conj);
+                close(&a, &r, 1e-12 * (n + 1) as f64);
+
+                let mut a = complexes(n, 2.4);
+                let mut r = a.clone();
+                scalar::fft_two_stages_dif(&mut a, h, &tw1, &tw2, conj);
+                scalar::fft_stage_dif(&mut r, 2 * h, &tw2, conj);
+                scalar::fft_stage_dif(&mut r, h, &tw1, conj);
+                close(&a, &r, 1e-12 * (n + 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_stable_and_reported() {
+        let first = active();
+        assert_eq!(first, active(), "path must not change once selected");
+        assert!(first.lanes() >= 1);
+    }
+}

@@ -6,8 +6,43 @@
 //! spectral variance (§6.1). This module is the shared home for all of it.
 
 /// Median of a slice, reordering it in place. Returns NaN for empty input.
+///
+/// Selection-based (`select_nth_unstable`), so O(n) rather than the
+/// O(n log n) full sort [`percentile_in_place`] pays — the contour
+/// tracker's noise floor takes two medians per antenna per frame, and on
+/// the serving hot path the sort was the single most expensive part of
+/// the detect stage. NaNs are excluded from the statistic exactly as in
+/// [`percentile_in_place`], and the even-length interpolation uses the
+/// same expression, so the result is bit-identical to the sort-based
+/// percentile at p = 50.
 pub fn median_in_place(xs: &mut [f64]) -> f64 {
-    percentile_in_place(xs, 50.0)
+    let mut n = xs.len();
+    let mut i = 0;
+    while i < n {
+        if xs[i].is_nan() {
+            n -= 1;
+            xs.swap(i, n);
+        } else {
+            i += 1;
+        }
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    let xs = &mut xs[..n];
+    if n == 1 {
+        return xs[0];
+    }
+    // rank = 0.5 · (n − 1): hi is the order statistic selection pins,
+    // lo = hi for odd n (frac 0), hi − 1 for even n (frac 0.5).
+    let hi = n / 2;
+    let (left, hi_v, _) = xs.select_nth_unstable_by(hi, |a, b| a.total_cmp(b));
+    let hi_v = *hi_v;
+    if n % 2 == 1 {
+        return hi_v;
+    }
+    let lo_v = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    lo_v + (hi_v - lo_v) * 0.5
 }
 
 /// Median without mutating the input (allocates a copy).

@@ -60,7 +60,36 @@ impl WindowKind {
     pub fn coherent_gain(self, n: usize) -> f64 {
         self.generate(n).iter().sum::<f64>() / n as f64
     }
+
+    /// The process-shared **Q15 fixed-point** table for this window at
+    /// length `n`: `round(w · 32767)` per coefficient, for the integer
+    /// front half of the pipeline (`simd::window_accum_q` multiplies i16
+    /// wire samples by these with the Q15 rounding multiply). Every
+    /// supported window is non-negative, so coefficients fit `0..=32767`
+    /// and the `mulhrs` overflow corner (`−32768 · −32768`) can't occur.
+    ///
+    /// Encoding at 32767 (not 32768) keeps the peak representable; the
+    /// uniform `32768/32767` gain this loses is [`Q15_GAIN`], which
+    /// callers fold into their final dequantization scale.
+    pub fn shared_q15(self, n: usize) -> std::sync::Arc<Vec<i16>> {
+        static SHARED: std::sync::OnceLock<
+            crate::plan_cache::PlanCache<(WindowKind, usize), Vec<i16>>,
+        > = std::sync::OnceLock::new();
+        SHARED
+            .get_or_init(crate::plan_cache::PlanCache::new)
+            .get_or_build((self, n), || {
+                (0..n)
+                    .map(|i| (self.sample(i, n) * 32767.0).round() as i16)
+                    .collect()
+            })
+    }
 }
+
+/// Uniform gain correction for the Q15 window tables: a coefficient
+/// stored as `round(w·32767)` but multiplied through `mulhrs`'s `/32768`
+/// understates the window by this factor. Fold it into the final
+/// dequantization scale.
+pub const Q15_GAIN: f64 = 32768.0 / 32767.0;
 
 /// Multiplies a signal by a window in place.
 ///

@@ -54,6 +54,10 @@ pub struct ContourTracker {
     cfg: ContourConfig,
     sweep: SweepConfig,
     min_bin: usize,
+    /// Reused noise-floor scratch (`peak::noise_floor_with_scratch`):
+    /// the detect family is `&mut self` so the per-frame robust floor
+    /// estimate allocates nothing on the serving hot path.
+    floor_scratch: Vec<f64>,
 }
 
 impl ContourTracker {
@@ -67,6 +71,7 @@ impl ContourTracker {
             cfg,
             sweep,
             min_bin,
+            floor_scratch: Vec::new(),
         }
     }
 
@@ -78,12 +83,14 @@ impl ContourTracker {
     /// Finds the bottom contour in one frame of background-subtracted
     /// magnitudes. Returns `None` when no bin rises substantially above the
     /// noise floor (a static scene).
-    pub fn detect(&self, magnitudes: &[f64]) -> Option<Detection> {
+    pub fn detect(&mut self, magnitudes: &[f64]) -> Option<Detection> {
         if magnitudes.len() <= self.min_bin + 2 {
             return None;
         }
         let usable = &magnitudes[self.min_bin..];
-        let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
+        let floor =
+            peak::noise_floor_with_scratch(usable, self.cfg.noise_floor_k, &mut self.floor_scratch)
+                .max(self.cfg.min_magnitude);
         let rel = peak::first_maximum_above(usable, floor)?;
         let idx = self.min_bin + rel;
         let refined = peak::parabolic_refine(magnitudes, idx);
@@ -111,7 +118,7 @@ impl ContourTracker {
     ///
     /// `detect(m)` is exactly `detect_top_k(m, 1, 0.0).first()`.
     pub fn detect_top_k(
-        &self,
+        &mut self,
         magnitudes: &[f64],
         k: usize,
         min_separation_bins: f64,
@@ -124,7 +131,7 @@ impl ContourTracker {
     /// Allocation-free form of [`ContourTracker::detect_top_k`]: clears
     /// `out` and refills it, reusing its capacity across frames.
     pub fn detect_top_k_into(
-        &self,
+        &mut self,
         magnitudes: &[f64],
         k: usize,
         min_separation_bins: f64,
@@ -135,7 +142,9 @@ impl ContourTracker {
             return;
         }
         let usable = &magnitudes[self.min_bin..];
-        let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
+        let floor =
+            peak::noise_floor_with_scratch(usable, self.cfg.noise_floor_k, &mut self.floor_scratch)
+                .max(self.cfg.min_magnitude);
         let mut last_accepted: Option<f64> = None;
         for rel in peak::local_maxima_above_iter(usable, floor) {
             let idx = self.min_bin + rel;
@@ -161,12 +170,14 @@ impl ContourTracker {
     /// The §4.3 ablation: track the *strongest* return instead of the
     /// nearest strong one. Kept here so the baseline crate and the contour
     /// share identical thresholds.
-    pub fn detect_strongest(&self, magnitudes: &[f64]) -> Option<Detection> {
+    pub fn detect_strongest(&mut self, magnitudes: &[f64]) -> Option<Detection> {
         if magnitudes.len() <= self.min_bin + 2 {
             return None;
         }
         let usable = &magnitudes[self.min_bin..];
-        let floor = peak::noise_floor(usable, self.cfg.noise_floor_k).max(self.cfg.min_magnitude);
+        let floor =
+            peak::noise_floor_with_scratch(usable, self.cfg.noise_floor_k, &mut self.floor_scratch)
+                .max(self.cfg.min_magnitude);
         let rel = peak::global_maximum(usable)?;
         if usable[rel] <= floor {
             return None;
@@ -211,7 +222,7 @@ mod tests {
     #[test]
     fn picks_nearest_strong_peak_not_strongest() {
         let sweep = cfg();
-        let t = ContourTracker::new(sweep, ContourConfig::default());
+        let mut t = ContourTracker::new(sweep, ContourConfig::default());
         // Direct body echo at bin 40 (weak), wall bounce at bin 70 (strong).
         let m = frame(200, &[(40.0, 5.0), (70.0, 20.0)], 0.1);
         let d = t.detect(&m).unwrap();
@@ -225,7 +236,7 @@ mod tests {
     #[test]
     fn top_k_returns_nearest_first_and_matches_detect() {
         let sweep = cfg();
-        let t = ContourTracker::new(sweep, ContourConfig::default());
+        let mut t = ContourTracker::new(sweep, ContourConfig::default());
         let m = frame(200, &[(40.0, 5.0), (70.0, 20.0), (120.0, 8.0)], 0.1);
         let dets = t.detect_top_k(&m, 3, 2.0);
         assert_eq!(dets.len(), 3);
@@ -244,7 +255,7 @@ mod tests {
     #[test]
     fn top_k_merges_lobes_within_min_separation() {
         let sweep = cfg();
-        let t = ContourTracker::new(sweep, ContourConfig::default());
+        let mut t = ContourTracker::new(sweep, ContourConfig::default());
         // Two ripples of one wide reflector at bins 50/52, a real second
         // target at 90.
         let m = frame(200, &[(50.0, 10.0), (52.3, 9.0), (90.0, 8.0)], 0.05);
@@ -258,7 +269,7 @@ mod tests {
 
     #[test]
     fn top_k_empty_cases() {
-        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let mut t = ContourTracker::new(cfg(), ContourConfig::default());
         let m = frame(200, &[(40.0, 5.0)], 0.1);
         assert!(t.detect_top_k(&m, 0, 2.0).is_empty());
         assert!(t.detect_top_k(&[1.0, 2.0], 3, 2.0).is_empty());
@@ -267,14 +278,14 @@ mod tests {
 
     #[test]
     fn all_noise_frame_detects_nothing() {
-        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let mut t = ContourTracker::new(cfg(), ContourConfig::default());
         let m = frame(200, &[], 0.1);
         assert!(t.detect(&m).is_none());
     }
 
     #[test]
     fn zero_frame_detects_nothing() {
-        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let mut t = ContourTracker::new(cfg(), ContourConfig::default());
         assert!(t.detect(&vec![0.0; 200]).is_none());
         assert!(t.detect_strongest(&vec![0.0; 200]).is_none());
     }
@@ -282,7 +293,7 @@ mod tests {
     #[test]
     fn self_interference_region_is_ignored() {
         let sweep = cfg();
-        let t = ContourTracker::new(
+        let mut t = ContourTracker::new(
             sweep,
             ContourConfig {
                 min_round_trip_m: 2.0,
@@ -304,7 +315,7 @@ mod tests {
     #[test]
     fn subbin_refinement_beats_integer_bins() {
         let sweep = cfg();
-        let t = ContourTracker::new(sweep, ContourConfig::default());
+        let mut t = ContourTracker::new(sweep, ContourConfig::default());
         let true_bin = 45.4;
         let m = frame(200, &[(true_bin, 10.0)], 0.05);
         let d = t.detect(&m).unwrap();
@@ -318,13 +329,13 @@ mod tests {
 
     #[test]
     fn short_frames_are_rejected() {
-        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let mut t = ContourTracker::new(cfg(), ContourConfig::default());
         assert!(t.detect(&[1.0, 2.0]).is_none());
     }
 
     #[test]
     fn detection_reports_floor_below_peak() {
-        let t = ContourTracker::new(cfg(), ContourConfig::default());
+        let mut t = ContourTracker::new(cfg(), ContourConfig::default());
         let m = frame(200, &[(50.0, 8.0)], 0.1);
         let d = t.detect(&m).unwrap();
         assert!(d.magnitude > d.noise_floor);

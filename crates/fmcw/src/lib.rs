@@ -31,5 +31,5 @@ pub use config::SweepConfig;
 pub use contour::{ContourConfig, ContourTracker, Detection};
 pub use denoise::{DenoiseConfig, DenoisedDistance, DistanceDenoiser};
 pub use pipeline::{StageTimes, TofEstimator, TofFrame};
-pub use profile::RangeProfiler;
+pub use profile::{RangeProfiler, Sweep};
 pub use spectrogram::Spectrogram;

@@ -9,7 +9,7 @@ use crate::background::BackgroundSubtractor;
 use crate::config::SweepConfig;
 use crate::contour::{ContourConfig, ContourTracker, Detection};
 use crate::denoise::{DenoiseConfig, DenoisedDistance, DistanceDenoiser};
-use crate::profile::RangeProfiler;
+use crate::profile::{RangeProfiler, Sweep};
 use witrack_dsp::window::WindowKind;
 
 /// Output of the pipeline for one processing frame.
@@ -111,7 +111,17 @@ impl TofEstimator {
     /// # Panics
     /// Panics if `samples` is not exactly one sweep long.
     pub fn push_sweep(&mut self, samples: &[f64]) -> Option<TofFrame> {
-        self.push_sweep_inner(samples, None)
+        self.push_inner(Sweep::F64(samples), None)
+    }
+
+    /// Pushes one wire-quantized sweep (`sample = q · scale`), keeping
+    /// the profile front half in fixed point (see
+    /// [`RangeProfiler::push_sweep_q`]).
+    ///
+    /// # Panics
+    /// Panics if `samples` is not exactly one sweep long.
+    pub fn push_sweep_q(&mut self, samples: &[i16], scale: f64) -> Option<TofFrame> {
+        self.push_inner(Sweep::Q(samples, scale), None)
     }
 
     /// [`Self::push_sweep`], additionally reporting how long the two
@@ -127,12 +137,42 @@ impl TofEstimator {
         samples: &[f64],
         times: &mut StageTimes,
     ) -> Option<TofFrame> {
-        self.push_sweep_inner(samples, Some(times))
+        self.push_inner(Sweep::F64(samples), Some(times))
     }
 
-    fn push_sweep_inner(
+    /// [`Self::push_sweep_q`] with the stage timing of
+    /// [`Self::push_sweep_timed`].
+    ///
+    /// # Panics
+    /// Panics if `samples` is not exactly one sweep long.
+    pub fn push_sweep_q_timed(
         &mut self,
-        samples: &[f64],
+        samples: &[i16],
+        scale: f64,
+        times: &mut StageTimes,
+    ) -> Option<TofFrame> {
+        self.push_inner(Sweep::Q(samples, scale), Some(times))
+    }
+
+    /// Pushes one sweep in either representation.
+    ///
+    /// # Panics
+    /// Panics if the sweep is not exactly one sweep long.
+    pub fn push(&mut self, sweep: Sweep<'_>) -> Option<TofFrame> {
+        self.push_inner(sweep, None)
+    }
+
+    /// Pushes one sweep in either representation, stage-timed.
+    ///
+    /// # Panics
+    /// Panics if the sweep is not exactly one sweep long.
+    pub fn push_timed(&mut self, sweep: Sweep<'_>, times: &mut StageTimes) -> Option<TofFrame> {
+        self.push_inner(sweep, Some(times))
+    }
+
+    fn push_inner(
+        &mut self,
+        samples: Sweep<'_>,
         mut times: Option<&mut StageTimes>,
     ) -> Option<TofFrame> {
         self.sweeps_seen += 1;
@@ -140,7 +180,7 @@ impl TofEstimator {
             .as_ref()
             .filter(|_| self.profiler.next_sweep_completes_frame())
             .map(|_| std::time::Instant::now());
-        let profile = self.profiler.push_sweep(samples)?;
+        let profile = self.profiler.push(samples)?;
         let detect_start = profile_start.map(|start| {
             let now = std::time::Instant::now();
             if let Some(t) = times.as_deref_mut() {

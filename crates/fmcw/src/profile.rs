@@ -21,8 +21,43 @@
 
 use crate::config::SweepConfig;
 use std::sync::Arc;
-use witrack_dsp::window::WindowKind;
-use witrack_dsp::{Complex, Czt, CztScratch};
+use witrack_dsp::window::{WindowKind, Q15_GAIN};
+use witrack_dsp::{simd, Complex, Czt, CztScratch};
+
+/// One sweep of baseband samples, in either representation the wire
+/// delivers: dequantized `f64`, or the raw `i16` quantized form plus its
+/// dequantization scale (`sample = q · scale`). The quantized form feeds
+/// the fixed-point front half of the profiler — windowing and frame
+/// accumulation stay in `i16`/`i32` and the samples only become floats
+/// inside the zoom transform's pre-chirp multiply.
+#[derive(Debug, Clone, Copy)]
+pub enum Sweep<'a> {
+    /// Float samples.
+    F64(&'a [f64]),
+    /// Wire-quantized samples and their dequantization scale.
+    Q(&'a [i16], f64),
+}
+
+impl<'a> From<&'a [f64]> for Sweep<'a> {
+    fn from(samples: &'a [f64]) -> Sweep<'a> {
+        Sweep::F64(samples)
+    }
+}
+
+impl Sweep<'_> {
+    /// Number of samples in the sweep.
+    pub fn len(&self) -> usize {
+        match self {
+            Sweep::F64(s) => s.len(),
+            Sweep::Q(s, _) => s.len(),
+        }
+    }
+
+    /// `true` when the sweep holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Converts accumulated sweeps into complex range profiles.
 ///
@@ -37,14 +72,24 @@ pub struct RangeProfiler {
     sweeps_per_frame: usize,
     /// Shared, unscaled analysis window.
     window: Arc<Vec<f64>>,
+    /// Shared Q15 window table for the fixed-point path.
+    window_q15: Arc<Vec<i16>>,
     /// The frame average (1/sweeps_per_frame), folded into the windowing
     /// multiply so the shared table stays unscaled.
     frame_scale: f64,
     /// Shared zoom transform producing exactly `keep_bins` bins.
     czt: Arc<Czt>,
     scratch: CztScratch,
-    /// Time-domain accumulator for the current frame.
+    /// Time-domain accumulator for the current frame (float sweeps).
     accum: Vec<f64>,
+    /// Fixed-point accumulator for quantized sweeps: windowed Q15
+    /// products summed exactly in `i32` (5 sweeps × ±32767 is nowhere
+    /// near overflow).
+    accum_q: Vec<i32>,
+    /// Wire scale the quantized accumulator is denominated in.
+    accum_q_scale: f64,
+    /// Quantized sweeps folded into the current frame so far.
+    q_sweeps: usize,
     /// Windowed average of the accumulated sweeps (CZT input), reused.
     windowed: Vec<f64>,
     /// The emitted range profile, reused across frames.
@@ -62,6 +107,7 @@ impl RangeProfiler {
         let n = cfg.samples_per_sweep();
         let keep = (cfg.bin_for_round_trip(max_round_trip_m).ceil() as usize + 1).min(n / 2);
         let keep = keep.max(2).min(n);
+        let window_q15 = window.shared_q15(n);
         let window = window.shared(n);
         let czt = Czt::shared(n, keep);
         let scratch = czt.make_scratch();
@@ -69,10 +115,14 @@ impl RangeProfiler {
             samples_per_sweep: n,
             sweeps_per_frame: cfg.sweeps_per_frame,
             window,
+            window_q15,
             frame_scale: 1.0 / cfg.sweeps_per_frame as f64,
             czt,
             scratch,
             accum: vec![0.0; n],
+            accum_q: vec![0; n],
+            accum_q_scale: 0.0,
+            q_sweeps: 0,
             windowed: vec![0.0; n],
             profile: vec![Complex::ZERO; keep],
             sweeps_accumulated: 0,
@@ -111,41 +161,115 @@ impl RangeProfiler {
     /// # Panics
     /// Panics if `samples` is not exactly one sweep long.
     pub fn push_sweep(&mut self, samples: &[f64]) -> Option<&[Complex]> {
+        self.push(Sweep::F64(samples))
+    }
+
+    /// Pushes one **wire-quantized** sweep (`sample = q · scale`). The
+    /// fixed-point fast path: the sweep is windowed in `i16` (Q15
+    /// rounding multiplies against the shared quantized window table) and
+    /// accumulated exactly in `i32`; on frame completion the integer
+    /// accumulator feeds the zoom transform directly, dequantizing inside
+    /// the pre-chirp multiply. Per-frame the samples are touched once in
+    /// integer form — 4× less accumulator memory traffic than the float
+    /// path, and no dequantized copy of the frame ever exists.
+    ///
+    /// # Panics
+    /// Panics if `samples` is not exactly one sweep long.
+    pub fn push_sweep_q(&mut self, samples: &[i16], scale: f64) -> Option<&[Complex]> {
+        self.push(Sweep::Q(samples, scale))
+    }
+
+    /// Pushes one sweep in either representation. See
+    /// [`RangeProfiler::push_sweep`] / [`RangeProfiler::push_sweep_q`].
+    ///
+    /// # Panics
+    /// Panics if the sweep is not exactly one sweep long.
+    pub fn push(&mut self, sweep: Sweep<'_>) -> Option<&[Complex]> {
         assert_eq!(
-            samples.len(),
+            sweep.len(),
             self.samples_per_sweep,
             "sweep must contain exactly samples_per_sweep samples"
         );
-        for (a, &s) in self.accum.iter_mut().zip(samples) {
-            *a += s;
+        match sweep {
+            Sweep::F64(samples) => {
+                for (a, &s) in self.accum.iter_mut().zip(samples) {
+                    *a += s;
+                }
+            }
+            // A quantized sweep at the frame's established wire scale
+            // stays integer end to end. The first quantized sweep of a
+            // frame establishes that scale; a mid-frame scale change
+            // (rare — encoders quantize per batch, and a batch is a whole
+            // frame) folds the odd sweep into the float accumulator
+            // instead of degrading the integer one.
+            Sweep::Q(samples, scale) => {
+                if self.q_sweeps == 0 {
+                    self.accum_q_scale = scale;
+                }
+                if scale == self.accum_q_scale {
+                    simd::window_accum_q(&mut self.accum_q, samples, &self.window_q15);
+                    self.q_sweeps += 1;
+                } else {
+                    for (a, &s) in self.accum.iter_mut().zip(samples) {
+                        *a += s as f64 * scale;
+                    }
+                }
+            }
         }
         self.sweeps_accumulated += 1;
         if self.sweeps_accumulated < self.sweeps_per_frame {
             return None;
         }
-        // Frame complete: window the averaged sweeps, zoom-transform the
-        // kept band, reset the accumulator. (The 1/sweeps_per_frame average
-        // folds into the windowing multiply; the table itself is shared.)
-        let scale = self.frame_scale;
-        for ((w, &a), &win) in self
-            .windowed
-            .iter_mut()
-            .zip(&self.accum)
-            .zip(self.window.iter())
-        {
-            *w = a * win * scale;
-        }
-        self.czt
-            .transform_into(&self.windowed, &mut self.profile, &mut self.scratch);
-        self.accum.fill(0.0);
-        self.sweeps_accumulated = 0;
+        self.complete_frame();
         Some(&self.profile)
+    }
+
+    /// Frame complete: window the averaged sweeps, zoom-transform the
+    /// kept band, reset the accumulators. (The 1/sweeps_per_frame average
+    /// folds into the windowing — or dequantization — multiply; the
+    /// shared tables stay unscaled.)
+    fn complete_frame(&mut self) {
+        let scale = self.frame_scale;
+        // Dequantization scale of the integer accumulator: wire scale ×
+        // frame average × the Q15 window tables' uniform gain correction.
+        let q_scale = self.accum_q_scale * scale * Q15_GAIN;
+        if self.q_sweeps == self.sweeps_accumulated {
+            // Pure quantized frame (the serving hot path): the integer
+            // accumulator is already windowed; hand it straight to the
+            // transform, which dequantizes inside the pre-chirp multiply.
+            self.czt
+                .transform_q_into(&self.accum_q, q_scale, &mut self.profile, &mut self.scratch);
+        } else {
+            simd::window_scale(&mut self.windowed, &self.accum, &self.window, scale);
+            if self.q_sweeps > 0 {
+                // Mixed frame: the quantized part is windowed already.
+                for (w, &q) in self.windowed.iter_mut().zip(&self.accum_q) {
+                    *w += q as f64 * q_scale;
+                }
+            }
+            self.czt
+                .transform_into(&self.windowed, &mut self.profile, &mut self.scratch);
+        }
+        self.clear_accumulators();
+    }
+
+    fn clear_accumulators(&mut self) {
+        // Only touch the accumulator(s) this frame actually dirtied — a
+        // pure quantized frame must not pay a 20 KB float memset.
+        if self.q_sweeps > 0 {
+            self.accum_q.fill(0);
+        }
+        if self.q_sweeps < self.sweeps_accumulated {
+            self.accum.fill(0.0);
+        }
+        self.q_sweeps = 0;
+        self.accum_q_scale = 0.0;
+        self.sweeps_accumulated = 0;
     }
 
     /// Clears any partially accumulated frame.
     pub fn reset(&mut self) {
-        self.accum.fill(0.0);
-        self.sweeps_accumulated = 0;
+        self.clear_accumulators();
     }
 }
 
@@ -336,6 +460,84 @@ mod tests {
             assert!(p.push_sweep(&sweep).is_none(), "sweep {k}");
         }
         assert!(p.push_sweep(&sweep).is_some());
+    }
+
+    /// Quantizes a sweep the way the wire does (peak → ±32767).
+    fn quantize(sweep: &[f64]) -> (Vec<i16>, f64) {
+        let peak = sweep.iter().fold(0.0f64, |m, &s| m.max(s.abs())).max(1e-30);
+        let scale = peak / 32767.0;
+        (
+            sweep.iter().map(|&s| (s / scale).round() as i16).collect(),
+            scale,
+        )
+    }
+
+    #[test]
+    fn quantized_path_matches_float_path() {
+        let cfg = small_cfg();
+        let mut pf = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
+        let mut pq = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
+        let mut out = (Vec::new(), Vec::new());
+        for k in 0..2 * cfg.sweeps_per_frame {
+            let sweep = tone_sweep(&cfg, 11e3, 0.1 * k as f64);
+            let (q, scale) = quantize(&sweep);
+            let dequant: Vec<f64> = q.iter().map(|&v| v as f64 * scale).collect();
+            if let Some(p) = pf.push_sweep(&dequant) {
+                out.0 = p.to_vec();
+            }
+            if let Some(p) = pq.push_sweep_q(&q, scale) {
+                out.1 = p.to_vec();
+            }
+        }
+        assert!(!out.0.is_empty() && !out.1.is_empty());
+        // Both paths see identical wire samples; the only differences are
+        // the Q15 window rounding (≤ 1.5e-5 relative) and summation
+        // order. The peak magnitude is O(n/2); bound the per-bin error
+        // relative to that.
+        let n = cfg.samples_per_sweep() as f64;
+        for (i, (a, b)) in out.0.iter().zip(&out.1).enumerate() {
+            assert!((*a - *b).abs() < 1e-4 * n, "bin {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_and_rescaled_frames_still_match() {
+        // One frame mixing a float sweep, quantized sweeps at the frame's
+        // wire scale, and a quantized sweep at a DIFFERENT wire scale (a
+        // mid-frame AGC step) must agree with a float reference fed the
+        // dequantized equivalents of the exact same samples.
+        let cfg = small_cfg();
+        let mut pf = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
+        let mut pq = RangeProfiler::new(&cfg, WindowKind::Hann, cfg.round_trip_for_bin(40.0));
+        let mut out = (Vec::new(), Vec::new());
+        for k in 0..cfg.sweeps_per_frame {
+            let sweep = tone_sweep(&cfg, 9e3, 0.2 * k as f64);
+            let (mut q, mut scale) = quantize(&sweep);
+            if k == 2 {
+                // Same physical samples, coarser wire scale.
+                for v in &mut q {
+                    *v /= 2;
+                }
+                scale *= 2.0;
+            }
+            let dequant: Vec<f64> = q.iter().map(|&v| v as f64 * scale).collect();
+            if let Some(p) = pf.push_sweep(&dequant) {
+                out.0 = p.to_vec();
+            }
+            let r = if k == 1 {
+                pq.push_sweep(&dequant)
+            } else {
+                pq.push_sweep_q(&q, scale)
+            };
+            if let Some(p) = r {
+                out.1 = p.to_vec();
+            }
+        }
+        assert!(!out.0.is_empty() && !out.1.is_empty());
+        let n = cfg.samples_per_sweep() as f64;
+        for (i, (a, b)) in out.0.iter().zip(&out.1).enumerate() {
+            assert!((*a - *b).abs() < 1e-4 * n, "bin {i}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ use witrack_core::frame_pipeline::{FramePipeline, FrameReport, TargetReport};
 use witrack_core::pipeline::{antenna_parallelism, BuildError};
 use witrack_dsp::window::WindowKind;
 use witrack_fmcw::contour::Detection;
-use witrack_fmcw::{BackgroundSubtractor, ContourTracker, RangeProfiler};
+use witrack_fmcw::{BackgroundSubtractor, ContourTracker, RangeProfiler, Sweep};
 use witrack_geom::multilateration::{solve_least_squares, GaussNewtonConfig};
 use witrack_geom::{AntennaArray, TArray, Vec3};
 
@@ -113,7 +113,9 @@ pub struct MultiWiTrack {
     backgrounds: Vec<BackgroundSubtractor>,
     /// Per-antenna detection buffers, reused across frames.
     detections: Vec<Vec<Detection>>,
-    contour: ContourTracker,
+    /// One tracker per antenna: detection owns a per-call noise-floor
+    /// scratch (`&mut self`), so each antenna thread needs its own.
+    contours: Vec<ContourTracker>,
     /// Fan per-antenna frame work out across threads (multi-core hosts
     /// only; see [`antenna_parallelism`]).
     parallel: bool,
@@ -154,7 +156,9 @@ impl MultiWiTrack {
                 .collect(),
             backgrounds: (0..n_rx).map(|_| BackgroundSubtractor::new()).collect(),
             detections: (0..n_rx).map(|_| Vec::new()).collect(),
-            contour: ContourTracker::new(cfg.base.sweep, cfg.base.contour),
+            contours: (0..n_rx)
+                .map(|_| ContourTracker::new(cfg.base.sweep, cfg.base.contour))
+                .collect(),
             parallel: antenna_parallelism(n_rx),
             gn: GaussNewtonConfig::default(),
             cost: CostMatrix::new(0, 0),
@@ -205,7 +209,7 @@ impl MultiWiTrack {
             self.profilers.len(),
             "one sweep per receive antenna"
         );
-        self.push_sweeps_inner(per_rx.iter().copied())
+        self.push_sweeps_inner(per_rx.iter().copied().map(Sweep::F64))
     }
 
     /// [`Self::push_sweeps`] over one flat, antenna-contiguous buffer
@@ -227,12 +231,37 @@ impl MultiWiTrack {
             samples_per_sweep * self.profilers.len(),
             "one sweep per receive antenna, packed contiguously"
         );
-        self.push_sweeps_inner(flat.chunks_exact(samples_per_sweep))
+        self.push_sweeps_inner(flat.chunks_exact(samples_per_sweep).map(Sweep::F64))
+    }
+
+    /// [`Self::push_sweeps_flat`] over wire-quantized samples
+    /// (`sample = q · scale`), keeping the profile front half in fixed
+    /// point (see [`witrack_fmcw::RangeProfiler::push_sweep_q`]).
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is not exactly `samples_per_sweep × num_rx`,
+    /// or `samples_per_sweep` is zero.
+    pub fn push_sweeps_flat_q(
+        &mut self,
+        flat: &[i16],
+        samples_per_sweep: usize,
+        scale: f64,
+    ) -> Option<MttUpdate> {
+        assert!(samples_per_sweep > 0, "sweeps cannot be empty");
+        assert_eq!(
+            flat.len(),
+            samples_per_sweep * self.profilers.len(),
+            "one sweep per receive antenna, packed contiguously"
+        );
+        self.push_sweeps_inner(
+            flat.chunks_exact(samples_per_sweep)
+                .map(move |c| Sweep::Q(c, scale)),
+        )
     }
 
     fn push_sweeps_inner<'a, I>(&mut self, per_rx: I) -> Option<MttUpdate>
     where
-        I: DoubleEndedIterator<Item = &'a [f64]> + ExactSizeIterator,
+        I: DoubleEndedIterator<Item = Sweep<'a>> + ExactSizeIterator,
     {
         self.sweeps_seen += 1;
         // All profilers share the sweep clock; accumulate-only sweeps are
@@ -244,7 +273,7 @@ impl MultiWiTrack {
             .unwrap_or(false);
         if !completes {
             for (prof, sweep) in self.profilers.iter_mut().zip(per_rx) {
-                let emitted = prof.push_sweep(sweep);
+                let emitted = prof.push(sweep);
                 debug_assert!(emitted.is_none(), "profilers desynchronized");
             }
             return None;
@@ -252,18 +281,19 @@ impl MultiWiTrack {
 
         // Frame-completing sweep: the per-antenna profile → background →
         // top-K contour stage, fanned out with scoped threads on
-        // multi-core hosts. Each thread gets disjoint &mut state; the
-        // contour tracker and tuning are shared read-only.
-        let contour = &self.contour;
+        // multi-core hosts. Each thread gets disjoint &mut state
+        // (including its own contour tracker); the tuning is shared
+        // read-only.
         let budget = self.cfg.detection_budget();
         let min_sep = self.cfg.min_peak_separation_bins;
         let stats = &self.stats;
         let stage = |prof: &mut RangeProfiler,
                      bg: &mut BackgroundSubtractor,
+                     contour: &mut ContourTracker,
                      dets: &mut Vec<Detection>,
-                     sweep: &[f64]| {
+                     sweep: Sweep<'a>| {
             let profile_start = stats.as_ref().map(|_| std::time::Instant::now());
-            let profile = prof.push_sweep(sweep).expect("frame-completing sweep");
+            let profile = prof.push(sweep).expect("frame-completing sweep");
             let detect_start = profile_start.map(|start| {
                 let now = std::time::Instant::now();
                 stats
@@ -285,6 +315,7 @@ impl MultiWiTrack {
             .profilers
             .iter_mut()
             .zip(self.backgrounds.iter_mut())
+            .zip(self.contours.iter_mut())
             .zip(self.detections.iter_mut())
             .zip(per_rx);
         if self.parallel {
@@ -294,16 +325,16 @@ impl MultiWiTrack {
                 // of blocking at the scope barrier — one fewer spawn.
                 let mut stages = stages;
                 let last = stages.next_back();
-                for (((prof, bg), dets), sweep) in stages {
-                    s.spawn(move || stage(prof, bg, dets, sweep));
+                for ((((prof, bg), contour), dets), sweep) in stages {
+                    s.spawn(move || stage(prof, bg, contour, dets, sweep));
                 }
-                if let Some((((prof, bg), dets), sweep)) = last {
-                    stage(prof, bg, dets, sweep);
+                if let Some(((((prof, bg), contour), dets), sweep)) = last {
+                    stage(prof, bg, contour, dets, sweep);
                 }
             });
         } else {
-            for (((prof, bg), dets), sweep) in stages {
-                stage(prof, bg, dets, sweep);
+            for ((((prof, bg), contour), dets), sweep) in stages {
+                stage(prof, bg, contour, dets, sweep);
             }
         }
 
@@ -557,6 +588,16 @@ impl FramePipeline for MultiWiTrack {
         samples_per_sweep: usize,
     ) -> Option<FrameReport> {
         self.push_sweeps_flat(flat, samples_per_sweep)
+            .map(FrameReport::from)
+    }
+
+    fn process_sweeps_flat_q(
+        &mut self,
+        flat: &[i16],
+        samples_per_sweep: usize,
+        scale: f64,
+    ) -> Option<FrameReport> {
+        self.push_sweeps_flat_q(flat, samples_per_sweep, scale)
             .map(FrameReport::from)
     }
 

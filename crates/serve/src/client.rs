@@ -8,7 +8,7 @@
 
 use crate::transport::{Transport, TransportRx, TransportTx};
 use crate::wire::{
-    Hello, Message, StatsQuery, StatsReport, Subscribe, SubscribeV3, SubscriptionStats, SweepBatch,
+    Hello, Message, StatsQuery, StatsReport, SubscribeV3, SubscriptionStats, SweepBatch,
     SweepBatchQ, Teardown, Unsubscribe,
 };
 use rand::rngs::StdRng;
@@ -146,19 +146,6 @@ impl<T: Transport> SensorClient<T> {
     pub fn teardown(&mut self, sensor_id: u32) -> io::Result<()> {
         self.tx()
             .send_msg(&Message::Teardown(Teardown { sensor_id }))
-    }
-
-    /// Subscribes this connection to a fused room's world stream
-    /// (`WorldUpdate`/`Event` frames; wire v2). An unknown room comes
-    /// back as a `Reject` with
-    /// [`RejectCode::UnknownSubscription`](crate::wire::RejectCode).
-    #[deprecated(
-        since = "0.9.0",
-        note = "build a filtered v3 subscription with \
-                `SubscriptionBuilder` and send it via `subscribe_with`"
-    )]
-    pub fn subscribe(&mut self, sub: Subscribe) -> io::Result<()> {
-        self.tx().send_msg(&Message::Subscribe(sub))
     }
 
     /// Subscribes with a wire-v3 programmable subscription — typically

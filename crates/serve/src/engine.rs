@@ -25,7 +25,7 @@
 
 use crate::hub::{HubHandle, HubMsg, WorldConfig, WorldHub};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::pool::{BufPool, PooledBatch, PooledBuf};
+use crate::pool::{BatchSamples, BufPool, PooledBatch, PooledBuf, SamplePools};
 use crate::wire::{self, Hello, Message, Reject, RejectCode, SweepBatch, Teardown, UpdateBatch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -181,8 +181,9 @@ pub struct EngineHandle {
     shards: Vec<SyncSender<ShardMsg>>,
     overload: OverloadPolicy,
     metrics: Arc<EngineMetrics>,
-    /// Recycles ingest sample buffers (socket → decode → shard → pipeline).
-    sample_pool: BufPool<f64>,
+    /// Recycles ingest sample buffers, one pool per wire representation
+    /// (socket → decode → shard → pipeline).
+    ingest: SamplePools,
     /// Recycles outbox encode buffers (shard → outbox → transport).
     frame_pool: BufPool<u8>,
     /// The world hub, when this engine fuses rooms.
@@ -202,10 +203,17 @@ impl EngineHandle {
         sensor_id as usize % self.shards.len()
     }
 
-    /// The pool connection readers should decode sweep samples into
-    /// (see [`crate::transport::TransportRx::recv_msg_pooled`]).
+    /// The pools connection readers should decode sweep samples into
+    /// (see [`crate::transport::TransportRx::recv_msg_pooled`]): f64
+    /// batches fill `f64s`, quantized batches stay i16 in `i16s`.
+    pub fn ingest_pools(&self) -> &SamplePools {
+        &self.ingest
+    }
+
+    /// The f64 half of [`Self::ingest_pools`] (compatibility accessor
+    /// for callers decoding only f64 batches).
     pub fn sample_pool(&self) -> &BufPool<f64> {
-        &self.sample_pool
+        &self.ingest.f64s
     }
 
     /// The pool shards encode outbound frames into — exposed for tests
@@ -236,12 +244,9 @@ impl EngineHandle {
                 self.send_control(t.sensor_id, ShardMsg::Teardown(t, None, sink))
             }
             Message::SweepBatch(b) => self.submit_batch_pooled(PooledBatch::from_owned(b), sink),
-            Message::SweepBatchQ(q) => {
-                let shape = q.shape();
-                let mut samples = self.sample_pool.get(q.data.len());
-                q.dequantize_into(&mut samples);
-                self.submit_batch_pooled(PooledBatch { shape, samples }, sink)
-            }
+            // Quantized batches stay i16 all the way to the shard — the
+            // pipeline's fixed-point front half dequantizes late.
+            Message::SweepBatchQ(q) => self.submit_batch_pooled(PooledBatch::from_owned_q(q), sink),
             // The v2 subscribe keeps working as a match-all v3 program —
             // no ack, because v2 clients don't know the type exists.
             Message::Subscribe(s) => {
@@ -514,28 +519,14 @@ impl ShardedEngine {
     }
 
     /// A fluent constructor: `ShardedEngine::builder(factory)
-    /// .config(cfg).world(world_cfg).start()`. Replaces the accreted
-    /// `start`/`start_with_world` pair with one shape that grows options
-    /// without new entry points.
+    /// .config(cfg).world(world_cfg).start()` — one shape that grows
+    /// options without new entry points.
     pub fn builder(factory: Arc<PipelineFactory>) -> EngineBuilder {
         EngineBuilder {
             cfg: EngineConfig::default(),
             factory,
             world: None,
         }
-    }
-
-    /// [`Self::start`], plus a world hub fusing the configured rooms.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `ShardedEngine::builder(factory).world(..)`"
-    )]
-    pub fn start_with_world(
-        cfg: EngineConfig,
-        factory: Arc<PipelineFactory>,
-        world: Option<WorldConfig>,
-    ) -> (ShardedEngine, Receiver<EngineEvent>) {
-        Self::start_inner(cfg, factory, world)
     }
 
     /// Shared startup: every public constructor lands here — every
@@ -559,7 +550,7 @@ impl ShardedEngine {
         // queue depth plus one in-decode and one in-pipeline per thread;
         // cap the free list a little above that. Outbox encode buffers
         // are small and bounded by outbox depth.
-        let sample_pool = BufPool::new(num_shards * cfg.queue_capacity.max(1) + 2 * num_shards + 8);
+        let ingest = SamplePools::new(num_shards * cfg.queue_capacity.max(1) + 2 * num_shards + 8);
         let frame_pool = BufPool::new(256);
         let (hub, hub_handle) = match world {
             Some(world_cfg) => {
@@ -600,6 +591,7 @@ impl ShardedEngine {
                 queue_depth: queue_depths[i].clone(),
                 queue_wait: registry.histo("shard", "queue_wait_ns", shard_label),
                 dequeue_to_report: registry.histo("shard", "dequeue_to_report_ns", shard_label),
+                batched_frames: registry.counter("dsp", "batched_frames", shard_label),
             };
             workers.push(std::thread::spawn(move || worker.run()));
         }
@@ -607,7 +599,7 @@ impl ShardedEngine {
             shards,
             overload: cfg.overload,
             metrics: Arc::clone(&metrics),
-            sample_pool,
+            ingest,
             frame_pool,
             hub: hub_handle,
             registry: Arc::clone(&registry),
@@ -743,13 +735,16 @@ struct ShardWorker {
     queue_wait: Arc<Histo>,
     /// Batch dequeue → reports-delivered wall time.
     dequeue_to_report: Arc<Histo>,
+    /// Sweep batches processed in cache-blocked dispatch groups (this
+    /// shard's `dsp/batched_frames` counter; incremented by group size).
+    batched_frames: Counter,
 }
 
 impl ShardWorker {
     fn run(mut self) {
         loop {
             match self.rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(msg) => self.handle(msg),
+                Ok(msg) => self.dispatch(msg),
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     // Queue empty: the only time shutdown may interrupt —
                     // accepted work is never abandoned mid-queue.
@@ -837,6 +832,30 @@ impl ShardWorker {
                 self.push_to_sink(s, frame);
             }
             None => self.emit(EngineEvent::Rejected(Reject { sensor_id, code })),
+        }
+    }
+
+    /// Handles one dequeued message, then greedily drains everything
+    /// already queued before blocking again. Sweep batches processed in
+    /// one drain run back-to-back while the shard's CZT plans, window
+    /// tables, and pipeline state are cache-hot — at 100+ co-sharded
+    /// sensors the per-dispatch warm-up otherwise dominates — and the
+    /// group size feeds the `dsp/batched_frames` counter.
+    fn dispatch(&mut self, first: ShardMsg) {
+        let mut grouped = 0u64;
+        let mut msg = first;
+        loop {
+            if matches!(msg, ShardMsg::Batch(..)) {
+                grouped += 1;
+            }
+            self.handle(msg);
+            match self.rx.try_recv() {
+                Ok(next) => msg = next,
+                Err(_) => break,
+            }
+        }
+        if grouped > 0 {
+            self.batched_frames.add(grouped);
         }
     }
 
@@ -973,14 +992,26 @@ impl ShardWorker {
         // The hot loop: feed each sweep interval to the pipeline straight
         // off the pooled flat buffer (antennas are contiguous within an
         // interval, so no per-sweep slice table), collecting reports into
-        // the shard's reused scratch.
+        // the shard's reused scratch. Quantized batches stay i16 —
+        // `process_sweeps_flat_q` keeps the profile front half in fixed
+        // point and dequantizes late.
         let samples = shape.samples_per_sweep as usize;
         let interval = shape.samples_per_interval();
         let mut updates = std::mem::take(&mut self.updates_scratch);
         updates.clear();
         for s in 0..shape.n_sweeps as usize {
-            let flat = &b.samples[s * interval..(s + 1) * interval];
-            if let Some(report) = session.pipeline.process_sweeps_flat(flat, samples) {
+            let range = s * interval..(s + 1) * interval;
+            let report = match &b.samples {
+                BatchSamples::F64(buf) => {
+                    session.pipeline.process_sweeps_flat(&buf[range], samples)
+                }
+                BatchSamples::I16(buf, scale) => {
+                    session
+                        .pipeline
+                        .process_sweeps_flat_q(&buf[range], samples, *scale)
+                }
+            };
+            if let Some(report) = report {
                 updates.push(report);
             }
         }

@@ -54,24 +54,13 @@ impl Server {
 
     /// A fluent constructor: `Server::builder(factory).config(cfg)
     /// .world(world_cfg).start()` — or `.bind(addr)` for the TCP front
-    /// door. Collapses the accreted `start`/`start_with_world`/
-    /// `bind`/`bind_with_world` quartet into one shape.
+    /// door. One shape that grows options without new entry points.
     pub fn builder(factory: Arc<PipelineFactory>) -> ServerBuilder {
         ServerBuilder {
             cfg: EngineConfig::default(),
             factory,
             world: None,
         }
-    }
-
-    /// [`Self::start`], plus a world hub fusing the configured rooms.
-    #[deprecated(since = "0.9.0", note = "use `Server::builder(factory).world(..)`")]
-    pub fn start_with_world(
-        cfg: EngineConfig,
-        factory: Arc<PipelineFactory>,
-        world: Option<WorldConfig>,
-    ) -> Server {
-        Self::start_inner(cfg, factory, world)
     }
 
     /// Shared startup behind every public constructor: a world hub (when
@@ -178,16 +167,17 @@ where
     let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
     let (outbox_tx, outbox_rx) = sync_channel::<PooledBuf<u8>>(OUTBOX_CAPACITY);
     let writer = std::thread::spawn(move || writer_main(tx, outbox_rx));
-    // Sweep samples decode straight into the engine's recycled buffers:
-    // at steady state the reader allocates nothing per message.
-    let sample_pool = handle.sample_pool().clone();
+    // Sweep samples decode straight into the engine's recycled buffers
+    // (f64 or i16, per wire form): at steady state the reader allocates
+    // nothing per message.
+    let ingest_pools = handle.ingest_pools().clone();
     // Sensors this connection said Hello for. The engine itself decides
     // ownership (a duplicate Hello is refused and its sink dropped), so
     // the EOF cleanup below is scoped to `conn_id` — it can never tear
     // down a session some other connection owns.
     let mut greeted: Vec<u32> = Vec::new();
     loop {
-        match rx.recv_msg_pooled(&sample_pool) {
+        match rx.recv_msg_pooled(&ingest_pools) {
             Ok(Some(msg)) => {
                 if let RxMsg::Control(Message::Hello(h)) = &msg {
                     if !greeted.contains(&h.sensor_id) {
@@ -281,20 +271,6 @@ impl TcpServer {
         factory: Arc<PipelineFactory>,
     ) -> io::Result<TcpServer> {
         Self::bind_inner(addr, cfg, factory, None)
-    }
-
-    /// [`Self::bind`], plus a world hub fusing the configured rooms.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `Server::builder(factory).world(..).bind(addr)`"
-    )]
-    pub fn bind_with_world(
-        addr: &str,
-        cfg: EngineConfig,
-        factory: Arc<PipelineFactory>,
-        world: Option<WorldConfig>,
-    ) -> io::Result<TcpServer> {
-        Self::bind_inner(addr, cfg, factory, world)
     }
 
     fn bind_inner(

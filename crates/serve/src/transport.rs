@@ -14,8 +14,8 @@
 //! send half and receive half so a connection can be serviced by one
 //! reader thread and one writer thread without locking.
 
-use crate::pool::{BufPool, PooledBatch, PooledBuf};
-use crate::wire::{self, DecodedMsg, Message, WireError, HEADER_LEN};
+use crate::pool::{BatchSamples, PooledBatch, PooledBuf, SamplePools};
+use crate::wire::{self, DecodedMsgQ, Message, WireError, HEADER_LEN};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -42,8 +42,10 @@ impl std::ops::Deref for WireFrame {
 
 /// What the pooled receive path yields.
 pub enum RxMsg {
-    /// A sweep batch, its samples already dequantized into a pooled
-    /// buffer — ready for [`crate::engine::EngineHandle::submit_batch_pooled`].
+    /// A sweep batch, its samples decoded into a pooled buffer in the
+    /// representation they arrived in (f64, or i16 + scale for quantized
+    /// wire) — ready for
+    /// [`crate::engine::EngineHandle::submit_batch_pooled`].
     Batch(PooledBatch),
     /// Any other message, decoded owned.
     Control(Message),
@@ -84,23 +86,32 @@ pub trait TransportRx: Send {
     fn recv_msg(&mut self) -> io::Result<Option<Message>>;
 
     /// [`Self::recv_msg`], but sweep batches (either wire form) land as
-    /// [`RxMsg::Batch`] with their samples dequantized into a buffer from
-    /// `pool` — the zero-allocation ingest path. The default decodes
-    /// owned and repacks; the in-tree transports override it to decode
-    /// straight into the pooled buffer.
-    fn recv_msg_pooled(&mut self, pool: &BufPool<f64>) -> io::Result<Option<RxMsg>> {
+    /// [`RxMsg::Batch`] with their samples decoded into a buffer from
+    /// `pools` — the zero-allocation ingest path. f64 batches fill a
+    /// buffer from `pools.f64s`; quantized batches **stay in i16**
+    /// (`pools.i16s`) with their scale attached, feeding the pipeline's
+    /// fixed-point front half. The default decodes owned and repacks;
+    /// the in-tree transports override it to decode straight into the
+    /// pooled buffer.
+    fn recv_msg_pooled(&mut self, pools: &SamplePools) -> io::Result<Option<RxMsg>> {
         Ok(self.recv_msg()?.map(|msg| match msg {
             Message::SweepBatch(b) => {
                 let shape = b.shape();
-                let mut samples = pool.get(b.data.len());
+                let mut samples = pools.f64s.get(b.data.len());
                 samples.extend_from_slice(&b.data);
-                RxMsg::Batch(PooledBatch { shape, samples })
+                RxMsg::Batch(PooledBatch {
+                    shape,
+                    samples: BatchSamples::F64(samples),
+                })
             }
             Message::SweepBatchQ(q) => {
                 let shape = q.shape();
-                let mut samples = pool.get(q.data.len());
-                q.dequantize_into(&mut samples);
-                RxMsg::Batch(PooledBatch { shape, samples })
+                let mut samples = pools.i16s.get(q.data.len());
+                samples.extend_from_slice(&q.data);
+                RxMsg::Batch(PooledBatch {
+                    shape,
+                    samples: BatchSamples::I16(samples, q.scale),
+                })
             }
             other => RxMsg::Control(other),
         }))
@@ -120,6 +131,26 @@ pub trait Transport: Send {
 
 fn wire_to_io(e: WireError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Packs a [`wire::decode_into_q`] result into an [`RxMsg`], dropping
+/// (recycling) whichever pooled buffer the frame didn't fill.
+fn decoded_to_rx(
+    decoded: DecodedMsgQ,
+    samples: PooledBuf<f64>,
+    samples_q: PooledBuf<i16>,
+) -> RxMsg {
+    match decoded {
+        DecodedMsgQ::Sweeps(shape) => RxMsg::Batch(PooledBatch {
+            shape,
+            samples: BatchSamples::F64(samples),
+        }),
+        DecodedMsgQ::SweepsQ(shape, scale) => RxMsg::Batch(PooledBatch {
+            shape,
+            samples: BatchSamples::I16(samples_q, scale),
+        }),
+        DecodedMsgQ::Other(msg) => RxMsg::Control(msg),
+    }
 }
 
 /// A frame-scoped decode failure: the frame's bytes were corrupt, but the
@@ -235,22 +266,20 @@ impl TransportRx for InProcRx {
         }
     }
 
-    fn recv_msg_pooled(&mut self, pool: &BufPool<f64>) -> io::Result<Option<RxMsg>> {
+    fn recv_msg_pooled(&mut self, pools: &SamplePools) -> io::Result<Option<RxMsg>> {
         match self.rx.recv() {
             Err(_) => Ok(None),
             Ok(frame) => {
-                let mut samples = pool.get(0);
-                let (decoded, used) =
-                    wire::decode_into(&frame, &mut samples).map_err(corrupt_frame)?;
+                let mut samples = pools.f64s.get(0);
+                let mut samples_q = pools.i16s.get(0);
+                let (decoded, used) = wire::decode_into_q(&frame, &mut samples, &mut samples_q)
+                    .map_err(corrupt_frame)?;
                 if used != frame.len() {
                     return Err(corrupt_frame(WireError::BadPayload(
                         "frame carries extra bytes",
                     )));
                 }
-                Ok(Some(match decoded {
-                    DecodedMsg::Sweeps(shape) => RxMsg::Batch(PooledBatch { shape, samples }),
-                    DecodedMsg::Other(msg) => RxMsg::Control(msg),
-                }))
+                Ok(Some(decoded_to_rx(decoded, samples, samples_q)))
             }
         }
     }
@@ -362,16 +391,15 @@ impl TransportRx for TcpRx {
         Ok(Some(msg))
     }
 
-    fn recv_msg_pooled(&mut self, pool: &BufPool<f64>) -> io::Result<Option<RxMsg>> {
+    fn recv_msg_pooled(&mut self, pools: &SamplePools) -> io::Result<Option<RxMsg>> {
         if !self.fill_one_frame()? {
             return Ok(None);
         }
-        let mut samples = pool.get(0);
-        let (decoded, _) = wire::decode_into(&self.buf, &mut samples).map_err(corrupt_frame)?;
-        Ok(Some(match decoded {
-            DecodedMsg::Sweeps(shape) => RxMsg::Batch(PooledBatch { shape, samples }),
-            DecodedMsg::Other(msg) => RxMsg::Control(msg),
-        }))
+        let mut samples = pools.f64s.get(0);
+        let mut samples_q = pools.i16s.get(0);
+        let (decoded, _) =
+            wire::decode_into_q(&self.buf, &mut samples, &mut samples_q).map_err(corrupt_frame)?;
+        Ok(Some(decoded_to_rx(decoded, samples, samples_q)))
     }
 }
 

@@ -1314,6 +1314,29 @@ fn read_i16_samples(
     Ok(())
 }
 
+/// Appends a `SweepBatchQ`'s samples to `out` **still quantized** — the
+/// i16 pass-through ingest path (the scale is returned to the caller via
+/// [`DecodedMsgQ::SweepsQ`]).
+fn read_i16_samples_raw(
+    r: &mut Reader<'_>,
+    shape: &SweepShape,
+    out: &mut Vec<i16>,
+) -> Result<(), WireError> {
+    let bytes = r.take(
+        shape
+            .sample_count()
+            .checked_mul(2)
+            .ok_or(WireError::BadPayload("overflow"))?,
+    )?;
+    out.reserve(shape.sample_count());
+    out.extend(
+        bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes(c.try_into().expect("sized"))),
+    );
+    Ok(())
+}
+
 /// What [`decode_into`] yielded.
 #[derive(Debug, PartialEq)]
 pub enum DecodedMsg {
@@ -1322,6 +1345,61 @@ pub enum DecodedMsg {
     Sweeps(SweepShape),
     /// Any other message, decoded owned.
     Other(Message),
+}
+
+/// What [`decode_into_q`] yielded.
+#[derive(Debug, PartialEq)]
+pub enum DecodedMsgQ {
+    /// An f64 sweep batch; samples appended to the caller's f64 buffer.
+    Sweeps(SweepShape),
+    /// A quantized sweep batch kept **in i16** (samples appended to the
+    /// caller's i16 buffer) with its dequantization scale.
+    SweepsQ(SweepShape, f64),
+    /// Any other message, decoded owned.
+    Other(Message),
+}
+
+/// [`decode_into`], except quantized batches stay in i16: their samples
+/// are appended to `samples_q` verbatim and the scale rides along in
+/// [`DecodedMsgQ::SweepsQ`]. This is the ingest hot path for i16 wire
+/// sensors — the samples cross the shard queue at a quarter of the f64
+/// memory traffic and feed the pipeline's fixed-point front half without
+/// ever being dequantized in bulk. Both buffers are cleared first; only
+/// the one matching the frame's representation is filled.
+pub fn decode_into_q(
+    buf: &[u8],
+    samples: &mut Vec<f64>,
+    samples_q: &mut Vec<i16>,
+) -> Result<(DecodedMsgQ, usize), WireError> {
+    samples.clear();
+    samples_q.clear();
+    let (msg_type, frame_len) = decode_header(buf)?;
+    if buf.len() < frame_len {
+        return Err(WireError::Incomplete { needed: frame_len });
+    }
+    match msg_type {
+        2 => {
+            let mut r = Reader::new(&buf[HEADER_LEN..frame_len]);
+            let shape = read_shape(&mut r)?;
+            read_f64_samples(&mut r, &shape, samples)?;
+            r.done()?;
+            Ok((DecodedMsgQ::Sweeps(shape), frame_len))
+        }
+        6 => {
+            let mut r = Reader::new(&buf[HEADER_LEN..frame_len]);
+            let shape = read_shape(&mut r)?;
+            let scale = r.f64()?;
+            // Same rejection as the dequantizing path: a non-finite scale
+            // poisons every downstream sample.
+            if !scale.is_finite() {
+                return Err(WireError::BadPayload("non-finite sample"));
+            }
+            read_i16_samples_raw(&mut r, &shape, samples_q)?;
+            r.done()?;
+            Ok((DecodedMsgQ::SweepsQ(shape, scale), frame_len))
+        }
+        _ => decode(buf).map(|(msg, used)| (DecodedMsgQ::Other(msg), used)),
+    }
 }
 
 /// [`decode`], except sweep-batch samples are written into `samples`

@@ -1,7 +1,7 @@
 //! Counting-allocator proof that the steady-state ingest path — wire
-//! frame off the transport, pooled decode (with i16 dequantization),
-//! shard dispatch, pipeline entry, buffer recycle — performs **zero**
-//! heap allocations per message after warmup.
+//! frame off the transport, pooled decode (quantized batches staying
+//! i16 end to end), shard dispatch, pipeline entry, buffer recycle —
+//! performs **zero** heap allocations per message after warmup.
 //!
 //! This file is its own test binary on purpose: a global counting
 //! allocator sees every thread in the process, so the measurement must
@@ -88,6 +88,24 @@ impl FramePipeline for NullPipeline {
         None
     }
 
+    // Consume quantized sweeps in place — the trait's *default* would
+    // dequantize into a fresh `Vec<f64>`, which is exactly the allocation
+    // the i16 pass-through path exists to avoid (real pipelines override
+    // this the same way).
+    fn process_sweeps_flat_q(
+        &mut self,
+        flat: &[i16],
+        samples: usize,
+        _scale: f64,
+    ) -> Option<FrameReport> {
+        assert_eq!(flat.len(), samples * self.n_rx);
+        self.sweeps += 1;
+        if self.sweeps <= 15 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        None
+    }
+
     fn reset(&mut self) {
         self.sweeps = 0;
     }
@@ -156,12 +174,12 @@ fn steady_state_ingest_makes_zero_allocations_per_frame() {
     let (client_end, server_end) = in_proc_pair(4);
     let (mut client_tx, _client_rx) = client_end.split().unwrap();
     let (_server_tx, mut server_rx) = server_end.split().unwrap();
-    let pool = handle.sample_pool().clone();
+    let pool = handle.ingest_pools().clone();
     // Prime the pool to its worst-case concurrency (one buffer in decode,
     // queue-depth in flight, one in the pipeline, plus slack): warmup
     // traffic alone only populates the *typical* depth, and a mid-run
     // scheduling blip past it would read as a (one-off, cold) miss.
-    let prime: Vec<_> = (0..8).map(|_| pool.get(count)).collect();
+    let prime: Vec<_> = (0..8).map(|_| pool.i16s.get(count)).collect();
     drop(prime);
 
     let mut measured_start = 0u64;
@@ -197,7 +215,7 @@ fn steady_state_ingest_makes_zero_allocations_per_frame() {
         "steady-state ingest made {allocs} allocations over {MEASURED} frames \
          (expected zero: pooled decode + recycled dispatch); sizes {sizes:?}"
     );
-    let pool_stats = pool.stats();
+    let pool_stats = pool.i16s.stats();
     assert!(
         pool_stats.misses <= WARMUP,
         "sample pool kept allocating after warmup: {pool_stats:?}"

@@ -17,7 +17,7 @@ use witrack_geom::{RigidTransform, Vec3};
 use witrack_serve::engine::PipelineFactory;
 use witrack_serve::hub::WorldConfig;
 use witrack_serve::program::MAX_PROGRAM_OPS;
-use witrack_serve::transport::in_proc_pair;
+use witrack_serve::transport::{in_proc_pair, TransportTx};
 use witrack_serve::wire::{
     self, Hello, Message, PipelineKind, RejectCode, Subscribe, SubscribeAck, SubscribeV3,
 };
@@ -476,8 +476,9 @@ fn selective_filters_match_a_strict_subset() {
 
 /// An old client speaking wire-v2 `Subscribe` still gets the room
 /// stream — no ack (the type predates acks), same updates and events.
+/// The frame goes over the raw transport: no current client API emits
+/// v2 `Subscribe` anymore, but the server must keep honouring it.
 #[test]
-#[allow(deprecated)]
 fn v2_subscribe_shim_still_serves_the_world_stream() {
     let server = Server::builder(stub_factory()).world(stub_world()).start();
     let (client_end, server_end) = in_proc_pair(64);
@@ -485,7 +486,8 @@ fn v2_subscribe_shim_still_serves_the_world_stream() {
     let mut client = SensorClient::connect(client_end).expect("connect");
 
     client
-        .subscribe(Subscribe::all(ROOM))
+        .tx()
+        .send_msg(&Message::Subscribe(Subscribe::all(ROOM)))
         .expect("v2 subscribe");
     client.hello(stub_hello(0)).expect("hello");
     stream_frames(&mut client, 0, 60);
